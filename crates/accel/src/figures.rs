@@ -1,0 +1,124 @@
+//! Figure-series extraction: one accessor per evaluation figure.
+
+use crate::platform::Platform;
+
+/// The comparison figures of paper §VI that plot one bar per platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Figure {
+    /// Fig. 8a — power consumption (W, log scale).
+    PowerFig8a,
+    /// Fig. 8b — throughput (queries/s, log scale).
+    ThroughputFig8b,
+    /// Fig. 9a — throughput per watt.
+    ThroughputPerWattFig9a,
+    /// Fig. 9b — throughput per watt per mm².
+    ThroughputPerWattMm2Fig9b,
+    /// Fig. 10a — off-chip memory (GB).
+    OffchipMemoryFig10a,
+    /// Fig. 10b — memory bottleneck ratio (%).
+    MbrFig10b,
+    /// Fig. 10c — resource utilization ratio (%).
+    RurFig10c,
+}
+
+impl Figure {
+    /// All per-platform comparison figures, in paper order.
+    pub const ALL: [Figure; 7] = [
+        Figure::PowerFig8a,
+        Figure::ThroughputFig8b,
+        Figure::ThroughputPerWattFig9a,
+        Figure::ThroughputPerWattMm2Fig9b,
+        Figure::OffchipMemoryFig10a,
+        Figure::MbrFig10b,
+        Figure::RurFig10c,
+    ];
+
+    /// The figure's label as used in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Figure::PowerFig8a => "Fig. 8a: Power (W)",
+            Figure::ThroughputFig8b => "Fig. 8b: Throughput (queries/s)",
+            Figure::ThroughputPerWattFig9a => "Fig. 9a: Throughput/Watt",
+            Figure::ThroughputPerWattMm2Fig9b => "Fig. 9b: Throughput/Watt/mm^2",
+            Figure::OffchipMemoryFig10a => "Fig. 10a: Off-chip memory (GB)",
+            Figure::MbrFig10b => "Fig. 10b: Memory Bottleneck Ratio (%)",
+            Figure::RurFig10c => "Fig. 10c: Resource Utilization Ratio (%)",
+        }
+    }
+
+    /// Extracts this figure's value from one platform.
+    pub fn value(self, platform: &Platform) -> f64 {
+        match self {
+            Figure::PowerFig8a => platform.power_w,
+            Figure::ThroughputFig8b => platform.throughput_qps,
+            Figure::ThroughputPerWattFig9a => platform.throughput_per_watt(),
+            Figure::ThroughputPerWattMm2Fig9b => platform.throughput_per_watt_mm2(),
+            Figure::OffchipMemoryFig10a => platform.offchip_gb,
+            Figure::MbrFig10b => platform.mbr_pct,
+            Figure::RurFig10c => platform.rur_pct,
+        }
+    }
+}
+
+/// The `(name, value)` series for one figure over a platform list
+/// (catalogue + appended PIM-Aligner rows), preserving order.
+///
+/// # Examples
+///
+/// ```
+/// use accel::{catalog, figure_series, Figure};
+///
+/// let series = figure_series(Figure::PowerFig8a, &catalog());
+/// assert_eq!(series.len(), 8);
+/// assert_eq!(series[0].0, "Darwin");
+/// ```
+pub fn figure_series(figure: Figure, platforms: &[Platform]) -> Vec<(String, f64)> {
+    platforms
+        .iter()
+        .map(|p| (p.name.clone(), figure.value(p)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{catalog, PlatformClass};
+
+    #[test]
+    fn every_figure_yields_full_series() {
+        let platforms = catalog();
+        for figure in Figure::ALL {
+            let series = figure_series(figure, &platforms);
+            assert_eq!(series.len(), platforms.len(), "{}", figure.label());
+            assert!(series.iter().all(|(_, v)| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn values_match_accessors() {
+        let p = Platform::new(
+            "X",
+            PlatformClass::FmIndex,
+            4.0,
+            8.0e5,
+            20.0,
+            2.0,
+            30.0,
+            40.0,
+        );
+        assert_eq!(Figure::PowerFig8a.value(&p), 4.0);
+        assert_eq!(Figure::ThroughputFig8b.value(&p), 8.0e5);
+        assert_eq!(Figure::ThroughputPerWattFig9a.value(&p), 2.0e5);
+        assert_eq!(Figure::ThroughputPerWattMm2Fig9b.value(&p), 1.0e4);
+        assert_eq!(Figure::OffchipMemoryFig10a.value(&p), 2.0);
+        assert_eq!(Figure::MbrFig10b.value(&p), 30.0);
+        assert_eq!(Figure::RurFig10c.value(&p), 40.0);
+    }
+
+    #[test]
+    fn labels_cite_figure_numbers() {
+        for f in Figure::ALL {
+            assert!(f.label().starts_with("Fig. "), "{}", f.label());
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! The platform model and the published-accelerator catalogue.
+
+use serde::{Deserialize, Serialize};
+
+/// Which algorithm family a platform accelerates (the two groups of
+/// Fig. 8: "SW" vs "FM-index").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlatformClass {
+    /// Dynamic-programming (Smith–Waterman / BLASTN-class) accelerators.
+    SmithWaterman,
+    /// BWT/FM-index-based accelerators.
+    FmIndex,
+}
+
+/// One accelerator's figures-of-merit for the evaluation figures.
+///
+/// # Examples
+///
+/// ```
+/// use accel::{Platform, PlatformClass};
+///
+/// let p = Platform::new("Example", PlatformClass::FmIndex, 10.0, 1.0e6, 50.0, 0.0, 20.0, 60.0);
+/// assert_eq!(p.throughput_per_watt(), 1.0e5);
+/// assert_eq!(p.throughput_per_watt_mm2(), 2.0e3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Display name used in the figures.
+    pub name: String,
+    /// Algorithm family.
+    pub class: PlatformClass,
+    /// Power consumption on the 10 M × 100 bp workload, watts (Fig. 8a).
+    pub power_w: f64,
+    /// Alignment throughput, queries/s (Fig. 8b).
+    pub throughput_qps: f64,
+    /// Effective die area including the memory system, mm² (Fig. 9b).
+    pub area_mm2: f64,
+    /// Off-chip memory traffic requirement, GB (Fig. 10a).
+    pub offchip_gb: f64,
+    /// Memory Bottleneck Ratio, percent (Fig. 10b).
+    pub mbr_pct: f64,
+    /// Resource Utilization Ratio, percent (Fig. 10c).
+    pub rur_pct: f64,
+}
+
+impl Platform {
+    /// Creates a platform model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if power, throughput or area is non-positive, or a ratio is
+    /// outside `[0, 100]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        class: PlatformClass,
+        power_w: f64,
+        throughput_qps: f64,
+        area_mm2: f64,
+        offchip_gb: f64,
+        mbr_pct: f64,
+        rur_pct: f64,
+    ) -> Platform {
+        assert!(power_w > 0.0, "power must be positive");
+        assert!(throughput_qps > 0.0, "throughput must be positive");
+        assert!(area_mm2 > 0.0, "area must be positive");
+        assert!(offchip_gb >= 0.0, "off-chip memory must be non-negative");
+        assert!((0.0..=100.0).contains(&mbr_pct), "MBR must be a percentage");
+        assert!((0.0..=100.0).contains(&rur_pct), "RUR must be a percentage");
+        Platform {
+            name: name.into(),
+            class,
+            power_w,
+            throughput_qps,
+            area_mm2,
+            offchip_gb,
+            mbr_pct,
+            rur_pct,
+        }
+    }
+
+    /// Builds a platform row from simulator measurements (the bridge
+    /// from `pim_aligner::PerfReport` — kept decoupled so this crate
+    /// needs no dependency on the simulator).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_measurements(
+        name: impl Into<String>,
+        class: PlatformClass,
+        power_w: f64,
+        throughput_qps: f64,
+        area_mm2: f64,
+        offchip_gb: f64,
+        mbr_pct: f64,
+        rur_pct: f64,
+    ) -> Platform {
+        Platform::new(
+            name,
+            class,
+            power_w,
+            throughput_qps,
+            area_mm2,
+            offchip_gb,
+            mbr_pct,
+            rur_pct,
+        )
+    }
+
+    /// Throughput per watt (Fig. 9a).
+    pub fn throughput_per_watt(&self) -> f64 {
+        self.throughput_qps / self.power_w
+    }
+
+    /// Throughput per watt per mm² (Fig. 9b).
+    pub fn throughput_per_watt_mm2(&self) -> f64 {
+        self.throughput_per_watt() / self.area_mm2
+    }
+}
+
+/// The eight published comparison platforms, in the paper's figure
+/// order. Values are calibrated to reproduce the paper's reported ratios
+/// against the simulated PIM-Aligner-n operating point
+/// (≈ 4.7 M queries/s at ≈ 18.8 W on a ≈ 37 mm² die ⇒
+/// ≈ 2.5 × 10⁵ q/s/W and ≈ 6.9 × 10³ q/s/W/mm²); the full derivation is
+/// tabulated in EXPERIMENTS.md.
+pub fn catalog() -> Vec<Platform> {
+    use PlatformClass::{FmIndex, SmithWaterman};
+    vec![
+        // SW-based platforms: large power budgets (Fig. 8a), strong
+        // throughput (RaceLogic the best SW accelerator: PIM-Aligner-n
+        // beats it 3.1× in throughput/W).
+        Platform::new("Darwin", SmithWaterman, 100.0, 1.5e6, 290.0, 32.0, 45.0, 55.0),
+        Platform::new("ReCAM", SmithWaterman, 150.0, 3.75e6, 220.0, 0.0, 20.0, 60.0),
+        Platform::new("RaceLogic", SmithWaterman, 120.0, 9.75e6, 250.0, 8.0, 40.0, 60.0),
+        // FM-index platforms.
+        Platform::new("GPU", FmIndex, 180.0, 9.9e4, 600.0, 130.0, 85.0, 15.0),
+        Platform::new("FPGA", FmIndex, 35.0, 2.0e5, 450.0, 60.0, 70.0, 30.0),
+        Platform::new("ASIC", FmIndex, 2.0, 2.5e5, 165.0, 1.0, 50.0, 50.0),
+        Platform::new("AligneR", FmIndex, 8.0, 1.44e6, 50.0, 0.0, 24.0, 65.0),
+        Platform::new("AlignS", FmIndex, 10.0, 2.85e6, 45.0, 0.0, 20.0, 70.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The simulated PIM-Aligner-n operating point the catalogue is
+    /// calibrated against (kept in sync with the core crate's report
+    /// tests).
+    const PIM_N_TPW: f64 = 4.74e6 / 18.8;
+    const PIM_N_TPW_MM2: f64 = PIM_N_TPW / 36.7;
+
+    fn by_name(name: &str) -> Platform {
+        catalog().into_iter().find(|p| p.name == name).unwrap()
+    }
+
+    #[test]
+    fn catalog_has_eight_platforms_in_figure_order() {
+        let names: Vec<String> = catalog().into_iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            ["Darwin", "ReCAM", "RaceLogic", "GPU", "FPGA", "ASIC", "AligneR", "AlignS"]
+        );
+    }
+
+    #[test]
+    fn race_logic_is_best_sw_platform() {
+        let best_sw = catalog()
+            .into_iter()
+            .filter(|p| p.class == PlatformClass::SmithWaterman)
+            .max_by(|a, b| a.throughput_per_watt().total_cmp(&b.throughput_per_watt()))
+            .unwrap();
+        assert_eq!(best_sw.name, "RaceLogic");
+    }
+
+    #[test]
+    fn paper_ratio_race_logic_3_1x() {
+        let r = PIM_N_TPW / by_name("RaceLogic").throughput_per_watt();
+        assert!((2.8..3.4).contains(&r), "RaceLogic ratio {r:.2}");
+    }
+
+    #[test]
+    fn paper_ratio_asic_2x_throughput_per_watt() {
+        let r = PIM_N_TPW / by_name("ASIC").throughput_per_watt();
+        assert!((1.7..2.4).contains(&r), "ASIC ratio {r:.2}");
+    }
+
+    #[test]
+    fn paper_ratio_fpga_43_8x() {
+        let r = PIM_N_TPW / by_name("FPGA").throughput_per_watt();
+        assert!((38.0..50.0).contains(&r), "FPGA ratio {r:.2}");
+    }
+
+    #[test]
+    fn paper_ratio_gpu_458x() {
+        let r = PIM_N_TPW / by_name("GPU").throughput_per_watt();
+        assert!((400.0..520.0).contains(&r), "GPU ratio {r:.2}");
+    }
+
+    #[test]
+    fn aligns_has_higher_throughput_per_watt_than_pim_n() {
+        // Fig. 9a: "SOT-MRAM-AlignS achieves the highest throughput per
+        // Watt"; PIM-Aligner-n is second.
+        assert!(by_name("AlignS").throughput_per_watt() > PIM_N_TPW);
+        for other in ["Darwin", "ReCAM", "RaceLogic", "GPU", "FPGA", "ASIC", "AligneR"] {
+            assert!(
+                by_name(other).throughput_per_watt() < PIM_N_TPW,
+                "{other} should trail PIM-Aligner-n"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_ratio_area_normalised() {
+        // Fig. 9b: ~9× over the ASIC, 1.9× over AligneR, and PIM-Aligner
+        // beats every platform once area counts.
+        let asic = PIM_N_TPW_MM2 / by_name("ASIC").throughput_per_watt_mm2();
+        assert!((7.5..10.5).contains(&asic), "ASIC area ratio {asic:.2}");
+        let aligner = PIM_N_TPW_MM2 / by_name("AligneR").throughput_per_watt_mm2();
+        assert!((1.6..2.2).contains(&aligner), "AligneR area ratio {aligner:.2}");
+        for p in catalog() {
+            assert!(
+                p.throughput_per_watt_mm2() < PIM_N_TPW_MM2,
+                "{} should trail PIM-Aligner-n per mm²",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn offchip_memory_matches_fig10a_shape() {
+        // GPU/FPGA huge, ASIC exactly 1 GB ("with only 1GB off-chip
+        // memory after compression"), PIMs zero.
+        assert!(by_name("GPU").offchip_gb > 100.0);
+        assert!(by_name("FPGA").offchip_gb > 30.0);
+        assert_eq!(by_name("ASIC").offchip_gb, 1.0);
+        assert_eq!(by_name("AligneR").offchip_gb, 0.0);
+        assert_eq!(by_name("AlignS").offchip_gb, 0.0);
+    }
+
+    #[test]
+    fn pim_platforms_have_low_mbr() {
+        // Fig. 10b: "other PIM platforms also spend less than 25% time";
+        // AligneR's is the highest among them.
+        for p in ["ReCAM", "AligneR", "AlignS"] {
+            assert!(by_name(p).mbr_pct < 25.0, "{p} MBR");
+        }
+        assert!(by_name("AligneR").mbr_pct > by_name("AlignS").mbr_pct);
+        assert!(by_name("GPU").mbr_pct > 80.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power must be positive")]
+    fn invalid_platform_rejected() {
+        let _ = Platform::new("bad", PlatformClass::FmIndex, 0.0, 1.0, 1.0, 0.0, 0.0, 0.0);
+    }
+}

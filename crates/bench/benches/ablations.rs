@@ -1,0 +1,100 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! Occ bucket width `d`, SA sampling rate, method-I vs method-II, and the
+//! first-accept vs exhaustive inexact stage.
+
+use bench::Workload;
+use bioseq::DnaSeq;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmindex::{FmIndex, SaStorage};
+use pim_aligner::{AddMethod, PimAligner, PimAlignerConfig};
+
+fn bench_bucket_width(c: &mut Criterion) {
+    let workload = Workload::clean(60_000, 1, 100, 19);
+    let read = workload.reads[0].clone();
+    let mut group = c.benchmark_group("ablation_bucket_width");
+    group.sample_size(10);
+    for d in [16usize, 64, 128, 512] {
+        let index = FmIndex::builder().bucket_width(d).build(&workload.reference);
+        group.bench_with_input(BenchmarkId::new("d", d), &d, |b, _| {
+            b.iter(|| index.backward_search(&read))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sa_sampling(c: &mut Criterion) {
+    let workload = Workload::clean(60_000, 1, 100, 23);
+    let read = workload.reads[0].clone();
+    let mut group = c.benchmark_group("ablation_sa_sampling");
+    group.sample_size(10);
+    for rate in [1u32, 4, 16, 64] {
+        let index = FmIndex::builder()
+            .bucket_width(128)
+            .sa_storage(if rate == 1 {
+                SaStorage::Full
+            } else {
+                SaStorage::Sampled(rate)
+            })
+            .build(&workload.reference);
+        group.bench_with_input(BenchmarkId::new("rate", rate), &rate, |b, _| {
+            b.iter(|| {
+                let hit = index.backward_search(&read).expect("clean read");
+                index.locate(hit)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_add_method(c: &mut Criterion) {
+    let workload = Workload::clean(40_000, 10, 100, 29);
+    let mut group = c.benchmark_group("ablation_add_method");
+    group.sample_size(10);
+    for (label, config) in [
+        ("method_i", PimAlignerConfig::baseline().with_method(AddMethod::InPlace)),
+        ("method_ii_pd1", {
+            // Method-II without pipelining isolates the duplication cost.
+            PimAlignerConfig::baseline().with_method(AddMethod::Mirrored)
+        }),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut aligner = PimAligner::new(&workload.reference, config.clone());
+                aligner.align_batch(&workload.reads).report
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_inexact_modes(c: &mut Criterion) {
+    // One substituted read so the inexact stage actually runs.
+    let workload = Workload::clean(20_000, 1, 60, 31);
+    let mut bases = workload.reads[0].clone().into_bases();
+    bases[30] = bioseq::Base::from_rank((bases[30].rank() + 1) % 4);
+    let mutated = DnaSeq::from_bases(bases);
+    let mut group = c.benchmark_group("ablation_inexact_mode");
+    group.sample_size(10);
+    for (label, exhaustive) in [("first_accept", false), ("exhaustive", true)] {
+        let config = PimAlignerConfig::baseline()
+            .with_max_diffs(1)
+            .with_indels(false)
+            .with_exhaustive_inexact(exhaustive);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut aligner = PimAligner::new(&workload.reference, config.clone());
+                aligner.align_read(&mutated)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bucket_width,
+    bench_sa_sampling,
+    bench_add_method,
+    bench_inexact_modes
+);
+criterion_main!(benches);

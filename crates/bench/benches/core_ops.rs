@@ -1,0 +1,65 @@
+//! Micro-benchmarks of the core algorithmic substrates, including the
+//! paper's O(m) vs O(n·m) contrast (FM-index backward search vs
+//! Smith–Waterman).
+
+use bench::Workload;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmindex::{suffix_array, suffix_array_naive, FmIndex, Text};
+use swalign::{smith_waterman, Scoring};
+
+fn bench_suffix_array(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suffix_array");
+    group.sample_size(10);
+    for len in [10_000usize, 50_000] {
+        let w = Workload::clean(len, 1, 100, 41);
+        let text = Text::from_reference(&w.reference);
+        group.bench_with_input(BenchmarkId::new("sais", len), &len, |b, _| {
+            b.iter(|| suffix_array(&text))
+        });
+        if len <= 10_000 {
+            group.bench_with_input(BenchmarkId::new("naive", len), &len, |b, _| {
+                b.iter(|| suffix_array_naive(&text))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_search_complexity_contrast(c: &mut Criterion) {
+    // Paper §II: FM-index backward search is O(m); Smith–Waterman is
+    // O(n·m). The gap must widen with n.
+    let mut group = c.benchmark_group("fm_vs_sw");
+    group.sample_size(10);
+    for n in [5_000usize, 20_000] {
+        let w = Workload::clean(n, 1, 100, 43);
+        let read = w.reads[0].clone();
+        let index = FmIndex::new(&w.reference);
+        group.bench_with_input(BenchmarkId::new("fm_index", n), &n, |b, _| {
+            b.iter(|| index.backward_search(&read))
+        });
+        group.bench_with_input(BenchmarkId::new("smith_waterman", n), &n, |b, _| {
+            b.iter(|| smith_waterman(&w.reference, &read, Scoring::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    for len in [20_000usize, 100_000] {
+        let w = Workload::clean(len, 1, 100, 47);
+        group.bench_with_input(BenchmarkId::new("fm_index_build", len), &len, |b, _| {
+            b.iter(|| FmIndex::new(&w.reference))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_suffix_array,
+    bench_search_complexity_contrast,
+    bench_index_build
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figs. 10a/10b/10c bench: off-chip memory, MBR and RUR series.
+
+use accel::{figure_series, Figure};
+use bench::{pim_platform_rows, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_memory_figures(c: &mut Criterion) {
+    // 160 reads > the chip's 144 parallel units, so the figure rows
+    // reflect the saturated operating point.
+    let workload = Workload::clean(60_000, 160, 100, 17);
+    let rows = pim_platform_rows(&workload);
+    let platforms = rows.full_platform_list();
+    let mut group = c.benchmark_group("fig10_memory");
+    group.sample_size(10);
+    group.bench_function("all_three_series", |b| {
+        b.iter(|| {
+            (
+                figure_series(Figure::OffchipMemoryFig10a, &platforms),
+                figure_series(Figure::MbrFig10b, &platforms),
+                figure_series(Figure::RurFig10c, &platforms),
+            )
+        })
+    });
+    group.finish();
+
+    // Fig. 10 shape checks on the simulated rows.
+    assert_eq!(rows.baseline.offchip_gb, 0.0);
+    assert!(rows.baseline.mbr_pct < 18.0, "MBR-n {:.1}", rows.baseline.mbr_pct);
+    assert!(rows.pipelined.mbr_pct < 18.0, "MBR-p {:.1}", rows.pipelined.mbr_pct);
+    let rur_p = rows.pipelined.rur_pct;
+    for p in &platforms {
+        if p.name != "PIM-Aligner-p" {
+            assert!(
+                p.rur_pct < rur_p,
+                "{} RUR {:.1} should trail PIM-Aligner-p {:.1}",
+                p.name,
+                p.rur_pct,
+                rur_p
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_memory_figures);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Fig. 5b bench: the Monte-Carlo sense-margin analysis.
+//!
+//! Measures the cost of regenerating the V_sense distributions at several
+//! trial counts (the paper uses 10 000) and for both oxide thicknesses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mram::device::CellParams;
+use mram::montecarlo;
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5b_monte_carlo");
+    group.sample_size(10);
+    for trials in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("trials", trials), &trials, |b, &t| {
+            b.iter(|| {
+                let report = montecarlo::run(&CellParams::default(), t, 42);
+                // Consume the result so the analysis is not optimised out
+                // and the figure's invariant holds under measurement.
+                assert!(report.read_margin_mv() > report.panel(3).worst_margin_mv());
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tox_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5b_tox_sweep");
+    group.sample_size(10);
+    for tox in [15u32, 17, 20] {
+        let tox_nm = tox as f64 / 10.0;
+        group.bench_with_input(BenchmarkId::new("tox_nm_x10", tox), &tox_nm, |b, &t| {
+            b.iter(|| montecarlo::run(&CellParams::default().with_tox_nm(t), 1_000, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_monte_carlo, bench_tox_sweep);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 7 bench: the multi-read pipeline.
+//!
+//! Measures batch alignment under PIM-Aligner-n vs PIM-Aligner-p on the
+//! same reads — the simulation-side cost of the pipeline bookkeeping —
+//! and checks the modelled ~40 % Pd = 2 gain while doing so.
+
+use bench::{simulate_config, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pim_aligner::PimAlignerConfig;
+
+fn bench_pipeline_configs(c: &mut Criterion) {
+    let workload = Workload::clean(60_000, 30, 100, 3);
+    let mut group = c.benchmark_group("fig7_pipeline");
+    group.sample_size(10);
+    group.bench_function("pim_aligner_n", |b| {
+        b.iter(|| simulate_config(&workload, PimAlignerConfig::baseline()))
+    });
+    group.bench_function("pim_aligner_p", |b| {
+        b.iter(|| simulate_config(&workload, PimAlignerConfig::pipelined()))
+    });
+    group.finish();
+
+    // Shape check recorded alongside the measurements.
+    let n = simulate_config(&workload, PimAlignerConfig::baseline());
+    let p = simulate_config(&workload, PimAlignerConfig::pipelined());
+    let gain = p.throughput_qps / n.throughput_qps;
+    assert!(
+        (1.25..1.60).contains(&gain),
+        "Pd=2 modelled gain {gain:.3} outside the paper's ~40% band"
+    );
+}
+
+criterion_group!(benches, bench_pipeline_configs);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figs. 8a/8b bench: producing the ten-platform power and throughput
+//! series, including the two simulated PIM-Aligner rows.
+
+use accel::{figure_series, Figure};
+use bench::{pim_platform_rows, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_platform_rows(c: &mut Criterion) {
+    // 160 reads > the chip's 144 parallel units, so the figure rows
+    // reflect the saturated operating point.
+    let workload = Workload::clean(60_000, 160, 100, 5);
+    let mut group = c.benchmark_group("fig8_power_throughput");
+    group.sample_size(10);
+    group.bench_function("simulate_pim_rows", |b| {
+        b.iter(|| pim_platform_rows(&workload))
+    });
+    let rows = pim_platform_rows(&workload);
+    let platforms = rows.full_platform_list();
+    group.bench_function("extract_series", |b| {
+        b.iter(|| {
+            (
+                figure_series(Figure::PowerFig8a, &platforms),
+                figure_series(Figure::ThroughputFig8b, &platforms),
+            )
+        })
+    });
+    group.finish();
+
+    // Fig. 8b shape: RaceLogic is the only platform out-throughputing
+    // PIM-Aligner-p ("the highest throughput compared with other
+    // platforms except RaceLogic").
+    let series = figure_series(Figure::ThroughputFig8b, &platforms);
+    let pim_p = series.iter().find(|(n, _)| n == "PIM-Aligner-p").unwrap().1;
+    for (name, value) in &series {
+        if name != "PIM-Aligner-p" && name != "RaceLogic" {
+            assert!(value < &pim_p, "{name} should trail PIM-Aligner-p");
+        }
+    }
+}
+
+criterion_group!(benches, bench_platform_rows);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figs. 9a/9b bench: throughput-per-watt and per-mm² series, with the
+//! paper's headline ratios asserted on the measured rows.
+
+use accel::{catalog, figure_series, Figure};
+use bench::{pim_platform_rows, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_efficiency_series(c: &mut Criterion) {
+    // 160 reads > the chip's 144 parallel units, so the figure rows
+    // reflect the saturated operating point.
+    let workload = Workload::clean(60_000, 160, 100, 9);
+    let rows = pim_platform_rows(&workload);
+    let platforms = rows.full_platform_list();
+    let mut group = c.benchmark_group("fig9_efficiency");
+    group.sample_size(10);
+    group.bench_function("throughput_per_watt_series", |b| {
+        b.iter(|| figure_series(Figure::ThroughputPerWattFig9a, &platforms))
+    });
+    group.bench_function("per_mm2_series", |b| {
+        b.iter(|| figure_series(Figure::ThroughputPerWattMm2Fig9b, &platforms))
+    });
+    group.finish();
+
+    // Headline ratios, end-to-end from the simulator.
+    let tpw = |name: &str| {
+        catalog()
+            .iter()
+            .find(|p| p.name == name)
+            .unwrap()
+            .throughput_per_watt()
+    };
+    let pim_n = rows.baseline.throughput_per_watt();
+    let race = pim_n / tpw("RaceLogic");
+    assert!((2.5..3.8).contains(&race), "RaceLogic T/W ratio {race:.2} (paper ~3.1x)");
+    let asic_area = rows.baseline.throughput_per_watt_mm2()
+        / catalog()
+            .iter()
+            .find(|p| p.name == "ASIC")
+            .unwrap()
+            .throughput_per_watt_mm2();
+    assert!((7.0..11.0).contains(&asic_area), "ASIC T/W/mm2 ratio {asic_area:.2} (paper ~9x)");
+}
+
+criterion_group!(benches, bench_efficiency_series);
+criterion_main!(benches);

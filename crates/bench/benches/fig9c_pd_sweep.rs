@@ -1,0 +1,42 @@
+//! Fig. 9c bench: the power/throughput trade-off versus parallelism
+//! degree `Pd` ∈ 1..=4.
+
+use bench::{simulate_config, Workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pim_aligner::PimAlignerConfig;
+
+fn bench_pd_sweep(c: &mut Criterion) {
+    let workload = Workload::clean(60_000, 30, 100, 13);
+    let mut group = c.benchmark_group("fig9c_pd_sweep");
+    group.sample_size(10);
+    for pd in 1usize..=4 {
+        group.bench_with_input(BenchmarkId::new("pd", pd), &pd, |b, &pd| {
+            let config = if pd == 1 {
+                PimAlignerConfig::baseline()
+            } else {
+                PimAlignerConfig::pipelined().with_pd(pd)
+            };
+            b.iter(|| simulate_config(&workload, config.clone()))
+        });
+    }
+    group.finish();
+
+    // Fig. 9c shape: throughput and power both rise with Pd.
+    let mut prev_t = 0.0;
+    let mut prev_p = 0.0;
+    for pd in 1usize..=4 {
+        let config = if pd == 1 {
+            PimAlignerConfig::baseline()
+        } else {
+            PimAlignerConfig::pipelined().with_pd(pd)
+        };
+        let r = simulate_config(&workload, config);
+        assert!(r.throughput_qps >= prev_t, "throughput fell at Pd={pd}");
+        assert!(r.total_power_w >= prev_p, "power fell at Pd={pd}");
+        prev_t = r.throughput_qps;
+        prev_p = r.total_power_w;
+    }
+}
+
+criterion_group!(benches, bench_pd_sweep);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Bridging the simulator to the figure rows: runs PIM-Aligner-n and
+//! PIM-Aligner-p on a workload and converts their reports into
+//! [`accel::Platform`] entries.
+
+use accel::{Platform, PlatformClass};
+use pim_aligner::{PerfReport, PimAligner, PimAlignerConfig};
+
+use crate::workload::Workload;
+
+/// The two simulated PIM-Aligner rows plus their raw reports.
+#[derive(Debug, Clone)]
+pub struct PimRows {
+    /// PIM-Aligner-n (baseline) as a figure row.
+    pub baseline: Platform,
+    /// PIM-Aligner-p (Pd = 2) as a figure row.
+    pub pipelined: Platform,
+    /// Raw baseline report.
+    pub baseline_report: PerfReport,
+    /// Raw pipelined report.
+    pub pipelined_report: PerfReport,
+}
+
+/// Runs one configuration over the workload and returns its report.
+pub fn simulate_config(workload: &Workload, config: PimAlignerConfig) -> PerfReport {
+    let mut aligner = PimAligner::new(&workload.reference, config);
+    aligner.align_batch(&workload.reads).report
+}
+
+/// Converts a report into a figure row.
+fn to_platform(name: &str, report: &PerfReport) -> Platform {
+    Platform::from_measurements(
+        name,
+        PlatformClass::FmIndex,
+        report.total_power_w,
+        report.throughput_qps,
+        report.area_mm2,
+        report.offchip_gb,
+        report.mbr_pct,
+        report.rur_pct,
+    )
+}
+
+/// Simulates both paper configurations on the workload.
+pub fn pim_platform_rows(workload: &Workload) -> PimRows {
+    let baseline_report = simulate_config(workload, PimAlignerConfig::baseline());
+    let pipelined_report = simulate_config(workload, PimAlignerConfig::pipelined());
+    PimRows {
+        baseline: to_platform("PIM-Aligner-n", &baseline_report),
+        pipelined: to_platform("PIM-Aligner-p", &pipelined_report),
+        baseline_report,
+        pipelined_report,
+    }
+}
+
+impl PimRows {
+    /// The full ten-platform list in the paper's figure order (the eight
+    /// published accelerators followed by the two PIM-Aligner variants).
+    pub fn full_platform_list(&self) -> Vec<Platform> {
+        let mut list = accel::catalog();
+        list.push(self.baseline.clone());
+        list.push(self.pipelined.clone());
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+
+    fn rows() -> PimRows {
+        // Small but representative: two sub-arrays, both stages hit.
+        let w = Workload::clean(60_000, 40, 100, 7);
+        pim_platform_rows(&w)
+    }
+
+    #[test]
+    fn produces_ten_platform_list() {
+        let r = rows();
+        let list = r.full_platform_list();
+        assert_eq!(list.len(), 10);
+        assert_eq!(list[8].name, "PIM-Aligner-n");
+        assert_eq!(list[9].name, "PIM-Aligner-p");
+    }
+
+    #[test]
+    fn pipelined_row_beats_baseline_throughput() {
+        let r = rows();
+        assert!(r.pipelined.throughput_qps > r.baseline.throughput_qps);
+        assert!(r.pipelined.power_w > r.baseline.power_w);
+    }
+
+    #[test]
+    fn simulated_rows_reproduce_headline_ratios() {
+        // The paper's headline claims, end to end from the simulator:
+        // 3.1× T/W over RaceLogic, ~2× over ASIC, ~9×/1.9× area-normalised.
+        let r = rows();
+        let catalog = accel::catalog();
+        let tpw = |name: &str| {
+            catalog
+                .iter()
+                .find(|p| p.name == name)
+                .unwrap()
+                .throughput_per_watt()
+        };
+        let pim = r.baseline.throughput_per_watt();
+        let race = pim / tpw("RaceLogic");
+        assert!((2.5..3.8).contains(&race), "RaceLogic ratio {race:.2}");
+        let asic = pim / tpw("ASIC");
+        assert!((1.6..2.6).contains(&asic), "ASIC ratio {asic:.2}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Plain-text table rendering for the `experiments` binary.
+
+/// Renders a two-column `(label, value)` series as an aligned table with
+/// a title line.
+pub fn render_series(title: &str, series: &[(String, f64)]) -> String {
+    let width = series
+        .iter()
+        .map(|(name, _)| name.len())
+        .max()
+        .unwrap_or(4)
+        .max(8);
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&"-".repeat(title.len()));
+    out.push('\n');
+    for (name, value) in series {
+        out.push_str(&format!("{name:<width$}  {}\n", format_value(*value)));
+    }
+    out
+}
+
+/// Formats a value compactly: scientific for large magnitudes, fixed for
+/// small ones.
+pub fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 1e5 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Renders a multi-column table: header row plus rows of cells.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&"-".repeat(title.len()));
+    out.push('\n');
+    for (i, h) in header.iter().enumerate() {
+        out.push_str(&format!("{h:<w$}  ", w = widths[i]));
+    }
+    out.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            out.push_str(&format!("{cell:<w$}  ", w = widths[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_renders_aligned() {
+        let s = vec![("Darwin".to_owned(), 100.0), ("GPU".to_owned(), 1.8e5)];
+        let text = render_series("Fig. 8a", &s);
+        assert!(text.contains("Darwin"));
+        assert!(text.contains("1.800e5"));
+    }
+
+    #[test]
+    fn value_formatting_ranges() {
+        assert_eq!(format_value(0.0), "0");
+        assert_eq!(format_value(3.2), "3.200");
+        assert_eq!(format_value(123.4), "123.4");
+        assert!(format_value(1.0e7).contains('e'));
+        assert!(format_value(1.0e-5).contains('e'));
+    }
+
+    #[test]
+    fn table_renders_header_and_rows() {
+        let text = render_table(
+            "t",
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        assert!(text.contains("bbbb"));
+        assert!(text.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,115 @@
+//! The evaluation workload, scaled from the paper's setup.
+//!
+//! Paper §VI: 10 M × 100 bp reads simulated with ART against Hg19
+//! (3.2 Gbp), 0.1 % population variation, 0.2 % sequencing error. The
+//! simulated platform's throughput/power are *intensive* quantities
+//! (per-LFM rates), so a scaled-down batch over a synthetic genome
+//! produces the same figure values; `Workload::paper_scaled` picks the
+//! scale.
+
+use bioseq::DnaSeq;
+use readsim::{genome, ReadSimulator, SimProfile};
+
+/// A reference genome plus a simulated read set.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The indexed reference.
+    pub reference: DnaSeq,
+    /// The reads to align (forward-strand templates; the aligner is
+    /// forward-only, matching the backward-search formulation).
+    pub reads: Vec<DnaSeq>,
+    /// Ground-truth donor positions, parallel to `reads`.
+    pub truth: Vec<usize>,
+}
+
+impl Workload {
+    /// Builds a workload with the paper's read statistics at a chosen
+    /// scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `genome_len < read_len` or `read_count == 0`.
+    pub fn paper_scaled(genome_len: usize, read_count: usize, read_len: usize, seed: u64) -> Workload {
+        Workload::with_profile(
+            genome_len,
+            SimProfile::paper_defaults()
+                .read_count(read_count)
+                .read_len(read_len)
+                .forward_only(),
+            seed,
+        )
+    }
+
+    /// Builds an error-free, variant-free workload: every read aligns in
+    /// the exact stage. This is the workload behind the comparison-figure
+    /// rows — the paper's throughput model prices the O(m) exact search
+    /// (see EXPERIMENTS.md, "figure-row workload").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `genome_len < read_len` or `read_count == 0`.
+    pub fn clean(genome_len: usize, read_count: usize, read_len: usize, seed: u64) -> Workload {
+        Workload::with_profile(
+            genome_len,
+            SimProfile::paper_defaults()
+                .read_count(read_count)
+                .read_len(read_len)
+                .error_rate(0.0)
+                .variants(readsim::variant::VariantProfile {
+                    rate: 0.0,
+                    ..Default::default()
+                })
+                .forward_only(),
+            seed,
+        )
+    }
+
+    fn with_profile(genome_len: usize, profile: SimProfile, seed: u64) -> Workload {
+        assert!(profile.count > 0, "at least one read required");
+        let reference = genome::uniform(genome_len, seed);
+        let sim = ReadSimulator::new(profile, seed ^ 0xbead).simulate(&reference);
+        let (reads, truth) = sim
+            .reads
+            .into_iter()
+            .map(|r| (r.seq, r.donor_pos))
+            .unzip();
+        Workload {
+            reference,
+            reads,
+            truth,
+        }
+    }
+}
+
+/// The default experiment workload: 200 kbp genome, 300 × 100 bp reads —
+/// large enough to exercise multiple sub-arrays and both alignment
+/// stages, small enough for CI.
+pub fn paper_workload(seed: u64) -> Workload {
+    Workload::paper_scaled(200_000, 300, 100, seed)
+}
+
+/// The figure-row workload: same scale, exact-stage reads only.
+pub fn figure_workload(seed: u64) -> Workload {
+    Workload::clean(200_000, 300, 100, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_shape() {
+        let w = Workload::paper_scaled(50_000, 40, 100, 1);
+        assert_eq!(w.reference.len(), 50_000);
+        assert_eq!(w.reads.len(), 40);
+        assert_eq!(w.truth.len(), 40);
+        assert!(w.reads.iter().all(|r| r.len() == 100));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Workload::paper_scaled(10_000, 10, 50, 2);
+        let b = Workload::paper_scaled(10_000, 10, 50, 2);
+        assert_eq!(a.reads, b.reads);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types for sequence parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing text into DNA sequences or records.
+///
+/// # Examples
+///
+/// ```
+/// use bioseq::DnaSeq;
+///
+/// let err = "ACGN".parse::<DnaSeq>().unwrap_err();
+/// assert!(err.to_string().contains('N'));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSeqError {
+    kind: ErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ErrorKind {
+    /// A character outside `{A, C, G, T}` (case-insensitive).
+    BadChar(char),
+    /// A structural problem in a FASTA/FASTQ stream.
+    Format(String),
+}
+
+impl ParseSeqError {
+    pub(crate) fn bad_char(c: char) -> Self {
+        ParseSeqError {
+            kind: ErrorKind::BadChar(c),
+        }
+    }
+
+    pub(crate) fn format(msg: impl Into<String>) -> Self {
+        ParseSeqError {
+            kind: ErrorKind::Format(msg.into()),
+        }
+    }
+
+    /// The offending character, when the error was caused by one.
+    pub fn bad_character(&self) -> Option<char> {
+        match self.kind {
+            ErrorKind::BadChar(c) => Some(c),
+            ErrorKind::Format(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for ParseSeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ErrorKind::BadChar(c) => {
+                write!(f, "invalid nucleotide character {c:?} (expected A/C/G/T)")
+            }
+            ErrorKind::Format(msg) => write!(f, "malformed sequence record: {msg}"),
+        }
+    }
+}
+
+impl Error for ParseSeqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offender() {
+        let e = ParseSeqError::bad_char('N');
+        assert!(e.to_string().contains('N'));
+        assert_eq!(e.bad_character(), Some('N'));
+    }
+
+    #[test]
+    fn format_error_has_message() {
+        let e = ParseSeqError::format("missing '>' header");
+        assert!(e.to_string().contains("missing '>' header"));
+        assert_eq!(e.bad_character(), None);
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParseSeqError>();
+    }
+}

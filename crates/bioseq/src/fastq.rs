@@ -1,0 +1,191 @@
+//! Minimal FASTQ reading and writing.
+//!
+//! Four-line records (`@id`, sequence, `+`, quality) with Sanger-offset
+//! qualities — the format the ART-style read simulator emits.
+//!
+//! # Examples
+//!
+//! ```
+//! use bioseq::fastq;
+//!
+//! # fn main() -> Result<(), bioseq::ParseSeqError> {
+//! let text = "@read1\nACGT\n+\nIIII\n";
+//! let records = fastq::parse(text)?;
+//! assert_eq!(records[0].id(), "read1");
+//! assert_eq!(records[0].seq().to_string(), "ACGT");
+//! assert_eq!(fastq::to_string(&records), text);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::quality::QualityString;
+use crate::{DnaSeq, ParseSeqError};
+
+/// One FASTQ record: identifier, sequence, and per-base qualities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    id: String,
+    seq: DnaSeq,
+    quality: QualityString,
+}
+
+impl Record {
+    /// Creates a record from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence and quality lengths differ, or if `id`
+    /// contains whitespace.
+    pub fn new(id: impl Into<String>, seq: DnaSeq, quality: QualityString) -> Self {
+        let id = id.into();
+        assert!(
+            !id.chars().any(char::is_whitespace),
+            "FASTQ record id must not contain whitespace"
+        );
+        assert_eq!(
+            seq.len(),
+            quality.len(),
+            "sequence and quality lengths must match"
+        );
+        Record { id, seq, quality }
+    }
+
+    /// The record identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The sequence.
+    pub fn seq(&self) -> &DnaSeq {
+        &self.seq
+    }
+
+    /// The per-base quality scores.
+    pub fn quality(&self) -> &QualityString {
+        &self.quality
+    }
+
+    /// Consumes the record, returning `(id, sequence, qualities)`.
+    pub fn into_parts(self) -> (String, DnaSeq, QualityString) {
+        (self.id, self.seq, self.quality)
+    }
+}
+
+/// Parses FASTQ text into records.
+///
+/// # Errors
+///
+/// Returns [`ParseSeqError`] on structural problems (truncated record,
+/// missing `@`/`+`, length mismatch) or invalid sequence/quality characters.
+pub fn parse(text: &str) -> Result<Vec<Record>, ParseSeqError> {
+    let mut lines = text.lines();
+    let mut records = Vec::new();
+    loop {
+        let Some(header) = lines.next() else { break };
+        if header.trim().is_empty() {
+            continue;
+        }
+        let id = header
+            .strip_prefix('@')
+            .ok_or_else(|| ParseSeqError::format("FASTQ record must start with '@'"))?
+            .split_whitespace()
+            .next()
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| ParseSeqError::format("empty FASTQ header"))?
+            .to_owned();
+        let seq_line = lines
+            .next()
+            .ok_or_else(|| ParseSeqError::format("truncated FASTQ record: missing sequence"))?;
+        let plus = lines
+            .next()
+            .ok_or_else(|| ParseSeqError::format("truncated FASTQ record: missing '+'"))?;
+        if !plus.starts_with('+') {
+            return Err(ParseSeqError::format("FASTQ separator line must start with '+'"));
+        }
+        let qual_line = lines
+            .next()
+            .ok_or_else(|| ParseSeqError::format("truncated FASTQ record: missing quality"))?;
+        let seq: DnaSeq = seq_line.parse()?;
+        let quality = QualityString::from_fastq(qual_line)
+            .ok_or_else(|| ParseSeqError::format("invalid quality character"))?;
+        if seq.len() != quality.len() {
+            return Err(ParseSeqError::format(
+                "sequence and quality lengths differ",
+            ));
+        }
+        records.push(Record { id, seq, quality });
+    }
+    Ok(records)
+}
+
+/// Serialises records to FASTQ text.
+pub fn to_string(records: &[Record]) -> String {
+    let mut out = String::new();
+    for r in records {
+        writeln!(out, "@{}", r.id).expect("write to String");
+        writeln!(out, "{}", r.seq).expect("write to String");
+        out.push_str("+\n");
+        writeln!(out, "{}", r.quality.to_fastq()).expect("write to String");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::Phred;
+
+    fn sample() -> Record {
+        Record::new(
+            "r1",
+            "ACGT".parse().unwrap(),
+            vec![Phred::new(40); 4].into(),
+        )
+    }
+
+    #[test]
+    fn round_trip() {
+        let recs = vec![sample()];
+        let text = to_string(&recs);
+        assert_eq!(parse(&text).unwrap(), recs);
+    }
+
+    #[test]
+    fn parse_multiple_records() {
+        let text = "@a\nAC\n+\nII\n@b\nGT\n+\nII\n";
+        let recs = parse(text).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].id(), "b");
+    }
+
+    #[test]
+    fn header_description_is_dropped_from_id() {
+        let recs = parse("@read1 simulated from chr1:100\nAC\n+\nII\n").unwrap();
+        assert_eq!(recs[0].id(), "read1");
+    }
+
+    #[test]
+    fn rejects_missing_at() {
+        assert!(parse("read1\nAC\n+\nII\n").is_err());
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        assert!(parse("@r\nACG\n+\nII\n").is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        assert!(parse("@r\nACG\n+\n").is_err());
+        assert!(parse("@r\nACG\n").is_err());
+        assert!(parse("@r\n").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn constructor_validates_lengths() {
+        let _ = Record::new("r", "ACGT".parse().unwrap(), QualityString::new());
+    }
+}

@@ -1,0 +1,206 @@
+//! Phred quality scores for sequencing reads.
+//!
+//! The ART-style read simulator attaches a quality score to every base; the
+//! score encodes the per-base error probability `p = 10^(-Q/10)` and is
+//! serialised in FASTQ as `Q + 33` ASCII (Sanger offset).
+
+use std::fmt;
+
+/// A Phred-scaled base quality score.
+///
+/// # Examples
+///
+/// ```
+/// use bioseq::quality::Phred;
+///
+/// let q30 = Phred::new(30);
+/// assert!((q30.error_probability() - 1e-3).abs() < 1e-12);
+/// assert_eq!(q30.to_ascii(), b'?');
+/// assert_eq!(Phred::from_ascii(b'?').unwrap(), q30);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Phred(u8);
+
+impl Phred {
+    /// Highest representable score (`'~'` in Sanger FASTQ).
+    pub const MAX: Phred = Phred(93);
+
+    /// Creates a score, clamping to [`Phred::MAX`].
+    pub fn new(q: u8) -> Self {
+        Phred(q.min(93))
+    }
+
+    /// Creates the score whose error probability is closest to `p`
+    /// (clamped to the representable range).
+    pub fn from_error_probability(p: f64) -> Self {
+        if p <= 0.0 {
+            return Phred::MAX;
+        }
+        let q = (-10.0 * p.log10()).round();
+        Phred::new(q.clamp(0.0, 93.0) as u8)
+    }
+
+    /// The raw Phred value.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// The error probability `10^(-Q/10)`.
+    pub fn error_probability(self) -> f64 {
+        10f64.powf(-(self.0 as f64) / 10.0)
+    }
+
+    /// Sanger-offset ASCII encoding (`Q + 33`).
+    pub fn to_ascii(self) -> u8 {
+        self.0 + 33
+    }
+
+    /// Parses a Sanger-offset ASCII byte.
+    ///
+    /// Returns `None` when the byte is outside `'!'..='~'`.
+    pub fn from_ascii(byte: u8) -> Option<Self> {
+        if (33..=126).contains(&byte) {
+            Some(Phred(byte - 33))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Phred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+
+/// A per-read quality string.
+///
+/// # Examples
+///
+/// ```
+/// use bioseq::quality::{Phred, QualityString};
+///
+/// let qs: QualityString = vec![Phred::new(30); 4].into();
+/// assert_eq!(qs.to_fastq(), "????");
+/// assert_eq!(QualityString::from_fastq("????").unwrap(), qs);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QualityString {
+    scores: Vec<Phred>,
+}
+
+impl QualityString {
+    /// Creates an empty quality string.
+    pub fn new() -> Self {
+        QualityString { scores: Vec::new() }
+    }
+
+    /// Number of scores.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Borrow the scores.
+    pub fn as_slice(&self) -> &[Phred] {
+        &self.scores
+    }
+
+    /// Appends a score.
+    pub fn push(&mut self, q: Phred) {
+        self.scores.push(q);
+    }
+
+    /// Serialises to a Sanger-offset FASTQ quality line.
+    pub fn to_fastq(&self) -> String {
+        self.scores.iter().map(|q| q.to_ascii() as char).collect()
+    }
+
+    /// Parses a Sanger-offset FASTQ quality line.
+    ///
+    /// Returns `None` when any byte is out of range.
+    pub fn from_fastq(line: &str) -> Option<Self> {
+        line.bytes()
+            .map(Phred::from_ascii)
+            .collect::<Option<Vec<_>>>()
+            .map(|scores| QualityString { scores })
+    }
+
+    /// Mean error probability across the read (0 for an empty string).
+    pub fn mean_error_probability(&self) -> f64 {
+        if self.scores.is_empty() {
+            return 0.0;
+        }
+        self.scores
+            .iter()
+            .map(|q| q.error_probability())
+            .sum::<f64>()
+            / self.scores.len() as f64
+    }
+}
+
+impl From<Vec<Phred>> for QualityString {
+    fn from(scores: Vec<Phred>) -> Self {
+        QualityString { scores }
+    }
+}
+
+impl FromIterator<Phred> for QualityString {
+    fn from_iter<I: IntoIterator<Item = Phred>>(iter: I) -> Self {
+        QualityString {
+            scores: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phred_probability_round_trip() {
+        for q in [0u8, 10, 20, 30, 40, 60, 93] {
+            let p = Phred::new(q);
+            assert_eq!(Phred::from_error_probability(p.error_probability()), p);
+        }
+    }
+
+    #[test]
+    fn phred_clamps_to_max() {
+        assert_eq!(Phred::new(200), Phred::MAX);
+        assert_eq!(Phred::from_error_probability(0.0), Phred::MAX);
+    }
+
+    #[test]
+    fn q10_means_ten_percent_error() {
+        assert!((Phred::new(10).error_probability() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ascii_round_trip() {
+        for q in 0..=93u8 {
+            let p = Phred::new(q);
+            assert_eq!(Phred::from_ascii(p.to_ascii()), Some(p));
+        }
+        assert_eq!(Phred::from_ascii(b' '), None);
+        assert_eq!(Phred::from_ascii(127), None);
+    }
+
+    #[test]
+    fn quality_string_fastq_round_trip() {
+        let qs: QualityString = (0..40).map(Phred::new).collect();
+        assert_eq!(QualityString::from_fastq(&qs.to_fastq()), Some(qs));
+    }
+
+    #[test]
+    fn mean_error_probability() {
+        let qs: QualityString = vec![Phred::new(10), Phred::new(20)].into();
+        let expected = (0.1 + 0.01) / 2.0;
+        assert!((qs.mean_error_probability() - expected).abs() < 1e-12);
+        assert_eq!(QualityString::new().mean_error_probability(), 0.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Owned, unpacked DNA sequences.
+
+use std::fmt;
+use std::ops::{Index, Range};
+use std::str::FromStr;
+
+use crate::{Base, PackedSeq, ParseSeqError};
+
+/// An owned DNA sequence stored one [`Base`] per byte.
+///
+/// `DnaSeq` is the working representation used by the software algorithms
+/// (suffix-array construction, backward search, dynamic programming).
+/// The PIM platform instead stores sequences 2-bit packed — convert with
+/// [`DnaSeq::to_packed`] / [`PackedSeq::to_dna_seq`].
+///
+/// # Examples
+///
+/// ```
+/// use bioseq::{Base, DnaSeq};
+///
+/// # fn main() -> Result<(), bioseq::ParseSeqError> {
+/// let s: DnaSeq = "CTA".parse()?;
+/// assert_eq!(s.to_string(), "CTA");
+/// assert_eq!(s.reverse_complement().to_string(), "TAG");
+/// assert_eq!(s.iter().filter(|&&b| b == Base::T).count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DnaSeq {
+    bases: Vec<Base>,
+}
+
+impl DnaSeq {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        DnaSeq { bases: Vec::new() }
+    }
+
+    /// Creates an empty sequence with room for `capacity` bases.
+    pub fn with_capacity(capacity: usize) -> Self {
+        DnaSeq {
+            bases: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Wraps an existing base vector.
+    pub fn from_bases(bases: Vec<Base>) -> Self {
+        DnaSeq { bases }
+    }
+
+    /// Parses an ASCII byte slice (case-insensitive `ACGT`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSeqError`] on the first non-ACGT byte.
+    pub fn from_ascii(ascii: &[u8]) -> Result<Self, ParseSeqError> {
+        ascii.iter().map(|&b| Base::try_from(b)).collect()
+    }
+
+    /// Number of bases.
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// `true` when the sequence holds no bases.
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// Borrow the bases as a slice.
+    pub fn as_slice(&self) -> &[Base] {
+        &self.bases
+    }
+
+    /// The base at `index`, or `None` when out of bounds.
+    pub fn get(&self, index: usize) -> Option<Base> {
+        self.bases.get(index).copied()
+    }
+
+    /// Appends one base.
+    pub fn push(&mut self, base: Base) {
+        self.bases.push(base);
+    }
+
+    /// Iterates over the bases.
+    pub fn iter(&self) -> std::slice::Iter<'_, Base> {
+        self.bases.iter()
+    }
+
+    /// A sub-sequence copy over `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn subseq(&self, range: Range<usize>) -> DnaSeq {
+        DnaSeq {
+            bases: self.bases[range].to_vec(),
+        }
+    }
+
+    /// The reverse complement (the opposite genome strand, paper §I).
+    pub fn reverse_complement(&self) -> DnaSeq {
+        DnaSeq {
+            bases: self.bases.iter().rev().map(|b| b.complement()).collect(),
+        }
+    }
+
+    /// Converts to the 2-bit packed representation used by the PIM platform.
+    pub fn to_packed(&self) -> PackedSeq {
+        self.bases.iter().copied().collect()
+    }
+
+    /// Consumes the sequence, returning the underlying base vector.
+    pub fn into_bases(self) -> Vec<Base> {
+        self.bases
+    }
+
+    /// Hamming distance to `other` (number of mismatching positions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequences have different lengths.
+    pub fn hamming_distance(&self, other: &DnaSeq) -> usize {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "hamming distance requires equal-length sequences"
+        );
+        self.iter()
+            .zip(other.iter())
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+}
+
+impl FromStr for DnaSeq {
+    type Err = ParseSeqError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.chars().map(Base::from_char).collect()
+    }
+}
+
+impl fmt::Display for DnaSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.bases {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Index<usize> for DnaSeq {
+    type Output = Base;
+
+    fn index(&self, index: usize) -> &Base {
+        &self.bases[index]
+    }
+}
+
+impl FromIterator<Base> for DnaSeq {
+    fn from_iter<I: IntoIterator<Item = Base>>(iter: I) -> Self {
+        DnaSeq {
+            bases: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Base> for DnaSeq {
+    fn extend<I: IntoIterator<Item = Base>>(&mut self, iter: I) {
+        self.bases.extend(iter);
+    }
+}
+
+impl From<Vec<Base>> for DnaSeq {
+    fn from(bases: Vec<Base>) -> Self {
+        DnaSeq { bases }
+    }
+}
+
+impl AsRef<[Base]> for DnaSeq {
+    fn as_ref(&self) -> &[Base] {
+        &self.bases
+    }
+}
+
+impl<'a> IntoIterator for &'a DnaSeq {
+    type Item = &'a Base;
+    type IntoIter = std::slice::Iter<'a, Base>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.bases.iter()
+    }
+}
+
+impl IntoIterator for DnaSeq {
+    type Item = Base;
+    type IntoIter = std::vec::IntoIter<Base>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.bases.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let s: DnaSeq = "TGCTA".parse().unwrap();
+        assert_eq!(s.to_string(), "TGCTA");
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn parse_rejects_ambiguity_codes() {
+        assert!("ACGTN".parse::<DnaSeq>().is_err());
+        assert!("AC-GT".parse::<DnaSeq>().is_err());
+    }
+
+    #[test]
+    fn lowercase_accepted() {
+        let s: DnaSeq = "acgt".parse().unwrap();
+        assert_eq!(s.to_string(), "ACGT");
+    }
+
+    #[test]
+    fn reverse_complement_is_involution() {
+        let s: DnaSeq = "GATTACA".parse().unwrap();
+        assert_eq!(s.reverse_complement().reverse_complement(), s);
+    }
+
+    #[test]
+    fn reverse_complement_known_value() {
+        let s: DnaSeq = "ATCG".parse().unwrap();
+        assert_eq!(s.reverse_complement().to_string(), "CGAT");
+    }
+
+    #[test]
+    fn subseq_extracts_range() {
+        let s: DnaSeq = "TGCTA".parse().unwrap();
+        assert_eq!(s.subseq(2..5).to_string(), "CTA");
+    }
+
+    #[test]
+    fn hamming_counts_mismatches() {
+        let a: DnaSeq = "ACGT".parse().unwrap();
+        let b: DnaSeq = "AGGA".parse().unwrap();
+        assert_eq!(a.hamming_distance(&b), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn hamming_panics_on_length_mismatch() {
+        let a: DnaSeq = "ACGT".parse().unwrap();
+        let b: DnaSeq = "ACG".parse().unwrap();
+        let _ = a.hamming_distance(&b);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut s: DnaSeq = [Base::A, Base::C].into_iter().collect();
+        s.extend([Base::G, Base::T]);
+        assert_eq!(s.to_string(), "ACGT");
+    }
+
+    #[test]
+    fn empty_sequence_behaves() {
+        let s = DnaSeq::new();
+        assert!(s.is_empty());
+        assert_eq!(s.to_string(), "");
+        assert_eq!(s.get(0), None);
+    }
+
+    #[test]
+    fn from_ascii_matches_from_str() {
+        let a = DnaSeq::from_ascii(b"ACGT").unwrap();
+        let b: DnaSeq = "ACGT".parse().unwrap();
+        assert_eq!(a, b);
+    }
+}

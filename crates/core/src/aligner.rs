@@ -1,0 +1,390 @@
+//! The end-to-end PIM-Aligner: two-stage alignment plus performance
+//! reporting.
+
+use bioseq::DnaSeq;
+use pimsim::{CycleLedger, Dpu};
+
+use crate::config::PimAlignerConfig;
+use crate::exact::exact_search;
+use crate::inexact::inexact_search;
+use crate::mapping::MappedIndex;
+use crate::report::PerfReport;
+
+/// Which orientation of the read produced a mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappedStrand {
+    /// The read mapped as given.
+    Forward,
+    /// The read mapped as its reverse complement.
+    Reverse,
+}
+
+/// The outcome of aligning one read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlignmentOutcome {
+    /// The read matched the reference exactly (stage 1); positions are
+    /// sorted reference coordinates.
+    Exact {
+        /// Sorted reference positions of all exact occurrences.
+        positions: Vec<usize>,
+    },
+    /// The read matched with `diffs > 0` differences (stage 2).
+    Inexact {
+        /// Sorted reference positions of the best (fewest-difference)
+        /// hits.
+        positions: Vec<usize>,
+        /// Differences used by the best hits.
+        diffs: u8,
+    },
+    /// No alignment within the configured budget.
+    Unmapped,
+}
+
+impl AlignmentOutcome {
+    /// `true` unless the read is unmapped.
+    pub fn is_mapped(&self) -> bool {
+        !matches!(self, AlignmentOutcome::Unmapped)
+    }
+
+    /// The best positions, if mapped.
+    pub fn positions(&self) -> Option<&[usize]> {
+        match self {
+            AlignmentOutcome::Exact { positions }
+            | AlignmentOutcome::Inexact { positions, .. } => Some(positions),
+            AlignmentOutcome::Unmapped => None,
+        }
+    }
+}
+
+/// The result of aligning a batch of reads.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Per-read outcomes, in input order.
+    pub outcomes: Vec<AlignmentOutcome>,
+    /// The platform performance report for the batch.
+    pub report: PerfReport,
+    /// Fraction of reads resolved by the exact stage (paper §III: "up to
+    /// ∼70% of short reads should be exactly aligned … after stage one").
+    pub exact_fraction: f64,
+}
+
+/// The PIM-Aligner platform: an FM-index mapped into simulated SOT-MRAM
+/// computational sub-arrays, executing the paper's two-stage alignment.
+///
+/// # Examples
+///
+/// ```
+/// use bioseq::DnaSeq;
+/// use pim_aligner::{AlignmentOutcome, PimAligner, PimAlignerConfig};
+///
+/// # fn main() -> Result<(), bioseq::ParseSeqError> {
+/// let reference: DnaSeq = "TGCTA".parse()?;
+/// let mut aligner = PimAligner::new(&reference, PimAlignerConfig::baseline());
+/// let outcome = aligner.align_read(&"CTA".parse()?);
+/// assert_eq!(outcome, AlignmentOutcome::Exact { positions: vec![2] });
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PimAligner {
+    reference: DnaSeq,
+    mapped: MappedIndex,
+    config: PimAlignerConfig,
+    dpu: Dpu,
+    ledger: CycleLedger,
+    lfm_calls: u64,
+    queries: u64,
+    exact_hits: u64,
+}
+
+impl PimAligner {
+    /// Builds the platform over a reference genome (index construction +
+    /// sub-array mapping; the one-time cost is kept in the mapping
+    /// ledger).
+    pub fn new(reference: &DnaSeq, config: PimAlignerConfig) -> PimAligner {
+        let mapped = MappedIndex::build(reference, &config);
+        let dpu = Dpu::new(*config.model());
+        PimAligner {
+            reference: reference.clone(),
+            mapped,
+            config,
+            dpu,
+            ledger: CycleLedger::new(),
+            lfm_calls: 0,
+            queries: 0,
+            exact_hits: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PimAlignerConfig {
+        &self.config
+    }
+
+    /// The mapped index (sub-arrays + software ground truth).
+    pub fn mapped(&self) -> &MappedIndex {
+        &self.mapped
+    }
+
+    /// The indexed reference genome (kept for seed-and-extend windows).
+    pub fn reference(&self) -> &DnaSeq {
+        &self.reference
+    }
+
+    /// Mutable access to the platform internals (mapped index, DPU and
+    /// the alignment-time ledger) for composed engines such as
+    /// [`seed_and_extend`](crate::seed_and_extend) that issue their own
+    /// platform searches.
+    pub fn platform_parts(
+        &mut self,
+    ) -> (&mut MappedIndex, &mut Dpu, &mut CycleLedger) {
+        (&mut self.mapped, &mut self.dpu, &mut self.ledger)
+    }
+
+    /// Aligns one read: exact stage first, then — if it fails — the
+    /// inexact stage with the configured difference budget.
+    pub fn align_read(&mut self, read: &DnaSeq) -> AlignmentOutcome {
+        self.queries += 1;
+        let (interval, stats) =
+            exact_search(&mut self.mapped, &mut self.dpu, read, &mut self.ledger);
+        self.lfm_calls += stats.lfm_calls;
+        if !interval.is_empty() {
+            self.exact_hits += 1;
+            let positions = self.mapped.locate(interval, &mut self.ledger);
+            return AlignmentOutcome::Exact { positions };
+        }
+        if self.config.max_diffs() == 0 {
+            return AlignmentOutcome::Unmapped;
+        }
+        let hits = if self.config.exhaustive_inexact() {
+            let (hits, istats) = inexact_search(
+                &mut self.mapped,
+                &mut self.dpu,
+                read,
+                self.config.edit_budget(),
+                &mut self.ledger,
+            );
+            self.lfm_calls += istats.lfm_calls;
+            hits
+        } else {
+            let (hit, istats) = crate::inexact::inexact_search_first(
+                &mut self.mapped,
+                &mut self.dpu,
+                read,
+                self.config.edit_budget(),
+                &mut self.ledger,
+            );
+            self.lfm_calls += istats.lfm_calls;
+            hit.into_iter().collect()
+        };
+        let Some(best) = hits.first() else {
+            return AlignmentOutcome::Unmapped;
+        };
+        let best_diffs = best.diffs;
+        let mut positions = Vec::new();
+        for hit in hits.iter().filter(|h| h.diffs == best_diffs) {
+            positions.extend(self.mapped.locate(hit.interval, &mut self.ledger));
+        }
+        positions.sort_unstable();
+        positions.dedup();
+        AlignmentOutcome::Inexact {
+            positions,
+            diffs: best_diffs,
+        }
+    }
+
+    /// Aligns a read against both genome strands: the forward
+    /// orientation first, then — if unmapped — its reverse complement
+    /// (the index covers the forward strand; real samples sequence both,
+    /// paper §I: "two twistings, paired strands").
+    pub fn align_read_both_strands(&mut self, read: &DnaSeq) -> (AlignmentOutcome, MappedStrand) {
+        match self.align_read(read) {
+            AlignmentOutcome::Unmapped => (
+                self.align_read(&read.reverse_complement()),
+                MappedStrand::Reverse,
+            ),
+            hit => (hit, MappedStrand::Forward),
+        }
+    }
+
+    /// Aligns a batch of reads and produces the performance report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reads` is empty.
+    pub fn align_batch(&mut self, reads: &[DnaSeq]) -> BatchResult {
+        assert!(!reads.is_empty(), "batch must contain at least one read");
+        let q0 = self.queries;
+        let e0 = self.exact_hits;
+        let outcomes: Vec<AlignmentOutcome> =
+            reads.iter().map(|r| self.align_read(r)).collect();
+        let report = self.report();
+        let exact_fraction = (self.exact_hits - e0) as f64 / (self.queries - q0) as f64;
+        BatchResult {
+            outcomes,
+            report,
+            exact_fraction,
+        }
+    }
+
+    /// The cumulative performance report for all reads aligned so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no read has been aligned yet.
+    pub fn report(&self) -> PerfReport {
+        PerfReport::from_batch(&self.config, &self.ledger, self.queries, self.lfm_calls)
+    }
+
+    /// Cumulative `LFM` invocations.
+    pub fn lfm_calls(&self) -> u64 {
+        self.lfm_calls
+    }
+
+    /// Reads aligned so far.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Reads resolved by the exact stage so far.
+    pub fn exact_hits(&self) -> u64 {
+        self.exact_hits
+    }
+
+    /// The alignment-time ledger (cycles and energy of every query so
+    /// far; the one-time mapping cost is kept separately in
+    /// [`MappedIndex::mapping_ledger`]).
+    pub fn ledger(&self) -> &CycleLedger {
+        &self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmindex::EditBudget;
+    use readsim::{genome, ReadSimulator, SimProfile};
+
+    #[test]
+    fn exact_and_inexact_stages_cooperate() {
+        let reference = genome::uniform(5_000, 31);
+        let mut aligner = PimAligner::new(
+            &reference,
+            PimAlignerConfig::baseline().with_exhaustive_inexact(true),
+        );
+        // Clean read: exact.
+        let clean = reference.subseq(1_000..1_050);
+        assert!(matches!(
+            aligner.align_read(&clean),
+            AlignmentOutcome::Exact { .. }
+        ));
+        // One substitution: inexact with diffs = 1.
+        let mut bases = reference.subseq(2_000..2_050).into_bases();
+        bases[25] = bioseq::Base::from_rank((bases[25].rank() + 2) % 4);
+        let mutated = DnaSeq::from_bases(bases);
+        match aligner.align_read(&mutated) {
+            AlignmentOutcome::Inexact { positions, diffs } => {
+                assert_eq!(diffs, 1);
+                assert!(positions.contains(&2_000));
+            }
+            other => panic!("expected inexact hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unmappable_read_reported() {
+        let reference: DnaSeq = "AAAAAAAAAAAAAAAAAAAA".parse().unwrap();
+        let mut aligner = PimAligner::new(
+            &reference,
+            PimAlignerConfig::baseline().with_max_diffs(1).with_indels(false),
+        );
+        let read: DnaSeq = "GGGGGGGG".parse().unwrap();
+        assert_eq!(aligner.align_read(&read), AlignmentOutcome::Unmapped);
+    }
+
+    #[test]
+    fn platform_positions_match_software_oracle() {
+        let reference = genome::uniform(8_000, 32);
+        let mut aligner = PimAligner::new(
+            &reference,
+            PimAlignerConfig::baseline()
+                .with_max_diffs(1)
+                .with_exhaustive_inexact(true),
+        );
+        let oracle = aligner.mapped().index().clone();
+        let profile = SimProfile::paper_defaults()
+            .read_count(40)
+            .read_len(50)
+            .forward_only();
+        let sim = ReadSimulator::new(profile, 33).simulate(&reference);
+        for read in &sim.reads {
+            let outcome = aligner.align_read(&read.seq);
+            match &outcome {
+                AlignmentOutcome::Exact { positions } => {
+                    let sw = oracle.find(&read.seq);
+                    assert_eq!(positions, &sw);
+                }
+                AlignmentOutcome::Inexact { positions, diffs } => {
+                    let sw = oracle.find_inexact(&read.seq, EditBudget::edits(1));
+                    let best = sw.iter().map(|(_, d)| *d).min().unwrap();
+                    assert_eq!(*diffs, best);
+                    let sw_best: Vec<usize> = sw
+                        .iter()
+                        .filter(|(_, d)| *d == best)
+                        .map(|(p, _)| *p)
+                        .collect();
+                    for p in positions {
+                        assert!(sw_best.contains(p));
+                    }
+                }
+                AlignmentOutcome::Unmapped => {
+                    assert!(oracle.find_inexact(&read.seq, EditBudget::edits(1)).is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_reports_exact_fraction() {
+        let reference = genome::uniform(20_000, 34);
+        let mut aligner = PimAligner::new(&reference, PimAlignerConfig::baseline());
+        let profile = SimProfile::paper_defaults()
+            .read_count(60)
+            .read_len(60)
+            .forward_only();
+        let sim = ReadSimulator::new(profile, 35).simulate(&reference);
+        let reads: Vec<DnaSeq> = sim.reads.iter().map(|r| r.seq.clone()).collect();
+        let result = aligner.align_batch(&reads);
+        assert_eq!(result.outcomes.len(), 60);
+        // Paper §III: most reads align exactly in stage 1 (0.2 % error,
+        // 0.1 % variation ⇒ the bulk of 60-bp reads are clean).
+        assert!(
+            result.exact_fraction > 0.5,
+            "exact fraction {:.2}",
+            result.exact_fraction
+        );
+        assert!(result.report.throughput_qps > 0.0);
+    }
+
+    #[test]
+    fn pipelined_config_beats_baseline_throughput() {
+        let reference = genome::uniform(4_000, 36);
+        let reads: Vec<DnaSeq> = (0..20)
+            .map(|i| reference.subseq(i * 100..i * 100 + 50))
+            .collect();
+        let mut n = PimAligner::new(&reference, PimAlignerConfig::baseline());
+        let mut p = PimAligner::new(&reference, PimAlignerConfig::pipelined());
+        let rn = n.align_batch(&reads).report;
+        let rp = p.align_batch(&reads).report;
+        let gain = rp.throughput_qps / rn.throughput_qps;
+        assert!((1.25..1.60).contains(&gain), "pipeline gain {gain:.3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one read")]
+    fn empty_batch_panics() {
+        let reference = genome::uniform(1_000, 37);
+        let mut aligner = PimAligner::new(&reference, PimAlignerConfig::baseline());
+        let _ = aligner.align_batch(&[]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Exact alignment-in-memory (paper Algorithm 1).
+
+use bioseq::DnaSeq;
+use fmindex::SaInterval;
+use pimsim::{CycleLedger, Dpu};
+
+use crate::mapping::MappedIndex;
+
+/// Statistics of one exact search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactStats {
+    /// `LFM` invocations issued (two per consumed base).
+    pub lfm_calls: u64,
+    /// Read bases consumed before success or early failure.
+    pub bases_consumed: usize,
+}
+
+/// Runs Algorithm 1 on the platform: initialises the DPU interval to
+/// `[0, N)`, walks the read right-to-left, and updates both bounds with
+/// the in-memory `LFM` procedure, stopping early when `low ≥ high`.
+///
+/// Returns the final interval (empty = no exact match) plus statistics
+/// for the performance model.
+pub fn exact_search(
+    mapped: &mut MappedIndex,
+    dpu: &mut Dpu,
+    read: &DnaSeq,
+    ledger: &mut CycleLedger,
+) -> (SaInterval, ExactStats) {
+    dpu.init_interval(mapped.index().text_len() as u32, ledger);
+    let mut stats = ExactStats {
+        lfm_calls: 0,
+        bases_consumed: 0,
+    };
+    for &nt in read.iter().rev() {
+        let low = mapped.lfm(nt, dpu.low() as usize, ledger);
+        let high = mapped.lfm(nt, dpu.high() as usize, ledger);
+        dpu.set_interval(low, high, ledger);
+        stats.lfm_calls += 2;
+        stats.bases_consumed += 1;
+        if dpu.interval_empty() {
+            // Algorithm 1: "if low ≥ high, it has failed to find a match".
+            return (SaInterval::new(low, low), stats);
+        }
+    }
+    (SaInterval::new(dpu.low(), dpu.high()), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PimAlignerConfig;
+    use readsim::genome;
+
+    fn setup(reference: &DnaSeq) -> (MappedIndex, Dpu, CycleLedger) {
+        let config = PimAlignerConfig::baseline();
+        let mapped = MappedIndex::build(reference, &config);
+        let dpu = Dpu::new(*config.model());
+        (mapped, dpu, CycleLedger::new())
+    }
+
+    #[test]
+    fn paper_example_cta() {
+        let reference: DnaSeq = "TGCTA".parse().unwrap();
+        let (mut mapped, mut dpu, mut ledger) = setup(&reference);
+        let read: DnaSeq = "CTA".parse().unwrap();
+        let (interval, stats) = exact_search(&mut mapped, &mut dpu, &read, &mut ledger);
+        assert_eq!(interval.count(), 1);
+        assert_eq!(mapped.locate(interval, &mut ledger), vec![2]);
+        assert_eq!(stats.lfm_calls, 6);
+        assert_eq!(stats.bases_consumed, 3);
+    }
+
+    #[test]
+    fn platform_agrees_with_software_search_on_random_reads() {
+        let reference = genome::uniform(50_000, 11);
+        let (mut mapped, mut dpu, mut ledger) = setup(&reference);
+        let oracle = mapped.index().clone();
+        for start in (0..49_000).step_by(1_777) {
+            let read = reference.subseq(start..start + 60);
+            let (interval, _) = exact_search(&mut mapped, &mut dpu, &read, &mut ledger);
+            let sw = oracle.backward_search(&read);
+            match sw {
+                Some(expected) => assert_eq!(interval, expected, "read at {start}"),
+                None => assert!(interval.is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn early_exit_saves_lfm_calls() {
+        // A read whose suffix never occurs fails immediately.
+        let reference: DnaSeq = "AAAAAAAAAA".parse().unwrap();
+        let (mut mapped, mut dpu, mut ledger) = setup(&reference);
+        let read: DnaSeq = "AAAAAAAACT".parse().unwrap(); // rightmost T absent
+        let (interval, stats) = exact_search(&mut mapped, &mut dpu, &read, &mut ledger);
+        assert!(interval.is_empty());
+        assert_eq!(stats.bases_consumed, 1);
+        assert_eq!(stats.lfm_calls, 2);
+    }
+
+    #[test]
+    fn multi_subarray_reads_cross_boundaries() {
+        // Genome spanning 3 sub-arrays; reads straddling 32768-base
+        // boundaries must still match.
+        let reference = genome::uniform(80_000, 13);
+        let (mut mapped, mut dpu, mut ledger) = setup(&reference);
+        assert!(mapped.subarray_count() >= 3);
+        for &start in &[32_700usize, 32_760, 65_500] {
+            let read = reference.subseq(start..start + 100);
+            let (interval, _) = exact_search(&mut mapped, &mut dpu, &read, &mut ledger);
+            assert!(!interval.is_empty(), "boundary read at {start} failed");
+            assert!(mapped.locate(interval, &mut ledger).contains(&start));
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! **PIM-Aligner** — a processing-in-MRAM platform for biological
+//! sequence alignment (reproduction of Angizi et al., DATE 2020).
+//!
+//! This crate is the paper's primary contribution: the reconstructed
+//! BWT/FM-index alignment algorithm executed entirely on simulated
+//! SOT-MRAM computational sub-arrays.
+//!
+//! * [`MappedIndex`] — the correlated data partitioning and mapping of
+//!   §V: BWT buckets, `CRef` rows and the vertical marker table
+//!   co-located per sub-array, with the `LFM(MT, nt, id)` procedure
+//!   executed by `XNOR_Match` + popcount + `MEM` + `IM_ADD`;
+//! * [`exact_search`] — Algorithm 1 (exact alignment-in-memory);
+//! * [`inexact_search`] — Algorithm 2 (≤ z differences via DPU
+//!   backtracking);
+//! * [`PimAligner`] — the end-to-end two-stage aligner with the paper's
+//!   two configurations, [`PimAlignerConfig::baseline`] (PIM-Aligner-n)
+//!   and [`PimAlignerConfig::pipelined`] (PIM-Aligner-p, Pd = 2);
+//! * [`PerfReport`] — throughput, power, MBR and RUR, the quantities of
+//!   Figs. 8–10.
+//!
+//! Everything the platform computes is validated bit-exactly against the
+//! `fmindex` software oracle.
+//!
+//! # Examples
+//!
+//! ```
+//! use bioseq::DnaSeq;
+//! use pim_aligner::{PimAligner, PimAlignerConfig};
+//!
+//! # fn main() -> Result<(), bioseq::ParseSeqError> {
+//! // The paper's Fig. 1 example: read CTA against reference TGCTA.
+//! let reference: DnaSeq = "TGCTA".parse()?;
+//! let mut aligner = PimAligner::new(&reference, PimAlignerConfig::pipelined());
+//! let outcome = aligner.align_read(&"CTA".parse()?);
+//! assert_eq!(outcome.positions(), Some(&[2usize][..]));
+//!
+//! let report = aligner.report();
+//! assert!(report.throughput_qps > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod aligner;
+mod config;
+mod exact;
+mod hybrid;
+mod inexact;
+mod mapping;
+mod paired;
+mod parallel;
+mod report;
+
+pub mod sam;
+
+pub use aligner::{AlignmentOutcome, BatchResult, MappedStrand, PimAligner};
+pub use config::{AddMethod, PimAlignerConfig};
+pub use exact::{exact_search, ExactStats};
+pub use hybrid::{seed_and_extend, HybridHit, SeedExtendConfig};
+pub use inexact::{inexact_search, inexact_search_first, InexactStats};
+pub use mapping::MappedIndex;
+pub use paired::{align_pair, Mate, PairConstraints, PairOutcome};
+pub use parallel::align_batch_parallel;
+pub use report::{PerfReport, BACKGROUND_W_PER_SUBARRAY};

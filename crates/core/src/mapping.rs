@@ -1,0 +1,335 @@
+//! Correlated data partitioning and mapping (paper §V, Fig. 6).
+//!
+//! "Given a BWT index range, the accessed memory region of MT and BWT
+//! could be readily predicted and computation could be localized if we
+//! store such correlated region into the same memory sub-array." Each
+//! sub-array holds 256 consecutive BWT buckets (rows) *and* the 256
+//! marker sets for exactly those buckets (vertical columns), so every
+//! `LFM` is fully local: `XNOR_Match`, marker `MEM` and (method-I)
+//! `IM_ADD` all happen inside one sub-array.
+
+use bioseq::{Base, DnaSeq};
+use fmindex::{FmIndex, SaInterval};
+use mram::array::ArrayModel;
+use pimsim::costs::LogicalOp;
+use pimsim::{CycleLedger, SubArray, SubArrayLayout};
+
+use crate::config::{AddMethod, PimAlignerConfig};
+
+/// BWT bases (= Occ buckets × 128) one sub-array covers.
+const BASES_PER_SUBARRAY: usize = 256 * SubArrayLayout::BASES_PER_ROW;
+
+/// The FM-index tables distributed across computational sub-arrays.
+///
+/// Holds the software [`FmIndex`] (the ground truth and the SA source)
+/// plus the loaded sub-arrays. The one-time pre-computation/mapping cost
+/// is recorded in its own ledger, separate from alignment-time work.
+///
+/// # Examples
+///
+/// ```
+/// use bioseq::DnaSeq;
+/// use pim_aligner::{MappedIndex, PimAlignerConfig};
+///
+/// # fn main() -> Result<(), bioseq::ParseSeqError> {
+/// let reference: DnaSeq = "TGCTA".parse()?;
+/// let mapped = MappedIndex::build(&reference, &PimAlignerConfig::baseline());
+/// assert_eq!(mapped.subarray_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MappedIndex {
+    index: FmIndex,
+    subarrays: Vec<SubArray>,
+    /// Mirror sub-arrays for method-II (empty for method-I).
+    mirrors: Vec<SubArray>,
+    method: AddMethod,
+    mapping_ledger: CycleLedger,
+    faults: mram::faults::FaultModel,
+    /// xorshift64 state for fault sampling (deterministic per build).
+    fault_rng: u64,
+}
+
+impl MappedIndex {
+    /// Builds the FM-index over `reference` (Fig. 2 pre-computation) and
+    /// maps BWT + MT into sub-arrays (Fig. 6a partitioning). The bucket
+    /// width is fixed at 128, one word line.
+    pub fn build(reference: &DnaSeq, config: &PimAlignerConfig) -> MappedIndex {
+        let index = FmIndex::builder()
+            .bucket_width(SubArrayLayout::BASES_PER_ROW)
+            .build(reference);
+        let mut ledger = CycleLedger::new();
+        let model = *config.model();
+        let n = index.text_len();
+        let subarray_count = n.div_ceil(BASES_PER_SUBARRAY);
+        let mut subarrays = Vec::with_capacity(subarray_count);
+        let (packed, _sentinel) = index.bwt().to_packed();
+        // Marker buckets include the final checkpoint at n/d, one past the
+        // last (possibly partial) BWT row.
+        let total_marker_buckets = n / SubArrayLayout::BASES_PER_ROW + 1;
+        for s in 0..subarray_count {
+            let mut sa = SubArray::new(model);
+            sa.load_cref_rows(&mut ledger);
+            let base_start = s * BASES_PER_SUBARRAY;
+            let bwt_buckets =
+                (n - base_start).div_ceil(SubArrayLayout::BASES_PER_ROW).min(256);
+            for lb in 0..bwt_buckets {
+                let start = base_start + lb * SubArrayLayout::BASES_PER_ROW;
+                let count = SubArrayLayout::BASES_PER_ROW.min(n - start);
+                let codes = packed.codes(start, count);
+                sa.load_bwt_row(lb, &codes, &mut ledger);
+            }
+            let marker_buckets = (total_marker_buckets - s * 256).min(256);
+            for lb in 0..marker_buckets {
+                let bucket = s * 256 + lb;
+                for base in Base::ALL {
+                    sa.store_marker(lb, base, index.marker_table().marker(base, bucket), &mut ledger);
+                }
+            }
+            subarrays.push(sa);
+        }
+        let mirrors = match config.method() {
+            AddMethod::InPlace => Vec::new(),
+            AddMethod::Mirrored => {
+                // Method-II: "essentially duplicates the number of
+                // sub-arrays, where only in-memory addition computation is
+                // transferred to a second sub-array".
+                let mut mirrors = subarrays.clone();
+                for (src, dst) in subarrays.iter().zip(mirrors.iter_mut()) {
+                    // Account the duplication as row copies.
+                    for row in 0..model.geometry().rows {
+                        src.copy_row_to(row, dst, row, &mut ledger);
+                    }
+                }
+                mirrors
+            }
+        };
+        MappedIndex {
+            index,
+            subarrays,
+            mirrors,
+            method: config.method(),
+            mapping_ledger: ledger,
+            faults: config.fault_model(),
+            fault_rng: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// One xorshift64 step, returning a uniform value in `[0, 1)`.
+    fn fault_uniform(&mut self) -> f64 {
+        let mut x = self.fault_rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.fault_rng = x;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The underlying software index (ground truth, SA storage).
+    pub fn index(&self) -> &FmIndex {
+        &self.index
+    }
+
+    /// Number of primary computational sub-arrays used.
+    pub fn subarray_count(&self) -> usize {
+        self.subarrays.len()
+    }
+
+    /// Total sub-arrays including method-II mirrors.
+    pub fn total_subarrays(&self) -> usize {
+        self.subarrays.len() + self.mirrors.len()
+    }
+
+    /// The one-time mapping cost ledger (pre-computation, excluded from
+    /// alignment-time figures as in the paper: "it is just a one-step
+    /// computation").
+    pub fn mapping_ledger(&self) -> &CycleLedger {
+        &self.mapping_ledger
+    }
+
+    /// Executes the hardware `LFM(MT, nt, id)` procedure (Algorithm 1
+    /// line 9) entirely on the mapped sub-arrays:
+    ///
+    /// 1. `XNOR_Match` of the bucket row against `CRef[nt]`;
+    /// 2. DPU popcount of matches before `id` within the bucket;
+    /// 3. `MEM` read of the bucket's marker for `nt`;
+    /// 4. `IM_ADD` of marker + count (in the mirror for method-II,
+    ///    charging the operand transfer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` exceeds the indexed text length.
+    pub fn lfm(&mut self, nt: Base, id: usize, ledger: &mut CycleLedger) -> u32 {
+        assert!(id <= self.index.text_len(), "LFM index {id} out of range");
+        let bucket = id / SubArrayLayout::BASES_PER_ROW;
+        let within = id % SubArrayLayout::BASES_PER_ROW;
+        let s = bucket / 256;
+        let lb = bucket % 256;
+        // `id` may equal the text length, landing exactly on a bucket
+        // boundary past the last row; the count contribution is then zero
+        // and the marker row is the final checkpoint.
+        let (count, marker) = if s >= self.subarrays.len() {
+            // Boundary bucket holds no BWT bases; its marker equals the
+            // final checkpoint stored in the last sub-array's next column.
+            // The builder always allocates the checkpoint bucket because
+            // buckets() = n/d + 1 columns fit in 256 only when the text
+            // fills sub-arrays exactly; fall back to the software marker
+            // (a local MEM read in hardware).
+            LogicalOp::MarkerRead.charge(self.subarrays[0].model(), ledger);
+            (0, self.index.marker_table().marker(nt, bucket))
+        } else {
+            let sub = &mut self.subarrays[s];
+            let mut matches = sub.xnor_match(lb, nt, ledger);
+            // The 2-bit code space cannot represent `$`, so the sentinel
+            // cell is stored with a placeholder code (T). The DPU knows
+            // the sentinel's position and masks it out of the match
+            // vector before counting.
+            let sentinel = self.index.bwt().sentinel_pos();
+            if sentinel / SubArrayLayout::BASES_PER_ROW == bucket {
+                matches[sentinel % SubArrayLayout::BASES_PER_ROW] = false;
+            }
+            LogicalOp::Popcount.charge(sub.model(), ledger);
+            let marker = sub.read_marker(lb, nt, ledger);
+            // Sensing-fault injection (DESIGN.md §8): each match bit may
+            // read wrong with the model's XNOR misread probability.
+            let p = self.faults.xnor_misread_prob();
+            if p > 0.0 {
+                for bit in matches[..within].iter_mut() {
+                    if self.fault_uniform() < p {
+                        *bit = !*bit;
+                    }
+                }
+            }
+            let count = matches[..within].iter().filter(|&&m| m).count() as u32;
+            (count, marker)
+        };
+        let sum = match self.method {
+            AddMethod::InPlace => {
+                let idx = s.min(self.subarrays.len() - 1);
+                self.subarrays[idx].im_add32(marker, count, ledger)
+            }
+            AddMethod::Mirrored => {
+                // Operand transfer into the mirror's write port.
+                let idx = s.min(self.mirrors.len() - 1);
+                let mirror = &mut self.mirrors[idx];
+                for _ in 0..7 {
+                    LogicalOp::RowWrite.charge(mirror.model(), ledger);
+                }
+                mirror.im_add32(marker, count, ledger)
+            }
+        };
+        // The DPU's index registers saturate at N: a sensing fault can
+        // inflate the count past the table range, and the controller
+        // clamps rather than address outside the mapped region. A no-op
+        // under ideal sensing.
+        sum.min(self.index.text_len() as u32)
+    }
+
+    /// Reads suffix-array entries for an interval (`MEM` on the SA
+    /// region) and returns the sorted reference positions.
+    pub fn locate(&self, interval: SaInterval, ledger: &mut CycleLedger) -> Vec<usize> {
+        for _ in interval.rows() {
+            LogicalOp::SaEntryRead.charge(self.subarrays[0].model(), ledger);
+        }
+        self.index.locate(interval)
+    }
+
+    /// The array model in use.
+    pub fn model(&self) -> ArrayModel {
+        *self.subarrays[0].model()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use readsim::genome;
+
+    fn mapped(reference: &DnaSeq, method: AddMethod) -> MappedIndex {
+        let config = match method {
+            AddMethod::InPlace => PimAlignerConfig::baseline(),
+            AddMethod::Mirrored => PimAlignerConfig::pipelined(),
+        };
+        MappedIndex::build(reference, &config)
+    }
+
+    #[test]
+    fn subarray_count_scales_with_genome() {
+        let small = mapped(&genome::uniform(1_000, 1), AddMethod::InPlace);
+        assert_eq!(small.subarray_count(), 1);
+        let big = mapped(&genome::uniform(100_000, 1), AddMethod::InPlace);
+        assert_eq!(big.subarray_count(), (100_001usize).div_ceil(32_768));
+        assert_eq!(big.total_subarrays(), big.subarray_count());
+    }
+
+    #[test]
+    fn mirrored_doubles_subarrays() {
+        let m = mapped(&genome::uniform(40_000, 2), AddMethod::Mirrored);
+        assert_eq!(m.total_subarrays(), 2 * m.subarray_count());
+    }
+
+    #[test]
+    fn hardware_lfm_matches_software_oracle() {
+        let reference = genome::uniform(70_000, 3);
+        let mut m = mapped(&reference, AddMethod::InPlace);
+        let oracle = m.index().clone();
+        let mut ledger = CycleLedger::new();
+        // Dense sweep near bucket boundaries plus random interior points.
+        let mut ids: Vec<usize> = (0..40).map(|k| k * 1_777 % oracle.text_len()).collect();
+        for b in [0usize, 127, 128, 129, 255, 256, 32_767, 32_768, 32_769] {
+            if b <= oracle.text_len() {
+                ids.push(b);
+            }
+        }
+        ids.push(oracle.text_len());
+        for id in ids {
+            for base in Base::ALL {
+                let hw = m.lfm(base, id, &mut ledger);
+                let sw = oracle.marker_table().lfm(oracle.bwt(), base, id);
+                assert_eq!(hw, sw, "LFM mismatch at id={id} base={base}");
+            }
+        }
+    }
+
+    #[test]
+    fn mirrored_lfm_matches_software_oracle() {
+        let reference = genome::uniform(20_000, 4);
+        let mut m = mapped(&reference, AddMethod::Mirrored);
+        let oracle = m.index().clone();
+        let mut ledger = CycleLedger::new();
+        for id in (0..oracle.text_len()).step_by(977) {
+            for base in Base::ALL {
+                assert_eq!(
+                    m.lfm(base, id, &mut ledger),
+                    oracle.marker_table().lfm(oracle.bwt(), base, id)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_cost_recorded_separately() {
+        let m = mapped(&genome::uniform(5_000, 5), AddMethod::InPlace);
+        assert!(m.mapping_ledger().total_busy_cycles() > 0);
+    }
+
+    #[test]
+    fn locate_charges_sa_reads() {
+        let reference: DnaSeq = "TGCTA".parse().unwrap();
+        let m = mapped(&reference, AddMethod::InPlace);
+        let interval = m.index().backward_search(&"CTA".parse().unwrap()).unwrap();
+        let mut ledger = CycleLedger::new();
+        assert_eq!(m.locate(interval, &mut ledger), vec![2]);
+        assert!(ledger.total_busy_cycles() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lfm_past_text_panics() {
+        let reference: DnaSeq = "ACGT".parse().unwrap();
+        let mut m = mapped(&reference, AddMethod::InPlace);
+        let mut ledger = CycleLedger::new();
+        let _ = m.lfm(Base::A, 99, &mut ledger);
+    }
+}

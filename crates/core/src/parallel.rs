@@ -1,0 +1,152 @@
+//! Host-parallel batch alignment.
+//!
+//! The simulated chip is internally parallel (144 pipeline units, see the
+//! performance model); this module parallelises the *simulation itself*
+//! across host threads so large batches evaluate faster. Each worker owns
+//! a private platform instance (threads model disjoint groups of
+//! sub-array pipelines working on disjoint reads — exactly the paper's
+//! partitioning), and the ledgers merge afterwards, so the performance
+//! report is identical to a sequential run.
+
+use bioseq::DnaSeq;
+use parking_lot::Mutex;
+use pimsim::CycleLedger;
+
+use crate::aligner::{AlignmentOutcome, BatchResult, PimAligner};
+use crate::config::PimAlignerConfig;
+use crate::report::PerfReport;
+
+/// Aligns `reads` using `threads` worker threads, each with its own
+/// platform instance over `reference`.
+///
+/// Outcomes are returned in input order and are identical to a
+/// sequential [`PimAligner::align_batch`] run with an ideal fault model
+/// (fault injection is per-instance pseudo-random, so faulty runs are
+/// only statistically equivalent).
+///
+/// # Panics
+///
+/// Panics if `reads` is empty or `threads == 0`.
+pub fn align_batch_parallel(
+    reference: &DnaSeq,
+    config: &PimAlignerConfig,
+    reads: &[DnaSeq],
+    threads: usize,
+) -> BatchResult {
+    assert!(!reads.is_empty(), "batch must contain at least one read");
+    assert!(threads > 0, "at least one worker thread required");
+    let threads = threads.min(reads.len());
+    let chunk = reads.len().div_ceil(threads);
+
+    struct WorkerOut {
+        start: usize,
+        outcomes: Vec<AlignmentOutcome>,
+        ledger: CycleLedger,
+        lfm_calls: u64,
+        queries: u64,
+        exact_hits: u64,
+    }
+
+    let collected: Mutex<Vec<WorkerOut>> = Mutex::new(Vec::with_capacity(threads));
+    crossbeam::scope(|scope| {
+        for (w, slice) in reads.chunks(chunk).enumerate() {
+            let collected = &collected;
+            scope.spawn(move |_| {
+                let mut aligner = PimAligner::new(reference, config.clone());
+                let outcomes: Vec<AlignmentOutcome> =
+                    slice.iter().map(|r| aligner.align_read(r)).collect();
+                collected.lock().push(WorkerOut {
+                    start: w * chunk,
+                    outcomes,
+                    ledger: aligner.ledger().clone(),
+                    lfm_calls: aligner.lfm_calls(),
+                    queries: aligner.queries(),
+                    exact_hits: aligner.exact_hits(),
+                });
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    let mut workers = collected.into_inner();
+    workers.sort_by_key(|w| w.start);
+    let mut outcomes = Vec::with_capacity(reads.len());
+    let mut ledger = CycleLedger::new();
+    let mut lfm_calls = 0u64;
+    let mut queries = 0u64;
+    let mut exact_hits = 0u64;
+    for w in workers {
+        outcomes.extend(w.outcomes);
+        ledger.merge(&w.ledger);
+        lfm_calls += w.lfm_calls;
+        queries += w.queries;
+        exact_hits += w.exact_hits;
+    }
+    let report = PerfReport::from_batch(config, &ledger, queries, lfm_calls);
+    BatchResult {
+        outcomes,
+        report,
+        exact_fraction: exact_hits as f64 / queries as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use readsim::{genome, ReadSimulator, SimProfile};
+
+    fn workload() -> (DnaSeq, Vec<DnaSeq>) {
+        let reference = genome::uniform(60_000, 401);
+        let profile = SimProfile::paper_defaults()
+            .read_count(48)
+            .read_len(80)
+            .forward_only();
+        let sim = ReadSimulator::new(profile, 402).simulate(&reference);
+        let reads = sim.reads.into_iter().map(|r| r.seq).collect();
+        (reference, reads)
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (reference, reads) = workload();
+        let config = PimAlignerConfig::baseline();
+        let mut sequential = PimAligner::new(&reference, config.clone());
+        let seq_result = sequential.align_batch(&reads);
+        let par_result = align_batch_parallel(&reference, &config, &reads, 4);
+        assert_eq!(par_result.outcomes, seq_result.outcomes);
+        assert_eq!(par_result.exact_fraction, seq_result.exact_fraction);
+        // Same merged work ⇒ same intensive report quantities.
+        assert!(
+            (par_result.report.throughput_qps - seq_result.report.throughput_qps).abs()
+                < 1e-6 * seq_result.report.throughput_qps
+        );
+        assert!(
+            (par_result.report.total_power_w - seq_result.report.total_power_w).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let (reference, reads) = workload();
+        let config = PimAlignerConfig::pipelined();
+        let one = align_batch_parallel(&reference, &config, &reads, 1);
+        let many = align_batch_parallel(&reference, &config, &reads, 7);
+        assert_eq!(one.outcomes, many.outcomes);
+        assert_eq!(one.report.lfm_calls, many.report.lfm_calls);
+    }
+
+    #[test]
+    fn more_threads_than_reads_is_fine() {
+        let (reference, reads) = workload();
+        let config = PimAlignerConfig::baseline();
+        let result = align_batch_parallel(&reference, &config, &reads[..3], 16);
+        assert_eq!(result.outcomes.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let (reference, reads) = workload();
+        let _ = align_batch_parallel(&reference, &PimAlignerConfig::baseline(), &reads, 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Performance reporting: the quantities behind Figs. 8–10.
+
+use pimsim::{CycleLedger, Resource};
+use serde::{Deserialize, Serialize};
+
+use crate::config::PimAlignerConfig;
+
+/// Background (leakage + clocking) power per active sub-array, watts.
+/// Part of the DESIGN.md §6 calibration.
+pub const BACKGROUND_W_PER_SUBARRAY: f64 = 0.005;
+
+/// The performance report of one alignment batch — throughput, power and
+/// the utilisation ratios of Fig. 10.
+///
+/// Derivation:
+///
+/// * the batch's `LFM` count is spread over the chip's parallel pipeline
+///   units; each unit issues `LFM`s at the pipeline rate for the
+///   configured `Pd` (Fig. 7 model);
+/// * dynamic power = simulated dynamic energy ÷ simulated time;
+///   total power adds [`BACKGROUND_W_PER_SUBARRAY`] per active
+///   sub-array (`units × Pd`);
+/// * MBR = memory/transfer cycles visible on the critical path per
+///   `LFM` ÷ the `LFM` issue rate;
+/// * RUR = busy cycles per unit ÷ (2 compute resources × makespan).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Reads aligned.
+    pub queries: u64,
+    /// Total `LFM` invocations across the batch.
+    pub lfm_calls: u64,
+    /// Wall-clock seconds for the batch on the modelled chip.
+    pub time_s: f64,
+    /// Queries per second.
+    pub throughput_qps: f64,
+    /// Dynamic power, watts.
+    pub dynamic_power_w: f64,
+    /// Total power (dynamic + background), watts.
+    pub total_power_w: f64,
+    /// Dynamic energy per query, joules.
+    pub energy_per_query_j: f64,
+    /// Memory Bottleneck Ratio, percent (Fig. 10b).
+    pub mbr_pct: f64,
+    /// Resource Utilization Ratio, percent (Fig. 10c).
+    pub rur_pct: f64,
+    /// Die area of the modelled chip, mm².
+    pub area_mm2: f64,
+    /// Off-chip memory required during alignment, GB (≈0 for PIM:
+    /// tables live in the computational arrays).
+    pub offchip_gb: f64,
+    /// Throughput per watt (Fig. 9a).
+    pub throughput_per_watt: f64,
+    /// Throughput per watt per mm² (Fig. 9b).
+    pub throughput_per_watt_mm2: f64,
+}
+
+impl PerfReport {
+    /// Builds the report from the simulated batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries == 0`.
+    pub fn from_batch(
+        config: &PimAlignerConfig,
+        ledger: &CycleLedger,
+        queries: u64,
+        lfm_calls: u64,
+    ) -> PerfReport {
+        assert!(queries > 0, "report requires at least one query");
+        let model = config.model();
+        let pipeline = config.pipeline();
+        let pd = config.pd();
+        let units = config.chip().parallel_units as f64;
+
+        // Issue rate and makespan. A batch smaller than the unit count
+        // can only occupy one pipeline unit per read (iterations within
+        // a read are serially dependent), so both the work division and
+        // the utilisation accounting use the *active* unit count.
+        let rate = pipeline.cycles_per_lfm(pd);
+        let active_units = units.min(queries as f64);
+        let lfm_per_unit = lfm_calls as f64 / active_units;
+        let makespan_cycles = lfm_per_unit * rate;
+        let time_s = makespan_cycles * model.cycle_ns() * 1e-9;
+        let throughput_qps = queries as f64 / time_s;
+
+        // Energy and power. Method-II operand streaming is already in the
+        // ledger (the mapper charges the transfer row-writes per LFM).
+        let dynamic_j = ledger.energy_pj() * 1e-12;
+        let dynamic_power_w = dynamic_j / time_s;
+        let active_subarrays = units * pd as f64;
+        let total_power_w = dynamic_power_w + active_subarrays * BACKGROUND_W_PER_SUBARRAY;
+
+        // MBR: memory/transfer cycles visible on the critical path.
+        let visible_memory = if pd == 1 {
+            // Sequential: all memory cycles are on the path.
+            (ledger.busy_cycles(Resource::Memory) + ledger.busy_cycles(Resource::Transfer))
+                as f64
+                / lfm_calls.max(1) as f64
+        } else {
+            // Pipelined: the marker read hides under the other read's add;
+            // the transfer and index update remain exposed on the adder
+            // port (see pimsim::pipeline).
+            pipeline.transfer_cycles as f64 + 2.0
+        };
+        let mbr_pct = 100.0 * visible_memory / rate;
+
+        // RUR: busy cycles per active unit over two compute resources.
+        let busy_per_unit = ledger.total_busy_cycles() as f64 / active_units;
+        let rur_pct = 100.0 * (busy_per_unit / (2.0 * makespan_cycles)).min(1.0);
+
+        let area_mm2 = config.chip().area_mm2(model);
+        let throughput_per_watt = throughput_qps / total_power_w;
+        PerfReport {
+            queries,
+            lfm_calls,
+            time_s,
+            throughput_qps,
+            dynamic_power_w,
+            total_power_w,
+            energy_per_query_j: dynamic_j / queries as f64,
+            mbr_pct,
+            rur_pct,
+            area_mm2,
+            offchip_gb: 0.0,
+            throughput_per_watt,
+            throughput_per_watt_mm2: throughput_per_watt / area_mm2,
+        }
+    }
+
+    /// Rescales the report to a different query count, assuming the
+    /// simulated per-query behaviour is representative (used to quote
+    /// paper-scale 10 M-read numbers from a smaller simulated batch).
+    /// Throughput, power and ratios are intensive and unchanged.
+    pub fn scaled_to_queries(&self, queries: u64) -> PerfReport {
+        let factor = queries as f64 / self.queries as f64;
+        PerfReport {
+            queries,
+            lfm_calls: (self.lfm_calls as f64 * factor) as u64,
+            time_s: self.time_s * factor,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mram::array::{ArrayModel, ArrayOp};
+    use pimsim::costs;
+
+    /// A synthetic ledger equivalent to `lfm_calls` perfect LFMs.
+    fn ledger_for(lfm_calls: u64, pd: usize) -> CycleLedger {
+        let model = ArrayModel::default();
+        let mut ledger = CycleLedger::new();
+        for _ in 0..lfm_calls {
+            costs::charge_lfm(&model, &mut ledger);
+            if pd >= 2 {
+                for _ in 0..7 {
+                    pimsim::costs::LogicalOp::RowWrite.charge(&model, &mut ledger);
+                }
+            }
+        }
+        ledger
+    }
+
+    fn report(pd: usize, queries: u64) -> PerfReport {
+        let config = if pd == 1 {
+            PimAlignerConfig::baseline()
+        } else {
+            PimAlignerConfig::pipelined().with_pd(pd)
+        };
+        // The paper's workload shape: 100-bp reads, 2 LFMs per base.
+        let lfm_calls = queries * 200;
+        PerfReport::from_batch(&config, &ledger_for(lfm_calls, pd), queries, lfm_calls)
+    }
+
+    #[test]
+    fn baseline_lands_in_paper_range() {
+        // PIM-Aligner-n: ~4.7 M queries/s at ~19 W (DESIGN.md §6
+        // calibration against Figs. 8–9).
+        let r = report(1, 1_000);
+        assert!(
+            (4.0e6..5.5e6).contains(&r.throughput_qps),
+            "baseline throughput {:.3e}",
+            r.throughput_qps
+        );
+        assert!(
+            (14.0..24.0).contains(&r.total_power_w),
+            "baseline power {:.1}",
+            r.total_power_w
+        );
+    }
+
+    #[test]
+    fn pipelined_lands_on_fig9c_annotation() {
+        // Fig. 9c annotates Pd=2 at 6.7e6 queries/s and 28.4 W.
+        let r = report(2, 1_000);
+        assert!(
+            (6.0e6..7.4e6).contains(&r.throughput_qps),
+            "Pd=2 throughput {:.3e}",
+            r.throughput_qps
+        );
+        assert!(
+            (24.0..33.0).contains(&r.total_power_w),
+            "Pd=2 power {:.1}",
+            r.total_power_w
+        );
+    }
+
+    #[test]
+    fn pipeline_speedup_about_forty_percent() {
+        let n = report(1, 1_000);
+        let p = report(2, 1_000);
+        let gain = p.throughput_qps / n.throughput_qps;
+        assert!((1.30..1.55).contains(&gain), "pipeline gain {gain:.3}");
+        assert!(p.total_power_w > n.total_power_w, "power must rise with Pd");
+    }
+
+    #[test]
+    fn mbr_below_eighteen_percent() {
+        // Fig. 10b: "PIM-Aligner spends less than ∼18% time for memory
+        // access and data transfer".
+        for pd in [1, 2] {
+            let r = report(pd, 500);
+            assert!(r.mbr_pct < 18.0, "Pd={pd} MBR {:.1}%", r.mbr_pct);
+            assert!(r.mbr_pct > 5.0, "MBR implausibly low: {:.1}%", r.mbr_pct);
+        }
+    }
+
+    #[test]
+    fn rur_highest_when_pipelined() {
+        // Fig. 10c: "PIM-Aligner-p shows the highest resource utilization
+        // with up to ∼86%".
+        let n = report(1, 500);
+        let p = report(2, 500);
+        assert!(p.rur_pct > n.rur_pct);
+        assert!((65.0..95.0).contains(&p.rur_pct), "RUR-p {:.1}%", p.rur_pct);
+    }
+
+    #[test]
+    fn pim_has_no_offchip_memory() {
+        // Fig. 10a: the PIM platforms hold all tables in-array.
+        assert_eq!(report(1, 100).offchip_gb, 0.0);
+    }
+
+    #[test]
+    fn scaling_preserves_intensive_quantities() {
+        let r = report(2, 1_000);
+        let s = r.scaled_to_queries(10_000_000);
+        assert_eq!(s.queries, 10_000_000);
+        assert!((s.throughput_qps - r.throughput_qps).abs() < 1e-6);
+        assert!((s.total_power_w - r.total_power_w).abs() < 1e-9);
+        assert!(s.time_s > r.time_s);
+    }
+
+    #[test]
+    fn throughput_saturates_with_pd() {
+        let t: Vec<f64> = [1, 2, 3, 4]
+            .iter()
+            .map(|&pd| report(pd, 500).throughput_qps)
+            .collect();
+        assert!(t[1] > t[0] && t[2] >= t[1] && t[3] >= t[2]);
+        // Fig. 9c: diminishing returns.
+        let g1 = t[1] / t[0];
+        let g3 = t[3] / t[2];
+        assert!(g3 < g1, "gains must diminish: {t:?}");
+    }
+
+    #[test]
+    fn energy_per_query_is_microjoule_scale() {
+        let r = report(1, 100);
+        assert!(
+            (1e-6..1e-5).contains(&r.energy_per_query_j),
+            "energy/query {:.2e} J",
+            r.energy_per_query_j
+        );
+        let _ = ArrayOp::ALL; // keep the import used
+    }
+}

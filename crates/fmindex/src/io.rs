@@ -1,0 +1,326 @@
+//! Binary persistence for the FM-index.
+//!
+//! Pre-computation is one-off (paper Fig. 2: "it is just a one-step
+//! computation") — a deployed platform builds the tables once and loads
+//! them at boot. This module defines a compact little-endian format:
+//!
+//! ```text
+//! magic  "PIMFMI1\n"
+//! u64    text length (incl. sentinel)
+//! u64    sentinel position in the BWT
+//! [u8]   BWT nucleotides, 2-bit packed (sentinel cell holds a placeholder)
+//! u32×4  Count table
+//! u64    bucket width d
+//! u64    marker bucket count, then u32×4 per bucket
+//! u8     SA tag (0 = full, 1 = sampled) [+ u32 rate when sampled]
+//! u64    stored SA entry count, then u32 per entry (sampled: row index
+//!        u32 + value u32 pairs)
+//! ```
+//!
+//! The full Occ table is *not* stored; it is rebuilt from the BWT on
+//! load (linear time, and 16 bytes/base on disk would dwarf everything
+//! else).
+//!
+//! Functions take `R: Read` / `W: Write` by value; pass `&mut reader` to
+//! reuse a stream.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::index::FmIndex;
+
+/// Magic bytes heading every serialised index.
+pub const MAGIC: &[u8; 8] = b"PIMFMI1\n";
+
+/// Error returned by [`load`].
+#[derive(Debug)]
+pub enum LoadIndexError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with [`MAGIC`].
+    BadMagic,
+    /// Structurally invalid contents.
+    Corrupt(String),
+}
+
+impl fmt::Display for LoadIndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadIndexError::Io(e) => write!(f, "index read failed: {e}"),
+            LoadIndexError::BadMagic => f.write_str("not a PIM-Aligner FM-index stream"),
+            LoadIndexError::Corrupt(msg) => write!(f, "corrupt index: {msg}"),
+        }
+    }
+}
+
+impl Error for LoadIndexError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LoadIndexError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadIndexError {
+    fn from(e: io::Error) -> Self {
+        LoadIndexError::Io(e)
+    }
+}
+
+/// Serialises an index.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use bioseq::DnaSeq;
+/// use fmindex::{io as fm_io, FmIndex};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let index = FmIndex::builder().bucket_width(4).build(&"GATTACA".parse::<DnaSeq>()?);
+/// let mut buffer = Vec::new();
+/// fm_io::save(&index, &mut buffer)?;
+/// let restored = fm_io::load(buffer.as_slice())?;
+/// assert_eq!(restored.find(&"TTA".parse::<DnaSeq>()?), index.find(&"TTA".parse::<DnaSeq>()?));
+/// # Ok(())
+/// # }
+/// ```
+pub fn save<W: Write>(index: &FmIndex, mut writer: W) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    let n = index.text_len() as u64;
+    writer.write_all(&n.to_le_bytes())?;
+    let bwt = index.bwt();
+    writer.write_all(&(bwt.sentinel_pos() as u64).to_le_bytes())?;
+    let (packed, _) = bwt.to_packed();
+    writer.write_all(packed.as_bytes())?;
+    for c in index.count_table().as_array() {
+        writer.write_all(&c.to_le_bytes())?;
+    }
+    let mt = index.marker_table();
+    writer.write_all(&(mt.bucket_width() as u64).to_le_bytes())?;
+    writer.write_all(&(mt.buckets() as u64).to_le_bytes())?;
+    for bucket in 0..mt.buckets() {
+        for base in bioseq::Base::ALL {
+            writer.write_all(&mt.marker(base, bucket).to_le_bytes())?;
+        }
+    }
+    match index.sa_samples() {
+        crate::locate::SuffixArraySamples::Full(values) => {
+            writer.write_all(&[0u8])?;
+            writer.write_all(&(values.len() as u64).to_le_bytes())?;
+            for &v in values {
+                writer.write_all(&v.to_le_bytes())?;
+            }
+        }
+        crate::locate::SuffixArraySamples::Sampled { values, rate } => {
+            writer.write_all(&[1u8])?;
+            writer.write_all(&rate.to_le_bytes())?;
+            writer.write_all(&(values.len() as u64).to_le_bytes())?;
+            let stored: Vec<(u32, u32)> = values
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v != u32::MAX)
+                .map(|(row, &v)| (row as u32, v))
+                .collect();
+            writer.write_all(&(stored.len() as u64).to_le_bytes())?;
+            for (row, v) in stored {
+                writer.write_all(&row.to_le_bytes())?;
+                writer.write_all(&v.to_le_bytes())?;
+            }
+        }
+    }
+    writer.flush()
+}
+
+/// Deserialises an index previously written by [`save`], rebuilding the
+/// derived Occ table.
+///
+/// # Errors
+///
+/// Returns [`LoadIndexError`] on I/O failure, a wrong magic, or
+/// structurally invalid contents.
+pub fn load<R: Read>(mut reader: R) -> Result<FmIndex, LoadIndexError> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(LoadIndexError::BadMagic);
+    }
+    let n = read_u64(&mut reader)? as usize;
+    if n == 0 {
+        return Err(LoadIndexError::Corrupt("empty text".into()));
+    }
+    let sentinel = read_u64(&mut reader)? as usize;
+    if sentinel >= n {
+        return Err(LoadIndexError::Corrupt("sentinel out of range".into()));
+    }
+    let mut packed = vec![0u8; n.div_ceil(4)];
+    reader.read_exact(&mut packed)?;
+    let mut count = [0u32; 4];
+    for c in &mut count {
+        *c = read_u32(&mut reader)?;
+    }
+    let bucket_width = read_u64(&mut reader)? as usize;
+    if bucket_width == 0 {
+        return Err(LoadIndexError::Corrupt("zero bucket width".into()));
+    }
+    let buckets = read_u64(&mut reader)? as usize;
+    if buckets != n / bucket_width + 1 {
+        return Err(LoadIndexError::Corrupt("bucket count mismatch".into()));
+    }
+    let mut markers = Vec::with_capacity(buckets * 4);
+    for _ in 0..buckets * 4 {
+        markers.push(read_u32(&mut reader)?);
+    }
+    let mut tag = [0u8; 1];
+    reader.read_exact(&mut tag)?;
+    let samples = match tag[0] {
+        0 => {
+            let len = read_u64(&mut reader)? as usize;
+            if len != n {
+                return Err(LoadIndexError::Corrupt("SA length mismatch".into()));
+            }
+            let mut values = Vec::with_capacity(len);
+            for _ in 0..len {
+                values.push(read_u32(&mut reader)?);
+            }
+            crate::locate::SuffixArraySamples::Full(values)
+        }
+        1 => {
+            let rate = read_u32(&mut reader)?;
+            if rate == 0 {
+                return Err(LoadIndexError::Corrupt("zero SA rate".into()));
+            }
+            let len = read_u64(&mut reader)? as usize;
+            if len != n {
+                return Err(LoadIndexError::Corrupt("SA length mismatch".into()));
+            }
+            let stored = read_u64(&mut reader)? as usize;
+            let mut values = vec![u32::MAX; len];
+            for _ in 0..stored {
+                let row = read_u32(&mut reader)? as usize;
+                let v = read_u32(&mut reader)?;
+                if row >= len {
+                    return Err(LoadIndexError::Corrupt("SA row out of range".into()));
+                }
+                values[row] = v;
+            }
+            crate::locate::SuffixArraySamples::Sampled { values, rate }
+        }
+        other => {
+            return Err(LoadIndexError::Corrupt(format!("unknown SA tag {other}")));
+        }
+    };
+    FmIndex::from_stored_parts(n, sentinel, &packed, count, bucket_width, markers, samples)
+        .map_err(LoadIndexError::Corrupt)
+}
+
+fn read_u64<R: Read>(reader: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    reader.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    reader.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FmIndex, SaStorage};
+    use bioseq::DnaSeq;
+
+    fn sample_index(storage: SaStorage) -> FmIndex {
+        let reference: DnaSeq = "GATTACAGATTACAGGGTTTCCCAAATGCA".parse().unwrap();
+        FmIndex::builder()
+            .bucket_width(4)
+            .sa_storage(storage)
+            .build(&reference)
+    }
+
+    fn round_trip(index: &FmIndex) -> FmIndex {
+        let mut buffer = Vec::new();
+        save(index, &mut buffer).expect("save");
+        load(buffer.as_slice()).expect("load")
+    }
+
+    #[test]
+    fn full_sa_round_trip_preserves_queries() {
+        let index = sample_index(SaStorage::Full);
+        let restored = round_trip(&index);
+        for read in ["GATT", "TACA", "GGG", "TTTT", "A"] {
+            let read: DnaSeq = read.parse().unwrap();
+            assert_eq!(restored.find(&read), index.find(&read), "read {read}");
+            assert_eq!(restored.count(&read), index.count(&read));
+        }
+        assert_eq!(restored.bwt().to_string(), index.bwt().to_string());
+        assert_eq!(restored.bucket_width(), index.bucket_width());
+    }
+
+    #[test]
+    fn sampled_sa_round_trip_preserves_queries() {
+        let index = sample_index(SaStorage::Sampled(4));
+        let restored = round_trip(&index);
+        for read in ["GATTACA", "CCC", "ATG"] {
+            let read: DnaSeq = read.parse().unwrap();
+            assert_eq!(restored.find(&read), index.find(&read), "read {read}");
+        }
+        assert_eq!(restored.size_bytes(), index.size_bytes());
+    }
+
+    #[test]
+    fn inexact_queries_survive_round_trip() {
+        let index = sample_index(SaStorage::Full);
+        let restored = round_trip(&index);
+        let read: DnaSeq = "GATGACA".parse().unwrap();
+        let budget = crate::EditBudget::substitutions_only(1);
+        assert_eq!(
+            restored.search_inexact(&read, budget),
+            index.search_inexact(&read, budget)
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = load(&b"NOTANIDX________"[..]).unwrap_err();
+        assert!(matches!(err, LoadIndexError::BadMagic));
+        assert!(err.to_string().contains("not a PIM-Aligner"));
+    }
+
+    #[test]
+    fn truncation_is_an_io_error() {
+        let index = sample_index(SaStorage::Full);
+        let mut buffer = Vec::new();
+        save(&index, &mut buffer).unwrap();
+        buffer.truncate(buffer.len() / 2);
+        let err = load(buffer.as_slice()).unwrap_err();
+        assert!(matches!(err, LoadIndexError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn corrupt_bucket_count_detected() {
+        let index = sample_index(SaStorage::Full);
+        let mut buffer = Vec::new();
+        save(&index, &mut buffer).unwrap();
+        // Bucket-width field lives after magic(8) + n(8) + sentinel(8) +
+        // packed BWT + count(16).
+        let n = index.text_len();
+        let offset = 8 + 8 + 8 + n.div_ceil(4) + 16;
+        buffer[offset] = 0xFF; // mangle the bucket width
+        let err = load(buffer.as_slice()).unwrap_err();
+        assert!(matches!(err, LoadIndexError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn error_type_is_well_behaved() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<LoadIndexError>();
+    }
+}

@@ -1,0 +1,66 @@
+//! Software-reference FM-index for the PIM-Aligner reproduction.
+//!
+//! This crate is the *algorithmic ground truth* of the workspace: it
+//! implements BWT-based read mapping exactly as §II–III of the paper
+//! describe it, entirely in software. The `pim-aligner` crate re-executes
+//! the same algorithm on the simulated SOT-MRAM platform and is tested for
+//! bit-exact agreement with this crate.
+//!
+//! Pipeline (paper Fig. 2):
+//!
+//! 1. append the sentinel `$` to the reference and build the **suffix
+//!    array** ([`suffix_array`], linear-time SA-IS with a naive
+//!    cross-check implementation);
+//! 2. derive the **BWT** ([`Bwt`]) — the last column of the sorted
+//!    BW-matrix;
+//! 3. pre-compute **`Count(nt)`** ([`CountTable`]), the full **Occ**
+//!    table ([`OccTable`]), its down-sampled form with bucket width `d`
+//!    ([`SampledOcc`]), and the **Marker Table**
+//!    ([`MarkerTable`] = `SampledOcc + Count`);
+//! 4. answer queries by **backward search** ([`FmIndex::backward_search`])
+//!    built on the hardware-friendly [`MarkerTable::lfm`] procedure, with
+//!    inexact matching ([`FmIndex::search_inexact`]) via bounded
+//!    backtracking (Algorithm 2).
+//!
+//! # Examples
+//!
+//! The paper's running example (Fig. 1): read `R = CTA` against reference
+//! `S = TGCTA`.
+//!
+//! ```
+//! use bioseq::DnaSeq;
+//! use fmindex::FmIndex;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let reference: DnaSeq = "TGCTA".parse()?;
+//! let index = FmIndex::builder().bucket_width(2).build(&reference);
+//!
+//! assert_eq!(index.bwt().to_string(), "ATGTC$");
+//!
+//! let read: DnaSeq = "CTA".parse()?;
+//! let interval = index.backward_search(&read).expect("CTA occurs in TGCTA");
+//! assert_eq!(index.locate(interval), vec![2]); // CTA starts at position 2
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod io;
+pub mod size_model;
+
+mod bwt;
+mod index;
+mod inexact;
+mod locate;
+mod sa;
+mod search;
+mod tables;
+mod text;
+
+pub use bwt::Bwt;
+pub use index::{FmIndex, FmIndexBuilder, SaStorage};
+pub use inexact::{EditBudget, InexactHit};
+pub use locate::SuffixArraySamples;
+pub use sa::{suffix_array, suffix_array_naive};
+pub use search::SaInterval;
+pub use tables::{CountTable, MarkerTable, OccTable, SampledOcc};
+pub use text::Text;

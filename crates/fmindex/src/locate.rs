@@ -1,0 +1,246 @@
+//! Mapping SA rows back to reference positions.
+//!
+//! The paper stores the full suffix array in memory next to BWT and MT
+//! ("only BWT, Marker Table (MT), and SA will be stored in the memory").
+//! We support that configuration plus the classic space-saving alternative
+//! of sampling the SA and recovering un-sampled rows by LF-stepping — used
+//! by the ablation benches to show the storage/latency trade-off.
+
+use crate::bwt::Bwt;
+use crate::search::SaInterval;
+use crate::tables::{CountTable, OccTable};
+
+/// Suffix-array storage: either the full array or a sampled subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuffixArraySamples {
+    /// Every SA entry, indexed by row.
+    Full(Vec<u32>),
+    /// Entries whose *text position* is a multiple of the sampling rate,
+    /// addressed by SA row (`u32::MAX` marks an unsampled row).
+    Sampled {
+        /// `values[row]` = SA value when sampled, `u32::MAX` otherwise.
+        values: Vec<u32>,
+        /// Sampling rate `s` (every `s`-th text position is kept).
+        rate: u32,
+    },
+}
+
+impl SuffixArraySamples {
+    /// Keeps the full SA.
+    pub fn full(sa: &[usize]) -> SuffixArraySamples {
+        SuffixArraySamples::Full(sa.iter().map(|&v| v as u32).collect())
+    }
+
+    /// Samples the SA at text positions divisible by `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate == 0`.
+    pub fn sampled(sa: &[usize], rate: u32) -> SuffixArraySamples {
+        assert!(rate > 0, "SA sampling rate must be positive");
+        let values = sa
+            .iter()
+            .map(|&v| {
+                if (v as u32) % rate == 0 {
+                    v as u32
+                } else {
+                    u32::MAX
+                }
+            })
+            .collect();
+        SuffixArraySamples::Sampled { values, rate }
+    }
+
+    /// Number of SA rows covered.
+    pub fn len(&self) -> usize {
+        match self {
+            SuffixArraySamples::Full(v) => v.len(),
+            SuffixArraySamples::Sampled { values, .. } => values.len(),
+        }
+    }
+
+    /// SA storage always covers the sentinel row.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of storage used (Fig. 10a memory accounting).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            SuffixArraySamples::Full(v) => v.len() * 4,
+            SuffixArraySamples::Sampled { values, .. } => {
+                values.iter().filter(|&&v| v != u32::MAX).count() * 4 + values.len() / 8
+            }
+        }
+    }
+
+    /// The directly stored value for `row`, if present.
+    fn stored(&self, row: usize) -> Option<u32> {
+        match self {
+            SuffixArraySamples::Full(v) => Some(v[row]),
+            SuffixArraySamples::Sampled { values, .. } => {
+                let v = values[row];
+                (v != u32::MAX).then_some(v)
+            }
+        }
+    }
+}
+
+/// Resolves every row of `interval` to a text position, LF-stepping from
+/// unsampled rows when the SA is sampled. Positions are returned sorted
+/// and deduplicated.
+///
+/// # Panics
+///
+/// Panics if the interval exceeds the number of SA rows.
+pub fn locate(
+    samples: &SuffixArraySamples,
+    bwt: &Bwt,
+    count: &CountTable,
+    occ: &OccTable,
+    interval: SaInterval,
+) -> Vec<usize> {
+    assert!(
+        interval.high() as usize <= samples.len(),
+        "interval {interval} exceeds SA rows {}",
+        samples.len()
+    );
+    let mut out: Vec<usize> = interval
+        .rows()
+        .map(|row| resolve_row(samples, bwt, count, occ, row))
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn resolve_row(
+    samples: &SuffixArraySamples,
+    bwt: &Bwt,
+    count: &CountTable,
+    occ: &OccTable,
+    mut row: usize,
+) -> usize {
+    let mut steps = 0usize;
+    loop {
+        if let Some(v) = samples.stored(row) {
+            return v as usize + steps;
+        }
+        row = lf_step(bwt, count, occ, row);
+        steps += 1;
+        debug_assert!(steps <= bwt.len(), "LF walk did not terminate");
+    }
+}
+
+/// One LF-mapping step: the SA row of the suffix one position earlier in
+/// the text.
+fn lf_step(bwt: &Bwt, count: &CountTable, occ: &OccTable, row: usize) -> usize {
+    let r = bwt.rank(row);
+    if r == 0 {
+        return 0; // the sentinel maps to row 0
+    }
+    let base = bioseq::Base::from_rank(r as usize - 1);
+    count.get(base) as usize + occ.occ(base, row) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sa::suffix_array;
+    use crate::tables::SampledOcc;
+    use crate::text::Text;
+    use bioseq::DnaSeq;
+    use proptest::prelude::*;
+
+    fn setup(s: &str) -> (Vec<usize>, Bwt, CountTable, OccTable) {
+        let t = Text::from_reference(&s.parse::<DnaSeq>().unwrap());
+        let sa = suffix_array(&t);
+        let bwt = Bwt::from_sa(&t, &sa);
+        let count = CountTable::from_bwt(&bwt);
+        let occ = OccTable::from_bwt(&bwt);
+        let _ = SampledOcc::from_occ(&occ, 4);
+        (sa, bwt, count, occ)
+    }
+
+    #[test]
+    fn full_storage_is_direct_lookup() {
+        let (sa, bwt, count, occ) = setup("TGCTAACG");
+        let samples = SuffixArraySamples::full(&sa);
+        for row in 0..sa.len() {
+            let interval = SaInterval::new(row as u32, row as u32 + 1);
+            assert_eq!(locate(&samples, &bwt, &count, &occ, interval), vec![sa[row]]);
+        }
+    }
+
+    #[test]
+    fn sampled_storage_recovers_all_rows() {
+        let (sa, bwt, count, occ) = setup("GATTACAGATTACAGGGTTTCCC");
+        for rate in [1u32, 2, 3, 4, 8] {
+            let samples = SuffixArraySamples::sampled(&sa, rate);
+            for row in 0..sa.len() {
+                let interval = SaInterval::new(row as u32, row as u32 + 1);
+                assert_eq!(
+                    locate(&samples, &bwt, &count, &occ, interval),
+                    vec![sa[row]],
+                    "rate {rate} row {row}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_uses_less_space() {
+        let (sa, ..) = setup(&"ACGT".repeat(64));
+        let full = SuffixArraySamples::full(&sa);
+        let sparse = SuffixArraySamples::sampled(&sa, 8);
+        assert!(sparse.size_bytes() < full.size_bytes());
+    }
+
+    #[test]
+    fn locate_interval_sorts_and_dedups() {
+        let (sa, bwt, count, occ) = setup("ACGTACGTACGT");
+        let samples = SuffixArraySamples::full(&sa);
+        // Rows 0..4 in one interval: positions come back sorted.
+        let pos = locate(&samples, &bwt, &count, &occ, SaInterval::new(0, 4));
+        let mut sorted = pos.clone();
+        sorted.sort_unstable();
+        assert_eq!(pos, sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds SA rows")]
+    fn out_of_range_interval_panics() {
+        let (sa, bwt, count, occ) = setup("ACGT");
+        let samples = SuffixArraySamples::full(&sa);
+        let _ = locate(&samples, &bwt, &count, &occ, SaInterval::new(0, 99));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        let (sa, ..) = setup("ACGT");
+        let _ = SuffixArraySamples::sampled(&sa, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn sampled_equals_full(
+            bases in proptest::collection::vec(0u8..4, 1..120),
+            rate in 1u32..10,
+        ) {
+            let seq: DnaSeq = bases.iter().map(|&r| bioseq::Base::from_rank(r as usize)).collect();
+            let t = Text::from_reference(&seq);
+            let sa = suffix_array(&t);
+            let bwt = Bwt::from_sa(&t, &sa);
+            let count = CountTable::from_bwt(&bwt);
+            let occ = OccTable::from_bwt(&bwt);
+            let full = SuffixArraySamples::full(&sa);
+            let sparse = SuffixArraySamples::sampled(&sa, rate);
+            let interval = SaInterval::full(sa.len());
+            prop_assert_eq!(
+                locate(&full, &bwt, &count, &occ, interval),
+                locate(&sparse, &bwt, &count, &occ, interval)
+            );
+        }
+    }
+}

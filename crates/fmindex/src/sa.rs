@@ -1,0 +1,263 @@
+//! Suffix-array construction.
+//!
+//! Two implementations are provided:
+//!
+//! * [`suffix_array`] — linear-time SA-IS (induced sorting), the
+//!   production path used for all index builds;
+//! * [`suffix_array_naive`] — O(n² log n) comparison sort, kept as an
+//!   independent oracle for the property tests.
+//!
+//! Both operate on a [`Text`] (reference + sentinel), where the sentinel is
+//! the unique lexicographically-smallest symbol, and return the
+//! lexicographically-sorted array of suffix start positions (paper §II:
+//! "the Suffix Array (SA) of a reference genome-S is a
+//! lexicographically-sorted array of the suffixes of S").
+
+use crate::text::{Text, ALPHABET};
+
+/// Builds the suffix array of `text` with the SA-IS algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use bioseq::DnaSeq;
+/// use fmindex::{suffix_array, Text};
+///
+/// # fn main() -> Result<(), bioseq::ParseSeqError> {
+/// let text = Text::from_reference(&"TGCTA".parse::<DnaSeq>()?);
+/// // Sorted suffixes of TGCTA$: $  A$  CTA$  GCTA$  TA$  TGCTA$
+/// assert_eq!(suffix_array(&text), vec![5, 4, 2, 1, 3, 0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn suffix_array(text: &Text) -> Vec<usize> {
+    let s: Vec<usize> = text.as_ranks().iter().map(|&r| r as usize).collect();
+    sais(&s, ALPHABET)
+}
+
+/// Builds the suffix array by sorting all suffixes directly.
+///
+/// Quadratic in the worst case — use only as a test oracle or on tiny
+/// inputs.
+pub fn suffix_array_naive(text: &Text) -> Vec<usize> {
+    let mut sa: Vec<usize> = (0..text.len()).collect();
+    sa.sort_by(|&a, &b| text.suffix(a).cmp(text.suffix(b)));
+    sa
+}
+
+/// SA-IS over a rank sequence whose last element is the unique smallest
+/// symbol (the sentinel).
+fn sais(s: &[usize], alphabet: usize) -> Vec<usize> {
+    let n = s.len();
+    if n == 1 {
+        return vec![0];
+    }
+    if n == 2 {
+        // Sentinel last: suffix 1 ($) < suffix 0.
+        return vec![1, 0];
+    }
+
+    // --- Classify positions as S-type or L-type. ---
+    let mut is_s = vec![false; n];
+    is_s[n - 1] = true;
+    for i in (0..n - 1).rev() {
+        is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
+    }
+    let is_lms = |i: usize, is_s: &[bool]| i > 0 && is_s[i] && !is_s[i - 1];
+
+    // --- Bucket sizes per symbol. ---
+    let mut bucket_sizes = vec![0usize; alphabet];
+    for &c in s {
+        bucket_sizes[c] += 1;
+    }
+    let bucket_heads = |sizes: &[usize]| {
+        let mut heads = vec![0usize; alphabet];
+        let mut sum = 0;
+        for (h, &sz) in heads.iter_mut().zip(sizes) {
+            *h = sum;
+            sum += sz;
+        }
+        heads
+    };
+    let bucket_tails = |sizes: &[usize]| {
+        let mut tails = vec![0usize; alphabet];
+        let mut sum = 0;
+        for (t, &sz) in tails.iter_mut().zip(sizes) {
+            sum += sz;
+            *t = sum;
+        }
+        tails
+    };
+
+    const EMPTY: usize = usize::MAX;
+
+    // Induced sort: place `lms` (already in the desired order) at bucket
+    // tails, then induce L-types left-to-right and S-types right-to-left.
+    let induce = |lms: &[usize], is_s: &[bool]| -> Vec<usize> {
+        let mut sa = vec![EMPTY; n];
+        let mut tails = bucket_tails(&bucket_sizes);
+        for &p in lms.iter().rev() {
+            tails[s[p]] -= 1;
+            sa[tails[s[p]]] = p;
+        }
+        let mut heads = bucket_heads(&bucket_sizes);
+        for i in 0..n {
+            let p = sa[i];
+            if p != EMPTY && p > 0 && !is_s[p - 1] {
+                sa[heads[s[p - 1]]] = p - 1;
+                heads[s[p - 1]] += 1;
+            }
+        }
+        let mut tails = bucket_tails(&bucket_sizes);
+        for i in (0..n).rev() {
+            let p = sa[i];
+            if p != EMPTY && p > 0 && is_s[p - 1] {
+                tails[s[p - 1]] -= 1;
+                sa[tails[s[p - 1]]] = p - 1;
+            }
+        }
+        sa
+    };
+
+    // --- First pass: sort LMS substrings by inducing from unsorted LMS. ---
+    let lms_positions: Vec<usize> = (1..n).filter(|&i| is_lms(i, &is_s)).collect();
+    let sa0 = induce(&lms_positions, &is_s);
+
+    // Extract LMS positions in the induced (sorted-substring) order.
+    let sorted_lms: Vec<usize> = sa0
+        .iter()
+        .copied()
+        .filter(|&p| p != EMPTY && is_lms(p, &is_s))
+        .collect();
+
+    // --- Name LMS substrings. ---
+    let lms_substring_end = |start: usize| {
+        // The LMS substring runs from one LMS position to the next
+        // (inclusive); the sentinel's substring is just itself.
+        if start == n - 1 {
+            return n - 1;
+        }
+        let mut j = start + 1;
+        while j < n && !is_lms(j, &is_s) {
+            j += 1;
+        }
+        j.min(n - 1)
+    };
+    let mut names = vec![EMPTY; n];
+    let mut current = 0usize;
+    let mut prev: Option<usize> = None;
+    for &p in &sorted_lms {
+        if let Some(q) = prev {
+            let (pe, qe) = (lms_substring_end(p), lms_substring_end(q));
+            let equal = pe - p == qe - q
+                && s[p..=pe] == s[q..=qe]
+                && is_s[p..=pe] == is_s[q..=qe];
+            if !equal {
+                current += 1;
+            }
+        }
+        names[p] = current;
+        prev = Some(p);
+    }
+    let unique_names = current + 1;
+
+    // --- Order the LMS positions. ---
+    let lms_order: Vec<usize> = if unique_names == sorted_lms.len() {
+        // All names unique: the induced order is already correct.
+        sorted_lms
+    } else {
+        // Recurse on the reduced string of LMS names (in text order).
+        let reduced: Vec<usize> = lms_positions.iter().map(|&p| names[p]).collect();
+        let reduced_sa = sais(&reduced, unique_names);
+        reduced_sa.iter().map(|&i| lms_positions[i]).collect()
+    };
+
+    induce(&lms_order, &is_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioseq::DnaSeq;
+    use proptest::prelude::*;
+
+    fn text_of(s: &str) -> Text {
+        Text::from_reference(&s.parse::<DnaSeq>().unwrap())
+    }
+
+    #[test]
+    fn paper_example_tgcta() {
+        let t = text_of("TGCTA");
+        let sa = suffix_array(&t);
+        assert_eq!(sa, vec![5, 4, 2, 1, 3, 0]);
+        assert_eq!(suffix_array_naive(&t), sa);
+    }
+
+    #[test]
+    fn banana_style_repeats() {
+        // GAGAGA$ exercises deep LMS recursion.
+        let t = text_of("GAGAGA");
+        assert_eq!(suffix_array(&t), suffix_array_naive(&t));
+    }
+
+    #[test]
+    fn single_base() {
+        let t = text_of("A");
+        assert_eq!(suffix_array(&t), vec![1, 0]);
+    }
+
+    #[test]
+    fn empty_reference() {
+        let t = Text::from_reference(&DnaSeq::new());
+        assert_eq!(suffix_array(&t), vec![0]);
+    }
+
+    #[test]
+    fn homopolymer_run() {
+        let t = text_of(&"A".repeat(100));
+        let sa = suffix_array(&t);
+        // Suffixes of A^k$ sort by decreasing start position.
+        let expected: Vec<usize> = (0..=100).rev().collect();
+        assert_eq!(sa, expected);
+    }
+
+    #[test]
+    fn sa_is_permutation() {
+        let t = text_of("ACGTACGTTTGGCCAA");
+        let mut sa = suffix_array(&t);
+        sa.sort_unstable();
+        assert_eq!(sa, (0..t.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn suffixes_are_sorted() {
+        let t = text_of("CTAGCTAGCATCGATCGAT");
+        let sa = suffix_array(&t);
+        for w in sa.windows(2) {
+            assert!(t.suffix(w[0]) < t.suffix(w[1]));
+        }
+    }
+
+    #[test]
+    fn sentinel_suffix_first() {
+        let t = text_of("GGGTTTAAACCC");
+        assert_eq!(suffix_array(&t)[0], t.len() - 1);
+    }
+
+    proptest! {
+        #[test]
+        fn sais_matches_naive(bases in proptest::collection::vec(0u8..4, 0..300)) {
+            let seq: DnaSeq = bases.iter().map(|&r| bioseq::Base::from_rank(r as usize)).collect();
+            let t = Text::from_reference(&seq);
+            prop_assert_eq!(suffix_array(&t), suffix_array_naive(&t));
+        }
+
+        #[test]
+        fn sais_matches_naive_low_entropy(bases in proptest::collection::vec(0u8..2, 0..400)) {
+            // Two-symbol texts stress the LMS naming/recursion path.
+            let seq: DnaSeq = bases.iter().map(|&r| bioseq::Base::from_rank(r as usize)).collect();
+            let t = Text::from_reference(&seq);
+            prop_assert_eq!(suffix_array(&t), suffix_array_naive(&t));
+        }
+    }
+}

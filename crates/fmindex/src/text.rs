@@ -1,0 +1,160 @@
+//! The indexed text: reference genome plus sentinel.
+
+use std::fmt;
+
+use bioseq::{Base, DnaSeq, Symbol};
+
+/// The alphabet size of the indexed text: `$, A, C, G, T`.
+pub const ALPHABET: usize = 5;
+
+/// A reference genome with the `$` sentinel appended, stored as symbol
+/// ranks (`$ → 0`, `A → 1`, …, `T → 4`).
+///
+/// All index structures (suffix array, BWT, Occ) are built over a `Text`.
+/// Position `text.len() - 1` always holds the sentinel.
+///
+/// # Examples
+///
+/// ```
+/// use bioseq::DnaSeq;
+/// use fmindex::Text;
+///
+/// # fn main() -> Result<(), bioseq::ParseSeqError> {
+/// let t = Text::from_reference(&"TGCTA".parse::<DnaSeq>()?);
+/// assert_eq!(t.len(), 6); // 5 bases + $
+/// assert_eq!(t.to_string(), "TGCTA$");
+/// assert_eq!(t.rank(5), 0); // sentinel
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Text {
+    ranks: Vec<u8>,
+}
+
+impl Text {
+    /// Builds the text `S$` from reference `S`.
+    pub fn from_reference(reference: &DnaSeq) -> Text {
+        let mut ranks = Vec::with_capacity(reference.len() + 1);
+        ranks.extend(reference.iter().map(|b| Symbol::Base(*b).rank() as u8));
+        ranks.push(Symbol::Sentinel.rank() as u8);
+        Text { ranks }
+    }
+
+    /// Total length including the sentinel (the `n + 1` of the paper's
+    /// `n`-bp reference).
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// `Text` always contains at least the sentinel.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Length of the reference without the sentinel.
+    pub fn reference_len(&self) -> usize {
+        self.ranks.len() - 1
+    }
+
+    /// The symbol rank at `pos` (`0` for the sentinel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= self.len()`.
+    #[inline]
+    pub fn rank(&self, pos: usize) -> u8 {
+        self.ranks[pos]
+    }
+
+    /// The symbol at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= self.len()`.
+    pub fn symbol(&self, pos: usize) -> Symbol {
+        Symbol::from_rank(self.ranks[pos] as usize)
+    }
+
+    /// The ranks as a slice (sentinel last).
+    pub fn as_ranks(&self) -> &[u8] {
+        &self.ranks
+    }
+
+    /// Reconstructs the reference sequence (without the sentinel).
+    pub fn to_reference(&self) -> DnaSeq {
+        self.ranks[..self.reference_len()]
+            .iter()
+            .map(|&r| Base::from_rank(r as usize - 1))
+            .collect()
+    }
+
+    /// The suffix starting at `pos`, as symbol ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= self.len()`.
+    pub fn suffix(&self, pos: usize) -> &[u8] {
+        &self.ranks[pos..]
+    }
+}
+
+impl fmt::Display for Text {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &r in &self.ranks {
+            write!(f, "{}", Symbol::from_rank(r as usize).to_char())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tgcta() -> Text {
+        Text::from_reference(&"TGCTA".parse().unwrap())
+    }
+
+    #[test]
+    fn sentinel_is_appended_last() {
+        let t = tgcta();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.rank(t.len() - 1), 0);
+        assert_eq!(t.symbol(t.len() - 1), Symbol::Sentinel);
+    }
+
+    #[test]
+    fn ranks_match_symbols() {
+        let t = tgcta();
+        // T G C T A $ -> 4 3 2 4 1 0
+        assert_eq!(t.as_ranks(), &[4, 3, 2, 4, 1, 0]);
+    }
+
+    #[test]
+    fn round_trip_to_reference() {
+        let t = tgcta();
+        assert_eq!(t.to_reference().to_string(), "TGCTA");
+        assert_eq!(t.reference_len(), 5);
+    }
+
+    #[test]
+    fn display_shows_sentinel() {
+        assert_eq!(tgcta().to_string(), "TGCTA$");
+    }
+
+    #[test]
+    fn empty_reference_is_just_sentinel() {
+        let t = Text::from_reference(&DnaSeq::new());
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert_eq!(t.to_string(), "$");
+    }
+
+    #[test]
+    fn suffixes_are_slices() {
+        let t = tgcta();
+        assert_eq!(t.suffix(2), &[2, 4, 1, 0]); // CTA$
+        assert_eq!(t.suffix(5), &[0]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Sensing-fault model: from Monte-Carlo margins to misread
+//! probabilities.
+//!
+//! The paper caps the sensed fan-in at three and thickens the MgO barrier
+//! precisely "to avoid logic failure and guarantee the SA output's
+//! reliability". This module quantifies what happens when those
+//! precautions are *not* enough: it turns a variation level into a
+//! per-decision misread probability that the platform simulator can
+//! inject into `XNOR_Match`, closing the loop from device variation to
+//! alignment accuracy (DESIGN.md §8).
+
+use crate::device::CellParams;
+use crate::montecarlo::{run, SenseMarginReport};
+
+/// A per-decision sensing-fault model.
+///
+/// # Examples
+///
+/// ```
+/// use mram::device::CellParams;
+/// use mram::faults::FaultModel;
+///
+/// // At the paper's variation the platform is fault-free...
+/// let nominal = FaultModel::from_cell(&CellParams::default(), 2_000, 7);
+/// assert_eq!(nominal.xnor_misread_prob(), 0.0);
+///
+/// // ...but a noisy comparator starts to overlap the XOR3 levels.
+/// let noisy_cell = CellParams::default().with_sense_offset(1.5);
+/// let noisy = FaultModel::from_cell(&noisy_cell, 2_000, 7);
+/// assert!(noisy.xnor_misread_prob() > nominal.xnor_misread_prob());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultModel {
+    xnor_misread_prob: f64,
+    add_misread_prob: f64,
+}
+
+impl FaultModel {
+    /// A fault-free model (ideal sensing).
+    pub fn ideal() -> FaultModel {
+        FaultModel {
+            xnor_misread_prob: 0.0,
+            add_misread_prob: 0.0,
+        }
+    }
+
+    /// Builds a model with explicit probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn with_probabilities(xnor: f64, add: f64) -> FaultModel {
+        assert!((0.0..=1.0).contains(&xnor), "probability out of range");
+        assert!((0.0..=1.0).contains(&add), "probability out of range");
+        FaultModel {
+            xnor_misread_prob: xnor,
+            add_misread_prob: add,
+        }
+    }
+
+    /// Derives the model from a Monte-Carlo report: the `XNOR_Match`
+    /// decision uses the three-input XOR3 path, whose worst threshold is
+    /// the MAJ boundary; the adder's carry shares it.
+    pub fn from_report(report: &SenseMarginReport) -> FaultModel {
+        let panel = report.panel(3);
+        let worst = panel
+            .misread_prob
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
+        FaultModel {
+            xnor_misread_prob: worst,
+            add_misread_prob: worst,
+        }
+    }
+
+    /// Runs the Monte-Carlo analysis for `cell` and derives the model.
+    pub fn from_cell(cell: &CellParams, trials: usize, seed: u64) -> FaultModel {
+        FaultModel::from_report(&run(cell, trials, seed))
+    }
+
+    /// Probability that one bit of an `XNOR_Match` vector reads wrong.
+    pub fn xnor_misread_prob(&self) -> f64 {
+        self.xnor_misread_prob
+    }
+
+    /// Probability that one full-adder cycle produces a wrong sum/carry.
+    pub fn add_misread_prob(&self) -> f64 {
+        self.add_misread_prob
+    }
+
+    /// `true` when both probabilities are exactly zero (lets simulators
+    /// skip the per-bit sampling entirely).
+    pub fn is_ideal(&self) -> bool {
+        self.xnor_misread_prob == 0.0 && self.add_misread_prob == 0.0
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_model_is_fault_free() {
+        let m = FaultModel::ideal();
+        assert!(m.is_ideal());
+        assert_eq!(m.xnor_misread_prob(), 0.0);
+    }
+
+    #[test]
+    fn paper_sigma_yields_zero_misreads() {
+        let m = FaultModel::from_cell(&CellParams::default(), 3_000, 11);
+        assert!(m.is_ideal(), "paper variation must be reliable: {m:?}");
+    }
+
+    #[test]
+    fn comparator_offset_yields_faults() {
+        // The 3-cell level gap is 3 mV; a 1.5 mV absolute offset sigma
+        // overlaps adjacent distributions.
+        let noisy = CellParams::default().with_sense_offset(1.5);
+        let m = FaultModel::from_cell(&noisy, 3_000, 11);
+        assert!(m.xnor_misread_prob() > 0.0, "1.5 mV offset must overlap levels");
+        assert!(!m.is_ideal());
+    }
+
+    #[test]
+    fn thick_oxide_restores_reliability() {
+        // The paper's fix: raising t_ox scales the resistance levels
+        // (and their gaps) exponentially, while the comparator offset is
+        // absolute — so the same offset becomes harmless.
+        let noisy = CellParams::default().with_sense_offset(1.5);
+        let thin = FaultModel::from_cell(&noisy, 3_000, 13);
+        let thick = FaultModel::from_cell(&noisy.with_tox_nm(2.0), 3_000, 13);
+        assert!(thin.xnor_misread_prob() > 0.0);
+        assert_eq!(thick.xnor_misread_prob(), 0.0, "thick oxide must be reliable");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_probability_rejected() {
+        let _ = FaultModel::with_probabilities(1.5, 0.0);
+    }
+}

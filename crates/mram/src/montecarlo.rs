@@ -1,0 +1,315 @@
+//! Monte-Carlo variation analysis of the sensing circuit (paper Fig. 5b).
+//!
+//! "To validate the variation tolerance of the sensing circuit, we have
+//! performed Monte-Carlo simulation with 10000 trials. A σ = 2% variation
+//! is added to the Resistance-Area product (RAP), and a σ = 5% process
+//! variation is added on the Tunneling MagnetoResistive (TMR) of
+//! SOT-MRAM cells."
+//!
+//! [`run`] regenerates the three Fig. 5b panels: `V_sense` distributions
+//! for 1-, 2- and 3-cell sensing, with the sense margin between each pair
+//! of adjacent levels and an empirical misread probability per decision
+//! threshold.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::device::{parallel_resistance, CellParams};
+
+/// Number of trials used by the paper.
+pub const PAPER_TRIALS: usize = 10_000;
+
+/// Summary statistics of one `V_sense` level (a fixed number of '1' cells
+/// at a given fan-in).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelStats {
+    /// How many of the sensed cells store '1'.
+    pub ones: usize,
+    /// Mean sense voltage (mV).
+    pub mean_mv: f64,
+    /// Standard deviation (mV).
+    pub sigma_mv: f64,
+    /// Smallest sampled voltage (mV).
+    pub min_mv: f64,
+    /// Largest sampled voltage (mV).
+    pub max_mv: f64,
+    /// All samples (mV), for histogramming.
+    pub samples_mv: Vec<f64>,
+}
+
+/// Monte-Carlo results for one fan-in (one Fig. 5b panel).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FanInStats {
+    /// Number of cells sensed in parallel (1, 2 or 3).
+    pub fan_in: usize,
+    /// One entry per possible count of '1' cells (`0 ..= fan_in`).
+    pub levels: Vec<LevelStats>,
+    /// Worst-case margin between adjacent levels:
+    /// `min(level k+1) − max(level k)` for each threshold, in mV.
+    /// Negative values mean the distributions overlap.
+    pub margins_mv: Vec<f64>,
+    /// Empirical misread probability per threshold: the fraction of
+    /// samples on the wrong side of the midpoint reference.
+    pub misread_prob: Vec<f64>,
+}
+
+impl FanInStats {
+    /// The smallest adjacent-level margin (the panel's binding
+    /// constraint).
+    pub fn worst_margin_mv(&self) -> f64 {
+        self.margins_mv
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The margin at a specific threshold (0 = between levels 0 and 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold >= fan_in`.
+    pub fn margin_mv(&self, threshold: usize) -> f64 {
+        self.margins_mv[threshold]
+    }
+}
+
+/// The full Fig. 5b experiment: distributions and margins for fan-ins
+/// 1, 2 and 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SenseMarginReport {
+    /// Panels for fan-in 1, 2, 3 (in that order).
+    pub panels: Vec<FanInStats>,
+    /// Trials per level.
+    pub trials: usize,
+}
+
+impl SenseMarginReport {
+    /// The panel for a given fan-in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fan_in` is not 1, 2 or 3.
+    pub fn panel(&self, fan_in: usize) -> &FanInStats {
+        assert!((1..=3).contains(&fan_in), "fan-in must be 1, 2 or 3");
+        &self.panels[fan_in - 1]
+    }
+
+    /// The single-cell read margin (paper: 43.31 mV).
+    pub fn read_margin_mv(&self) -> f64 {
+        self.panel(1).worst_margin_mv()
+    }
+
+    /// The MAJ decision margin at fan-in 3 (paper: 5.82 mV before the
+    /// `t_ox` fix).
+    pub fn maj_margin_mv(&self) -> f64 {
+        self.panel(3).margin_mv(1)
+    }
+}
+
+/// Runs the Monte-Carlo analysis with `trials` samples per level.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use mram::device::CellParams;
+/// use mram::montecarlo::run;
+///
+/// let report = run(&CellParams::default(), 2_000, 7);
+/// // Paper Fig. 5b: a wide read margin that shrinks with fan-in.
+/// assert!(report.read_margin_mv() > 22.0);
+/// assert!(report.panel(2).worst_margin_mv() < report.read_margin_mv());
+/// assert!(report.panel(3).worst_margin_mv() < report.panel(2).worst_margin_mv());
+/// ```
+pub fn run(cell: &CellParams, trials: usize, seed: u64) -> SenseMarginReport {
+    assert!(trials > 0, "at least one trial required");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let panels = (1..=3)
+        .map(|fan_in| run_panel(cell, fan_in, trials, &mut rng))
+        .collect();
+    SenseMarginReport { panels, trials }
+}
+
+fn run_panel(cell: &CellParams, fan_in: usize, trials: usize, rng: &mut StdRng) -> FanInStats {
+    let mut levels = Vec::with_capacity(fan_in + 1);
+    for ones in 0..=fan_in {
+        let mut samples = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let resistances: Vec<f64> = (0..fan_in)
+                .map(|i| {
+                    let bit = i < ones;
+                    cell.varied_resistance(bit, gaussian(rng), gaussian(rng))
+                })
+                .collect();
+            // Absolute comparator offset (0 at the default calibration).
+            let offset = cell.sigma_offset_mv() * gaussian(rng);
+            samples.push(cell.sense_voltage_mv(parallel_resistance(&resistances)) + offset);
+        }
+        levels.push(summarise(ones, samples));
+    }
+    let mut margins = Vec::with_capacity(fan_in);
+    let mut misread = Vec::with_capacity(fan_in);
+    for k in 0..fan_in {
+        let lo = &levels[k];
+        let hi = &levels[k + 1];
+        margins.push(hi.min_mv - lo.max_mv);
+        let vref = (lo.mean_mv + hi.mean_mv) / 2.0;
+        let wrong = lo.samples_mv.iter().filter(|&&v| v > vref).count()
+            + hi.samples_mv.iter().filter(|&&v| v <= vref).count();
+        misread.push(wrong as f64 / (2 * trials) as f64);
+    }
+    FanInStats {
+        fan_in,
+        levels,
+        margins_mv: margins,
+        misread_prob: misread,
+    }
+}
+
+fn summarise(ones: usize, samples: Vec<f64>) -> LevelStats {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    LevelStats {
+        ones,
+        mean_mv: mean,
+        sigma_mv: var.sqrt(),
+        min_mv: min,
+        max_mv: max,
+        samples_mv: samples,
+    }
+}
+
+/// Standard-normal deviate via Box–Muller (the `rand` crate alone ships no
+/// normal distribution; `rand_distr` is outside the allowed dependency
+/// set).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Builds a histogram of samples with `bins` equal-width bins over
+/// `[lo, hi)` — the rendering-side of the Fig. 5b panels.
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or `hi <= lo`.
+pub fn histogram(samples: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<usize> {
+    assert!(bins > 0, "at least one bin required");
+    assert!(hi > lo, "histogram range must be non-empty");
+    let mut counts = vec![0usize; bins];
+    let width = (hi - lo) / bins as f64;
+    for &v in samples {
+        if v >= lo && v < hi {
+            counts[((v - lo) / width) as usize] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SenseMarginReport {
+        run(&CellParams::default(), 4_000, 42)
+    }
+
+    #[test]
+    fn level_means_match_nominal_voltages() {
+        let r = report();
+        let expected: [&[f64]; 3] = [&[45.0, 90.0], &[22.5, 30.0, 45.0], &[15.0, 18.0, 22.5, 30.0]];
+        for (panel, exp) in r.panels.iter().zip(expected) {
+            for (level, &e) in panel.levels.iter().zip(exp) {
+                assert!(
+                    (level.mean_mv - e).abs() < 0.02 * e,
+                    "fan-in {} level {} mean {:.2} expected {e}",
+                    panel.fan_in,
+                    level.ones,
+                    level.mean_mv
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn margins_shrink_with_fan_in_as_in_fig5b() {
+        let r = report();
+        // "We observe that sense margin gradually reduces when increasing
+        // the number of fan-ins."
+        let m1 = r.panel(1).worst_margin_mv();
+        let m2 = r.panel(2).worst_margin_mv();
+        let m3 = r.panel(3).worst_margin_mv();
+        assert!(m1 > m2 && m2 > m3, "margins {m1:.2} / {m2:.2} / {m3:.2}");
+        // Band-check against the paper's annotations (43.31 / 14.62 /
+        // 5.82 / 4.28 mV). Our margin metric — empirical min–max
+        // separation over all trials — is stricter than the paper's, so
+        // absolute values sit below theirs; the ranking and fan-in trend
+        // are what the figure demonstrates (EXPERIMENTS.md, Fig. 5b).
+        assert!((22.0..48.0).contains(&m1), "read margin {m1:.2}");
+        assert!((4.0..16.0).contains(&m2), "2-cell margin {m2:.2}");
+        assert!((0.3..6.0).contains(&m3), "3-cell margin {m3:.2}");
+    }
+
+    #[test]
+    fn tox_increase_restores_maj_margin() {
+        let thin = run(&CellParams::default(), 2_000, 1);
+        let thick = run(&CellParams::default().with_tox_nm(2.0), 2_000, 1);
+        let gain = thick.maj_margin_mv() - thin.maj_margin_mv();
+        assert!(
+            (30.0..60.0).contains(&gain),
+            "t_ox 1.5→2 nm should add ≈45 mV of MAJ margin, got {gain:.1}"
+        );
+    }
+
+    #[test]
+    fn misread_probability_is_negligible_at_paper_sigma() {
+        let r = report();
+        for panel in &r.panels {
+            for (&m, &p) in panel.margins_mv.iter().zip(&panel.misread_prob) {
+                if m > 0.0 {
+                    assert_eq!(p, 0.0, "positive margin must mean no misreads");
+                }
+                assert!(p < 0.05, "misread probability {p} too high");
+            }
+        }
+    }
+
+    #[test]
+    fn larger_variation_erodes_margins() {
+        let base = run(&CellParams::default(), 2_000, 9);
+        let noisy = run(
+            &CellParams::default().with_variation(0.08, 0.20),
+            2_000,
+            9,
+        );
+        assert!(noisy.panel(3).worst_margin_mv() < base.panel(3).worst_margin_mv());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run(&CellParams::default(), 500, 5);
+        let b = run(&CellParams::default(), 500, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn histogram_counts_all_in_range() {
+        let samples = vec![1.0, 2.0, 2.5, 3.0, 9.0];
+        let h = histogram(&samples, 0.0, 10.0, 10);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+        assert_eq!(h[2], 2); // 2.0 and 2.5
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let _ = run(&CellParams::default(), 0, 1);
+    }
+}

@@ -1,0 +1,300 @@
+//! The reconfigurable sense amplifier (paper Fig. 4b).
+//!
+//! Three sub-SAs share four reference-resistance branches selected by the
+//! enable bits `C_AND3`, `C_MAJ`, `C_OR3`, `C_M`. Activating one enable
+//! realises memory read or a one-threshold Boolean function over the
+//! parallel-sensed cells; activating all three compute enables realises
+//! single-cycle `XOR3` (sum) alongside `MAJ` (carry) — the paper's
+//! in-memory full adder — and, with one operand row pre-set to '1',
+//! `XNOR2` for the comparison step.
+
+use crate::device::{parallel_resistance, CellParams};
+
+/// The function the sense amplifier is configured for — one row of the
+/// Fig. 4b enable table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SenseMode {
+    /// `C_M = 1`: plain memory read of one cell.
+    MemoryRead,
+    /// `C_AND3 = 1`: 3-input AND of cells on the bit line.
+    And3,
+    /// `C_MAJ = 1`: 3-input majority (the adder's carry).
+    Maj3,
+    /// `C_OR3 = 1`: 3-input OR.
+    Or3,
+    /// All three compute enables: `XOR3` through the output stage (the
+    /// adder's sum; `XNOR2` when one input row is pre-set to '1').
+    Xor3,
+}
+
+impl SenseMode {
+    /// The `(C_AND3, C_MAJ, C_OR3, C_M)` enable bits for this mode,
+    /// exactly as tabulated in Fig. 4b.
+    pub fn enables(self) -> (bool, bool, bool, bool) {
+        match self {
+            SenseMode::MemoryRead => (false, false, false, true),
+            SenseMode::And3 => (true, false, false, false),
+            SenseMode::Maj3 => (false, true, false, false),
+            SenseMode::Or3 => (false, false, true, false),
+            SenseMode::Xor3 => (true, true, true, false),
+        }
+    }
+
+    /// How many cells the mode senses simultaneously.
+    pub fn fan_in(self) -> usize {
+        match self {
+            SenseMode::MemoryRead => 1,
+            _ => 3,
+        }
+    }
+}
+
+/// The reference voltages (mV) of the four branches, derived from the
+/// cell calibration: each threshold sits midway between the two adjacent
+/// equivalent-resistance levels it must separate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct References {
+    /// Memory-read threshold (between `R_P` and `R_AP` voltages).
+    pub v_m_mv: f64,
+    /// AND3 threshold (between the 2-of-3 and 3-of-3 levels).
+    pub v_and3_mv: f64,
+    /// MAJ threshold (between the 1-of-3 and 2-of-3 levels).
+    pub v_maj_mv: f64,
+    /// OR3 threshold (between the 0-of-3 and 1-of-3 levels).
+    pub v_or3_mv: f64,
+}
+
+/// The reconfigurable sense amplifier: computes the Fig. 4b functions
+/// from sensed cell resistances.
+///
+/// # Examples
+///
+/// ```
+/// use mram::device::CellParams;
+/// use mram::sense::{SenseAmp, SenseMode};
+///
+/// let cell = CellParams::default();
+/// let sa = SenseAmp::new(&cell);
+/// let bit = |b| cell.resistance(b);
+/// // XNOR2 via XOR3 with the third row pre-set to '1':
+/// assert!(sa.evaluate(SenseMode::Xor3, &[bit(true), bit(true), bit(true)]));   // 1⊕1⊕1 = 1
+/// assert!(!sa.evaluate(SenseMode::Xor3, &[bit(true), bit(false), bit(true)])); // 1⊕0⊕1 = 0
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SenseAmp {
+    cell: CellParams,
+    refs: References,
+}
+
+impl SenseAmp {
+    /// Builds the amplifier, deriving reference voltages from the cell
+    /// calibration.
+    pub fn new(cell: &CellParams) -> SenseAmp {
+        let rp = cell.r_p_ohm();
+        let rap = cell.r_ap_ohm();
+        let v = |cells: &[f64]| cell.sense_voltage_mv(parallel_resistance(cells));
+        let level3 = |ones: usize| {
+            let cells: Vec<f64> = (0..3).map(|i| if i < ones { rap } else { rp }).collect();
+            v(&cells)
+        };
+        let refs = References {
+            v_m_mv: (v(&[rp]) + v(&[rap])) / 2.0,
+            v_and3_mv: (level3(2) + level3(3)) / 2.0,
+            v_maj_mv: (level3(1) + level3(2)) / 2.0,
+            v_or3_mv: (level3(0) + level3(1)) / 2.0,
+        };
+        SenseAmp { cell: *cell, refs }
+    }
+
+    /// The derived reference voltages.
+    pub fn references(&self) -> References {
+        self.refs
+    }
+
+    /// The sense voltage (mV) developed by the given parallel cell
+    /// resistances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is empty.
+    pub fn sense_voltage_mv(&self, cells: &[f64]) -> f64 {
+        self.cell.sense_voltage_mv(parallel_resistance(cells))
+    }
+
+    /// Evaluates one sense-amp function over the sensed cell resistances.
+    ///
+    /// For the 3-input modes the `Xor3` result is produced by the output
+    /// stage from the three threshold comparators:
+    /// `XOR3 = AND3 ∨ (OR3 ∧ ¬MAJ)` (odd parity of three inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of cells does not match
+    /// [`SenseMode::fan_in`].
+    pub fn evaluate(&self, mode: SenseMode, cells: &[f64]) -> bool {
+        assert_eq!(
+            cells.len(),
+            mode.fan_in(),
+            "mode {mode:?} senses {} cell(s)",
+            mode.fan_in()
+        );
+        let v = self.sense_voltage_mv(cells);
+        match mode {
+            SenseMode::MemoryRead => v > self.refs.v_m_mv,
+            SenseMode::And3 => v > self.refs.v_and3_mv,
+            SenseMode::Maj3 => v > self.refs.v_maj_mv,
+            SenseMode::Or3 => v > self.refs.v_or3_mv,
+            SenseMode::Xor3 => {
+                let and3 = v > self.refs.v_and3_mv;
+                let maj = v > self.refs.v_maj_mv;
+                let or3 = v > self.refs.v_or3_mv;
+                and3 || (or3 && !maj)
+            }
+        }
+    }
+
+    /// Convenience: evaluates a 3-input mode from stored bits using the
+    /// *nominal* (variation-free) resistances. Returns `(sum, carry)` for
+    /// the in-memory full adder — one memory cycle in hardware.
+    pub fn full_add(&self, a: bool, b: bool, c: bool) -> (bool, bool) {
+        let cells = [
+            self.cell.resistance(a),
+            self.cell.resistance(b),
+            self.cell.resistance(c),
+        ];
+        (
+            self.evaluate(SenseMode::Xor3, &cells),
+            self.evaluate(SenseMode::Maj3, &cells),
+        )
+    }
+
+    /// Convenience: XNOR2 of two stored bits, implemented as XOR3 with
+    /// the third row initialised to '1' (paper §IV-B: "Assuming one row in
+    /// memory sub-array initialized to one, XNOR2 can be readily
+    /// implemented … out of XOR3").
+    pub fn xnor2(&self, a: bool, b: bool) -> bool {
+        let cells = [
+            self.cell.resistance(a),
+            self.cell.resistance(b),
+            self.cell.resistance(true),
+        ];
+        self.evaluate(SenseMode::Xor3, &cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sa() -> (CellParams, SenseAmp) {
+        let cell = CellParams::default();
+        (cell, SenseAmp::new(&cell))
+    }
+
+    fn cells(cell: &CellParams, bits: [bool; 3]) -> [f64; 3] {
+        [
+            cell.resistance(bits[0]),
+            cell.resistance(bits[1]),
+            cell.resistance(bits[2]),
+        ]
+    }
+
+    #[test]
+    fn enable_bits_match_fig4b() {
+        assert_eq!(SenseMode::MemoryRead.enables(), (false, false, false, true));
+        assert_eq!(SenseMode::And3.enables(), (true, false, false, false));
+        assert_eq!(SenseMode::Maj3.enables(), (false, true, false, false));
+        assert_eq!(SenseMode::Or3.enables(), (false, false, true, false));
+        assert_eq!(SenseMode::Xor3.enables(), (true, true, true, false));
+    }
+
+    #[test]
+    fn memory_read_distinguishes_states() {
+        let (cell, sa) = sa();
+        assert!(sa.evaluate(SenseMode::MemoryRead, &[cell.resistance(true)]));
+        assert!(!sa.evaluate(SenseMode::MemoryRead, &[cell.resistance(false)]));
+    }
+
+    #[test]
+    fn exhaustive_three_input_truth_tables() {
+        let (cell, sa) = sa();
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    let r = cells(&cell, [a, b, c]);
+                    let ones = a as usize + b as usize + c as usize;
+                    assert_eq!(sa.evaluate(SenseMode::And3, &r), ones == 3, "AND3({a},{b},{c})");
+                    assert_eq!(sa.evaluate(SenseMode::Maj3, &r), ones >= 2, "MAJ({a},{b},{c})");
+                    assert_eq!(sa.evaluate(SenseMode::Or3, &r), ones >= 1, "OR3({a},{b},{c})");
+                    assert_eq!(
+                        sa.evaluate(SenseMode::Xor3, &r),
+                        ones % 2 == 1,
+                        "XOR3({a},{b},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let (_, sa) = sa();
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    let (sum, carry) = sa.full_add(a, b, c);
+                    let total = a as u8 + b as u8 + c as u8;
+                    assert_eq!(sum, total & 1 == 1);
+                    assert_eq!(carry, total >= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xnor2_truth_table() {
+        let (_, sa) = sa();
+        assert!(sa.xnor2(false, false));
+        assert!(sa.xnor2(true, true));
+        assert!(!sa.xnor2(true, false));
+        assert!(!sa.xnor2(false, true));
+    }
+
+    #[test]
+    fn references_are_strictly_ordered() {
+        let (_, sa) = sa();
+        let r = sa.references();
+        // OR3 < MAJ < AND3 < read threshold (levels rise with ones count).
+        assert!(r.v_or3_mv < r.v_maj_mv);
+        assert!(r.v_maj_mv < r.v_and3_mv);
+        assert!(r.v_and3_mv < r.v_m_mv);
+    }
+
+    #[test]
+    fn truth_tables_survive_small_variation() {
+        // With 3σ-deviated cells the decisions must still be correct
+        // (margins exceed the worst-case spread at the default σ).
+        let cell = CellParams::default();
+        let sa = SenseAmp::new(&cell);
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    let r = [
+                        cell.varied_resistance(a, 1.5, -1.5),
+                        cell.varied_resistance(b, -1.5, 1.5),
+                        cell.varied_resistance(c, 1.5, 1.5),
+                    ];
+                    let ones = a as usize + b as usize + c as usize;
+                    assert_eq!(sa.evaluate(SenseMode::Maj3, &r), ones >= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "senses 3 cell(s)")]
+    fn wrong_fan_in_panics() {
+        let (cell, sa) = sa();
+        let _ = sa.evaluate(SenseMode::And3, &[cell.resistance(true)]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Logical-operation cost table (DESIGN.md §6).
+//!
+//! The architecture executes *logical* operations (one `XNOR_Match`
+//! comparison, one 32-bit marker read, one 32-bit `IM_ADD`, …); each
+//! expands into single-cycle array primitives. The expansion factors
+//! below encode the micro-architecture of §IV–V:
+//!
+//! | logical op        | cycles | expansion                                |
+//! |-------------------|--------|------------------------------------------|
+//! | `XNOR_Match`      | 2      | one `ComputeTriple` per bit-plane of the 2-bit base encoding |
+//! | popcount          | 16     | the DPU counter digests the 128 match bits 8 per cycle |
+//! | marker read       | 11     | a vertically stored 32-bit word read 3 bits per cycle through the three sub-SAs |
+//! | `IM_ADD` (32-bit) | 45     | 32 `ComputeTriple` + 13 non-overlapped write-back cycles; sum and carry fire two write drivers per bit (the second is charged energy-only) |
+//! | index update      | 2      | low/high DPU register writes             |
+//! | SA entry read     | 11     | same vertical-read path as the marker    |
+//! | row load/copy     | 1      | one `WriteRow`/`ReadRow` per word line   |
+//!
+//! One sequential `LFM` is therefore 2 + 16 + 11 + 45 + 2 = **76 cycles**;
+//! the Fig. 7 pipeline overlaps the compare/memory stage (29 cycles) of one
+//! read with the add stage (47 cycles) of another — see
+//! [`pipeline`](crate::pipeline).
+
+use mram::array::{ArrayModel, ArrayOp};
+
+use crate::ledger::{CycleLedger, Resource};
+
+/// A logical platform operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogicalOp {
+    /// Parallel comparison of one query base against a 128-base BWT
+    /// word-line segment (`XNOR_Match`).
+    XnorMatch,
+    /// DPU popcount of the 128-bit match vector.
+    Popcount,
+    /// Read of one 32-bit marker word from the vertical MT zone (`MEM`).
+    MarkerRead,
+    /// In-memory 32-bit addition (`IM_ADD`).
+    ImAdd32,
+    /// Update of the DPU's low/high interval registers.
+    IndexUpdate,
+    /// Read of one 32-bit suffix-array entry (`MEM` on the SA region).
+    SaEntryRead,
+    /// Loading one word line of data into a sub-array (mapping, method-II
+    /// duplication, inter-sub-array transfer).
+    RowWrite,
+    /// Reading one word line out (result collection).
+    RowRead,
+}
+
+impl LogicalOp {
+    /// Cycles one logical op occupies on its resource.
+    pub fn cycles(self) -> u64 {
+        match self {
+            LogicalOp::XnorMatch => 2,
+            LogicalOp::Popcount => 16,
+            LogicalOp::MarkerRead => 11,
+            LogicalOp::ImAdd32 => 45,
+            LogicalOp::IndexUpdate => 2,
+            LogicalOp::SaEntryRead => 11,
+            LogicalOp::RowWrite => 1,
+            LogicalOp::RowRead => 1,
+        }
+    }
+
+    /// The resource class the op occupies.
+    pub fn resource(self) -> Resource {
+        match self {
+            LogicalOp::XnorMatch | LogicalOp::Popcount => Resource::Compare,
+            LogicalOp::ImAdd32 => Resource::Adder,
+            LogicalOp::MarkerRead | LogicalOp::SaEntryRead | LogicalOp::IndexUpdate => {
+                Resource::Memory
+            }
+            LogicalOp::RowWrite | LogicalOp::RowRead => Resource::Transfer,
+        }
+    }
+
+    /// Charges this logical op to a ledger (cycles + energy).
+    pub fn charge(self, model: &ArrayModel, ledger: &mut CycleLedger) {
+        let resource = self.resource();
+        match self {
+            LogicalOp::XnorMatch => {
+                ledger.charge(model, resource, ArrayOp::ComputeTriple, 2);
+            }
+            LogicalOp::Popcount => {
+                ledger.charge(model, resource, ArrayOp::DpuOp, 16);
+            }
+            LogicalOp::MarkerRead | LogicalOp::SaEntryRead => {
+                ledger.charge(model, resource, ArrayOp::ReadRow, 11);
+            }
+            LogicalOp::ImAdd32 => {
+                // 32 compute cycles + 13 write-stall cycles occupy the
+                // adder; sum and carry fire two write drivers per bit
+                // (64 firings), charged as energy.
+                ledger.charge(model, resource, ArrayOp::ComputeTriple, 32);
+                ledger.charge(model, resource, ArrayOp::DpuOp, 13);
+                ledger.charge_energy_only(model, ArrayOp::WriteRow, 64);
+            }
+            LogicalOp::IndexUpdate => {
+                ledger.charge(model, resource, ArrayOp::DpuOp, 2);
+            }
+            LogicalOp::RowWrite => {
+                ledger.charge(model, resource, ArrayOp::WriteRow, 1);
+            }
+            LogicalOp::RowRead => {
+                ledger.charge(model, resource, ArrayOp::ReadRow, 1);
+            }
+        }
+    }
+}
+
+/// Cycles of one full `LFM` invocation executed sequentially
+/// (`XNOR_Match` + popcount + marker read + `IM_ADD` + index update).
+pub fn lfm_cycles() -> u64 {
+    LogicalOp::XnorMatch.cycles()
+        + LogicalOp::Popcount.cycles()
+        + LogicalOp::MarkerRead.cycles()
+        + LogicalOp::ImAdd32.cycles()
+        + LogicalOp::IndexUpdate.cycles()
+}
+
+/// Cycles of the compare/memory pipeline stage (`XNOR_Match` + popcount +
+/// marker read).
+pub fn lfm_stage_a_cycles() -> u64 {
+    LogicalOp::XnorMatch.cycles() + LogicalOp::Popcount.cycles() + LogicalOp::MarkerRead.cycles()
+}
+
+/// Cycles of the add pipeline stage (`IM_ADD` + index update).
+pub fn lfm_stage_b_cycles() -> u64 {
+    LogicalOp::ImAdd32.cycles() + LogicalOp::IndexUpdate.cycles()
+}
+
+/// Charges one full `LFM` to a ledger.
+pub fn charge_lfm(model: &ArrayModel, ledger: &mut CycleLedger) {
+    LogicalOp::XnorMatch.charge(model, ledger);
+    LogicalOp::Popcount.charge(model, ledger);
+    LogicalOp::MarkerRead.charge(model, ledger);
+    LogicalOp::ImAdd32.charge(model, ledger);
+    LogicalOp::IndexUpdate.charge(model, ledger);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lfm_cycle_budget() {
+        // 2 + 16 + 11 + 45 + 2 = 76 cycles per sequential LFM.
+        assert_eq!(lfm_cycles(), 76);
+        assert_eq!(lfm_stage_a_cycles(), 29);
+        assert_eq!(lfm_stage_b_cycles(), 47);
+        assert_eq!(lfm_stage_a_cycles() + lfm_stage_b_cycles(), lfm_cycles());
+    }
+
+    #[test]
+    fn memory_share_stays_below_mbr_claim() {
+        // Marker read + index update are the per-LFM memory cycles;
+        // Fig. 10b claims PIM-Aligner spends < ~18 % of time on memory
+        // access.
+        let memory = LogicalOp::MarkerRead.cycles() + LogicalOp::IndexUpdate.cycles();
+        let ratio = memory as f64 / lfm_cycles() as f64;
+        assert!(ratio < 0.18, "memory share {ratio:.3}");
+    }
+
+    #[test]
+    fn resources_partition_the_ops() {
+        assert_eq!(LogicalOp::XnorMatch.resource(), Resource::Compare);
+        assert_eq!(LogicalOp::Popcount.resource(), Resource::Compare);
+        assert_eq!(LogicalOp::ImAdd32.resource(), Resource::Adder);
+        assert_eq!(LogicalOp::MarkerRead.resource(), Resource::Memory);
+        assert_eq!(LogicalOp::RowWrite.resource(), Resource::Transfer);
+    }
+
+    #[test]
+    fn charge_lfm_attributes_cycles_per_resource() {
+        let model = ArrayModel::default();
+        let mut l = CycleLedger::new();
+        charge_lfm(&model, &mut l);
+        assert_eq!(l.busy_cycles(Resource::Compare), 18); // 2 + 16
+        assert_eq!(l.busy_cycles(Resource::Adder), 45);
+        assert_eq!(l.busy_cycles(Resource::Memory), 13); // 11 + 2
+        assert_eq!(l.busy_cycles(Resource::Transfer), 0);
+        assert_eq!(l.total_busy_cycles(), lfm_cycles());
+    }
+
+    #[test]
+    fn im_add_charges_double_write_energy() {
+        let model = ArrayModel::default();
+        let mut l = CycleLedger::new();
+        LogicalOp::ImAdd32.charge(&model, &mut l);
+        // 64 write-driver firings (sum + carry per bit), energy-only.
+        assert_eq!(l.op_count(mram::array::ArrayOp::WriteRow), 64);
+        assert_eq!(l.busy_cycles(Resource::Adder), 45);
+    }
+}

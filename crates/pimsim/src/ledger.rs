@@ -1,0 +1,213 @@
+//! Cycle and energy accounting.
+
+use mram::array::{ArrayModel, ArrayOp};
+
+/// A hardware resource class, used to attribute busy cycles for the
+/// utilisation figures (Fig. 10b/10c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// The comparison path: `XNOR_Match` sensing plus DPU popcount.
+    Compare,
+    /// The in-memory adder (`IM_ADD` compute + write-back).
+    Adder,
+    /// Intra-array memory access: marker/SA reads, index updates, data
+    /// staging.
+    Memory,
+    /// Data transfer in/out of the sub-array group (read loading, result
+    /// write-back, method-II copies).
+    Transfer,
+}
+
+impl Resource {
+    /// All resource classes.
+    pub const ALL: [Resource; 4] = [
+        Resource::Compare,
+        Resource::Adder,
+        Resource::Memory,
+        Resource::Transfer,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Resource::Compare => 0,
+            Resource::Adder => 1,
+            Resource::Memory => 2,
+            Resource::Transfer => 3,
+        }
+    }
+}
+
+/// Accumulates the cycles and dynamic energy of every primitive issued to
+/// the platform, attributed to resource classes.
+///
+/// Busy cycles are accounted per resource; the *makespan* (wall-clock
+/// cycles) is tracked separately by the caller because overlapped
+/// execution (the Fig. 7 pipeline) makes it less than the busy-cycle sum.
+///
+/// # Examples
+///
+/// ```
+/// use mram::array::{ArrayModel, ArrayOp};
+/// use pimsim::{CycleLedger, Resource};
+///
+/// let model = ArrayModel::default();
+/// let mut ledger = CycleLedger::new();
+/// ledger.charge(&model, Resource::Compare, ArrayOp::ComputeTriple, 2);
+/// assert_eq!(ledger.busy_cycles(Resource::Compare), 2);
+/// assert!(ledger.energy_pj() > 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CycleLedger {
+    busy: [u64; 4],
+    energy_pj: f64,
+    op_counts: [u64; 4],
+}
+
+impl CycleLedger {
+    /// An empty ledger.
+    pub fn new() -> CycleLedger {
+        CycleLedger::default()
+    }
+
+    /// Charges `count` repetitions of `op` to `resource`, accruing both
+    /// cycles and energy from the array model.
+    pub fn charge(&mut self, model: &ArrayModel, resource: Resource, op: ArrayOp, count: u64) {
+        self.busy[resource.index()] += model.cycles(op) * count;
+        self.energy_pj += model.energy_pj(op) * count as f64;
+        self.op_counts[op_index(op)] += count;
+    }
+
+    /// Charges energy only (e.g. the second write driver firing in the
+    /// same cycle as the first).
+    pub fn charge_energy_only(&mut self, model: &ArrayModel, op: ArrayOp, count: u64) {
+        self.energy_pj += model.energy_pj(op) * count as f64;
+        self.op_counts[op_index(op)] += count;
+    }
+
+    /// Busy cycles attributed to one resource.
+    pub fn busy_cycles(&self, resource: Resource) -> u64 {
+        self.busy[resource.index()]
+    }
+
+    /// Sum of busy cycles over all resources (the sequential-execution
+    /// makespan).
+    pub fn total_busy_cycles(&self) -> u64 {
+        self.busy.iter().sum()
+    }
+
+    /// Total dynamic energy in pJ.
+    pub fn energy_pj(&self) -> f64 {
+        self.energy_pj
+    }
+
+    /// Number of primitives of `op` issued.
+    pub fn op_count(&self, op: ArrayOp) -> u64 {
+        self.op_counts[op_index(op)]
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &CycleLedger) {
+        for i in 0..4 {
+            self.busy[i] += other.busy[i];
+            self.op_counts[i] += other.op_counts[i];
+        }
+        self.energy_pj += other.energy_pj;
+    }
+
+    /// Per-primitive energy breakdown under `model`, in pJ, in
+    /// [`ArrayOp::ALL`] order. Sums to [`CycleLedger::energy_pj`] when
+    /// every charge used the same model.
+    pub fn energy_breakdown_pj(&self, model: &ArrayModel) -> [(ArrayOp, f64); 4] {
+        [
+            ArrayOp::ReadRow,
+            ArrayOp::WriteRow,
+            ArrayOp::ComputeTriple,
+            ArrayOp::DpuOp,
+        ]
+        .map(|op| (op, model.energy_pj(op) * self.op_count(op) as f64))
+    }
+}
+
+fn op_index(op: ArrayOp) -> usize {
+    match op {
+        ArrayOp::ReadRow => 0,
+        ArrayOp::WriteRow => 1,
+        ArrayOp::ComputeTriple => 2,
+        ArrayOp::DpuOp => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let model = ArrayModel::default();
+        let mut l = CycleLedger::new();
+        l.charge(&model, Resource::Compare, ArrayOp::ComputeTriple, 2);
+        l.charge(&model, Resource::Memory, ArrayOp::ReadRow, 16);
+        l.charge(&model, Resource::Adder, ArrayOp::WriteRow, 32);
+        assert_eq!(l.busy_cycles(Resource::Compare), 2);
+        assert_eq!(l.busy_cycles(Resource::Memory), 16);
+        assert_eq!(l.busy_cycles(Resource::Adder), 32);
+        assert_eq!(l.total_busy_cycles(), 50);
+        let expected = 2.0 * model.energy_pj(ArrayOp::ComputeTriple)
+            + 16.0 * model.energy_pj(ArrayOp::ReadRow)
+            + 32.0 * model.energy_pj(ArrayOp::WriteRow);
+        assert!((l.energy_pj() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_only_charge_adds_no_cycles() {
+        let model = ArrayModel::default();
+        let mut l = CycleLedger::new();
+        l.charge_energy_only(&model, ArrayOp::WriteRow, 4);
+        assert_eq!(l.total_busy_cycles(), 0);
+        assert!(l.energy_pj() > 0.0);
+        assert_eq!(l.op_count(ArrayOp::WriteRow), 4);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let model = ArrayModel::default();
+        let mut a = CycleLedger::new();
+        a.charge(&model, Resource::Compare, ArrayOp::ComputeTriple, 3);
+        let mut b = CycleLedger::new();
+        b.charge(&model, Resource::Compare, ArrayOp::ComputeTriple, 5);
+        b.charge(&model, Resource::Transfer, ArrayOp::WriteRow, 1);
+        a.merge(&b);
+        assert_eq!(a.busy_cycles(Resource::Compare), 8);
+        assert_eq!(a.busy_cycles(Resource::Transfer), 1);
+        assert_eq!(a.op_count(ArrayOp::ComputeTriple), 8);
+    }
+
+    #[test]
+    fn energy_breakdown_sums_to_total() {
+        let model = ArrayModel::default();
+        let mut l = CycleLedger::new();
+        l.charge(&model, Resource::Compare, ArrayOp::ComputeTriple, 10);
+        l.charge(&model, Resource::Memory, ArrayOp::ReadRow, 5);
+        l.charge_energy_only(&model, ArrayOp::WriteRow, 3);
+        let breakdown = l.energy_breakdown_pj(&model);
+        let sum: f64 = breakdown.iter().map(|(_, e)| e).sum();
+        assert!((sum - l.energy_pj()).abs() < 1e-9);
+        let write = breakdown
+            .iter()
+            .find(|(op, _)| *op == ArrayOp::WriteRow)
+            .unwrap()
+            .1;
+        assert!((write - 3.0 * model.energy_pj(ArrayOp::WriteRow)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn op_counts_tracked_per_kind() {
+        let model = ArrayModel::default();
+        let mut l = CycleLedger::new();
+        l.charge(&model, Resource::Memory, ArrayOp::ReadRow, 7);
+        l.charge(&model, Resource::Compare, ArrayOp::DpuOp, 9);
+        assert_eq!(l.op_count(ArrayOp::ReadRow), 7);
+        assert_eq!(l.op_count(ArrayOp::DpuOp), 9);
+        assert_eq!(l.op_count(ArrayOp::WriteRow), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Micro-architecture simulator for the PIM-Aligner platform.
+//!
+//! This crate models the computational memory of paper §IV–V at the level
+//! the evaluation needs: *functionally* (bit-exact contents of a 512×256
+//! SOT-MRAM sub-array and the results of its bulk bit-wise operations) and
+//! *behaviourally* (a cycle-and-energy ledger priced by the NVSim-lite
+//! model from the `mram` crate — the role the paper's MATLAB simulator
+//! plays).
+//!
+//! Components:
+//!
+//! * [`SubArray`] — the computational sub-array with the Fig. 6a zone
+//!   layout (BWT rows, `CRef` rows, vertical marker table, reserved
+//!   scratch) and the three bulk primitives `MEM`, `XNOR_Match`,
+//!   `IM_ADD`;
+//! * [`Dpu`] — the digital processing unit: popcount of match vectors,
+//!   interval registers, backtracking state (paper: "DPU's registers
+//!   store the state (i.e. symbol, low and high)");
+//! * [`CycleLedger`] — per-resource busy-cycle and energy accounting from
+//!   which throughput, power, MBR and RUR are derived;
+//! * [`pipeline`] — the Fig. 7 pipeline model with parallelism degree
+//!   `Pd`;
+//! * [`costs`] — the logical-operation cost table (cycles per
+//!   `XNOR_Match`, marker read, 32-bit `IM_ADD`, …) documented in
+//!   DESIGN.md §6.
+//!
+//! Functional results are validated in two directions: against the
+//! `mram` sense-amplifier model (every bulk op agrees with what the
+//! analog circuit would produce) and against the `fmindex` software
+//! oracle (every `LFM` executed on the platform returns the same bound).
+
+pub mod costs;
+pub mod pipeline;
+
+mod dpu;
+mod ledger;
+mod subarray;
+
+pub use dpu::{BacktrackState, Dpu};
+pub use ledger::{CycleLedger, Resource};
+pub use subarray::{validate_functions_against_circuit, SubArray, SubArrayLayout};

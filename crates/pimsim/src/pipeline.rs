@@ -1,0 +1,155 @@
+//! The Fig. 7 multi-read pipeline with parallelism degree `Pd`.
+//!
+//! Method-II duplicates a pipeline's sub-array so that while read `R1`
+//! occupies the adder copy with `IM_ADD`, read `R2` exploits the freed
+//! comparison resources of the original (paper Fig. 7). The model:
+//!
+//! * **Stage A** (compare sub-array): `XNOR_Match` + popcount + marker
+//!   read — [`costs::lfm_stage_a_cycles`] = 29 cycles;
+//! * **Transfer**: the marker and `count_match` stream into the adder
+//!   copy through its write port — [`PipelineParams::transfer_cycles`]
+//!   (7 cycles);
+//! * **Stage B** (adder sub-array): `IM_ADD` + index update —
+//!   [`costs::lfm_stage_b_cycles`] = 47 cycles.
+//!
+//! With `Pd = 1` (method-I) everything serialises in one sub-array and an
+//! `LFM` costs the full 76 cycles. With `Pd = 2` the adder copy binds:
+//! its port must absorb the transfer *and* the add, so the steady-state
+//! issue rate is `transfer + stage_b` = 54 cycles — a
+//! `76 / 54 ≈ 1.41×` speed-up, the paper's "improved the performance by
+//! ∼40% compared to the baseline design". Larger `Pd` adds more adder
+//! copies until the compare stage saturates.
+//!
+//! [`costs::lfm_stage_a_cycles`]: crate::costs::lfm_stage_a_cycles
+//! [`costs::lfm_stage_b_cycles`]: crate::costs::lfm_stage_b_cycles
+
+use crate::costs;
+
+/// Stage timing of one pipeline (cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineParams {
+    /// Compare-stage cycles per `LFM`.
+    pub stage_a_cycles: u64,
+    /// Inter-sub-array transfer cycles per `LFM` (method-II only).
+    pub transfer_cycles: u64,
+    /// Add-stage cycles per `LFM`.
+    pub stage_b_cycles: u64,
+}
+
+impl Default for PipelineParams {
+    fn default() -> Self {
+        PipelineParams {
+            stage_a_cycles: costs::lfm_stage_a_cycles(),
+            transfer_cycles: 7,
+            stage_b_cycles: costs::lfm_stage_b_cycles(),
+        }
+    }
+}
+
+impl PipelineParams {
+    /// Sequential cycles of one `LFM` (method-I: both stages in the same
+    /// sub-array, no transfer).
+    pub fn sequential_cycles(&self) -> u64 {
+        self.stage_a_cycles + self.stage_b_cycles
+    }
+
+    /// Steady-state cycles per `LFM` at parallelism degree `pd`.
+    ///
+    /// * `pd = 1`: no overlap — the sequential cost.
+    /// * `pd ≥ 2`: `pd − 1` adder copies serve the add stage; each add
+    ///   must also absorb its operand transfer through the copy's write
+    ///   port. The issue rate is bound by the slower of the shared
+    ///   compare stage and the adder copies:
+    ///   `max(stage_a, transfer + stage_b / (pd − 1))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pd == 0`.
+    pub fn cycles_per_lfm(&self, pd: usize) -> f64 {
+        assert!(pd >= 1, "parallelism degree must be at least 1");
+        if pd == 1 {
+            return self.sequential_cycles() as f64;
+        }
+        let adder_rate =
+            self.transfer_cycles as f64 + self.stage_b_cycles as f64 / (pd as f64 - 1.0);
+        (self.stage_a_cycles as f64).max(adder_rate)
+    }
+
+    /// Throughput speed-up of degree `pd` over the sequential baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pd == 0`.
+    pub fn speedup(&self, pd: usize) -> f64 {
+        self.sequential_cycles() as f64 / self.cycles_per_lfm(pd)
+    }
+
+    /// Makespan in cycles for `lfm_count` LFM invocations at degree
+    /// `pd`, including the pipeline fill latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pd == 0`.
+    pub fn makespan_cycles(&self, lfm_count: u64, pd: usize) -> f64 {
+        if lfm_count == 0 {
+            return 0.0;
+        }
+        let fill = if pd == 1 {
+            0.0
+        } else {
+            (self.stage_a_cycles + self.transfer_cycles) as f64
+        };
+        fill + lfm_count as f64 * self.cycles_per_lfm(pd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_cost_table() {
+        let p = PipelineParams::default();
+        assert_eq!(p.stage_a_cycles, 29);
+        assert_eq!(p.stage_b_cycles, 47);
+        assert_eq!(p.sequential_cycles(), 76);
+    }
+
+    #[test]
+    fn pd2_speedup_is_about_forty_percent() {
+        // Paper §VI: "our pipeline technique with Pd=2 has improved the
+        // performance by ∼40% compared to the baseline design".
+        let s = PipelineParams::default().speedup(2);
+        assert!((1.30..1.55).contains(&s), "Pd=2 speed-up {s:.3}");
+    }
+
+    #[test]
+    fn speedup_monotone_then_saturates_at_compare_stage() {
+        let p = PipelineParams::default();
+        let mut prev = p.speedup(1);
+        assert!((prev - 1.0).abs() < 1e-12);
+        for pd in 2..=8 {
+            let s = p.speedup(pd);
+            assert!(s >= prev - 1e-12, "speed-up regressed at Pd={pd}");
+            prev = s;
+        }
+        // Saturation: the shared compare stage (29 cycles) bounds the rate.
+        let saturated = p.sequential_cycles() as f64 / p.stage_a_cycles as f64;
+        assert!((p.speedup(64) - saturated).abs() < 1e-9);
+    }
+
+    #[test]
+    fn makespan_includes_fill_only_when_pipelined() {
+        let p = PipelineParams::default();
+        assert_eq!(p.makespan_cycles(10, 1), 760.0);
+        let piped = p.makespan_cycles(10, 2);
+        assert!(piped < 760.0 && piped > 10.0 * p.cycles_per_lfm(2));
+        assert_eq!(p.makespan_cycles(0, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_pd_panics() {
+        let _ = PipelineParams::default().cycles_per_lfm(0);
+    }
+}

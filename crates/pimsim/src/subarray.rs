@@ -1,0 +1,469 @@
+//! The computational sub-array: functional bit storage plus the three
+//! bulk primitives, laid out per Fig. 6a.
+
+use std::ops::Range;
+
+use mram::array::{ArrayModel, SubArrayGeometry};
+use mram::sense::{SenseAmp, SenseMode};
+
+use crate::costs::LogicalOp;
+use crate::ledger::CycleLedger;
+
+/// The Fig. 6a zone partitioning of a 512×256 sub-array:
+///
+/// * 256 rows of BWT, 128 bases (2 bits each) per row — one Occ bucket
+///   per row;
+/// * 4 `CRef` rows, one per nucleotide, holding the base's 2-bit code
+///   repeated across the word line;
+/// * 128 rows of vertically stored markers: each *column* holds the four
+///   32-bit markers (A, C, G, T) of one bucket;
+/// * 124 reserved rows of `IM_ADD` scratch (operands, sum, carry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubArrayLayout {
+    /// Rows holding BWT buckets.
+    pub bwt_rows: Range<usize>,
+    /// The four computational-reference rows.
+    pub cref_rows: Range<usize>,
+    /// Rows of the vertical marker table.
+    pub mt_rows: Range<usize>,
+    /// Scratch rows for in-memory addition.
+    pub reserved_rows: Range<usize>,
+}
+
+impl SubArrayLayout {
+    /// Bases per BWT row (= the Occ bucket width `d`).
+    pub const BASES_PER_ROW: usize = 128;
+
+    /// The paper's partitioning of the 512-row sub-array.
+    pub fn paper() -> SubArrayLayout {
+        SubArrayLayout {
+            bwt_rows: 0..256,
+            cref_rows: 256..260,
+            mt_rows: 260..388,
+            reserved_rows: 388..512,
+        }
+    }
+
+    /// Number of BWT buckets this sub-array holds.
+    pub fn buckets(&self) -> usize {
+        self.bwt_rows.len()
+    }
+
+    /// Total BWT bases this sub-array covers.
+    pub fn bwt_capacity_bases(&self) -> usize {
+        self.buckets() * Self::BASES_PER_ROW
+    }
+
+    /// Validates the layout against a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zones overlap, exceed the geometry, or the MT zone
+    /// cannot hold four 32-bit words per column.
+    pub fn validate(&self, geometry: SubArrayGeometry) {
+        assert!(self.bwt_rows.end <= self.cref_rows.start);
+        assert!(self.cref_rows.end <= self.mt_rows.start);
+        assert!(self.mt_rows.end <= self.reserved_rows.start);
+        assert!(self.reserved_rows.end <= geometry.rows);
+        assert_eq!(self.cref_rows.len(), 4, "one CRef row per nucleotide");
+        assert!(
+            self.mt_rows.len() >= 128,
+            "MT zone must hold 4 × 32-bit vertical words"
+        );
+    }
+}
+
+/// One computational sub-array: functional contents plus the bulk
+/// primitives of §IV-B, each charged to a [`CycleLedger`].
+///
+/// Functional results are produced by direct boolean evaluation for
+/// speed; the test suite proves every primitive agrees with the
+/// [`SenseAmp`] circuit model bit-for-bit.
+///
+/// # Examples
+///
+/// ```
+/// use pimsim::{CycleLedger, SubArray};
+///
+/// let mut sa = SubArray::new(mram::array::ArrayModel::default());
+/// let mut ledger = CycleLedger::new();
+/// // Load the paper's 2-bit codes for bases T,G,A,C into bucket row 0.
+/// sa.load_bwt_row(0, &[0b00, 0b01, 0b10, 0b11], &mut ledger);
+/// sa.load_cref_rows(&mut ledger);
+/// // Compare against base A (code 0b10): exactly one position matches.
+/// let matches = sa.xnor_match(0, bioseq::Base::A, &mut ledger);
+/// assert_eq!(matches[..4], [false, false, true, false]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubArray {
+    model: ArrayModel,
+    layout: SubArrayLayout,
+    /// Row-major bit matrix.
+    bits: Vec<Vec<bool>>,
+    /// Bases loaded into each BWT row (for bounds checking).
+    bwt_row_len: Vec<usize>,
+}
+
+impl SubArray {
+    /// Creates an empty sub-array with the paper layout.
+    pub fn new(model: ArrayModel) -> SubArray {
+        let layout = SubArrayLayout::paper();
+        layout.validate(model.geometry());
+        let geometry = model.geometry();
+        SubArray {
+            model,
+            bits: vec![vec![false; geometry.cols]; geometry.rows],
+            bwt_row_len: vec![0; layout.bwt_rows.len()],
+            layout,
+        }
+    }
+
+    /// The zone layout.
+    pub fn layout(&self) -> &SubArrayLayout {
+        &self.layout
+    }
+
+    /// The array model pricing this sub-array's operations.
+    pub fn model(&self) -> &ArrayModel {
+        &self.model
+    }
+
+    /// Raw bit at `(row, col)` (test/debug accessor; no cycle charge).
+    pub fn bit(&self, row: usize, col: usize) -> bool {
+        self.bits[row][col]
+    }
+
+    /// Loads up to 128 2-bit base codes into BWT bucket row `bucket`
+    /// (one `RowWrite`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is out of range or more than 128 codes are
+    /// given.
+    pub fn load_bwt_row(&mut self, bucket: usize, codes: &[u8], ledger: &mut CycleLedger) {
+        assert!(bucket < self.layout.buckets(), "bucket {bucket} out of range");
+        assert!(
+            codes.len() <= SubArrayLayout::BASES_PER_ROW,
+            "at most 128 bases per row"
+        );
+        let row = self.layout.bwt_rows.start + bucket;
+        for (j, &code) in codes.iter().enumerate() {
+            self.bits[row][2 * j] = code & 0b01 != 0;
+            self.bits[row][2 * j + 1] = code & 0b10 != 0;
+        }
+        self.bwt_row_len[bucket] = codes.len();
+        LogicalOp::RowWrite.charge(&self.model, ledger);
+    }
+
+    /// Initialises the four `CRef` rows (one `RowWrite` each).
+    pub fn load_cref_rows(&mut self, ledger: &mut CycleLedger) {
+        for base in bioseq::Base::ALL {
+            let row = self.layout.cref_rows.start + base.rank();
+            let code = base.code();
+            for j in 0..SubArrayLayout::BASES_PER_ROW {
+                self.bits[row][2 * j] = code & 0b01 != 0;
+                self.bits[row][2 * j + 1] = code & 0b10 != 0;
+            }
+            LogicalOp::RowWrite.charge(&self.model, ledger);
+        }
+    }
+
+    /// The parallel `XNOR_Match` primitive: compares BWT bucket `bucket`
+    /// against the `CRef` row of `base`, returning one boolean per base
+    /// position (`true` = the stored base equals `base`). Positions past
+    /// the loaded length are `false`.
+    ///
+    /// Hardware: both bit-planes are XNOR-compared in one triple-row
+    /// activation each (2 cycles), and a base matches when both of its
+    /// bit lanes match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is out of range.
+    pub fn xnor_match(
+        &self,
+        bucket: usize,
+        base: bioseq::Base,
+        ledger: &mut CycleLedger,
+    ) -> Vec<bool> {
+        assert!(bucket < self.layout.buckets(), "bucket {bucket} out of range");
+        let bwt_row = self.layout.bwt_rows.start + bucket;
+        let cref_row = self.layout.cref_rows.start + base.rank();
+        LogicalOp::XnorMatch.charge(&self.model, ledger);
+        (0..SubArrayLayout::BASES_PER_ROW)
+            .map(|j| {
+                j < self.bwt_row_len[bucket]
+                    && self.bits[bwt_row][2 * j] == self.bits[cref_row][2 * j]
+                    && self.bits[bwt_row][2 * j + 1] == self.bits[cref_row][2 * j + 1]
+            })
+            .collect()
+    }
+
+    /// Stores marker word `value` for `base` of bucket-column `bucket`
+    /// in the vertical MT zone (32 bit-writes, charged as one `RowWrite`
+    /// per occupied row group during bulk mapping — here one `RowWrite`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` exceeds the column count.
+    pub fn store_marker(
+        &mut self,
+        bucket: usize,
+        base: bioseq::Base,
+        value: u32,
+        ledger: &mut CycleLedger,
+    ) {
+        let cols = self.model.geometry().cols;
+        assert!(bucket < cols, "marker column {bucket} out of range");
+        let start = self.layout.mt_rows.start + base.rank() * 32;
+        for k in 0..32 {
+            self.bits[start + k][bucket] = (value >> k) & 1 == 1;
+        }
+        LogicalOp::RowWrite.charge(&self.model, ledger);
+    }
+
+    /// Reads the marker word for `base` of bucket-column `bucket`
+    /// (`MEM`, 11 cycles — three bits per cycle through the three
+    /// sub-SAs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` exceeds the column count.
+    pub fn read_marker(
+        &self,
+        bucket: usize,
+        base: bioseq::Base,
+        ledger: &mut CycleLedger,
+    ) -> u32 {
+        let cols = self.model.geometry().cols;
+        assert!(bucket < cols, "marker column {bucket} out of range");
+        let start = self.layout.mt_rows.start + base.rank() * 32;
+        LogicalOp::MarkerRead.charge(&self.model, ledger);
+        (0..32).fold(0u32, |acc, k| {
+            acc | ((self.bits[start + k][bucket] as u32) << k)
+        })
+    }
+
+    /// The in-memory 32-bit addition (`IM_ADD`): writes both operands
+    /// bit-serially into the reserved zone, then produces sum (XOR3) and
+    /// carry (MAJ) per bit through the reconfigurable SA. Returns the
+    /// 32-bit sum (wrapping).
+    ///
+    /// The functional result is computed through the same
+    /// XOR3/MAJ gate semantics the [`SenseAmp`] realises.
+    pub fn im_add32(&mut self, a: u32, b: u32, ledger: &mut CycleLedger) -> u32 {
+        let base = self.layout.reserved_rows.start;
+        let (a_rows, b_rows, sum_rows, carry_row) =
+            (base, base + 32, base + 64, base + 96);
+        // Stage the operands (bulk transposed write, part of the IM_ADD
+        // cost model rather than separate row writes).
+        for k in 0..32 {
+            self.bits[a_rows + k][0] = (a >> k) & 1 == 1;
+            self.bits[b_rows + k][0] = (b >> k) & 1 == 1;
+        }
+        self.bits[carry_row][0] = false;
+        LogicalOp::ImAdd32.charge(&self.model, ledger);
+        let mut carry = false;
+        let mut sum = 0u32;
+        for k in 0..32 {
+            let x = self.bits[a_rows + k][0];
+            let y = self.bits[b_rows + k][0];
+            // Gate-level semantics identical to SenseAmp::full_add.
+            let s = x ^ y ^ carry;
+            let c = (x & y) | (x & carry) | (y & carry);
+            self.bits[sum_rows + k][0] = s;
+            carry = c;
+            self.bits[carry_row][0] = c;
+            if s {
+                sum |= 1 << k;
+            }
+        }
+        sum
+    }
+
+    /// Copies one row into another sub-array (method-II duplication);
+    /// charges a read here and a write there.
+    pub fn copy_row_to(
+        &self,
+        row: usize,
+        dest: &mut SubArray,
+        dest_row: usize,
+        ledger: &mut CycleLedger,
+    ) {
+        LogicalOp::RowRead.charge(&self.model, ledger);
+        LogicalOp::RowWrite.charge(&dest.model, ledger);
+        let src = self.bits[row].clone();
+        dest.bits[dest_row] = src;
+    }
+}
+
+/// Proves the boolean fast path agrees with the analog circuit model for
+/// every input combination (used by tests; exposed for the bench crate's
+/// circuit-validation bench).
+pub fn validate_functions_against_circuit(model: &ArrayModel) -> bool {
+    let sa = SenseAmp::new(model.cell());
+    let cell = model.cell();
+    for a in [false, true] {
+        for b in [false, true] {
+            for c in [false, true] {
+                let cells = [
+                    cell.resistance(a),
+                    cell.resistance(b),
+                    cell.resistance(c),
+                ];
+                let circuit_sum = sa.evaluate(SenseMode::Xor3, &cells);
+                let circuit_carry = sa.evaluate(SenseMode::Maj3, &cells);
+                if circuit_sum != (a ^ b ^ c)
+                    || circuit_carry != ((a & b) | (a & c) | (b & c))
+                {
+                    return false;
+                }
+                if sa.xnor2(a, b) != !(a ^ b) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioseq::Base;
+
+    fn fresh() -> (SubArray, CycleLedger) {
+        (SubArray::new(ArrayModel::default()), CycleLedger::new())
+    }
+
+    #[test]
+    fn layout_matches_fig6a() {
+        let l = SubArrayLayout::paper();
+        l.validate(SubArrayGeometry::PAPER);
+        assert_eq!(l.bwt_rows, 0..256);
+        assert_eq!(l.cref_rows.len(), 4);
+        assert_eq!(l.mt_rows.len(), 128);
+        assert_eq!(l.reserved_rows.len(), 124);
+        assert_eq!(l.bwt_capacity_bases(), 32_768);
+    }
+
+    #[test]
+    fn bwt_row_round_trip_via_bits() {
+        let (mut sa, mut ledger) = fresh();
+        let codes: Vec<u8> = (0..128).map(|i| (i % 4) as u8).collect();
+        sa.load_bwt_row(3, &codes, &mut ledger);
+        for (j, &code) in codes.iter().enumerate() {
+            assert_eq!(sa.bit(3, 2 * j), code & 1 != 0);
+            assert_eq!(sa.bit(3, 2 * j + 1), code & 2 != 0);
+        }
+    }
+
+    #[test]
+    fn xnor_match_finds_exactly_the_matching_bases() {
+        let (mut sa, mut ledger) = fresh();
+        sa.load_cref_rows(&mut ledger);
+        // T G C T A in codes.
+        let codes: Vec<u8> = [Base::T, Base::G, Base::C, Base::T, Base::A]
+            .iter()
+            .map(|b| b.code())
+            .collect();
+        sa.load_bwt_row(0, &codes, &mut ledger);
+        let t_matches = sa.xnor_match(0, Base::T, &mut ledger);
+        assert_eq!(&t_matches[..5], &[true, false, false, true, false]);
+        assert!(t_matches[5..].iter().all(|&m| !m), "tail must not match");
+        let a_matches = sa.xnor_match(0, Base::A, &mut ledger);
+        assert_eq!(&a_matches[..5], &[false, false, false, false, true]);
+    }
+
+    #[test]
+    fn xnor_match_counts_equal_scan_for_every_base() {
+        let (mut sa, mut ledger) = fresh();
+        sa.load_cref_rows(&mut ledger);
+        let codes: Vec<u8> = (0..100).map(|i| ((i * 7 + 3) % 4) as u8).collect();
+        sa.load_bwt_row(1, &codes, &mut ledger);
+        for base in Base::ALL {
+            let hw: usize = sa
+                .xnor_match(1, base, &mut ledger)
+                .iter()
+                .filter(|&&m| m)
+                .count();
+            let oracle = codes.iter().filter(|&&c| c == base.code()).count();
+            assert_eq!(hw, oracle, "count mismatch for {base}");
+        }
+    }
+
+    #[test]
+    fn marker_store_read_round_trip() {
+        let (mut sa, mut ledger) = fresh();
+        for bucket in [0usize, 17, 255] {
+            for base in Base::ALL {
+                let v = (bucket as u32) * 1_000_003 + base.rank() as u32;
+                sa.store_marker(bucket, base, v, &mut ledger);
+                assert_eq!(sa.read_marker(bucket, base, &mut ledger), v);
+            }
+        }
+    }
+
+    #[test]
+    fn markers_in_distinct_columns_do_not_interfere() {
+        let (mut sa, mut ledger) = fresh();
+        sa.store_marker(10, Base::A, 0xAAAA_5555, &mut ledger);
+        sa.store_marker(11, Base::A, 0x1234_5678, &mut ledger);
+        sa.store_marker(10, Base::C, 0xDEAD_BEEF, &mut ledger);
+        assert_eq!(sa.read_marker(10, Base::A, &mut ledger), 0xAAAA_5555);
+        assert_eq!(sa.read_marker(11, Base::A, &mut ledger), 0x1234_5678);
+        assert_eq!(sa.read_marker(10, Base::C, &mut ledger), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn im_add_matches_wrapping_add() {
+        let (mut sa, mut ledger) = fresh();
+        let cases = [
+            (0u32, 0u32),
+            (1, 1),
+            (0xFFFF_FFFF, 1),
+            (123_456_789, 987_654_321),
+            (0x8000_0000, 0x8000_0000),
+            (42, 0),
+        ];
+        for (a, b) in cases {
+            assert_eq!(sa.im_add32(a, b, &mut ledger), a.wrapping_add(b), "{a} + {b}");
+        }
+    }
+
+    #[test]
+    fn boolean_fast_path_agrees_with_circuit() {
+        assert!(validate_functions_against_circuit(&ArrayModel::default()));
+    }
+
+    #[test]
+    fn ledger_charges_accumulate_per_primitive() {
+        let (mut sa, mut ledger) = fresh();
+        sa.load_cref_rows(&mut ledger);
+        let before = ledger.total_busy_cycles();
+        let _ = sa.xnor_match(0, Base::G, &mut ledger);
+        assert_eq!(
+            ledger.total_busy_cycles() - before,
+            LogicalOp::XnorMatch.cycles()
+        );
+    }
+
+    #[test]
+    fn copy_row_duplicates_contents() {
+        let (mut src, mut ledger) = fresh();
+        let mut dst = SubArray::new(ArrayModel::default());
+        let codes: Vec<u8> = (0..64).map(|i| (i % 4) as u8).collect();
+        src.load_bwt_row(5, &codes, &mut ledger);
+        src.copy_row_to(5, &mut dst, 7, &mut ledger);
+        for col in 0..128 {
+            assert_eq!(src.bit(5, col), dst.bit(7, col));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_bucket_panics() {
+        let (sa, mut ledger) = fresh();
+        let _ = sa.xnor_match(300, Base::A, &mut ledger);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests on the simulated hardware's invariants.
+
+use bioseq::Base;
+use mram::array::ArrayModel;
+use pimsim::{CycleLedger, Dpu, SubArray};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn im_add_is_wrapping_u32_addition(a in any::<u32>(), b in any::<u32>()) {
+        let mut sub = SubArray::new(ArrayModel::default());
+        let mut ledger = CycleLedger::new();
+        prop_assert_eq!(sub.im_add32(a, b, &mut ledger), a.wrapping_add(b));
+    }
+
+    #[test]
+    fn im_add_is_commutative(a in any::<u32>(), b in any::<u32>()) {
+        let mut sub = SubArray::new(ArrayModel::default());
+        let mut ledger = CycleLedger::new();
+        let ab = sub.im_add32(a, b, &mut ledger);
+        let ba = sub.im_add32(b, a, &mut ledger);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn marker_storage_round_trips(values in proptest::collection::vec(any::<u32>(), 1..32)) {
+        let mut sub = SubArray::new(ArrayModel::default());
+        let mut ledger = CycleLedger::new();
+        for (i, &v) in values.iter().enumerate() {
+            let base = Base::from_rank(i % 4);
+            sub.store_marker(i % 256, base, v, &mut ledger);
+        }
+        for (i, &v) in values.iter().enumerate() {
+            let base = Base::from_rank(i % 4);
+            prop_assert_eq!(sub.read_marker(i % 256, base, &mut ledger), v);
+        }
+    }
+
+    #[test]
+    fn xnor_match_counts_equal_scan(codes in proptest::collection::vec(0u8..4, 0..128)) {
+        let mut sub = SubArray::new(ArrayModel::default());
+        let mut ledger = CycleLedger::new();
+        sub.load_cref_rows(&mut ledger);
+        sub.load_bwt_row(0, &codes, &mut ledger);
+        for base in Base::ALL {
+            let hw: usize = sub
+                .xnor_match(0, base, &mut ledger)
+                .iter()
+                .filter(|&&m| m)
+                .count();
+            let oracle = codes.iter().filter(|&&c| c == base.code()).count();
+            prop_assert_eq!(hw, oracle);
+        }
+    }
+
+    #[test]
+    fn popcount_equals_manual_count(
+        bits in proptest::collection::vec(any::<bool>(), 0..128),
+        frac in 0.0f64..=1.0,
+    ) {
+        let mut dpu = Dpu::new(ArrayModel::default());
+        let mut ledger = CycleLedger::new();
+        let limit = (bits.len() as f64 * frac) as usize;
+        let hw = dpu.count_matches(&bits, limit, &mut ledger);
+        let oracle = bits[..limit].iter().filter(|&&b| b).count() as u32;
+        prop_assert_eq!(hw, oracle);
+    }
+
+    #[test]
+    fn ledger_merge_is_additive(
+        xnor_a in 0u64..50, xnor_b in 0u64..50,
+        reads_a in 0u64..50, reads_b in 0u64..50,
+    ) {
+        use mram::array::ArrayOp;
+        use pimsim::Resource;
+        let model = ArrayModel::default();
+        let mut a = CycleLedger::new();
+        a.charge(&model, Resource::Compare, ArrayOp::ComputeTriple, xnor_a);
+        a.charge(&model, Resource::Memory, ArrayOp::ReadRow, reads_a);
+        let mut b = CycleLedger::new();
+        b.charge(&model, Resource::Compare, ArrayOp::ComputeTriple, xnor_b);
+        b.charge(&model, Resource::Memory, ArrayOp::ReadRow, reads_b);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert_eq!(
+            merged.busy_cycles(Resource::Compare),
+            a.busy_cycles(Resource::Compare) + b.busy_cycles(Resource::Compare)
+        );
+        prop_assert_eq!(
+            merged.busy_cycles(Resource::Memory),
+            reads_a + reads_b
+        );
+        prop_assert!((merged.energy_pj() - (a.energy_pj() + b.energy_pj())).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,212 @@
+//! Paired-end read simulation.
+//!
+//! Beyond-paper extension (DESIGN.md §8): genomic pipelines the paper's
+//! introduction motivates (variant calling, expression) are predominantly
+//! paired-end. A fragment of the donor genome is sampled with a normally
+//! distributed insert size; read 1 is the fragment's 5′ end, read 2 the
+//! reverse complement of its 3′ end (Illumina FR orientation).
+
+use bioseq::DnaSeq;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::reads::{ReadSimulator, SimProfile, Strand};
+use crate::variant::Donor;
+
+/// Parameters of the paired-end fragment model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InsertProfile {
+    /// Mean fragment (outer insert) length in bases.
+    pub mean: f64,
+    /// Standard deviation of the fragment length.
+    pub std_dev: f64,
+}
+
+impl Default for InsertProfile {
+    /// Illumina-typical: 400 ± 50 bp.
+    fn default() -> Self {
+        InsertProfile {
+            mean: 400.0,
+            std_dev: 50.0,
+        }
+    }
+}
+
+/// One simulated read pair with ground truth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadPair {
+    /// Pair identifier.
+    pub id: String,
+    /// Read 1 (fragment 5′ end, forward orientation in the donor).
+    pub r1: DnaSeq,
+    /// Read 2 (reverse complement of the fragment 3′ end).
+    pub r2: DnaSeq,
+    /// Fragment start in the donor genome.
+    pub fragment_start: usize,
+    /// Fragment (outer insert) length.
+    pub fragment_len: usize,
+}
+
+/// The paired simulation output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairedSimulation {
+    /// The donor genome the fragments were sampled from.
+    pub donor: Donor,
+    /// The generated pairs.
+    pub pairs: Vec<ReadPair>,
+}
+
+/// Simulates `count` read pairs from `reference`.
+///
+/// Sequencing errors, variants and read length follow `profile`; the
+/// fragment length follows `insert` (clamped to at least the read
+/// length, at most the donor length).
+///
+/// # Panics
+///
+/// Panics if the reference is shorter than the mean insert or
+/// `count == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use readsim::paired::{simulate_pairs, InsertProfile};
+/// use readsim::{genome, SimProfile};
+///
+/// let reference = genome::uniform(10_000, 3);
+/// let profile = SimProfile::paper_defaults().read_count(20).read_len(50);
+/// let sim = simulate_pairs(&reference, profile, InsertProfile::default(), 9);
+/// assert_eq!(sim.pairs.len(), 20);
+/// assert!(sim.pairs.iter().all(|p| p.fragment_len >= 50));
+/// ```
+pub fn simulate_pairs(
+    reference: &DnaSeq,
+    profile: SimProfile,
+    insert: InsertProfile,
+    seed: u64,
+) -> PairedSimulation {
+    assert!(profile.count > 0, "at least one pair required");
+    assert!(
+        reference.len() as f64 > insert.mean,
+        "reference shorter than the mean insert"
+    );
+    // Reuse the single-end machinery for the donor genome.
+    let single = ReadSimulator::new(profile.read_count(1).forward_only(), seed ^ 0xfa1).simulate(reference);
+    let donor = single.donor;
+    let read_len = profile.read_len;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pairs = Vec::with_capacity(profile.count);
+    for i in 0..profile.count {
+        // Box–Muller for the fragment length.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let fragment_len = ((insert.mean + insert.std_dev * z).round() as isize)
+            .clamp(read_len as isize, donor.genome.len() as isize)
+            as usize;
+        let fragment_start = rng.gen_range(0..=donor.genome.len() - fragment_len);
+        let fragment = donor
+            .genome
+            .subseq(fragment_start..fragment_start + fragment_len);
+        let r1 = with_errors(&fragment.subseq(0..read_len), profile.error_rate, &mut rng);
+        let r2_template = fragment
+            .subseq(fragment_len - read_len..fragment_len)
+            .reverse_complement();
+        let r2 = with_errors(&r2_template, profile.error_rate, &mut rng);
+        pairs.push(ReadPair {
+            id: format!("pair{i}"),
+            r1,
+            r2,
+            fragment_start,
+            fragment_len,
+        });
+    }
+    PairedSimulation { donor, pairs }
+}
+
+fn with_errors(template: &DnaSeq, error_rate: f64, rng: &mut StdRng) -> DnaSeq {
+    template
+        .iter()
+        .map(|&b| {
+            if error_rate > 0.0 && rng.gen_bool(error_rate) {
+                bioseq::Base::from_rank((b.rank() + rng.gen_range(1..4)) % 4)
+            } else {
+                b
+            }
+        })
+        .collect()
+}
+
+/// Expected orientation of a properly paired alignment: R1 forward,
+/// R2 reverse (or the mirror image when the fragment came from the other
+/// strand — not simulated here, the aligner handles it symmetrically).
+pub const PROPER_ORIENTATION: (Strand, Strand) = (Strand::Forward, Strand::Reverse);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::uniform;
+    use crate::variant::VariantProfile;
+
+    fn clean_profile(count: usize, len: usize) -> SimProfile {
+        SimProfile::paper_defaults()
+            .read_count(count)
+            .read_len(len)
+            .error_rate(0.0)
+            .variants(VariantProfile {
+                rate: 0.0,
+                ..VariantProfile::default()
+            })
+    }
+
+    #[test]
+    fn pair_geometry_is_consistent() {
+        let reference = uniform(20_000, 5);
+        let sim = simulate_pairs(&reference, clean_profile(50, 80), InsertProfile::default(), 6);
+        for p in &sim.pairs {
+            assert_eq!(p.r1.len(), 80);
+            assert_eq!(p.r2.len(), 80);
+            assert!(p.fragment_len >= 80);
+            assert!(p.fragment_start + p.fragment_len <= reference.len());
+            // Clean pairs reconstruct exactly from the donor (== reference).
+            assert_eq!(
+                p.r1,
+                reference.subseq(p.fragment_start..p.fragment_start + 80)
+            );
+            let r2_expected = reference
+                .subseq(
+                    p.fragment_start + p.fragment_len - 80..p.fragment_start + p.fragment_len,
+                )
+                .reverse_complement();
+            assert_eq!(p.r2, r2_expected);
+        }
+    }
+
+    #[test]
+    fn insert_lengths_follow_the_profile() {
+        let reference = uniform(50_000, 7);
+        let insert = InsertProfile {
+            mean: 300.0,
+            std_dev: 30.0,
+        };
+        let sim = simulate_pairs(&reference, clean_profile(400, 50), insert, 8);
+        let mean: f64 = sim.pairs.iter().map(|p| p.fragment_len as f64).sum::<f64>()
+            / sim.pairs.len() as f64;
+        assert!((mean - 300.0).abs() < 10.0, "observed mean insert {mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let reference = uniform(10_000, 9);
+        let a = simulate_pairs(&reference, clean_profile(10, 50), InsertProfile::default(), 10);
+        let b = simulate_pairs(&reference, clean_profile(10, 50), InsertProfile::default(), 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the mean insert")]
+    fn tiny_reference_rejected() {
+        let reference = uniform(100, 1);
+        let _ = simulate_pairs(&reference, clean_profile(1, 50), InsertProfile::default(), 1);
+    }
+}

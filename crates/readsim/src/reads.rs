@@ -1,0 +1,317 @@
+//! Read sampling with sequencing errors and ground truth.
+
+use bioseq::quality::{Phred, QualityString};
+use bioseq::{Base, DnaSeq};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::variant::{apply_variants, VariantProfile};
+
+/// Which genome strand a read was sampled from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strand {
+    /// The reference orientation.
+    Forward,
+    /// The reverse complement.
+    Reverse,
+}
+
+/// One simulated read with its ground truth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimulatedRead {
+    /// Sequential identifier (`read<N>`).
+    pub id: String,
+    /// The read sequence as it would leave the sequencer.
+    pub seq: DnaSeq,
+    /// Per-base Phred qualities.
+    pub quality: QualityString,
+    /// True origin: start position *in the donor genome*.
+    pub donor_pos: usize,
+    /// Strand the read was sampled from.
+    pub strand: Strand,
+    /// Number of sequencing errors injected into this read.
+    pub errors: usize,
+}
+
+/// Simulation parameters (paper §VI defaults exposed as
+/// [`SimProfile::paper_defaults`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimProfile {
+    /// Read length in bases (paper: 100 bp).
+    pub read_len: usize,
+    /// Number of reads to generate (paper: 10 M; scale down for tests).
+    pub count: usize,
+    /// Per-base sequencing-error probability (paper: 0.002).
+    pub error_rate: f64,
+    /// Population-variant profile for the donor genome (paper rate 0.001).
+    pub variants: VariantProfile,
+    /// Whether to sample from both strands.
+    pub both_strands: bool,
+}
+
+impl SimProfile {
+    /// The paper's workload parameters: 100 bp reads, 0.2 % sequencing
+    /// error, 0.1 % population variation (count left at 10 000 — callers
+    /// scale with [`read_count`](Self::read_count)).
+    pub fn paper_defaults() -> SimProfile {
+        SimProfile {
+            read_len: 100,
+            count: 10_000,
+            error_rate: 0.002,
+            variants: VariantProfile::default(),
+            both_strands: true,
+        }
+    }
+
+    /// Sets the number of reads.
+    pub fn read_count(mut self, count: usize) -> SimProfile {
+        self.count = count;
+        self
+    }
+
+    /// Sets the read length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn read_len(mut self, len: usize) -> SimProfile {
+        assert!(len > 0, "read length must be positive");
+        self.read_len = len;
+        self
+    }
+
+    /// Sets the per-base sequencing-error rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn error_rate(mut self, rate: f64) -> SimProfile {
+        assert!((0.0..=1.0).contains(&rate), "error rate must be in [0, 1]");
+        self.error_rate = rate;
+        self
+    }
+
+    /// Sets the variant profile.
+    pub fn variants(mut self, variants: VariantProfile) -> SimProfile {
+        self.variants = variants;
+        self
+    }
+
+    /// Restricts sampling to the forward strand (useful for tests that
+    /// compare against forward-only search).
+    pub fn forward_only(mut self) -> SimProfile {
+        self.both_strands = false;
+        self
+    }
+}
+
+impl Default for SimProfile {
+    fn default() -> Self {
+        SimProfile::paper_defaults()
+    }
+}
+
+/// The simulator output: the donor genome, its variants, and the reads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Simulation {
+    /// The donor genome the reads were sampled from.
+    pub donor: crate::variant::Donor,
+    /// The generated reads.
+    pub reads: Vec<SimulatedRead>,
+}
+
+/// ART-like read simulator.
+///
+/// # Examples
+///
+/// ```
+/// use readsim::{genome, ReadSimulator, SimProfile};
+///
+/// let reference = genome::uniform(5_000, 1);
+/// let profile = SimProfile::paper_defaults().read_count(10).read_len(50);
+/// let sim = ReadSimulator::new(profile, 2).simulate(&reference);
+/// assert_eq!(sim.reads.len(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReadSimulator {
+    profile: SimProfile,
+    seed: u64,
+}
+
+impl ReadSimulator {
+    /// Creates a simulator with a deterministic seed.
+    pub fn new(profile: SimProfile, seed: u64) -> ReadSimulator {
+        ReadSimulator { profile, seed }
+    }
+
+    /// The active profile.
+    pub fn profile(&self) -> &SimProfile {
+        &self.profile
+    }
+
+    /// Runs the simulation against `reference`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference (after variants) is shorter than the read
+    /// length.
+    pub fn simulate(&self, reference: &DnaSeq) -> Simulation {
+        let donor = apply_variants(reference, self.profile.variants, self.seed ^ 0x5eed);
+        assert!(
+            donor.genome.len() >= self.profile.read_len,
+            "reference shorter than read length"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let max_start = donor.genome.len() - self.profile.read_len;
+        let reads = (0..self.profile.count)
+            .map(|i| {
+                let donor_pos = rng.gen_range(0..=max_start);
+                let strand = if self.profile.both_strands && rng.gen_bool(0.5) {
+                    Strand::Reverse
+                } else {
+                    Strand::Forward
+                };
+                let fragment = donor
+                    .genome
+                    .subseq(donor_pos..donor_pos + self.profile.read_len);
+                let template = match strand {
+                    Strand::Forward => fragment,
+                    Strand::Reverse => fragment.reverse_complement(),
+                };
+                let mut seq = DnaSeq::with_capacity(template.len());
+                let mut quality = QualityString::new();
+                let mut errors = 0usize;
+                for &b in template.iter() {
+                    if rng.gen_bool(self.profile.error_rate) {
+                        let shift = rng.gen_range(1..4);
+                        seq.push(Base::from_rank((b.rank() + shift) % 4));
+                        quality.push(Phred::from_error_probability(0.25));
+                        errors += 1;
+                    } else {
+                        seq.push(b);
+                        quality.push(Phred::from_error_probability(
+                            self.profile.error_rate.max(1e-9),
+                        ));
+                    }
+                }
+                SimulatedRead {
+                    id: format!("read{i}"),
+                    seq,
+                    quality,
+                    donor_pos,
+                    strand,
+                    errors,
+                }
+            })
+            .collect();
+        Simulation { donor, reads }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::uniform;
+    use crate::variant::VariantProfile;
+
+    fn clean_profile(count: usize, len: usize) -> SimProfile {
+        SimProfile::paper_defaults()
+            .read_count(count)
+            .read_len(len)
+            .error_rate(0.0)
+            .variants(VariantProfile {
+                rate: 0.0,
+                ..VariantProfile::default()
+            })
+    }
+
+    #[test]
+    fn reads_have_requested_shape() {
+        let reference = uniform(2_000, 1);
+        let sim = ReadSimulator::new(SimProfile::paper_defaults().read_count(25), 2)
+            .simulate(&reference);
+        assert_eq!(sim.reads.len(), 25);
+        for r in &sim.reads {
+            assert_eq!(r.seq.len(), 100);
+            assert_eq!(r.quality.len(), 100);
+        }
+    }
+
+    #[test]
+    fn clean_forward_reads_match_donor_exactly() {
+        let reference = uniform(3_000, 3);
+        let sim = ReadSimulator::new(clean_profile(50, 60).forward_only(), 4)
+            .simulate(&reference);
+        assert_eq!(sim.donor.genome, reference);
+        for r in &sim.reads {
+            assert_eq!(r.strand, Strand::Forward);
+            assert_eq!(r.errors, 0);
+            let expected = reference.subseq(r.donor_pos..r.donor_pos + 60);
+            assert_eq!(r.seq, expected, "read {} truth mismatch", r.id);
+        }
+    }
+
+    #[test]
+    fn reverse_reads_match_reverse_complement() {
+        let reference = uniform(3_000, 5);
+        let sim = ReadSimulator::new(clean_profile(200, 40), 6).simulate(&reference);
+        let reverse_reads: Vec<&SimulatedRead> = sim
+            .reads
+            .iter()
+            .filter(|r| r.strand == Strand::Reverse)
+            .collect();
+        assert!(!reverse_reads.is_empty());
+        for r in reverse_reads {
+            let expected = reference
+                .subseq(r.donor_pos..r.donor_pos + 40)
+                .reverse_complement();
+            assert_eq!(r.seq, expected);
+        }
+    }
+
+    #[test]
+    fn error_rate_statistics() {
+        let reference = uniform(10_000, 7);
+        let profile = clean_profile(2_000, 100).error_rate(0.01);
+        let sim = ReadSimulator::new(profile, 8).simulate(&reference);
+        let total_errors: usize = sim.reads.iter().map(|r| r.errors).sum();
+        let rate = total_errors as f64 / (2_000.0 * 100.0);
+        assert!((rate - 0.01).abs() < 0.002, "observed error rate {rate}");
+    }
+
+    #[test]
+    fn error_positions_differ_from_template() {
+        let reference = uniform(5_000, 9);
+        let profile = clean_profile(500, 80).error_rate(0.05).forward_only();
+        let sim = ReadSimulator::new(profile, 10).simulate(&reference);
+        for r in &sim.reads {
+            let template = reference.subseq(r.donor_pos..r.donor_pos + 80);
+            assert_eq!(r.seq.hamming_distance(&template), r.errors);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let reference = uniform(2_000, 11);
+        let a = ReadSimulator::new(SimProfile::paper_defaults().read_count(20), 12)
+            .simulate(&reference);
+        let b = ReadSimulator::new(SimProfile::paper_defaults().read_count(20), 12)
+            .simulate(&reference);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than read length")]
+    fn tiny_reference_rejected() {
+        let reference = uniform(10, 1);
+        let _ = ReadSimulator::new(SimProfile::paper_defaults(), 1).simulate(&reference);
+    }
+
+    #[test]
+    fn paper_defaults_match_evaluation_setup() {
+        let p = SimProfile::paper_defaults();
+        assert_eq!(p.read_len, 100);
+        assert!((p.error_rate - 0.002).abs() < 1e-12);
+        assert!((p.variants.rate - 0.001).abs() < 1e-12);
+    }
+}

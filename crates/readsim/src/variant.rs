@@ -1,0 +1,225 @@
+//! Population variants: deriving a donor genome from the reference.
+//!
+//! Reads are sampled from a *donor* that differs from the indexed
+//! reference by germline variants (paper: "population variation … set to
+//! 0.1%"). These are the differences the inexact alignment stage exists
+//! to recover (§III: "the reads contain the genome variations from the
+//! sample cannot map to the reference" under exact-only matching).
+
+use bioseq::{Base, DnaSeq};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One germline variant applied to the reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Variant {
+    /// Single-nucleotide substitution at a reference position.
+    Snp {
+        /// Reference position.
+        pos: usize,
+        /// The donor base (differs from the reference base).
+        alt: Base,
+    },
+    /// Short insertion after a reference position.
+    Insertion {
+        /// Reference position the insert follows.
+        pos: usize,
+        /// Inserted bases.
+        seq: DnaSeq,
+    },
+    /// Short deletion starting at a reference position.
+    Deletion {
+        /// First deleted reference position.
+        pos: usize,
+        /// Number of deleted bases.
+        len: usize,
+    },
+}
+
+impl Variant {
+    /// The reference position the variant anchors to.
+    pub fn pos(&self) -> usize {
+        match self {
+            Variant::Snp { pos, .. }
+            | Variant::Insertion { pos, .. }
+            | Variant::Deletion { pos, .. } => *pos,
+        }
+    }
+}
+
+/// Parameters for donor-genome generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariantProfile {
+    /// Per-base probability of a variant event (paper default `0.001`).
+    pub rate: f64,
+    /// Fraction of variant events that are indels rather than SNPs.
+    pub indel_fraction: f64,
+    /// Maximum indel length.
+    pub max_indel_len: usize,
+}
+
+impl Default for VariantProfile {
+    /// Paper defaults: 0.1 % variation, 10 % of events are indels, ≤ 3 bp.
+    fn default() -> Self {
+        VariantProfile {
+            rate: 0.001,
+            indel_fraction: 0.1,
+            max_indel_len: 3,
+        }
+    }
+}
+
+/// A donor genome plus the exact variant list that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Donor {
+    /// The mutated genome reads are sampled from.
+    pub genome: DnaSeq,
+    /// Variants applied, sorted by reference position.
+    pub variants: Vec<Variant>,
+}
+
+/// Applies random variants to `reference` at the profile's rate.
+///
+/// # Panics
+///
+/// Panics if `rate` or `indel_fraction` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use readsim::variant::{apply_variants, VariantProfile};
+///
+/// let reference = readsim::genome::uniform(50_000, 1);
+/// let donor = apply_variants(&reference, VariantProfile::default(), 9);
+/// // ~0.1% of 50k = ~50 events.
+/// assert!(donor.variants.len() > 20 && donor.variants.len() < 100);
+/// ```
+pub fn apply_variants(reference: &DnaSeq, profile: VariantProfile, seed: u64) -> Donor {
+    assert!(
+        (0.0..=1.0).contains(&profile.rate),
+        "variant rate must be within [0, 1]"
+    );
+    assert!(
+        (0.0..=1.0).contains(&profile.indel_fraction),
+        "indel fraction must be within [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut genome = DnaSeq::with_capacity(reference.len());
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < reference.len() {
+        let b = reference[i];
+        if rng.gen_bool(profile.rate) {
+            if profile.max_indel_len > 0 && rng.gen_bool(profile.indel_fraction) {
+                let len = rng.gen_range(1..=profile.max_indel_len);
+                if rng.gen_bool(0.5) {
+                    // Insertion after position i (the reference base itself
+                    // is kept).
+                    genome.push(b);
+                    let ins: DnaSeq = (0..len)
+                        .map(|_| Base::from_rank(rng.gen_range(0..4)))
+                        .collect();
+                    genome.extend(ins.iter().copied());
+                    variants.push(Variant::Insertion { pos: i, seq: ins });
+                    i += 1;
+                } else {
+                    // Deletion of up to `len` bases starting at i.
+                    let len = len.min(reference.len() - i);
+                    variants.push(Variant::Deletion { pos: i, len });
+                    i += len;
+                }
+            } else {
+                // SNP: substitute with one of the three other bases.
+                let shift = rng.gen_range(1..4);
+                let alt = Base::from_rank((b.rank() + shift) % 4);
+                genome.push(alt);
+                variants.push(Variant::Snp { pos: i, alt });
+                i += 1;
+            }
+        } else {
+            genome.push(b);
+            i += 1;
+        }
+    }
+    Donor { genome, variants }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::uniform;
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let reference = uniform(5_000, 2);
+        let profile = VariantProfile {
+            rate: 0.0,
+            ..VariantProfile::default()
+        };
+        let donor = apply_variants(&reference, profile, 3);
+        assert_eq!(donor.genome, reference);
+        assert!(donor.variants.is_empty());
+    }
+
+    #[test]
+    fn rate_is_respected_statistically() {
+        let reference = uniform(200_000, 4);
+        let donor = apply_variants(&reference, VariantProfile::default(), 5);
+        let rate = donor.variants.len() as f64 / reference.len() as f64;
+        assert!((rate - 0.001).abs() < 0.0005, "observed rate {rate}");
+    }
+
+    #[test]
+    fn snps_substitute_with_different_base() {
+        let reference = uniform(100_000, 6);
+        let profile = VariantProfile {
+            indel_fraction: 0.0,
+            ..VariantProfile::default()
+        };
+        let donor = apply_variants(&reference, profile, 7);
+        assert_eq!(donor.genome.len(), reference.len());
+        for v in &donor.variants {
+            let Variant::Snp { pos, alt } = v else {
+                panic!("expected only SNPs");
+            };
+            assert_ne!(reference[*pos], *alt);
+            assert_eq!(donor.genome[*pos], *alt);
+        }
+    }
+
+    #[test]
+    fn variants_are_position_sorted() {
+        let reference = uniform(50_000, 8);
+        let donor = apply_variants(&reference, VariantProfile::default(), 9);
+        for w in donor.variants.windows(2) {
+            assert!(w[0].pos() <= w[1].pos());
+        }
+    }
+
+    #[test]
+    fn indels_change_length() {
+        let reference = uniform(100_000, 10);
+        let profile = VariantProfile {
+            rate: 0.01,
+            indel_fraction: 1.0,
+            max_indel_len: 3,
+        };
+        let donor = apply_variants(&reference, profile, 11);
+        assert_ne!(donor.genome.len(), reference.len());
+        let has_ins = donor
+            .variants
+            .iter()
+            .any(|v| matches!(v, Variant::Insertion { .. }));
+        let has_del = donor
+            .variants
+            .iter()
+            .any(|v| matches!(v, Variant::Deletion { .. }));
+        assert!(has_ins && has_del);
+    }
+
+    #[test]
+    #[should_panic(expected = "variant rate")]
+    fn invalid_rate_rejected() {
+        let _ = apply_variants(&uniform(10, 1), VariantProfile { rate: 1.5, ..Default::default() }, 1);
+    }
+}

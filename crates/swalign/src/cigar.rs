@@ -1,0 +1,188 @@
+//! CIGAR strings describing alignments.
+
+use std::fmt;
+
+/// One alignment operation, SAM-style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CigarOp {
+    /// `M`: aligned pair (match or mismatch).
+    Match,
+    /// `I`: base present in the read but not the reference.
+    Insertion,
+    /// `D`: base present in the reference but not the read.
+    Deletion,
+}
+
+impl CigarOp {
+    /// SAM single-letter code.
+    pub fn code(self) -> char {
+        match self {
+            CigarOp::Match => 'M',
+            CigarOp::Insertion => 'I',
+            CigarOp::Deletion => 'D',
+        }
+    }
+
+    /// Whether the op consumes a read base.
+    pub fn consumes_read(self) -> bool {
+        !matches!(self, CigarOp::Deletion)
+    }
+
+    /// Whether the op consumes a reference base.
+    pub fn consumes_ref(self) -> bool {
+        !matches!(self, CigarOp::Insertion)
+    }
+}
+
+/// A run-length-encoded sequence of alignment operations.
+///
+/// # Examples
+///
+/// ```
+/// use swalign::{Cigar, CigarOp};
+///
+/// let mut c = Cigar::new();
+/// c.push(CigarOp::Match);
+/// c.push(CigarOp::Match);
+/// c.push(CigarOp::Deletion);
+/// c.push(CigarOp::Match);
+/// assert_eq!(c.to_string(), "2M1D1M");
+/// assert_eq!(c.read_len(), 3);
+/// assert_eq!(c.ref_len(), 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cigar {
+    runs: Vec<(u32, CigarOp)>,
+}
+
+impl Cigar {
+    /// Creates an empty CIGAR.
+    pub fn new() -> Cigar {
+        Cigar { runs: Vec::new() }
+    }
+
+    /// Appends one operation, merging with the previous run when equal.
+    pub fn push(&mut self, op: CigarOp) {
+        match self.runs.last_mut() {
+            Some((count, last)) if *last == op => *count += 1,
+            _ => self.runs.push((1, op)),
+        }
+    }
+
+    /// The run-length-encoded operations.
+    pub fn runs(&self) -> &[(u32, CigarOp)] {
+        &self.runs
+    }
+
+    /// `true` when no operations are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of read bases consumed.
+    pub fn read_len(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|(_, op)| op.consumes_read())
+            .map(|&(n, _)| n as usize)
+            .sum()
+    }
+
+    /// Number of reference bases consumed.
+    pub fn ref_len(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|(_, op)| op.consumes_ref())
+            .map(|&(n, _)| n as usize)
+            .sum()
+    }
+
+    /// Total number of edit operations (insertions + deletions); `M` runs
+    /// may still hide substitutions, which the caller counts separately.
+    pub fn indel_count(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|(_, op)| !matches!(op, CigarOp::Match))
+            .map(|&(n, _)| n as usize)
+            .sum()
+    }
+
+    /// Reverses the operation order in place (used when a traceback is
+    /// collected back-to-front).
+    pub fn reverse(&mut self) {
+        self.runs.reverse();
+    }
+}
+
+impl fmt::Display for Cigar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.runs.is_empty() {
+            return f.write_str("*");
+        }
+        for &(n, op) in &self.runs {
+            write!(f, "{}{}", n, op.code())?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<CigarOp> for Cigar {
+    fn from_iter<I: IntoIterator<Item = CigarOp>>(iter: I) -> Self {
+        let mut c = Cigar::new();
+        for op in iter {
+            c.push(op);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_length_merging() {
+        let c: Cigar = [CigarOp::Match, CigarOp::Match, CigarOp::Insertion, CigarOp::Match]
+            .into_iter()
+            .collect();
+        assert_eq!(c.runs().len(), 3);
+        assert_eq!(c.to_string(), "2M1I1M");
+    }
+
+    #[test]
+    fn lengths_respect_consumption() {
+        let c: Cigar = [
+            CigarOp::Match,
+            CigarOp::Insertion,
+            CigarOp::Deletion,
+            CigarOp::Deletion,
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(c.read_len(), 2); // M + I
+        assert_eq!(c.ref_len(), 3); // M + 2D
+        assert_eq!(c.indel_count(), 3);
+    }
+
+    #[test]
+    fn empty_displays_star() {
+        assert_eq!(Cigar::new().to_string(), "*");
+        assert!(Cigar::new().is_empty());
+    }
+
+    #[test]
+    fn reverse_reverses_runs() {
+        let mut c: Cigar = [CigarOp::Deletion, CigarOp::Match, CigarOp::Match]
+            .into_iter()
+            .collect();
+        c.reverse();
+        assert_eq!(c.to_string(), "2M1D");
+    }
+
+    #[test]
+    fn op_codes() {
+        assert_eq!(CigarOp::Match.code(), 'M');
+        assert_eq!(CigarOp::Insertion.code(), 'I');
+        assert_eq!(CigarOp::Deletion.code(), 'D');
+    }
+}

@@ -1,0 +1,128 @@
+//! `pimalign` — command-line short-read aligner on the simulated
+//! PIM-Aligner platform.
+//!
+//! ```text
+//! pimalign <reference.fasta> <reads.fastq> [options] > out.sam
+//!
+//! options:
+//!   --pipelined        use PIM-Aligner-p (Pd = 2) instead of the baseline
+//!   --pd <N>           parallelism degree (implies method-II for N >= 2)
+//!   --max-diffs <Z>    inexact-stage difference budget (default 2, max 8)
+//!   --no-indels        substitutions only in the inexact stage
+//!   --single-strand    skip the reverse-complement retry
+//! ```
+//!
+//! SAM goes to stdout; the platform performance report goes to stderr.
+
+use std::process::ExitCode;
+
+use pim_aligner_suite::bioseq::{fasta, fastq};
+use pim_aligner_suite::pim_aligner::{sam, MappedStrand, PimAligner, PimAlignerConfig};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("pimalign: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut pd = 1usize;
+    let mut max_diffs = 2u8;
+    let mut indels = true;
+    let mut both_strands = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--pipelined" => pd = pd.max(2),
+            "--pd" => {
+                i += 1;
+                pd = args
+                    .get(i)
+                    .ok_or("--pd needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --pd: {e}"))?;
+            }
+            "--max-diffs" => {
+                i += 1;
+                max_diffs = args
+                    .get(i)
+                    .ok_or("--max-diffs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --max-diffs: {e}"))?;
+            }
+            "--no-indels" => indels = false,
+            "--single-strand" => both_strands = false,
+            flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
+            _ => positional.push(args[i].clone()),
+        }
+        i += 1;
+    }
+    let [ref_path, reads_path] = positional.as_slice() else {
+        return Err("usage: pimalign <reference.fasta> <reads.fastq> [options]".to_owned());
+    };
+
+    let ref_text = std::fs::read_to_string(ref_path)
+        .map_err(|e| format!("cannot read {ref_path}: {e}"))?;
+    let references = fasta::parse(&ref_text).map_err(|e| format!("{ref_path}: {e}"))?;
+    let [reference] = references.as_slice() else {
+        return Err(format!(
+            "{ref_path}: expected exactly one reference record, found {}",
+            references.len()
+        ));
+    };
+    let reads_text = std::fs::read_to_string(reads_path)
+        .map_err(|e| format!("cannot read {reads_path}: {e}"))?;
+    let reads = fastq::parse(&reads_text).map_err(|e| format!("{reads_path}: {e}"))?;
+    if reads.is_empty() {
+        return Err(format!("{reads_path}: no reads"));
+    }
+
+    let mut config = PimAlignerConfig::baseline()
+        .with_max_diffs(max_diffs)
+        .with_indels(indels);
+    if pd >= 2 {
+        config = config.with_pd(pd);
+    }
+    let mut aligner = PimAligner::new(reference.seq(), config);
+
+    print!("{}", sam::header(reference.id(), reference.seq().len()));
+    let mut mapped = 0usize;
+    for record in &reads {
+        let (outcome, strand) = if both_strands {
+            aligner.align_read_both_strands(record.seq())
+        } else {
+            (aligner.align_read(record.seq()), MappedStrand::Forward)
+        };
+        if outcome.is_mapped() {
+            mapped += 1;
+        }
+        let sam_record = sam::record_for(
+            record.id(),
+            reference.id(),
+            record.seq(),
+            Some(record.quality()),
+            &outcome,
+            strand,
+        );
+        println!("{}", sam_record.to_line());
+    }
+
+    let report = aligner.report();
+    eprintln!(
+        "pimalign: {} reads, {} mapped ({:.1}%)",
+        reads.len(),
+        mapped,
+        100.0 * mapped as f64 / reads.len() as f64
+    );
+    eprintln!(
+        "pimalign: platform Pd={pd}: {:.3e} queries/s, {:.1} W, MBR {:.1}%, RUR {:.1}%",
+        report.throughput_qps, report.total_power_w, report.mbr_pct, report.rur_pct
+    );
+    Ok(())
+}

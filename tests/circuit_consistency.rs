@@ -1,0 +1,70 @@
+//! Integration: the digital fast path, the analog sense-amplifier model
+//! and the software FM-index all agree — the full vertical stack from
+//! resistances to alignment positions.
+
+use bioseq::Base;
+use mram::array::ArrayModel;
+use mram::device::CellParams;
+use mram::montecarlo;
+use mram::sense::{SenseAmp, SenseMode};
+use pimsim::validate_functions_against_circuit;
+
+#[test]
+fn digital_primitives_match_analog_circuit() {
+    assert!(validate_functions_against_circuit(&ArrayModel::default()));
+    // Also at the thick-oxide operating point (larger margins, same
+    // logic).
+    assert!(validate_functions_against_circuit(&ArrayModel::with_cell(
+        CellParams::default().with_tox_nm(2.0)
+    )));
+}
+
+#[test]
+fn sense_amp_survives_monte_carlo_variation_at_paper_sigma() {
+    // At σ(RA) = 2 %, σ(TMR) = 5 % the MC misread probability must be
+    // negligible for every decision threshold — the reliability claim
+    // behind Fig. 5b.
+    let report = montecarlo::run(&CellParams::default(), 5_000, 7);
+    for panel in &report.panels {
+        for &p in &panel.misread_prob {
+            assert!(p < 0.01, "fan-in {} misread prob {p}", panel.fan_in);
+        }
+    }
+}
+
+#[test]
+fn full_adder_chain_through_circuit_model() {
+    // Ripple a multi-bit add through SenseAmp::full_add and compare with
+    // integer addition — the IM_ADD correctness at circuit level.
+    let sa = SenseAmp::new(&CellParams::default());
+    for (a, b) in [(0u32, 0u32), (5, 7), (0xFFFF, 1), (123_456, 654_321)] {
+        let mut carry = false;
+        let mut result = 0u32;
+        for k in 0..32 {
+            let (sum, c) = sa.full_add((a >> k) & 1 == 1, (b >> k) & 1 == 1, carry);
+            if sum {
+                result |= 1 << k;
+            }
+            carry = c;
+        }
+        assert_eq!(result, a.wrapping_add(b), "{a} + {b}");
+    }
+}
+
+#[test]
+fn xnor_match_semantics_match_circuit_for_all_base_pairs() {
+    let cell = CellParams::default();
+    let sa = SenseAmp::new(&cell);
+    for stored in Base::ALL {
+        for query in Base::ALL {
+            // A base matches when both bits of its 2-bit code XNOR to 1.
+            let s = stored.code();
+            let q = query.code();
+            let bit0 = sa.xnor2(s & 1 == 1, q & 1 == 1);
+            let bit1 = sa.xnor2(s & 2 == 2, q & 2 == 2);
+            assert_eq!(bit0 && bit1, stored == query, "{stored} vs {query}");
+        }
+    }
+    // Sanity: the Xor3 mode used for XNOR2 reports the right enables.
+    assert_eq!(SenseMode::Xor3.enables(), (true, true, true, false));
+}

@@ -1,0 +1,89 @@
+//! Integration: the `pimalign` CLI end to end — FASTA + FASTQ in, SAM
+//! out.
+
+use std::process::Command;
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("pimalign_test_{name}_{}", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp file");
+    path
+}
+
+fn run_cli(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pimalign"))
+        .args(args)
+        .output()
+        .expect("run pimalign");
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn aligns_reads_and_emits_valid_sam() {
+    let reference = write_temp(
+        "ref.fa",
+        ">chrT test\nTGCTAGCATGAACCTTGGAACGTACGTTAGCATCGATCGGATTACAGATTACAGGG\n",
+    );
+    let reads = write_temp(
+        "reads.fq",
+        "@exact\nGATTACAGATTACA\n+\nIIIIIIIIIIIIII\n@revcomp\nCGTTCCAAGGTTCA\n+\nIIIIIIIIIIIIII\n@junk\nGGGGGGGGGGGGGG\n+\nIIIIIIIIIIIIII\n",
+    );
+    let (stdout, stderr, ok) = run_cli(&[
+        reference.to_str().unwrap(),
+        reads.to_str().unwrap(),
+        "--pipelined",
+    ]);
+    assert!(ok, "CLI failed: {stderr}");
+
+    let lines: Vec<&str> = stdout.lines().collect();
+    // Header: @HD, @SQ, @PG.
+    assert!(lines[0].starts_with("@HD"));
+    assert!(lines[1].contains("SN:chrT") && lines[1].contains("LN:56"));
+    assert!(lines[2].starts_with("@PG"));
+
+    // One alignment line per read, tab-separated with >= 11 fields.
+    let records: Vec<&str> = lines.iter().filter(|l| !l.starts_with('@')).copied().collect();
+    assert_eq!(records.len(), 3);
+    for r in &records {
+        assert!(r.split('\t').count() >= 11, "short SAM line: {r}");
+    }
+    let exact = records.iter().find(|r| r.starts_with("exact")).unwrap();
+    let fields: Vec<&str> = exact.split('\t').collect();
+    assert_eq!(fields[1], "0");
+    assert_eq!(fields[2], "chrT");
+    assert_eq!(fields[4], "60");
+    assert_eq!(fields[5], "14M");
+    let rev = records.iter().find(|r| r.starts_with("revcomp")).unwrap();
+    assert_eq!(rev.split('\t').nth(1), Some("16"));
+    let junk = records.iter().find(|r| r.starts_with("junk")).unwrap();
+    assert_eq!(junk.split('\t').nth(1), Some("4"));
+    assert_eq!(junk.split('\t').nth(2), Some("*"));
+
+    // The performance report lands on stderr.
+    assert!(stderr.contains("queries/s"));
+    assert!(stderr.contains("2 mapped"));
+
+    std::fs::remove_file(reference).ok();
+    std::fs::remove_file(reads).ok();
+}
+
+#[test]
+fn rejects_bad_usage() {
+    let (_, stderr, ok) = run_cli(&["only-one-arg"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+
+    let (_, stderr, ok) = run_cli(&["a", "b", "--bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown option"));
+}
+
+#[test]
+fn rejects_missing_files() {
+    let (_, stderr, ok) = run_cli(&["/nonexistent/ref.fa", "/nonexistent/reads.fq"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+}

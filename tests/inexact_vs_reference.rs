@@ -1,0 +1,99 @@
+//! Integration: Algorithm 2 on the platform vs the software oracle and
+//! the dynamic-programming baseline.
+
+use bioseq::{Base, DnaSeq};
+use fmindex::{EditBudget, FmIndex};
+use pim_aligner::{AlignmentOutcome, PimAligner, PimAlignerConfig};
+use readsim::genome;
+use swalign::{banded_global, Scoring};
+
+fn mutate(read: &DnaSeq, positions: &[usize]) -> DnaSeq {
+    let mut bases = read.clone().into_bases();
+    for &p in positions {
+        bases[p] = Base::from_rank((bases[p].rank() + 1) % 4);
+    }
+    DnaSeq::from_bases(bases)
+}
+
+#[test]
+fn exhaustive_platform_hits_equal_software_hits() {
+    let reference = genome::uniform(20_000, 81);
+    let oracle = FmIndex::new(&reference);
+    let mut aligner = PimAligner::new(
+        &reference,
+        PimAlignerConfig::baseline()
+            .with_max_diffs(2)
+            .with_indels(false)
+            .with_exhaustive_inexact(true),
+    );
+    for (start, muts) in [(500usize, vec![10]), (4_000, vec![5, 20]), (15_000, vec![0])] {
+        let read = mutate(&reference.subseq(start..start + 30), &muts);
+        let outcome = aligner.align_read(&read);
+        let sw = oracle.find_inexact(&read, EditBudget::substitutions_only(2));
+        match outcome {
+            AlignmentOutcome::Inexact { positions, diffs } => {
+                let best = sw.iter().map(|(_, d)| *d).min().expect("oracle hit");
+                assert_eq!(diffs, best, "read @{start}");
+                let sw_best: Vec<usize> = sw
+                    .iter()
+                    .filter(|(_, d)| *d == best)
+                    .map(|(p, _)| *p)
+                    .collect();
+                assert_eq!(positions, sw_best, "read @{start}");
+                assert!(positions.contains(&start));
+            }
+            AlignmentOutcome::Exact { positions } => {
+                // The mutated read may coincidentally occur elsewhere.
+                assert!(!positions.is_empty());
+            }
+            AlignmentOutcome::Unmapped => panic!("mutated read @{start} must map"),
+        }
+    }
+}
+
+#[test]
+fn first_accept_position_confirmed_by_dp_baseline() {
+    // Cross-validate the PIM result with the O(n·m) baseline class the
+    // paper compares against: banded global alignment at the reported
+    // position must reach the expected score.
+    let reference = genome::uniform(15_000, 82);
+    let mut aligner = PimAligner::new(
+        &reference,
+        PimAlignerConfig::baseline().with_max_diffs(2),
+    );
+    let read = mutate(&reference.subseq(7_000..7_060), &[15, 40]);
+    let AlignmentOutcome::Inexact { positions, diffs } = aligner.align_read(&read) else {
+        panic!("expected an inexact hit");
+    };
+    assert!(diffs >= 1 && diffs <= 2);
+    for &pos in &positions {
+        let window = reference.subseq(pos..(pos + read.len()).min(reference.len()));
+        let aln = banded_global(&window, &read, Scoring::default(), 4)
+            .expect("band wide enough");
+        // ≤ 2 substitutions over 60 bases: score ≥ 58 matches − 2×(1+1).
+        assert!(
+            aln.score >= (read.len() as i32 - 2) - 2 * 2,
+            "DP score {} too low at position {pos}",
+            aln.score
+        );
+    }
+}
+
+#[test]
+fn indel_variant_recovered_cross_stack() {
+    let reference = genome::uniform(10_000, 83);
+    // Delete one base from a read template.
+    let mut bases = reference.subseq(3_000..3_050).into_bases();
+    bases.remove(25);
+    let read = DnaSeq::from_bases(bases);
+    let mut aligner = PimAligner::new(
+        &reference,
+        PimAlignerConfig::baseline().with_max_diffs(1),
+    );
+    match aligner.align_read(&read) {
+        AlignmentOutcome::Inexact { positions, .. } => {
+            assert!(positions.iter().any(|&p| p.abs_diff(3_000) <= 1));
+        }
+        other => panic!("indel read must map inexactly, got {other:?}"),
+    }
+}

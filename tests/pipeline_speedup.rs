@@ -1,0 +1,65 @@
+//! Integration: the §VI pipeline claim — Pd = 2 improves throughput by
+//! ~40 % over the baseline — measured end-to-end through the simulator.
+
+use bioseq::DnaSeq;
+use pim_aligner::{PimAligner, PimAlignerConfig};
+use readsim::genome;
+
+fn clean_reads(reference: &DnaSeq, count: usize, len: usize) -> Vec<DnaSeq> {
+    (0..count)
+        .map(|i| {
+            let start = (i * 991) % (reference.len() - len);
+            reference.subseq(start..start + len)
+        })
+        .collect()
+}
+
+#[test]
+fn pd2_gains_about_forty_percent() {
+    let reference = genome::uniform(80_000, 91);
+    let reads = clean_reads(&reference, 50, 100);
+    let mut baseline = PimAligner::new(&reference, PimAlignerConfig::baseline());
+    let mut pipelined = PimAligner::new(&reference, PimAlignerConfig::pipelined());
+    let rn = baseline.align_batch(&reads).report;
+    let rp = pipelined.align_batch(&reads).report;
+    let gain = rp.throughput_qps / rn.throughput_qps;
+    assert!(
+        (1.30..1.55).contains(&gain),
+        "measured Pd=2 gain {gain:.3}, paper claims ~40%"
+    );
+    // Fig. 8a: the pipelined design draws more power.
+    assert!(rp.total_power_w > rn.total_power_w);
+    // Identical alignment results regardless of configuration.
+    let on = baseline.align_batch(&reads).outcomes;
+    let op = pipelined.align_batch(&reads).outcomes;
+    assert_eq!(on, op);
+}
+
+#[test]
+fn pd_sweep_monotone_with_diminishing_returns() {
+    let reference = genome::uniform(40_000, 92);
+    let reads = clean_reads(&reference, 30, 100);
+    let mut throughput = Vec::new();
+    let mut power = Vec::new();
+    for pd in 1..=4 {
+        let config = if pd == 1 {
+            PimAlignerConfig::baseline()
+        } else {
+            PimAlignerConfig::pipelined().with_pd(pd)
+        };
+        let mut aligner = PimAligner::new(&reference, config);
+        let report = aligner.align_batch(&reads).report;
+        throughput.push(report.throughput_qps);
+        power.push(report.total_power_w);
+    }
+    for w in throughput.windows(2) {
+        assert!(w[1] >= w[0], "throughput must not fall with Pd: {throughput:?}");
+    }
+    for w in power.windows(2) {
+        assert!(w[1] > w[0], "power must rise with Pd: {power:?}");
+    }
+    // Fig. 9c: returns diminish as the compare stage saturates.
+    let first_gain = throughput[1] / throughput[0];
+    let last_gain = throughput[3] / throughput[2];
+    assert!(last_gain < first_gain, "gains must diminish: {throughput:?}");
+}
