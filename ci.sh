@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Offline CI gate: build, test, lint. No network access required — all
+# dependencies are vendored (see vendor/).
+#
+#   ./ci.sh          full gate
+#   ./ci.sh quick    skip the release build (debug test + clippy only)
+
+set -eu
+
+cd "$(dirname "$0")"
+
+if [ "${1:-}" != "quick" ]; then
+    echo "==> cargo build --release"
+    cargo build --release --workspace
+fi
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all green"

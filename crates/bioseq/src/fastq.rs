@@ -82,8 +82,7 @@ impl Record {
 pub fn parse(text: &str) -> Result<Vec<Record>, ParseSeqError> {
     let mut lines = text.lines();
     let mut records = Vec::new();
-    loop {
-        let Some(header) = lines.next() else { break };
+    while let Some(header) = lines.next() {
         if header.trim().is_empty() {
             continue;
         }

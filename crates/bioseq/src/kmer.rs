@@ -142,7 +142,7 @@ impl ExactSizeIterator for Kmers<'_> {}
 /// ```
 pub fn kmers(seq: &DnaSeq, k: usize) -> Kmers<'_> {
     assert!(
-        k >= 1 && k <= Kmer::MAX_K,
+        (1..=Kmer::MAX_K).contains(&k),
         "k must be in 1..={}",
         Kmer::MAX_K
     );

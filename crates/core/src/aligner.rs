@@ -2,13 +2,16 @@
 //! reporting.
 
 use bioseq::DnaSeq;
+use fmindex::EditBudget;
 use pimsim::{CycleLedger, Dpu};
 
 use crate::config::PimAlignerConfig;
+use crate::error::AlignError;
 use crate::exact::exact_search;
 use crate::inexact::inexact_search;
 use crate::mapping::MappedIndex;
-use crate::report::PerfReport;
+use crate::report::{FaultTelemetry, PerfReport};
+use crate::verify::{verify_exact, verify_inexact};
 
 /// Which orientation of the read produced a mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -95,6 +98,9 @@ pub struct PimAligner {
     lfm_calls: u64,
     queries: u64,
     exact_hits: u64,
+    /// Recovery-path counters (injection counters live in the mapper's
+    /// fault injector; [`PimAligner::fault_telemetry`] combines both).
+    telemetry: FaultTelemetry,
 }
 
 impl PimAligner {
@@ -113,6 +119,7 @@ impl PimAligner {
             lfm_calls: 0,
             queries: 0,
             exact_hits: 0,
+            telemetry: FaultTelemetry::default(),
         }
     }
 
@@ -143,25 +150,44 @@ impl PimAligner {
 
     /// Aligns one read: exact stage first, then — if it fails — the
     /// inexact stage with the configured difference budget.
+    ///
+    /// With an enabled [`RecoveryPolicy`](crate::RecoveryPolicy) every
+    /// candidate locus is verified against the reference before it is
+    /// emitted, and failures walk the retry → escalate → host-fallback
+    /// ladder (DESIGN.md §8); otherwise this is the raw platform path
+    /// with zero verification overhead.
     pub fn align_read(&mut self, read: &DnaSeq) -> AlignmentOutcome {
         self.queries += 1;
+        let outcome = if self.config.recovery().is_enabled() {
+            self.align_read_recovered(read)
+        } else {
+            self.raw_align(read, self.config.max_diffs())
+        };
+        if matches!(outcome, AlignmentOutcome::Exact { .. }) {
+            self.exact_hits += 1;
+        }
+        outcome
+    }
+
+    /// One unverified platform pass at difference budget `max_diffs`.
+    fn raw_align(&mut self, read: &DnaSeq, max_diffs: u8) -> AlignmentOutcome {
         let (interval, stats) =
             exact_search(&mut self.mapped, &mut self.dpu, read, &mut self.ledger);
         self.lfm_calls += stats.lfm_calls;
         if !interval.is_empty() {
-            self.exact_hits += 1;
             let positions = self.mapped.locate(interval, &mut self.ledger);
             return AlignmentOutcome::Exact { positions };
         }
-        if self.config.max_diffs() == 0 {
+        if max_diffs == 0 {
             return AlignmentOutcome::Unmapped;
         }
+        let budget = self.edit_budget_for(max_diffs);
         let hits = if self.config.exhaustive_inexact() {
             let (hits, istats) = inexact_search(
                 &mut self.mapped,
                 &mut self.dpu,
                 read,
-                self.config.edit_budget(),
+                budget,
                 &mut self.ledger,
             );
             self.lfm_calls += istats.lfm_calls;
@@ -171,7 +197,7 @@ impl PimAligner {
                 &mut self.mapped,
                 &mut self.dpu,
                 read,
-                self.config.edit_budget(),
+                budget,
                 &mut self.ledger,
             );
             self.lfm_calls += istats.lfm_calls;
@@ -193,6 +219,147 @@ impl PimAligner {
         }
     }
 
+    fn edit_budget_for(&self, max_diffs: u8) -> EditBudget {
+        if self.config.allows_indels() {
+            EditBudget::edits(max_diffs)
+        } else {
+            EditBudget::substitutions_only(max_diffs)
+        }
+    }
+
+    /// The verify-and-recover state machine: every rung runs a platform
+    /// pass, verifies the candidate loci against the reference, and only
+    /// a verified outcome escapes. Rungs, in order: same-budget retries
+    /// (faults re-draw), difference-budget escalation, host software
+    /// fallback (fault-free by construction).
+    fn align_read_recovered(&mut self, read: &DnaSeq) -> AlignmentOutcome {
+        let policy = self.config.recovery();
+        let base_z = self.config.max_diffs();
+        let faults_possible = self.mapped.faults_active();
+
+        for attempt in 0..=policy.max_retries {
+            if attempt > 0 {
+                self.telemetry.retries += 1;
+            }
+            let outcome = self.raw_align(read, base_z);
+            if let Some(verified) = self.verified(read, outcome, faults_possible) {
+                return verified;
+            }
+            if !faults_possible {
+                // Deterministic platform: a retry cannot change the
+                // result, so go straight to the next rung.
+                break;
+            }
+        }
+        let ceiling = policy.max_escalated_diffs.max(base_z);
+        for z in (base_z + 1)..=ceiling {
+            self.telemetry.escalations += 1;
+            let outcome = self.raw_align(read, z);
+            if let Some(verified) = self.verified(read, outcome, faults_possible) {
+                return verified;
+            }
+        }
+        if policy.host_fallback {
+            self.telemetry.host_fallbacks += 1;
+            return self.host_fallback_align(read, ceiling);
+        }
+        self.telemetry.unrecoverable += 1;
+        AlignmentOutcome::Unmapped
+    }
+
+    /// Verifies an outcome's positions against the reference. Returns
+    /// the outcome (possibly trimmed to its verified positions) when it
+    /// can be trusted, `None` when the rung must escalate. An `Unmapped`
+    /// result is trusted only when no faults can fire: under an active
+    /// campaign a corrupted interval can just as well hide a real hit.
+    fn verified(
+        &mut self,
+        read: &DnaSeq,
+        outcome: AlignmentOutcome,
+        faults_possible: bool,
+    ) -> Option<AlignmentOutcome> {
+        match outcome {
+            AlignmentOutcome::Exact { positions } => {
+                self.telemetry.verifications += 1;
+                let total = positions.len();
+                let kept: Vec<usize> = positions
+                    .into_iter()
+                    .filter(|&p| verify_exact(&self.reference, read, p))
+                    .collect();
+                if kept.len() < total {
+                    self.telemetry.verify_failures += 1;
+                }
+                if kept.is_empty() {
+                    None
+                } else {
+                    Some(AlignmentOutcome::Exact { positions: kept })
+                }
+            }
+            AlignmentOutcome::Inexact { positions, diffs } => {
+                self.telemetry.verifications += 1;
+                let allow_indels = self.config.allows_indels();
+                let total = positions.len();
+                let kept: Vec<usize> = positions
+                    .into_iter()
+                    .filter(|&p| verify_inexact(&self.reference, read, p, diffs, allow_indels))
+                    .collect();
+                if kept.len() < total {
+                    self.telemetry.verify_failures += 1;
+                }
+                if kept.is_empty() {
+                    None
+                } else {
+                    Some(AlignmentOutcome::Inexact { positions: kept, diffs })
+                }
+            }
+            AlignmentOutcome::Unmapped => {
+                if faults_possible {
+                    None
+                } else {
+                    Some(AlignmentOutcome::Unmapped)
+                }
+            }
+        }
+    }
+
+    /// The last rung: the host software path — FM-index search over the
+    /// fault-free index plus `swalign`-backed verification for inexact
+    /// hits. Host work is not charged to the platform ledger (it runs on
+    /// the controller, like the SA read-back).
+    fn host_fallback_align(&mut self, read: &DnaSeq, max_diffs: u8) -> AlignmentOutcome {
+        let exact = self.mapped.index().find(read);
+        if !exact.is_empty() {
+            return AlignmentOutcome::Exact { positions: exact };
+        }
+        if max_diffs == 0 {
+            return AlignmentOutcome::Unmapped;
+        }
+        let hits = self
+            .mapped
+            .index()
+            .find_inexact(read, self.edit_budget_for(max_diffs));
+        let Some(best) = hits.iter().map(|&(_, d)| d).min() else {
+            return AlignmentOutcome::Unmapped;
+        };
+        let allow_indels = self.config.allows_indels();
+        let mut positions: Vec<usize> = hits
+            .iter()
+            .filter(|&&(_, d)| d == best)
+            .map(|&(p, _)| p)
+            .filter(|&p| verify_inexact(&self.reference, read, p, best, allow_indels))
+            .collect();
+        positions.sort_unstable();
+        positions.dedup();
+        if positions.is_empty() {
+            AlignmentOutcome::Unmapped
+        } else {
+            AlignmentOutcome::Inexact {
+                positions,
+                diffs: best,
+            }
+        }
+    }
+
     /// Aligns a read against both genome strands: the forward
     /// orientation first, then — if unmapped — its reverse complement
     /// (the index covers the forward strand; real samples sequence both,
@@ -207,33 +374,60 @@ impl PimAligner {
         }
     }
 
-    /// Aligns a batch of reads and produces the performance report.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `reads` is empty.
-    pub fn align_batch(&mut self, reads: &[DnaSeq]) -> BatchResult {
-        assert!(!reads.is_empty(), "batch must contain at least one read");
+    /// Aligns a batch of reads and produces the performance report, or
+    /// a typed error for an empty batch.
+    pub fn try_align_batch(&mut self, reads: &[DnaSeq]) -> Result<BatchResult, AlignError> {
+        if reads.is_empty() {
+            return Err(AlignError::EmptyBatch);
+        }
         let q0 = self.queries;
         let e0 = self.exact_hits;
         let outcomes: Vec<AlignmentOutcome> =
             reads.iter().map(|r| self.align_read(r)).collect();
         let report = self.report();
         let exact_fraction = (self.exact_hits - e0) as f64 / (self.queries - q0) as f64;
-        BatchResult {
+        Ok(BatchResult {
             outcomes,
             report,
             exact_fraction,
-        }
+        })
     }
 
-    /// The cumulative performance report for all reads aligned so far.
+    /// Aligns a batch of reads and produces the performance report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reads` is empty (use
+    /// [`try_align_batch`](PimAligner::try_align_batch) for a typed
+    /// error).
+    pub fn align_batch(&mut self, reads: &[DnaSeq]) -> BatchResult {
+        self.try_align_batch(reads).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The cumulative performance report for all reads aligned so far,
+    /// including fault telemetry.
     ///
     /// # Panics
     ///
     /// Panics if no read has been aligned yet.
     pub fn report(&self) -> PerfReport {
-        PerfReport::from_batch(&self.config, &self.ledger, self.queries, self.lfm_calls)
+        let mut report =
+            PerfReport::from_batch(&self.config, &self.ledger, self.queries, self.lfm_calls);
+        report.faults = self.fault_telemetry();
+        report
+    }
+
+    /// Combined fault telemetry: the campaign's injection counters plus
+    /// the recovery path's verification counters.
+    pub fn fault_telemetry(&self) -> FaultTelemetry {
+        let counters = self.mapped.fault_counters();
+        FaultTelemetry {
+            stuck_cells: counters.stuck_cells,
+            xnor_bit_flips: counters.xnor_bit_flips,
+            transient_row_faults: counters.transient_row_faults,
+            carry_faults: counters.carry_faults,
+            ..self.telemetry
+        }
     }
 
     /// Cumulative `LFM` invocations.
@@ -386,5 +580,74 @@ mod tests {
         let reference = genome::uniform(1_000, 37);
         let mut aligner = PimAligner::new(&reference, PimAlignerConfig::baseline());
         let _ = aligner.align_batch(&[]);
+    }
+
+    #[test]
+    fn empty_batch_yields_typed_error() {
+        let reference = genome::uniform(1_000, 38);
+        let mut aligner = PimAligner::new(&reference, PimAlignerConfig::baseline());
+        assert_eq!(
+            aligner.try_align_batch(&[]).unwrap_err(),
+            crate::error::AlignError::EmptyBatch
+        );
+    }
+
+    #[test]
+    fn recovery_is_transparent_without_faults() {
+        use crate::config::RecoveryPolicy;
+        let reference = genome::uniform(6_000, 39);
+        let reads: Vec<DnaSeq> = (0..12)
+            .map(|i| reference.subseq(i * 400..i * 400 + 60))
+            .collect();
+        let mut raw = PimAligner::new(&reference, PimAlignerConfig::baseline());
+        let mut recovering = PimAligner::new(
+            &reference,
+            PimAlignerConfig::baseline().with_recovery(RecoveryPolicy::standard()),
+        );
+        let raw_out = raw.align_batch(&reads);
+        let rec_out = recovering.align_batch(&reads);
+        assert_eq!(raw_out.outcomes, rec_out.outcomes);
+        let t = rec_out.report.faults;
+        assert_eq!(t.injected_total(), 0);
+        assert_eq!(t.verify_failures, 0);
+        assert_eq!(t.retries + t.escalations + t.host_fallbacks + t.unrecoverable, 0);
+        assert_eq!(t.verifications, reads.len() as u64);
+        assert!(raw_out.report.faults.is_quiet());
+    }
+
+    #[test]
+    fn recovery_survives_a_hostile_campaign() {
+        use crate::config::RecoveryPolicy;
+        use mram::faults::{FaultCampaign, FaultModel};
+        let reference = genome::uniform(30_000, 40);
+        let reads: Vec<DnaSeq> = (0..20)
+            .map(|i| reference.subseq(i * 1_400..i * 1_400 + 80))
+            .collect();
+        // A brutal campaign: every fault class firing hard.
+        let campaign = FaultCampaign::seeded(41)
+            .with_model(FaultModel::with_probabilities(0.01, 0.0))
+            .with_transient_row_rate(0.05)
+            .with_carry_fault_prob(0.02)
+            .with_stuck_at_rate(1e-4);
+        let mut aligner = PimAligner::new(
+            &reference,
+            PimAlignerConfig::baseline()
+                .with_fault_campaign(campaign)
+                .with_recovery(RecoveryPolicy::standard()),
+        );
+        for (i, read) in reads.iter().enumerate() {
+            let outcome = aligner.align_read(read);
+            let positions = outcome.positions().expect("read must map");
+            assert!(
+                positions.contains(&(i * 1_400)),
+                "read {i} placed at {positions:?}"
+            );
+        }
+        let t = aligner.fault_telemetry();
+        assert!(t.injected_total() > 0, "campaign must inject: {t:?}");
+        assert!(
+            t.retries + t.host_fallbacks > 0,
+            "recovery must have worked: {t:?}"
+        );
     }
 }

@@ -1,8 +1,101 @@
 //! Platform configuration.
 
 use mram::array::{ArrayModel, ChipOrg};
-use mram::faults::FaultModel;
+use mram::faults::{FaultCampaign, FaultModel};
 use pimsim::pipeline::PipelineParams;
+
+/// The verify-and-recover policy (DESIGN.md §8): what the aligner does
+/// when a candidate locus fails online verification against the
+/// reference.
+///
+/// The escalation ladder is: re-run the LFM loop (faults re-draw) up to
+/// [`max_retries`](RecoveryPolicy::max_retries) times → escalate the
+/// difference budget `z` one step at a time up to
+/// [`max_escalated_diffs`](RecoveryPolicy::max_escalated_diffs) → fall
+/// back to the fault-free host software path when
+/// [`host_fallback`](RecoveryPolicy::host_fallback) is set.
+///
+/// # Examples
+///
+/// ```
+/// use pim_aligner::RecoveryPolicy;
+///
+/// assert!(!RecoveryPolicy::disabled().is_enabled());
+/// let p = RecoveryPolicy::standard();
+/// assert!(p.is_enabled() && p.host_fallback);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Master switch; when `false` the aligner emits raw platform
+    /// results with zero verification overhead.
+    pub enabled: bool,
+    /// Same-budget re-runs before escalating.
+    pub max_retries: u32,
+    /// Ceiling for the escalated difference budget (clamped to the
+    /// [`fmindex::EditBudget`] cap of 8).
+    pub max_escalated_diffs: u8,
+    /// Whether the final rung falls back to the host software aligner
+    /// (FM-index search + Smith–Waterman verification), which is
+    /// fault-free by construction.
+    pub host_fallback: bool,
+}
+
+impl RecoveryPolicy {
+    /// No verification, no recovery (the raw platform path).
+    pub fn disabled() -> RecoveryPolicy {
+        RecoveryPolicy {
+            enabled: false,
+            max_retries: 0,
+            max_escalated_diffs: 0,
+            host_fallback: false,
+        }
+    }
+
+    /// The default active policy: 2 retries, escalate one step past the
+    /// configured budget, host fallback on.
+    pub fn standard() -> RecoveryPolicy {
+        RecoveryPolicy {
+            enabled: true,
+            max_retries: 2,
+            max_escalated_diffs: 3,
+            host_fallback: true,
+        }
+    }
+
+    /// Sets the retry count.
+    pub fn with_max_retries(mut self, retries: u32) -> RecoveryPolicy {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Sets the escalation ceiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z > 8` (the [`fmindex::EditBudget`] cap).
+    pub fn with_max_escalated_diffs(mut self, z: u8) -> RecoveryPolicy {
+        assert!(z <= 8, "difference budget too large");
+        self.max_escalated_diffs = z;
+        self
+    }
+
+    /// Enables or disables the host-software fallback rung.
+    pub fn with_host_fallback(mut self, fallback: bool) -> RecoveryPolicy {
+        self.host_fallback = fallback;
+        self
+    }
+
+    /// Whether recovery is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy::disabled()
+    }
+}
 
 /// Where `IM_ADD` executes (paper §V, Fig. 6d).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -39,7 +132,8 @@ pub struct PimAlignerConfig {
     max_diffs: u8,
     allow_indels: bool,
     exhaustive_inexact: bool,
-    fault_model: FaultModel,
+    fault_campaign: FaultCampaign,
+    recovery: RecoveryPolicy,
 }
 
 impl PimAlignerConfig {
@@ -55,7 +149,8 @@ impl PimAlignerConfig {
             max_diffs: 2,
             allow_indels: true,
             exhaustive_inexact: false,
-            fault_model: FaultModel::ideal(),
+            fault_campaign: FaultCampaign::none(),
+            recovery: RecoveryPolicy::disabled(),
         }
     }
 
@@ -148,15 +243,45 @@ impl PimAlignerConfig {
     /// primitives (DESIGN.md §8 failure-injection extension). Derive the
     /// model from Monte-Carlo margins with
     /// [`FaultModel::from_cell`](mram::faults::FaultModel::from_cell) or
-    /// set probabilities explicitly.
+    /// set probabilities explicitly. Shorthand for setting the model of
+    /// the [`fault_campaign`](PimAlignerConfig::fault_campaign).
     pub fn with_fault_model(mut self, faults: FaultModel) -> PimAlignerConfig {
-        self.fault_model = faults;
+        self.fault_campaign = self.fault_campaign.with_model(faults);
         self
     }
 
-    /// The active sensing-fault model.
+    /// Installs a full seeded fault campaign (sense misreads, stuck-at
+    /// cells, transient row bursts, `IM_ADD` carry faults).
+    pub fn with_fault_campaign(mut self, campaign: FaultCampaign) -> PimAlignerConfig {
+        self.fault_campaign = campaign;
+        self
+    }
+
+    /// Re-seeds the active fault campaign (the CLI's `--fault-seed`).
+    pub fn with_fault_seed(mut self, seed: u64) -> PimAlignerConfig {
+        self.fault_campaign = self.fault_campaign.with_seed(seed);
+        self
+    }
+
+    /// Sets the verify-and-recover policy.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> PimAlignerConfig {
+        self.recovery = recovery;
+        self
+    }
+
+    /// The active sensing-fault model (the campaign's sense component).
     pub fn fault_model(&self) -> FaultModel {
-        self.fault_model
+        self.fault_campaign.model()
+    }
+
+    /// The active fault campaign.
+    pub fn fault_campaign(&self) -> FaultCampaign {
+        self.fault_campaign
+    }
+
+    /// The verify-and-recover policy.
+    pub fn recovery(&self) -> RecoveryPolicy {
+        self.recovery
     }
 
     /// The parallelism degree.
@@ -238,6 +363,32 @@ mod tests {
     #[should_panic(expected = "method-I cannot pipeline")]
     fn in_place_with_pipeline_rejected() {
         let _ = PimAlignerConfig::pipelined().with_method(AddMethod::InPlace);
+    }
+
+    #[test]
+    fn fault_model_shorthand_updates_campaign() {
+        let model = FaultModel::with_probabilities(0.01, 0.0);
+        let c = PimAlignerConfig::baseline()
+            .with_fault_campaign(FaultCampaign::seeded(5).with_stuck_at_rate(1e-4))
+            .with_fault_model(model)
+            .with_fault_seed(9);
+        assert_eq!(c.fault_model(), model);
+        assert_eq!(c.fault_campaign().seed(), 9);
+        assert_eq!(c.fault_campaign().stuck_at_rate(), 1e-4);
+    }
+
+    #[test]
+    fn recovery_defaults_off() {
+        assert!(!PimAlignerConfig::baseline().recovery().is_enabled());
+        let c = PimAlignerConfig::baseline().with_recovery(RecoveryPolicy::standard());
+        assert!(c.recovery().is_enabled());
+        assert_eq!(c.recovery().max_retries, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "difference budget too large")]
+    fn recovery_escalation_capped() {
+        let _ = RecoveryPolicy::standard().with_max_escalated_diffs(9);
     }
 
     #[test]

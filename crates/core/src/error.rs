@@ -1,0 +1,40 @@
+//! Typed errors for the batch alignment entry points.
+
+use std::fmt;
+
+/// Why a batch alignment request could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlignError {
+    /// The read batch was empty.
+    EmptyBatch,
+    /// Zero worker threads were requested.
+    NoThreads,
+}
+
+impl fmt::Display for AlignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlignError::EmptyBatch => write!(f, "batch must contain at least one read"),
+            AlignError::NoThreads => write!(f, "at least one worker thread required"),
+        }
+    }
+}
+
+impl std::error::Error for AlignError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_messages() {
+        assert_eq!(
+            AlignError::EmptyBatch.to_string(),
+            "batch must contain at least one read"
+        );
+        assert_eq!(
+            AlignError::NoThreads.to_string(),
+            "at least one worker thread required"
+        );
+    }
+}

@@ -42,6 +42,7 @@
 
 mod aligner;
 mod config;
+mod error;
 mod exact;
 mod hybrid;
 mod inexact;
@@ -49,15 +50,17 @@ mod mapping;
 mod paired;
 mod parallel;
 mod report;
+mod verify;
 
 pub mod sam;
 
 pub use aligner::{AlignmentOutcome, BatchResult, MappedStrand, PimAligner};
-pub use config::{AddMethod, PimAlignerConfig};
+pub use config::{AddMethod, PimAlignerConfig, RecoveryPolicy};
+pub use error::AlignError;
 pub use exact::{exact_search, ExactStats};
 pub use hybrid::{seed_and_extend, HybridHit, SeedExtendConfig};
 pub use inexact::{inexact_search, inexact_search_first, InexactStats};
 pub use mapping::MappedIndex;
 pub use paired::{align_pair, Mate, PairConstraints, PairOutcome};
-pub use parallel::align_batch_parallel;
-pub use report::{PerfReport, BACKGROUND_W_PER_SUBARRAY};
+pub use parallel::{align_batch_parallel, align_batch_parallel_both_strands};
+pub use report::{FaultTelemetry, PerfReport, BACKGROUND_W_PER_SUBARRAY};

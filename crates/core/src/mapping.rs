@@ -12,7 +12,7 @@ use bioseq::{Base, DnaSeq};
 use fmindex::{FmIndex, SaInterval};
 use mram::array::ArrayModel;
 use pimsim::costs::LogicalOp;
-use pimsim::{CycleLedger, SubArray, SubArrayLayout};
+use pimsim::{CycleLedger, FaultCounters, FaultInjector, SubArray, SubArrayLayout};
 
 use crate::config::{AddMethod, PimAlignerConfig};
 
@@ -46,9 +46,8 @@ pub struct MappedIndex {
     mirrors: Vec<SubArray>,
     method: AddMethod,
     mapping_ledger: CycleLedger,
-    faults: mram::faults::FaultModel,
-    /// xorshift64 state for fault sampling (deterministic per build).
-    fault_rng: u64,
+    /// Seeded fault-campaign sampler (deterministic per build).
+    injector: FaultInjector,
 }
 
 impl MappedIndex {
@@ -89,7 +88,7 @@ impl MappedIndex {
             }
             subarrays.push(sa);
         }
-        let mirrors = match config.method() {
+        let mut mirrors = match config.method() {
             AddMethod::InPlace => Vec::new(),
             AddMethod::Mirrored => {
                 // Method-II: "essentially duplicates the number of
@@ -105,25 +104,25 @@ impl MappedIndex {
                 mirrors
             }
         };
+        // Stuck-at injection: each physical array (primaries and
+        // mirrors alike) draws its own defect plan after its tables are
+        // written. The data zones are write-once, so a post-load force
+        // is behaviourally a stuck cell.
+        let mut injector = FaultInjector::new(config.fault_campaign());
+        let cols = model.geometry().cols;
+        for sa in subarrays.iter_mut().chain(mirrors.iter_mut()) {
+            for (row, col, value) in injector.stuck_cell_plan(sa.data_zone_rows(), cols) {
+                sa.force_bit(row, col, value);
+            }
+        }
         MappedIndex {
             index,
             subarrays,
             mirrors,
             method: config.method(),
             mapping_ledger: ledger,
-            faults: config.fault_model(),
-            fault_rng: 0x9e37_79b9_7f4a_7c15,
+            injector,
         }
-    }
-
-    /// One xorshift64 step, returning a uniform value in `[0, 1)`.
-    fn fault_uniform(&mut self) -> f64 {
-        let mut x = self.fault_rng;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.fault_rng = x;
-        (x >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// The underlying software index (ground truth, SA storage).
@@ -146,6 +145,16 @@ impl MappedIndex {
     /// computation").
     pub fn mapping_ledger(&self) -> &CycleLedger {
         &self.mapping_ledger
+    }
+
+    /// Injection counts accumulated by the fault campaign so far.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.injector.counters()
+    }
+
+    /// `true` when the build-time fault campaign can inject faults.
+    pub fn faults_active(&self) -> bool {
+        self.injector.is_active()
     }
 
     /// Executes the hardware `LFM(MT, nt, id)` procedure (Algorithm 1
@@ -191,23 +200,25 @@ impl MappedIndex {
             }
             LogicalOp::Popcount.charge(sub.model(), ledger);
             let marker = sub.read_marker(lb, nt, ledger);
-            // Sensing-fault injection (DESIGN.md §8): each match bit may
-            // read wrong with the model's XNOR misread probability.
-            let p = self.faults.xnor_misread_prob();
-            if p > 0.0 {
-                for bit in matches[..within].iter_mut() {
-                    if self.fault_uniform() < p {
-                        *bit = !*bit;
-                    }
-                }
+            // Fault injection (DESIGN.md §8): a whole-row transient
+            // burst may corrupt this read, and each match bit may
+            // additionally misread with the campaign's XNOR probability.
+            if self.injector.is_active() {
+                self.injector.transient_row_fault(&mut matches);
+                self.injector.corrupt_match_bits(&mut matches[..within]);
             }
             let count = matches[..within].iter().filter(|&&m| m).count() as u32;
             (count, marker)
         };
+        let carry_fault = self.injector.carry_fault_bit();
         let sum = match self.method {
             AddMethod::InPlace => {
                 let idx = s.min(self.subarrays.len() - 1);
-                self.subarrays[idx].im_add32(marker, count, ledger)
+                let sub = &mut self.subarrays[idx];
+                match carry_fault {
+                    Some(k) => sub.im_add32_faulty(marker, count, k, ledger),
+                    None => sub.im_add32(marker, count, ledger),
+                }
             }
             AddMethod::Mirrored => {
                 // Operand transfer into the mirror's write port.
@@ -216,7 +227,10 @@ impl MappedIndex {
                 for _ in 0..7 {
                     LogicalOp::RowWrite.charge(mirror.model(), ledger);
                 }
-                mirror.im_add32(marker, count, ledger)
+                match carry_fault {
+                    Some(k) => mirror.im_add32_faulty(marker, count, k, ledger),
+                    None => mirror.im_add32(marker, count, ledger),
+                }
             }
         };
         // The DPU's index registers saturate at N: a sensing fault can

@@ -5,56 +5,60 @@
 //! across host threads so large batches evaluate faster. Each worker owns
 //! a private platform instance (threads model disjoint groups of
 //! sub-array pipelines working on disjoint reads — exactly the paper's
-//! partitioning), and the ledgers merge afterwards, so the performance
-//! report is identical to a sequential run.
+//! partitioning), and the ledgers and fault telemetry merge afterwards,
+//! so the performance report is identical to a sequential run.
 
 use bioseq::DnaSeq;
 use parking_lot::Mutex;
 use pimsim::CycleLedger;
 
-use crate::aligner::{AlignmentOutcome, BatchResult, PimAligner};
+use crate::aligner::{AlignmentOutcome, BatchResult, MappedStrand, PimAligner};
 use crate::config::PimAlignerConfig;
-use crate::report::PerfReport;
+use crate::error::AlignError;
+use crate::report::{FaultTelemetry, PerfReport};
 
-/// Aligns `reads` using `threads` worker threads, each with its own
-/// platform instance over `reference`.
-///
-/// Outcomes are returned in input order and are identical to a
-/// sequential [`PimAligner::align_batch`] run with an ideal fault model
-/// (fault injection is per-instance pseudo-random, so faulty runs are
-/// only statistically equivalent).
-///
-/// # Panics
-///
-/// Panics if `reads` is empty or `threads == 0`.
-pub fn align_batch_parallel(
+struct WorkerOut {
+    start: usize,
+    outcomes: Vec<(AlignmentOutcome, MappedStrand)>,
+    ledger: CycleLedger,
+    lfm_calls: u64,
+    queries: u64,
+    exact_hits: u64,
+    telemetry: FaultTelemetry,
+}
+
+fn run_workers(
     reference: &DnaSeq,
     config: &PimAlignerConfig,
     reads: &[DnaSeq],
     threads: usize,
-) -> BatchResult {
-    assert!(!reads.is_empty(), "batch must contain at least one read");
-    assert!(threads > 0, "at least one worker thread required");
+    both_strands: bool,
+) -> Result<(BatchResult, Vec<MappedStrand>), AlignError> {
+    if reads.is_empty() {
+        return Err(AlignError::EmptyBatch);
+    }
+    if threads == 0 {
+        return Err(AlignError::NoThreads);
+    }
     let threads = threads.min(reads.len());
     let chunk = reads.len().div_ceil(threads);
 
-    struct WorkerOut {
-        start: usize,
-        outcomes: Vec<AlignmentOutcome>,
-        ledger: CycleLedger,
-        lfm_calls: u64,
-        queries: u64,
-        exact_hits: u64,
-    }
-
     let collected: Mutex<Vec<WorkerOut>> = Mutex::new(Vec::with_capacity(threads));
-    crossbeam::scope(|scope| {
+    let scope_result = crossbeam::scope(|scope| {
         for (w, slice) in reads.chunks(chunk).enumerate() {
             let collected = &collected;
             scope.spawn(move |_| {
                 let mut aligner = PimAligner::new(reference, config.clone());
-                let outcomes: Vec<AlignmentOutcome> =
-                    slice.iter().map(|r| aligner.align_read(r)).collect();
+                let outcomes: Vec<(AlignmentOutcome, MappedStrand)> = slice
+                    .iter()
+                    .map(|r| {
+                        if both_strands {
+                            aligner.align_read_both_strands(r)
+                        } else {
+                            (aligner.align_read(r), MappedStrand::Forward)
+                        }
+                    })
+                    .collect();
                 collected.lock().push(WorkerOut {
                     start: w * chunk,
                     outcomes,
@@ -62,32 +66,85 @@ pub fn align_batch_parallel(
                     lfm_calls: aligner.lfm_calls(),
                     queries: aligner.queries(),
                     exact_hits: aligner.exact_hits(),
+                    telemetry: aligner.fault_telemetry(),
                 });
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
+    if let Err(payload) = scope_result {
+        // A worker panicked: re-raise its panic rather than invent a
+        // result (the payload keeps the original message).
+        std::panic::resume_unwind(payload);
+    }
 
     let mut workers = collected.into_inner();
     workers.sort_by_key(|w| w.start);
     let mut outcomes = Vec::with_capacity(reads.len());
+    let mut strands = Vec::with_capacity(reads.len());
     let mut ledger = CycleLedger::new();
     let mut lfm_calls = 0u64;
     let mut queries = 0u64;
     let mut exact_hits = 0u64;
+    let mut telemetry = FaultTelemetry::default();
     for w in workers {
-        outcomes.extend(w.outcomes);
+        for (outcome, strand) in w.outcomes {
+            outcomes.push(outcome);
+            strands.push(strand);
+        }
         ledger.merge(&w.ledger);
         lfm_calls += w.lfm_calls;
         queries += w.queries;
         exact_hits += w.exact_hits;
+        telemetry.merge(&w.telemetry);
     }
-    let report = PerfReport::from_batch(config, &ledger, queries, lfm_calls);
-    BatchResult {
-        outcomes,
-        report,
-        exact_fraction: exact_hits as f64 / queries as f64,
-    }
+    let mut report = PerfReport::from_batch(config, &ledger, queries, lfm_calls);
+    report.faults = telemetry;
+    Ok((
+        BatchResult {
+            outcomes,
+            report,
+            exact_fraction: exact_hits as f64 / queries as f64,
+        },
+        strands,
+    ))
+}
+
+/// Aligns `reads` (forward strand only) using `threads` worker threads,
+/// each with its own platform instance over `reference`.
+///
+/// Outcomes are returned in input order and are identical to a
+/// sequential [`PimAligner::align_batch`] run with an ideal fault model
+/// (fault injection is per-instance pseudo-random, so faulty runs are
+/// only statistically equivalent).
+///
+/// # Errors
+///
+/// [`AlignError::EmptyBatch`] when `reads` is empty,
+/// [`AlignError::NoThreads`] when `threads == 0`.
+pub fn align_batch_parallel(
+    reference: &DnaSeq,
+    config: &PimAlignerConfig,
+    reads: &[DnaSeq],
+    threads: usize,
+) -> Result<BatchResult, AlignError> {
+    run_workers(reference, config, reads, threads, false).map(|(batch, _)| batch)
+}
+
+/// Like [`align_batch_parallel`] but each read also retries as its
+/// reverse complement when the forward orientation fails, returning the
+/// mapped strand per read.
+///
+/// # Errors
+///
+/// [`AlignError::EmptyBatch`] when `reads` is empty,
+/// [`AlignError::NoThreads`] when `threads == 0`.
+pub fn align_batch_parallel_both_strands(
+    reference: &DnaSeq,
+    config: &PimAlignerConfig,
+    reads: &[DnaSeq],
+    threads: usize,
+) -> Result<(BatchResult, Vec<MappedStrand>), AlignError> {
+    run_workers(reference, config, reads, threads, true)
 }
 
 #[cfg(test)]
@@ -112,7 +169,7 @@ mod tests {
         let config = PimAlignerConfig::baseline();
         let mut sequential = PimAligner::new(&reference, config.clone());
         let seq_result = sequential.align_batch(&reads);
-        let par_result = align_batch_parallel(&reference, &config, &reads, 4);
+        let par_result = align_batch_parallel(&reference, &config, &reads, 4).unwrap();
         assert_eq!(par_result.outcomes, seq_result.outcomes);
         assert_eq!(par_result.exact_fraction, seq_result.exact_fraction);
         // Same merged work ⇒ same intensive report quantities.
@@ -129,8 +186,8 @@ mod tests {
     fn thread_count_does_not_change_results() {
         let (reference, reads) = workload();
         let config = PimAlignerConfig::pipelined();
-        let one = align_batch_parallel(&reference, &config, &reads, 1);
-        let many = align_batch_parallel(&reference, &config, &reads, 7);
+        let one = align_batch_parallel(&reference, &config, &reads, 1).unwrap();
+        let many = align_batch_parallel(&reference, &config, &reads, 7).unwrap();
         assert_eq!(one.outcomes, many.outcomes);
         assert_eq!(one.report.lfm_calls, many.report.lfm_calls);
     }
@@ -139,14 +196,63 @@ mod tests {
     fn more_threads_than_reads_is_fine() {
         let (reference, reads) = workload();
         let config = PimAlignerConfig::baseline();
-        let result = align_batch_parallel(&reference, &config, &reads[..3], 16);
+        let result = align_batch_parallel(&reference, &config, &reads[..3], 16).unwrap();
         assert_eq!(result.outcomes.len(), 3);
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_threads_rejected() {
+    fn zero_threads_is_a_typed_error() {
         let (reference, reads) = workload();
-        let _ = align_batch_parallel(&reference, &PimAlignerConfig::baseline(), &reads, 0);
+        let err = align_batch_parallel(&reference, &PimAlignerConfig::baseline(), &reads, 0)
+            .unwrap_err();
+        assert_eq!(err, AlignError::NoThreads);
+    }
+
+    #[test]
+    fn empty_batch_is_a_typed_error() {
+        let (reference, _) = workload();
+        let err = align_batch_parallel(&reference, &PimAlignerConfig::baseline(), &[], 4)
+            .unwrap_err();
+        assert_eq!(err, AlignError::EmptyBatch);
+    }
+
+    #[test]
+    fn both_strands_maps_reverse_reads() {
+        let reference = genome::uniform(20_000, 403);
+        // Forward and reverse-complement substrings of the reference.
+        let fwd = reference.subseq(500..560);
+        let rev = reference.subseq(3_000..3_060).reverse_complement();
+        let reads = vec![fwd, rev];
+        let (result, strands) = align_batch_parallel_both_strands(
+            &reference,
+            &PimAlignerConfig::baseline(),
+            &reads,
+            2,
+        )
+        .unwrap();
+        assert!(result.outcomes.iter().all(|o| o.is_mapped()));
+        assert_eq!(
+            strands,
+            vec![MappedStrand::Forward, MappedStrand::Reverse]
+        );
+    }
+
+    #[test]
+    fn parallel_merges_fault_telemetry() {
+        use crate::config::RecoveryPolicy;
+        use mram::faults::{FaultCampaign, FaultModel};
+        let (reference, reads) = workload();
+        let config = PimAlignerConfig::baseline()
+            .with_fault_campaign(
+                FaultCampaign::seeded(9)
+                    .with_model(FaultModel::with_probabilities(2e-3, 0.0)),
+            )
+            .with_recovery(RecoveryPolicy::standard());
+        let result = align_batch_parallel(&reference, &config, &reads, 4).unwrap();
+        let t = result.report.faults;
+        assert!(t.xnor_bit_flips > 0, "campaign must inject: {t:?}");
+        // Corrupted rungs can come up Unmapped (nothing to verify), so
+        // only a lower bound on verification activity is guaranteed.
+        assert!(t.verifications > 0, "workers must verify outcomes: {t:?}");
     }
 }

@@ -9,6 +9,63 @@ use crate::config::PimAlignerConfig;
 /// Part of the DESIGN.md §6 calibration.
 pub const BACKGROUND_W_PER_SUBARRAY: f64 = 0.005;
 
+/// Per-batch fault telemetry (DESIGN.md §8): what the fault campaign
+/// injected and what the verify-and-recover path did about it.
+///
+/// Injection counters come from the platform's
+/// [`FaultInjector`](pimsim::FaultInjector); recovery counters from the
+/// aligner's verification state machine. All-zero when the campaign is
+/// inactive and recovery is disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultTelemetry {
+    /// Data-zone cells frozen by stuck-at injection at mapping time.
+    pub stuck_cells: u64,
+    /// `XNOR_Match` bits flipped by sense misreads.
+    pub xnor_bit_flips: u64,
+    /// Transient row-read burst events.
+    pub transient_row_faults: u64,
+    /// `IM_ADD` carry-chain faults.
+    pub carry_faults: u64,
+    /// Candidate outcomes checked against the reference.
+    pub verifications: u64,
+    /// Verifications in which at least one candidate position was wrong.
+    pub verify_failures: u64,
+    /// Same-budget LFM re-runs.
+    pub retries: u64,
+    /// Difference-budget escalations.
+    pub escalations: u64,
+    /// Reads resolved by the host software fallback.
+    pub host_fallbacks: u64,
+    /// Reads the recovery ladder exhausted without a trusted answer.
+    pub unrecoverable: u64,
+}
+
+impl FaultTelemetry {
+    /// Adds `other`'s counts into `self` (parallel worker merge).
+    pub fn merge(&mut self, other: &FaultTelemetry) {
+        self.stuck_cells += other.stuck_cells;
+        self.xnor_bit_flips += other.xnor_bit_flips;
+        self.transient_row_faults += other.transient_row_faults;
+        self.carry_faults += other.carry_faults;
+        self.verifications += other.verifications;
+        self.verify_failures += other.verify_failures;
+        self.retries += other.retries;
+        self.escalations += other.escalations;
+        self.host_fallbacks += other.host_fallbacks;
+        self.unrecoverable += other.unrecoverable;
+    }
+
+    /// Total fault events injected into the platform.
+    pub fn injected_total(&self) -> u64 {
+        self.stuck_cells + self.xnor_bit_flips + self.transient_row_faults + self.carry_faults
+    }
+
+    /// `true` when nothing was injected and nothing recovered.
+    pub fn is_quiet(&self) -> bool {
+        *self == FaultTelemetry::default()
+    }
+}
+
 /// The performance report of one alignment batch — throughput, power and
 /// the utilisation ratios of Fig. 10.
 ///
@@ -52,6 +109,9 @@ pub struct PerfReport {
     pub throughput_per_watt: f64,
     /// Throughput per watt per mm² (Fig. 9b).
     pub throughput_per_watt_mm2: f64,
+    /// Fault-injection and recovery telemetry for the batch (all-zero
+    /// for fault-free, recovery-off runs).
+    pub faults: FaultTelemetry,
 }
 
 impl PerfReport {
@@ -124,6 +184,7 @@ impl PerfReport {
             offchip_gb: 0.0,
             throughput_per_watt,
             throughput_per_watt_mm2: throughput_per_watt / area_mm2,
+            faults: FaultTelemetry::default(),
         }
     }
 

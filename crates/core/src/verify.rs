@@ -1,0 +1,109 @@
+//! Online verification of candidate loci against the reference
+//! (DESIGN.md §8).
+//!
+//! Under fault injection the platform's `LFM` chain can silently corrupt
+//! an interval and report a wrong locus. Before a position is emitted,
+//! the verifier re-checks it against the reference held by the host:
+//! direct substring comparison for exact hits, Hamming distance for
+//! substitution-only budgets, and the banded `swalign` edit distance
+//! when indels are allowed. In a deployed PIM this is the
+//! cheap host-side read-back the paper's controller already performs for
+//! SA lookups.
+
+use bioseq::DnaSeq;
+use swalign::banded_edit_distance;
+
+/// `true` when `read` occurs verbatim at `pos`.
+pub fn verify_exact(reference: &DnaSeq, read: &DnaSeq, pos: usize) -> bool {
+    pos + read.len() <= reference.len()
+        && reference.subseq(pos..pos + read.len()) == *read
+}
+
+/// `true` when `read` aligns at `pos` with at most `max_diffs`
+/// differences — Hamming distance when `allow_indels` is `false`, edit
+/// distance (a banded `swalign` computation over the candidate windows)
+/// when it is `true`.
+pub fn verify_inexact(
+    reference: &DnaSeq,
+    read: &DnaSeq,
+    pos: usize,
+    max_diffs: u8,
+    allow_indels: bool,
+) -> bool {
+    if pos >= reference.len() || read.is_empty() {
+        return false;
+    }
+    let z = max_diffs as usize;
+    if !allow_indels {
+        if pos + read.len() > reference.len() {
+            return false;
+        }
+        let window = reference.subseq(pos..pos + read.len());
+        let hamming = window
+            .iter()
+            .zip(read.iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        return hamming <= z;
+    }
+    // With indels the reference span may be read.len() ± z; accept the
+    // position when any span aligns within the budget.
+    let min_span = read.len().saturating_sub(z).max(1);
+    let max_span = (read.len() + z).min(reference.len() - pos);
+    for span in min_span..=max_span {
+        if banded_edit_distance(&reference.subseq(pos..pos + span), read, z).is_some() {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bioseq::Base;
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn exact_verification_is_substring_equality() {
+        let reference = seq("TGCTAGGA");
+        assert!(verify_exact(&reference, &seq("CTA"), 2));
+        assert!(!verify_exact(&reference, &seq("CTA"), 3));
+        assert!(verify_exact(&reference, &seq("GGA"), 5));
+        assert!(!verify_exact(&reference, &seq("GGA"), 6)); // past the end
+        assert!(!verify_exact(&reference, &seq("GGAT"), 5)); // past the end
+    }
+
+    #[test]
+    fn substitution_verification_counts_hamming() {
+        let reference = seq("ACGTACGT");
+        assert!(verify_inexact(&reference, &seq("ACGG"), 0, 1, false));
+        assert!(!verify_inexact(&reference, &seq("AGGG"), 0, 1, false));
+        assert!(verify_inexact(&reference, &seq("AGGG"), 0, 2, false));
+    }
+
+    #[test]
+    fn indel_verification_accepts_shifted_spans() {
+        let reference = seq("ACGTTACGT");
+        // Read is the reference with the double-T collapsed: one deletion.
+        let read = seq("ACGTACGT");
+        assert!(verify_inexact(&reference, &read, 0, 1, true));
+        assert!(!verify_inexact(&reference, &read, 0, 0, true));
+        // An insertion relative to the reference also verifies.
+        let reference2 = seq("ACGTACGT");
+        let read2 = seq("ACGGTACGT");
+        assert!(verify_inexact(&reference2, &read2, 0, 1, true));
+    }
+
+    #[test]
+    fn out_of_range_positions_fail_closed() {
+        let reference = seq("ACGT");
+        assert!(!verify_exact(&reference, &seq("ACGT"), 1));
+        assert!(!verify_inexact(&reference, &seq("ACGT"), 4, 2, true));
+        assert!(!verify_inexact(&reference, &DnaSeq::from_bases(vec![]), 0, 2, true));
+        let _ = Base::A; // keep the import used
+    }
+}

@@ -11,20 +11,15 @@ use crate::tables::{CountTable, MarkerTable, OccTable, SampledOcc};
 use crate::text::Text;
 
 /// How the suffix array is retained for `locate` queries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum SaStorage {
     /// Keep every entry (the paper's configuration: "BWT, Marker Table
     /// (MT), and SA will be stored in the memory").
+    #[default]
     Full,
     /// Keep entries at text positions divisible by the rate; other rows
     /// are recovered by LF-stepping.
     Sampled(u32),
-}
-
-impl Default for SaStorage {
-    fn default() -> Self {
-        SaStorage::Full
-    }
 }
 
 /// Builder for [`FmIndex`] (see [`FmIndex::builder`]).

@@ -41,7 +41,7 @@ impl SuffixArraySamples {
         let values = sa
             .iter()
             .map(|&v| {
-                if (v as u32) % rate == 0 {
+                if (v as u32).is_multiple_of(rate) {
                     v as u32
                 } else {
                     u32::MAX
@@ -166,9 +166,9 @@ mod tests {
     fn full_storage_is_direct_lookup() {
         let (sa, bwt, count, occ) = setup("TGCTAACG");
         let samples = SuffixArraySamples::full(&sa);
-        for row in 0..sa.len() {
+        for (row, &entry) in sa.iter().enumerate() {
             let interval = SaInterval::new(row as u32, row as u32 + 1);
-            assert_eq!(locate(&samples, &bwt, &count, &occ, interval), vec![sa[row]]);
+            assert_eq!(locate(&samples, &bwt, &count, &occ, interval), vec![entry]);
         }
     }
 
@@ -177,11 +177,11 @@ mod tests {
         let (sa, bwt, count, occ) = setup("GATTACAGATTACAGGGTTTCCC");
         for rate in [1u32, 2, 3, 4, 8] {
             let samples = SuffixArraySamples::sampled(&sa, rate);
-            for row in 0..sa.len() {
+            for (row, &entry) in sa.iter().enumerate() {
                 let interval = SaInterval::new(row as u32, row as u32 + 1);
                 assert_eq!(
                     locate(&samples, &bwt, &count, &occ, interval),
-                    vec![sa[row]],
+                    vec![entry],
                     "rate {rate} row {row}"
                 );
             }

@@ -102,6 +102,164 @@ impl Default for FaultModel {
     }
 }
 
+fn assert_probability(p: f64, what: &str) {
+    assert!((0.0..=1.0).contains(&p), "{what} probability out of range");
+}
+
+/// A seeded, reproducible fault-injection campaign: the sensing-fault
+/// [`FaultModel`] plus the structural fault classes the platform
+/// simulator injects (DESIGN.md §8).
+///
+/// The four fault classes are:
+///
+/// * **sense misreads** — per-bit `XNOR_Match` / per-`IM_ADD` decision
+///   errors from the [`FaultModel`] (derived from Monte-Carlo margins or
+///   set explicitly);
+/// * **stuck-at cells** — a fraction of MRAM cells frozen to a random
+///   value when the tables are mapped (persistent data corruption);
+/// * **transient row-read faults** — whole-row sense events that flip a
+///   short burst of bits in one `XNOR_Match` read (non-persistent);
+/// * **`IM_ADD` carry-chain faults** — an addition whose ripple carry
+///   dies at a random bit position.
+///
+/// All sampling is driven by `seed`, so a campaign replays identically:
+/// two platforms built from the same campaign inject the same faults at
+/// the same decisions.
+///
+/// # Examples
+///
+/// ```
+/// use mram::faults::{FaultCampaign, FaultModel};
+///
+/// let quiet = FaultCampaign::none();
+/// assert!(!quiet.is_active());
+///
+/// let noisy = FaultCampaign::seeded(7)
+///     .with_model(FaultModel::with_probabilities(1e-3, 1e-4))
+///     .with_transient_row_rate(1e-3)
+///     .with_carry_fault_prob(1e-4);
+/// assert!(noisy.is_active());
+/// assert_eq!(noisy.seed(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultCampaign {
+    seed: u64,
+    model: FaultModel,
+    stuck_at_rate: f64,
+    transient_row_rate: f64,
+    carry_fault_prob: f64,
+}
+
+impl FaultCampaign {
+    /// A fault-free campaign (every rate zero).
+    pub fn none() -> FaultCampaign {
+        FaultCampaign::seeded(0)
+    }
+
+    /// A fault-free campaign with an explicit replay seed; enable fault
+    /// classes with the `with_*` builders.
+    pub fn seeded(seed: u64) -> FaultCampaign {
+        FaultCampaign {
+            seed,
+            model: FaultModel::ideal(),
+            stuck_at_rate: 0.0,
+            transient_row_rate: 0.0,
+            carry_fault_prob: 0.0,
+        }
+    }
+
+    /// Derives the sensing-fault model from `cell`'s Monte-Carlo margins
+    /// (structural rates stay zero).
+    pub fn from_cell(cell: &CellParams, trials: usize, seed: u64) -> FaultCampaign {
+        FaultCampaign::seeded(seed).with_model(FaultModel::from_cell(cell, trials, seed))
+    }
+
+    /// Sets the sensing-fault model.
+    pub fn with_model(mut self, model: FaultModel) -> FaultCampaign {
+        self.model = model;
+        self
+    }
+
+    /// Sets the replay seed.
+    pub fn with_seed(mut self, seed: u64) -> FaultCampaign {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fraction of data-zone cells stuck at a random value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn with_stuck_at_rate(mut self, rate: f64) -> FaultCampaign {
+        assert_probability(rate, "stuck-at");
+        self.stuck_at_rate = rate;
+        self
+    }
+
+    /// Sets the per-row-read probability of a transient burst fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn with_transient_row_rate(mut self, rate: f64) -> FaultCampaign {
+        assert_probability(rate, "transient row");
+        self.transient_row_rate = rate;
+        self
+    }
+
+    /// Sets the per-`IM_ADD` probability of a carry-chain fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is outside `[0, 1]`.
+    pub fn with_carry_fault_prob(mut self, prob: f64) -> FaultCampaign {
+        assert_probability(prob, "carry fault");
+        self.carry_fault_prob = prob;
+        self
+    }
+
+    /// The replay seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The sensing-fault model.
+    pub fn model(&self) -> FaultModel {
+        self.model
+    }
+
+    /// The stuck-at cell rate.
+    pub fn stuck_at_rate(&self) -> f64 {
+        self.stuck_at_rate
+    }
+
+    /// The transient row-read fault rate.
+    pub fn transient_row_rate(&self) -> f64 {
+        self.transient_row_rate
+    }
+
+    /// The `IM_ADD` carry-chain fault probability.
+    pub fn carry_fault_prob(&self) -> f64 {
+        self.carry_fault_prob
+    }
+
+    /// `true` when any fault class can fire (simulators skip every
+    /// sampling path for inactive campaigns).
+    pub fn is_active(&self) -> bool {
+        !self.model.is_ideal()
+            || self.stuck_at_rate > 0.0
+            || self.transient_row_rate > 0.0
+            || self.carry_fault_prob > 0.0
+    }
+}
+
+impl Default for FaultCampaign {
+    fn default() -> Self {
+        FaultCampaign::none()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +303,31 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn invalid_probability_rejected() {
         let _ = FaultModel::with_probabilities(1.5, 0.0);
+    }
+
+    #[test]
+    fn campaign_activity_tracks_every_class() {
+        assert!(!FaultCampaign::none().is_active());
+        assert!(!FaultCampaign::seeded(99).is_active());
+        let model = FaultModel::with_probabilities(1e-3, 0.0);
+        assert!(FaultCampaign::none().with_model(model).is_active());
+        assert!(FaultCampaign::none().with_stuck_at_rate(1e-4).is_active());
+        assert!(FaultCampaign::none().with_transient_row_rate(1e-4).is_active());
+        assert!(FaultCampaign::none().with_carry_fault_prob(1e-4).is_active());
+    }
+
+    #[test]
+    fn campaign_from_cell_mirrors_fault_model() {
+        let noisy = CellParams::default().with_sense_offset(1.5);
+        let campaign = FaultCampaign::from_cell(&noisy, 2_000, 11);
+        assert_eq!(campaign.model(), FaultModel::from_cell(&noisy, 2_000, 11));
+        assert!(campaign.is_active());
+        assert_eq!(campaign.stuck_at_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stuck-at probability out of range")]
+    fn campaign_rejects_bad_rate() {
+        let _ = FaultCampaign::none().with_stuck_at_rate(-0.1);
     }
 }

@@ -18,6 +18,9 @@
 //!   store the state (i.e. symbol, low and high)");
 //! * [`CycleLedger`] — per-resource busy-cycle and energy accounting from
 //!   which throughput, power, MBR and RUR are derived;
+//! * [`FaultInjector`] — seeded fault-campaign sampling (sense misreads,
+//!   stuck-at cells, transient row bursts, `IM_ADD` carry faults) with
+//!   per-class injection counters;
 //! * [`pipeline`] — the Fig. 7 pipeline model with parallelism degree
 //!   `Pd`;
 //! * [`costs`] — the logical-operation cost table (cycles per
@@ -33,9 +36,11 @@ pub mod costs;
 pub mod pipeline;
 
 mod dpu;
+mod faults;
 mod ledger;
 mod subarray;
 
 pub use dpu::{BacktrackState, Dpu};
+pub use faults::{FaultCounters, FaultInjector};
 pub use ledger::{CycleLedger, Resource};
 pub use subarray::{validate_functions_against_circuit, SubArray, SubArrayLayout};

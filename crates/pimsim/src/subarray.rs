@@ -133,6 +133,27 @@ impl SubArray {
         self.bits[row][col]
     }
 
+    /// Forces the cell at `(row, col)` to `value` — the stuck-at
+    /// fault-injection hook (no cycle charge; this is damage, not an
+    /// operation). The data zones are written once at mapping time, so a
+    /// post-load force is behaviourally identical to a manufacturing
+    /// stuck-at defect for BWT/CRef/MT contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates exceed the geometry.
+    pub fn force_bit(&mut self, row: usize, col: usize, value: bool) {
+        self.bits[row][col] = value;
+    }
+
+    /// Rows in the data zones (BWT + CRef + MT) — the region where
+    /// stuck-at injection is meaningful; the reserved `IM_ADD` scratch is
+    /// rewritten every addition, so its defects are modelled by the
+    /// carry-chain fault mode instead.
+    pub fn data_zone_rows(&self) -> usize {
+        self.layout.mt_rows.end
+    }
+
     /// Loads up to 128 2-bit base codes into BWT bucket row `bucket`
     /// (one `RowWrite`).
     ///
@@ -252,6 +273,35 @@ impl SubArray {
     /// The functional result is computed through the same
     /// XOR3/MAJ gate semantics the [`SenseAmp`] realises.
     pub fn im_add32(&mut self, a: u32, b: u32, ledger: &mut CycleLedger) -> u32 {
+        self.add32_impl(a, b, None, ledger)
+    }
+
+    /// `IM_ADD` with an injected carry-chain fault: the ripple carry out
+    /// of bit `kill_carry_at` is forced low (the reconfigurable SA's MAJ
+    /// read fails for that cycle), and the corruption propagates through
+    /// the remaining bits exactly as the hardware would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kill_carry_at >= 32`.
+    pub fn im_add32_faulty(
+        &mut self,
+        a: u32,
+        b: u32,
+        kill_carry_at: usize,
+        ledger: &mut CycleLedger,
+    ) -> u32 {
+        assert!(kill_carry_at < 32, "carry bit {kill_carry_at} out of range");
+        self.add32_impl(a, b, Some(kill_carry_at), ledger)
+    }
+
+    fn add32_impl(
+        &mut self,
+        a: u32,
+        b: u32,
+        kill_carry_at: Option<usize>,
+        ledger: &mut CycleLedger,
+    ) -> u32 {
         let base = self.layout.reserved_rows.start;
         let (a_rows, b_rows, sum_rows, carry_row) =
             (base, base + 32, base + 64, base + 96);
@@ -268,9 +318,10 @@ impl SubArray {
         for k in 0..32 {
             let x = self.bits[a_rows + k][0];
             let y = self.bits[b_rows + k][0];
-            // Gate-level semantics identical to SenseAmp::full_add.
+            // Gate-level semantics identical to SenseAmp::full_add; an
+            // injected fault forces the MAJ (carry) read low at one bit.
             let s = x ^ y ^ carry;
-            let c = (x & y) | (x & carry) | (y & carry);
+            let c = ((x & y) | (x & carry) | (y & carry)) && kill_carry_at != Some(k);
             self.bits[sum_rows + k][0] = s;
             carry = c;
             self.bits[carry_row][0] = c;
@@ -318,7 +369,7 @@ pub fn validate_functions_against_circuit(model: &ArrayModel) -> bool {
                 {
                     return false;
                 }
-                if sa.xnor2(a, b) != !(a ^ b) {
+                if sa.xnor2(a, b) == (a ^ b) {
                     return false;
                 }
             }
@@ -429,6 +480,32 @@ mod tests {
         for (a, b) in cases {
             assert_eq!(sa.im_add32(a, b, &mut ledger), a.wrapping_add(b), "{a} + {b}");
         }
+    }
+
+    #[test]
+    fn faulty_add_differs_only_when_a_carry_dies() {
+        let (mut sa, mut ledger) = fresh();
+        // 0xFFFF + 1 ripples a carry through the low 17 bits: killing it
+        // anywhere below bit 16 corrupts the sum.
+        let good = sa.im_add32(0xFFFF, 1, &mut ledger);
+        assert_eq!(good, 0x1_0000);
+        // Killing the carry out of bit 0 leaves 0xFFFF's high bits
+        // un-incremented: 0 at bit 0, then bits 1..16 of the operand.
+        let bad = sa.im_add32_faulty(0xFFFF, 1, 0, &mut ledger);
+        assert_eq!(bad, 0xFFFE, "carry killed at bit 0 must stop the ripple");
+        // No carry is generated at bit 20, so a fault there is silent.
+        let silent = sa.im_add32_faulty(0xFFFF, 1, 20, &mut ledger);
+        assert_eq!(silent, good);
+    }
+
+    #[test]
+    fn forced_bit_persists_and_corrupts_reads() {
+        let (mut sa, mut ledger) = fresh();
+        sa.store_marker(9, Base::G, 0, &mut ledger);
+        let start = sa.layout().mt_rows.start + Base::G.rank() * 32;
+        sa.force_bit(start + 5, 9, true);
+        assert_eq!(sa.read_marker(9, Base::G, &mut ledger), 1 << 5);
+        assert!(sa.data_zone_rows() > start);
     }
 
     #[test]

@@ -92,7 +92,7 @@ pub fn repeat_rich(len: usize, profile: RepeatProfile, seed: u64) -> DnaSeq {
             for &b in unit.iter().take(len - out.len()) {
                 if rng.gen_bool(profile.divergence) {
                     // Diverged copy: substitute with a different base.
-                    let shift = rng.gen_range(1..4);
+                    let shift = rng.gen_range(1..4usize);
                     out.push(Base::from_rank((b.rank() + shift) % 4));
                 } else {
                     out.push(b);
@@ -148,7 +148,7 @@ mod tests {
             for k in kmers(g, 21) {
                 *seen.entry(k.packed()).or_insert(0) += 1;
             }
-            let dups: usize = seen.values().filter(|&&c| c > 1).map(|&c| c).sum();
+            let dups: usize = seen.values().filter(|&&c| c > 1).copied().sum();
             dups as f64 / (g.len() - 20) as f64
         };
         assert!(

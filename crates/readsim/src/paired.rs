@@ -129,7 +129,7 @@ fn with_errors(template: &DnaSeq, error_rate: f64, rng: &mut StdRng) -> DnaSeq {
         .iter()
         .map(|&b| {
             if error_rate > 0.0 && rng.gen_bool(error_rate) {
-                bioseq::Base::from_rank((b.rank() + rng.gen_range(1..4)) % 4)
+                bioseq::Base::from_rank((b.rank() + rng.gen_range(1..4usize)) % 4)
             } else {
                 b
             }

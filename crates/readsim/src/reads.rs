@@ -183,7 +183,7 @@ impl ReadSimulator {
                 let mut errors = 0usize;
                 for &b in template.iter() {
                     if rng.gen_bool(self.profile.error_rate) {
-                        let shift = rng.gen_range(1..4);
+                        let shift = rng.gen_range(1..4usize);
                         seq.push(Base::from_rank((b.rank() + shift) % 4));
                         quality.push(Phred::from_error_probability(0.25));
                         errors += 1;

@@ -130,7 +130,7 @@ pub fn apply_variants(reference: &DnaSeq, profile: VariantProfile, seed: u64) ->
                 }
             } else {
                 // SNP: substitute with one of the three other bases.
-                let shift = rng.gen_range(1..4);
+                let shift = rng.gen_range(1..4usize);
                 let alt = Base::from_rank((b.rank() + shift) % 4);
                 genome.push(alt);
                 variants.push(Variant::Snp { pos: i, alt });

@@ -236,6 +236,56 @@ pub fn banded_global(
     })
 }
 
+/// Banded unit-cost edit (Levenshtein) distance.
+///
+/// Fills only cells with `|i − j| ≤ band`, so the cost is
+/// O((n + m)·band). Returns `Some(d)` when the edit distance `d` is at
+/// most `band`, `None` otherwise — outside the band the exact distance
+/// is unknown, only that it exceeds `band`.
+///
+/// # Examples
+///
+/// ```
+/// use swalign::banded_edit_distance;
+///
+/// # fn main() -> Result<(), bioseq::ParseSeqError> {
+/// let a = "GATTACA".parse()?;
+/// let b = "GATACA".parse()?;
+/// assert_eq!(banded_edit_distance(&a, &b, 2), Some(1));
+/// assert_eq!(banded_edit_distance(&a, &"TTTTTTT".parse()?, 2), None);
+/// # Ok(())
+/// # }
+/// ```
+pub fn banded_edit_distance(a: &DnaSeq, b: &DnaSeq, band: usize) -> Option<u32> {
+    let n = a.len();
+    let m = b.len();
+    if n.abs_diff(m) > band {
+        return None;
+    }
+    const INF: u32 = u32::MAX / 2;
+    let width = m + 1;
+    let mut dist = vec![INF; (n + 1) * width];
+    dist[0] = 0;
+    for (j, cell) in dist.iter_mut().enumerate().take(m.min(band) + 1).skip(1) {
+        *cell = j as u32;
+    }
+    for i in 1..=n {
+        if i <= band {
+            dist[i * width] = i as u32;
+        }
+        let lo = i.saturating_sub(band).max(1);
+        let hi = (i + band).min(m);
+        for j in lo..=hi {
+            let sub = dist[(i - 1) * width + j - 1] + u32::from(a[i - 1] != b[j - 1]);
+            let del = dist[(i - 1) * width + j].saturating_add(1);
+            let ins = dist[i * width + j - 1].saturating_add(1);
+            dist[i * width + j] = sub.min(del).min(ins);
+        }
+    }
+    let d = dist[n * width + m];
+    (d as usize <= band).then_some(d)
+}
+
 /// Local alignment with affine gap penalties (Gotoh): a gap of length `k`
 /// costs `gap_open + k · gap_extend`.
 pub fn affine_local(reference: &DnaSeq, read: &DnaSeq, scoring: Scoring) -> Alignment {
@@ -479,6 +529,31 @@ mod tests {
         assert_eq!(aln.cigar.to_string(), "8M");
     }
 
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(banded_edit_distance(&seq("GATTACA"), &seq("GATTACA"), 0), Some(0));
+        assert_eq!(banded_edit_distance(&seq("GATTACA"), &seq("GATAACA"), 2), Some(1));
+        assert_eq!(banded_edit_distance(&seq("GATTACA"), &seq("GATACA"), 2), Some(1));
+        assert_eq!(banded_edit_distance(&seq("GATTACA"), &seq("GAGTTACA"), 2), Some(1));
+        assert_eq!(banded_edit_distance(&seq("AAAA"), &seq("TTTT"), 3), None);
+        assert_eq!(banded_edit_distance(&seq("AAAAAAAA"), &seq("AA"), 3), None);
+        assert_eq!(banded_edit_distance(&DnaSeq::new(), &seq("AC"), 2), Some(2));
+    }
+
+    /// Unbanded reference Levenshtein for the property test.
+    fn naive_edit_distance(a: &DnaSeq, b: &DnaSeq) -> u32 {
+        let mut prev: Vec<u32> = (0..=b.len() as u32).collect();
+        for i in 1..=a.len() {
+            let mut row = vec![i as u32; b.len() + 1];
+            for j in 1..=b.len() {
+                let sub = prev[j - 1] + u32::from(a[i - 1] != b[j - 1]);
+                row[j] = sub.min(prev[j] + 1).min(row[j - 1] + 1);
+            }
+            prev = row;
+        }
+        prev[b.len()]
+    }
+
     /// Score a CIGAR against the sequences it claims to align (linear gaps).
     fn rescore(aln: &Alignment, reference: &DnaSeq, read: &DnaSeq, s: Scoring) -> i32 {
         let mut score = 0;
@@ -543,6 +618,22 @@ mod tests {
             let a: DnaSeq = a.iter().map(|&r| bioseq::Base::from_rank(r as usize)).collect();
             let aln = smith_waterman(&a, &a, Scoring::default());
             prop_assert_eq!(aln.score, a.len() as i32);
+        }
+
+        #[test]
+        fn banded_edit_distance_matches_naive(
+            a in proptest::collection::vec(0u8..4, 0..30),
+            b in proptest::collection::vec(0u8..4, 0..30),
+        ) {
+            let a: DnaSeq = a.iter().map(|&r| bioseq::Base::from_rank(r as usize)).collect();
+            let b: DnaSeq = b.iter().map(|&r| bioseq::Base::from_rank(r as usize)).collect();
+            let exact = naive_edit_distance(&a, &b);
+            prop_assert_eq!(banded_edit_distance(&a, &b, 64), Some(exact));
+            // A tight band either agrees or honestly reports "too far".
+            match banded_edit_distance(&a, &b, 3) {
+                Some(d) => prop_assert_eq!(d, exact),
+                None => prop_assert!(exact > 3),
+            }
         }
 
         #[test]

@@ -49,7 +49,7 @@ fn main() {
         // position is near the true donor position (indel variants shift
         // coordinates slightly, so allow a small window).
         if let Some(positions) = outcome.positions() {
-            let expected_forward = (read.strand == Strand::Forward) == !flipped;
+            let expected_forward = (read.strand == Strand::Forward) != flipped;
             if expected_forward
                 && positions
                     .iter()

@@ -5,19 +5,33 @@
 //! pimalign <reference.fasta> <reads.fastq> [options] > out.sam
 //!
 //! options:
-//!   --pipelined        use PIM-Aligner-p (Pd = 2) instead of the baseline
-//!   --pd <N>           parallelism degree (implies method-II for N >= 2)
-//!   --max-diffs <Z>    inexact-stage difference budget (default 2, max 8)
-//!   --no-indels        substitutions only in the inexact stage
-//!   --single-strand    skip the reverse-complement retry
+//!   --pipelined           use PIM-Aligner-p (Pd = 2) instead of the baseline
+//!   --pd <N>              parallelism degree (implies method-II for N >= 2)
+//!   --max-diffs <Z>       inexact-stage difference budget (default 2, max 8)
+//!   --no-indels           substitutions only in the inexact stage
+//!   --single-strand       skip the reverse-complement retry
+//!   --threads <N>         host worker threads for the batch (default 1)
+//!   --fault-seed <S>      seed for the fault-injection campaign
+//!   --fault-xnor <P>      per-bit XNOR sense-misread probability
+//!   --fault-stuck <R>     stuck-at cell rate in the data zones
+//!   --fault-transient <R> transient row-read fault rate per marker read
+//!   --fault-carry <P>     IM_ADD carry-chain fault probability per add
+//!   --no-recover          disable verify-and-recover under fault injection
 //! ```
 //!
 //! SAM goes to stdout; the platform performance report goes to stderr.
+//! Any `--fault-*` rate makes the campaign active; recovery (verify each
+//! locus, retry, escalate the budget, fall back to the host) is then on
+//! unless `--no-recover` is given.
 
 use std::process::ExitCode;
 
 use pim_aligner_suite::bioseq::{fasta, fastq};
-use pim_aligner_suite::pim_aligner::{sam, MappedStrand, PimAligner, PimAlignerConfig};
+use pim_aligner_suite::mram::faults::{FaultCampaign, FaultModel};
+use pim_aligner_suite::pim_aligner::{
+    align_batch_parallel, align_batch_parallel_both_strands, sam, MappedStrand, PimAligner,
+    PimAlignerConfig, RecoveryPolicy,
+};
 
 fn main() -> ExitCode {
     match run() {
@@ -29,41 +43,97 @@ fn main() -> ExitCode {
     }
 }
 
-fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut positional = Vec::new();
-    let mut pd = 1usize;
-    let mut max_diffs = 2u8;
-    let mut indels = true;
-    let mut both_strands = true;
+struct Cli {
+    positional: Vec<String>,
+    pd: usize,
+    max_diffs: u8,
+    indels: bool,
+    both_strands: bool,
+    threads: usize,
+    fault_seed: u64,
+    fault_xnor: f64,
+    fault_stuck: f64,
+    fault_transient: f64,
+    fault_carry: f64,
+    recover: bool,
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    *i += 1;
+    args.get(*i)
+        .ok_or(format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|e| format!("invalid {flag}: {e}"))
+}
+
+fn parse_prob(args: &[String], i: &mut usize, flag: &str) -> Result<f64, String> {
+    let p: f64 = parse_flag(args, i, flag)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("invalid {flag}: {p} is not a probability in [0, 1]"));
+    }
+    Ok(p)
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        positional: Vec::new(),
+        pd: 1,
+        max_diffs: 2,
+        indels: true,
+        both_strands: true,
+        threads: 1,
+        fault_seed: 0x5eed,
+        fault_xnor: 0.0,
+        fault_stuck: 0.0,
+        fault_transient: 0.0,
+        fault_carry: 0.0,
+        recover: true,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--pipelined" => pd = pd.max(2),
-            "--pd" => {
-                i += 1;
-                pd = args
-                    .get(i)
-                    .ok_or("--pd needs a value")?
-                    .parse()
-                    .map_err(|e| format!("invalid --pd: {e}"))?;
-            }
+            "--pipelined" => cli.pd = cli.pd.max(2),
+            "--pd" => cli.pd = parse_flag(args, &mut i, "--pd")?,
             "--max-diffs" => {
-                i += 1;
-                max_diffs = args
-                    .get(i)
-                    .ok_or("--max-diffs needs a value")?
-                    .parse()
-                    .map_err(|e| format!("invalid --max-diffs: {e}"))?;
+                cli.max_diffs = parse_flag(args, &mut i, "--max-diffs")?;
+                if cli.max_diffs > 8 {
+                    return Err(format!(
+                        "invalid --max-diffs: {} exceeds the platform maximum of 8",
+                        cli.max_diffs
+                    ));
+                }
             }
-            "--no-indels" => indels = false,
-            "--single-strand" => both_strands = false,
+            "--no-indels" => cli.indels = false,
+            "--single-strand" => cli.both_strands = false,
+            "--threads" => {
+                cli.threads = parse_flag(args, &mut i, "--threads")?;
+                if cli.threads == 0 {
+                    return Err("invalid --threads: at least one worker thread required".into());
+                }
+            }
+            "--fault-seed" => cli.fault_seed = parse_flag(args, &mut i, "--fault-seed")?,
+            "--fault-xnor" => cli.fault_xnor = parse_prob(args, &mut i, "--fault-xnor")?,
+            "--fault-stuck" => cli.fault_stuck = parse_prob(args, &mut i, "--fault-stuck")?,
+            "--fault-transient" => {
+                cli.fault_transient = parse_prob(args, &mut i, "--fault-transient")?;
+            }
+            "--fault-carry" => cli.fault_carry = parse_prob(args, &mut i, "--fault-carry")?,
+            "--no-recover" => cli.recover = false,
             flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
-            _ => positional.push(args[i].clone()),
+            _ => cli.positional.push(args[i].clone()),
         }
         i += 1;
     }
-    let [ref_path, reads_path] = positional.as_slice() else {
+    Ok(cli)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_cli(&args)?;
+    let [ref_path, reads_path] = cli.positional.as_slice() else {
         return Err("usage: pimalign <reference.fasta> <reads.fastq> [options]".to_owned());
     };
 
@@ -83,22 +153,54 @@ fn run() -> Result<(), String> {
         return Err(format!("{reads_path}: no reads"));
     }
 
+    let campaign = FaultCampaign::seeded(cli.fault_seed)
+        .with_model(FaultModel::with_probabilities(cli.fault_xnor, cli.fault_xnor))
+        .with_stuck_at_rate(cli.fault_stuck)
+        .with_transient_row_rate(cli.fault_transient)
+        .with_carry_fault_prob(cli.fault_carry);
     let mut config = PimAlignerConfig::baseline()
-        .with_max_diffs(max_diffs)
-        .with_indels(indels);
-    if pd >= 2 {
-        config = config.with_pd(pd);
+        .with_max_diffs(cli.max_diffs)
+        .with_indels(cli.indels)
+        .with_fault_campaign(campaign);
+    if cli.pd >= 2 {
+        config = config.with_pd(cli.pd);
     }
-    let mut aligner = PimAligner::new(reference.seq(), config);
+    if campaign.is_active() && cli.recover {
+        config = config.with_recovery(RecoveryPolicy::standard());
+    }
 
     print!("{}", sam::header(reference.id(), reference.seq().len()));
-    let mut mapped = 0usize;
-    for record in &reads {
-        let (outcome, strand) = if both_strands {
-            aligner.align_read_both_strands(record.seq())
+    let (outcomes, strands, report) = if cli.threads > 1 {
+        let read_seqs: Vec<_> = reads.iter().map(|r| r.seq().clone()).collect();
+        let (batch, strands) = if cli.both_strands {
+            align_batch_parallel_both_strands(reference.seq(), &config, &read_seqs, cli.threads)
+                .map_err(|e| e.to_string())?
         } else {
-            (aligner.align_read(record.seq()), MappedStrand::Forward)
+            let batch =
+                align_batch_parallel(reference.seq(), &config, &read_seqs, cli.threads)
+                    .map_err(|e| e.to_string())?;
+            let strands = vec![MappedStrand::Forward; reads.len()];
+            (batch, strands)
         };
+        (batch.outcomes, strands, batch.report)
+    } else {
+        let mut aligner = PimAligner::new(reference.seq(), config);
+        let mut outcomes = Vec::with_capacity(reads.len());
+        let mut strands = Vec::with_capacity(reads.len());
+        for record in &reads {
+            let (outcome, strand) = if cli.both_strands {
+                aligner.align_read_both_strands(record.seq())
+            } else {
+                (aligner.align_read(record.seq()), MappedStrand::Forward)
+            };
+            outcomes.push(outcome);
+            strands.push(strand);
+        }
+        (outcomes, strands, aligner.report())
+    };
+
+    let mut mapped = 0usize;
+    for ((record, outcome), strand) in reads.iter().zip(&outcomes).zip(&strands) {
         if outcome.is_mapped() {
             mapped += 1;
         }
@@ -107,13 +209,12 @@ fn run() -> Result<(), String> {
             reference.id(),
             record.seq(),
             Some(record.quality()),
-            &outcome,
-            strand,
+            outcome,
+            *strand,
         );
         println!("{}", sam_record.to_line());
     }
 
-    let report = aligner.report();
     eprintln!(
         "pimalign: {} reads, {} mapped ({:.1}%)",
         reads.len(),
@@ -121,8 +222,26 @@ fn run() -> Result<(), String> {
         100.0 * mapped as f64 / reads.len() as f64
     );
     eprintln!(
-        "pimalign: platform Pd={pd}: {:.3e} queries/s, {:.1} W, MBR {:.1}%, RUR {:.1}%",
-        report.throughput_qps, report.total_power_w, report.mbr_pct, report.rur_pct
+        "pimalign: platform Pd={}: {:.3e} queries/s, {:.1} W, MBR {:.1}%, RUR {:.1}%",
+        cli.pd, report.throughput_qps, report.total_power_w, report.mbr_pct, report.rur_pct
     );
+    let t = report.faults;
+    if campaign.is_active() || !t.is_quiet() {
+        eprintln!(
+            "pimalign: faults injected: {} stuck cells, {} XNOR flips, {} transient rows, \
+             {} carry faults",
+            t.stuck_cells, t.xnor_bit_flips, t.transient_row_faults, t.carry_faults
+        );
+        eprintln!(
+            "pimalign: recovery: {} verifications ({} failed), {} retries, {} escalations, \
+             {} host fallbacks, {} unrecoverable",
+            t.verifications,
+            t.verify_failures,
+            t.retries,
+            t.escalations,
+            t.host_fallbacks,
+            t.unrecoverable
+        );
+    }
     Ok(())
 }

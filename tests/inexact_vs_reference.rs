@@ -65,7 +65,7 @@ fn first_accept_position_confirmed_by_dp_baseline() {
     let AlignmentOutcome::Inexact { positions, diffs } = aligner.align_read(&read) else {
         panic!("expected an inexact hit");
     };
-    assert!(diffs >= 1 && diffs <= 2);
+    assert!((1..=2).contains(&diffs));
     for &pos in &positions {
         let window = reference.subseq(pos..(pos + read.len()).min(reference.len()));
         let aln = banded_global(&window, &read, Scoring::default(), 4)

@@ -1,0 +1,66 @@
+//! Offline vendored stand-in for `crossbeam`: the scoped-thread subset
+//! this workspace uses (`crossbeam::scope` + `Scope::spawn`), implemented
+//! over `std::thread::scope`. Child panics are surfaced through the
+//! returned `Result`, matching crossbeam's contract.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
+
+/// The scope handle passed to [`scope`]'s closure; spawn scoped workers
+/// through it.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped worker. The closure receives a scope reference
+    /// (crossbeam signature) that this subset does not use for nested
+    /// spawns.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope in which borrowing spawns are allowed; joins all
+/// spawned threads before returning. Returns `Err` with the panic payload
+/// if any worker (or `f` itself) panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_workers_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let sums = std::sync::Mutex::new(Vec::new());
+        super::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| sums.lock().unwrap().push(chunk.iter().sum::<u64>()));
+            }
+        })
+        .expect("no panics");
+        let mut sums = sums.into_inner().unwrap();
+        sums.sort_unstable();
+        assert_eq!(sums, vec![3, 7]);
+    }
+
+    #[test]
+    fn worker_panic_reported_as_err() {
+        let result = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

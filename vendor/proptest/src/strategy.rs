@@ -1,0 +1,111 @@
+//! Value-generation strategies.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128) - (self.start as u128);
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as u128) - (start as u128) + 1;
+                start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        start + unit * (end - start)
+    }
+}
+
+// `&Strategy` is itself a strategy (lets helpers hand out references).
+impl<S: Strategy> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}

@@ -1,0 +1,83 @@
+//! Test configuration, RNG, and case errors.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The failure carried out of a property body by the `prop_assert*`
+/// macros.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed case with an explanatory message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The deterministic generator driving strategies: seeded from the fully
+/// qualified test name (override with `PROPTEST_SEED=<u64>` to explore a
+/// different stream).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Builds the generator for one named test.
+    pub fn for_test(name: &str) -> TestRng {
+        let seed = match std::env::var("PROPTEST_SEED").ok().and_then(|s| s.parse().ok()) {
+            Some(seed) => seed,
+            None => fnv1a(name.as_bytes()),
+        };
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}

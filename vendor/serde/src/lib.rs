@@ -1,0 +1,16 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on report/config types
+//! so they are wire-ready, but nothing in-tree serializes yet (the
+//! container is offline, so the real `serde` cannot be fetched). This
+//! stub keeps the trait bounds and derives compiling; swapping the real
+//! crate back in is a one-line change in the workspace manifest.
+
+/// Marker form of `serde::Serialize` (no-op: nothing in-tree serializes).
+pub trait Serialize {}
+
+/// Marker form of `serde::Deserialize` (no-op).
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

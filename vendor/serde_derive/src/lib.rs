@@ -1,0 +1,42 @@
+//! Offline vendored derive macros for the `serde` stand-in: emit empty
+//! marker-trait impls for the annotated type. Handles plain (possibly
+//! `pub`) structs and enums without generic parameters — the only shapes
+//! this workspace derives on.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name: the identifier following the `struct` or
+/// `enum` keyword (attributes and visibility tokens are skipped by the
+/// keyword scan).
+fn type_name(input: &TokenStream) -> String {
+    let mut tokens = input.clone().into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                for tt in tokens.by_ref() {
+                    if let TokenTree::Ident(name) = tt {
+                        return name.to_string();
+                    }
+                }
+            }
+        }
+    }
+    panic!("serde_derive stub: no struct/enum name found in input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}

@@ -1,0 +1,3 @@
+//! Offline vendored stand-in for `serde_json`. The workspace declares the
+//! dependency for future report export but does not call it yet; this
+//! stub only keeps the manifest resolvable offline.
