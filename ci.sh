@@ -20,4 +20,8 @@ cargo test -q --workspace
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> parbench smoke (shared-platform parallel engine)"
+cargo run -q --release -p bench --bin parbench -- --quick --out /tmp/BENCH_parallel_smoke.json
+rm -f /tmp/BENCH_parallel_smoke.json
+
 echo "ci: all green"

@@ -1,0 +1,146 @@
+//! `parbench` — shared-platform parallel-engine benchmark.
+//!
+//! ```text
+//! parbench [--quick] [--out PATH]
+//! ```
+//!
+//! Measures, for a large-reference / small-batch workload (the regime
+//! where index construction dominates):
+//!
+//! * the one-time `MappedIndex` build cost;
+//! * batch alignment throughput at 1, 4 and 8 worker threads over one
+//!   shared [`Platform`];
+//! * the same 8-thread batch in the pre-platform style — every worker
+//!   building its own private index — as the regression baseline.
+//!
+//! Results are written as JSON (default `BENCH_parallel.json` in the
+//! current directory) and summarised on stderr. `--quick` shrinks the
+//! workload for CI smoke runs.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use bench::workload::Workload;
+use bioseq::DnaSeq;
+use pim_aligner::{PimAligner, PimAlignerConfig, Platform};
+
+struct Timing {
+    threads: usize,
+    wall_ms: f64,
+    reads_per_s: f64,
+}
+
+fn time_shared(platform: &Platform, reads: &[DnaSeq], threads: usize) -> Timing {
+    let t0 = Instant::now();
+    let result = platform
+        .align_batch_parallel(reads, threads)
+        .expect("batch aligns");
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(result.outcomes.iter().all(|o| o.is_mapped()), "clean workload must map");
+    Timing {
+        threads,
+        wall_ms: wall * 1e3,
+        reads_per_s: reads.len() as f64 / wall,
+    }
+}
+
+/// The pre-platform engine: each worker constructs its own aligner —
+/// and therefore its own index — before touching a read.
+fn time_seed_style(reference: &DnaSeq, reads: &[DnaSeq], threads: usize) -> Timing {
+    let config = PimAlignerConfig::baseline();
+    let chunk = reads.len().div_ceil(threads);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for slice in reads.chunks(chunk) {
+            let config = config.clone();
+            scope.spawn(move || {
+                let mut aligner = PimAligner::new(reference, config);
+                for read in slice {
+                    assert!(aligner.align_read(read).is_mapped());
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    Timing {
+        threads,
+        wall_ms: wall * 1e3,
+        reads_per_s: reads.len() as f64 / wall,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_parallel.json".to_owned());
+
+    // Large reference, small batch: the regime the shared platform is
+    // for. Per-worker index builds dominate the seed-style wall-clock.
+    let (genome_len, read_count) = if quick { (60_000, 24) } else { (400_000, 64) };
+    let workload = Workload::clean(genome_len, read_count, 80, 1207);
+    eprintln!(
+        "parbench: {} bp reference, {} x 80 bp reads{}",
+        genome_len,
+        read_count,
+        if quick { " (quick)" } else { "" }
+    );
+
+    let t0 = Instant::now();
+    let platform = Platform::new(&workload.reference, PimAlignerConfig::baseline());
+    let index_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!("parbench: index build {index_build_ms:.1} ms (once per run)");
+
+    let mut timings = Vec::new();
+    for threads in [1usize, 4, 8] {
+        let t = time_shared(&platform, &workload.reads, threads);
+        eprintln!(
+            "parbench: shared platform, {} thread(s): {:.1} ms ({:.0} reads/s)",
+            t.threads, t.wall_ms, t.reads_per_s
+        );
+        timings.push(t);
+    }
+
+    let seed_style = time_seed_style(&workload.reference, &workload.reads, 8);
+    let shared8 = timings.iter().find(|t| t.threads == 8).expect("8-thread run");
+    let speedup = seed_style.wall_ms / shared8.wall_ms;
+    eprintln!(
+        "parbench: seed-style (index per worker), 8 threads: {:.1} ms — shared platform is {:.1}x faster",
+        seed_style.wall_ms, speedup
+    );
+
+    // Hand-rolled JSON: the workspace's vendored serde_json is an
+    // offline stub, so the report is assembled textually.
+    let shared_rows = timings
+        .iter()
+        .map(|t| {
+            format!(
+                "    {{ \"threads\": {}, \"wall_ms\": {:.3}, \"reads_per_s\": {:.1} }}",
+                t.threads, t.wall_ms, t.reads_per_s
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"workload\": {{ \"genome_len\": {genome_len}, \"read_count\": {read_count}, \
+         \"read_len\": 80, \"seed\": 1207, \"quick\": {quick} }},\n  \
+         \"index_build_ms\": {index_build_ms:.3},\n  \
+         \"shared_platform\": [\n{shared_rows}\n  ],\n  \
+         \"seed_style_8_threads\": {{ \"threads\": {}, \"wall_ms\": {:.3}, \"reads_per_s\": {:.1} }},\n  \
+         \"speedup_8_threads_vs_seed_style\": {speedup:.3}\n}}",
+        seed_style.threads, seed_style.wall_ms, seed_style.reads_per_s,
+    );
+    let mut file = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    writeln!(file, "{json}").unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("parbench: wrote {out_path}");
+
+    if speedup < 2.0 && !quick {
+        eprintln!("parbench: WARNING: speedup {speedup:.2}x below the 2x target");
+        std::process::exit(1);
+    }
+}

@@ -19,6 +19,7 @@
 //! ```
 
 use std::fmt::Write as _;
+use std::io::BufRead;
 
 use crate::quality::QualityString;
 use crate::{DnaSeq, ParseSeqError};
@@ -73,19 +74,68 @@ impl Record {
     }
 }
 
-/// Parses FASTQ text into records.
+/// A streaming FASTQ reader over any [`BufRead`] source.
 ///
-/// # Errors
+/// Yields one [`Record`] at a time without materialising the whole file,
+/// so arbitrarily large inputs align in bounded memory (see the
+/// `pimalign` CLI's chunked mode). Iteration stops at the first error.
 ///
-/// Returns [`ParseSeqError`] on structural problems (truncated record,
-/// missing `@`/`+`, length mismatch) or invalid sequence/quality characters.
-pub fn parse(text: &str) -> Result<Vec<Record>, ParseSeqError> {
-    let mut lines = text.lines();
-    let mut records = Vec::new();
-    while let Some(header) = lines.next() {
-        if header.trim().is_empty() {
-            continue;
+/// # Examples
+///
+/// ```
+/// use bioseq::fastq::Reader;
+///
+/// let text = "@a\nAC\n+\nII\n@b\nGT\n+\nII\n";
+/// let ids: Vec<String> = Reader::new(text.as_bytes())
+///     .map(|r| r.unwrap().id().to_owned())
+///     .collect();
+/// assert_eq!(ids, ["a", "b"]);
+/// ```
+#[derive(Debug)]
+pub struct Reader<R: BufRead> {
+    input: R,
+    line: String,
+    failed: bool,
+}
+
+impl<R: BufRead> Reader<R> {
+    /// Wraps a buffered source.
+    pub fn new(input: R) -> Reader<R> {
+        Reader {
+            input,
+            line: String::new(),
+            failed: false,
         }
+    }
+
+    /// Reads the next line (without the terminator); `None` at EOF.
+    fn next_line(&mut self) -> Result<Option<String>, ParseSeqError> {
+        self.line.clear();
+        let n = self
+            .input
+            .read_line(&mut self.line)
+            .map_err(|e| ParseSeqError::format(format!("I/O error: {e}")))?;
+        if n == 0 {
+            return Ok(None);
+        }
+        Ok(Some(self.line.trim_end_matches(['\n', '\r']).to_owned()))
+    }
+
+    /// Parses the next record; `Ok(None)` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSeqError`] on I/O failure, structural problems
+    /// (truncated record, missing `@`/`+`, length mismatch) or invalid
+    /// sequence/quality characters.
+    pub fn next_record(&mut self) -> Result<Option<Record>, ParseSeqError> {
+        let header = loop {
+            match self.next_line()? {
+                None => return Ok(None),
+                Some(l) if l.trim().is_empty() => continue,
+                Some(l) => break l,
+            }
+        };
         let id = header
             .strip_prefix('@')
             .ok_or_else(|| ParseSeqError::format("FASTQ record must start with '@'"))?
@@ -94,29 +144,72 @@ pub fn parse(text: &str) -> Result<Vec<Record>, ParseSeqError> {
             .filter(|s| !s.is_empty())
             .ok_or_else(|| ParseSeqError::format("empty FASTQ header"))?
             .to_owned();
-        let seq_line = lines
-            .next()
+        let seq_line = self
+            .next_line()?
             .ok_or_else(|| ParseSeqError::format("truncated FASTQ record: missing sequence"))?;
-        let plus = lines
-            .next()
+        let plus = self
+            .next_line()?
             .ok_or_else(|| ParseSeqError::format("truncated FASTQ record: missing '+'"))?;
         if !plus.starts_with('+') {
-            return Err(ParseSeqError::format("FASTQ separator line must start with '+'"));
-        }
-        let qual_line = lines
-            .next()
-            .ok_or_else(|| ParseSeqError::format("truncated FASTQ record: missing quality"))?;
-        let seq: DnaSeq = seq_line.parse()?;
-        let quality = QualityString::from_fastq(qual_line)
-            .ok_or_else(|| ParseSeqError::format("invalid quality character"))?;
-        if seq.len() != quality.len() {
             return Err(ParseSeqError::format(
-                "sequence and quality lengths differ",
+                "FASTQ separator line must start with '+'",
             ));
         }
-        records.push(Record { id, seq, quality });
+        let qual_line = self
+            .next_line()?
+            .ok_or_else(|| ParseSeqError::format("truncated FASTQ record: missing quality"))?;
+        let seq: DnaSeq = seq_line.parse()?;
+        let quality = QualityString::from_fastq(&qual_line)
+            .ok_or_else(|| ParseSeqError::format("invalid quality character"))?;
+        if seq.len() != quality.len() {
+            return Err(ParseSeqError::format("sequence and quality lengths differ"));
+        }
+        Ok(Some(Record { id, seq, quality }))
     }
-    Ok(records)
+
+    /// Reads up to `n` records (fewer at end of input; empty = EOF).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ParseSeqError`] encountered.
+    pub fn next_chunk(&mut self, n: usize) -> Result<Vec<Record>, ParseSeqError> {
+        let mut chunk = Vec::with_capacity(n.min(1_024));
+        while chunk.len() < n {
+            match self.next_record()? {
+                Some(record) => chunk.push(record),
+                None => break,
+            }
+        }
+        Ok(chunk)
+    }
+}
+
+impl<R: BufRead> Iterator for Reader<R> {
+    type Item = Result<Record, ParseSeqError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.next_record() {
+            Ok(Some(record)) => Some(Ok(record)),
+            Ok(None) => None,
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Parses FASTQ text into records.
+///
+/// # Errors
+///
+/// Returns [`ParseSeqError`] on structural problems (truncated record,
+/// missing `@`/`+`, length mismatch) or invalid sequence/quality characters.
+pub fn parse(text: &str) -> Result<Vec<Record>, ParseSeqError> {
+    Reader::new(text.as_bytes()).collect()
 }
 
 /// Serialises records to FASTQ text.
@@ -186,5 +279,59 @@ mod tests {
     #[should_panic(expected = "lengths must match")]
     fn constructor_validates_lengths() {
         let _ = Record::new("r", "ACGT".parse().unwrap(), QualityString::new());
+    }
+
+    #[test]
+    fn streaming_reader_matches_parse() {
+        let text = "@a\nAC\n+\nII\n\n@b simulated\nGT\n+\nII\n";
+        let streamed: Vec<Record> = Reader::new(text.as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, parse(text).unwrap());
+    }
+
+    #[test]
+    fn streaming_reader_chunks_in_order() {
+        let text = to_string(
+            &(0..10)
+                .map(|i| {
+                    Record::new(
+                        format!("r{i}"),
+                        "ACGT".parse().unwrap(),
+                        vec![Phred::new(40); 4].into(),
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        let mut reader = Reader::new(text.as_bytes());
+        let c1 = reader.next_chunk(4).unwrap();
+        let c2 = reader.next_chunk(4).unwrap();
+        let c3 = reader.next_chunk(4).unwrap();
+        let c4 = reader.next_chunk(4).unwrap();
+        assert_eq!(c1.len(), 4);
+        assert_eq!(c2.len(), 4);
+        assert_eq!(c3.len(), 2, "trailing partial chunk");
+        assert!(c4.is_empty(), "EOF yields an empty chunk");
+        let ids: Vec<&str> = c1.iter().chain(&c2).chain(&c3).map(Record::id).collect();
+        assert_eq!(ids, (0..10).map(|i| format!("r{i}")).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn streaming_reader_stops_at_first_error() {
+        let text = "@a\nAC\n+\nII\n@bad\nACGN\n+\nIIII\n@c\nGT\n+\nII\n";
+        let mut reader = Reader::new(text.as_bytes());
+        assert!(reader.next().unwrap().is_ok());
+        assert!(reader.next().unwrap().is_err());
+        assert!(reader.next().is_none(), "iteration fuses after an error");
+    }
+
+    #[test]
+    fn streaming_reader_handles_crlf() {
+        let text = "@a\r\nAC\r\n+\r\nII\r\n";
+        let recs: Vec<Record> = Reader::new(text.as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].seq().to_string(), "AC");
     }
 }

@@ -130,6 +130,15 @@ impl QualityString {
             .map(|scores| QualityString { scores })
     }
 
+    /// The quality string in reverse base order — the per-base scores of
+    /// a reverse-complemented read (SAM stores SEQ and QUAL in reference
+    /// orientation for reverse-strand alignments).
+    pub fn reversed(&self) -> QualityString {
+        QualityString {
+            scores: self.scores.iter().rev().copied().collect(),
+        }
+    }
+
     /// Mean error probability across the read (0 for an empty string).
     pub fn mean_error_probability(&self) -> f64 {
         if self.scores.is_empty() {
@@ -194,6 +203,13 @@ mod tests {
     fn quality_string_fastq_round_trip() {
         let qs: QualityString = (0..40).map(Phred::new).collect();
         assert_eq!(QualityString::from_fastq(&qs.to_fastq()), Some(qs));
+    }
+
+    #[test]
+    fn reversed_flips_base_order() {
+        let qs: QualityString = vec![Phred::new(10), Phred::new(20), Phred::new(30)].into();
+        assert_eq!(qs.reversed().to_fastq(), qs.to_fastq().chars().rev().collect::<String>());
+        assert_eq!(qs.reversed().reversed(), qs);
     }
 
     #[test]

@@ -3,13 +3,14 @@
 
 use bioseq::DnaSeq;
 use fmindex::EditBudget;
-use pimsim::{CycleLedger, Dpu};
+use pimsim::{CycleLedger, Dpu, FaultInjector};
 
 use crate::config::PimAlignerConfig;
 use crate::error::AlignError;
 use crate::exact::exact_search;
 use crate::inexact::inexact_search;
 use crate::mapping::MappedIndex;
+use crate::platform::Platform;
 use crate::report::{FaultTelemetry, PerfReport};
 use crate::verify::{verify_exact, verify_inexact};
 
@@ -71,8 +72,18 @@ pub struct BatchResult {
     pub exact_fraction: f64,
 }
 
-/// The PIM-Aligner platform: an FM-index mapped into simulated SOT-MRAM
-/// computational sub-arrays, executing the paper's two-stage alignment.
+/// A mutable alignment session over a shared [`Platform`], executing the
+/// paper's two-stage alignment.
+///
+/// The session holds only per-worker state: the DPU registers, the
+/// alignment-time cycle ledger, the seeded fault-injection stream and the
+/// telemetry counters. The reference and the mapped FM-index live in the
+/// shared platform — [`MappedIndex::build`] runs exactly once per
+/// [`Platform::new`], no matter how many sessions are spawned.
+///
+/// [`PimAligner`] is an alias for this type: constructing one with
+/// [`AlignSession::new`] builds a single-session platform, which keeps
+/// the pre-split API working unchanged.
 ///
 /// # Examples
 ///
@@ -89,31 +100,42 @@ pub struct BatchResult {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct PimAligner {
-    reference: DnaSeq,
-    mapped: MappedIndex,
-    config: PimAlignerConfig,
+pub struct AlignSession {
+    platform: Platform,
+    /// Alignment-time fault stream (deterministic per campaign seed and
+    /// worker index).
+    injector: FaultInjector,
     dpu: Dpu,
     ledger: CycleLedger,
     lfm_calls: u64,
     queries: u64,
     exact_hits: u64,
-    /// Recovery-path counters (injection counters live in the mapper's
-    /// fault injector; [`PimAligner::fault_telemetry`] combines both).
+    /// Recovery-path counters (injection counters live in the session's
+    /// fault injector; [`AlignSession::fault_telemetry`] combines both
+    /// with the platform's one-time build counters).
     telemetry: FaultTelemetry,
 }
 
-impl PimAligner {
-    /// Builds the platform over a reference genome (index construction +
-    /// sub-array mapping; the one-time cost is kept in the mapping
-    /// ledger).
-    pub fn new(reference: &DnaSeq, config: PimAlignerConfig) -> PimAligner {
-        let mapped = MappedIndex::build(reference, &config);
-        let dpu = Dpu::new(*config.model());
-        PimAligner {
-            reference: reference.clone(),
-            mapped,
-            config,
+/// The pre-split name for [`AlignSession`]: one platform, one session.
+pub type PimAligner = AlignSession;
+
+impl AlignSession {
+    /// Builds a fresh single-session platform over a reference genome
+    /// (index construction + sub-array mapping; the one-time cost is
+    /// kept in the mapping ledger). To share one index across sessions,
+    /// build a [`Platform`] instead and spawn sessions from it.
+    pub fn new(reference: &DnaSeq, config: PimAlignerConfig) -> AlignSession {
+        Platform::new(reference, config).session()
+    }
+
+    /// Spawns the session for `worker` over an existing platform
+    /// (called by [`Platform::session`] / [`Platform::worker_session`]).
+    pub(crate) fn for_platform(platform: Platform, worker: u64) -> AlignSession {
+        let injector = platform.mapped().worker_injector(worker);
+        let dpu = Dpu::new(*platform.config().model());
+        AlignSession {
+            platform,
+            injector,
             dpu,
             ledger: CycleLedger::new(),
             lfm_calls: 0,
@@ -123,29 +145,40 @@ impl PimAligner {
         }
     }
 
+    /// The shared platform this session aligns on.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &PimAlignerConfig {
-        &self.config
+        self.platform.config()
     }
 
     /// The mapped index (sub-arrays + software ground truth).
     pub fn mapped(&self) -> &MappedIndex {
-        &self.mapped
+        self.platform.mapped()
     }
 
     /// The indexed reference genome (kept for seed-and-extend windows).
     pub fn reference(&self) -> &DnaSeq {
-        &self.reference
+        self.platform.reference()
     }
 
-    /// Mutable access to the platform internals (mapped index, DPU and
-    /// the alignment-time ledger) for composed engines such as
+    /// Access to the platform internals — the shared mapped index plus
+    /// the session's fault injector, DPU and alignment-time ledger — for
+    /// composed engines such as
     /// [`seed_and_extend`](crate::seed_and_extend) that issue their own
     /// platform searches.
     pub fn platform_parts(
         &mut self,
-    ) -> (&mut MappedIndex, &mut Dpu, &mut CycleLedger) {
-        (&mut self.mapped, &mut self.dpu, &mut self.ledger)
+    ) -> (&MappedIndex, &mut FaultInjector, &mut Dpu, &mut CycleLedger) {
+        (
+            self.platform.mapped(),
+            &mut self.injector,
+            &mut self.dpu,
+            &mut self.ledger,
+        )
     }
 
     /// Aligns one read: exact stage first, then — if it fails — the
@@ -158,10 +191,10 @@ impl PimAligner {
     /// with zero verification overhead.
     pub fn align_read(&mut self, read: &DnaSeq) -> AlignmentOutcome {
         self.queries += 1;
-        let outcome = if self.config.recovery().is_enabled() {
+        let outcome = if self.config().recovery().is_enabled() {
             self.align_read_recovered(read)
         } else {
-            self.raw_align(read, self.config.max_diffs())
+            self.raw_align(read, self.config().max_diffs())
         };
         if matches!(outcome, AlignmentOutcome::Exact { .. }) {
             self.exact_hits += 1;
@@ -171,45 +204,42 @@ impl PimAligner {
 
     /// One unverified platform pass at difference budget `max_diffs`.
     fn raw_align(&mut self, read: &DnaSeq, max_diffs: u8) -> AlignmentOutcome {
-        let (interval, stats) =
-            exact_search(&mut self.mapped, &mut self.dpu, read, &mut self.ledger);
+        let exhaustive = self.config().exhaustive_inexact();
+        let (interval, stats) = {
+            let (mapped, injector, dpu, ledger) = self.platform_parts();
+            exact_search(mapped, injector, dpu, read, ledger)
+        };
         self.lfm_calls += stats.lfm_calls;
         if !interval.is_empty() {
-            let positions = self.mapped.locate(interval, &mut self.ledger);
+            let positions = self.platform.mapped().locate(interval, &mut self.ledger);
             return AlignmentOutcome::Exact { positions };
         }
         if max_diffs == 0 {
             return AlignmentOutcome::Unmapped;
         }
         let budget = self.edit_budget_for(max_diffs);
-        let hits = if self.config.exhaustive_inexact() {
-            let (hits, istats) = inexact_search(
-                &mut self.mapped,
-                &mut self.dpu,
-                read,
-                budget,
-                &mut self.ledger,
-            );
-            self.lfm_calls += istats.lfm_calls;
-            hits
-        } else {
-            let (hit, istats) = crate::inexact::inexact_search_first(
-                &mut self.mapped,
-                &mut self.dpu,
-                read,
-                budget,
-                &mut self.ledger,
-            );
-            self.lfm_calls += istats.lfm_calls;
-            hit.into_iter().collect()
+        let hits = {
+            let (mapped, injector, dpu, ledger) = self.platform_parts();
+            if exhaustive {
+                let (hits, istats) =
+                    inexact_search(mapped, injector, dpu, read, budget, ledger);
+                (hits, istats)
+            } else {
+                let (hit, istats) = crate::inexact::inexact_search_first(
+                    mapped, injector, dpu, read, budget, ledger,
+                );
+                (hit.into_iter().collect(), istats)
+            }
         };
+        let (hits, istats) = hits;
+        self.lfm_calls += istats.lfm_calls;
         let Some(best) = hits.first() else {
             return AlignmentOutcome::Unmapped;
         };
         let best_diffs = best.diffs;
         let mut positions = Vec::new();
         for hit in hits.iter().filter(|h| h.diffs == best_diffs) {
-            positions.extend(self.mapped.locate(hit.interval, &mut self.ledger));
+            positions.extend(self.platform.mapped().locate(hit.interval, &mut self.ledger));
         }
         positions.sort_unstable();
         positions.dedup();
@@ -220,7 +250,7 @@ impl PimAligner {
     }
 
     fn edit_budget_for(&self, max_diffs: u8) -> EditBudget {
-        if self.config.allows_indels() {
+        if self.config().allows_indels() {
             EditBudget::edits(max_diffs)
         } else {
             EditBudget::substitutions_only(max_diffs)
@@ -233,9 +263,9 @@ impl PimAligner {
     /// (faults re-draw), difference-budget escalation, host software
     /// fallback (fault-free by construction).
     fn align_read_recovered(&mut self, read: &DnaSeq) -> AlignmentOutcome {
-        let policy = self.config.recovery();
-        let base_z = self.config.max_diffs();
-        let faults_possible = self.mapped.faults_active();
+        let policy = self.config().recovery();
+        let base_z = self.config().max_diffs();
+        let faults_possible = self.mapped().faults_active();
 
         for attempt in 0..=policy.max_retries {
             if attempt > 0 {
@@ -284,7 +314,7 @@ impl PimAligner {
                 let total = positions.len();
                 let kept: Vec<usize> = positions
                     .into_iter()
-                    .filter(|&p| verify_exact(&self.reference, read, p))
+                    .filter(|&p| verify_exact(self.platform.reference(), read, p))
                     .collect();
                 if kept.len() < total {
                     self.telemetry.verify_failures += 1;
@@ -297,11 +327,13 @@ impl PimAligner {
             }
             AlignmentOutcome::Inexact { positions, diffs } => {
                 self.telemetry.verifications += 1;
-                let allow_indels = self.config.allows_indels();
+                let allow_indels = self.config().allows_indels();
                 let total = positions.len();
                 let kept: Vec<usize> = positions
                     .into_iter()
-                    .filter(|&p| verify_inexact(&self.reference, read, p, diffs, allow_indels))
+                    .filter(|&p| {
+                        verify_inexact(self.platform.reference(), read, p, diffs, allow_indels)
+                    })
                     .collect();
                 if kept.len() < total {
                     self.telemetry.verify_failures += 1;
@@ -327,7 +359,7 @@ impl PimAligner {
     /// hits. Host work is not charged to the platform ledger (it runs on
     /// the controller, like the SA read-back).
     fn host_fallback_align(&mut self, read: &DnaSeq, max_diffs: u8) -> AlignmentOutcome {
-        let exact = self.mapped.index().find(read);
+        let exact = self.mapped().index().find(read);
         if !exact.is_empty() {
             return AlignmentOutcome::Exact { positions: exact };
         }
@@ -335,18 +367,18 @@ impl PimAligner {
             return AlignmentOutcome::Unmapped;
         }
         let hits = self
-            .mapped
+            .mapped()
             .index()
             .find_inexact(read, self.edit_budget_for(max_diffs));
         let Some(best) = hits.iter().map(|&(_, d)| d).min() else {
             return AlignmentOutcome::Unmapped;
         };
-        let allow_indels = self.config.allows_indels();
+        let allow_indels = self.config().allows_indels();
         let mut positions: Vec<usize> = hits
             .iter()
             .filter(|&&(_, d)| d == best)
             .map(|&(p, _)| p)
-            .filter(|&p| verify_inexact(&self.reference, read, p, best, allow_indels))
+            .filter(|&p| verify_inexact(self.platform.reference(), read, p, best, allow_indels))
             .collect();
         positions.sort_unstable();
         positions.dedup();
@@ -366,10 +398,13 @@ impl PimAligner {
     /// paper §I: "two twistings, paired strands").
     pub fn align_read_both_strands(&mut self, read: &DnaSeq) -> (AlignmentOutcome, MappedStrand) {
         match self.align_read(read) {
-            AlignmentOutcome::Unmapped => (
-                self.align_read(&read.reverse_complement()),
-                MappedStrand::Reverse,
-            ),
+            AlignmentOutcome::Unmapped => match self.align_read(&read.reverse_complement()) {
+                // Neither orientation mapped: the read is unmapped as
+                // given, so report the forward strand (SAM leaves 0x10
+                // clear on unmapped records).
+                AlignmentOutcome::Unmapped => (AlignmentOutcome::Unmapped, MappedStrand::Forward),
+                hit => (hit, MappedStrand::Reverse),
+            },
             hit => (hit, MappedStrand::Forward),
         }
     }
@@ -412,15 +447,32 @@ impl PimAligner {
     /// Panics if no read has been aligned yet.
     pub fn report(&self) -> PerfReport {
         let mut report =
-            PerfReport::from_batch(&self.config, &self.ledger, self.queries, self.lfm_calls);
+            PerfReport::from_batch(self.config(), &self.ledger, self.queries, self.lfm_calls);
         report.faults = self.fault_telemetry();
         report
     }
 
-    /// Combined fault telemetry: the campaign's injection counters plus
-    /// the recovery path's verification counters.
+    /// Combined fault telemetry: the session's injection counters plus
+    /// the platform's one-time build counters (stuck cells planted while
+    /// mapping) plus the recovery path's verification counters.
     pub fn fault_telemetry(&self) -> FaultTelemetry {
-        let counters = self.mapped.fault_counters();
+        let mut counters = self.injector.counters();
+        counters.merge(&self.mapped().build_fault_counters());
+        FaultTelemetry {
+            stuck_cells: counters.stuck_cells,
+            xnor_bit_flips: counters.xnor_bit_flips,
+            transient_row_faults: counters.transient_row_faults,
+            carry_faults: counters.carry_faults,
+            ..self.telemetry
+        }
+    }
+
+    /// This session's own telemetry only — injection counters from its
+    /// fault stream plus its recovery counters, *without* the platform's
+    /// one-time build counters. The parallel engine merges these across
+    /// workers and adds the build counters exactly once.
+    pub(crate) fn session_telemetry(&self) -> FaultTelemetry {
+        let counters = self.injector.counters();
         FaultTelemetry {
             stuck_cells: counters.stuck_cells,
             xnor_bit_flips: counters.xnor_bit_flips,
@@ -572,6 +624,30 @@ mod tests {
         let rp = p.align_batch(&reads).report;
         let gain = rp.throughput_qps / rn.throughput_qps;
         assert!((1.25..1.60).contains(&gain), "pipeline gain {gain:.3}");
+    }
+
+    #[test]
+    fn both_strands_double_miss_reports_forward() {
+        // A read that maps on neither strand is unmapped *as given*: the
+        // strand must come back Forward (SAM leaves 0x10 clear on
+        // unmapped records), not Reverse as the pre-fix code claimed.
+        let reference: DnaSeq = "AAAAAAAAAAAAAAAAAAAA".parse().unwrap();
+        let mut aligner = PimAligner::new(
+            &reference,
+            PimAlignerConfig::baseline().with_max_diffs(1).with_indels(false),
+        );
+        let read: DnaSeq = "GGGGGGGG".parse().unwrap();
+        assert_eq!(
+            aligner.align_read_both_strands(&read),
+            (AlignmentOutcome::Unmapped, MappedStrand::Forward)
+        );
+        // A reverse-complement hit still reports Reverse.
+        let reference = genome::uniform(4_000, 48);
+        let mut aligner = PimAligner::new(&reference, PimAlignerConfig::baseline());
+        let rev = reference.subseq(1_000..1_060).reverse_complement();
+        let (outcome, strand) = aligner.align_read_both_strands(&rev);
+        assert!(outcome.is_mapped());
+        assert_eq!(strand, MappedStrand::Reverse);
     }
 
     #[test]

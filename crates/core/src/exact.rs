@@ -2,7 +2,7 @@
 
 use bioseq::DnaSeq;
 use fmindex::SaInterval;
-use pimsim::{CycleLedger, Dpu};
+use pimsim::{CycleLedger, Dpu, FaultInjector};
 
 use crate::mapping::MappedIndex;
 
@@ -19,10 +19,14 @@ pub struct ExactStats {
 /// `[0, N)`, walks the read right-to-left, and updates both bounds with
 /// the in-memory `LFM` procedure, stopping early when `low ≥ high`.
 ///
+/// The index is shared and immutable; the caller supplies the session's
+/// own fault-injection stream, DPU and ledger.
+///
 /// Returns the final interval (empty = no exact match) plus statistics
 /// for the performance model.
 pub fn exact_search(
-    mapped: &mut MappedIndex,
+    mapped: &MappedIndex,
+    injector: &mut FaultInjector,
     dpu: &mut Dpu,
     read: &DnaSeq,
     ledger: &mut CycleLedger,
@@ -33,8 +37,8 @@ pub fn exact_search(
         bases_consumed: 0,
     };
     for &nt in read.iter().rev() {
-        let low = mapped.lfm(nt, dpu.low() as usize, ledger);
-        let high = mapped.lfm(nt, dpu.high() as usize, ledger);
+        let low = mapped.lfm(nt, dpu.low() as usize, injector, ledger);
+        let high = mapped.lfm(nt, dpu.high() as usize, injector, ledger);
         dpu.set_interval(low, high, ledger);
         stats.lfm_calls += 2;
         stats.bases_consumed += 1;
@@ -52,19 +56,21 @@ mod tests {
     use crate::config::PimAlignerConfig;
     use readsim::genome;
 
-    fn setup(reference: &DnaSeq) -> (MappedIndex, Dpu, CycleLedger) {
+    fn setup(reference: &DnaSeq) -> (MappedIndex, FaultInjector, Dpu, CycleLedger) {
         let config = PimAlignerConfig::baseline();
         let mapped = MappedIndex::build(reference, &config);
+        let injector = mapped.session_injector();
         let dpu = Dpu::new(*config.model());
-        (mapped, dpu, CycleLedger::new())
+        (mapped, injector, dpu, CycleLedger::new())
     }
 
     #[test]
     fn paper_example_cta() {
         let reference: DnaSeq = "TGCTA".parse().unwrap();
-        let (mut mapped, mut dpu, mut ledger) = setup(&reference);
+        let (mapped, mut injector, mut dpu, mut ledger) = setup(&reference);
         let read: DnaSeq = "CTA".parse().unwrap();
-        let (interval, stats) = exact_search(&mut mapped, &mut dpu, &read, &mut ledger);
+        let (interval, stats) =
+            exact_search(&mapped, &mut injector, &mut dpu, &read, &mut ledger);
         assert_eq!(interval.count(), 1);
         assert_eq!(mapped.locate(interval, &mut ledger), vec![2]);
         assert_eq!(stats.lfm_calls, 6);
@@ -74,11 +80,12 @@ mod tests {
     #[test]
     fn platform_agrees_with_software_search_on_random_reads() {
         let reference = genome::uniform(50_000, 11);
-        let (mut mapped, mut dpu, mut ledger) = setup(&reference);
+        let (mapped, mut injector, mut dpu, mut ledger) = setup(&reference);
         let oracle = mapped.index().clone();
         for start in (0..49_000).step_by(1_777) {
             let read = reference.subseq(start..start + 60);
-            let (interval, _) = exact_search(&mut mapped, &mut dpu, &read, &mut ledger);
+            let (interval, _) =
+                exact_search(&mapped, &mut injector, &mut dpu, &read, &mut ledger);
             let sw = oracle.backward_search(&read);
             match sw {
                 Some(expected) => assert_eq!(interval, expected, "read at {start}"),
@@ -91,9 +98,10 @@ mod tests {
     fn early_exit_saves_lfm_calls() {
         // A read whose suffix never occurs fails immediately.
         let reference: DnaSeq = "AAAAAAAAAA".parse().unwrap();
-        let (mut mapped, mut dpu, mut ledger) = setup(&reference);
+        let (mapped, mut injector, mut dpu, mut ledger) = setup(&reference);
         let read: DnaSeq = "AAAAAAAACT".parse().unwrap(); // rightmost T absent
-        let (interval, stats) = exact_search(&mut mapped, &mut dpu, &read, &mut ledger);
+        let (interval, stats) =
+            exact_search(&mapped, &mut injector, &mut dpu, &read, &mut ledger);
         assert!(interval.is_empty());
         assert_eq!(stats.bases_consumed, 1);
         assert_eq!(stats.lfm_calls, 2);
@@ -104,11 +112,12 @@ mod tests {
         // Genome spanning 3 sub-arrays; reads straddling 32768-base
         // boundaries must still match.
         let reference = genome::uniform(80_000, 13);
-        let (mut mapped, mut dpu, mut ledger) = setup(&reference);
+        let (mapped, mut injector, mut dpu, mut ledger) = setup(&reference);
         assert!(mapped.subarray_count() >= 3);
         for &start in &[32_700usize, 32_760, 65_500] {
             let read = reference.subseq(start..start + 100);
-            let (interval, _) = exact_search(&mut mapped, &mut dpu, &read, &mut ledger);
+            let (interval, _) =
+                exact_search(&mapped, &mut injector, &mut dpu, &read, &mut ledger);
             assert!(!interval.is_empty(), "boundary read at {start} failed");
             assert!(mapped.locate(interval, &mut ledger).contains(&start));
         }

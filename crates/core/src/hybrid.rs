@@ -86,14 +86,14 @@ pub fn seed_and_extend(
     for &offset in &seed_starts {
         let seed = read.subseq(offset..offset + config.seed_len);
         let (interval, _) = {
-            let (mapped, dpu, ledger) = aligner.platform_parts();
-            exact_search(mapped, dpu, &seed, ledger)
+            let (mapped, injector, dpu, ledger) = aligner.platform_parts();
+            exact_search(mapped, injector, dpu, &seed, ledger)
         };
         if interval.is_empty() || interval.count() as usize > config.max_candidates_per_seed {
             continue;
         }
         let positions = {
-            let (mapped, _, ledger) = aligner.platform_parts();
+            let (mapped, _, _, ledger) = aligner.platform_parts();
             mapped.locate(interval, ledger)
         };
         for p in positions {

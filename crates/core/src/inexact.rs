@@ -13,7 +13,7 @@ use std::collections::HashMap;
 
 use bioseq::{Base, DnaSeq};
 use fmindex::{EditBudget, InexactHit, SaInterval};
-use pimsim::{CycleLedger, Dpu};
+use pimsim::{CycleLedger, Dpu, FaultInjector};
 
 use crate::mapping::MappedIndex;
 
@@ -49,13 +49,14 @@ struct Frame {
 /// path uses [`inexact_search_first`], which mirrors the hardware's
 /// bounded backtracking.
 pub fn inexact_search(
-    mapped: &mut MappedIndex,
+    mapped: &MappedIndex,
+    injector: &mut FaultInjector,
     dpu: &mut Dpu,
     read: &DnaSeq,
     budget: EditBudget,
     ledger: &mut CycleLedger,
 ) -> (Vec<InexactHit>, InexactStats) {
-    search_impl(mapped, dpu, read, budget, ledger, false)
+    search_impl(mapped, injector, dpu, read, budget, ledger, false)
 }
 
 /// First-accept variant of Algorithm 2: depth-first with the match
@@ -68,18 +69,21 @@ pub fn inexact_search(
 /// The returned hit (if any) is always a member of the exhaustive hit
 /// set, though not necessarily the minimum-difference one.
 pub fn inexact_search_first(
-    mapped: &mut MappedIndex,
+    mapped: &MappedIndex,
+    injector: &mut FaultInjector,
     dpu: &mut Dpu,
     read: &DnaSeq,
     budget: EditBudget,
     ledger: &mut CycleLedger,
 ) -> (Option<InexactHit>, InexactStats) {
-    let (hits, stats) = search_impl(mapped, dpu, read, budget, ledger, true);
+    let (hits, stats) = search_impl(mapped, injector, dpu, read, budget, ledger, true);
     (hits.into_iter().next(), stats)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn search_impl(
-    mapped: &mut MappedIndex,
+    mapped: &MappedIndex,
+    injector: &mut FaultInjector,
     dpu: &mut Dpu,
     read: &DnaSeq,
     budget: EditBudget,
@@ -127,8 +131,8 @@ fn search_impl(
         // explored first (depth-first greedy continuation).
         let mut match_branch: Option<Frame> = None;
         for b in Base::ALL {
-            let low = mapped.lfm(b, frame.low as usize, ledger);
-            let high = mapped.lfm(b, frame.high as usize, ledger);
+            let low = mapped.lfm(b, frame.low as usize, injector, ledger);
+            let high = mapped.lfm(b, frame.high as usize, injector, ledger);
             stats.lfm_calls += 2;
             dpu.set_interval(low, high, ledger);
             if dpu.interval_empty() {
@@ -190,17 +194,18 @@ mod tests {
     use crate::config::PimAlignerConfig;
     use readsim::genome;
 
-    fn setup(reference: &DnaSeq) -> (MappedIndex, Dpu, CycleLedger) {
+    fn setup(reference: &DnaSeq) -> (MappedIndex, FaultInjector, Dpu, CycleLedger) {
         let config = PimAlignerConfig::baseline();
         let mapped = MappedIndex::build(reference, &config);
+        let injector = mapped.session_injector();
         let dpu = Dpu::new(*config.model());
-        (mapped, dpu, CycleLedger::new())
+        (mapped, injector, dpu, CycleLedger::new())
     }
 
     #[test]
     fn platform_matches_software_oracle_substitutions() {
         let reference = genome::uniform(3_000, 21);
-        let (mut mapped, mut dpu, mut ledger) = setup(&reference);
+        let (mapped, mut injector, mut dpu, mut ledger) = setup(&reference);
         let oracle = mapped.index().clone();
         for (start, z) in [(100usize, 0u8), (500, 1), (1_200, 2)] {
             let mut read = reference.subseq(start..start + 24);
@@ -213,7 +218,8 @@ mod tests {
                 read = DnaSeq::from_bases(bases);
             }
             let budget = EditBudget::substitutions_only(z);
-            let (hw, _) = inexact_search(&mut mapped, &mut dpu, &read, budget, &mut ledger);
+            let (hw, _) =
+                inexact_search(&mapped, &mut injector, &mut dpu, &read, budget, &mut ledger);
             let sw = oracle.search_inexact(&read, budget);
             assert_eq!(hw, sw, "mismatch at start {start} z {z}");
         }
@@ -222,14 +228,15 @@ mod tests {
     #[test]
     fn platform_matches_software_oracle_with_indels() {
         let reference = genome::uniform(1_500, 22);
-        let (mut mapped, mut dpu, mut ledger) = setup(&reference);
+        let (mapped, mut injector, mut dpu, mut ledger) = setup(&reference);
         let oracle = mapped.index().clone();
         // Read with one deleted base relative to the reference.
         let mut bases = reference.subseq(300..320).into_bases();
         bases.remove(10);
         let read = DnaSeq::from_bases(bases);
         let budget = EditBudget::edits(1);
-        let (hw, _) = inexact_search(&mut mapped, &mut dpu, &read, budget, &mut ledger);
+        let (hw, _) =
+            inexact_search(&mapped, &mut injector, &mut dpu, &read, budget, &mut ledger);
         let sw = oracle.search_inexact(&read, budget);
         assert_eq!(hw, sw);
         assert!(!hw.is_empty());
@@ -238,17 +245,19 @@ mod tests {
     #[test]
     fn stats_grow_with_budget() {
         let reference = genome::uniform(2_000, 23);
-        let (mut mapped, mut dpu, mut ledger) = setup(&reference);
+        let (mapped, mut injector, mut dpu, mut ledger) = setup(&reference);
         let read = reference.subseq(700..720);
         let (_, s0) = inexact_search(
-            &mut mapped,
+            &mapped,
+            &mut injector,
             &mut dpu,
             &read,
             EditBudget::substitutions_only(0),
             &mut ledger,
         );
         let (_, s2) = inexact_search(
-            &mut mapped,
+            &mapped,
+            &mut injector,
             &mut dpu,
             &read,
             EditBudget::substitutions_only(2),
@@ -262,15 +271,16 @@ mod tests {
     #[test]
     fn first_accept_hit_is_in_exhaustive_set() {
         let reference = genome::uniform(3_000, 25);
-        let (mut mapped, mut dpu, mut ledger) = setup(&reference);
+        let (mapped, mut injector, mut dpu, mut ledger) = setup(&reference);
         // One substitution at position 12.
         let mut bases = reference.subseq(900..940).into_bases();
         bases[12] = Base::from_rank((bases[12].rank() + 1) % 4);
         let read = DnaSeq::from_bases(bases);
         let budget = EditBudget::substitutions_only(2);
         let (first, fstats) =
-            inexact_search_first(&mut mapped, &mut dpu, &read, budget, &mut ledger);
-        let (all, astats) = inexact_search(&mut mapped, &mut dpu, &read, budget, &mut ledger);
+            inexact_search_first(&mapped, &mut injector, &mut dpu, &read, budget, &mut ledger);
+        let (all, astats) =
+            inexact_search(&mapped, &mut injector, &mut dpu, &read, budget, &mut ledger);
         let first = first.expect("mutated read must map");
         assert!(
             all.iter().any(|h| h.interval == first.interval),
@@ -289,10 +299,11 @@ mod tests {
         // The production mode must stay O(m)-ish on a clean read: the
         // match-first DFS walks straight down.
         let reference = genome::uniform(8_000, 26);
-        let (mut mapped, mut dpu, mut ledger) = setup(&reference);
+        let (mapped, mut injector, mut dpu, mut ledger) = setup(&reference);
         let read = reference.subseq(2_000..2_100);
         let (hit, stats) = inexact_search_first(
-            &mut mapped,
+            &mapped,
+            &mut injector,
             &mut dpu,
             &read,
             EditBudget::edits(2),
@@ -310,11 +321,12 @@ mod tests {
     #[test]
     fn zero_budget_reduces_to_exact() {
         let reference = genome::uniform(2_000, 24);
-        let (mut mapped, mut dpu, mut ledger) = setup(&reference);
+        let (mapped, mut injector, mut dpu, mut ledger) = setup(&reference);
         let oracle = mapped.index().clone();
         let read = reference.subseq(100..140);
         let (hits, _) = inexact_search(
-            &mut mapped,
+            &mapped,
+            &mut injector,
             &mut dpu,
             &read,
             EditBudget::substitutions_only(0),

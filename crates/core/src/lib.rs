@@ -49,12 +49,13 @@ mod inexact;
 mod mapping;
 mod paired;
 mod parallel;
+mod platform;
 mod report;
 mod verify;
 
 pub mod sam;
 
-pub use aligner::{AlignmentOutcome, BatchResult, MappedStrand, PimAligner};
+pub use aligner::{AlignSession, AlignmentOutcome, BatchResult, MappedStrand, PimAligner};
 pub use config::{AddMethod, PimAlignerConfig, RecoveryPolicy};
 pub use error::AlignError;
 pub use exact::{exact_search, ExactStats};
@@ -62,5 +63,6 @@ pub use hybrid::{seed_and_extend, HybridHit, SeedExtendConfig};
 pub use inexact::{inexact_search, inexact_search_first, InexactStats};
 pub use mapping::MappedIndex;
 pub use paired::{align_pair, Mate, PairConstraints, PairOutcome};
-pub use parallel::{align_batch_parallel, align_batch_parallel_both_strands};
+pub use parallel::{align_batch_parallel, align_batch_parallel_both_strands, BatchTotals};
+pub use platform::Platform;
 pub use report::{FaultTelemetry, PerfReport, BACKGROUND_W_PER_SUBARRAY};

@@ -8,13 +8,22 @@
 //! `LFM` is fully local: `XNOR_Match`, marker `MEM` and (method-I)
 //! `IM_ADD` all happen inside one sub-array.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use bioseq::{Base, DnaSeq};
 use fmindex::{FmIndex, SaInterval};
 use mram::array::ArrayModel;
+use mram::faults::FaultCampaign;
 use pimsim::costs::LogicalOp;
 use pimsim::{CycleLedger, FaultCounters, FaultInjector, SubArray, SubArrayLayout};
 
 use crate::config::{AddMethod, PimAlignerConfig};
+
+/// Process-wide count of [`MappedIndex::build`] invocations. The
+/// shared-platform contract — "the index is mapped into sub-arrays
+/// *once* and then queried in place" — is asserted against this counter
+/// by the integration tests; it has no runtime role.
+static BUILD_COUNT: AtomicU64 = AtomicU64::new(0);
 
 /// BWT bases (= Occ buckets × 128) one sub-array covers.
 const BASES_PER_SUBARRAY: usize = 256 * SubArrayLayout::BASES_PER_ROW;
@@ -24,6 +33,13 @@ const BASES_PER_SUBARRAY: usize = 256 * SubArrayLayout::BASES_PER_ROW;
 /// Holds the software [`FmIndex`] (the ground truth and the SA source)
 /// plus the loaded sub-arrays. The one-time pre-computation/mapping cost
 /// is recorded in its own ledger, separate from alignment-time work.
+///
+/// A built index is **immutable**: every query method takes `&self`, so
+/// one index can be shared (behind an `Arc`, see
+/// [`Platform`](crate::Platform)) by any number of concurrent alignment
+/// sessions. The only mutable alignment-time state — the seeded
+/// fault-injection stream — lives in the per-session
+/// [`FaultInjector`] that callers thread into [`MappedIndex::lfm`].
 ///
 /// # Examples
 ///
@@ -46,8 +62,12 @@ pub struct MappedIndex {
     mirrors: Vec<SubArray>,
     method: AddMethod,
     mapping_ledger: CycleLedger,
-    /// Seeded fault-campaign sampler (deterministic per build).
-    injector: FaultInjector,
+    /// The fault campaign the index was built under; sessions derive
+    /// their alignment-time injectors from it.
+    campaign: FaultCampaign,
+    /// Faults frozen into the arrays at mapping time (stuck-at cells);
+    /// counted once per build, not per session.
+    build_counters: FaultCounters,
 }
 
 impl MappedIndex {
@@ -55,6 +75,7 @@ impl MappedIndex {
     /// maps BWT + MT into sub-arrays (Fig. 6a partitioning). The bucket
     /// width is fixed at 128, one word line.
     pub fn build(reference: &DnaSeq, config: &PimAlignerConfig) -> MappedIndex {
+        BUILD_COUNT.fetch_add(1, Ordering::SeqCst);
         let index = FmIndex::builder()
             .bucket_width(SubArrayLayout::BASES_PER_ROW)
             .build(reference);
@@ -107,7 +128,9 @@ impl MappedIndex {
         // Stuck-at injection: each physical array (primaries and
         // mirrors alike) draws its own defect plan after its tables are
         // written. The data zones are write-once, so a post-load force
-        // is behaviourally a stuck cell.
+        // is behaviourally a stuck cell. The build-time injector is
+        // consumed here; alignment-time fault streams are per-session
+        // (see [`MappedIndex::session_injector`]).
         let mut injector = FaultInjector::new(config.fault_campaign());
         let cols = model.geometry().cols;
         for sa in subarrays.iter_mut().chain(mirrors.iter_mut()) {
@@ -121,8 +144,16 @@ impl MappedIndex {
             mirrors,
             method: config.method(),
             mapping_ledger: ledger,
-            injector,
+            campaign: config.fault_campaign(),
+            build_counters: injector.counters(),
         }
+    }
+
+    /// Process-wide number of [`MappedIndex::build`] invocations so far
+    /// (monotone; used by tests asserting the index is built exactly
+    /// once per run regardless of worker-thread count).
+    pub fn build_count() -> u64 {
+        BUILD_COUNT.load(Ordering::SeqCst)
     }
 
     /// The underlying software index (ground truth, SA storage).
@@ -147,14 +178,35 @@ impl MappedIndex {
         &self.mapping_ledger
     }
 
-    /// Injection counts accumulated by the fault campaign so far.
-    pub fn fault_counters(&self) -> FaultCounters {
-        self.injector.counters()
+    /// Faults frozen into the arrays when the tables were mapped
+    /// (stuck-at cells). One-time build state: telemetry layers count
+    /// these once per platform, never per session.
+    pub fn build_fault_counters(&self) -> FaultCounters {
+        self.build_counters
     }
 
-    /// `true` when the build-time fault campaign can inject faults.
+    /// The fault campaign the index was built under.
+    pub fn campaign(&self) -> FaultCampaign {
+        self.campaign
+    }
+
+    /// A fresh alignment-time fault injector seeded from the campaign
+    /// (the stream a sequential session replays).
+    pub fn session_injector(&self) -> FaultInjector {
+        FaultInjector::new(self.campaign)
+    }
+
+    /// A fresh alignment-time injector for parallel worker `worker`:
+    /// worker 0 replays the sequential stream bit-identically, higher
+    /// workers draw decorrelated sub-seeds
+    /// ([`FaultCampaign::for_worker`]).
+    pub fn worker_injector(&self, worker: u64) -> FaultInjector {
+        FaultInjector::new(self.campaign.for_worker(worker))
+    }
+
+    /// `true` when the fault campaign can inject faults.
     pub fn faults_active(&self) -> bool {
-        self.injector.is_active()
+        self.campaign.is_active()
     }
 
     /// Executes the hardware `LFM(MT, nt, id)` procedure (Algorithm 1
@@ -166,10 +218,20 @@ impl MappedIndex {
     /// 4. `IM_ADD` of marker + count (in the mirror for method-II,
     ///    charging the operand transfer).
     ///
+    /// The index itself is read-only; the session's `injector` supplies
+    /// the alignment-time fault stream (transient bursts, sense
+    /// misreads, carry kills) and accumulates the injection counters.
+    ///
     /// # Panics
     ///
     /// Panics if `id` exceeds the indexed text length.
-    pub fn lfm(&mut self, nt: Base, id: usize, ledger: &mut CycleLedger) -> u32 {
+    pub fn lfm(
+        &self,
+        nt: Base,
+        id: usize,
+        injector: &mut FaultInjector,
+        ledger: &mut CycleLedger,
+    ) -> u32 {
         assert!(id <= self.index.text_len(), "LFM index {id} out of range");
         let bucket = id / SubArrayLayout::BASES_PER_ROW;
         let within = id % SubArrayLayout::BASES_PER_ROW;
@@ -188,7 +250,7 @@ impl MappedIndex {
             LogicalOp::MarkerRead.charge(self.subarrays[0].model(), ledger);
             (0, self.index.marker_table().marker(nt, bucket))
         } else {
-            let sub = &mut self.subarrays[s];
+            let sub = &self.subarrays[s];
             let mut matches = sub.xnor_match(lb, nt, ledger);
             // The 2-bit code space cannot represent `$`, so the sentinel
             // cell is stored with a placeholder code (T). The DPU knows
@@ -203,33 +265,33 @@ impl MappedIndex {
             // Fault injection (DESIGN.md §8): a whole-row transient
             // burst may corrupt this read, and each match bit may
             // additionally misread with the campaign's XNOR probability.
-            if self.injector.is_active() {
-                self.injector.transient_row_fault(&mut matches);
-                self.injector.corrupt_match_bits(&mut matches[..within]);
+            if injector.is_active() {
+                injector.transient_row_fault(&mut matches);
+                injector.corrupt_match_bits(&mut matches[..within]);
             }
             let count = matches[..within].iter().filter(|&&m| m).count() as u32;
             (count, marker)
         };
-        let carry_fault = self.injector.carry_fault_bit();
+        let carry_fault = injector.carry_fault_bit();
         let sum = match self.method {
             AddMethod::InPlace => {
                 let idx = s.min(self.subarrays.len() - 1);
-                let sub = &mut self.subarrays[idx];
+                let sub = &self.subarrays[idx];
                 match carry_fault {
-                    Some(k) => sub.im_add32_faulty(marker, count, k, ledger),
-                    None => sub.im_add32(marker, count, ledger),
+                    Some(k) => sub.im_add32_shared_faulty(marker, count, k, ledger),
+                    None => sub.im_add32_shared(marker, count, ledger),
                 }
             }
             AddMethod::Mirrored => {
                 // Operand transfer into the mirror's write port.
                 let idx = s.min(self.mirrors.len() - 1);
-                let mirror = &mut self.mirrors[idx];
+                let mirror = &self.mirrors[idx];
                 for _ in 0..7 {
                     LogicalOp::RowWrite.charge(mirror.model(), ledger);
                 }
                 match carry_fault {
-                    Some(k) => mirror.im_add32_faulty(marker, count, k, ledger),
-                    None => mirror.im_add32(marker, count, ledger),
+                    Some(k) => mirror.im_add32_shared_faulty(marker, count, k, ledger),
+                    None => mirror.im_add32_shared(marker, count, ledger),
                 }
             }
         };
@@ -286,8 +348,9 @@ mod tests {
     #[test]
     fn hardware_lfm_matches_software_oracle() {
         let reference = genome::uniform(70_000, 3);
-        let mut m = mapped(&reference, AddMethod::InPlace);
+        let m = mapped(&reference, AddMethod::InPlace);
         let oracle = m.index().clone();
+        let mut injector = m.session_injector();
         let mut ledger = CycleLedger::new();
         // Dense sweep near bucket boundaries plus random interior points.
         let mut ids: Vec<usize> = (0..40).map(|k| k * 1_777 % oracle.text_len()).collect();
@@ -299,7 +362,7 @@ mod tests {
         ids.push(oracle.text_len());
         for id in ids {
             for base in Base::ALL {
-                let hw = m.lfm(base, id, &mut ledger);
+                let hw = m.lfm(base, id, &mut injector, &mut ledger);
                 let sw = oracle.marker_table().lfm(oracle.bwt(), base, id);
                 assert_eq!(hw, sw, "LFM mismatch at id={id} base={base}");
             }
@@ -309,13 +372,14 @@ mod tests {
     #[test]
     fn mirrored_lfm_matches_software_oracle() {
         let reference = genome::uniform(20_000, 4);
-        let mut m = mapped(&reference, AddMethod::Mirrored);
+        let m = mapped(&reference, AddMethod::Mirrored);
         let oracle = m.index().clone();
+        let mut injector = m.session_injector();
         let mut ledger = CycleLedger::new();
         for id in (0..oracle.text_len()).step_by(977) {
             for base in Base::ALL {
                 assert_eq!(
-                    m.lfm(base, id, &mut ledger),
+                    m.lfm(base, id, &mut injector, &mut ledger),
                     oracle.marker_table().lfm(oracle.bwt(), base, id)
                 );
             }
@@ -342,8 +406,42 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn lfm_past_text_panics() {
         let reference: DnaSeq = "ACGT".parse().unwrap();
-        let mut m = mapped(&reference, AddMethod::InPlace);
+        let m = mapped(&reference, AddMethod::InPlace);
+        let mut injector = m.session_injector();
         let mut ledger = CycleLedger::new();
-        let _ = m.lfm(Base::A, 99, &mut ledger);
+        let _ = m.lfm(Base::A, 99, &mut injector, &mut ledger);
+    }
+
+    #[test]
+    fn build_count_increments_per_build() {
+        let before = MappedIndex::build_count();
+        let _ = mapped(&genome::uniform(2_000, 6), AddMethod::InPlace);
+        assert!(MappedIndex::build_count() > before);
+    }
+
+    #[test]
+    fn worker_zero_injector_replays_the_sequential_stream() {
+        use mram::faults::FaultModel;
+        let config = PimAlignerConfig::baseline().with_fault_campaign(
+            FaultCampaign::seeded(17).with_model(FaultModel::with_probabilities(0.05, 0.0)),
+        );
+        let m = MappedIndex::build(&genome::uniform(2_000, 7), &config);
+        let mut a = m.session_injector();
+        let mut b = m.worker_injector(0);
+        let mut c = m.worker_injector(1);
+        let mut same = true;
+        let mut diverged = false;
+        for _ in 0..64 {
+            let mut ra = vec![false; 128];
+            let mut rb = vec![false; 128];
+            let mut rc = vec![false; 128];
+            a.corrupt_match_bits(&mut ra);
+            b.corrupt_match_bits(&mut rb);
+            c.corrupt_match_bits(&mut rc);
+            same &= ra == rb;
+            diverged |= ra != rc;
+        }
+        assert!(same, "worker 0 must replay the sequential stream");
+        assert!(diverged, "worker 1 must draw a decorrelated stream");
     }
 }

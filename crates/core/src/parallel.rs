@@ -1,39 +1,123 @@
-//! Host-parallel batch alignment.
+//! Host-parallel batch alignment over one shared platform.
 //!
 //! The simulated chip is internally parallel (144 pipeline units, see the
 //! performance model); this module parallelises the *simulation itself*
-//! across host threads so large batches evaluate faster. Each worker owns
-//! a private platform instance (threads model disjoint groups of
-//! sub-array pipelines working on disjoint reads — exactly the paper's
-//! partitioning), and the ledgers and fault telemetry merge afterwards,
-//! so the performance report is identical to a sequential run.
+//! across host threads so large batches evaluate faster. All workers
+//! share the one [`Platform`] — [`MappedIndex`](crate::MappedIndex) is
+//! built exactly once per run, never per worker — and each spawns its own
+//! [`AlignSession`](crate::AlignSession) holding the mutable per-worker
+//! state (DPU, ledger, decorrelated fault stream). Threads model disjoint
+//! groups of sub-array pipelines working on disjoint reads — exactly the
+//! paper's partitioning — and the ledgers and fault telemetry merge
+//! afterwards, so the performance report is identical to a sequential
+//! run.
+//!
+//! Work is distributed dynamically: an atomic cursor hands out small
+//! chunks, so a worker that drew cheap reads steals the next chunk
+//! instead of idling behind a worker stuck on expensive backtracking.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use bioseq::DnaSeq;
 use parking_lot::Mutex;
 use pimsim::CycleLedger;
 
-use crate::aligner::{AlignmentOutcome, BatchResult, MappedStrand, PimAligner};
+use crate::aligner::{AlignmentOutcome, BatchResult, MappedStrand};
 use crate::config::PimAlignerConfig;
 use crate::error::AlignError;
+use crate::platform::Platform;
 use crate::report::{FaultTelemetry, PerfReport};
 
+/// Workers within one parallel call are decorrelated by worker index;
+/// successive streaming chunks (epochs) shift by this stride so chunk 1's
+/// worker 0 does not replay chunk 0's worker 0. Epoch 0 / worker 0 is
+/// token 0 — the identity seed — so a single-thread run of the first
+/// chunk is bit-identical to a sequential session.
+const EPOCH_STRIDE: u64 = 65_536;
+
+/// Mergeable accounting for a (possibly streamed) parallel alignment:
+/// read/query counters, the merged alignment-time ledger and the
+/// session-side fault telemetry.
+///
+/// Totals accumulate across chunks via [`BatchTotals::merge`];
+/// [`Platform::batch_report`] turns the final totals into a
+/// [`PerfReport`], adding the platform's one-time build fault counters
+/// exactly once.
+#[derive(Debug, Clone)]
+pub struct BatchTotals {
+    /// Input reads aligned (each read counts once, whichever strands
+    /// were tried).
+    pub reads: u64,
+    /// `align_read` invocations (≥ `reads`; the both-strands path may
+    /// try a read twice).
+    pub queries: u64,
+    /// Cumulative `LFM` invocations.
+    pub lfm_calls: u64,
+    /// Reads resolved by the exact stage. A read that maps exactly on
+    /// either strand counts once.
+    pub exact_hits: u64,
+    /// Merged alignment-time cycle/energy ledger across all workers.
+    pub ledger: CycleLedger,
+    /// Merged session telemetry (injection + recovery counters); the
+    /// platform's one-time build counters are *not* included — they are
+    /// added once by [`Platform::batch_report`].
+    pub telemetry: FaultTelemetry,
+}
+
+impl BatchTotals {
+    /// Empty totals, ready to merge into.
+    pub fn new() -> BatchTotals {
+        BatchTotals {
+            reads: 0,
+            queries: 0,
+            lfm_calls: 0,
+            exact_hits: 0,
+            ledger: CycleLedger::new(),
+            telemetry: FaultTelemetry::default(),
+        }
+    }
+
+    /// Accumulates another chunk's totals into this one.
+    pub fn merge(&mut self, other: &BatchTotals) {
+        self.reads += other.reads;
+        self.queries += other.queries;
+        self.lfm_calls += other.lfm_calls;
+        self.exact_hits += other.exact_hits;
+        self.ledger.merge(&other.ledger);
+        self.telemetry.merge(&other.telemetry);
+    }
+
+    /// Fraction of *reads* resolved by the exact stage (paper §III).
+    ///
+    /// Normalised per read, not per `align_read` call: on the
+    /// both-strands path a reverse-mapped read issues two queries but is
+    /// still one read, and dividing by queries would understate the
+    /// stage-1 rate.
+    pub fn exact_fraction(&self) -> f64 {
+        self.exact_hits as f64 / self.reads as f64
+    }
+}
+
+impl Default for BatchTotals {
+    fn default() -> Self {
+        BatchTotals::new()
+    }
+}
+
 struct WorkerOut {
-    start: usize,
-    outcomes: Vec<(AlignmentOutcome, MappedStrand)>,
-    ledger: CycleLedger,
-    lfm_calls: u64,
-    queries: u64,
-    exact_hits: u64,
-    telemetry: FaultTelemetry,
+    /// Claimed chunks as `(start_index, outcomes)`, reassembled into
+    /// input order after the scope joins.
+    chunks: Vec<(usize, Vec<(AlignmentOutcome, MappedStrand)>)>,
+    totals: BatchTotals,
 }
 
 fn run_workers(
-    reference: &DnaSeq,
-    config: &PimAlignerConfig,
+    platform: &Platform,
     reads: &[DnaSeq],
     threads: usize,
     both_strands: bool,
-) -> Result<(BatchResult, Vec<MappedStrand>), AlignError> {
+    epoch: u64,
+) -> Result<(Vec<(AlignmentOutcome, MappedStrand)>, BatchTotals), AlignError> {
     if reads.is_empty() {
         return Err(AlignError::EmptyBatch);
     }
@@ -41,32 +125,54 @@ fn run_workers(
         return Err(AlignError::NoThreads);
     }
     let threads = threads.min(reads.len());
-    let chunk = reads.len().div_ceil(threads);
+    // Dynamic chunking: ~4 chunks per worker so stragglers rebalance,
+    // one chunk total when sequential (no stealing possible).
+    let grain = if threads == 1 {
+        reads.len()
+    } else {
+        reads.len().div_ceil(threads * 4).max(1)
+    };
 
+    let cursor = AtomicUsize::new(0);
     let collected: Mutex<Vec<WorkerOut>> = Mutex::new(Vec::with_capacity(threads));
     let scope_result = crossbeam::scope(|scope| {
-        for (w, slice) in reads.chunks(chunk).enumerate() {
+        for w in 0..threads {
+            let cursor = &cursor;
             let collected = &collected;
             scope.spawn(move |_| {
-                let mut aligner = PimAligner::new(reference, config.clone());
-                let outcomes: Vec<(AlignmentOutcome, MappedStrand)> = slice
-                    .iter()
-                    .map(|r| {
-                        if both_strands {
-                            aligner.align_read_both_strands(r)
-                        } else {
-                            (aligner.align_read(r), MappedStrand::Forward)
-                        }
-                    })
-                    .collect();
+                let token = epoch * EPOCH_STRIDE + w as u64;
+                let mut session = platform.worker_session(token);
+                let mut chunks = Vec::new();
+                let mut reads_done = 0u64;
+                loop {
+                    let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                    if start >= reads.len() {
+                        break;
+                    }
+                    let end = (start + grain).min(reads.len());
+                    let outcomes: Vec<(AlignmentOutcome, MappedStrand)> = reads[start..end]
+                        .iter()
+                        .map(|r| {
+                            if both_strands {
+                                session.align_read_both_strands(r)
+                            } else {
+                                (session.align_read(r), MappedStrand::Forward)
+                            }
+                        })
+                        .collect();
+                    reads_done += outcomes.len() as u64;
+                    chunks.push((start, outcomes));
+                }
                 collected.lock().push(WorkerOut {
-                    start: w * chunk,
-                    outcomes,
-                    ledger: aligner.ledger().clone(),
-                    lfm_calls: aligner.lfm_calls(),
-                    queries: aligner.queries(),
-                    exact_hits: aligner.exact_hits(),
-                    telemetry: aligner.fault_telemetry(),
+                    chunks,
+                    totals: BatchTotals {
+                        reads: reads_done,
+                        queries: session.queries(),
+                        lfm_calls: session.lfm_calls(),
+                        exact_hits: session.exact_hits(),
+                        ledger: session.ledger().clone(),
+                        telemetry: session.session_telemetry(),
+                    },
                 });
             });
         }
@@ -77,45 +183,144 @@ fn run_workers(
         std::panic::resume_unwind(payload);
     }
 
-    let mut workers = collected.into_inner();
-    workers.sort_by_key(|w| w.start);
-    let mut outcomes = Vec::with_capacity(reads.len());
-    let mut strands = Vec::with_capacity(reads.len());
-    let mut ledger = CycleLedger::new();
-    let mut lfm_calls = 0u64;
-    let mut queries = 0u64;
-    let mut exact_hits = 0u64;
-    let mut telemetry = FaultTelemetry::default();
+    let workers = collected.into_inner();
+    let mut totals = BatchTotals::new();
+    let mut chunks: Vec<(usize, Vec<(AlignmentOutcome, MappedStrand)>)> = Vec::new();
     for w in workers {
-        for (outcome, strand) in w.outcomes {
+        totals.merge(&w.totals);
+        chunks.extend(w.chunks);
+    }
+    chunks.sort_by_key(|&(start, _)| start);
+    let mut outcomes = Vec::with_capacity(reads.len());
+    for (_, chunk) in chunks {
+        outcomes.extend(chunk);
+    }
+    assert_eq!(outcomes.len(), reads.len(), "every read exactly once");
+    assert_eq!(totals.reads, reads.len() as u64);
+    // Cross-path accounting consistency: forward-only issues exactly one
+    // query per read; both-strands at most two.
+    assert!(
+        totals.queries >= totals.reads && totals.queries <= 2 * totals.reads,
+        "query count {} inconsistent with {} reads",
+        totals.queries,
+        totals.reads
+    );
+    if !both_strands {
+        assert_eq!(totals.queries, totals.reads);
+    }
+    Ok((outcomes, totals))
+}
+
+impl Platform {
+    /// Aligns one chunk of reads across `threads` shared-platform worker
+    /// sessions, returning per-read `(outcome, strand)` pairs in input
+    /// order plus the chunk's mergeable [`BatchTotals`].
+    ///
+    /// This is the streaming building block: callers accumulate totals
+    /// over chunks (`epoch` decorrelates the fault streams between
+    /// chunks) and produce one report at the end with
+    /// [`Platform::batch_report`].
+    ///
+    /// # Errors
+    ///
+    /// [`AlignError::EmptyBatch`] when `reads` is empty,
+    /// [`AlignError::NoThreads`] when `threads == 0`.
+    pub fn align_chunk_parallel(
+        &self,
+        reads: &[DnaSeq],
+        threads: usize,
+        epoch: u64,
+        both_strands: bool,
+    ) -> Result<(Vec<(AlignmentOutcome, MappedStrand)>, BatchTotals), AlignError> {
+        run_workers(self, reads, threads, both_strands, epoch)
+    }
+
+    /// Aligns `reads` (forward strand only) using `threads` worker
+    /// sessions over this shared platform.
+    ///
+    /// # Errors
+    ///
+    /// [`AlignError::EmptyBatch`] when `reads` is empty,
+    /// [`AlignError::NoThreads`] when `threads == 0`.
+    pub fn align_batch_parallel(
+        &self,
+        reads: &[DnaSeq],
+        threads: usize,
+    ) -> Result<BatchResult, AlignError> {
+        let (pairs, totals) = run_workers(self, reads, threads, false, 0)?;
+        Ok(self.batch_result(pairs, &totals).0)
+    }
+
+    /// Like [`Platform::align_batch_parallel`] but each read also
+    /// retries as its reverse complement when the forward orientation
+    /// fails, returning the mapped strand per read.
+    ///
+    /// # Errors
+    ///
+    /// [`AlignError::EmptyBatch`] when `reads` is empty,
+    /// [`AlignError::NoThreads`] when `threads == 0`.
+    pub fn align_batch_parallel_both_strands(
+        &self,
+        reads: &[DnaSeq],
+        threads: usize,
+    ) -> Result<(BatchResult, Vec<MappedStrand>), AlignError> {
+        let (pairs, totals) = run_workers(self, reads, threads, true, 0)?;
+        Ok(self.batch_result(pairs, &totals))
+    }
+
+    /// The performance report for accumulated [`BatchTotals`]: the
+    /// merged alignment-time ledger and counters, with the platform's
+    /// one-time build fault counters (stuck cells planted while mapping)
+    /// added exactly once — not once per worker or per chunk.
+    pub fn batch_report(&self, totals: &BatchTotals) -> PerfReport {
+        let mut report = PerfReport::from_batch(
+            self.config(),
+            &totals.ledger,
+            totals.queries,
+            totals.lfm_calls,
+        );
+        let build = self.mapped().build_fault_counters();
+        let mut faults = totals.telemetry;
+        faults.stuck_cells += build.stuck_cells;
+        faults.xnor_bit_flips += build.xnor_bit_flips;
+        faults.transient_row_faults += build.transient_row_faults;
+        faults.carry_faults += build.carry_faults;
+        report.faults = faults;
+        report
+    }
+
+    fn batch_result(
+        &self,
+        pairs: Vec<(AlignmentOutcome, MappedStrand)>,
+        totals: &BatchTotals,
+    ) -> (BatchResult, Vec<MappedStrand>) {
+        let report = self.batch_report(totals);
+        let mut outcomes = Vec::with_capacity(pairs.len());
+        let mut strands = Vec::with_capacity(pairs.len());
+        for (outcome, strand) in pairs {
             outcomes.push(outcome);
             strands.push(strand);
         }
-        ledger.merge(&w.ledger);
-        lfm_calls += w.lfm_calls;
-        queries += w.queries;
-        exact_hits += w.exact_hits;
-        telemetry.merge(&w.telemetry);
+        (
+            BatchResult {
+                outcomes,
+                report,
+                exact_fraction: totals.exact_fraction(),
+            },
+            strands,
+        )
     }
-    let mut report = PerfReport::from_batch(config, &ledger, queries, lfm_calls);
-    report.faults = telemetry;
-    Ok((
-        BatchResult {
-            outcomes,
-            report,
-            exact_fraction: exact_hits as f64 / queries as f64,
-        },
-        strands,
-    ))
 }
 
-/// Aligns `reads` (forward strand only) using `threads` worker threads,
-/// each with its own platform instance over `reference`.
+/// Aligns `reads` (forward strand only) using `threads` worker threads
+/// sharing one platform built over `reference`.
 ///
-/// Outcomes are returned in input order and are identical to a
-/// sequential [`PimAligner::align_batch`] run with an ideal fault model
-/// (fault injection is per-instance pseudo-random, so faulty runs are
-/// only statistically equivalent).
+/// The index is built exactly once — workers share it through the
+/// [`Platform`] — and outcomes are returned in input order, identical to
+/// a sequential [`PimAligner::align_batch`](crate::PimAligner::align_batch)
+/// run with an ideal fault model
+/// (fault injection draws per-worker decorrelated streams, so faulty runs
+/// are only statistically equivalent).
 ///
 /// # Errors
 ///
@@ -127,7 +332,13 @@ pub fn align_batch_parallel(
     reads: &[DnaSeq],
     threads: usize,
 ) -> Result<BatchResult, AlignError> {
-    run_workers(reference, config, reads, threads, false).map(|(batch, _)| batch)
+    if reads.is_empty() {
+        return Err(AlignError::EmptyBatch);
+    }
+    if threads == 0 {
+        return Err(AlignError::NoThreads);
+    }
+    Platform::new(reference, config.clone()).align_batch_parallel(reads, threads)
 }
 
 /// Like [`align_batch_parallel`] but each read also retries as its
@@ -144,12 +355,19 @@ pub fn align_batch_parallel_both_strands(
     reads: &[DnaSeq],
     threads: usize,
 ) -> Result<(BatchResult, Vec<MappedStrand>), AlignError> {
-    run_workers(reference, config, reads, threads, true)
+    if reads.is_empty() {
+        return Err(AlignError::EmptyBatch);
+    }
+    if threads == 0 {
+        return Err(AlignError::NoThreads);
+    }
+    Platform::new(reference, config.clone()).align_batch_parallel_both_strands(reads, threads)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::aligner::PimAligner;
     use readsim::{genome, ReadSimulator, SimProfile};
 
     fn workload() -> (DnaSeq, Vec<DnaSeq>) {
@@ -238,6 +456,51 @@ mod tests {
     }
 
     #[test]
+    fn exact_fraction_is_per_read_on_both_strands_path() {
+        // Two reads, both exact — one forward, one reverse-complement.
+        // The reverse read issues two align_read queries; the fraction
+        // must still be per read (1.0), not per query (2/3).
+        let reference = genome::uniform(20_000, 404);
+        let reads = vec![
+            reference.subseq(500..560),
+            reference.subseq(3_000..3_060).reverse_complement(),
+        ];
+        let (result, _) = align_batch_parallel_both_strands(
+            &reference,
+            &PimAlignerConfig::baseline(),
+            &reads,
+            2,
+        )
+        .unwrap();
+        assert!(result.outcomes.iter().all(|o| o.is_mapped()));
+        assert_eq!(result.exact_fraction, 1.0);
+        // The forward-only path agrees with the sequential definition.
+        let fwd_only =
+            align_batch_parallel(&reference, &PimAlignerConfig::baseline(), &reads, 2).unwrap();
+        assert!((0.0..=1.0).contains(&fwd_only.exact_fraction));
+    }
+
+    #[test]
+    fn chunked_epochs_merge_into_one_report() {
+        let (reference, reads) = workload();
+        let platform = Platform::new(&reference, PimAlignerConfig::baseline());
+        let mut totals = BatchTotals::new();
+        let mut outcomes = Vec::new();
+        for (epoch, chunk) in reads.chunks(16).enumerate() {
+            let (pairs, t) = platform
+                .align_chunk_parallel(chunk, 3, epoch as u64, false)
+                .unwrap();
+            totals.merge(&t);
+            outcomes.extend(pairs.into_iter().map(|(o, _)| o));
+        }
+        let whole = platform.align_batch_parallel(&reads, 3).unwrap();
+        assert_eq!(outcomes, whole.outcomes);
+        assert_eq!(totals.reads, reads.len() as u64);
+        let report = platform.batch_report(&totals);
+        assert_eq!(report.lfm_calls, whole.report.lfm_calls);
+    }
+
+    #[test]
     fn parallel_merges_fault_telemetry() {
         use crate::config::RecoveryPolicy;
         use mram::faults::{FaultCampaign, FaultModel};
@@ -254,5 +517,35 @@ mod tests {
         // Corrupted rungs can come up Unmapped (nothing to verify), so
         // only a lower bound on verification activity is guaranteed.
         assert!(t.verifications > 0, "workers must verify outcomes: {t:?}");
+    }
+
+    #[test]
+    fn workers_draw_decorrelated_fault_streams() {
+        use mram::faults::{FaultCampaign, FaultModel};
+        let (reference, reads) = workload();
+        let config = PimAlignerConfig::baseline().with_fault_campaign(
+            FaultCampaign::seeded(77).with_model(FaultModel::with_probabilities(5e-3, 0.0)),
+        );
+        let platform = Platform::new(&reference, config);
+        // Two workers aligning the *same* reads must not inject the same
+        // fault pattern (pre-fix they shared one seed and were fully
+        // correlated).
+        let mut s0 = platform.worker_session(0);
+        let mut s1 = platform.worker_session(1);
+        let out0: Vec<AlignmentOutcome> = reads.iter().map(|r| s0.align_read(r)).collect();
+        let out1: Vec<AlignmentOutcome> = reads.iter().map(|r| s1.align_read(r)).collect();
+        let t0 = s0.session_telemetry();
+        let t1 = s1.session_telemetry();
+        assert!(t0.xnor_bit_flips > 0 && t1.xnor_bit_flips > 0);
+        assert!(
+            t0.xnor_bit_flips != t1.xnor_bit_flips || out0 != out1,
+            "workers 0 and 1 replayed an identical fault history"
+        );
+        // Worker 0 replays the sequential session's stream bit-identically:
+        // a fresh session from the same platform draws the same faults.
+        let mut replay = platform.session();
+        let out_replay: Vec<AlignmentOutcome> = reads.iter().map(|r| replay.align_read(r)).collect();
+        assert_eq!(out0, out_replay);
+        assert_eq!(s0.session_telemetry(), replay.session_telemetry());
     }
 }

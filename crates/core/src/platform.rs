@@ -1,0 +1,127 @@
+//! The shared, immutable platform half of the aligner.
+//!
+//! The paper's premise is that the BWT/FM-index is mapped into the
+//! SOT-MRAM sub-arrays **once** and then queried in place. [`Platform`]
+//! is that one-time artifact in software form: the reference and the
+//! [`MappedIndex`] behind `Arc`s plus the configuration, built exactly
+//! once per run and shared — by clone of the cheap handles — across any
+//! number of host worker threads. All mutable per-query state (the DPU
+//! registers, the cycle ledger, the alignment-time fault-injection
+//! stream, the telemetry counters) lives in [`AlignSession`]s spawned
+//! from the platform.
+
+use std::sync::Arc;
+
+use bioseq::DnaSeq;
+
+use crate::aligner::AlignSession;
+use crate::config::PimAlignerConfig;
+use crate::mapping::MappedIndex;
+
+/// The immutable, shareable aligner platform: reference genome + mapped
+/// FM-index + configuration.
+///
+/// Cloning a `Platform` clones two `Arc` handles and the configuration —
+/// it never rebuilds the index. [`MappedIndex::build`] runs exactly once,
+/// inside [`Platform::new`].
+///
+/// # Examples
+///
+/// ```
+/// use bioseq::DnaSeq;
+/// use pim_aligner::{AlignmentOutcome, Platform, PimAlignerConfig};
+///
+/// # fn main() -> Result<(), bioseq::ParseSeqError> {
+/// let reference: DnaSeq = "TGCTA".parse()?;
+/// let platform = Platform::new(&reference, PimAlignerConfig::baseline());
+/// // Sessions share the one mapped index; each holds only mutable state.
+/// let mut session = platform.session();
+/// let outcome = session.align_read(&"CTA".parse()?);
+/// assert_eq!(outcome, AlignmentOutcome::Exact { positions: vec![2] });
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Platform {
+    reference: Arc<DnaSeq>,
+    mapped: Arc<MappedIndex>,
+    config: PimAlignerConfig,
+}
+
+impl Platform {
+    /// Builds the platform over a reference genome: FM-index
+    /// construction plus sub-array mapping, exactly once. The one-time
+    /// cost is kept in the index's mapping ledger.
+    pub fn new(reference: &DnaSeq, config: PimAlignerConfig) -> Platform {
+        let mapped = Arc::new(MappedIndex::build(reference, &config));
+        Platform {
+            reference: Arc::new(reference.clone()),
+            mapped,
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PimAlignerConfig {
+        &self.config
+    }
+
+    /// The indexed reference genome.
+    pub fn reference(&self) -> &DnaSeq {
+        &self.reference
+    }
+
+    /// The shared mapped index (sub-arrays + software ground truth).
+    pub fn mapped(&self) -> &MappedIndex {
+        &self.mapped
+    }
+
+    /// Spawns a sequential alignment session. Its fault-injection stream
+    /// is seeded straight from the campaign, so it replays bit-identically
+    /// to the pre-split `PimAligner` behaviour.
+    pub fn session(&self) -> AlignSession {
+        self.worker_session(0)
+    }
+
+    /// Spawns the alignment session for parallel worker `worker`:
+    /// worker 0 replays the sequential fault stream, workers > 0 draw
+    /// decorrelated sub-seeds
+    /// ([`FaultCampaign::for_worker`](mram::faults::FaultCampaign::for_worker)).
+    pub fn worker_session(&self, worker: u64) -> AlignSession {
+        AlignSession::for_platform(self.clone(), worker)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use readsim::genome;
+
+    #[test]
+    fn clone_shares_the_mapped_index() {
+        let reference = genome::uniform(3_000, 51);
+        let platform = Platform::new(&reference, PimAlignerConfig::baseline());
+        let before = MappedIndex::build_count();
+        let clone = platform.clone();
+        assert_eq!(MappedIndex::build_count(), before, "clone must not rebuild");
+        assert!(std::ptr::eq(platform.mapped(), clone.mapped()));
+        assert!(std::ptr::eq(platform.reference(), clone.reference()));
+    }
+
+    #[test]
+    fn sessions_share_one_index_build() {
+        let reference = genome::uniform(3_000, 52);
+        let platform = Platform::new(&reference, PimAlignerConfig::baseline());
+        let before = MappedIndex::build_count();
+        let read = reference.subseq(100..160);
+        for w in 0..4 {
+            let mut session = platform.worker_session(w);
+            assert!(session.align_read(&read).is_mapped());
+        }
+        assert_eq!(
+            MappedIndex::build_count(),
+            before,
+            "sessions must never rebuild the index"
+        );
+    }
+}

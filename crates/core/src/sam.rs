@@ -93,7 +93,6 @@ pub fn record_for(
     outcome: &AlignmentOutcome,
     strand: MappedStrand,
 ) -> SamRecord {
-    let qual = quality.map_or_else(|| "*".to_owned(), QualityString::to_fastq);
     match outcome {
         AlignmentOutcome::Unmapped => SamRecord {
             qname: qname.to_owned(),
@@ -103,7 +102,7 @@ pub fn record_for(
             mapq: 0,
             cigar: "*".to_owned(),
             seq: read.to_string(),
-            qual,
+            qual: quality.map_or_else(|| "*".to_owned(), QualityString::to_fastq),
             edit_distance: None,
         },
         AlignmentOutcome::Exact { positions } | AlignmentOutcome::Inexact { positions, .. } => {
@@ -112,11 +111,20 @@ pub fn record_for(
                 _ => 0,
             };
             let mut flag = 0u16;
-            let seq = match strand {
-                MappedStrand::Forward => read.to_string(),
+            // SAM stores SEQ/QUAL in reference orientation: a 0x10 record
+            // carries the reverse complement of the read as sequenced,
+            // with the quality string reversed to match.
+            let (seq, qual) = match strand {
+                MappedStrand::Forward => (
+                    read.to_string(),
+                    quality.map_or_else(|| "*".to_owned(), QualityString::to_fastq),
+                ),
                 MappedStrand::Reverse => {
                     flag |= flags::REVERSE;
-                    read.to_string()
+                    (
+                        read.reverse_complement().to_string(),
+                        quality.map_or_else(|| "*".to_owned(), |q| q.reversed().to_fastq()),
+                    )
                 }
             };
             SamRecord {
@@ -178,6 +186,56 @@ mod tests {
         assert_eq!(r.flag & flags::REVERSE, flags::REVERSE);
         assert_eq!(r.edit_distance, Some(2));
         assert!(r.to_line().contains("NM:i:2"));
+    }
+
+    #[test]
+    fn reverse_record_reverse_complements_seq_and_reverses_qual() {
+        use bioseq::quality::Phred;
+        // Non-palindromic read so the orientation bug is visible.
+        let read: DnaSeq = "AAACCG".parse().unwrap();
+        assert_ne!(read.reverse_complement(), read);
+        let quality: QualityString = (10..16).map(Phred::new).collect();
+        let outcome = AlignmentOutcome::Exact { positions: vec![4] };
+        let r = record_for(
+            "r5",
+            "chr1",
+            &read,
+            Some(&quality),
+            &outcome,
+            MappedStrand::Reverse,
+        );
+        assert_eq!(r.flag & flags::REVERSE, flags::REVERSE);
+        assert_eq!(r.seq, "CGGTTT", "SEQ must be the reverse complement");
+        assert_eq!(r.qual, quality.reversed().to_fastq(), "QUAL must be reversed");
+        // Forward records are untouched.
+        let f = record_for(
+            "r5",
+            "chr1",
+            &read,
+            Some(&quality),
+            &outcome,
+            MappedStrand::Forward,
+        );
+        assert_eq!(f.seq, "AAACCG");
+        assert_eq!(f.qual, quality.to_fastq());
+    }
+
+    #[test]
+    fn unmapped_record_keeps_read_orientation() {
+        // An unmapped read has no alignment orientation: SEQ stays as
+        // sequenced even though the both-strands path tried the reverse
+        // complement too.
+        let read: DnaSeq = "AAACCG".parse().unwrap();
+        let r = record_for(
+            "r6",
+            "chr1",
+            &read,
+            None,
+            &AlignmentOutcome::Unmapped,
+            MappedStrand::Forward,
+        );
+        assert_eq!(r.seq, "AAACCG");
+        assert_eq!(r.flag, flags::UNMAPPED);
     }
 
     #[test]

@@ -21,14 +21,15 @@ proptest! {
         ids in proptest::collection::vec(0usize..600, 1..12),
     ) {
         let config = PimAlignerConfig::baseline();
-        let mut mapped = MappedIndex::build(&reference, &config);
+        let mapped = MappedIndex::build(&reference, &config);
         let oracle = mapped.index().clone();
+        let mut injector = mapped.session_injector();
         let mut ledger = CycleLedger::new();
         for id in ids {
             let id = id % (oracle.text_len() + 1);
             for base in Base::ALL {
                 prop_assert_eq!(
-                    mapped.lfm(base, id, &mut ledger),
+                    mapped.lfm(base, id, &mut injector, &mut ledger),
                     oracle.marker_table().lfm(oracle.bwt(), base, id)
                 );
             }
@@ -42,14 +43,16 @@ proptest! {
         len in 4usize..24,
     ) {
         let config = PimAlignerConfig::baseline();
-        let mut mapped = MappedIndex::build(&reference, &config);
+        let mapped = MappedIndex::build(&reference, &config);
         let oracle = mapped.index().clone();
+        let mut injector = mapped.session_injector();
         let mut dpu = Dpu::new(*config.model());
         let mut ledger = CycleLedger::new();
         let len = len.min(reference.len());
         let start = ((reference.len() - len) as f64 * start_frac) as usize;
         let read = reference.subseq(start..start + len);
-        let (interval, _) = exact_search(&mut mapped, &mut dpu, &read, &mut ledger);
+        let (interval, _) =
+            exact_search(&mapped, &mut injector, &mut dpu, &read, &mut ledger);
         match oracle.backward_search(&read) {
             Some(expected) => prop_assert_eq!(interval, expected),
             None => prop_assert!(interval.is_empty()),
@@ -64,8 +67,9 @@ proptest! {
         z in 0u8..3,
     ) {
         let config = PimAlignerConfig::baseline();
-        let mut mapped = MappedIndex::build(&reference, &config);
+        let mapped = MappedIndex::build(&reference, &config);
         let oracle = mapped.index().clone();
+        let mut injector = mapped.session_injector();
         let mut dpu = Dpu::new(*config.model());
         let mut ledger = CycleLedger::new();
         let len = 12.min(reference.len());
@@ -75,7 +79,9 @@ proptest! {
         bases[k] = Base::from_rank((bases[k].rank() + 1) % 4);
         let read = DnaSeq::from_bases(bases);
         let budget = EditBudget::substitutions_only(z);
-        let (hw, _) = pim_aligner::inexact_search(&mut mapped, &mut dpu, &read, budget, &mut ledger);
+        let (hw, _) = pim_aligner::inexact_search(
+            &mapped, &mut injector, &mut dpu, &read, budget, &mut ledger,
+        );
         let sw = oracle.search_inexact(&read, budget);
         prop_assert_eq!(hw, sw);
     }

@@ -244,6 +244,31 @@ impl FaultCampaign {
         self.carry_fault_prob
     }
 
+    /// Derives the deterministic sub-campaign for one parallel worker.
+    ///
+    /// Worker 0 keeps this campaign's seed unchanged, so a single-worker
+    /// (or sequential) run replays bit-identically to a session built
+    /// straight from the campaign. Workers > 0 re-seed through a
+    /// SplitMix64 finalizer over `(seed, worker)`, decorrelating their
+    /// decision streams: without this every worker would replay the
+    /// *same* fault history, and parallel fault statistics would not
+    /// match a sequential campaign over the same read set.
+    ///
+    /// The rates and the sensing model are inherited unchanged — only
+    /// the seed differs.
+    pub fn for_worker(self, worker: u64) -> FaultCampaign {
+        if worker == 0 {
+            return self;
+        }
+        let mut z = self
+            .seed
+            .wrapping_add(worker.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        self.with_seed(z)
+    }
+
     /// `true` when any fault class can fire (simulators skip every
     /// sampling path for inactive campaigns).
     pub fn is_active(&self) -> bool {
@@ -329,5 +354,34 @@ mod tests {
     #[should_panic(expected = "stuck-at probability out of range")]
     fn campaign_rejects_bad_rate() {
         let _ = FaultCampaign::none().with_stuck_at_rate(-0.1);
+    }
+
+    #[test]
+    fn worker_zero_keeps_the_seed() {
+        let base = FaultCampaign::seeded(37).with_transient_row_rate(1e-3);
+        assert_eq!(base.for_worker(0), base);
+    }
+
+    #[test]
+    fn workers_get_distinct_decorrelated_seeds() {
+        let base = FaultCampaign::seeded(37)
+            .with_model(FaultModel::with_probabilities(1e-3, 0.0))
+            .with_stuck_at_rate(1e-4);
+        let mut seeds: Vec<u64> = (0..16).map(|w| base.for_worker(w).seed()).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 16, "worker seeds must all differ");
+        // Rates and model are inherited unchanged.
+        let w3 = base.for_worker(3);
+        assert_eq!(w3.model(), base.model());
+        assert_eq!(w3.stuck_at_rate(), base.stuck_at_rate());
+        // Derivation is deterministic.
+        assert_eq!(base.for_worker(3), base.for_worker(3));
+        // Neighbouring base seeds must not collide with each other's
+        // worker streams (a plain seed+worker offset would).
+        assert_ne!(
+            FaultCampaign::seeded(37).for_worker(1).seed(),
+            FaultCampaign::seeded(38).for_worker(0).seed()
+        );
     }
 }

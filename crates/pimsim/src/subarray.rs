@@ -332,6 +332,37 @@ impl SubArray {
         sum
     }
 
+    /// Shared-platform `IM_ADD`: identical cost and XOR3/MAJ gate
+    /// semantics to [`SubArray::im_add32`], without staging the operands
+    /// in this sub-array's reserved scratch rows. The scratch zone is
+    /// transient per-operation state — excluded from the data zone (see
+    /// [`SubArray::data_zone_rows`]) and overwritten by every add — so a
+    /// session sharing the mapped array with other sessions can skip the
+    /// staging without any observable difference.
+    pub fn im_add32_shared(&self, a: u32, b: u32, ledger: &mut CycleLedger) -> u32 {
+        LogicalOp::ImAdd32.charge(&self.model, ledger);
+        ripple_add32(a, b, None)
+    }
+
+    /// Shared-platform variant of [`SubArray::im_add32_faulty`]: the
+    /// carry out of bit `kill_carry_at` is forced low and the corruption
+    /// propagates exactly as in the staged add.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kill_carry_at >= 32`.
+    pub fn im_add32_shared_faulty(
+        &self,
+        a: u32,
+        b: u32,
+        kill_carry_at: usize,
+        ledger: &mut CycleLedger,
+    ) -> u32 {
+        assert!(kill_carry_at < 32, "carry bit {kill_carry_at} out of range");
+        LogicalOp::ImAdd32.charge(&self.model, ledger);
+        ripple_add32(a, b, Some(kill_carry_at))
+    }
+
     /// Copies one row into another sub-array (method-II duplication);
     /// charges a read here and a write there.
     pub fn copy_row_to(
@@ -346,6 +377,24 @@ impl SubArray {
         let src = self.bits[row].clone();
         dest.bits[dest_row] = src;
     }
+}
+
+/// The ripple adder's gate-level arithmetic (XOR3 sum, MAJ carry, with
+/// an optional killed carry bit) — the pure function both the staged and
+/// the shared `IM_ADD` variants realise.
+fn ripple_add32(a: u32, b: u32, kill_carry_at: Option<usize>) -> u32 {
+    let mut carry = false;
+    let mut sum = 0u32;
+    for k in 0..32 {
+        let x = (a >> k) & 1 == 1;
+        let y = (b >> k) & 1 == 1;
+        let s = x ^ y ^ carry;
+        carry = ((x & y) | (x & carry) | (y & carry)) && kill_carry_at != Some(k);
+        if s {
+            sum |= 1 << k;
+        }
+    }
+    sum
 }
 
 /// Proves the boolean fast path agrees with the analog circuit model for
@@ -496,6 +545,38 @@ mod tests {
         // No carry is generated at bit 20, so a fault there is silent.
         let silent = sa.im_add32_faulty(0xFFFF, 1, 20, &mut ledger);
         assert_eq!(silent, good);
+    }
+
+    #[test]
+    fn shared_add_matches_staged_add_and_cost() {
+        let (mut sa, mut ledger) = fresh();
+        let cases = [
+            (0u32, 0u32),
+            (1, 1),
+            (0xFFFF_FFFF, 1),
+            (123_456_789, 987_654_321),
+            (0x8000_0000, 0x8000_0000),
+            (0xFFFF, 1),
+        ];
+        for (a, b) in cases {
+            let mut staged_ledger = CycleLedger::new();
+            let mut shared_ledger = CycleLedger::new();
+            let staged = sa.im_add32(a, b, &mut staged_ledger);
+            let shared = sa.im_add32_shared(a, b, &mut shared_ledger);
+            assert_eq!(staged, shared, "{a} + {b}");
+            assert_eq!(
+                staged_ledger.total_busy_cycles(),
+                shared_ledger.total_busy_cycles(),
+                "shared add must charge the same cycles"
+            );
+            for k in [0usize, 7, 16, 31] {
+                assert_eq!(
+                    sa.im_add32_faulty(a, b, k, &mut ledger),
+                    sa.im_add32_shared_faulty(a, b, k, &mut ledger),
+                    "{a} + {b} with carry killed at {k}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //!   --no-indels           substitutions only in the inexact stage
 //!   --single-strand       skip the reverse-complement retry
 //!   --threads <N>         host worker threads for the batch (default 1)
+//!   --batch-size <N>      reads aligned per streamed chunk (default 4096)
 //!   --fault-seed <S>      seed for the fault-injection campaign
 //!   --fault-xnor <P>      per-bit XNOR sense-misread probability
 //!   --fault-stuck <R>     stuck-at cell rate in the data zones
@@ -23,14 +24,19 @@
 //! Any `--fault-*` rate makes the campaign active; recovery (verify each
 //! locus, retry, escalate the budget, fall back to the host) is then on
 //! unless `--no-recover` is given.
+//!
+//! The index is built exactly once per run; reads stream through in
+//! `--batch-size` chunks (bounded memory — SAM records are written as
+//! each chunk completes), and every chunk is aligned by the same shared
+//! platform across `--threads` worker sessions.
 
+use std::io::{BufWriter, Write as _};
 use std::process::ExitCode;
 
 use pim_aligner_suite::bioseq::{fasta, fastq};
 use pim_aligner_suite::mram::faults::{FaultCampaign, FaultModel};
 use pim_aligner_suite::pim_aligner::{
-    align_batch_parallel, align_batch_parallel_both_strands, sam, MappedStrand, PimAligner,
-    PimAlignerConfig, RecoveryPolicy,
+    sam, BatchTotals, PimAlignerConfig, Platform, RecoveryPolicy,
 };
 
 fn main() -> ExitCode {
@@ -50,6 +56,7 @@ struct Cli {
     indels: bool,
     both_strands: bool,
     threads: usize,
+    batch_size: usize,
     fault_seed: u64,
     fault_xnor: f64,
     fault_stuck: f64,
@@ -85,6 +92,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         indels: true,
         both_strands: true,
         threads: 1,
+        batch_size: 4_096,
         fault_seed: 0x5eed,
         fault_xnor: 0.0,
         fault_stuck: 0.0,
@@ -112,6 +120,12 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 cli.threads = parse_flag(args, &mut i, "--threads")?;
                 if cli.threads == 0 {
                     return Err("invalid --threads: at least one worker thread required".into());
+                }
+            }
+            "--batch-size" => {
+                cli.batch_size = parse_flag(args, &mut i, "--batch-size")?;
+                if cli.batch_size == 0 {
+                    return Err("invalid --batch-size: must be at least 1".into());
                 }
             }
             "--fault-seed" => cli.fault_seed = parse_flag(args, &mut i, "--fault-seed")?,
@@ -146,12 +160,9 @@ fn run() -> Result<(), String> {
             references.len()
         ));
     };
-    let reads_text = std::fs::read_to_string(reads_path)
+    let reads_file = std::fs::File::open(reads_path)
         .map_err(|e| format!("cannot read {reads_path}: {e}"))?;
-    let reads = fastq::parse(&reads_text).map_err(|e| format!("{reads_path}: {e}"))?;
-    if reads.is_empty() {
-        return Err(format!("{reads_path}: no reads"));
-    }
+    let mut reads = fastq::Reader::new(std::io::BufReader::new(reads_file));
 
     let campaign = FaultCampaign::seeded(cli.fault_seed)
         .with_model(FaultModel::with_probabilities(cli.fault_xnor, cli.fault_xnor))
@@ -169,57 +180,59 @@ fn run() -> Result<(), String> {
         config = config.with_recovery(RecoveryPolicy::standard());
     }
 
-    print!("{}", sam::header(reference.id(), reference.seq().len()));
-    let (outcomes, strands, report) = if cli.threads > 1 {
-        let read_seqs: Vec<_> = reads.iter().map(|r| r.seq().clone()).collect();
-        let (batch, strands) = if cli.both_strands {
-            align_batch_parallel_both_strands(reference.seq(), &config, &read_seqs, cli.threads)
-                .map_err(|e| e.to_string())?
-        } else {
-            let batch =
-                align_batch_parallel(reference.seq(), &config, &read_seqs, cli.threads)
-                    .map_err(|e| e.to_string())?;
-            let strands = vec![MappedStrand::Forward; reads.len()];
-            (batch, strands)
-        };
-        (batch.outcomes, strands, batch.report)
-    } else {
-        let mut aligner = PimAligner::new(reference.seq(), config);
-        let mut outcomes = Vec::with_capacity(reads.len());
-        let mut strands = Vec::with_capacity(reads.len());
-        for record in &reads {
-            let (outcome, strand) = if cli.both_strands {
-                aligner.align_read_both_strands(record.seq())
-            } else {
-                (aligner.align_read(record.seq()), MappedStrand::Forward)
-            };
-            outcomes.push(outcome);
-            strands.push(strand);
-        }
-        (outcomes, strands, aligner.report())
-    };
+    // One platform for the whole run: the index is built exactly once
+    // here and shared by every chunk and worker thread below.
+    let platform = Platform::new(reference.seq(), config);
 
+    // Stream chunks: bounded memory in and incremental SAM out, one code
+    // path for any thread count (1 thread is a single worker session).
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    write!(out, "{}", sam::header(reference.id(), reference.seq().len()))
+        .map_err(|e| format!("cannot write SAM: {e}"))?;
+    let mut totals = BatchTotals::new();
     let mut mapped = 0usize;
-    for ((record, outcome), strand) in reads.iter().zip(&outcomes).zip(&strands) {
-        if outcome.is_mapped() {
-            mapped += 1;
+    let mut epoch = 0u64;
+    loop {
+        let chunk = reads
+            .next_chunk(cli.batch_size)
+            .map_err(|e| format!("{reads_path}: {e}"))?;
+        if chunk.is_empty() {
+            break;
         }
-        let sam_record = sam::record_for(
-            record.id(),
-            reference.id(),
-            record.seq(),
-            Some(record.quality()),
-            outcome,
-            *strand,
-        );
-        println!("{}", sam_record.to_line());
+        let seqs: Vec<_> = chunk.iter().map(|r| r.seq().clone()).collect();
+        let (pairs, chunk_totals) = platform
+            .align_chunk_parallel(&seqs, cli.threads, epoch, cli.both_strands)
+            .map_err(|e| e.to_string())?;
+        totals.merge(&chunk_totals);
+        for (record, (outcome, strand)) in chunk.iter().zip(&pairs) {
+            if outcome.is_mapped() {
+                mapped += 1;
+            }
+            let sam_record = sam::record_for(
+                record.id(),
+                reference.id(),
+                record.seq(),
+                Some(record.quality()),
+                outcome,
+                *strand,
+            );
+            writeln!(out, "{}", sam_record.to_line())
+                .map_err(|e| format!("cannot write SAM: {e}"))?;
+        }
+        epoch += 1;
     }
+    out.flush().map_err(|e| format!("cannot write SAM: {e}"))?;
+    if totals.reads == 0 {
+        return Err(format!("{reads_path}: no reads"));
+    }
+    let report = platform.batch_report(&totals);
 
     eprintln!(
         "pimalign: {} reads, {} mapped ({:.1}%)",
-        reads.len(),
+        totals.reads,
         mapped,
-        100.0 * mapped as f64 / reads.len() as f64
+        100.0 * mapped as f64 / totals.reads as f64
     );
     eprintln!(
         "pimalign: platform Pd={}: {:.3e} queries/s, {:.1} W, MBR {:.1}%, RUR {:.1}%",

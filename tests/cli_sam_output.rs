@@ -71,6 +71,74 @@ fn aligns_reads_and_emits_valid_sam() {
 }
 
 #[test]
+fn reverse_mapped_seq_is_the_reference_window() {
+    // A 0x10 record's SEQ/QUAL are stored in reference orientation: the
+    // emitted SEQ must equal the reference window at POS, and QUAL must
+    // be the read's qualities reversed (regression: the pre-fix writer
+    // emitted the read as sequenced).
+    let ref_seq = "TGCTAGCATGAACCTTGGAACGTACGTTAGCATCGATCGGATTACAGATTACAGGG";
+    let reference = write_temp("rev_ref.fa", &format!(">chrT\n{ref_seq}\n"));
+    // Reverse complement of reference[8..22], with an asymmetric quality
+    // ramp so a missing reversal is visible.
+    let reads = write_temp(
+        "rev_reads.fq",
+        "@revcomp\nCGTTCCAAGGTTCA\n+\nABCDEFGHIJKLMN\n",
+    );
+    let (stdout, stderr, ok) = run_cli(&[reference.to_str().unwrap(), reads.to_str().unwrap()]);
+    assert!(ok, "CLI failed: {stderr}");
+    let record = stdout
+        .lines()
+        .find(|l| l.starts_with("revcomp"))
+        .expect("revcomp record");
+    let fields: Vec<&str> = record.split('\t').collect();
+    assert_eq!(fields[1], "16", "read must map on the reverse strand");
+    let pos: usize = fields[3].parse().expect("POS");
+    let seq = fields[9];
+    let window = &ref_seq[pos - 1..pos - 1 + seq.len()];
+    assert_eq!(seq, window, "0x10 SEQ must equal the reference window");
+    assert_eq!(
+        fields[10],
+        "NMLKJIHGFEDCBA",
+        "0x10 QUAL must be the read's qualities reversed"
+    );
+
+    std::fs::remove_file(reference).ok();
+    std::fs::remove_file(reads).ok();
+}
+
+#[test]
+fn streamed_chunks_match_single_batch() {
+    // --batch-size only bounds memory: the SAM output must be identical
+    // whether the reads stream through in chunks of 1 or in one batch,
+    // with single or multiple worker threads.
+    let ref_seq = "TGCTAGCATGAACCTTGGAACGTACGTTAGCATCGATCGGATTACAGATTACAGGG";
+    let reference = write_temp("chunk_ref.fa", &format!(">chrT\n{ref_seq}\n"));
+    let reads = write_temp(
+        "chunk_reads.fq",
+        "@exact\nGATTACAGATTACA\n+\nIIIIIIIIIIIIII\n@revcomp\nCGTTCCAAGGTTCA\n+\nIIIIIIIIIIIIII\n@junk\nGGGGGGGGGGGGGG\n+\nIIIIIIIIIIIIII\n@tail\nTGCTAGCATG\n+\nIIIIIIIIII\n",
+    );
+    let base = [reference.to_str().unwrap(), reads.to_str().unwrap()];
+    let (whole, stderr, ok) = run_cli(&base);
+    assert!(ok, "CLI failed: {stderr}");
+    for extra in [
+        &["--batch-size", "1"][..],
+        &["--batch-size", "3"][..],
+        &["--batch-size", "1", "--threads", "3"][..],
+        &["--threads", "2"][..],
+    ] {
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend_from_slice(extra);
+        let (stdout, stderr, ok) = run_cli(&args);
+        assert!(ok, "CLI failed with {extra:?}: {stderr}");
+        assert_eq!(stdout, whole, "SAM output diverged with {extra:?}");
+        assert!(stderr.contains("3 mapped"), "stderr with {extra:?}: {stderr}");
+    }
+
+    std::fs::remove_file(reference).ok();
+    std::fs::remove_file(reads).ok();
+}
+
+#[test]
 fn rejects_bad_usage() {
     let (_, stderr, ok) = run_cli(&["only-one-arg"]);
     assert!(!ok);

@@ -1,0 +1,55 @@
+//! Integration: the shared-platform guarantee — `MappedIndex::build`
+//! runs exactly once per run, no matter how many worker threads align.
+//!
+//! This test must stay ALONE in this file: `MappedIndex::build_count()`
+//! is a process-global counter, and any sibling `#[test]` running
+//! concurrently in the same process would inflate the delta.
+
+use pim_aligner::{MappedIndex, PimAlignerConfig, Platform};
+use readsim::genome;
+
+#[test]
+fn eight_thread_run_builds_the_index_exactly_once() {
+    let reference = genome::uniform(40_000, 555);
+    let reads: Vec<_> = (0..64)
+        .map(|i| reference.subseq(i * 600..i * 600 + 80))
+        .collect();
+
+    let before = MappedIndex::build_count();
+    let platform = Platform::new(&reference, PimAlignerConfig::baseline());
+    assert_eq!(
+        MappedIndex::build_count(),
+        before + 1,
+        "Platform::new must build the index"
+    );
+
+    // An 8-thread batch, a second batch, and a streamed chunked pass:
+    // none of them may rebuild.
+    let result = platform.align_batch_parallel(&reads, 8).unwrap();
+    assert!(result.outcomes.iter().all(|o| o.is_mapped()));
+    let (with_strands, _) = platform
+        .align_batch_parallel_both_strands(&reads, 8)
+        .unwrap();
+    assert!(with_strands.outcomes.iter().all(|o| o.is_mapped()));
+    for (epoch, chunk) in reads.chunks(16).enumerate() {
+        platform
+            .align_chunk_parallel(chunk, 8, epoch as u64, false)
+            .unwrap();
+    }
+    assert_eq!(
+        MappedIndex::build_count(),
+        before + 1,
+        "aligning must never rebuild the shared index"
+    );
+
+    // The compatibility wrappers build once per call (their contract is
+    // one platform per call), not once per worker.
+    let before = MappedIndex::build_count();
+    pim_aligner::align_batch_parallel(&reference, &PimAlignerConfig::baseline(), &reads, 8)
+        .unwrap();
+    assert_eq!(
+        MappedIndex::build_count(),
+        before + 1,
+        "align_batch_parallel must build exactly once for 8 threads"
+    );
+}
