@@ -128,9 +128,36 @@ pub fn catalog() -> Vec<Platform> {
         // SW-based platforms: large power budgets (Fig. 8a), strong
         // throughput (RaceLogic the best SW accelerator: PIM-Aligner-n
         // beats it 3.1× in throughput/W).
-        Platform::new("Darwin", SmithWaterman, 100.0, 1.5e6, 290.0, 32.0, 45.0, 55.0),
-        Platform::new("ReCAM", SmithWaterman, 150.0, 3.75e6, 220.0, 0.0, 20.0, 60.0),
-        Platform::new("RaceLogic", SmithWaterman, 120.0, 9.75e6, 250.0, 8.0, 40.0, 60.0),
+        Platform::new(
+            "Darwin",
+            SmithWaterman,
+            100.0,
+            1.5e6,
+            290.0,
+            32.0,
+            45.0,
+            55.0,
+        ),
+        Platform::new(
+            "ReCAM",
+            SmithWaterman,
+            150.0,
+            3.75e6,
+            220.0,
+            0.0,
+            20.0,
+            60.0,
+        ),
+        Platform::new(
+            "RaceLogic",
+            SmithWaterman,
+            120.0,
+            9.75e6,
+            250.0,
+            8.0,
+            40.0,
+            60.0,
+        ),
         // FM-index platforms.
         Platform::new("GPU", FmIndex, 180.0, 9.9e4, 600.0, 130.0, 85.0, 15.0),
         Platform::new("FPGA", FmIndex, 35.0, 2.0e5, 450.0, 60.0, 70.0, 30.0),
@@ -159,7 +186,16 @@ mod tests {
         let names: Vec<String> = catalog().into_iter().map(|p| p.name).collect();
         assert_eq!(
             names,
-            ["Darwin", "ReCAM", "RaceLogic", "GPU", "FPGA", "ASIC", "AligneR", "AlignS"]
+            [
+                "Darwin",
+                "ReCAM",
+                "RaceLogic",
+                "GPU",
+                "FPGA",
+                "ASIC",
+                "AligneR",
+                "AlignS"
+            ]
         );
     }
 
@@ -202,7 +238,15 @@ mod tests {
         // Fig. 9a: "SOT-MRAM-AlignS achieves the highest throughput per
         // Watt"; PIM-Aligner-n is second.
         assert!(by_name("AlignS").throughput_per_watt() > PIM_N_TPW);
-        for other in ["Darwin", "ReCAM", "RaceLogic", "GPU", "FPGA", "ASIC", "AligneR"] {
+        for other in [
+            "Darwin",
+            "ReCAM",
+            "RaceLogic",
+            "GPU",
+            "FPGA",
+            "ASIC",
+            "AligneR",
+        ] {
             assert!(
                 by_name(other).throughput_per_watt() < PIM_N_TPW,
                 "{other} should trail PIM-Aligner-n"
@@ -217,7 +261,10 @@ mod tests {
         let asic = PIM_N_TPW_MM2 / by_name("ASIC").throughput_per_watt_mm2();
         assert!((7.5..10.5).contains(&asic), "ASIC area ratio {asic:.2}");
         let aligner = PIM_N_TPW_MM2 / by_name("AligneR").throughput_per_watt_mm2();
-        assert!((1.6..2.2).contains(&aligner), "AligneR area ratio {aligner:.2}");
+        assert!(
+            (1.6..2.2).contains(&aligner),
+            "AligneR area ratio {aligner:.2}"
+        );
         for p in catalog() {
             assert!(
                 p.throughput_per_watt_mm2() < PIM_N_TPW_MM2,

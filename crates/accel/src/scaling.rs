@@ -39,7 +39,11 @@ pub struct Deployment {
 /// assert!(d.chips > 100, "needs a board of dies, got {}", d.chips);
 /// assert!(d.headroom >= 1.0);
 /// ```
-pub fn deployment_for(table_bytes: u64, chip_capacity_bytes: u64, chip_area_mm2: f64) -> Deployment {
+pub fn deployment_for(
+    table_bytes: u64,
+    chip_capacity_bytes: u64,
+    chip_area_mm2: f64,
+) -> Deployment {
     assert!(table_bytes > 0, "table size must be positive");
     assert!(chip_capacity_bytes > 0, "chip capacity must be positive");
     assert!(chip_area_mm2 > 0.0, "chip area must be positive");

@@ -14,7 +14,9 @@ fn bench_bucket_width(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_bucket_width");
     group.sample_size(10);
     for d in [16usize, 64, 128, 512] {
-        let index = FmIndex::builder().bucket_width(d).build(&workload.reference);
+        let index = FmIndex::builder()
+            .bucket_width(d)
+            .build(&workload.reference);
         group.bench_with_input(BenchmarkId::new("d", d), &d, |b, _| {
             b.iter(|| index.backward_search(&read))
         });
@@ -51,7 +53,10 @@ fn bench_add_method(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_add_method");
     group.sample_size(10);
     for (label, config) in [
-        ("method_i", PimAlignerConfig::baseline().with_method(AddMethod::InPlace)),
+        (
+            "method_i",
+            PimAlignerConfig::baseline().with_method(AddMethod::InPlace),
+        ),
         ("method_ii_pd1", {
             // Method-II without pipelining isolates the duplication cost.
             PimAlignerConfig::baseline().with_method(AddMethod::Mirrored)

@@ -25,8 +25,16 @@ fn bench_memory_figures(c: &mut Criterion) {
 
     // Fig. 10 shape checks on the simulated rows.
     assert_eq!(rows.baseline.offchip_gb, 0.0);
-    assert!(rows.baseline.mbr_pct < 18.0, "MBR-n {:.1}", rows.baseline.mbr_pct);
-    assert!(rows.pipelined.mbr_pct < 18.0, "MBR-p {:.1}", rows.pipelined.mbr_pct);
+    assert!(
+        rows.baseline.mbr_pct < 18.0,
+        "MBR-n {:.1}",
+        rows.baseline.mbr_pct
+    );
+    assert!(
+        rows.pipelined.mbr_pct < 18.0,
+        "MBR-p {:.1}",
+        rows.pipelined.mbr_pct
+    );
     let rur_p = rows.pipelined.rur_pct;
     for p in &platforms {
         if p.name != "PIM-Aligner-p" {

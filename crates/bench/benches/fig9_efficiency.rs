@@ -31,14 +31,20 @@ fn bench_efficiency_series(c: &mut Criterion) {
     };
     let pim_n = rows.baseline.throughput_per_watt();
     let race = pim_n / tpw("RaceLogic");
-    assert!((2.5..3.8).contains(&race), "RaceLogic T/W ratio {race:.2} (paper ~3.1x)");
+    assert!(
+        (2.5..3.8).contains(&race),
+        "RaceLogic T/W ratio {race:.2} (paper ~3.1x)"
+    );
     let asic_area = rows.baseline.throughput_per_watt_mm2()
         / catalog()
             .iter()
             .find(|p| p.name == "ASIC")
             .unwrap()
             .throughput_per_watt_mm2();
-    assert!((7.0..11.0).contains(&asic_area), "ASIC T/W/mm2 ratio {asic_area:.2} (paper ~9x)");
+    assert!(
+        (7.0..11.0).contains(&asic_area),
+        "ASIC T/W/mm2 ratio {asic_area:.2} (paper ~9x)"
+    );
 }
 
 criterion_group!(benches, bench_efficiency_series);

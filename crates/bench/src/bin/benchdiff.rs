@@ -1,0 +1,185 @@
+//! `benchdiff` — the bench-regression gate.
+//!
+//! ```text
+//! benchdiff <fresh.json> <baseline.json> [--min-ratio R] [--min-speedup S]
+//! ```
+//!
+//! Compares a freshly measured `parbench` JSON report against the
+//! checked-in baseline and exits non-zero when throughput regressed
+//! beyond tolerance. CI runs `parbench --quick` and feeds its output
+//! here (see `ci.sh`), so a change that slows the shared-platform
+//! engine or breaks the index-sharing speedup fails the build.
+//!
+//! Checks, in order:
+//!
+//! * both files parse and carry the `parbench` shape;
+//! * for every thread count present in both `shared_platform` tables,
+//!   `fresh.reads_per_s ≥ R × baseline.reads_per_s` (default `R` 0.5 —
+//!   wall-clock throughput on shared CI machines is noisy, and when the
+//!   fresh run is `--quick` against the full-size baseline the workloads
+//!   differ, so this is a broad-regression tripwire, not a benchmark);
+//! * `fresh.speedup_8_threads_vs_seed_style ≥ S` (default `S` 2.0): the
+//!   build-the-index-once speedup must survive regardless of machine
+//!   speed — it is a ratio of two runs on the same machine.
+//!
+//! Exit status: 0 within tolerance, 1 regression detected, 2 usage or
+//! parse error.
+
+use std::process::ExitCode;
+
+use bench::json::{self, Value};
+
+struct Args {
+    fresh: String,
+    baseline: String,
+    min_ratio: f64,
+    min_speedup: f64,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut positional = Vec::new();
+    let mut min_ratio = 0.5;
+    let mut min_speedup = 2.0;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--min-ratio" | "--min-speedup" => {
+                let flag = argv[i].clone();
+                i += 1;
+                let value: f64 = argv
+                    .get(i)
+                    .ok_or(format!("{flag} needs a value"))?
+                    .parse()
+                    .map_err(|e| format!("invalid {flag}: {e}"))?;
+                if !value.is_finite() || value <= 0.0 {
+                    return Err(format!("invalid {flag}: must be positive"));
+                }
+                if flag == "--min-ratio" {
+                    min_ratio = value;
+                } else {
+                    min_speedup = value;
+                }
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
+            _ => positional.push(argv[i].clone()),
+        }
+        i += 1;
+    }
+    let [fresh, baseline] = positional.as_slice() else {
+        return Err(
+            "usage: benchdiff <fresh.json> <baseline.json> [--min-ratio R] [--min-speedup S]"
+                .to_owned(),
+        );
+    };
+    Ok(Args {
+        fresh: fresh.clone(),
+        baseline: baseline.clone(),
+        min_ratio,
+        min_speedup,
+    })
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `(threads, reads_per_s)` rows of the `shared_platform` table.
+fn throughput_rows(doc: &Value, path: &str) -> Result<Vec<(u64, f64)>, String> {
+    let rows = doc
+        .get("shared_platform")
+        .and_then(Value::as_array)
+        .ok_or(format!("{path}: missing shared_platform array"))?;
+    rows.iter()
+        .map(|row| {
+            let threads = row
+                .get("threads")
+                .and_then(Value::as_u64)
+                .ok_or(format!("{path}: row missing threads"))?;
+            let rps = row
+                .get("reads_per_s")
+                .and_then(Value::as_f64)
+                .ok_or(format!("{path}: row missing reads_per_s"))?;
+            Ok((threads, rps))
+        })
+        .collect()
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let fresh = load(&args.fresh)?;
+    let baseline = load(&args.baseline)?;
+    let fresh_rows = throughput_rows(&fresh, &args.fresh)?;
+    let base_rows = throughput_rows(&baseline, &args.baseline)?;
+
+    let mut ok = true;
+    let mut compared = 0;
+    for &(threads, fresh_rps) in &fresh_rows {
+        let Some(&(_, base_rps)) = base_rows.iter().find(|&&(t, _)| t == threads) else {
+            continue;
+        };
+        compared += 1;
+        let ratio = fresh_rps / base_rps;
+        let verdict = if ratio >= args.min_ratio {
+            "ok"
+        } else {
+            "REGRESSION"
+        };
+        eprintln!(
+            "benchdiff: {threads} thread(s): {fresh_rps:.0} vs {base_rps:.0} reads/s \
+             (ratio {ratio:.2}, floor {:.2}) {verdict}",
+            args.min_ratio
+        );
+        if ratio < args.min_ratio {
+            ok = false;
+        }
+    }
+    if compared == 0 {
+        return Err("no common thread counts between fresh and baseline".to_owned());
+    }
+
+    let speedup = fresh
+        .get("speedup_8_threads_vs_seed_style")
+        .and_then(Value::as_f64)
+        .ok_or(format!(
+            "{}: missing speedup_8_threads_vs_seed_style",
+            args.fresh
+        ))?;
+    let verdict = if speedup >= args.min_speedup {
+        "ok"
+    } else {
+        "REGRESSION"
+    };
+    eprintln!(
+        "benchdiff: shared-platform speedup {speedup:.1}x (floor {:.1}x) {verdict}",
+        args.min_speedup
+    );
+    if speedup < args.min_speedup {
+        ok = false;
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("benchdiff: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => {
+            eprintln!("benchdiff: within tolerance");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("benchdiff: throughput regression beyond tolerance");
+            ExitCode::from(1)
+        }
+        Err(msg) => {
+            eprintln!("benchdiff: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

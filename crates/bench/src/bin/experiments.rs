@@ -86,8 +86,10 @@ fn fig5b() {
 /// Fig. 7: pipeline behaviour and the ~40 % Pd = 2 gain.
 fn fig7() {
     let p = PipelineParams::default();
-    println!("Fig. 7: pipeline model (stage A {} cyc, transfer {} cyc, stage B {} cyc)",
-        p.stage_a_cycles, p.transfer_cycles, p.stage_b_cycles);
+    println!(
+        "Fig. 7: pipeline model (stage A {} cyc, transfer {} cyc, stage B {} cyc)",
+        p.stage_a_cycles, p.transfer_cycles, p.stage_b_cycles
+    );
     println!("---------------------------------------------------------------------");
     for pd in 1..=4 {
         println!(
@@ -169,11 +171,7 @@ fn stages() {
     let mut aligner =
         pim_aligner::PimAligner::new(&workload.reference, PimAlignerConfig::baseline());
     let result = aligner.align_batch(&workload.reads);
-    let mapped = result
-        .outcomes
-        .iter()
-        .filter(|o| o.is_mapped())
-        .count();
+    let mapped = result.outcomes.iter().filter(|o| o.is_mapped()).count();
     println!("Two-stage alignment on the paper workload (100 bp, 0.2% error, 0.1% variation)");
     println!("------------------------------------------------------------------------------");
     println!(

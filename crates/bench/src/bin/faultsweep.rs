@@ -30,10 +30,12 @@ const MC_TRIALS: usize = 2_000;
 fn main() {
     let seed: u64 = std::env::args()
         .nth(1)
-        .map(|s| s.parse().unwrap_or_else(|e| {
-            eprintln!("faultsweep: invalid campaign seed: {e}");
-            std::process::exit(2);
-        }))
+        .map(|s| {
+            s.parse().unwrap_or_else(|e| {
+                eprintln!("faultsweep: invalid campaign seed: {e}");
+                std::process::exit(2);
+            })
+        })
         .unwrap_or(23);
     // Error-free reads: every read has one unambiguous ground-truth
     // locus, so accuracy isolates the fault response (paper-statistics
@@ -41,7 +43,12 @@ fn main() {
     let workload = Workload::clean(40_000, 60, 80, 29);
 
     println!("Fault sweep: sense-offset level vs placement accuracy (campaign seed {seed})");
-    println!("workload: {} reads x {} bp on a {} bp reference", workload.reads.len(), 80, 40_000);
+    println!(
+        "workload: {} reads x {} bp on a {} bp reference",
+        workload.reads.len(),
+        80,
+        40_000
+    );
     println!();
     println!(
         "{:>6}  {:>9}  {:>9}  {:>9}  {:>8}  {:>8}  {:>8}  {:>7}",

@@ -36,7 +36,10 @@ fn time_shared(platform: &Platform, reads: &[DnaSeq], threads: usize) -> Timing 
         .align_batch_parallel(reads, threads)
         .expect("batch aligns");
     let wall = t0.elapsed().as_secs_f64();
-    assert!(result.outcomes.iter().all(|o| o.is_mapped()), "clean workload must map");
+    assert!(
+        result.outcomes.iter().all(|o| o.is_mapped()),
+        "clean workload must map"
+    );
     Timing {
         threads,
         wall_ms: wall * 1e3,
@@ -106,7 +109,10 @@ fn main() {
     }
 
     let seed_style = time_seed_style(&workload.reference, &workload.reads, 8);
-    let shared8 = timings.iter().find(|t| t.threads == 8).expect("8-thread run");
+    let shared8 = timings
+        .iter()
+        .find(|t| t.threads == 8)
+        .expect("8-thread run");
     let speedup = seed_style.wall_ms / shared8.wall_ms;
     eprintln!(
         "parbench: seed-style (index per worker), 8 threads: {:.1} ms — shared platform is {:.1}x faster",

@@ -1,0 +1,93 @@
+//! `perfdump` — dump the platform's cycle-level metrics breakdown.
+//!
+//! ```text
+//! perfdump [--quick] [--pipelined] [--out PATH]
+//! ```
+//!
+//! Runs the paper-shaped workload through one traced alignment session
+//! and writes the full metrics document (`PerfReport::to_metrics_json`:
+//! report + fault telemetry + per-primitive cycle breakdown + spans) to
+//! `BENCH_metrics.json`. The report is derived entirely from *simulated*
+//! cycles, so the output is deterministic — byte-identical across runs
+//! and machines — and is committed as the metrics baseline.
+//!
+//! `--quick` shrinks the workload for CI smoke runs; `--pipelined`
+//! switches to PIM-Aligner-p (Pd = 2).
+
+use std::io::Write as _;
+
+use bench::workload::Workload;
+use pim_aligner::{PimAlignerConfig, Platform};
+
+/// Span-ring capacity: large enough to keep the index build, every
+/// per-read phase span and the tail of the per-`LFM` spans.
+const TRACE_CAPACITY: usize = 512;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let pipelined = args.iter().any(|a| a == "--pipelined");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_metrics.json".to_owned());
+
+    // A mixed workload: mostly-exact paper-statistics reads so both the
+    // exact and inexact stages (and their phase attribution) show up.
+    let (genome_len, read_count) = if quick { (40_000, 24) } else { (120_000, 64) };
+    let workload = Workload::paper_scaled(genome_len, read_count, 80, 2304);
+    let config = if pipelined {
+        PimAlignerConfig::pipelined()
+    } else {
+        PimAlignerConfig::baseline()
+    };
+    eprintln!(
+        "perfdump: {} bp reference, {} x 80 bp reads, Pd={}{}",
+        genome_len,
+        read_count,
+        config.pd(),
+        if quick { " (quick)" } else { "" }
+    );
+
+    let platform = Platform::new(&workload.reference, config);
+    let mut session = platform.session();
+    session.enable_tracing(TRACE_CAPACITY);
+    for read in &workload.reads {
+        let _ = session.align_read(read);
+    }
+    let report = session.report();
+
+    let b = &report.breakdown;
+    assert!(
+        b.reconciles(),
+        "primitive cycles {} must reconcile with the ledger total {}",
+        b.primitive_cycles_total,
+        b.total_busy_cycles
+    );
+    assert_eq!(
+        b.lfm_by_phase.total(),
+        report.lfm_calls,
+        "phase attribution must cover every LFM"
+    );
+    eprintln!(
+        "perfdump: {} LFMs ({} exact / {} inexact), {} busy cycles, {} sub-array activations",
+        report.lfm_calls,
+        b.lfm_by_phase.exact,
+        b.lfm_by_phase.inexact,
+        b.total_busy_cycles,
+        b.subarray_activations
+    );
+    eprintln!(
+        "perfdump: {} spans kept, {} dropped (ring capacity {TRACE_CAPACITY})",
+        b.spans.len(),
+        b.spans_dropped
+    );
+
+    let mut file = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    write!(file, "{}", report.to_metrics_json())
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("perfdump: wrote {out_path}");
+}

@@ -5,6 +5,7 @@
 //! figure) and the Criterion benches (which measure the *code* behind
 //! them) stay consistent.
 
+pub mod json;
 pub mod rows;
 pub mod table;
 pub mod workload;

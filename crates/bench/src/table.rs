@@ -84,11 +84,7 @@ mod tests {
 
     #[test]
     fn table_renders_header_and_rows() {
-        let text = render_table(
-            "t",
-            &["a", "bbbb"],
-            &[vec!["1".into(), "2".into()]],
-        );
+        let text = render_table("t", &["a", "bbbb"], &[vec!["1".into(), "2".into()]]);
         assert!(text.contains("bbbb"));
         assert!(text.lines().count() >= 4);
     }

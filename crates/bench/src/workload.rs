@@ -29,7 +29,12 @@ impl Workload {
     /// # Panics
     ///
     /// Panics if `genome_len < read_len` or `read_count == 0`.
-    pub fn paper_scaled(genome_len: usize, read_count: usize, read_len: usize, seed: u64) -> Workload {
+    pub fn paper_scaled(
+        genome_len: usize,
+        read_count: usize,
+        read_len: usize,
+        seed: u64,
+    ) -> Workload {
         Workload::with_profile(
             genome_len,
             SimProfile::paper_defaults()
@@ -68,11 +73,7 @@ impl Workload {
         assert!(profile.count > 0, "at least one read required");
         let reference = genome::uniform(genome_len, seed);
         let sim = ReadSimulator::new(profile, seed ^ 0xbead).simulate(&reference);
-        let (reads, truth) = sim
-            .reads
-            .into_iter()
-            .map(|r| (r.seq, r.donor_pos))
-            .unzip();
+        let (reads, truth) = sim.reads.into_iter().map(|r| (r.seq, r.donor_pos)).unzip();
         Workload {
             reference,
             reads,

@@ -106,7 +106,10 @@ pub fn parse(text: &str) -> Result<Vec<Record>, ParseSeqError> {
                 .next()
                 .filter(|s| !s.is_empty())
                 .ok_or_else(|| ParseSeqError::format("empty FASTA header"))?;
-            let desc = parts.next().map(|s| s.trim().to_owned()).filter(|s| !s.is_empty());
+            let desc = parts
+                .next()
+                .map(|s| s.trim().to_owned())
+                .filter(|s| !s.is_empty());
             header = Some((id.to_owned(), desc));
         } else {
             if header.is_none() {

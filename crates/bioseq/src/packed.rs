@@ -200,10 +200,7 @@ mod tests {
     use super::*;
 
     fn sample() -> PackedSeq {
-        "TGCTAACGTTGCA"
-            .parse::<DnaSeq>()
-            .unwrap()
-            .to_packed()
+        "TGCTAACGTTGCA".parse::<DnaSeq>().unwrap().to_packed()
     }
 
     #[test]

@@ -208,7 +208,10 @@ mod tests {
     #[test]
     fn reversed_flips_base_order() {
         let qs: QualityString = vec![Phred::new(10), Phred::new(20), Phred::new(30)].into();
-        assert_eq!(qs.reversed().to_fastq(), qs.to_fastq().chars().rev().collect::<String>());
+        assert_eq!(
+            qs.reversed().to_fastq(),
+            qs.to_fastq().chars().rev().collect::<String>()
+        );
         assert_eq!(qs.reversed().reversed(), qs);
     }
 

@@ -3,16 +3,30 @@
 
 use bioseq::DnaSeq;
 use fmindex::EditBudget;
-use pimsim::{CycleLedger, Dpu, FaultInjector};
+use pimsim::{CycleLedger, Dpu, FaultInjector, Span, SpanTracer};
 
 use crate::config::PimAlignerConfig;
 use crate::error::AlignError;
 use crate::exact::exact_search;
 use crate::inexact::inexact_search;
 use crate::mapping::MappedIndex;
+use crate::metrics::PhaseLfm;
 use crate::platform::Platform;
 use crate::report::{FaultTelemetry, PerfReport};
 use crate::verify::{verify_exact, verify_inexact};
+
+/// Which rung of the alignment state machine issued a platform pass —
+/// decides the [`PhaseLfm`] bucket its `LFM` calls land in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LfmAttr {
+    /// The first pass over a read (exact + inexact stages attribute to
+    /// their own buckets).
+    Primary,
+    /// A same-budget recovery retry.
+    Retry,
+    /// A difference-budget escalation rung.
+    Escalate,
+}
 
 /// Which orientation of the read produced a mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -53,8 +67,9 @@ impl AlignmentOutcome {
     /// The best positions, if mapped.
     pub fn positions(&self) -> Option<&[usize]> {
         match self {
-            AlignmentOutcome::Exact { positions }
-            | AlignmentOutcome::Inexact { positions, .. } => Some(positions),
+            AlignmentOutcome::Exact { positions } | AlignmentOutcome::Inexact { positions, .. } => {
+                Some(positions)
+            }
             AlignmentOutcome::Unmapped => None,
         }
     }
@@ -114,6 +129,9 @@ pub struct AlignSession {
     /// fault injector; [`AlignSession::fault_telemetry`] combines both
     /// with the platform's one-time build counters).
     telemetry: FaultTelemetry,
+    /// `LFM` calls attributed per alignment phase; always sums to
+    /// `lfm_calls`.
+    phase_lfm: PhaseLfm,
 }
 
 /// The pre-split name for [`AlignSession`]: one platform, one session.
@@ -142,7 +160,38 @@ impl AlignSession {
             queries: 0,
             exact_hits: 0,
             telemetry: FaultTelemetry::default(),
+            phase_lfm: PhaseLfm::default(),
         }
+    }
+
+    /// Enables span tracing, keeping the newest `capacity` spans in a
+    /// ring (the paper's phases — index build, exact/inexact passes,
+    /// recovery rungs, individual `LFM`s — show up in
+    /// `PerfReport::breakdown.spans`). Tracing is off by default and
+    /// costs one predictable branch per instrumentation point when
+    /// disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        *self.dpu.tracer_mut() = SpanTracer::with_capacity(capacity);
+        // The one-time index mapping predates the session; replay it as
+        // a synthetic span over the platform's mapping ledger.
+        self.dpu
+            .tracer_mut()
+            .record("index_build", 0, self.platform.mapped().mapping_ledger());
+    }
+
+    /// Spans recorded so far (empty unless
+    /// [`enable_tracing`](AlignSession::enable_tracing) was called).
+    pub fn spans(&self) -> Vec<Span> {
+        self.dpu.tracer().spans()
+    }
+
+    /// `LFM` calls attributed per alignment phase.
+    pub fn phase_lfm(&self) -> PhaseLfm {
+        self.phase_lfm
     }
 
     /// The shared platform this session aligns on.
@@ -194,7 +243,7 @@ impl AlignSession {
         let outcome = if self.config().recovery().is_enabled() {
             self.align_read_recovered(read)
         } else {
-            self.raw_align(read, self.config().max_diffs())
+            self.raw_align(read, self.config().max_diffs(), LfmAttr::Primary)
         };
         if matches!(outcome, AlignmentOutcome::Exact { .. }) {
             self.exact_hits += 1;
@@ -202,27 +251,47 @@ impl AlignSession {
         outcome
     }
 
+    /// Buckets `n` `LFM` calls into the phase counter `attr` selects
+    /// (`exact_stage` distinguishes the two primary-pass stages).
+    fn note_lfm(&mut self, attr: LfmAttr, exact_stage: bool, n: u64) {
+        match attr {
+            LfmAttr::Primary if exact_stage => self.phase_lfm.exact += n,
+            LfmAttr::Primary => self.phase_lfm.inexact += n,
+            LfmAttr::Retry => self.phase_lfm.recovery_retry += n,
+            LfmAttr::Escalate => self.phase_lfm.recovery_escalate += n,
+        }
+    }
+
     /// One unverified platform pass at difference budget `max_diffs`.
-    fn raw_align(&mut self, read: &DnaSeq, max_diffs: u8) -> AlignmentOutcome {
+    fn raw_align(&mut self, read: &DnaSeq, max_diffs: u8, attr: LfmAttr) -> AlignmentOutcome {
         let exhaustive = self.config().exhaustive_inexact();
+        let t_exact = self.dpu.tracer().start(&self.ledger);
         let (interval, stats) = {
             let (mapped, injector, dpu, ledger) = self.platform_parts();
             exact_search(mapped, injector, dpu, read, ledger)
         };
+        self.dpu
+            .tracer_mut()
+            .record("exact_pass", t_exact, &self.ledger);
         self.lfm_calls += stats.lfm_calls;
+        self.note_lfm(attr, true, stats.lfm_calls);
         if !interval.is_empty() {
+            let t_locate = self.dpu.tracer().start(&self.ledger);
             let positions = self.platform.mapped().locate(interval, &mut self.ledger);
+            self.dpu
+                .tracer_mut()
+                .record("locate", t_locate, &self.ledger);
             return AlignmentOutcome::Exact { positions };
         }
         if max_diffs == 0 {
             return AlignmentOutcome::Unmapped;
         }
         let budget = self.edit_budget_for(max_diffs);
+        let t_inexact = self.dpu.tracer().start(&self.ledger);
         let hits = {
             let (mapped, injector, dpu, ledger) = self.platform_parts();
             if exhaustive {
-                let (hits, istats) =
-                    inexact_search(mapped, injector, dpu, read, budget, ledger);
+                let (hits, istats) = inexact_search(mapped, injector, dpu, read, budget, ledger);
                 (hits, istats)
             } else {
                 let (hit, istats) = crate::inexact::inexact_search_first(
@@ -231,15 +300,23 @@ impl AlignSession {
                 (hit.into_iter().collect(), istats)
             }
         };
+        self.dpu
+            .tracer_mut()
+            .record("inexact_pass", t_inexact, &self.ledger);
         let (hits, istats) = hits;
         self.lfm_calls += istats.lfm_calls;
+        self.note_lfm(attr, false, istats.lfm_calls);
         let Some(best) = hits.first() else {
             return AlignmentOutcome::Unmapped;
         };
         let best_diffs = best.diffs;
         let mut positions = Vec::new();
         for hit in hits.iter().filter(|h| h.diffs == best_diffs) {
-            positions.extend(self.platform.mapped().locate(hit.interval, &mut self.ledger));
+            positions.extend(
+                self.platform
+                    .mapped()
+                    .locate(hit.interval, &mut self.ledger),
+            );
         }
         positions.sort_unstable();
         positions.dedup();
@@ -268,10 +345,19 @@ impl AlignSession {
         let faults_possible = self.mapped().faults_active();
 
         for attempt in 0..=policy.max_retries {
-            if attempt > 0 {
+            let attr = if attempt > 0 {
                 self.telemetry.retries += 1;
+                LfmAttr::Retry
+            } else {
+                LfmAttr::Primary
+            };
+            let t_rung = self.dpu.tracer().start(&self.ledger);
+            let outcome = self.raw_align(read, base_z, attr);
+            if attempt > 0 {
+                self.dpu
+                    .tracer_mut()
+                    .record("recovery.retry", t_rung, &self.ledger);
             }
-            let outcome = self.raw_align(read, base_z);
             if let Some(verified) = self.verified(read, outcome, faults_possible) {
                 return verified;
             }
@@ -284,14 +370,25 @@ impl AlignSession {
         let ceiling = policy.max_escalated_diffs.max(base_z);
         for z in (base_z + 1)..=ceiling {
             self.telemetry.escalations += 1;
-            let outcome = self.raw_align(read, z);
+            let t_rung = self.dpu.tracer().start(&self.ledger);
+            let outcome = self.raw_align(read, z, LfmAttr::Escalate);
+            self.dpu
+                .tracer_mut()
+                .record("recovery.escalate", t_rung, &self.ledger);
             if let Some(verified) = self.verified(read, outcome, faults_possible) {
                 return verified;
             }
         }
         if policy.host_fallback {
             self.telemetry.host_fallbacks += 1;
-            return self.host_fallback_align(read, ceiling);
+            // Host work is uncharged; the zero-length span still marks
+            // that the ladder bottomed out here.
+            let t_host = self.dpu.tracer().start(&self.ledger);
+            let outcome = self.host_fallback_align(read, ceiling);
+            self.dpu
+                .tracer_mut()
+                .record("recovery.host_fallback", t_host, &self.ledger);
+            return outcome;
         }
         self.telemetry.unrecoverable += 1;
         AlignmentOutcome::Unmapped
@@ -341,7 +438,10 @@ impl AlignSession {
                 if kept.is_empty() {
                     None
                 } else {
-                    Some(AlignmentOutcome::Inexact { positions: kept, diffs })
+                    Some(AlignmentOutcome::Inexact {
+                        positions: kept,
+                        diffs,
+                    })
                 }
             }
             AlignmentOutcome::Unmapped => {
@@ -417,8 +517,7 @@ impl AlignSession {
         }
         let q0 = self.queries;
         let e0 = self.exact_hits;
-        let outcomes: Vec<AlignmentOutcome> =
-            reads.iter().map(|r| self.align_read(r)).collect();
+        let outcomes: Vec<AlignmentOutcome> = reads.iter().map(|r| self.align_read(r)).collect();
         let report = self.report();
         let exact_fraction = (self.exact_hits - e0) as f64 / (self.queries - q0) as f64;
         Ok(BatchResult {
@@ -436,7 +535,8 @@ impl AlignSession {
     /// [`try_align_batch`](PimAligner::try_align_batch) for a typed
     /// error).
     pub fn align_batch(&mut self, reads: &[DnaSeq]) -> BatchResult {
-        self.try_align_batch(reads).unwrap_or_else(|e| panic!("{e}"))
+        self.try_align_batch(reads)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The cumulative performance report for all reads aligned so far,
@@ -449,6 +549,9 @@ impl AlignSession {
         let mut report =
             PerfReport::from_batch(self.config(), &self.ledger, self.queries, self.lfm_calls);
         report.faults = self.fault_telemetry();
+        report.breakdown.lfm_by_phase = self.phase_lfm;
+        report.breakdown.index_build_cycles = self.mapped().mapping_ledger().total_busy_cycles();
+        report.breakdown.attach_spans(self.dpu.tracer());
         report
     }
 
@@ -542,7 +645,9 @@ mod tests {
         let reference: DnaSeq = "AAAAAAAAAAAAAAAAAAAA".parse().unwrap();
         let mut aligner = PimAligner::new(
             &reference,
-            PimAlignerConfig::baseline().with_max_diffs(1).with_indels(false),
+            PimAlignerConfig::baseline()
+                .with_max_diffs(1)
+                .with_indels(false),
         );
         let read: DnaSeq = "GGGGGGGG".parse().unwrap();
         assert_eq!(aligner.align_read(&read), AlignmentOutcome::Unmapped);
@@ -584,7 +689,9 @@ mod tests {
                     }
                 }
                 AlignmentOutcome::Unmapped => {
-                    assert!(oracle.find_inexact(&read.seq, EditBudget::edits(1)).is_empty());
+                    assert!(oracle
+                        .find_inexact(&read.seq, EditBudget::edits(1))
+                        .is_empty());
                 }
             }
         }
@@ -634,7 +741,9 @@ mod tests {
         let reference: DnaSeq = "AAAAAAAAAAAAAAAAAAAA".parse().unwrap();
         let mut aligner = PimAligner::new(
             &reference,
-            PimAlignerConfig::baseline().with_max_diffs(1).with_indels(false),
+            PimAlignerConfig::baseline()
+                .with_max_diffs(1)
+                .with_indels(false),
         );
         let read: DnaSeq = "GGGGGGGG".parse().unwrap();
         assert_eq!(
@@ -686,7 +795,10 @@ mod tests {
         let t = rec_out.report.faults;
         assert_eq!(t.injected_total(), 0);
         assert_eq!(t.verify_failures, 0);
-        assert_eq!(t.retries + t.escalations + t.host_fallbacks + t.unrecoverable, 0);
+        assert_eq!(
+            t.retries + t.escalations + t.host_fallbacks + t.unrecoverable,
+            0
+        );
         assert_eq!(t.verifications, reads.len() as u64);
         assert!(raw_out.report.faults.is_quiet());
     }

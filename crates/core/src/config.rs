@@ -393,7 +393,9 @@ mod tests {
 
     #[test]
     fn edit_budget_reflects_settings() {
-        let c = PimAlignerConfig::baseline().with_max_diffs(1).with_indels(false);
+        let c = PimAlignerConfig::baseline()
+            .with_max_diffs(1)
+            .with_indels(false);
         assert_eq!(c.edit_budget(), fmindex::EditBudget::substitutions_only(1));
         let c = c.with_indels(true);
         assert_eq!(c.edit_budget(), fmindex::EditBudget::edits(1));

@@ -37,9 +37,11 @@ pub fn exact_search(
         bases_consumed: 0,
     };
     for &nt in read.iter().rev() {
+        let t_lfm = dpu.tracer().start(ledger);
         let low = mapped.lfm(nt, dpu.low() as usize, injector, ledger);
         let high = mapped.lfm(nt, dpu.high() as usize, injector, ledger);
         dpu.set_interval(low, high, ledger);
+        dpu.tracer_mut().record("lfm", t_lfm, ledger);
         stats.lfm_calls += 2;
         stats.bases_consumed += 1;
         if dpu.interval_empty() {
@@ -69,8 +71,7 @@ mod tests {
         let reference: DnaSeq = "TGCTA".parse().unwrap();
         let (mapped, mut injector, mut dpu, mut ledger) = setup(&reference);
         let read: DnaSeq = "CTA".parse().unwrap();
-        let (interval, stats) =
-            exact_search(&mapped, &mut injector, &mut dpu, &read, &mut ledger);
+        let (interval, stats) = exact_search(&mapped, &mut injector, &mut dpu, &read, &mut ledger);
         assert_eq!(interval.count(), 1);
         assert_eq!(mapped.locate(interval, &mut ledger), vec![2]);
         assert_eq!(stats.lfm_calls, 6);
@@ -84,8 +85,7 @@ mod tests {
         let oracle = mapped.index().clone();
         for start in (0..49_000).step_by(1_777) {
             let read = reference.subseq(start..start + 60);
-            let (interval, _) =
-                exact_search(&mapped, &mut injector, &mut dpu, &read, &mut ledger);
+            let (interval, _) = exact_search(&mapped, &mut injector, &mut dpu, &read, &mut ledger);
             let sw = oracle.backward_search(&read);
             match sw {
                 Some(expected) => assert_eq!(interval, expected, "read at {start}"),
@@ -100,8 +100,7 @@ mod tests {
         let reference: DnaSeq = "AAAAAAAAAA".parse().unwrap();
         let (mapped, mut injector, mut dpu, mut ledger) = setup(&reference);
         let read: DnaSeq = "AAAAAAAACT".parse().unwrap(); // rightmost T absent
-        let (interval, stats) =
-            exact_search(&mapped, &mut injector, &mut dpu, &read, &mut ledger);
+        let (interval, stats) = exact_search(&mapped, &mut injector, &mut dpu, &read, &mut ledger);
         assert!(interval.is_empty());
         assert_eq!(stats.bases_consumed, 1);
         assert_eq!(stats.lfm_calls, 2);
@@ -116,8 +115,7 @@ mod tests {
         assert!(mapped.subarray_count() >= 3);
         for &start in &[32_700usize, 32_760, 65_500] {
             let read = reference.subseq(start..start + 100);
-            let (interval, _) =
-                exact_search(&mapped, &mut injector, &mut dpu, &read, &mut ledger);
+            let (interval, _) = exact_search(&mapped, &mut injector, &mut dpu, &read, &mut ledger);
             assert!(!interval.is_empty(), "boundary read at {start} failed");
             assert!(mapped.locate(interval, &mut ledger).contains(&start));
         }

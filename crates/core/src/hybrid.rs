@@ -149,10 +149,8 @@ mod tests {
     #[test]
     fn recovers_read_beyond_backtracking_budget() {
         let reference = genome::uniform(40_000, 301);
-        let mut aligner = PimAligner::new(
-            &reference,
-            PimAlignerConfig::baseline().with_max_diffs(2),
-        );
+        let mut aligner =
+            PimAligner::new(&reference, PimAlignerConfig::baseline().with_max_diffs(2));
         // Five substitutions: far beyond z = 2 (the seed at offset 60
         // stays clean, so seeding still succeeds).
         let read = damage(&reference.subseq(9_000..9_100), &[5, 25, 45, 88, 92]);
@@ -176,7 +174,11 @@ mod tests {
         let read = DnaSeq::from_bases(bases);
         let hit = seed_and_extend(&mut aligner, &read, SeedExtendConfig::default())
             .expect("hybrid must bridge a 6-bp deletion");
-        assert!(hit.ref_start.abs_diff(5_000) <= 2, "start {}", hit.ref_start);
+        assert!(
+            hit.ref_start.abs_diff(5_000) <= 2,
+            "start {}",
+            hit.ref_start
+        );
         assert!(hit.alignment.cigar.indel_count() >= 6);
     }
 

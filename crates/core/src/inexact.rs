@@ -235,8 +235,7 @@ mod tests {
         bases.remove(10);
         let read = DnaSeq::from_bases(bases);
         let budget = EditBudget::edits(1);
-        let (hw, _) =
-            inexact_search(&mapped, &mut injector, &mut dpu, &read, budget, &mut ledger);
+        let (hw, _) = inexact_search(&mapped, &mut injector, &mut dpu, &read, budget, &mut ledger);
         let sw = oracle.search_inexact(&read, budget);
         assert_eq!(hw, sw);
         assert!(!hw.is_empty());

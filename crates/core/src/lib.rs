@@ -53,6 +53,7 @@ mod platform;
 mod report;
 mod verify;
 
+pub mod metrics;
 pub mod sam;
 
 pub use aligner::{AlignSession, AlignmentOutcome, BatchResult, MappedStrand, PimAligner};
@@ -62,6 +63,10 @@ pub use exact::{exact_search, ExactStats};
 pub use hybrid::{seed_and_extend, HybridHit, SeedExtendConfig};
 pub use inexact::{inexact_search, inexact_search_first, InexactStats};
 pub use mapping::MappedIndex;
+pub use metrics::{
+    MetricsBreakdown, PhaseLfm, PrimitiveMetrics, ResourceMetrics, StageOccupancy,
+    METRICS_SCHEMA_VERSION,
+};
 pub use paired::{align_pair, Mate, PairConstraints, PairOutcome};
 pub use parallel::{align_batch_parallel, align_batch_parallel_both_strands, BatchTotals};
 pub use platform::Platform;

@@ -92,8 +92,9 @@ impl MappedIndex {
             let mut sa = SubArray::new(model);
             sa.load_cref_rows(&mut ledger);
             let base_start = s * BASES_PER_SUBARRAY;
-            let bwt_buckets =
-                (n - base_start).div_ceil(SubArrayLayout::BASES_PER_ROW).min(256);
+            let bwt_buckets = (n - base_start)
+                .div_ceil(SubArrayLayout::BASES_PER_ROW)
+                .min(256);
             for lb in 0..bwt_buckets {
                 let start = base_start + lb * SubArrayLayout::BASES_PER_ROW;
                 let count = SubArrayLayout::BASES_PER_ROW.min(n - start);
@@ -104,7 +105,12 @@ impl MappedIndex {
             for lb in 0..marker_buckets {
                 let bucket = s * 256 + lb;
                 for base in Base::ALL {
-                    sa.store_marker(lb, base, index.marker_table().marker(base, bucket), &mut ledger);
+                    sa.store_marker(
+                        lb,
+                        base,
+                        index.marker_table().marker(base, bucket),
+                        &mut ledger,
+                    );
                 }
             }
             subarrays.push(sa);

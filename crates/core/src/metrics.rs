@@ -1,0 +1,467 @@
+//! The metrics/observability layer behind `PerfReport::breakdown`.
+//!
+//! Figs. 8–10 of the paper are all derived from *where cycles and energy
+//! go*; this module turns the simulator's hierarchical counters
+//! ([`pimsim::PrimCounters`], recorded by every logical-op charge) into a
+//! reviewable breakdown: per-primitive counts/cycles, per-resource busy
+//! cycles, `LFM` attribution per alignment phase, sub-array activations,
+//! `IM_ADD` carry cycles, pipeline stage occupancy for the configured
+//! `Pd`, and any spans captured by the session tracer.
+//!
+//! The JSON emitters here are **stable interfaces**: `pimalign
+//! --metrics` and the `perfdump` bench bin both write
+//! [`PerfReport::to_metrics_json`], whose schema is pinned by a
+//! golden-file test (`tests/metrics_json.rs`). Change the schema only
+//! together with that golden file and `benchdiff` consumers.
+
+use pimsim::costs::LogicalOp;
+use pimsim::{CycleLedger, Resource, Span, SpanTracer};
+
+use crate::config::PimAlignerConfig;
+use crate::report::{FaultTelemetry, PerfReport};
+
+/// Version tag embedded in every metrics JSON document.
+pub const METRICS_SCHEMA_VERSION: u32 = 1;
+
+/// `LFM` invocations attributed to the alignment phase that issued them.
+///
+/// `exact`/`inexact` cover the primary two-stage pass; the recovery
+/// counters cover re-runs issued by the verify-and-recover ladder
+/// (DESIGN.md §8). The total always equals the batch's `lfm_calls`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseLfm {
+    /// Stage-1 exact search (Algorithm 1) of the primary pass.
+    pub exact: u64,
+    /// Stage-2 inexact backtracking (Algorithm 2) of the primary pass.
+    pub inexact: u64,
+    /// Same-budget recovery retries (both stages of the re-run).
+    pub recovery_retry: u64,
+    /// Difference-budget escalation rungs (both stages of the re-run).
+    pub recovery_escalate: u64,
+}
+
+impl PhaseLfm {
+    /// Sum over all phases; reconciles with the batch `lfm_calls`.
+    pub fn total(&self) -> u64 {
+        self.exact + self.inexact + self.recovery_retry + self.recovery_escalate
+    }
+
+    /// Adds `other`'s counts into `self` (parallel worker merge).
+    pub fn merge(&mut self, other: &PhaseLfm) {
+        self.exact += other.exact;
+        self.inexact += other.inexact;
+        self.recovery_retry += other.recovery_retry;
+        self.recovery_escalate += other.recovery_escalate;
+    }
+}
+
+/// One primitive's row in the breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrimitiveMetrics {
+    /// Stable snake-case primitive label ([`LogicalOp::name`]).
+    pub name: &'static str,
+    /// The resource class the primitive occupies ([`Resource::name`]).
+    pub resource: &'static str,
+    /// Primitives issued.
+    pub count: u64,
+    /// Busy cycles occupied.
+    pub busy_cycles: u64,
+}
+
+/// One resource class's busy-cycle total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceMetrics {
+    /// Stable resource label ([`Resource::name`]).
+    pub name: &'static str,
+    /// Busy cycles attributed to the resource.
+    pub busy_cycles: u64,
+}
+
+/// Steady-state pipeline stage occupancy for the configured `Pd`
+/// (Fig. 7 model): the fraction of each `LFM` issue interval the compare
+/// stage and the adder copies are busy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageOccupancy {
+    /// Parallelism degree.
+    pub pd: usize,
+    /// Steady-state cycles per `LFM` at this `Pd`.
+    pub cycles_per_lfm: f64,
+    /// Compare-stage cycles per `LFM`.
+    pub stage_a_cycles: u64,
+    /// Inter-sub-array transfer cycles per `LFM` (method-II only).
+    pub transfer_cycles: u64,
+    /// Add-stage cycles per `LFM`.
+    pub stage_b_cycles: u64,
+    /// Compare-stage occupancy, percent of the issue interval.
+    pub compare_occupancy_pct: f64,
+    /// Adder-copy occupancy (transfer + add per copy), percent.
+    pub adder_occupancy_pct: f64,
+}
+
+/// The hierarchical cycle/energy breakdown of one simulated batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsBreakdown {
+    /// Per-primitive rows, in [`LogicalOp::ALL`] order.
+    pub primitives: Vec<PrimitiveMetrics>,
+    /// Per-resource busy-cycle totals, in [`Resource::ALL`] order.
+    pub resources: Vec<ResourceMetrics>,
+    /// The ledger's resource-level busy-cycle aggregate.
+    pub total_busy_cycles: u64,
+    /// Sum of the per-primitive busy cycles. Equals
+    /// [`total_busy_cycles`](MetricsBreakdown::total_busy_cycles) when
+    /// every charge flowed through a logical op (the production path).
+    pub primitive_cycles_total: u64,
+    /// Total dynamic energy, pJ.
+    pub energy_pj: f64,
+    /// Word-line-driving primitives issued to sub-arrays.
+    pub subarray_activations: u64,
+    /// Non-overlapped `IM_ADD` carry/write-back cycles.
+    pub im_add_carry_cycles: u64,
+    /// Total `LFM` invocations.
+    pub lfm_calls: u64,
+    /// `LFM` attribution per alignment phase (zero for synthetic
+    /// ledgers that never ran the aligner).
+    pub lfm_by_phase: PhaseLfm,
+    /// Pipeline stage occupancy at the configured `Pd`.
+    pub pipeline: StageOccupancy,
+    /// One-time index mapping cost (busy cycles); 0 when not attached.
+    pub index_build_cycles: u64,
+    /// Spans captured by the session tracer (empty when disabled or for
+    /// merged multi-worker reports).
+    pub spans: Vec<Span>,
+    /// Spans lost to ring overwrite.
+    pub spans_dropped: u64,
+}
+
+impl MetricsBreakdown {
+    /// Builds the breakdown from a batch ledger. Phase attribution,
+    /// index-build cost and spans are attached afterwards by the session
+    /// or platform report path.
+    pub fn from_ledger(
+        config: &PimAlignerConfig,
+        ledger: &CycleLedger,
+        lfm_calls: u64,
+    ) -> MetricsBreakdown {
+        let prims = ledger.primitives();
+        let primitives: Vec<PrimitiveMetrics> = LogicalOp::ALL
+            .iter()
+            .map(|&op| PrimitiveMetrics {
+                name: op.name(),
+                resource: op.resource().name(),
+                count: prims.count(op),
+                busy_cycles: prims.cycles(op),
+            })
+            .collect();
+        let resources: Vec<ResourceMetrics> = Resource::ALL
+            .iter()
+            .map(|&r| ResourceMetrics {
+                name: r.name(),
+                busy_cycles: ledger.busy_cycles(r),
+            })
+            .collect();
+
+        let pipeline = config.pipeline();
+        let pd = config.pd();
+        let rate = pipeline.cycles_per_lfm(pd);
+        let adder_busy = if pd == 1 {
+            pipeline.stage_b_cycles as f64
+        } else {
+            pipeline.transfer_cycles as f64 + pipeline.stage_b_cycles as f64 / (pd as f64 - 1.0)
+        };
+        let occupancy = StageOccupancy {
+            pd,
+            cycles_per_lfm: rate,
+            stage_a_cycles: pipeline.stage_a_cycles,
+            transfer_cycles: pipeline.transfer_cycles,
+            stage_b_cycles: pipeline.stage_b_cycles,
+            compare_occupancy_pct: 100.0 * (pipeline.stage_a_cycles as f64 / rate).min(1.0),
+            adder_occupancy_pct: 100.0 * (adder_busy / rate).min(1.0),
+        };
+
+        MetricsBreakdown {
+            primitives,
+            resources,
+            total_busy_cycles: ledger.total_busy_cycles(),
+            primitive_cycles_total: prims.total_cycles(),
+            energy_pj: ledger.energy_pj(),
+            subarray_activations: prims.subarray_activations(),
+            im_add_carry_cycles: prims.im_add_carry_cycles(),
+            lfm_calls,
+            lfm_by_phase: PhaseLfm::default(),
+            pipeline: occupancy,
+            index_build_cycles: 0,
+            spans: Vec::new(),
+            spans_dropped: 0,
+        }
+    }
+
+    /// Attaches the spans harvested from a session tracer.
+    pub fn attach_spans(&mut self, tracer: &SpanTracer) {
+        self.spans = tracer.spans();
+        self.spans_dropped = tracer.dropped();
+    }
+
+    /// `true` when the per-primitive cycle total reconciles exactly with
+    /// the ledger's resource-level aggregate — the invariant the
+    /// production charge path maintains.
+    pub fn reconciles(&self) -> bool {
+        self.primitive_cycles_total == self.total_busy_cycles
+    }
+
+    /// The breakdown object as stable JSON (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let prim_rows = self
+            .primitives
+            .iter()
+            .map(|p| {
+                format!(
+                    "      {{ \"name\": \"{}\", \"resource\": \"{}\", \"count\": {}, \
+                     \"busy_cycles\": {} }}",
+                    p.name, p.resource, p.count, p.busy_cycles
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let res_rows = self
+            .resources
+            .iter()
+            .map(|r| {
+                format!(
+                    "      {{ \"name\": \"{}\", \"busy_cycles\": {} }}",
+                    r.name, r.busy_cycles
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let span_rows = self
+            .spans
+            .iter()
+            .map(|s| {
+                format!(
+                    "      {{ \"name\": \"{}\", \"start_cycles\": {}, \"end_cycles\": {} }}",
+                    s.name, s.start_cycles, s.end_cycles
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let spans_json = if self.spans.is_empty() {
+            "[]".to_owned()
+        } else {
+            format!("[\n{span_rows}\n    ]")
+        };
+        let p = &self.pipeline;
+        format!(
+            "{{\n    \
+             \"total_busy_cycles\": {},\n    \
+             \"primitive_cycles_total\": {},\n    \
+             \"energy_pj\": {},\n    \
+             \"subarray_activations\": {},\n    \
+             \"im_add_carry_cycles\": {},\n    \
+             \"lfm_calls\": {},\n    \
+             \"index_build_cycles\": {},\n    \
+             \"primitives\": [\n{}\n    ],\n    \
+             \"resources\": [\n{}\n    ],\n    \
+             \"lfm_by_phase\": {{ \"exact\": {}, \"inexact\": {}, \"recovery_retry\": {}, \
+             \"recovery_escalate\": {} }},\n    \
+             \"pipeline\": {{ \"pd\": {}, \"cycles_per_lfm\": {}, \"stage_a_cycles\": {}, \
+             \"transfer_cycles\": {}, \"stage_b_cycles\": {}, \"compare_occupancy_pct\": {}, \
+             \"adder_occupancy_pct\": {} }},\n    \
+             \"spans\": {},\n    \
+             \"spans_dropped\": {}\n  }}",
+            self.total_busy_cycles,
+            self.primitive_cycles_total,
+            json_f64(self.energy_pj),
+            self.subarray_activations,
+            self.im_add_carry_cycles,
+            self.lfm_calls,
+            self.index_build_cycles,
+            prim_rows,
+            res_rows,
+            self.lfm_by_phase.exact,
+            self.lfm_by_phase.inexact,
+            self.lfm_by_phase.recovery_retry,
+            self.lfm_by_phase.recovery_escalate,
+            p.pd,
+            json_f64(p.cycles_per_lfm),
+            p.stage_a_cycles,
+            p.transfer_cycles,
+            p.stage_b_cycles,
+            json_f64(p.compare_occupancy_pct),
+            json_f64(p.adder_occupancy_pct),
+            spans_json,
+            self.spans_dropped,
+        )
+    }
+}
+
+impl PerfReport {
+    /// The full metrics document — batch report, fault telemetry and the
+    /// cycle breakdown — as stable JSON (schema pinned by the golden
+    /// test; ends with a newline).
+    pub fn to_metrics_json(&self) -> String {
+        format!(
+            "{{\n  \"schema_version\": {},\n  \"report\": {},\n  \"faults\": {},\n  \
+             \"breakdown\": {}\n}}\n",
+            METRICS_SCHEMA_VERSION,
+            report_json(self),
+            faults_json(&self.faults),
+            self.breakdown.to_json(),
+        )
+    }
+}
+
+fn report_json(r: &PerfReport) -> String {
+    format!(
+        "{{ \"queries\": {}, \"lfm_calls\": {}, \"time_s\": {}, \"throughput_qps\": {}, \
+         \"dynamic_power_w\": {}, \"total_power_w\": {}, \"energy_per_query_j\": {}, \
+         \"mbr_pct\": {}, \"rur_pct\": {}, \"area_mm2\": {}, \"offchip_gb\": {}, \
+         \"throughput_per_watt\": {}, \"throughput_per_watt_mm2\": {} }}",
+        r.queries,
+        r.lfm_calls,
+        json_f64(r.time_s),
+        json_f64(r.throughput_qps),
+        json_f64(r.dynamic_power_w),
+        json_f64(r.total_power_w),
+        json_f64(r.energy_per_query_j),
+        json_f64(r.mbr_pct),
+        json_f64(r.rur_pct),
+        json_f64(r.area_mm2),
+        json_f64(r.offchip_gb),
+        json_f64(r.throughput_per_watt),
+        json_f64(r.throughput_per_watt_mm2),
+    )
+}
+
+fn faults_json(t: &FaultTelemetry) -> String {
+    format!(
+        "{{ \"stuck_cells\": {}, \"xnor_bit_flips\": {}, \"transient_row_faults\": {}, \
+         \"carry_faults\": {}, \"verifications\": {}, \"verify_failures\": {}, \
+         \"retries\": {}, \"escalations\": {}, \"host_fallbacks\": {}, \
+         \"unrecoverable\": {} }}",
+        t.stuck_cells,
+        t.xnor_bit_flips,
+        t.transient_row_faults,
+        t.carry_faults,
+        t.verifications,
+        t.verify_failures,
+        t.retries,
+        t.escalations,
+        t.host_fallbacks,
+        t.unrecoverable,
+    )
+}
+
+/// Deterministic JSON float formatting: scientific notation with six
+/// significant decimals (finite values only; the simulator never
+/// produces NaN/inf).
+fn json_f64(x: f64) -> String {
+    debug_assert!(x.is_finite(), "metrics JSON requires finite floats");
+    if x == 0.0 {
+        "0.0".to_owned()
+    } else {
+        format!("{x:.6e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mram::array::ArrayModel;
+    use pimsim::costs;
+
+    fn synthetic_ledger(lfms: u64) -> CycleLedger {
+        let model = ArrayModel::default();
+        let mut ledger = CycleLedger::new();
+        for _ in 0..lfms {
+            costs::charge_lfm(&model, &mut ledger);
+        }
+        ledger
+    }
+
+    #[test]
+    fn breakdown_reconciles_for_logical_op_ledgers() {
+        let config = PimAlignerConfig::baseline();
+        let ledger = synthetic_ledger(10);
+        let b = MetricsBreakdown::from_ledger(&config, &ledger, 10);
+        assert!(
+            b.reconciles(),
+            "prim cycles {} vs busy {}",
+            b.primitive_cycles_total,
+            b.total_busy_cycles
+        );
+        assert_eq!(b.total_busy_cycles, 760);
+        // One LFM = 1 xnor + 1 popcount + 1 marker read + 1 add + 1 update.
+        let by_name = |n: &str| b.primitives.iter().find(|p| p.name == n).unwrap();
+        assert_eq!(by_name("xnor_match").count, 10);
+        assert_eq!(by_name("im_add32").count, 10);
+        assert_eq!(by_name("im_add32").busy_cycles, 450);
+        assert_eq!(b.im_add_carry_cycles, 130);
+        // xnor + marker read + add activate; popcount + update do not.
+        assert_eq!(b.subarray_activations, 30);
+    }
+
+    #[test]
+    fn occupancy_matches_pipeline_model() {
+        let ledger = synthetic_ledger(1);
+        let n = MetricsBreakdown::from_ledger(&PimAlignerConfig::baseline(), &ledger, 1);
+        assert_eq!(n.pipeline.pd, 1);
+        assert!((n.pipeline.compare_occupancy_pct - 100.0 * 29.0 / 76.0).abs() < 1e-9);
+        assert!((n.pipeline.adder_occupancy_pct - 100.0 * 47.0 / 76.0).abs() < 1e-9);
+        let p = MetricsBreakdown::from_ledger(&PimAlignerConfig::pipelined(), &ledger, 1);
+        assert_eq!(p.pipeline.pd, 2);
+        // Pd=2: adder copy binds (transfer 7 + add 47 = 54 = issue rate).
+        assert!((p.pipeline.adder_occupancy_pct - 100.0).abs() < 1e-9);
+        assert!((p.pipeline.compare_occupancy_pct - 100.0 * 29.0 / 54.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_lfm_merge_and_total() {
+        let mut a = PhaseLfm {
+            exact: 10,
+            inexact: 4,
+            recovery_retry: 2,
+            recovery_escalate: 1,
+        };
+        let b = PhaseLfm {
+            exact: 5,
+            inexact: 0,
+            recovery_retry: 3,
+            recovery_escalate: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.exact, 15);
+        assert_eq!(a.recovery_retry, 5);
+        assert_eq!(a.total(), 25);
+    }
+
+    #[test]
+    fn json_floats_are_deterministic_and_finite() {
+        assert_eq!(json_f64(0.0), "0.0");
+        assert_eq!(json_f64(1234.5), "1.234500e3");
+        assert_eq!(json_f64(-0.25), "-2.500000e-1");
+    }
+
+    #[test]
+    fn breakdown_json_contains_every_section() {
+        let ledger = synthetic_ledger(3);
+        let b = MetricsBreakdown::from_ledger(&PimAlignerConfig::pipelined(), &ledger, 3);
+        let json = b.to_json();
+        for key in [
+            "\"total_busy_cycles\"",
+            "\"primitive_cycles_total\"",
+            "\"energy_pj\"",
+            "\"subarray_activations\"",
+            "\"im_add_carry_cycles\"",
+            "\"primitives\"",
+            "\"resources\"",
+            "\"lfm_by_phase\"",
+            "\"pipeline\"",
+            "\"spans\"",
+            "\"spans_dropped\"",
+            "\"xnor_match\"",
+            "\"compare_occupancy_pct\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -240,9 +240,9 @@ mod tests {
             .reverse_complement();
         let outcome = align_pair(&mut aligner, &r1, &r2, PairConstraints::new(100, 500));
         match outcome {
-            PairOutcome::ProperPair {
-                fragment_start, ..
-            } => assert_eq!(fragment_start, r1_start, "pairing must pick repeat copy 1"),
+            PairOutcome::ProperPair { fragment_start, .. } => {
+                assert_eq!(fragment_start, r1_start, "pairing must pick repeat copy 1")
+            }
             other => panic!("expected proper pair, got {other:?}"),
         }
     }
@@ -250,10 +250,8 @@ mod tests {
     #[test]
     fn unpairable_combinations_are_classified() {
         let reference = genome::uniform(10_000, 207);
-        let mut aligner = PimAligner::new(
-            &reference,
-            PimAlignerConfig::baseline().with_max_diffs(0),
-        );
+        let mut aligner =
+            PimAligner::new(&reference, PimAlignerConfig::baseline().with_max_diffs(0));
         let r1 = reference.subseq(1_000..1_060);
         // Both mates forward and far apart: discordant.
         let r2_same_strand = reference.subseq(9_000..9_060);

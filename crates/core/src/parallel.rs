@@ -25,6 +25,7 @@ use pimsim::CycleLedger;
 use crate::aligner::{AlignmentOutcome, BatchResult, MappedStrand};
 use crate::config::PimAlignerConfig;
 use crate::error::AlignError;
+use crate::metrics::PhaseLfm;
 use crate::platform::Platform;
 use crate::report::{FaultTelemetry, PerfReport};
 
@@ -62,6 +63,8 @@ pub struct BatchTotals {
     /// platform's one-time build counters are *not* included — they are
     /// added once by [`Platform::batch_report`].
     pub telemetry: FaultTelemetry,
+    /// Merged per-phase `LFM` attribution; always sums to `lfm_calls`.
+    pub phase_lfm: PhaseLfm,
 }
 
 impl BatchTotals {
@@ -74,6 +77,7 @@ impl BatchTotals {
             exact_hits: 0,
             ledger: CycleLedger::new(),
             telemetry: FaultTelemetry::default(),
+            phase_lfm: PhaseLfm::default(),
         }
     }
 
@@ -85,6 +89,7 @@ impl BatchTotals {
         self.exact_hits += other.exact_hits;
         self.ledger.merge(&other.ledger);
         self.telemetry.merge(&other.telemetry);
+        self.phase_lfm.merge(&other.phase_lfm);
     }
 
     /// Fraction of *reads* resolved by the exact stage (paper §III).
@@ -172,6 +177,7 @@ fn run_workers(
                         exact_hits: session.exact_hits(),
                         ledger: session.ledger().clone(),
                         telemetry: session.session_telemetry(),
+                        phase_lfm: session.phase_lfm(),
                     },
                 });
             });
@@ -286,6 +292,8 @@ impl Platform {
         faults.transient_row_faults += build.transient_row_faults;
         faults.carry_faults += build.carry_faults;
         report.faults = faults;
+        report.breakdown.lfm_by_phase = totals.phase_lfm;
+        report.breakdown.index_build_cycles = self.mapped().mapping_ledger().total_busy_cycles();
         report
     }
 
@@ -395,9 +403,7 @@ mod tests {
             (par_result.report.throughput_qps - seq_result.report.throughput_qps).abs()
                 < 1e-6 * seq_result.report.throughput_qps
         );
-        assert!(
-            (par_result.report.total_power_w - seq_result.report.total_power_w).abs() < 1e-9
-        );
+        assert!((par_result.report.total_power_w - seq_result.report.total_power_w).abs() < 1e-9);
     }
 
     #[test]
@@ -421,16 +427,16 @@ mod tests {
     #[test]
     fn zero_threads_is_a_typed_error() {
         let (reference, reads) = workload();
-        let err = align_batch_parallel(&reference, &PimAlignerConfig::baseline(), &reads, 0)
-            .unwrap_err();
+        let err =
+            align_batch_parallel(&reference, &PimAlignerConfig::baseline(), &reads, 0).unwrap_err();
         assert_eq!(err, AlignError::NoThreads);
     }
 
     #[test]
     fn empty_batch_is_a_typed_error() {
         let (reference, _) = workload();
-        let err = align_batch_parallel(&reference, &PimAlignerConfig::baseline(), &[], 4)
-            .unwrap_err();
+        let err =
+            align_batch_parallel(&reference, &PimAlignerConfig::baseline(), &[], 4).unwrap_err();
         assert_eq!(err, AlignError::EmptyBatch);
     }
 
@@ -441,18 +447,11 @@ mod tests {
         let fwd = reference.subseq(500..560);
         let rev = reference.subseq(3_000..3_060).reverse_complement();
         let reads = vec![fwd, rev];
-        let (result, strands) = align_batch_parallel_both_strands(
-            &reference,
-            &PimAlignerConfig::baseline(),
-            &reads,
-            2,
-        )
-        .unwrap();
+        let (result, strands) =
+            align_batch_parallel_both_strands(&reference, &PimAlignerConfig::baseline(), &reads, 2)
+                .unwrap();
         assert!(result.outcomes.iter().all(|o| o.is_mapped()));
-        assert_eq!(
-            strands,
-            vec![MappedStrand::Forward, MappedStrand::Reverse]
-        );
+        assert_eq!(strands, vec![MappedStrand::Forward, MappedStrand::Reverse]);
     }
 
     #[test]
@@ -465,13 +464,9 @@ mod tests {
             reference.subseq(500..560),
             reference.subseq(3_000..3_060).reverse_complement(),
         ];
-        let (result, _) = align_batch_parallel_both_strands(
-            &reference,
-            &PimAlignerConfig::baseline(),
-            &reads,
-            2,
-        )
-        .unwrap();
+        let (result, _) =
+            align_batch_parallel_both_strands(&reference, &PimAlignerConfig::baseline(), &reads, 2)
+                .unwrap();
         assert!(result.outcomes.iter().all(|o| o.is_mapped()));
         assert_eq!(result.exact_fraction, 1.0);
         // The forward-only path agrees with the sequential definition.
@@ -507,8 +502,7 @@ mod tests {
         let (reference, reads) = workload();
         let config = PimAlignerConfig::baseline()
             .with_fault_campaign(
-                FaultCampaign::seeded(9)
-                    .with_model(FaultModel::with_probabilities(2e-3, 0.0)),
+                FaultCampaign::seeded(9).with_model(FaultModel::with_probabilities(2e-3, 0.0)),
             )
             .with_recovery(RecoveryPolicy::standard());
         let result = align_batch_parallel(&reference, &config, &reads, 4).unwrap();
@@ -544,7 +538,8 @@ mod tests {
         // Worker 0 replays the sequential session's stream bit-identically:
         // a fresh session from the same platform draws the same faults.
         let mut replay = platform.session();
-        let out_replay: Vec<AlignmentOutcome> = reads.iter().map(|r| replay.align_read(r)).collect();
+        let out_replay: Vec<AlignmentOutcome> =
+            reads.iter().map(|r| replay.align_read(r)).collect();
         assert_eq!(out0, out_replay);
         assert_eq!(s0.session_telemetry(), replay.session_telemetry());
     }

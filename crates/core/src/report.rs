@@ -4,6 +4,7 @@ use pimsim::{CycleLedger, Resource};
 use serde::{Deserialize, Serialize};
 
 use crate::config::PimAlignerConfig;
+use crate::metrics::MetricsBreakdown;
 
 /// Background (leakage + clocking) power per active sub-array, watts.
 /// Part of the DESIGN.md §6 calibration.
@@ -112,6 +113,11 @@ pub struct PerfReport {
     /// Fault-injection and recovery telemetry for the batch (all-zero
     /// for fault-free, recovery-off runs).
     pub faults: FaultTelemetry,
+    /// Hierarchical cycle/energy breakdown: per-primitive counters,
+    /// per-resource busy cycles, phase-attributed `LFM`s, pipeline stage
+    /// occupancy and traced spans (the metrics layer behind
+    /// `pimalign --metrics` and `perfdump`).
+    pub breakdown: MetricsBreakdown,
 }
 
 impl PerfReport {
@@ -153,8 +159,7 @@ impl PerfReport {
         // MBR: memory/transfer cycles visible on the critical path.
         let visible_memory = if pd == 1 {
             // Sequential: all memory cycles are on the path.
-            (ledger.busy_cycles(Resource::Memory) + ledger.busy_cycles(Resource::Transfer))
-                as f64
+            (ledger.busy_cycles(Resource::Memory) + ledger.busy_cycles(Resource::Transfer)) as f64
                 / lfm_calls.max(1) as f64
         } else {
             // Pipelined: the marker read hides under the other read's add;
@@ -185,13 +190,16 @@ impl PerfReport {
             throughput_per_watt,
             throughput_per_watt_mm2: throughput_per_watt / area_mm2,
             faults: FaultTelemetry::default(),
+            breakdown: MetricsBreakdown::from_ledger(config, ledger, lfm_calls),
         }
     }
 
     /// Rescales the report to a different query count, assuming the
     /// simulated per-query behaviour is representative (used to quote
     /// paper-scale 10 M-read numbers from a smaller simulated batch).
-    /// Throughput, power and ratios are intensive and unchanged.
+    /// Throughput, power and ratios are intensive and unchanged. The
+    /// cycle breakdown stays at the simulated batch's scale — it
+    /// describes work that actually ran, never extrapolated work.
     pub fn scaled_to_queries(&self, queries: u64) -> PerfReport {
         let factor = queries as f64 / self.queries as f64;
         PerfReport {

@@ -206,7 +206,11 @@ mod tests {
         );
         assert_eq!(r.flag & flags::REVERSE, flags::REVERSE);
         assert_eq!(r.seq, "CGGTTT", "SEQ must be the reverse complement");
-        assert_eq!(r.qual, quality.reversed().to_fastq(), "QUAL must be reversed");
+        assert_eq!(
+            r.qual,
+            quality.reversed().to_fastq(),
+            "QUAL must be reversed"
+        );
         // Forward records are untouched.
         let f = record_for(
             "r5",

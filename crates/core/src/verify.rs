@@ -15,8 +15,7 @@ use swalign::banded_edit_distance;
 
 /// `true` when `read` occurs verbatim at `pos`.
 pub fn verify_exact(reference: &DnaSeq, read: &DnaSeq, pos: usize) -> bool {
-    pos + read.len() <= reference.len()
-        && reference.subseq(pos..pos + read.len()) == *read
+    pos + read.len() <= reference.len() && reference.subseq(pos..pos + read.len()) == *read
 }
 
 /// `true` when `read` aligns at `pos` with at most `max_diffs`
@@ -103,7 +102,13 @@ mod tests {
         let reference = seq("ACGT");
         assert!(!verify_exact(&reference, &seq("ACGT"), 1));
         assert!(!verify_inexact(&reference, &seq("ACGT"), 4, 2, true));
-        assert!(!verify_inexact(&reference, &DnaSeq::from_bases(vec![]), 0, 2, true));
+        assert!(!verify_inexact(
+            &reference,
+            &DnaSeq::from_bases(vec![]),
+            0,
+            2,
+            true
+        ));
         let _ = Base::A; // keep the import used
     }
 }

@@ -53,7 +53,11 @@ impl Bwt {
             }
             ranks.push(r);
         }
-        assert_ne!(sentinel_pos, usize::MAX, "suffix array missing sentinel row");
+        assert_ne!(
+            sentinel_pos,
+            usize::MAX,
+            "suffix array missing sentinel row"
+        );
         Bwt {
             ranks,
             sentinel_pos,

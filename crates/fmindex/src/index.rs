@@ -353,7 +353,10 @@ mod tests {
     #[test]
     fn find_inexact_keeps_best_diff_per_position() {
         let index = idx("GATTACA");
-        let hits = index.find_inexact(&"GATTACA".parse().unwrap(), EditBudget::substitutions_only(1));
+        let hits = index.find_inexact(
+            &"GATTACA".parse().unwrap(),
+            EditBudget::substitutions_only(1),
+        );
         assert_eq!(hits.iter().find(|(p, _)| *p == 0).map(|(_, d)| *d), Some(0));
     }
 

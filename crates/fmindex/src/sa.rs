@@ -149,9 +149,7 @@ fn sais(s: &[usize], alphabet: usize) -> Vec<usize> {
     for &p in &sorted_lms {
         if let Some(q) = prev {
             let (pe, qe) = (lms_substring_end(p), lms_substring_end(q));
-            let equal = pe - p == qe - q
-                && s[p..=pe] == s[q..=qe]
-                && is_s[p..=pe] == is_s[q..=qe];
+            let equal = pe - p == qe - q && s[p..=pe] == s[q..=qe] && is_s[p..=pe] == is_s[q..=qe];
             if !equal {
                 current += 1;
             }

@@ -183,7 +183,10 @@ mod tests {
         let full = SaInterval::full(10);
         assert_eq!((full.low(), full.high()), (0, 10));
         assert!(SaInterval::new(3, 3).is_empty());
-        assert_eq!(SaInterval::new(2, 5).rows().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(
+            SaInterval::new(2, 5).rows().collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
     }
 
     #[test]

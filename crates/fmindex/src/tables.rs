@@ -109,7 +109,11 @@ impl OccTable {
     /// Panics if `i > bwt.len()`.
     #[inline]
     pub fn occ(&self, base: Base, i: usize) -> u32 {
-        assert!(i <= self.len, "occ index {i} out of range (len {})", self.len);
+        assert!(
+            i <= self.len,
+            "occ index {i} out of range (len {})",
+            self.len
+        );
         self.cum[i * 4 + base.rank()]
     }
 
@@ -343,7 +347,10 @@ mod tests {
         let (_, count, _, sampled, mt) = setup("TGCTAACG", 2);
         for b in 0..mt.buckets() {
             for base in Base::ALL {
-                assert_eq!(mt.marker(base, b), count.get(base) + sampled.sample(base, b));
+                assert_eq!(
+                    mt.marker(base, b),
+                    count.get(base) + sampled.sample(base, b)
+                );
             }
         }
     }

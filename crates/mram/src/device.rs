@@ -109,7 +109,10 @@ impl CellParams {
     ///
     /// Panics if either σ is negative.
     pub fn with_variation(mut self, sigma_ra: f64, sigma_tmr: f64) -> CellParams {
-        assert!(sigma_ra >= 0.0 && sigma_tmr >= 0.0, "sigma must be non-negative");
+        assert!(
+            sigma_ra >= 0.0 && sigma_tmr >= 0.0,
+            "sigma must be non-negative"
+        );
         self.sigma_ra = sigma_ra;
         self.sigma_tmr = sigma_tmr;
         self
@@ -237,8 +240,7 @@ mod tests {
         // Three-cell parallel levels: 15 / 18 / 22.5 / 30 mV.
         let rp = c.r_p_ohm();
         let rap = c.r_ap_ohm();
-        let v =
-            |cells: &[f64]| c.sense_voltage_mv(parallel_resistance(cells));
+        let v = |cells: &[f64]| c.sense_voltage_mv(parallel_resistance(cells));
         assert!((v(&[rp, rp, rp]) - 15.0).abs() < 1e-9);
         assert!((v(&[rap, rp, rp]) - 18.0).abs() < 1e-9);
         assert!((v(&[rap, rap, rp]) - 22.5).abs() < 1e-9);

@@ -63,11 +63,7 @@ impl FaultModel {
     /// the MAJ boundary; the adder's carry shares it.
     pub fn from_report(report: &SenseMarginReport) -> FaultModel {
         let panel = report.panel(3);
-        let worst = panel
-            .misread_prob
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max);
+        let worst = panel.misread_prob.iter().copied().fold(0.0f64, f64::max);
         FaultModel {
             xnor_misread_prob: worst,
             add_misread_prob: worst,
@@ -308,7 +304,10 @@ mod tests {
         // overlaps adjacent distributions.
         let noisy = CellParams::default().with_sense_offset(1.5);
         let m = FaultModel::from_cell(&noisy, 3_000, 11);
-        assert!(m.xnor_misread_prob() > 0.0, "1.5 mV offset must overlap levels");
+        assert!(
+            m.xnor_misread_prob() > 0.0,
+            "1.5 mV offset must overlap levels"
+        );
         assert!(!m.is_ideal());
     }
 
@@ -321,7 +320,11 @@ mod tests {
         let thin = FaultModel::from_cell(&noisy, 3_000, 13);
         let thick = FaultModel::from_cell(&noisy.with_tox_nm(2.0), 3_000, 13);
         assert!(thin.xnor_misread_prob() > 0.0);
-        assert_eq!(thick.xnor_misread_prob(), 0.0, "thick oxide must be reliable");
+        assert_eq!(
+            thick.xnor_misread_prob(),
+            0.0,
+            "thick oxide must be reliable"
+        );
     }
 
     #[test]
@@ -337,8 +340,12 @@ mod tests {
         let model = FaultModel::with_probabilities(1e-3, 0.0);
         assert!(FaultCampaign::none().with_model(model).is_active());
         assert!(FaultCampaign::none().with_stuck_at_rate(1e-4).is_active());
-        assert!(FaultCampaign::none().with_transient_row_rate(1e-4).is_active());
-        assert!(FaultCampaign::none().with_carry_fault_prob(1e-4).is_active());
+        assert!(FaultCampaign::none()
+            .with_transient_row_rate(1e-4)
+            .is_active());
+        assert!(FaultCampaign::none()
+            .with_carry_fault_prob(1e-4)
+            .is_active());
     }
 
     #[test]

@@ -224,7 +224,11 @@ mod tests {
     #[test]
     fn level_means_match_nominal_voltages() {
         let r = report();
-        let expected: [&[f64]; 3] = [&[45.0, 90.0], &[22.5, 30.0, 45.0], &[15.0, 18.0, 22.5, 30.0]];
+        let expected: [&[f64]; 3] = [
+            &[45.0, 90.0],
+            &[22.5, 30.0, 45.0],
+            &[15.0, 18.0, 22.5, 30.0],
+        ];
         for (panel, exp) in r.panels.iter().zip(expected) {
             for (level, &e) in panel.levels.iter().zip(exp) {
                 assert!(
@@ -284,11 +288,7 @@ mod tests {
     #[test]
     fn larger_variation_erodes_margins() {
         let base = run(&CellParams::default(), 2_000, 9);
-        let noisy = run(
-            &CellParams::default().with_variation(0.08, 0.20),
-            2_000,
-            9,
-        );
+        let noisy = run(&CellParams::default().with_variation(0.08, 0.20), 2_000, 9);
         assert!(noisy.panel(3).worst_margin_mv() < base.panel(3).worst_margin_mv());
     }
 

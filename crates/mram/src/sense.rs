@@ -223,9 +223,21 @@ mod tests {
                 for c in [false, true] {
                     let r = cells(&cell, [a, b, c]);
                     let ones = a as usize + b as usize + c as usize;
-                    assert_eq!(sa.evaluate(SenseMode::And3, &r), ones == 3, "AND3({a},{b},{c})");
-                    assert_eq!(sa.evaluate(SenseMode::Maj3, &r), ones >= 2, "MAJ({a},{b},{c})");
-                    assert_eq!(sa.evaluate(SenseMode::Or3, &r), ones >= 1, "OR3({a},{b},{c})");
+                    assert_eq!(
+                        sa.evaluate(SenseMode::And3, &r),
+                        ones == 3,
+                        "AND3({a},{b},{c})"
+                    );
+                    assert_eq!(
+                        sa.evaluate(SenseMode::Maj3, &r),
+                        ones >= 2,
+                        "MAJ({a},{b},{c})"
+                    );
+                    assert_eq!(
+                        sa.evaluate(SenseMode::Or3, &r),
+                        ones >= 1,
+                        "OR3({a},{b},{c})"
+                    );
                     assert_eq!(
                         sa.evaluate(SenseMode::Xor3, &r),
                         ones % 2 == 1,

@@ -48,6 +48,56 @@ pub enum LogicalOp {
 }
 
 impl LogicalOp {
+    /// All logical operations, in the stable order the metrics emitters
+    /// use.
+    pub const ALL: [LogicalOp; 8] = [
+        LogicalOp::XnorMatch,
+        LogicalOp::Popcount,
+        LogicalOp::MarkerRead,
+        LogicalOp::ImAdd32,
+        LogicalOp::IndexUpdate,
+        LogicalOp::SaEntryRead,
+        LogicalOp::RowWrite,
+        LogicalOp::RowRead,
+    ];
+
+    /// Position in [`LogicalOp::ALL`] (the counter-table index).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            LogicalOp::XnorMatch => 0,
+            LogicalOp::Popcount => 1,
+            LogicalOp::MarkerRead => 2,
+            LogicalOp::ImAdd32 => 3,
+            LogicalOp::IndexUpdate => 4,
+            LogicalOp::SaEntryRead => 5,
+            LogicalOp::RowWrite => 6,
+            LogicalOp::RowRead => 7,
+        }
+    }
+
+    /// Stable snake-case label used by the metrics JSON emitters.
+    pub fn name(self) -> &'static str {
+        match self {
+            LogicalOp::XnorMatch => "xnor_match",
+            LogicalOp::Popcount => "popcount",
+            LogicalOp::MarkerRead => "marker_read",
+            LogicalOp::ImAdd32 => "im_add32",
+            LogicalOp::IndexUpdate => "index_update",
+            LogicalOp::SaEntryRead => "sa_entry_read",
+            LogicalOp::RowWrite => "row_write",
+            LogicalOp::RowRead => "row_read",
+        }
+    }
+
+    /// Whether the op drives word lines in a sub-array (everything but
+    /// the DPU-internal popcount and index-register updates). The
+    /// per-primitive counters derive the sub-array activation total from
+    /// this.
+    pub fn activates_subarray(self) -> bool {
+        !matches!(self, LogicalOp::Popcount | LogicalOp::IndexUpdate)
+    }
+
     /// Cycles one logical op occupies on its resource.
     pub fn cycles(self) -> u64 {
         match self {
@@ -74,8 +124,10 @@ impl LogicalOp {
         }
     }
 
-    /// Charges this logical op to a ledger (cycles + energy).
+    /// Charges this logical op to a ledger (cycles + energy) and records
+    /// it in the ledger's per-primitive counters.
     pub fn charge(self, model: &ArrayModel, ledger: &mut CycleLedger) {
+        ledger.note_op(self);
         let resource = self.resource();
         match self {
             LogicalOp::XnorMatch => {

@@ -232,10 +232,7 @@ mod tests {
             assert_eq!(row_a, row_b);
             assert_eq!(a.carry_fault_bit(), b.carry_fault_bit());
         }
-        assert_eq!(
-            a.stuck_cell_plan(388, 256),
-            b.stuck_cell_plan(388, 256)
-        );
+        assert_eq!(a.stuck_cell_plan(388, 256), b.stuck_cell_plan(388, 256));
         assert_eq!(a.counters(), b.counters());
         assert!(a.counters().total() > 0, "noisy campaign must fire");
     }

@@ -2,6 +2,9 @@
 
 use mram::array::{ArrayModel, ArrayOp};
 
+use crate::costs::LogicalOp;
+use crate::metrics::PrimCounters;
+
 /// A hardware resource class, used to attribute busy cycles for the
 /// utilisation figures (Fig. 10b/10c).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,6 +38,16 @@ impl Resource {
             Resource::Transfer => 3,
         }
     }
+
+    /// Stable lower-case label used by the metrics JSON emitters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Resource::Compare => "compare",
+            Resource::Adder => "adder",
+            Resource::Memory => "memory",
+            Resource::Transfer => "transfer",
+        }
+    }
 }
 
 /// Accumulates the cycles and dynamic energy of every primitive issued to
@@ -61,6 +74,7 @@ pub struct CycleLedger {
     busy: [u64; 4],
     energy_pj: f64,
     op_counts: [u64; 4],
+    prims: PrimCounters,
 }
 
 impl CycleLedger {
@@ -82,6 +96,23 @@ impl CycleLedger {
     pub fn charge_energy_only(&mut self, model: &ArrayModel, op: ArrayOp, count: u64) {
         self.energy_pj += model.energy_pj(op) * count as f64;
         self.op_counts[op_index(op)] += count;
+    }
+
+    /// Records one issued logical primitive in the hierarchical
+    /// per-primitive counters. Called by [`LogicalOp::charge`]; the
+    /// cycle/energy accounting itself still flows through
+    /// [`CycleLedger::charge`].
+    #[inline]
+    pub fn note_op(&mut self, op: LogicalOp) {
+        self.prims.note(op);
+    }
+
+    /// The hierarchical per-primitive counters (counts and busy cycles
+    /// per [`LogicalOp`]). For any ledger charged exclusively through
+    /// logical operations — the entire production path — the counters'
+    /// cycle total reconciles with [`CycleLedger::total_busy_cycles`].
+    pub fn primitives(&self) -> &PrimCounters {
+        &self.prims
     }
 
     /// Busy cycles attributed to one resource.
@@ -112,6 +143,7 @@ impl CycleLedger {
             self.op_counts[i] += other.op_counts[i];
         }
         self.energy_pj += other.energy_pj;
+        self.prims.merge(&other.prims);
     }
 
     /// Per-primitive energy breakdown under `model`, in pJ, in

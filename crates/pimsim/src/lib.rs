@@ -21,6 +21,9 @@
 //! * [`FaultInjector`] — seeded fault-campaign sampling (sense misreads,
 //!   stuck-at cells, transient row bursts, `IM_ADD` carry faults) with
 //!   per-class injection counters;
+//! * [`metrics`] — hierarchical per-primitive counters recorded by every
+//!   logical-op charge, plus the ring-buffered [`SpanTracer`]
+//!   (zero-cost when disabled) behind `PerfReport::breakdown`;
 //! * [`pipeline`] — the Fig. 7 pipeline model with parallelism degree
 //!   `Pd`;
 //! * [`costs`] — the logical-operation cost table (cycles per
@@ -33,6 +36,7 @@
 //! oracle (every `LFM` executed on the platform returns the same bound).
 
 pub mod costs;
+pub mod metrics;
 pub mod pipeline;
 
 mod dpu;
@@ -43,4 +47,5 @@ mod subarray;
 pub use dpu::{BacktrackState, Dpu};
 pub use faults::{FaultCounters, FaultInjector};
 pub use ledger::{CycleLedger, Resource};
+pub use metrics::{PrimCounters, Span, SpanTracer};
 pub use subarray::{validate_functions_against_circuit, SubArray, SubArrayLayout};

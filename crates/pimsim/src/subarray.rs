@@ -162,7 +162,10 @@ impl SubArray {
     /// Panics if `bucket` is out of range or more than 128 codes are
     /// given.
     pub fn load_bwt_row(&mut self, bucket: usize, codes: &[u8], ledger: &mut CycleLedger) {
-        assert!(bucket < self.layout.buckets(), "bucket {bucket} out of range");
+        assert!(
+            bucket < self.layout.buckets(),
+            "bucket {bucket} out of range"
+        );
         assert!(
             codes.len() <= SubArrayLayout::BASES_PER_ROW,
             "at most 128 bases per row"
@@ -207,7 +210,10 @@ impl SubArray {
         base: bioseq::Base,
         ledger: &mut CycleLedger,
     ) -> Vec<bool> {
-        assert!(bucket < self.layout.buckets(), "bucket {bucket} out of range");
+        assert!(
+            bucket < self.layout.buckets(),
+            "bucket {bucket} out of range"
+        );
         let bwt_row = self.layout.bwt_rows.start + bucket;
         let cref_row = self.layout.cref_rows.start + base.rank();
         LogicalOp::XnorMatch.charge(&self.model, ledger);
@@ -250,12 +256,7 @@ impl SubArray {
     /// # Panics
     ///
     /// Panics if `bucket` exceeds the column count.
-    pub fn read_marker(
-        &self,
-        bucket: usize,
-        base: bioseq::Base,
-        ledger: &mut CycleLedger,
-    ) -> u32 {
+    pub fn read_marker(&self, bucket: usize, base: bioseq::Base, ledger: &mut CycleLedger) -> u32 {
         let cols = self.model.geometry().cols;
         assert!(bucket < cols, "marker column {bucket} out of range");
         let start = self.layout.mt_rows.start + base.rank() * 32;
@@ -303,8 +304,7 @@ impl SubArray {
         ledger: &mut CycleLedger,
     ) -> u32 {
         let base = self.layout.reserved_rows.start;
-        let (a_rows, b_rows, sum_rows, carry_row) =
-            (base, base + 32, base + 64, base + 96);
+        let (a_rows, b_rows, sum_rows, carry_row) = (base, base + 32, base + 64, base + 96);
         // Stage the operands (bulk transposed write, part of the IM_ADD
         // cost model rather than separate row writes).
         for k in 0..32 {
@@ -406,16 +406,10 @@ pub fn validate_functions_against_circuit(model: &ArrayModel) -> bool {
     for a in [false, true] {
         for b in [false, true] {
             for c in [false, true] {
-                let cells = [
-                    cell.resistance(a),
-                    cell.resistance(b),
-                    cell.resistance(c),
-                ];
+                let cells = [cell.resistance(a), cell.resistance(b), cell.resistance(c)];
                 let circuit_sum = sa.evaluate(SenseMode::Xor3, &cells);
                 let circuit_carry = sa.evaluate(SenseMode::Maj3, &cells);
-                if circuit_sum != (a ^ b ^ c)
-                    || circuit_carry != ((a & b) | (a & c) | (b & c))
-                {
+                if circuit_sum != (a ^ b ^ c) || circuit_carry != ((a & b) | (a & c) | (b & c)) {
                     return false;
                 }
                 if sa.xnor2(a, b) == (a ^ b) {
@@ -527,7 +521,11 @@ mod tests {
             (42, 0),
         ];
         for (a, b) in cases {
-            assert_eq!(sa.im_add32(a, b, &mut ledger), a.wrapping_add(b), "{a} + {b}");
+            assert_eq!(
+                sa.im_add32(a, b, &mut ledger),
+                a.wrapping_add(b),
+                "{a} + {b}"
+            );
         }
     }
 

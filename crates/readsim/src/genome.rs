@@ -124,7 +124,10 @@ mod tests {
         }
         for &c in &counts {
             // Each base ≈ 25 % ± 3 %.
-            assert!((c as f64 / 40_000.0 - 0.25).abs() < 0.03, "skewed {counts:?}");
+            assert!(
+                (c as f64 / 40_000.0 - 0.25).abs() < 0.03,
+                "skewed {counts:?}"
+            );
         }
     }
 

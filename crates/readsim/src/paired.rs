@@ -91,7 +91,8 @@ pub fn simulate_pairs(
         "reference shorter than the mean insert"
     );
     // Reuse the single-end machinery for the donor genome.
-    let single = ReadSimulator::new(profile.read_count(1).forward_only(), seed ^ 0xfa1).simulate(reference);
+    let single =
+        ReadSimulator::new(profile.read_count(1).forward_only(), seed ^ 0xfa1).simulate(reference);
     let donor = single.donor;
     let read_len = profile.read_len;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -162,7 +163,12 @@ mod tests {
     #[test]
     fn pair_geometry_is_consistent() {
         let reference = uniform(20_000, 5);
-        let sim = simulate_pairs(&reference, clean_profile(50, 80), InsertProfile::default(), 6);
+        let sim = simulate_pairs(
+            &reference,
+            clean_profile(50, 80),
+            InsertProfile::default(),
+            6,
+        );
         for p in &sim.pairs {
             assert_eq!(p.r1.len(), 80);
             assert_eq!(p.r2.len(), 80);
@@ -174,9 +180,7 @@ mod tests {
                 reference.subseq(p.fragment_start..p.fragment_start + 80)
             );
             let r2_expected = reference
-                .subseq(
-                    p.fragment_start + p.fragment_len - 80..p.fragment_start + p.fragment_len,
-                )
+                .subseq(p.fragment_start + p.fragment_len - 80..p.fragment_start + p.fragment_len)
                 .reverse_complement();
             assert_eq!(p.r2, r2_expected);
         }
@@ -190,16 +194,26 @@ mod tests {
             std_dev: 30.0,
         };
         let sim = simulate_pairs(&reference, clean_profile(400, 50), insert, 8);
-        let mean: f64 = sim.pairs.iter().map(|p| p.fragment_len as f64).sum::<f64>()
-            / sim.pairs.len() as f64;
+        let mean: f64 =
+            sim.pairs.iter().map(|p| p.fragment_len as f64).sum::<f64>() / sim.pairs.len() as f64;
         assert!((mean - 300.0).abs() < 10.0, "observed mean insert {mean}");
     }
 
     #[test]
     fn deterministic_per_seed() {
         let reference = uniform(10_000, 9);
-        let a = simulate_pairs(&reference, clean_profile(10, 50), InsertProfile::default(), 10);
-        let b = simulate_pairs(&reference, clean_profile(10, 50), InsertProfile::default(), 10);
+        let a = simulate_pairs(
+            &reference,
+            clean_profile(10, 50),
+            InsertProfile::default(),
+            10,
+        );
+        let b = simulate_pairs(
+            &reference,
+            clean_profile(10, 50),
+            InsertProfile::default(),
+            10,
+        );
         assert_eq!(a, b);
     }
 
@@ -207,6 +221,11 @@ mod tests {
     #[should_panic(expected = "shorter than the mean insert")]
     fn tiny_reference_rejected() {
         let reference = uniform(100, 1);
-        let _ = simulate_pairs(&reference, clean_profile(1, 50), InsertProfile::default(), 1);
+        let _ = simulate_pairs(
+            &reference,
+            clean_profile(1, 50),
+            InsertProfile::default(),
+            1,
+        );
     }
 }

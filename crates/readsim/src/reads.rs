@@ -228,8 +228,8 @@ mod tests {
     #[test]
     fn reads_have_requested_shape() {
         let reference = uniform(2_000, 1);
-        let sim = ReadSimulator::new(SimProfile::paper_defaults().read_count(25), 2)
-            .simulate(&reference);
+        let sim =
+            ReadSimulator::new(SimProfile::paper_defaults().read_count(25), 2).simulate(&reference);
         assert_eq!(sim.reads.len(), 25);
         for r in &sim.reads {
             assert_eq!(r.seq.len(), 100);
@@ -240,8 +240,7 @@ mod tests {
     #[test]
     fn clean_forward_reads_match_donor_exactly() {
         let reference = uniform(3_000, 3);
-        let sim = ReadSimulator::new(clean_profile(50, 60).forward_only(), 4)
-            .simulate(&reference);
+        let sim = ReadSimulator::new(clean_profile(50, 60).forward_only(), 4).simulate(&reference);
         assert_eq!(sim.donor.genome, reference);
         for r in &sim.reads {
             assert_eq!(r.strand, Strand::Forward);

@@ -220,6 +220,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "variant rate")]
     fn invalid_rate_rejected() {
-        let _ = apply_variants(&uniform(10, 1), VariantProfile { rate: 1.5, ..Default::default() }, 1);
+        let _ = apply_variants(
+            &uniform(10, 1),
+            VariantProfile {
+                rate: 1.5,
+                ..Default::default()
+            },
+            1,
+        );
     }
 }

@@ -142,9 +142,14 @@ mod tests {
 
     #[test]
     fn run_length_merging() {
-        let c: Cigar = [CigarOp::Match, CigarOp::Match, CigarOp::Insertion, CigarOp::Match]
-            .into_iter()
-            .collect();
+        let c: Cigar = [
+            CigarOp::Match,
+            CigarOp::Match,
+            CigarOp::Insertion,
+            CigarOp::Match,
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(c.runs().len(), 3);
         assert_eq!(c.to_string(), "2M1I1M");
     }

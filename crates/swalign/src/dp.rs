@@ -331,8 +331,7 @@ pub fn affine_local(reference: &DnaSeq, read: &DnaSeq, scoring: Scoring) -> Alig
                 f[idx] = f_ext;
                 f_open[idx] = false;
             }
-            let diag = h[idx - width - 1]
-                + scoring.score_pair(reference[i - 1] == read[j - 1]);
+            let diag = h[idx - width - 1] + scoring.score_pair(reference[i - 1] == read[j - 1]);
             let (mut cell, mut d) = (diag, Dir::Diag);
             if e[idx] > cell {
                 cell = e[idx];
@@ -517,7 +516,11 @@ mod tests {
             .iter()
             .filter(|(_, op)| *op == CigarOp::Deletion)
             .count();
-        assert_eq!(deletion_runs, 1, "gap should be a single run: {}", aln.cigar);
+        assert_eq!(
+            deletion_runs, 1,
+            "gap should be a single run: {}",
+            aln.cigar
+        );
         assert_eq!(aln.cigar.to_string(), "6M6D6M");
     }
 
@@ -531,10 +534,22 @@ mod tests {
 
     #[test]
     fn edit_distance_basics() {
-        assert_eq!(banded_edit_distance(&seq("GATTACA"), &seq("GATTACA"), 0), Some(0));
-        assert_eq!(banded_edit_distance(&seq("GATTACA"), &seq("GATAACA"), 2), Some(1));
-        assert_eq!(banded_edit_distance(&seq("GATTACA"), &seq("GATACA"), 2), Some(1));
-        assert_eq!(banded_edit_distance(&seq("GATTACA"), &seq("GAGTTACA"), 2), Some(1));
+        assert_eq!(
+            banded_edit_distance(&seq("GATTACA"), &seq("GATTACA"), 0),
+            Some(0)
+        );
+        assert_eq!(
+            banded_edit_distance(&seq("GATTACA"), &seq("GATAACA"), 2),
+            Some(1)
+        );
+        assert_eq!(
+            banded_edit_distance(&seq("GATTACA"), &seq("GATACA"), 2),
+            Some(1)
+        );
+        assert_eq!(
+            banded_edit_distance(&seq("GATTACA"), &seq("GAGTTACA"), 2),
+            Some(1)
+        );
         assert_eq!(banded_edit_distance(&seq("AAAA"), &seq("TTTT"), 3), None);
         assert_eq!(banded_edit_distance(&seq("AAAAAAAA"), &seq("AA"), 3), None);
         assert_eq!(banded_edit_distance(&DnaSeq::new(), &seq("AC"), 2), Some(2));

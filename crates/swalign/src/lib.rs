@@ -37,7 +37,6 @@ mod score;
 
 pub use cigar::{Cigar, CigarOp};
 pub use dp::{
-    affine_local, banded_edit_distance, banded_global, needleman_wunsch, smith_waterman,
-    Alignment,
+    affine_local, banded_edit_distance, banded_global, needleman_wunsch, smith_waterman, Alignment,
 };
 pub use score::Scoring;

@@ -74,7 +74,10 @@ mod tests {
     #[test]
     fn default_scheme() {
         let s = Scoring::default();
-        assert_eq!((s.match_score, s.mismatch, s.gap_open, s.gap_extend), (1, -1, -2, -1));
+        assert_eq!(
+            (s.match_score, s.mismatch, s.gap_open, s.gap_extend),
+            (1, -1, -2, -1)
+        );
     }
 
     #[test]

@@ -7,10 +7,15 @@
 use accel::{catalog, figure_series, Figure, Platform, PlatformClass};
 use bioseq::DnaSeq;
 use pim_aligner::{PimAligner, PimAlignerConfig};
-use readsim::{genome, ReadSimulator, SimProfile};
 use readsim::variant::VariantProfile;
+use readsim::{genome, ReadSimulator, SimProfile};
 
-fn simulate(name: &str, config: PimAlignerConfig, reference: &DnaSeq, reads: &[DnaSeq]) -> Platform {
+fn simulate(
+    name: &str,
+    config: PimAlignerConfig,
+    reference: &DnaSeq,
+    reads: &[DnaSeq],
+) -> Platform {
     let mut aligner = PimAligner::new(reference, config);
     let report = aligner.align_batch(reads).report;
     Platform::from_measurements(
@@ -32,14 +37,27 @@ fn main() {
     let profile = SimProfile::paper_defaults()
         .read_count(120)
         .error_rate(0.0)
-        .variants(VariantProfile { rate: 0.0, ..Default::default() })
+        .variants(VariantProfile {
+            rate: 0.0,
+            ..Default::default()
+        })
         .forward_only();
     let sim = ReadSimulator::new(profile, 5).simulate(&reference);
     let reads: Vec<DnaSeq> = sim.reads.into_iter().map(|r| r.seq).collect();
 
     let mut platforms = catalog();
-    platforms.push(simulate("PIM-Aligner-n", PimAlignerConfig::baseline(), &reference, &reads));
-    platforms.push(simulate("PIM-Aligner-p", PimAlignerConfig::pipelined(), &reference, &reads));
+    platforms.push(simulate(
+        "PIM-Aligner-n",
+        PimAlignerConfig::baseline(),
+        &reference,
+        &reads,
+    ));
+    platforms.push(simulate(
+        "PIM-Aligner-p",
+        PimAlignerConfig::pipelined(),
+        &reference,
+        &reads,
+    ));
 
     for figure in Figure::ALL {
         println!("{}", figure.label());
@@ -65,10 +83,28 @@ fn main() {
             .expect("platform present")
     };
     println!("headline ratios (PIM-Aligner-n vs ...):");
-    println!("  RaceLogic T/W      : {:.2}x (paper ~3.1x)", tpw("PIM-Aligner-n") / tpw("RaceLogic"));
-    println!("  ASIC      T/W      : {:.2}x (paper ~2x)", tpw("PIM-Aligner-n") / tpw("ASIC"));
-    println!("  FPGA      T/W      : {:.1}x (paper ~43.8x)", tpw("PIM-Aligner-n") / tpw("FPGA"));
-    println!("  GPU       T/W      : {:.0}x (paper ~458x)", tpw("PIM-Aligner-n") / tpw("GPU"));
-    println!("  ASIC      T/W/mm^2 : {:.2}x (paper ~9x)", per_mm2("PIM-Aligner-n") / per_mm2("ASIC"));
-    println!("  AligneR   T/W/mm^2 : {:.2}x (paper ~1.9x)", per_mm2("PIM-Aligner-n") / per_mm2("AligneR"));
+    println!(
+        "  RaceLogic T/W      : {:.2}x (paper ~3.1x)",
+        tpw("PIM-Aligner-n") / tpw("RaceLogic")
+    );
+    println!(
+        "  ASIC      T/W      : {:.2}x (paper ~2x)",
+        tpw("PIM-Aligner-n") / tpw("ASIC")
+    );
+    println!(
+        "  FPGA      T/W      : {:.1}x (paper ~43.8x)",
+        tpw("PIM-Aligner-n") / tpw("FPGA")
+    );
+    println!(
+        "  GPU       T/W      : {:.0}x (paper ~458x)",
+        tpw("PIM-Aligner-n") / tpw("GPU")
+    );
+    println!(
+        "  ASIC      T/W/mm^2 : {:.2}x (paper ~9x)",
+        per_mm2("PIM-Aligner-n") / per_mm2("ASIC")
+    );
+    println!(
+        "  AligneR   T/W/mm^2 : {:.2}x (paper ~1.9x)",
+        per_mm2("PIM-Aligner-n") / per_mm2("AligneR")
+    );
 }

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let bwt = Bwt::from_sa(&text, &sa);
-    println!("\nBWT = {bwt} (reversible: inverts back to {})", bwt.invert());
+    println!(
+        "\nBWT = {bwt} (reversible: inverts back to {})",
+        bwt.invert()
+    );
 
     let count = CountTable::from_bwt(&bwt);
     println!(

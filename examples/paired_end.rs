@@ -47,7 +47,10 @@ fn main() {
             _ => other += 1,
         }
     }
-    println!("paired-end alignment ({} pairs, 350±40 bp inserts):", sim.pairs.len());
+    println!(
+        "paired-end alignment ({} pairs, 350±40 bp inserts):",
+        sim.pairs.len()
+    );
     println!("  proper pairs        : {proper}");
     println!("  correct fragment    : {correct_fragment}");
     println!("  discordant/partial  : {other}");

@@ -28,9 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Software backward search (the §II algorithm) ---
-    let interval = index
-        .backward_search(&read)
-        .expect("CTA occurs in TGCTA");
+    let interval = index.backward_search(&read).expect("CTA occurs in TGCTA");
     println!(
         "software search: SA interval {interval} -> positions {:?}",
         index.locate(interval)
@@ -46,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = aligner.report();
     println!("\nplatform report (PIM-Aligner-p, Pd = 2):");
     println!("  LFM invocations : {}", report.lfm_calls);
-    println!("  throughput      : {:.3e} queries/s", report.throughput_qps);
+    println!(
+        "  throughput      : {:.3e} queries/s",
+        report.throughput_qps
+    );
     println!("  total power     : {:.1} W", report.total_power_w);
     println!("  MBR             : {:.1} %", report.mbr_pct);
     println!("  RUR             : {:.1} %", report.rur_pct);

@@ -50,19 +50,12 @@ fn main() {
         // coordinates slightly, so allow a small window).
         if let Some(positions) = outcome.positions() {
             let expected_forward = (read.strand == Strand::Forward) != flipped;
-            if expected_forward
-                && positions
-                    .iter()
-                    .any(|&p| p.abs_diff(read.donor_pos) <= 5)
-            {
+            if expected_forward && positions.iter().any(|&p| p.abs_diff(read.donor_pos) <= 5) {
                 correct += 1;
             } else if !expected_forward {
                 // Reverse-strand read aligned via its reverse complement:
                 // position maps back to the same window.
-                if positions
-                    .iter()
-                    .any(|&p| p.abs_diff(read.donor_pos) <= 5)
-                {
+                if positions.iter().any(|&p| p.abs_diff(read.donor_pos) <= 5) {
                     correct += 1;
                 }
             }
@@ -71,9 +64,18 @@ fn main() {
 
     let total = sim.reads.len();
     println!("\nalignment outcomes:");
-    println!("  exact    : {exact} ({:.1} %)", 100.0 * exact as f64 / total as f64);
-    println!("  inexact  : {inexact} ({:.1} %)", 100.0 * inexact as f64 / total as f64);
-    println!("  unmapped : {unmapped} ({:.1} %)", 100.0 * unmapped as f64 / total as f64);
+    println!(
+        "  exact    : {exact} ({:.1} %)",
+        100.0 * exact as f64 / total as f64
+    );
+    println!(
+        "  inexact  : {inexact} ({:.1} %)",
+        100.0 * inexact as f64 / total as f64
+    );
+    println!(
+        "  unmapped : {unmapped} ({:.1} %)",
+        100.0 * unmapped as f64 / total as f64
+    );
     println!(
         "  correct origin among mapped: {:.1} %",
         100.0 * correct as f64 / (total - unmapped).max(1) as f64

@@ -19,10 +19,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let layout = sub.layout().clone();
     println!("sub-array zones (Fig. 6a):");
-    println!("  BWT rows      : {:?} ({} buckets x 128 bp)", layout.bwt_rows, layout.buckets());
+    println!(
+        "  BWT rows      : {:?} ({} buckets x 128 bp)",
+        layout.bwt_rows,
+        layout.buckets()
+    );
     println!("  CRef rows     : {:?}", layout.cref_rows);
-    println!("  MT rows       : {:?} (4 x 32-bit words per column)", layout.mt_rows);
-    println!("  reserved rows : {:?} (IM_ADD scratch)", layout.reserved_rows);
+    println!(
+        "  MT rows       : {:?} (4 x 32-bit words per column)",
+        layout.mt_rows
+    );
+    println!(
+        "  reserved rows : {:?} (IM_ADD scratch)",
+        layout.reserved_rows
+    );
 
     // Load a small BWT segment (the Fig. 6b example compares against T).
     let segment: DnaSeq = "TAGCTTACGT".parse()?;
@@ -53,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // What it all cost.
     println!("\nledger:");
     for resource in pimsim::Resource::ALL {
-        println!("  {resource:?} busy cycles: {}", ledger.busy_cycles(resource));
+        println!(
+            "  {resource:?} busy cycles: {}",
+            ledger.busy_cycles(resource)
+        );
     }
     println!("  dynamic energy: {:.1} pJ", ledger.energy_pj());
     Ok(())

@@ -18,6 +18,7 @@
 //!   --fault-transient <R> transient row-read fault rate per marker read
 //!   --fault-carry <P>     IM_ADD carry-chain fault probability per add
 //!   --no-recover          disable verify-and-recover under fault injection
+//!   --metrics <PATH>      write the per-primitive cycle breakdown as JSON
 //! ```
 //!
 //! SAM goes to stdout; the platform performance report goes to stderr.
@@ -63,6 +64,7 @@ struct Cli {
     fault_transient: f64,
     fault_carry: f64,
     recover: bool,
+    metrics: Option<String>,
 }
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) -> Result<T, String>
@@ -79,7 +81,9 @@ where
 fn parse_prob(args: &[String], i: &mut usize, flag: &str) -> Result<f64, String> {
     let p: f64 = parse_flag(args, i, flag)?;
     if !(0.0..=1.0).contains(&p) {
-        return Err(format!("invalid {flag}: {p} is not a probability in [0, 1]"));
+        return Err(format!(
+            "invalid {flag}: {p} is not a probability in [0, 1]"
+        ));
     }
     Ok(p)
 }
@@ -99,6 +103,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         fault_transient: 0.0,
         fault_carry: 0.0,
         recover: true,
+        metrics: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -136,6 +141,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             }
             "--fault-carry" => cli.fault_carry = parse_prob(args, &mut i, "--fault-carry")?,
             "--no-recover" => cli.recover = false,
+            "--metrics" => cli.metrics = Some(parse_flag(args, &mut i, "--metrics")?),
             flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
             _ => cli.positional.push(args[i].clone()),
         }
@@ -151,8 +157,8 @@ fn run() -> Result<(), String> {
         return Err("usage: pimalign <reference.fasta> <reads.fastq> [options]".to_owned());
     };
 
-    let ref_text = std::fs::read_to_string(ref_path)
-        .map_err(|e| format!("cannot read {ref_path}: {e}"))?;
+    let ref_text =
+        std::fs::read_to_string(ref_path).map_err(|e| format!("cannot read {ref_path}: {e}"))?;
     let references = fasta::parse(&ref_text).map_err(|e| format!("{ref_path}: {e}"))?;
     let [reference] = references.as_slice() else {
         return Err(format!(
@@ -160,12 +166,15 @@ fn run() -> Result<(), String> {
             references.len()
         ));
     };
-    let reads_file = std::fs::File::open(reads_path)
-        .map_err(|e| format!("cannot read {reads_path}: {e}"))?;
+    let reads_file =
+        std::fs::File::open(reads_path).map_err(|e| format!("cannot read {reads_path}: {e}"))?;
     let mut reads = fastq::Reader::new(std::io::BufReader::new(reads_file));
 
     let campaign = FaultCampaign::seeded(cli.fault_seed)
-        .with_model(FaultModel::with_probabilities(cli.fault_xnor, cli.fault_xnor))
+        .with_model(FaultModel::with_probabilities(
+            cli.fault_xnor,
+            cli.fault_xnor,
+        ))
         .with_stuck_at_rate(cli.fault_stuck)
         .with_transient_row_rate(cli.fault_transient)
         .with_carry_fault_prob(cli.fault_carry);
@@ -188,8 +197,12 @@ fn run() -> Result<(), String> {
     // path for any thread count (1 thread is a single worker session).
     let stdout = std::io::stdout();
     let mut out = BufWriter::new(stdout.lock());
-    write!(out, "{}", sam::header(reference.id(), reference.seq().len()))
-        .map_err(|e| format!("cannot write SAM: {e}"))?;
+    write!(
+        out,
+        "{}",
+        sam::header(reference.id(), reference.seq().len())
+    )
+    .map_err(|e| format!("cannot write SAM: {e}"))?;
     let mut totals = BatchTotals::new();
     let mut mapped = 0usize;
     let mut epoch = 0u64;
@@ -227,6 +240,10 @@ fn run() -> Result<(), String> {
         return Err(format!("{reads_path}: no reads"));
     }
     let report = platform.batch_report(&totals);
+    if let Some(path) = &cli.metrics {
+        std::fs::write(path, report.to_metrics_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
 
     eprintln!(
         "pimalign: {} reads, {} mapped ({:.1}%)",

@@ -45,7 +45,11 @@ fn aligns_reads_and_emits_valid_sam() {
     assert!(lines[2].starts_with("@PG"));
 
     // One alignment line per read, tab-separated with >= 11 fields.
-    let records: Vec<&str> = lines.iter().filter(|l| !l.starts_with('@')).copied().collect();
+    let records: Vec<&str> = lines
+        .iter()
+        .filter(|l| !l.starts_with('@'))
+        .copied()
+        .collect();
     assert_eq!(records.len(), 3);
     for r in &records {
         assert!(r.split('\t').count() >= 11, "short SAM line: {r}");
@@ -97,8 +101,7 @@ fn reverse_mapped_seq_is_the_reference_window() {
     let window = &ref_seq[pos - 1..pos - 1 + seq.len()];
     assert_eq!(seq, window, "0x10 SEQ must equal the reference window");
     assert_eq!(
-        fields[10],
-        "NMLKJIHGFEDCBA",
+        fields[10], "NMLKJIHGFEDCBA",
         "0x10 QUAL must be the read's qualities reversed"
     );
 
@@ -131,7 +134,10 @@ fn streamed_chunks_match_single_batch() {
         let (stdout, stderr, ok) = run_cli(&args);
         assert!(ok, "CLI failed with {extra:?}: {stderr}");
         assert_eq!(stdout, whole, "SAM output diverged with {extra:?}");
-        assert!(stderr.contains("3 mapped"), "stderr with {extra:?}: {stderr}");
+        assert!(
+            stderr.contains("3 mapped"),
+            "stderr with {extra:?}: {stderr}"
+        );
     }
 
     std::fs::remove_file(reference).ok();

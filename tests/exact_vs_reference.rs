@@ -10,10 +10,7 @@ use readsim::genome;
 fn platform_find_equals_software_find_on_uniform_genome() {
     let reference = genome::uniform(120_000, 71);
     let oracle = FmIndex::new(&reference);
-    let mut aligner = PimAligner::new(
-        &reference,
-        PimAlignerConfig::baseline().with_max_diffs(0),
-    );
+    let mut aligner = PimAligner::new(&reference, PimAlignerConfig::baseline().with_max_diffs(0));
     for start in (0..119_000).step_by(7_321) {
         let read = reference.subseq(start..start + 100);
         let sw = oracle.find(&read);
@@ -34,10 +31,7 @@ fn platform_handles_repeat_rich_genomes() {
     };
     let reference = genome::repeat_rich(60_000, profile, 72);
     let oracle = FmIndex::new(&reference);
-    let mut aligner = PimAligner::new(
-        &reference,
-        PimAlignerConfig::baseline().with_max_diffs(0),
-    );
+    let mut aligner = PimAligner::new(&reference, PimAlignerConfig::baseline().with_max_diffs(0));
     let mut saw_multi_hit = false;
     for start in (0..59_000).step_by(4_111) {
         let read = reference.subseq(start..start + 40);
@@ -52,17 +46,17 @@ fn platform_handles_repeat_rich_genomes() {
             other => panic!("repeat read @{start} must align, got {other:?}"),
         }
     }
-    assert!(saw_multi_hit, "repeat-rich genome should yield multi-hit reads");
+    assert!(
+        saw_multi_hit,
+        "repeat-rich genome should yield multi-hit reads"
+    );
 }
 
 #[test]
 fn absent_reads_fail_identically() {
     let reference = genome::uniform(30_000, 73);
     let oracle = FmIndex::new(&reference);
-    let mut aligner = PimAligner::new(
-        &reference,
-        PimAlignerConfig::baseline().with_max_diffs(0),
-    );
+    let mut aligner = PimAligner::new(&reference, PimAlignerConfig::baseline().with_max_diffs(0));
     // A 40-mer of pure GGG... is (with overwhelming probability) absent
     // from a uniform 30 kb genome.
     let absent: DnaSeq = "G".repeat(40).parse().unwrap();

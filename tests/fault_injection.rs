@@ -45,7 +45,10 @@ fn accuracy(reference: &DnaSeq, faults: FaultModel) -> f64 {
 fn paper_variation_gives_perfect_alignment() {
     let reference = genome::uniform(40_000, 111);
     let derived = FaultModel::from_cell(&CellParams::default(), 2_000, 5);
-    assert!(derived.is_ideal(), "paper sigma must derive a fault-free model");
+    assert!(
+        derived.is_ideal(),
+        "paper sigma must derive a fault-free model"
+    );
     assert_eq!(accuracy(&reference, derived), 1.0);
 }
 
@@ -73,7 +76,10 @@ fn margin_derived_model_connects_device_to_accuracy() {
     let derived = FaultModel::from_cell(&noisy_cell, 3_000, 9);
     assert!(!derived.is_ideal());
     let acc = accuracy(&reference, derived);
-    assert!(acc < 1.0, "non-ideal sensing must cost accuracy (got {acc})");
+    assert!(
+        acc < 1.0,
+        "non-ideal sensing must cost accuracy (got {acc})"
+    );
     // And the paper's thick-oxide fix restores it.
     let fixed = FaultModel::from_cell(&noisy_cell.with_tox_nm(2.0), 3_000, 9);
     assert_eq!(accuracy(&reference, fixed), 1.0);

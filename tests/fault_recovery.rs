@@ -66,8 +66,10 @@ fn recovery_restores_accuracy_under_active_campaign() {
     let reference = genome::uniform(40_000, 211);
     let (reads, truth) = reads_with_truth(&reference);
 
-    let (raw_acc, raw_t) = placement_accuracy(&reference, &reads, &truth, RecoveryPolicy::disabled());
-    let (rec_acc, rec_t) = placement_accuracy(&reference, &reads, &truth, RecoveryPolicy::standard());
+    let (raw_acc, raw_t) =
+        placement_accuracy(&reference, &reads, &truth, RecoveryPolicy::disabled());
+    let (rec_acc, rec_t) =
+        placement_accuracy(&reference, &reads, &truth, RecoveryPolicy::standard());
 
     // The unprotected platform must measurably mis-place reads...
     assert!(
@@ -84,12 +86,18 @@ fn recovery_restores_accuracy_under_active_campaign() {
     // The work done to get there is visible in the telemetry. (Corrupted
     // rungs can come up Unmapped — nothing to verify — so only a lower
     // bound on verification activity is guaranteed.)
-    assert!(rec_t.verifications > 0, "no verifications recorded: {rec_t:?}");
+    assert!(
+        rec_t.verifications > 0,
+        "no verifications recorded: {rec_t:?}"
+    );
     assert!(
         rec_t.retries + rec_t.host_fallbacks > 0,
         "recovery must have retried or fallen back: {rec_t:?}"
     );
-    assert_eq!(rec_t.unrecoverable, 0, "host fallback leaves nothing unrecoverable");
+    assert_eq!(
+        rec_t.unrecoverable, 0,
+        "host fallback leaves nothing unrecoverable"
+    );
 }
 
 #[test]
@@ -106,6 +114,9 @@ fn recovered_run_replays_identically() {
     };
     let (outcomes_a, faults_a) = run();
     let (outcomes_b, faults_b) = run();
-    assert_eq!(outcomes_a, outcomes_b, "same campaign seed must replay identically");
+    assert_eq!(
+        outcomes_a, outcomes_b,
+        "same campaign seed must replay identically"
+    );
     assert_eq!(faults_a, faults_b);
 }

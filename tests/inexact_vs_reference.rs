@@ -26,7 +26,11 @@ fn exhaustive_platform_hits_equal_software_hits() {
             .with_indels(false)
             .with_exhaustive_inexact(true),
     );
-    for (start, muts) in [(500usize, vec![10]), (4_000, vec![5, 20]), (15_000, vec![0])] {
+    for (start, muts) in [
+        (500usize, vec![10]),
+        (4_000, vec![5, 20]),
+        (15_000, vec![0]),
+    ] {
         let read = mutate(&reference.subseq(start..start + 30), &muts);
         let outcome = aligner.align_read(&read);
         let sw = oracle.find_inexact(&read, EditBudget::substitutions_only(2));
@@ -57,10 +61,7 @@ fn first_accept_position_confirmed_by_dp_baseline() {
     // paper compares against: banded global alignment at the reported
     // position must reach the expected score.
     let reference = genome::uniform(15_000, 82);
-    let mut aligner = PimAligner::new(
-        &reference,
-        PimAlignerConfig::baseline().with_max_diffs(2),
-    );
+    let mut aligner = PimAligner::new(&reference, PimAlignerConfig::baseline().with_max_diffs(2));
     let read = mutate(&reference.subseq(7_000..7_060), &[15, 40]);
     let AlignmentOutcome::Inexact { positions, diffs } = aligner.align_read(&read) else {
         panic!("expected an inexact hit");
@@ -68,8 +69,7 @@ fn first_accept_position_confirmed_by_dp_baseline() {
     assert!((1..=2).contains(&diffs));
     for &pos in &positions {
         let window = reference.subseq(pos..(pos + read.len()).min(reference.len()));
-        let aln = banded_global(&window, &read, Scoring::default(), 4)
-            .expect("band wide enough");
+        let aln = banded_global(&window, &read, Scoring::default(), 4).expect("band wide enough");
         // ≤ 2 substitutions over 60 bases: score ≥ 58 matches − 2×(1+1).
         assert!(
             aln.score >= (read.len() as i32 - 2) - 2 * 2,
@@ -86,10 +86,7 @@ fn indel_variant_recovered_cross_stack() {
     let mut bases = reference.subseq(3_000..3_050).into_bases();
     bases.remove(25);
     let read = DnaSeq::from_bases(bases);
-    let mut aligner = PimAligner::new(
-        &reference,
-        PimAlignerConfig::baseline().with_max_diffs(1),
-    );
+    let mut aligner = PimAligner::new(&reference, PimAlignerConfig::baseline().with_max_diffs(1));
     match aligner.align_read(&read) {
         AlignmentOutcome::Inexact { positions, .. } => {
             assert!(positions.iter().any(|&p| p.abs_diff(3_000) <= 1));

@@ -1,0 +1,236 @@
+//! Integration: the cycle-level metrics layer — counter reconciliation
+//! against the ledger, worker-merge associativity, phase attribution and
+//! span tracing over real alignment runs.
+
+use pim_aligner_suite::bioseq::DnaSeq;
+use pim_aligner_suite::pim_aligner::{PerfReport, PimAlignerConfig, Platform};
+use pim_aligner_suite::readsim::{genome, ReadSimulator, SimProfile};
+
+fn workload(genome_len: usize, count: usize, seed: u64) -> (DnaSeq, Vec<DnaSeq>) {
+    let reference = genome::uniform(genome_len, seed);
+    let profile = SimProfile::paper_defaults()
+        .read_count(count)
+        .read_len(80)
+        .forward_only();
+    let sim = ReadSimulator::new(profile, seed ^ 0xfeed).simulate(&reference);
+    (reference, sim.reads.into_iter().map(|r| r.seq).collect())
+}
+
+/// The tentpole invariant: every production cycle is charged through a
+/// logical op, so the per-primitive counter total reconciles *exactly*
+/// with the ledger's resource-level aggregate after a real batch.
+#[test]
+fn breakdown_reconciles_with_ledger_after_alignment() {
+    let (reference, reads) = workload(30_000, 32, 71);
+    let platform = Platform::new(&reference, PimAlignerConfig::pipelined());
+    let mut session = platform.session();
+    for read in &reads {
+        let _ = session.align_read(read);
+    }
+    let report = session.report();
+    let b = &report.breakdown;
+
+    assert!(
+        b.reconciles(),
+        "primitive cycles {} != ledger busy cycles {}",
+        b.primitive_cycles_total,
+        b.total_busy_cycles
+    );
+    assert_eq!(b.total_busy_cycles, session.ledger().total_busy_cycles());
+    let row_sum: u64 = b.primitives.iter().map(|p| p.busy_cycles).sum();
+    assert_eq!(row_sum, b.primitive_cycles_total);
+    let resource_sum: u64 = b.resources.iter().map(|r| r.busy_cycles).sum();
+    assert_eq!(resource_sum, b.total_busy_cycles);
+
+    // Phase attribution covers every LFM, and the exact stage dominates
+    // on a paper-statistics workload.
+    assert_eq!(b.lfm_by_phase.total(), report.lfm_calls);
+    assert!(b.lfm_by_phase.exact > 0);
+    assert_eq!(b.lfm_by_phase.recovery_retry, 0, "no recovery configured");
+
+    // Structural sanity: 2 XNORs per LFM pair is the dominant compare
+    // load; every LFM carries exactly one XNOR + one IM_ADD.
+    let by_name = |n: &str| {
+        b.primitives
+            .iter()
+            .find(|p| p.name == n)
+            .unwrap_or_else(|| panic!("missing primitive {n}"))
+    };
+    assert_eq!(by_name("xnor_match").count, report.lfm_calls);
+    assert_eq!(by_name("im_add32").count, report.lfm_calls);
+    assert!(b.subarray_activations > 0);
+    assert_eq!(b.im_add_carry_cycles, 13 * report.lfm_calls);
+    assert!(b.index_build_cycles > 0, "one-time mapping cost attached");
+}
+
+/// Counter-merge associativity: 8 worker ledgers merged through
+/// `BatchTotals` must yield the same counters as a single-thread run of
+/// the same seed — exactly, for all integer counters; approximately for
+/// energy (f64 summation order differs).
+#[test]
+fn worker_merge_is_associative() {
+    let (reference, reads) = workload(50_000, 48, 72);
+    let platform = Platform::new(&reference, PimAlignerConfig::baseline());
+    let one = platform.align_batch_parallel(&reads, 1).unwrap().report;
+    let eight = platform.align_batch_parallel(&reads, 8).unwrap().report;
+
+    assert_eq!(one.lfm_calls, eight.lfm_calls);
+    assert_eq!(one.breakdown.primitives, eight.breakdown.primitives);
+    assert_eq!(one.breakdown.resources, eight.breakdown.resources);
+    assert_eq!(
+        one.breakdown.total_busy_cycles,
+        eight.breakdown.total_busy_cycles
+    );
+    assert_eq!(
+        one.breakdown.primitive_cycles_total,
+        eight.breakdown.primitive_cycles_total
+    );
+    assert_eq!(one.breakdown.lfm_by_phase, eight.breakdown.lfm_by_phase);
+    assert_eq!(
+        one.breakdown.subarray_activations,
+        eight.breakdown.subarray_activations
+    );
+    let rel = (one.breakdown.energy_pj - eight.breakdown.energy_pj).abs() / one.breakdown.energy_pj;
+    assert!(rel < 1e-9, "energy merge disagreement {rel:.3e}");
+
+    // The sequential session agrees with both.
+    let mut session = platform.session();
+    for read in &reads {
+        let _ = session.align_read(read);
+    }
+    let seq = session.report();
+    assert_eq!(seq.breakdown.primitives, one.breakdown.primitives);
+    assert_eq!(seq.breakdown.lfm_by_phase, one.breakdown.lfm_by_phase);
+}
+
+/// Span tracing: disabled by default, and when enabled it records the
+/// index build, per-`LFM` spans and the phase passes with monotone
+/// simulated-cycle timestamps.
+#[test]
+fn span_tracer_records_alignment_phases() {
+    let (reference, reads) = workload(20_000, 8, 73);
+    let platform = Platform::new(&reference, PimAlignerConfig::baseline());
+
+    let mut untraced = platform.session();
+    let _ = untraced.align_read(&reads[0]);
+    assert!(
+        untraced.spans().is_empty(),
+        "tracing must be off by default"
+    );
+
+    let mut session = platform.session();
+    session.enable_tracing(4_096);
+    for read in &reads {
+        let _ = session.align_read(read);
+    }
+    let spans = session.spans();
+    let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+    assert!(names.contains(&"index_build"));
+    assert!(names.contains(&"lfm"));
+    assert!(names.contains(&"exact_pass"));
+    assert!(names.contains(&"locate"));
+    for span in &spans {
+        assert!(span.end_cycles >= span.start_cycles, "span {span:?}");
+    }
+    // Each lfm span brackets two LFM invocations plus the interval
+    // update: 74 + 74 + 2 = 150 cycles in the common case (the first
+    // base's high bound lands on the boundary bucket and is cheaper).
+    let lfm_spans: Vec<_> = spans.iter().filter(|s| s.name == "lfm").collect();
+    assert!(!lfm_spans.is_empty());
+    for span in &lfm_spans {
+        assert!(
+            (50..=200).contains(&span.cycles()),
+            "implausible lfm span: {} cycles",
+            span.cycles()
+        );
+    }
+    assert!(
+        lfm_spans.iter().any(|s| s.cycles() == 150),
+        "common-case lfm span cost changed"
+    );
+    // The traced report exposes the same spans.
+    let report = session.report();
+    assert_eq!(report.breakdown.spans.len(), spans.len());
+}
+
+/// The ring keeps only the newest `capacity` spans and counts the rest
+/// as dropped.
+#[test]
+fn span_ring_drops_oldest_beyond_capacity() {
+    let (reference, reads) = workload(20_000, 8, 74);
+    let platform = Platform::new(&reference, PimAlignerConfig::baseline());
+    let mut session = platform.session();
+    session.enable_tracing(16);
+    for read in &reads {
+        let _ = session.align_read(read);
+    }
+    let report = session.report();
+    assert_eq!(report.breakdown.spans.len(), 16);
+    assert!(report.breakdown.spans_dropped > 0);
+}
+
+/// Recovery-ladder attribution: under an active fault campaign with
+/// recovery on, retry/escalation `LFM`s land in their own buckets and
+/// the total still covers every call.
+#[test]
+fn recovery_lfms_attributed_to_their_rungs() {
+    use pim_aligner_suite::mram::faults::{FaultCampaign, FaultModel};
+    use pim_aligner_suite::pim_aligner::RecoveryPolicy;
+
+    let (reference, reads) = workload(30_000, 24, 75);
+    let campaign = FaultCampaign::seeded(76)
+        .with_model(FaultModel::with_probabilities(5e-3, 0.0))
+        .with_transient_row_rate(0.01);
+    let config = PimAlignerConfig::baseline()
+        .with_fault_campaign(campaign)
+        .with_recovery(RecoveryPolicy::standard());
+    let platform = Platform::new(&reference, config);
+    let mut session = platform.session();
+    for read in &reads {
+        let _ = session.align_read(read);
+    }
+    let report = session.report();
+    let phase = report.breakdown.lfm_by_phase;
+    assert_eq!(phase.total(), report.lfm_calls);
+    assert!(
+        phase.recovery_retry + phase.recovery_escalate > 0,
+        "hostile campaign must trigger recovery rungs: {phase:?}"
+    );
+}
+
+/// `scaled_to_queries` extrapolates the report but leaves the breakdown
+/// at the simulated batch's scale (it describes work that actually ran).
+#[test]
+fn scaling_leaves_breakdown_unscaled() {
+    let (reference, reads) = workload(20_000, 16, 77);
+    let platform = Platform::new(&reference, PimAlignerConfig::baseline());
+    let mut session = platform.session();
+    for read in &reads {
+        let _ = session.align_read(read);
+    }
+    let report = session.report();
+    let scaled = report.scaled_to_queries(10_000_000);
+    assert_eq!(scaled.breakdown, report.breakdown);
+    assert!(scaled.lfm_calls > report.lfm_calls);
+}
+
+/// The synthetic-ledger path used by the report unit tests reconciles
+/// too — `PerfReport::from_batch` builds the breakdown for any ledger
+/// charged through logical ops.
+#[test]
+fn from_batch_breakdown_reconciles_for_synthetic_ledgers() {
+    use pim_aligner_suite::mram::array::ArrayModel;
+    use pim_aligner_suite::pimsim::{costs, CycleLedger};
+
+    let model = ArrayModel::default();
+    let mut ledger = CycleLedger::new();
+    for _ in 0..200 {
+        costs::charge_lfm(&model, &mut ledger);
+    }
+    let report = PerfReport::from_batch(&PimAlignerConfig::baseline(), &ledger, 1, 200);
+    assert!(report.breakdown.reconciles());
+    assert_eq!(
+        report.breakdown.total_busy_cycles,
+        200 * costs::lfm_cycles()
+    );
+}

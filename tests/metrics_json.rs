@@ -1,0 +1,163 @@
+//! Integration: `pimalign --metrics` — the stable JSON metrics document.
+//!
+//! The schema is a published interface (`benchdiff` and external
+//! dashboards consume it), so beyond the semantic checks a golden file
+//! (`tests/golden/metrics_schema.txt`) pins the exact set of leaf paths.
+//! A failing golden test means the schema changed: bump
+//! `METRICS_SCHEMA_VERSION`, regenerate the golden file (the failure
+//! message says how) and update the consumers.
+
+use std::process::Command;
+
+use bench::json::{self, Value};
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("pimalign_metrics_{name}_{}", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp file");
+    path
+}
+
+/// Runs the CLI over a tiny FASTA/FASTQ pair with `--metrics` and
+/// returns the parsed metrics document.
+fn run_with_metrics(extra: &[&str]) -> Value {
+    let reference = write_temp(
+        "ref.fa",
+        ">chrT test\nTGCTAGCATGAACCTTGGAACGTACGTTAGCATCGATCGGATTACAGATTACAGGG\n",
+    );
+    let reads = write_temp(
+        "reads.fq",
+        "@exact\nGATTACAGATTACA\n+\nIIIIIIIIIIIIII\n@mismatch\nGGAACGTACGTTAGCATCGAAC\n+\nIIIIIIIIIIIIIIIIIIIIII\n",
+    );
+    let metrics = write_temp("out.json", "");
+    let mut args = vec![
+        reference.to_str().unwrap().to_owned(),
+        reads.to_str().unwrap().to_owned(),
+        "--metrics".to_owned(),
+        metrics.to_str().unwrap().to_owned(),
+    ];
+    args.extend(extra.iter().map(|s| (*s).to_owned()));
+    let out = Command::new(env!("CARGO_BIN_EXE_pimalign"))
+        .args(&args)
+        .output()
+        .expect("run pimalign");
+    assert!(
+        out.status.success(),
+        "CLI failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    let doc = json::parse(&text).unwrap_or_else(|e| panic!("invalid metrics JSON: {e}\n{text}"));
+    std::fs::remove_file(reference).ok();
+    std::fs::remove_file(reads).ok();
+    std::fs::remove_file(metrics).ok();
+    doc
+}
+
+fn as_u64(doc: &Value, path: &str) -> u64 {
+    doc.get(path)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing or non-integer {path}"))
+}
+
+#[test]
+fn metrics_json_is_valid_and_reconciles() {
+    let doc = run_with_metrics(&["--pipelined"]);
+
+    assert_eq!(as_u64(&doc, "schema_version"), 1);
+
+    // The emitted counters reconcile: per-primitive cycles sum to the
+    // ledger aggregate, and the report's LFM count matches the
+    // breakdown's.
+    let total = as_u64(&doc, "breakdown.total_busy_cycles");
+    assert_eq!(as_u64(&doc, "breakdown.primitive_cycles_total"), total);
+    assert!(total > 0);
+    let prims = doc
+        .get("breakdown.primitives")
+        .and_then(Value::as_array)
+        .expect("primitives array");
+    assert_eq!(prims.len(), 8);
+    let row_sum: u64 = prims
+        .iter()
+        .map(|p| {
+            p.get("busy_cycles")
+                .and_then(Value::as_u64)
+                .expect("busy_cycles")
+        })
+        .sum();
+    assert_eq!(row_sum, total);
+    let resources = doc
+        .get("breakdown.resources")
+        .and_then(Value::as_array)
+        .expect("resources array");
+    assert_eq!(resources.len(), 4);
+    let resource_sum: u64 = resources
+        .iter()
+        .map(|r| {
+            r.get("busy_cycles")
+                .and_then(Value::as_u64)
+                .expect("busy_cycles")
+        })
+        .sum();
+    assert_eq!(resource_sum, total);
+
+    assert_eq!(
+        as_u64(&doc, "report.lfm_calls"),
+        as_u64(&doc, "breakdown.lfm_calls")
+    );
+    let phase_sum = as_u64(&doc, "breakdown.lfm_by_phase.exact")
+        + as_u64(&doc, "breakdown.lfm_by_phase.inexact")
+        + as_u64(&doc, "breakdown.lfm_by_phase.recovery_retry")
+        + as_u64(&doc, "breakdown.lfm_by_phase.recovery_escalate");
+    assert_eq!(phase_sum, as_u64(&doc, "breakdown.lfm_calls"));
+
+    // Pipeline occupancy reflects the requested Pd=2 configuration.
+    assert_eq!(as_u64(&doc, "breakdown.pipeline.pd"), 2);
+    let adder_occ = doc
+        .get("breakdown.pipeline.adder_occupancy_pct")
+        .and_then(Value::as_f64)
+        .expect("adder occupancy");
+    assert!(
+        (adder_occ - 100.0).abs() < 1e-6,
+        "Pd=2 adder binds: {adder_occ}"
+    );
+
+    // Primitive names are the stable labels, in table order.
+    let names: Vec<&str> = prims
+        .iter()
+        .map(|p| p.get("name").and_then(Value::as_str).expect("name"))
+        .collect();
+    assert_eq!(
+        names,
+        [
+            "xnor_match",
+            "popcount",
+            "marker_read",
+            "im_add32",
+            "index_update",
+            "sa_entry_read",
+            "row_write",
+            "row_read"
+        ]
+    );
+
+    assert!(as_u64(&doc, "breakdown.index_build_cycles") > 0);
+    assert!(as_u64(&doc, "breakdown.subarray_activations") > 0);
+}
+
+#[test]
+fn metrics_schema_matches_golden_file() {
+    let doc = run_with_metrics(&[]);
+    let actual = doc.schema_paths().join("\n") + "\n";
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/metrics_schema.txt"
+    );
+    let golden = std::fs::read_to_string(golden_path)
+        .unwrap_or_else(|e| panic!("cannot read {golden_path}: {e}"));
+    assert_eq!(
+        actual, golden,
+        "metrics JSON schema drifted from tests/golden/metrics_schema.txt.\n\
+         If the change is intentional, bump METRICS_SCHEMA_VERSION, update the\n\
+         golden file to the `actual` value above, and update benchdiff/dashboards."
+    );
+}

@@ -53,7 +53,10 @@ fn pd_sweep_monotone_with_diminishing_returns() {
         power.push(report.total_power_w);
     }
     for w in throughput.windows(2) {
-        assert!(w[1] >= w[0], "throughput must not fall with Pd: {throughput:?}");
+        assert!(
+            w[1] >= w[0],
+            "throughput must not fall with Pd: {throughput:?}"
+        );
     }
     for w in power.windows(2) {
         assert!(w[1] > w[0], "power must rise with Pd: {power:?}");
@@ -61,5 +64,8 @@ fn pd_sweep_monotone_with_diminishing_returns() {
     // Fig. 9c: returns diminish as the compare stage saturates.
     let first_gain = throughput[1] / throughput[0];
     let last_gain = throughput[3] / throughput[2];
-    assert!(last_gain < first_gain, "gains must diminish: {throughput:?}");
+    assert!(
+        last_gain < first_gain,
+        "gains must diminish: {throughput:?}"
+    );
 }

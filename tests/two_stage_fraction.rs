@@ -9,9 +9,7 @@ use readsim::{genome, ReadSimulator, SimProfile};
 #[test]
 fn about_seventy_percent_resolve_in_stage_one() {
     let reference = genome::uniform(150_000, 101);
-    let profile = SimProfile::paper_defaults()
-        .read_count(250)
-        .forward_only();
+    let profile = SimProfile::paper_defaults().read_count(250).forward_only();
     let sim = ReadSimulator::new(profile, 102).simulate(&reference);
     let reads: Vec<DnaSeq> = sim.reads.iter().map(|r| r.seq.clone()).collect();
     let mut aligner = PimAligner::new(&reference, PimAlignerConfig::baseline());

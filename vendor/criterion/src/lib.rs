@@ -168,9 +168,7 @@ impl BenchmarkGroup<'_> {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        run_benchmark(&self.qualified(&id), self.sample_size, &mut |b| {
-            f(b, input)
-        });
+        run_benchmark(&self.qualified(&id), self.sample_size, &mut |b| f(b, input));
         self
     }
 

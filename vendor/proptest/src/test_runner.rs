@@ -58,7 +58,10 @@ pub struct TestRng {
 impl TestRng {
     /// Builds the generator for one named test.
     pub fn for_test(name: &str) -> TestRng {
-        let seed = match std::env::var("PROPTEST_SEED").ok().and_then(|s| s.parse().ok()) {
+        let seed = match std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+        {
             Some(seed) => seed,
             None => fnv1a(name.as_bytes()),
         };
