@@ -27,8 +27,11 @@ if [ "$MODE" = "all" ] || [ "$MODE" = "debug" ]; then
     echo "==> cargo test (debug)"
     cargo test -q --workspace
 
+    # The two named perf lints guard the packed LFM hot path: a
+    # reintroduced per-call collect or byte-count loop fails the build.
     echo "==> cargo clippy"
-    cargo clippy --workspace --all-targets -- -D warnings
+    cargo clippy --workspace --all-targets -- -D warnings \
+        -D clippy::needless_collect -D clippy::naive_bytecount
 fi
 
 if [ "$MODE" = "all" ] || [ "$MODE" = "release" ]; then
@@ -46,13 +49,27 @@ if [ "$MODE" = "all" ] || [ "$MODE" = "release" ]; then
     # quick-mode baseline. The reads/s floor (0.25x) is a broad tripwire
     # across machine speeds; the index-sharing speedup floor (4x, ~11x
     # measured at baseline) is a same-machine ratio and therefore the
-    # strict check — see EXPERIMENTS.md for the baseline-refresh recipe.
-    echo "==> benchdiff regression gate"
+    # strict check. The 8-vs-1 scaling floor (3x) is core-aware: benchdiff
+    # caps it by the host's core count, so single-core CI machines only
+    # assert non-degradation — see EXPERIMENTS.md for the refresh recipe.
+    echo "==> benchdiff regression gate (parallel)"
     cargo run -q --release -p bench --bin benchdiff -- \
         target/ci/BENCH_parallel_smoke.json BENCH_parallel_quick.json \
-        --min-ratio 0.25 --min-speedup 4.0
+        --min-ratio 0.25 --min-speedup 4.0 --min-scaling 3.0
 
-    echo "ci: bench smoke report kept at target/ci/BENCH_parallel_smoke.json"
+    # Packed-kernel gate: the bit-plane LFM kernel must hold its >= 5x
+    # advantage over the boolean reference implementation (same-machine
+    # ratio), with a broad Mlfm/s tripwire against the committed baseline.
+    echo "==> kernelbench smoke (packed LFM kernel)"
+    cargo run -q --release -p bench --bin kernelbench -- \
+        --quick --out target/ci/BENCH_kernel_smoke.json
+
+    echo "==> benchdiff regression gate (kernel)"
+    cargo run -q --release -p bench --bin benchdiff -- \
+        target/ci/BENCH_kernel_smoke.json BENCH_kernel.json \
+        --kind kernel --min-ratio 0.25 --min-speedup 5.0
+
+    echo "ci: bench smoke reports kept under target/ci/"
 fi
 
 echo "ci: all green ($MODE)"

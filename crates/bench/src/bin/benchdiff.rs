@@ -1,16 +1,18 @@
 //! `benchdiff` — the bench-regression gate.
 //!
 //! ```text
-//! benchdiff <fresh.json> <baseline.json> [--min-ratio R] [--min-speedup S]
+//! benchdiff <fresh.json> <baseline.json> [--kind parallel|kernel]
+//!           [--min-ratio R] [--min-speedup S] [--min-scaling C]
 //! ```
 //!
-//! Compares a freshly measured `parbench` JSON report against the
-//! checked-in baseline and exits non-zero when throughput regressed
-//! beyond tolerance. CI runs `parbench --quick` and feeds its output
-//! here (see `ci.sh`), so a change that slows the shared-platform
-//! engine or breaks the index-sharing speedup fails the build.
+//! Compares a freshly measured bench JSON report against the checked-in
+//! baseline and exits non-zero when throughput regressed beyond
+//! tolerance. CI runs `parbench --quick` and `kernelbench --quick` and
+//! feeds their outputs here (see `ci.sh`), so a change that slows the
+//! shared-platform engine, breaks the index-sharing speedup, or gives
+//! back the packed-kernel speedup fails the build.
 //!
-//! Checks, in order:
+//! `--kind parallel` (default) checks, in order:
 //!
 //! * both files parse and carry the `parbench` shape;
 //! * for every thread count present in both `shared_platform` tables,
@@ -20,7 +22,21 @@
 //!   differ, so this is a broad-regression tripwire, not a benchmark);
 //! * `fresh.speedup_8_threads_vs_seed_style ≥ S` (default `S` 2.0): the
 //!   build-the-index-once speedup must survive regardless of machine
-//!   speed — it is a ratio of two runs on the same machine.
+//!   speed — it is a ratio of two runs on the same machine;
+//! * `fresh.scaling_8_vs_1` against a **core-aware** floor derived from
+//!   `C` (default 3.0) and the report's `host_cores`: thread scaling is
+//!   physically bounded by the cores present, so the effective floor is
+//!   `min(C, 0.75 × min(host_cores, 8))` on multi-core machines and a
+//!   plain non-degradation check (0.6×) on a single core, where
+//!   parallelism cannot yield speedup at all.
+//!
+//! `--kind kernel` checks the `kernelbench` shape:
+//!
+//! * `fresh.speedup_vs_reference ≥ S` (default `S` 5.0) — the packed
+//!   kernel's advantage over the boolean reference, a same-machine
+//!   ratio and therefore the strict check;
+//! * `fresh.packed.mlfm_per_s ≥ R × baseline.packed.mlfm_per_s`
+//!   (default `R` 0.5) — the broad machine-speed tripwire.
 //!
 //! Exit status: 0 within tolerance, 1 regression detected, 2 usage or
 //! parse error.
@@ -29,21 +45,40 @@ use std::process::ExitCode;
 
 use bench::json::{self, Value};
 
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    Parallel,
+    Kernel,
+}
+
 struct Args {
     fresh: String,
     baseline: String,
+    kind: Kind,
     min_ratio: f64,
-    min_speedup: f64,
+    min_speedup: Option<f64>,
+    min_scaling: f64,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut positional = Vec::new();
+    let mut kind = Kind::Parallel;
     let mut min_ratio = 0.5;
-    let mut min_speedup = 2.0;
+    let mut min_speedup = None;
+    let mut min_scaling = 3.0;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
-            "--min-ratio" | "--min-speedup" => {
+            "--kind" => {
+                i += 1;
+                kind = match argv.get(i).map(String::as_str) {
+                    Some("parallel") => Kind::Parallel,
+                    Some("kernel") => Kind::Kernel,
+                    Some(other) => return Err(format!("unknown --kind {other}")),
+                    None => return Err("--kind needs a value".to_owned()),
+                };
+            }
+            "--min-ratio" | "--min-speedup" | "--min-scaling" => {
                 let flag = argv[i].clone();
                 i += 1;
                 let value: f64 = argv
@@ -54,10 +89,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 if !value.is_finite() || value <= 0.0 {
                     return Err(format!("invalid {flag}: must be positive"));
                 }
-                if flag == "--min-ratio" {
-                    min_ratio = value;
-                } else {
-                    min_speedup = value;
+                match flag.as_str() {
+                    "--min-ratio" => min_ratio = value,
+                    "--min-speedup" => min_speedup = Some(value),
+                    _ => min_scaling = value,
                 }
             }
             flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
@@ -67,15 +102,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     let [fresh, baseline] = positional.as_slice() else {
         return Err(
-            "usage: benchdiff <fresh.json> <baseline.json> [--min-ratio R] [--min-speedup S]"
+            "usage: benchdiff <fresh.json> <baseline.json> [--kind parallel|kernel] \
+             [--min-ratio R] [--min-speedup S] [--min-scaling C]"
                 .to_owned(),
         );
     };
     Ok(Args {
         fresh: fresh.clone(),
         baseline: baseline.clone(),
+        kind,
         min_ratio,
         min_speedup,
+        min_scaling,
     })
 }
 
@@ -105,7 +143,24 @@ fn throughput_rows(doc: &Value, path: &str) -> Result<Vec<(u64, f64)>, String> {
         .collect()
 }
 
-fn run(args: &Args) -> Result<bool, String> {
+fn required_f64(doc: &Value, field: &str, path: &str) -> Result<f64, String> {
+    doc.get(field)
+        .and_then(Value::as_f64)
+        .ok_or(format!("{path}: missing {field}"))
+}
+
+/// The scaling floor the fresh report must clear: thread scaling can
+/// never exceed the physical core count, so the configured floor is
+/// capped at 75 % of `min(host_cores, 8)`; on a single-core host the
+/// check degrades to "threading must not cost more than 40 %".
+fn effective_scaling_floor(configured: f64, host_cores: u64) -> f64 {
+    if host_cores < 2 {
+        return 0.6;
+    }
+    configured.min(0.75 * host_cores.min(8) as f64)
+}
+
+fn run_parallel(args: &Args) -> Result<bool, String> {
     let fresh = load(&args.fresh)?;
     let baseline = load(&args.baseline)?;
     let fresh_rows = throughput_rows(&fresh, &args.fresh)?;
@@ -137,23 +192,78 @@ fn run(args: &Args) -> Result<bool, String> {
         return Err("no common thread counts between fresh and baseline".to_owned());
     }
 
-    let speedup = fresh
-        .get("speedup_8_threads_vs_seed_style")
-        .and_then(Value::as_f64)
-        .ok_or(format!(
-            "{}: missing speedup_8_threads_vs_seed_style",
-            args.fresh
-        ))?;
-    let verdict = if speedup >= args.min_speedup {
+    let speedup = required_f64(&fresh, "speedup_8_threads_vs_seed_style", &args.fresh)?;
+    let min_speedup = args.min_speedup.unwrap_or(2.0);
+    let verdict = if speedup >= min_speedup {
         "ok"
     } else {
         "REGRESSION"
     };
     eprintln!(
-        "benchdiff: shared-platform speedup {speedup:.1}x (floor {:.1}x) {verdict}",
-        args.min_speedup
+        "benchdiff: shared-platform speedup {speedup:.1}x (floor {min_speedup:.1}x) {verdict}"
     );
-    if speedup < args.min_speedup {
+    if speedup < min_speedup {
+        ok = false;
+    }
+
+    let scaling = required_f64(&fresh, "scaling_8_vs_1", &args.fresh)?;
+    let host_cores = fresh
+        .get("host_cores")
+        .and_then(Value::as_u64)
+        .ok_or(format!("{}: missing host_cores", args.fresh))?;
+    let floor = effective_scaling_floor(args.min_scaling, host_cores);
+    let verdict = if scaling >= floor { "ok" } else { "REGRESSION" };
+    eprintln!(
+        "benchdiff: 8-vs-1 thread scaling {scaling:.2}x on {host_cores} core(s) \
+         (effective floor {floor:.2}x, configured {:.2}x) {verdict}",
+        args.min_scaling
+    );
+    if scaling < floor {
+        ok = false;
+    }
+    Ok(ok)
+}
+
+fn run_kernel(args: &Args) -> Result<bool, String> {
+    let fresh = load(&args.fresh)?;
+    let baseline = load(&args.baseline)?;
+    let mut ok = true;
+
+    let speedup = required_f64(&fresh, "speedup_vs_reference", &args.fresh)?;
+    let min_speedup = args.min_speedup.unwrap_or(5.0);
+    let verdict = if speedup >= min_speedup {
+        "ok"
+    } else {
+        "REGRESSION"
+    };
+    eprintln!(
+        "benchdiff: packed-kernel speedup {speedup:.1}x vs reference \
+         (floor {min_speedup:.1}x) {verdict}"
+    );
+    if speedup < min_speedup {
+        ok = false;
+    }
+
+    let packed_mlfm = |doc: &Value, path: &str| -> Result<f64, String> {
+        doc.get("packed")
+            .and_then(|p| p.get("mlfm_per_s"))
+            .and_then(Value::as_f64)
+            .ok_or(format!("{path}: missing packed.mlfm_per_s"))
+    };
+    let fresh_mlfm = packed_mlfm(&fresh, &args.fresh)?;
+    let base_mlfm = packed_mlfm(&baseline, &args.baseline)?;
+    let ratio = fresh_mlfm / base_mlfm;
+    let verdict = if ratio >= args.min_ratio {
+        "ok"
+    } else {
+        "REGRESSION"
+    };
+    eprintln!(
+        "benchdiff: packed kernel {fresh_mlfm:.2} vs {base_mlfm:.2} Mlfm/s \
+         (ratio {ratio:.2}, floor {:.2}) {verdict}",
+        args.min_ratio
+    );
+    if ratio < args.min_ratio {
         ok = false;
     }
     Ok(ok)
@@ -168,7 +278,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match run(&args) {
+    let outcome = match args.kind {
+        Kind::Parallel => run_parallel(&args),
+        Kind::Kernel => run_kernel(&args),
+    };
+    match outcome {
         Ok(true) => {
             eprintln!("benchdiff: within tolerance");
             ExitCode::SUCCESS

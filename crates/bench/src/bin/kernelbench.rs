@@ -1,0 +1,188 @@
+//! `kernelbench` — LFM compare-kernel microbenchmark.
+//!
+//! ```text
+//! kernelbench [--quick] [--out PATH]
+//! ```
+//!
+//! Times the packed bit-plane `XNOR_Match` + prefix-popcount compare
+//! stage (DESIGN.md §11) against the boolean-matrix reference kernel it
+//! replaced, plus the end-to-end `MappedIndex::lfm` hot path, reporting
+//! throughput in Mlfm/s (millions of LFM compare stages per second).
+//! Both kernels run the identical logical structure and charge the
+//! identical `LogicalOp`s per call, so the ratio isolates the host-side
+//! representation change.
+//!
+//! Results are written as JSON (default `BENCH_kernel.json`) and
+//! summarised on stderr; `ci.sh` runs the quick mode and feeds the
+//! output to `benchdiff --kind kernel`. Exit status is 1 when the
+//! packed kernel fails the ≥5× speedup target in full mode.
+
+use std::hint::black_box;
+use std::io::Write as _;
+use std::time::Instant;
+
+use bioseq::Base;
+use mram::array::ArrayModel;
+use pim_aligner::{MappedIndex, PimAlignerConfig};
+use pimsim::reference::{packed_compare_stage, reference_compare_stage, BoolSubArray};
+use pimsim::{CycleLedger, SubArray, SubArrayLayout};
+use readsim::genome;
+
+/// Speedup the packed kernel must reach over the reference in full mode.
+const SPEEDUP_FLOOR: f64 = 5.0;
+
+struct KernelTiming {
+    wall_ms: f64,
+    mlfm_per_s: f64,
+}
+
+fn timing(iterations: usize, wall_s: f64) -> KernelTiming {
+    KernelTiming {
+        wall_ms: wall_s * 1e3,
+        mlfm_per_s: iterations as f64 / wall_s / 1e6,
+    }
+}
+
+/// Deterministic 2-bit codes for bucket `b` (every bucket differs, all
+/// four bases occur).
+fn bucket_codes(b: usize) -> Vec<u8> {
+    (0..SubArrayLayout::BASES_PER_ROW)
+        .map(|j| ((j * 7 + b * 13 + 3) % 4) as u8)
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernel.json".to_owned());
+
+    let iterations = if quick { 200_000 } else { 2_000_000 };
+    eprintln!(
+        "kernelbench: {iterations} compare stages per kernel{}",
+        if quick { " (quick)" } else { "" }
+    );
+
+    // Identical contents in both representations: 256 loaded buckets,
+    // full CRef rows.
+    let model = ArrayModel::default();
+    let mut scratch = CycleLedger::new();
+    let mut packed = SubArray::new(model);
+    let mut reference = BoolSubArray::new(model);
+    packed.load_cref_rows(&mut scratch);
+    reference.load_cref_rows(&mut scratch);
+    for b in 0..256 {
+        let codes = bucket_codes(b);
+        packed.load_bwt_row(b, &codes, &mut scratch);
+        reference.load_bwt_row(b, &codes, &mut scratch);
+    }
+
+    // The iteration schedule (bucket, base, sentinel, prefix limit) is
+    // shared by both kernels so they do the same logical work.
+    let schedule: Vec<(usize, Base, Option<usize>, usize)> = (0..iterations)
+        .map(|i| {
+            (
+                i % 256,
+                Base::from_rank((i / 256) % 4),
+                (i % 3 == 0).then_some(i % 128),
+                1 + i % SubArrayLayout::BASES_PER_ROW,
+            )
+        })
+        .collect();
+
+    let mut ledger = CycleLedger::new();
+    let mut sink = 0u64;
+    let t0 = Instant::now();
+    for &(bucket, base, sentinel, within) in &schedule {
+        sink +=
+            packed_compare_stage(&packed, bucket, base, sentinel, within, None, &mut ledger) as u64;
+    }
+    let packed_t = timing(iterations, t0.elapsed().as_secs_f64());
+    black_box(sink);
+    let packed_cycles = ledger.total_busy_cycles();
+
+    let mut ledger = CycleLedger::new();
+    let mut ref_sink = 0u64;
+    let t0 = Instant::now();
+    for &(bucket, base, sentinel, within) in &schedule {
+        ref_sink += reference_compare_stage(
+            &reference,
+            bucket,
+            base,
+            sentinel,
+            within,
+            None,
+            &mut ledger,
+        ) as u64;
+    }
+    let reference_t = timing(iterations, t0.elapsed().as_secs_f64());
+    black_box(ref_sink);
+
+    assert_eq!(sink, ref_sink, "kernels disagree on count_match totals");
+    assert_eq!(
+        packed_cycles,
+        ledger.total_busy_cycles(),
+        "kernels disagree on charged cycles"
+    );
+
+    let speedup = packed_t.mlfm_per_s / reference_t.mlfm_per_s;
+    eprintln!(
+        "kernelbench: packed    {:.1} ms ({:.2} Mlfm/s)",
+        packed_t.wall_ms, packed_t.mlfm_per_s
+    );
+    eprintln!(
+        "kernelbench: reference {:.1} ms ({:.2} Mlfm/s) — packed is {speedup:.1}x faster",
+        reference_t.wall_ms, reference_t.mlfm_per_s
+    );
+
+    // End-to-end MappedIndex::lfm (marker read + IM_ADD included) on a
+    // multi-sub-array index, faults off.
+    let e2e_iters = iterations / 10;
+    let reference_genome = genome::uniform(100_000, 11);
+    let mapped = MappedIndex::build(&reference_genome, &PimAlignerConfig::baseline());
+    let mut injector = mapped.session_injector();
+    let mut ledger = CycleLedger::new();
+    let text_len = mapped.index().text_len();
+    let mut e2e_sink = 0u64;
+    let t0 = Instant::now();
+    for i in 0..e2e_iters {
+        let id = (i * 9_973) % (text_len + 1);
+        let nt = Base::from_rank(i % 4);
+        e2e_sink += mapped.lfm(nt, id, &mut injector, &mut ledger) as u64;
+    }
+    let e2e_t = timing(e2e_iters, t0.elapsed().as_secs_f64());
+    black_box(e2e_sink);
+    eprintln!(
+        "kernelbench: e2e lfm   {:.1} ms ({:.2} Mlfm/s over {e2e_iters} calls)",
+        e2e_t.wall_ms, e2e_t.mlfm_per_s
+    );
+
+    // Hand-rolled JSON: the workspace's vendored serde_json is an
+    // offline stub.
+    let json = format!(
+        "{{\n  \"iterations\": {iterations},\n  \"quick\": {quick},\n  \
+         \"packed\": {{ \"wall_ms\": {:.3}, \"mlfm_per_s\": {:.3} }},\n  \
+         \"reference\": {{ \"wall_ms\": {:.3}, \"mlfm_per_s\": {:.3} }},\n  \
+         \"speedup_vs_reference\": {speedup:.3},\n  \
+         \"e2e_lfm\": {{ \"iterations\": {e2e_iters}, \"wall_ms\": {:.3}, \"mlfm_per_s\": {:.3} }}\n}}",
+        packed_t.wall_ms,
+        packed_t.mlfm_per_s,
+        reference_t.wall_ms,
+        reference_t.mlfm_per_s,
+        e2e_t.wall_ms,
+        e2e_t.mlfm_per_s,
+    );
+    let mut file = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    writeln!(file, "{json}").unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("kernelbench: wrote {out_path}");
+
+    if speedup < SPEEDUP_FLOOR && !quick {
+        eprintln!("kernelbench: WARNING: speedup {speedup:.2}x below the {SPEEDUP_FLOOR}x target");
+        std::process::exit(1);
+    }
+}

@@ -4,14 +4,19 @@
 //! parbench [--quick] [--out PATH]
 //! ```
 //!
-//! Measures, for a large-reference / small-batch workload (the regime
-//! where index construction dominates):
+//! Measures, for a large-reference / large-batch workload (4096 reads
+//! full, 512 quick — the batch must dominate index build and session
+//! setup so the thread-scaling row reflects the parallel region):
 //!
 //! * the one-time `MappedIndex` build cost;
 //! * batch alignment throughput at 1, 4 and 8 worker threads over one
-//!   shared [`Platform`];
+//!   shared [`Platform`], and the 8-vs-1 thread scaling ratio;
 //! * the same 8-thread batch in the pre-platform style — every worker
 //!   building its own private index — as the regression baseline.
+//!
+//! The report records `host_cores` so the `benchdiff` scaling gate can
+//! scale its floor to the machine: thread scaling is physically bounded
+//! by the cores actually present.
 //!
 //! Results are written as JSON (default `BENCH_parallel.json` in the
 //! current directory) and summarised on stderr. `--quick` shrinks the
@@ -82,14 +87,21 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_parallel.json".to_owned());
 
-    // Large reference, small batch: the regime the shared platform is
-    // for. Per-worker index builds dominate the seed-style wall-clock.
-    let (genome_len, read_count) = if quick { (60_000, 24) } else { (400_000, 64) };
+    // Large reference, large batch: the read set must dominate index
+    // build and per-worker session setup, otherwise the thread-scaling
+    // row measures fixed costs instead of the parallel region.
+    let (genome_len, read_count) = if quick {
+        (60_000, 512)
+    } else {
+        (400_000, 4096)
+    };
     let workload = Workload::clean(genome_len, read_count, 80, 1207);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     eprintln!(
-        "parbench: {} bp reference, {} x 80 bp reads{}",
+        "parbench: {} bp reference, {} x 80 bp reads, {} host core(s){}",
         genome_len,
         read_count,
+        host_cores,
         if quick { " (quick)" } else { "" }
     );
 
@@ -113,11 +125,17 @@ fn main() {
         .iter()
         .find(|t| t.threads == 8)
         .expect("8-thread run");
+    let shared1 = timings
+        .iter()
+        .find(|t| t.threads == 1)
+        .expect("1-thread run");
     let speedup = seed_style.wall_ms / shared8.wall_ms;
+    let scaling = shared8.reads_per_s / shared1.reads_per_s;
     eprintln!(
         "parbench: seed-style (index per worker), 8 threads: {:.1} ms — shared platform is {:.1}x faster",
         seed_style.wall_ms, speedup
     );
+    eprintln!("parbench: 8-thread vs 1-thread scaling {scaling:.2}x on {host_cores} core(s)");
 
     // Hand-rolled JSON: the workspace's vendored serde_json is an
     // offline stub, so the report is assembled textually.
@@ -134,10 +152,12 @@ fn main() {
     let json = format!(
         "{{\n  \"workload\": {{ \"genome_len\": {genome_len}, \"read_count\": {read_count}, \
          \"read_len\": 80, \"seed\": 1207, \"quick\": {quick} }},\n  \
+         \"host_cores\": {host_cores},\n  \
          \"index_build_ms\": {index_build_ms:.3},\n  \
          \"shared_platform\": [\n{shared_rows}\n  ],\n  \
          \"seed_style_8_threads\": {{ \"threads\": {}, \"wall_ms\": {:.3}, \"reads_per_s\": {:.1} }},\n  \
-         \"speedup_8_threads_vs_seed_style\": {speedup:.3}\n}}",
+         \"speedup_8_threads_vs_seed_style\": {speedup:.3},\n  \
+         \"scaling_8_vs_1\": {scaling:.3}\n}}",
         seed_style.threads, seed_style.wall_ms, seed_style.reads_per_s,
     );
     let mut file = std::fs::File::create(&out_path)

@@ -257,6 +257,8 @@ impl MappedIndex {
             (0, self.index.marker_table().marker(nt, bucket))
         } else {
             let sub = &self.subarrays[s];
+            // Stack-allocated packed match mask: the whole compare stage
+            // runs on [u64; 2] words, no heap traffic per LFM.
             let mut matches = sub.xnor_match(lb, nt, ledger);
             // The 2-bit code space cannot represent `$`, so the sentinel
             // cell is stored with a placeholder code (T). The DPU knows
@@ -264,18 +266,20 @@ impl MappedIndex {
             // vector before counting.
             let sentinel = self.index.bwt().sentinel_pos();
             if sentinel / SubArrayLayout::BASES_PER_ROW == bucket {
-                matches[sentinel % SubArrayLayout::BASES_PER_ROW] = false;
+                matches.set(sentinel % SubArrayLayout::BASES_PER_ROW, false);
             }
             LogicalOp::Popcount.charge(sub.model(), ledger);
             let marker = sub.read_marker(lb, nt, ledger);
             // Fault injection (DESIGN.md §8): a whole-row transient
             // burst may corrupt this read, and each match bit may
             // additionally misread with the campaign's XNOR probability.
+            // The mask APIs draw the identical RNG stream as the boolean
+            // ones, so seeded replays are unchanged by the packing.
             if injector.is_active() {
-                injector.transient_row_fault(&mut matches);
-                injector.corrupt_match_bits(&mut matches[..within]);
+                injector.transient_row_mask(&mut matches);
+                injector.corrupt_match_mask(&mut matches, within);
             }
-            let count = matches[..within].iter().filter(|&&m| m).count() as u32;
+            let count = matches.count_prefix(within);
             (count, marker)
         };
         let carry_fault = injector.carry_fault_bit();
@@ -292,9 +296,7 @@ impl MappedIndex {
                 // Operand transfer into the mirror's write port.
                 let idx = s.min(self.mirrors.len() - 1);
                 let mirror = &self.mirrors[idx];
-                for _ in 0..7 {
-                    LogicalOp::RowWrite.charge(mirror.model(), ledger);
-                }
+                LogicalOp::RowWrite.charge_many(mirror.model(), ledger, 7);
                 match carry_fault {
                     Some(k) => mirror.im_add32_shared_faulty(marker, count, k, ledger),
                     None => mirror.im_add32_shared(marker, count, ledger),
@@ -311,9 +313,11 @@ impl MappedIndex {
     /// Reads suffix-array entries for an interval (`MEM` on the SA
     /// region) and returns the sorted reference positions.
     pub fn locate(&self, interval: SaInterval, ledger: &mut CycleLedger) -> Vec<usize> {
-        for _ in interval.rows() {
-            LogicalOp::SaEntryRead.charge(self.subarrays[0].model(), ledger);
-        }
+        LogicalOp::SaEntryRead.charge_many(
+            self.subarrays[0].model(),
+            ledger,
+            interval.rows().count() as u64,
+        );
         self.index.locate(interval)
     }
 

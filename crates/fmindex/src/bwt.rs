@@ -113,15 +113,39 @@ impl Bwt {
         &self.ranks
     }
 
-    /// Counts occurrences of symbol rank `sym` in `self[range]` by scanning
-    /// — the software equivalent of the platform's `XNOR_Match` +
-    /// popcount over a word-line segment.
+    /// Counts occurrences of symbol rank `sym` in `self[range]` — the
+    /// software equivalent of the platform's `XNOR_Match` + popcount
+    /// over a word-line segment, and word-parallel like it: eight bytes
+    /// at a time via SWAR (XOR against a broadcast of `sym` turns
+    /// matches into zero bytes, which are detected and counted with the
+    /// classic haszero mask + popcount).
     ///
     /// # Panics
     ///
     /// Panics if the range is out of bounds.
     pub fn count_in_range(&self, sym: u8, range: std::ops::Range<usize>) -> usize {
-        self.ranks[range].iter().filter(|&&r| r == sym).count()
+        const LO: u64 = 0x0101_0101_0101_0101;
+        // Ranks are 0..=4 (sentinel plus four bases), so `rank ^ sym`
+        // fits in the low 3 bits of each byte: OR-folding those bits
+        // into bit 0 gives an exact per-byte nonzero flag. (The classic
+        // haszero SWAR is only a boolean test — its borrow chain
+        // overcounts 0x01 bytes that sit above a zero byte.)
+        debug_assert!(sym <= 4, "symbol rank out of range: {sym}");
+        let bytes = &self.ranks[range];
+        let broadcast = u64::from(sym) * LO;
+        let mut chunks = bytes.chunks_exact(8);
+        let mut count = 0;
+        for chunk in chunks.by_ref() {
+            let diff = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")) ^ broadcast;
+            let nonzero = (diff | (diff >> 1) | (diff >> 2)) & LO;
+            count += 8 - nonzero.count_ones() as usize;
+        }
+        count
+            + chunks
+                .remainder()
+                .iter()
+                .map(|&r| usize::from(r == sym))
+                .sum::<usize>()
     }
 
     /// Packs the nucleotide content 2 bits per base for the PIM BWT zone.
@@ -219,7 +243,7 @@ mod tests {
     fn sentinel_position_tracked() {
         let (_, b) = bwt_of("TGCTA");
         assert_eq!(b.symbol(b.sentinel_pos()), Symbol::Sentinel);
-        assert_eq!(b.as_ranks().iter().filter(|&&r| r == 0).count(), 1);
+        assert_eq!(b.count_in_range(0, 0..b.len()), 1);
     }
 
     #[test]
@@ -238,6 +262,29 @@ mod tests {
         assert_eq!(b.count_in_range(t_rank, 0..2), 1);
         assert_eq!(b.count_in_range(t_rank, 2..4), 1);
         assert_eq!(b.count_in_range(t_rank, 4..6), 0);
+    }
+
+    #[test]
+    fn count_in_range_swar_matches_naive_scan() {
+        // The adversarial shape for the SWAR kernel: rank^sym == 1
+        // bytes adjacent to matching (zero-diff) bytes, at every
+        // alignment and with sub-word remainders.
+        let (_, b) = bwt_of("ACGTACGTTTTGGGCCAATGCTAGCTAGGATCCA");
+        for sym in 0..=4u8 {
+            for start in 0..b.len() {
+                for end in start..=b.len() {
+                    let naive = b.as_ranks()[start..end]
+                        .iter()
+                        .map(|&r| usize::from(r == sym))
+                        .sum::<usize>();
+                    assert_eq!(
+                        b.count_in_range(sym, start..end),
+                        naive,
+                        "sym {sym} range {start}..{end}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -127,34 +127,50 @@ impl LogicalOp {
     /// Charges this logical op to a ledger (cycles + energy) and records
     /// it in the ledger's per-primitive counters.
     pub fn charge(self, model: &ArrayModel, ledger: &mut CycleLedger) {
-        ledger.note_op(self);
+        self.charge_many(model, ledger, 1);
+    }
+
+    /// Charges `n` repetitions of this logical op in one step.
+    ///
+    /// All integer accounting — busy cycles, `ArrayOp` counts, and the
+    /// per-primitive counters — reconciles *exactly* with `n` sequential
+    /// [`LogicalOp::charge`] calls; only the accumulated energy (an
+    /// `f64`) may differ in the last bit of rounding. Hot loops that
+    /// issue a known repeat count (SA-entry reads over an interval, the
+    /// method-II operand-transfer burst) use this to avoid per-iteration
+    /// charge overhead.
+    pub fn charge_many(self, model: &ArrayModel, ledger: &mut CycleLedger, n: u64) {
+        if n == 0 {
+            return;
+        }
+        ledger.note_op_many(self, n);
         let resource = self.resource();
         match self {
             LogicalOp::XnorMatch => {
-                ledger.charge(model, resource, ArrayOp::ComputeTriple, 2);
+                ledger.charge(model, resource, ArrayOp::ComputeTriple, 2 * n);
             }
             LogicalOp::Popcount => {
-                ledger.charge(model, resource, ArrayOp::DpuOp, 16);
+                ledger.charge(model, resource, ArrayOp::DpuOp, 16 * n);
             }
             LogicalOp::MarkerRead | LogicalOp::SaEntryRead => {
-                ledger.charge(model, resource, ArrayOp::ReadRow, 11);
+                ledger.charge(model, resource, ArrayOp::ReadRow, 11 * n);
             }
             LogicalOp::ImAdd32 => {
-                // 32 compute cycles + 13 write-stall cycles occupy the
-                // adder; sum and carry fire two write drivers per bit
-                // (64 firings), charged as energy.
-                ledger.charge(model, resource, ArrayOp::ComputeTriple, 32);
-                ledger.charge(model, resource, ArrayOp::DpuOp, 13);
-                ledger.charge_energy_only(model, ArrayOp::WriteRow, 64);
+                // Per add: 32 compute cycles + 13 write-stall cycles
+                // occupy the adder; sum and carry fire two write drivers
+                // per bit (64 firings), charged as energy.
+                ledger.charge(model, resource, ArrayOp::ComputeTriple, 32 * n);
+                ledger.charge(model, resource, ArrayOp::DpuOp, 13 * n);
+                ledger.charge_energy_only(model, ArrayOp::WriteRow, 64 * n);
             }
             LogicalOp::IndexUpdate => {
-                ledger.charge(model, resource, ArrayOp::DpuOp, 2);
+                ledger.charge(model, resource, ArrayOp::DpuOp, 2 * n);
             }
             LogicalOp::RowWrite => {
-                ledger.charge(model, resource, ArrayOp::WriteRow, 1);
+                ledger.charge(model, resource, ArrayOp::WriteRow, n);
             }
             LogicalOp::RowRead => {
-                ledger.charge(model, resource, ArrayOp::ReadRow, 1);
+                ledger.charge(model, resource, ArrayOp::ReadRow, n);
             }
         }
     }
@@ -232,6 +248,57 @@ mod tests {
         assert_eq!(l.busy_cycles(Resource::Memory), 13); // 11 + 2
         assert_eq!(l.busy_cycles(Resource::Transfer), 0);
         assert_eq!(l.total_busy_cycles(), lfm_cycles());
+    }
+
+    #[test]
+    fn charge_many_reconciles_exactly_with_sequential_charges() {
+        let model = ArrayModel::default();
+        for op in LogicalOp::ALL {
+            let mut batched = CycleLedger::new();
+            op.charge_many(&model, &mut batched, 7);
+            let mut sequential = CycleLedger::new();
+            for _ in 0..7 {
+                op.charge(&model, &mut sequential);
+            }
+            for r in Resource::ALL {
+                assert_eq!(
+                    batched.busy_cycles(r),
+                    sequential.busy_cycles(r),
+                    "{op:?} busy cycles on {r:?}"
+                );
+            }
+            for aop in [
+                ArrayOp::ReadRow,
+                ArrayOp::WriteRow,
+                ArrayOp::ComputeTriple,
+                ArrayOp::DpuOp,
+            ] {
+                assert_eq!(
+                    batched.op_count(aop),
+                    sequential.op_count(aop),
+                    "{op:?} count of {aop:?}"
+                );
+            }
+            assert_eq!(
+                batched.primitives(),
+                sequential.primitives(),
+                "{op:?} per-primitive counters"
+            );
+            assert!(
+                (batched.energy_pj() - sequential.energy_pj()).abs() < 1e-6,
+                "{op:?} energy"
+            );
+        }
+    }
+
+    #[test]
+    fn charge_many_zero_is_a_no_op() {
+        let model = ArrayModel::default();
+        let mut l = CycleLedger::new();
+        LogicalOp::RowWrite.charge_many(&model, &mut l, 0);
+        assert_eq!(l.total_busy_cycles(), 0);
+        assert_eq!(l.primitives().total_count(), 0);
+        assert_eq!(l.energy_pj(), 0.0);
     }
 
     #[test]

@@ -127,6 +127,23 @@ impl Dpu {
         matches[..limit].iter().filter(|&&m| m).count() as u32
     }
 
+    /// Packed form of [`Dpu::count_matches`]: counts the set bits among
+    /// the first `limit` positions of a match mask via masked popcount.
+    /// Charged as one popcount, identically to the boolean form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit > 128`.
+    pub fn count_mask_matches(
+        &mut self,
+        matches: &crate::MatchMask,
+        limit: usize,
+        ledger: &mut CycleLedger,
+    ) -> u32 {
+        LogicalOp::Popcount.charge(&self.model, ledger);
+        matches.count_prefix(limit)
+    }
+
     /// Pushes a backtracking state (one register-file write).
     pub fn push_state(&mut self, state: BacktrackState, ledger: &mut CycleLedger) {
         LogicalOp::IndexUpdate.charge(&self.model, ledger);
@@ -173,6 +190,20 @@ mod tests {
         assert_eq!(dpu.count_matches(&m, 5, &mut ledger), 4);
         assert_eq!(dpu.count_matches(&m, 3, &mut ledger), 2);
         assert_eq!(dpu.count_matches(&m, 0, &mut ledger), 0);
+    }
+
+    #[test]
+    fn mask_count_agrees_with_boolean_count() {
+        let (mut dpu, mut ledger) = fresh();
+        let bools: Vec<bool> = (0..128).map(|i| i % 3 == 0 || i > 100).collect();
+        let mask = crate::MatchMask::from_bools(&bools);
+        for limit in [0usize, 1, 17, 64, 65, 101, 128] {
+            assert_eq!(
+                dpu.count_mask_matches(&mask, limit, &mut ledger),
+                dpu.count_matches(&bools, limit, &mut ledger),
+                "limit {limit}"
+            );
+        }
     }
 
     #[test]

@@ -12,6 +12,8 @@
 
 use mram::faults::FaultCampaign;
 
+use crate::subarray::MatchMask;
+
 /// Longest transient burst, bits (a worst-case triple-row sense glitch).
 const MAX_BURST_BITS: usize = 4;
 
@@ -156,6 +158,53 @@ impl FaultInjector {
         true
     }
 
+    /// Mask form of [`FaultInjector::corrupt_match_bits`]: applies
+    /// per-bit sense misreads to the first `limit` bits of a packed
+    /// match mask. Draws exactly one uniform per bit in ascending bit
+    /// order — the identical RNG stream as the boolean form over a
+    /// `limit`-length slice — so seeded replays stay bit-identical
+    /// across the two representations. Returns the number of bits
+    /// flipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit > 128`.
+    pub fn corrupt_match_mask(&mut self, mask: &mut MatchMask, limit: usize) -> u64 {
+        assert!(limit <= MatchMask::BITS, "misread limit out of range");
+        let p = self.campaign.model().xnor_misread_prob();
+        if p <= 0.0 {
+            return 0;
+        }
+        let mut flips = 0;
+        for i in 0..limit {
+            if self.uniform() < p {
+                mask.flip(i);
+                flips += 1;
+            }
+        }
+        self.counters.xnor_bit_flips += flips;
+        flips
+    }
+
+    /// Mask form of [`FaultInjector::transient_row_fault`] over the full
+    /// 128-bit match vector: same decision stream (one uniform, then —
+    /// only when the burst fires — a burst-length draw and a start draw),
+    /// so a seeded replay produces the identical fault history whichever
+    /// representation the caller uses. Returns `true` when a burst fired.
+    pub fn transient_row_mask(&mut self, mask: &mut MatchMask) -> bool {
+        let p = self.campaign.transient_row_rate();
+        if p <= 0.0 || self.uniform() >= p {
+            return false;
+        }
+        let burst = 1 + self.index(MAX_BURST_BITS);
+        let start = self.index(MatchMask::BITS);
+        for i in start..(start + burst).min(MatchMask::BITS) {
+            mask.flip(i);
+        }
+        self.counters.transient_row_faults += 1;
+        true
+    }
+
     /// With the campaign's carry-fault probability, picks the bit
     /// position (0..32) at which the next `IM_ADD`'s carry chain dies.
     pub fn carry_fault_bit(&mut self) -> Option<usize> {
@@ -235,6 +284,37 @@ mod tests {
         assert_eq!(a.stuck_cell_plan(388, 256), b.stuck_cell_plan(388, 256));
         assert_eq!(a.counters(), b.counters());
         assert!(a.counters().total() > 0, "noisy campaign must fire");
+    }
+
+    #[test]
+    fn mask_fault_apis_replay_the_boolean_stream() {
+        // The packed-mask fault path must draw the exact RNG stream of
+        // the boolean path: same decisions, same flipped bits, same
+        // counters — this is what keeps seeded replays representation-
+        // independent.
+        let mut bool_injector = FaultInjector::new(noisy_campaign(99));
+        let mut mask_injector = FaultInjector::new(noisy_campaign(99));
+        for round in 0..200usize {
+            let mut row = vec![false; 128];
+            for i in (round % 5..128).step_by(3) {
+                row[i] = true;
+            }
+            let mut mask = MatchMask::from_bools(&row);
+            assert_eq!(
+                bool_injector.transient_row_fault(&mut row),
+                mask_injector.transient_row_mask(&mut mask),
+                "burst decision diverged at round {round}"
+            );
+            let limit = (round * 37) % 129;
+            assert_eq!(
+                bool_injector.corrupt_match_bits(&mut row[..limit]),
+                mask_injector.corrupt_match_mask(&mut mask, limit),
+                "misread count diverged at round {round}"
+            );
+            assert_eq!(mask.to_bools(), row, "contents diverged at round {round}");
+        }
+        assert_eq!(bool_injector.counters(), mask_injector.counters());
+        assert!(bool_injector.counters().total() > 0, "campaign must fire");
     }
 
     #[test]

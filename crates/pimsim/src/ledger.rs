@@ -107,6 +107,14 @@ impl CycleLedger {
         self.prims.note(op);
     }
 
+    /// Records `n` issued logical primitives in one step (the batched
+    /// form behind [`LogicalOp::charge_many`]). Integer-exact: equal to
+    /// `n` [`CycleLedger::note_op`] calls.
+    #[inline]
+    pub fn note_op_many(&mut self, op: LogicalOp, n: u64) {
+        self.prims.note_many(op, n);
+    }
+
     /// The hierarchical per-primitive counters (counts and busy cycles
     /// per [`LogicalOp`]). For any ledger charged exclusively through
     /// logical operations — the entire production path — the counters'

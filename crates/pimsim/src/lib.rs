@@ -38,6 +38,7 @@
 pub mod costs;
 pub mod metrics;
 pub mod pipeline;
+pub mod reference;
 
 mod dpu;
 mod faults;
@@ -48,4 +49,4 @@ pub use dpu::{BacktrackState, Dpu};
 pub use faults::{FaultCounters, FaultInjector};
 pub use ledger::{CycleLedger, Resource};
 pub use metrics::{PrimCounters, Span, SpanTracer};
-pub use subarray::{validate_functions_against_circuit, SubArray, SubArrayLayout};
+pub use subarray::{validate_functions_against_circuit, MatchMask, SubArray, SubArrayLayout};

@@ -41,9 +41,17 @@ impl PrimCounters {
     /// Records one issued `op` (count +1, cycles +`op.cycles()`).
     #[inline]
     pub fn note(&mut self, op: LogicalOp) {
+        self.note_many(op, 1);
+    }
+
+    /// Records `n` issued `op`s in one step. Exactly equivalent to `n`
+    /// [`PrimCounters::note`] calls — both fields are integers, so the
+    /// batched update reconciles bit-for-bit.
+    #[inline]
+    pub fn note_many(&mut self, op: LogicalOp, n: u64) {
         let i = op.index();
-        self.counts[i] += 1;
-        self.cycles[i] += op.cycles();
+        self.counts[i] += n;
+        self.cycles[i] += n * op.cycles();
     }
 
     /// Number of `op` primitives issued.

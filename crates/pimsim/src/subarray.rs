@@ -1,5 +1,13 @@
 //! The computational sub-array: functional bit storage plus the three
 //! bulk primitives, laid out per Fig. 6a.
+//!
+//! Storage is bit-packed (DESIGN.md §11): every 256-column row is four
+//! `u64` words holding the two bit-planes of the 2-bit base encoding, so
+//! the `XNOR_Match` primitive is evaluated word-parallel — a handful of
+//! XOR/AND/NOT word operations instead of a 128-iteration boolean scan —
+//! and returns a stack-allocated [`MatchMask`]. The cycle/energy charges
+//! are unchanged: the ledger prices *logical operations*, which are
+//! representation-independent.
 
 use std::ops::Range;
 
@@ -73,12 +81,152 @@ impl SubArrayLayout {
     }
 }
 
+/// `u64` words per packed 256-column row.
+const WORDS_PER_ROW: usize = 4;
+
+/// One packed row: words 0..2 hold bit-plane 0 (the low bit of each of
+/// the 128 base codes, base `j` at plane bit `j`), words 2..4 hold
+/// bit-plane 1 (the high bits).
+type PackedRow = [u64; WORDS_PER_ROW];
+
+/// Physical bit position of logical column `col` inside a packed row.
+///
+/// The logical column space is the paper's interleaved word line (base
+/// `j`'s low bit at column `2j`, high bit at column `2j + 1`); physically
+/// the planes are stored contiguously so `XNOR_Match` needs no bit
+/// de-interleaving. The mapping is a fixed bijection applied uniformly to
+/// every row, so cross-row column addressing (the vertical marker table,
+/// stuck-at coordinates) stays self-consistent.
+#[inline]
+fn col_bit(col: usize) -> usize {
+    (col >> 1) + ((col & 1) << 7)
+}
+
+/// The word-parallel result of one `XNOR_Match`: bit `j` set means the
+/// base stored at position `j` of the bucket equals the compared base.
+/// Stack-allocated — the `LFM` hot path never touches the heap.
+///
+/// # Examples
+///
+/// ```
+/// use pimsim::MatchMask;
+///
+/// let mut m = MatchMask::default();
+/// m.set(3, true);
+/// m.set(100, true);
+/// assert_eq!(m.count_ones(), 2);
+/// assert_eq!(m.count_prefix(100), 1); // bits strictly below 100
+/// assert!(m.get(3) && !m.get(4));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchMask(pub [u64; 2]);
+
+impl MatchMask {
+    /// Match-vector width (= the Occ bucket width `d`).
+    pub const BITS: usize = SubArrayLayout::BASES_PER_ROW;
+
+    /// Word masks selecting the bits strictly below position `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 128`.
+    #[inline]
+    pub fn prefix_words(n: usize) -> [u64; 2] {
+        assert!(n <= Self::BITS, "prefix {n} out of range");
+        match n {
+            0..=63 => [(1u64 << n) - 1, 0],
+            64 => [!0, 0],
+            65..=127 => [!0, (1u64 << (n - 64)) - 1],
+            _ => [!0, !0],
+        }
+    }
+
+    /// The bit at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 128`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < Self::BITS, "match bit {i} out of range");
+        (self.0[i >> 6] >> (i & 63)) & 1 == 1
+    }
+
+    /// Sets the bit at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 128`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < Self::BITS, "match bit {i} out of range");
+        let (w, b) = (i >> 6, i & 63);
+        if value {
+            self.0[w] |= 1 << b;
+        } else {
+            self.0[w] &= !(1 << b);
+        }
+    }
+
+    /// Flips the bit at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 128`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < Self::BITS, "match bit {i} out of range");
+        self.0[i >> 6] ^= 1 << (i & 63);
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> u32 {
+        self.0[0].count_ones() + self.0[1].count_ones()
+    }
+
+    /// Number of set bits strictly below position `n` — the `LFM` prefix
+    /// popcount, evaluated as two masked `count_ones`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 128`.
+    #[inline]
+    pub fn count_prefix(&self, n: usize) -> u32 {
+        let m = Self::prefix_words(n);
+        (self.0[0] & m[0]).count_ones() + (self.0[1] & m[1]).count_ones()
+    }
+
+    /// The mask as 128 booleans (test/reference interop; not used on the
+    /// hot path).
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..Self::BITS).map(|i| self.get(i)).collect()
+    }
+
+    /// Builds a mask from up to 128 booleans (test/reference interop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 128 bits are given.
+    pub fn from_bools(bits: &[bool]) -> MatchMask {
+        assert!(bits.len() <= Self::BITS, "at most 128 match bits");
+        let mut mask = MatchMask::default();
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                mask.0[i >> 6] |= 1 << (i & 63);
+            }
+        }
+        mask
+    }
+}
+
 /// One computational sub-array: functional contents plus the bulk
 /// primitives of §IV-B, each charged to a [`CycleLedger`].
 ///
-/// Functional results are produced by direct boolean evaluation for
-/// speed; the test suite proves every primitive agrees with the
-/// [`SenseAmp`] circuit model bit-for-bit.
+/// Functional results are produced by direct word-parallel boolean
+/// evaluation for speed; the test suite proves every primitive agrees
+/// with the [`SenseAmp`] circuit model bit-for-bit and with the scalar
+/// [`reference`](crate::reference) kernel.
 ///
 /// # Examples
 ///
@@ -92,15 +240,18 @@ impl SubArrayLayout {
 /// sa.load_cref_rows(&mut ledger);
 /// // Compare against base A (code 0b10): exactly one position matches.
 /// let matches = sa.xnor_match(0, bioseq::Base::A, &mut ledger);
-/// assert_eq!(matches[..4], [false, false, true, false]);
+/// assert_eq!(matches.count_ones(), 1);
+/// assert!(matches.get(2));
 /// ```
 #[derive(Debug, Clone)]
 pub struct SubArray {
     model: ArrayModel,
     layout: SubArrayLayout,
-    /// Row-major bit matrix.
-    bits: Vec<Vec<bool>>,
-    /// Bases loaded into each BWT row (for bounds checking).
+    /// Row-major packed bit matrix (see [`col_bit`] for the column
+    /// mapping).
+    rows: Vec<PackedRow>,
+    /// Bases loaded into each BWT row (for bounds checking and the
+    /// match-length mask).
     bwt_row_len: Vec<usize>,
 }
 
@@ -110,9 +261,14 @@ impl SubArray {
         let layout = SubArrayLayout::paper();
         layout.validate(model.geometry());
         let geometry = model.geometry();
+        assert_eq!(
+            geometry.cols,
+            2 * SubArrayLayout::BASES_PER_ROW,
+            "packed rows assume 256 columns"
+        );
         SubArray {
             model,
-            bits: vec![vec![false; geometry.cols]; geometry.rows],
+            rows: vec![[0u64; WORDS_PER_ROW]; geometry.rows],
             bwt_row_len: vec![0; layout.bwt_rows.len()],
             layout,
         }
@@ -129,8 +285,11 @@ impl SubArray {
     }
 
     /// Raw bit at `(row, col)` (test/debug accessor; no cycle charge).
+    /// Columns use the paper's interleaved word-line addressing — base
+    /// `j`'s low bit at column `2j`, high bit at `2j + 1`.
     pub fn bit(&self, row: usize, col: usize) -> bool {
-        self.bits[row][col]
+        let p = col_bit(col);
+        (self.rows[row][p >> 6] >> (p & 63)) & 1 == 1
     }
 
     /// Forces the cell at `(row, col)` to `value` — the stuck-at
@@ -143,7 +302,17 @@ impl SubArray {
     ///
     /// Panics if the coordinates exceed the geometry.
     pub fn force_bit(&mut self, row: usize, col: usize, value: bool) {
-        self.bits[row][col] = value;
+        assert!(
+            col < self.model.geometry().cols,
+            "column {col} out of range"
+        );
+        let p = col_bit(col);
+        let (w, b) = (p >> 6, p & 63);
+        if value {
+            self.rows[row][w] |= 1 << b;
+        } else {
+            self.rows[row][w] &= !(1 << b);
+        }
     }
 
     /// Rows in the data zones (BWT + CRef + MT) — the region where
@@ -170,10 +339,21 @@ impl SubArray {
             codes.len() <= SubArrayLayout::BASES_PER_ROW,
             "at most 128 bases per row"
         );
-        let row = self.layout.bwt_rows.start + bucket;
+        let mut plane0 = [0u64; 2];
+        let mut plane1 = [0u64; 2];
         for (j, &code) in codes.iter().enumerate() {
-            self.bits[row][2 * j] = code & 0b01 != 0;
-            self.bits[row][2 * j + 1] = code & 0b10 != 0;
+            let (w, b) = (j >> 6, j & 63);
+            plane0[w] |= ((code & 0b01) as u64) << b;
+            plane1[w] |= (((code >> 1) & 1) as u64) << b;
+        }
+        // Only the first codes.len() positions are written; stale bits
+        // beyond the loaded length keep their contents, as a partial row
+        // write would on hardware.
+        let written = MatchMask::prefix_words(codes.len());
+        let row = &mut self.rows[self.layout.bwt_rows.start + bucket];
+        for w in 0..2 {
+            row[w] = (row[w] & !written[w]) | plane0[w];
+            row[2 + w] = (row[2 + w] & !written[w]) | plane1[w];
         }
         self.bwt_row_len[bucket] = codes.len();
         LogicalOp::RowWrite.charge(&self.model, ledger);
@@ -182,48 +362,46 @@ impl SubArray {
     /// Initialises the four `CRef` rows (one `RowWrite` each).
     pub fn load_cref_rows(&mut self, ledger: &mut CycleLedger) {
         for base in bioseq::Base::ALL {
-            let row = self.layout.cref_rows.start + base.rank();
             let code = base.code();
-            for j in 0..SubArrayLayout::BASES_PER_ROW {
-                self.bits[row][2 * j] = code & 0b01 != 0;
-                self.bits[row][2 * j + 1] = code & 0b10 != 0;
-            }
+            let plane0 = if code & 0b01 != 0 { !0u64 } else { 0 };
+            let plane1 = if code & 0b10 != 0 { !0u64 } else { 0 };
+            self.rows[self.layout.cref_rows.start + base.rank()] = [plane0, plane0, plane1, plane1];
             LogicalOp::RowWrite.charge(&self.model, ledger);
         }
     }
 
     /// The parallel `XNOR_Match` primitive: compares BWT bucket `bucket`
-    /// against the `CRef` row of `base`, returning one boolean per base
-    /// position (`true` = the stored base equals `base`). Positions past
-    /// the loaded length are `false`.
+    /// against the `CRef` row of `base`, returning one match bit per base
+    /// position (`1` = the stored base equals `base`). Positions past
+    /// the loaded length are `0`.
     ///
     /// Hardware: both bit-planes are XNOR-compared in one triple-row
     /// activation each (2 cycles), and a base matches when both of its
-    /// bit lanes match.
+    /// bit lanes match. Host evaluation is word-parallel: two XNOR/AND
+    /// word operations per 64 bases, no allocation.
     ///
     /// # Panics
     ///
     /// Panics if `bucket` is out of range.
+    #[inline]
     pub fn xnor_match(
         &self,
         bucket: usize,
         base: bioseq::Base,
         ledger: &mut CycleLedger,
-    ) -> Vec<bool> {
+    ) -> MatchMask {
         assert!(
             bucket < self.layout.buckets(),
             "bucket {bucket} out of range"
         );
-        let bwt_row = self.layout.bwt_rows.start + bucket;
-        let cref_row = self.layout.cref_rows.start + base.rank();
+        let bwt = &self.rows[self.layout.bwt_rows.start + bucket];
+        let cref = &self.rows[self.layout.cref_rows.start + base.rank()];
         LogicalOp::XnorMatch.charge(&self.model, ledger);
-        (0..SubArrayLayout::BASES_PER_ROW)
-            .map(|j| {
-                j < self.bwt_row_len[bucket]
-                    && self.bits[bwt_row][2 * j] == self.bits[cref_row][2 * j]
-                    && self.bits[bwt_row][2 * j + 1] == self.bits[cref_row][2 * j + 1]
-            })
-            .collect()
+        let loaded = MatchMask::prefix_words(self.bwt_row_len[bucket]);
+        MatchMask([
+            !(bwt[0] ^ cref[0]) & !(bwt[2] ^ cref[2]) & loaded[0],
+            !(bwt[1] ^ cref[1]) & !(bwt[3] ^ cref[3]) & loaded[1],
+        ])
     }
 
     /// Stores marker word `value` for `base` of bucket-column `bucket`
@@ -243,8 +421,15 @@ impl SubArray {
         let cols = self.model.geometry().cols;
         assert!(bucket < cols, "marker column {bucket} out of range");
         let start = self.layout.mt_rows.start + base.rank() * 32;
+        let p = col_bit(bucket);
+        let (w, b) = (p >> 6, p & 63);
         for k in 0..32 {
-            self.bits[start + k][bucket] = (value >> k) & 1 == 1;
+            let row = &mut self.rows[start + k];
+            if (value >> k) & 1 == 1 {
+                row[w] |= 1 << b;
+            } else {
+                row[w] &= !(1 << b);
+            }
         }
         LogicalOp::RowWrite.charge(&self.model, ledger);
     }
@@ -261,8 +446,10 @@ impl SubArray {
         assert!(bucket < cols, "marker column {bucket} out of range");
         let start = self.layout.mt_rows.start + base.rank() * 32;
         LogicalOp::MarkerRead.charge(&self.model, ledger);
+        let p = col_bit(bucket);
+        let (w, b) = (p >> 6, p & 63);
         (0..32).fold(0u32, |acc, k| {
-            acc | ((self.bits[start + k][bucket] as u32) << k)
+            acc | ((((self.rows[start + k][w] >> b) & 1) as u32) << k)
         })
     }
 
@@ -305,26 +492,28 @@ impl SubArray {
     ) -> u32 {
         let base = self.layout.reserved_rows.start;
         let (a_rows, b_rows, sum_rows, carry_row) = (base, base + 32, base + 64, base + 96);
-        // Stage the operands (bulk transposed write, part of the IM_ADD
-        // cost model rather than separate row writes).
+        // Stage the operands in column 0 (bulk transposed write, part of
+        // the IM_ADD cost model rather than separate row writes).
         for k in 0..32 {
-            self.bits[a_rows + k][0] = (a >> k) & 1 == 1;
-            self.bits[b_rows + k][0] = (b >> k) & 1 == 1;
+            self.rows[a_rows + k][0] =
+                (self.rows[a_rows + k][0] & !1) | u64::from((a >> k) & 1 == 1);
+            self.rows[b_rows + k][0] =
+                (self.rows[b_rows + k][0] & !1) | u64::from((b >> k) & 1 == 1);
         }
-        self.bits[carry_row][0] = false;
+        self.rows[carry_row][0] &= !1;
         LogicalOp::ImAdd32.charge(&self.model, ledger);
         let mut carry = false;
         let mut sum = 0u32;
         for k in 0..32 {
-            let x = self.bits[a_rows + k][0];
-            let y = self.bits[b_rows + k][0];
+            let x = self.rows[a_rows + k][0] & 1 == 1;
+            let y = self.rows[b_rows + k][0] & 1 == 1;
             // Gate-level semantics identical to SenseAmp::full_add; an
             // injected fault forces the MAJ (carry) read low at one bit.
             let s = x ^ y ^ carry;
             let c = ((x & y) | (x & carry) | (y & carry)) && kill_carry_at != Some(k);
-            self.bits[sum_rows + k][0] = s;
+            self.rows[sum_rows + k][0] = (self.rows[sum_rows + k][0] & !1) | u64::from(s);
             carry = c;
-            self.bits[carry_row][0] = c;
+            self.rows[carry_row][0] = (self.rows[carry_row][0] & !1) | u64::from(c);
             if s {
                 sum |= 1 << k;
             }
@@ -374,8 +563,7 @@ impl SubArray {
     ) {
         LogicalOp::RowRead.charge(&self.model, ledger);
         LogicalOp::RowWrite.charge(&dest.model, ledger);
-        let src = self.bits[row].clone();
-        dest.bits[dest_row] = src;
+        dest.rows[dest_row] = self.rows[row];
     }
 }
 
@@ -453,6 +641,23 @@ mod tests {
     }
 
     #[test]
+    fn partial_row_reload_keeps_tail_bits() {
+        let (mut sa, mut ledger) = fresh();
+        let full: Vec<u8> = (0..128).map(|i| (i % 4) as u8).collect();
+        sa.load_bwt_row(2, &full, &mut ledger);
+        sa.load_bwt_row(2, &[0b11, 0b11], &mut ledger);
+        // The shorter write touches only the first two base positions.
+        assert!(sa.bit(2, 0) && sa.bit(2, 1) && sa.bit(2, 2) && sa.bit(2, 3));
+        for (j, &code) in full.iter().enumerate().skip(2) {
+            assert_eq!(sa.bit(2, 2 * j), code & 1 != 0, "stale low bit at {j}");
+            assert_eq!(sa.bit(2, 2 * j + 1), code & 2 != 0, "stale high bit at {j}");
+        }
+        // But the match length shrinks to the new load.
+        let m = sa.xnor_match(2, Base::from_rank(3), &mut ledger);
+        assert!(m.count_prefix(128) <= 2);
+    }
+
+    #[test]
     fn xnor_match_finds_exactly_the_matching_bases() {
         let (mut sa, mut ledger) = fresh();
         sa.load_cref_rows(&mut ledger);
@@ -463,10 +668,17 @@ mod tests {
             .collect();
         sa.load_bwt_row(0, &codes, &mut ledger);
         let t_matches = sa.xnor_match(0, Base::T, &mut ledger);
-        assert_eq!(&t_matches[..5], &[true, false, false, true, false]);
-        assert!(t_matches[5..].iter().all(|&m| !m), "tail must not match");
+        assert_eq!(
+            &t_matches.to_bools()[..5],
+            &[true, false, false, true, false]
+        );
+        assert_eq!(t_matches.count_ones(), 2, "tail must not match");
         let a_matches = sa.xnor_match(0, Base::A, &mut ledger);
-        assert_eq!(&a_matches[..5], &[false, false, false, false, true]);
+        assert_eq!(
+            &a_matches.to_bools()[..5],
+            &[false, false, false, false, true]
+        );
+        assert_eq!(a_matches.count_ones(), 1);
     }
 
     #[test]
@@ -476,14 +688,30 @@ mod tests {
         let codes: Vec<u8> = (0..100).map(|i| ((i * 7 + 3) % 4) as u8).collect();
         sa.load_bwt_row(1, &codes, &mut ledger);
         for base in Base::ALL {
-            let hw: usize = sa
-                .xnor_match(1, base, &mut ledger)
+            let hw = sa.xnor_match(1, base, &mut ledger).count_ones() as usize;
+            let oracle = codes
                 .iter()
-                .filter(|&&m| m)
-                .count();
-            let oracle = codes.iter().filter(|&&c| c == base.code()).count();
+                .map(|&c| usize::from(c == base.code()))
+                .sum::<usize>();
             assert_eq!(hw, oracle, "count mismatch for {base}");
         }
+    }
+
+    #[test]
+    fn match_mask_prefix_count_equals_bool_scan() {
+        let mut mask = MatchMask::default();
+        for i in [0usize, 1, 63, 64, 65, 90, 127] {
+            mask.set(i, true);
+        }
+        let bools = mask.to_bools();
+        for n in 0..=128 {
+            assert_eq!(
+                mask.count_prefix(n) as usize,
+                bools[..n].iter().filter(|&&b| b).count(),
+                "prefix {n}"
+            );
+        }
+        assert_eq!(MatchMask::from_bools(&bools), mask);
     }
 
     #[test]
@@ -585,6 +813,21 @@ mod tests {
         sa.force_bit(start + 5, 9, true);
         assert_eq!(sa.read_marker(9, Base::G, &mut ledger), 1 << 5);
         assert!(sa.data_zone_rows() > start);
+    }
+
+    #[test]
+    fn forced_bwt_bit_corrupts_the_match_vector() {
+        let (mut sa, mut ledger) = fresh();
+        sa.load_cref_rows(&mut ledger);
+        let codes = vec![Base::A.code(); 8];
+        sa.load_bwt_row(0, &codes, &mut ledger);
+        assert_eq!(sa.xnor_match(0, Base::A, &mut ledger).count_ones(), 8);
+        // Flip the low bit of base position 3: code 0b10 -> 0b11 (C).
+        sa.force_bit(0, 2 * 3, true);
+        let m = sa.xnor_match(0, Base::A, &mut ledger);
+        assert_eq!(m.count_ones(), 7);
+        assert!(!m.get(3));
+        assert!(sa.xnor_match(0, Base::C, &mut ledger).get(3));
     }
 
     #[test]

@@ -43,12 +43,8 @@ proptest! {
         sub.load_cref_rows(&mut ledger);
         sub.load_bwt_row(0, &codes, &mut ledger);
         for base in Base::ALL {
-            let hw: usize = sub
-                .xnor_match(0, base, &mut ledger)
-                .iter()
-                .filter(|&&m| m)
-                .count();
-            let oracle = codes.iter().filter(|&&c| c == base.code()).count();
+            let hw = sub.xnor_match(0, base, &mut ledger).count_ones() as usize;
+            let oracle = codes.iter().map(|&c| usize::from(c == base.code())).sum::<usize>();
             prop_assert_eq!(hw, oracle);
         }
     }

@@ -41,14 +41,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sub.load_bwt_row(0, &codes, &mut ledger);
     println!("\nBWT bucket 0 <- {segment} (2-bit codes {codes:?})");
 
-    // XNOR_Match against CRef-T.
+    // XNOR_Match against CRef-T: a stack-allocated packed mask, one bit
+    // per base position.
     let matches = sub.xnor_match(0, Base::T, &mut ledger);
-    let shown: Vec<u8> = matches[..segment.len()].iter().map(|&m| m as u8).collect();
+    let shown: Vec<u8> = (0..segment.len()).map(|j| matches.get(j) as u8).collect();
     println!("XNOR_Match vs CRef-T -> match vector {shown:?}");
 
     // DPU popcount over a prefix (id within the bucket).
     let id_within = 7;
-    let count = dpu.count_matches(&matches, id_within, &mut ledger);
+    let count = dpu.count_mask_matches(&matches, id_within, &mut ledger);
     println!("DPU popcount over first {id_within} positions -> count_match = {count}");
 
     // Vertical marker storage and MEM read.
