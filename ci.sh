@@ -4,7 +4,8 @@
 #
 #   ./ci.sh            full gate (debug + release stages)
 #   ./ci.sh debug      fmt check, debug tests, clippy
-#   ./ci.sh release    release build, parbench smoke, benchdiff gate
+#   ./ci.sh release    release build, bench smokes, benchdiff gates
+#                      (parallel, kernel, metrics schema, trace, host)
 #   ./ci.sh quick      back-compat alias for `debug`
 #
 # The two stages mirror the GitHub workflow's jobs
@@ -68,6 +69,37 @@ if [ "$MODE" = "all" ] || [ "$MODE" = "release" ]; then
     cargo run -q --release -p bench --bin benchdiff -- \
         target/ci/BENCH_kernel_smoke.json BENCH_kernel.json \
         --kind kernel --min-ratio 0.25 --min-speedup 5.0
+
+    # Metrics-schema gate: a quick perfdump must carry the committed
+    # baseline's schema (host wall-clock fields ignored) and satisfy the
+    # simulated-cycle invariants (reconciliation, phase coverage, the
+    # heatmap <= activations bound).
+    echo "==> perfdump smoke + benchdiff gate (metrics schema)"
+    cargo run -q --release -p bench --bin perfdump -- \
+        --quick --out target/ci/BENCH_metrics_smoke.json
+    cargo run -q --release -p bench --bin benchdiff -- \
+        target/ci/BENCH_metrics_smoke.json BENCH_metrics.json --kind metrics
+
+    # Host-telemetry gate: pimalign must emit a loadable Chrome trace
+    # naming every worker track, and a quick hostbench run must match the
+    # committed report's structure while staying self-consistent.
+    echo "==> pimalign trace smoke + benchdiff gate (trace)"
+    printf '>chrT\nTGCTAGCATGAACCTTGGAACGTACGTTAGCATCGATCGGATTACAGATTACAGGG\n' \
+        > target/ci/smoke_ref.fa
+    printf '@exact\nGATTACAGATTACA\n+\nIIIIIIIIIIIIII\n@revcomp\nCGTTCCAAGGTTCA\n+\nIIIIIIIIIIIIII\n' \
+        > target/ci/smoke_reads.fq
+    cargo run -q --release --bin pimalign -- \
+        target/ci/smoke_ref.fa target/ci/smoke_reads.fq --threads 2 \
+        --metrics-out target/ci/smoke_metrics.json \
+        --trace-out target/ci/smoke_trace.json > target/ci/smoke.sam
+    cargo run -q --release -p bench --bin benchdiff -- \
+        target/ci/smoke_trace.json --kind trace --workers 2
+
+    echo "==> hostbench smoke + benchdiff gate (host telemetry)"
+    cargo run -q --release -p bench --bin hostbench -- \
+        --quick --out target/ci/BENCH_host_smoke.json
+    cargo run -q --release -p bench --bin benchdiff -- \
+        target/ci/BENCH_host_smoke.json BENCH_host.json --kind host
 
     echo "ci: bench smoke reports kept under target/ci/"
 fi

@@ -1,8 +1,9 @@
 //! `benchdiff` — the bench-regression gate.
 //!
 //! ```text
-//! benchdiff <fresh.json> <baseline.json> [--kind parallel|kernel]
+//! benchdiff <fresh.json> <baseline.json> [--kind parallel|kernel|metrics|host]
 //!           [--min-ratio R] [--min-speedup S] [--min-scaling C]
+//! benchdiff <trace.json> --kind trace [--workers N]
 //! ```
 //!
 //! Compares a freshly measured bench JSON report against the checked-in
@@ -38,6 +39,33 @@
 //! * `fresh.packed.mlfm_per_s ≥ R × baseline.packed.mlfm_per_s`
 //!   (default `R` 0.5) — the broad machine-speed tripwire.
 //!
+//! `--kind metrics` diffs a fresh `perfdump`-shaped metrics document
+//! against the committed `BENCH_metrics.json`. Host wall-clock numbers
+//! are nondeterministic, so the check is structural-plus-invariants,
+//! never a byte diff of host fields:
+//!
+//! * the schema fingerprints ([`Value::schema_paths`]) must match after
+//!   dropping every `host.`-prefixed path — the `host` section may be
+//!   live in one file and redacted in the other;
+//! * fresh simulated-cycle invariants must hold: primitive cycles
+//!   reconcile with the ledger total, phase attribution covers every
+//!   `LFM`, and the zone heatmap never exceeds the sub-array activation
+//!   count (zone notes are a *view* of existing charges, not new ones).
+//!
+//! `--kind trace` validates a Chrome trace-event file (one positional):
+//! it must parse, carry `displayTimeUnit: "ms"`, contain at least one
+//! complete (`"X"`) span with `name`/`tid`/`ts`/`dur`, and — when
+//! `--workers N` is given — name a `worker-i` track for every
+//! `i < N` via `thread_name` metadata, whether or not that worker
+//! claimed work.
+//!
+//! `--kind host` diffs a fresh `hostbench` report against the committed
+//! `BENCH_host.json`: schema fingerprints must match exactly, and the
+//! fresh run must be self-consistent (one per-read latency sample per
+//! read, one worker row per thread, worker read counts summing to the
+//! workload, a positive parallel-region wall clock, and a load-balance
+//! percentage within (0, 100]).
+//!
 //! Exit status: 0 within tolerance, 1 regression detected, 2 usage or
 //! parse error.
 
@@ -49,16 +77,26 @@ use bench::json::{self, Value};
 enum Kind {
     Parallel,
     Kernel,
+    Metrics,
+    Trace,
+    Host,
 }
 
 struct Args {
     fresh: String,
-    baseline: String,
+    /// Absent only for `--kind trace`, which validates a single file.
+    baseline: Option<String>,
     kind: Kind,
     min_ratio: f64,
     min_speedup: Option<f64>,
     min_scaling: f64,
+    /// `--workers N`: worker tracks a trace must name (trace kind only).
+    workers: Option<usize>,
 }
+
+const USAGE: &str = "usage: benchdiff <fresh.json> <baseline.json> \
+     [--kind parallel|kernel|metrics|host] [--min-ratio R] [--min-speedup S] \
+     [--min-scaling C] | benchdiff <trace.json> --kind trace [--workers N]";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut positional = Vec::new();
@@ -66,6 +104,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut min_ratio = 0.5;
     let mut min_speedup = None;
     let mut min_scaling = 3.0;
+    let mut workers = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -74,9 +113,24 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 kind = match argv.get(i).map(String::as_str) {
                     Some("parallel") => Kind::Parallel,
                     Some("kernel") => Kind::Kernel,
+                    Some("metrics") => Kind::Metrics,
+                    Some("trace") => Kind::Trace,
+                    Some("host") => Kind::Host,
                     Some(other) => return Err(format!("unknown --kind {other}")),
                     None => return Err("--kind needs a value".to_owned()),
                 };
+            }
+            "--workers" => {
+                i += 1;
+                let value: usize = argv
+                    .get(i)
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid --workers: {e}"))?;
+                if value == 0 {
+                    return Err("invalid --workers: must be positive".to_owned());
+                }
+                workers = Some(value);
             }
             "--min-ratio" | "--min-speedup" | "--min-scaling" => {
                 let flag = argv[i].clone();
@@ -100,26 +154,30 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         }
         i += 1;
     }
-    let [fresh, baseline] = positional.as_slice() else {
-        return Err(
-            "usage: benchdiff <fresh.json> <baseline.json> [--kind parallel|kernel] \
-             [--min-ratio R] [--min-speedup S] [--min-scaling C]"
-                .to_owned(),
-        );
+    let (fresh, baseline) = match (kind, positional.as_slice()) {
+        (Kind::Trace, [fresh]) => (fresh.clone(), None),
+        (Kind::Trace, _) => return Err(USAGE.to_owned()),
+        (_, [fresh, baseline]) => (fresh.clone(), Some(baseline.clone())),
+        _ => return Err(USAGE.to_owned()),
     };
     Ok(Args {
-        fresh: fresh.clone(),
-        baseline: baseline.clone(),
+        fresh,
+        baseline,
         kind,
         min_ratio,
         min_speedup,
         min_scaling,
+        workers,
     })
 }
 
 fn load(path: &str) -> Result<Value, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    json::parse_file(path)
+}
+
+/// The baseline path; parse_args guarantees it for every kind but trace.
+fn baseline_path(args: &Args) -> &str {
+    args.baseline.as_deref().expect("baseline present")
 }
 
 /// `(threads, reads_per_s)` rows of the `shared_platform` table.
@@ -162,9 +220,9 @@ fn effective_scaling_floor(configured: f64, host_cores: u64) -> f64 {
 
 fn run_parallel(args: &Args) -> Result<bool, String> {
     let fresh = load(&args.fresh)?;
-    let baseline = load(&args.baseline)?;
+    let baseline = load(baseline_path(args))?;
     let fresh_rows = throughput_rows(&fresh, &args.fresh)?;
-    let base_rows = throughput_rows(&baseline, &args.baseline)?;
+    let base_rows = throughput_rows(&baseline, baseline_path(args))?;
 
     let mut ok = true;
     let mut compared = 0;
@@ -226,7 +284,7 @@ fn run_parallel(args: &Args) -> Result<bool, String> {
 
 fn run_kernel(args: &Args) -> Result<bool, String> {
     let fresh = load(&args.fresh)?;
-    let baseline = load(&args.baseline)?;
+    let baseline = load(baseline_path(args))?;
     let mut ok = true;
 
     let speedup = required_f64(&fresh, "speedup_vs_reference", &args.fresh)?;
@@ -251,7 +309,7 @@ fn run_kernel(args: &Args) -> Result<bool, String> {
             .ok_or(format!("{path}: missing packed.mlfm_per_s"))
     };
     let fresh_mlfm = packed_mlfm(&fresh, &args.fresh)?;
-    let base_mlfm = packed_mlfm(&baseline, &args.baseline)?;
+    let base_mlfm = packed_mlfm(&baseline, baseline_path(args))?;
     let ratio = fresh_mlfm / base_mlfm;
     let verdict = if ratio >= args.min_ratio {
         "ok"
@@ -269,6 +327,235 @@ fn run_kernel(args: &Args) -> Result<bool, String> {
     Ok(ok)
 }
 
+/// Compares the schema fingerprints of two documents, reporting every
+/// path present on one side only. `strip_host` drops `host.`-prefixed
+/// paths first — host telemetry may be live in one file and redacted in
+/// the other (the committed metrics baseline zeroes it for
+/// determinism), and its histogram/worker sub-shapes vary with count.
+fn fingerprints_match(
+    fresh: &Value,
+    baseline: &Value,
+    fresh_path: &str,
+    base_path: &str,
+    strip_host: bool,
+) -> bool {
+    let paths = |doc: &Value| -> Vec<String> {
+        doc.schema_paths()
+            .into_iter()
+            .filter(|p| !strip_host || !(p == "host" || p.starts_with("host.")))
+            .collect()
+    };
+    let fresh_paths = paths(fresh);
+    let base_paths = paths(baseline);
+    let mut ok = true;
+    for p in &fresh_paths {
+        if !base_paths.contains(p) {
+            eprintln!("benchdiff: SCHEMA: {p} present in {fresh_path} only");
+            ok = false;
+        }
+    }
+    for p in &base_paths {
+        if !fresh_paths.contains(p) {
+            eprintln!("benchdiff: SCHEMA: {p} present in {base_path} only");
+            ok = false;
+        }
+    }
+    if ok {
+        eprintln!(
+            "benchdiff: schema fingerprint matches ({} paths{})",
+            fresh_paths.len(),
+            if strip_host { ", host.* ignored" } else { "" }
+        );
+    }
+    ok
+}
+
+fn required_u64(doc: &Value, field: &str, path: &str) -> Result<u64, String> {
+    doc.get(field)
+        .and_then(Value::as_u64)
+        .ok_or(format!("{path}: missing {field}"))
+}
+
+fn run_metrics(args: &Args) -> Result<bool, String> {
+    let fresh = load(&args.fresh)?;
+    let baseline = load(baseline_path(args))?;
+    let mut ok = fingerprints_match(&fresh, &baseline, &args.fresh, baseline_path(args), true);
+
+    let schema = required_u64(&fresh, "schema_version", &args.fresh)?;
+    let base_schema = required_u64(&baseline, "schema_version", baseline_path(args))?;
+    if schema != base_schema {
+        eprintln!("benchdiff: SCHEMA: version {schema} vs baseline {base_schema}");
+        ok = false;
+    }
+
+    // Simulated-cycle invariants, re-derived from the fresh run; these
+    // hold for any workload size, so a `--quick` run checks them too.
+    let prim = required_u64(&fresh, "breakdown.primitive_cycles_total", &args.fresh)?;
+    let busy = required_u64(&fresh, "breakdown.total_busy_cycles", &args.fresh)?;
+    if prim != busy {
+        eprintln!("benchdiff: INVARIANT: primitive cycles {prim} != ledger total {busy}");
+        ok = false;
+    }
+    let phase_sum: u64 = ["exact", "inexact", "recovery_retry", "recovery_escalate"]
+        .iter()
+        .map(|leg| {
+            required_u64(
+                &fresh,
+                &format!("breakdown.lfm_by_phase.{leg}"),
+                &args.fresh,
+            )
+        })
+        .sum::<Result<u64, String>>()?;
+    let lfm_calls = required_u64(&fresh, "report.lfm_calls", &args.fresh)?;
+    if phase_sum != lfm_calls {
+        eprintln!("benchdiff: INVARIANT: phase LFMs {phase_sum} != total LFM calls {lfm_calls}");
+        ok = false;
+    }
+    let zones = required_u64(&fresh, "breakdown.heatmap.zones", &args.fresh)?;
+    let activations = fresh
+        .get("breakdown.heatmap.activations")
+        .and_then(Value::as_array)
+        .ok_or(format!(
+            "{}: missing breakdown.heatmap.activations",
+            args.fresh
+        ))?;
+    if activations.len() as u64 != zones {
+        eprintln!(
+            "benchdiff: INVARIANT: heatmap declares {zones} zones but lists {}",
+            activations.len()
+        );
+        ok = false;
+    }
+    let heat_total: u64 = activations.iter().filter_map(Value::as_u64).sum();
+    let subarray = required_u64(&fresh, "breakdown.subarray_activations", &args.fresh)?;
+    if heat_total > subarray {
+        eprintln!(
+            "benchdiff: INVARIANT: heatmap total {heat_total} exceeds \
+             sub-array activations {subarray}"
+        );
+        ok = false;
+    }
+    eprintln!(
+        "benchdiff: metrics v{schema}: {busy} busy cycles reconcile, \
+         {lfm_calls} LFMs attributed, heatmap {heat_total}/{subarray} activations"
+    );
+    Ok(ok)
+}
+
+fn run_trace(args: &Args) -> Result<bool, String> {
+    let doc = load(&args.fresh)?;
+    let mut ok = true;
+
+    if doc.get("displayTimeUnit").and_then(Value::as_str) != Some("ms") {
+        eprintln!("benchdiff: TRACE: missing displayTimeUnit \"ms\"");
+        ok = false;
+    }
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or(format!("{}: missing traceEvents array", args.fresh))?;
+
+    let mut complete = 0usize;
+    let mut tracks = Vec::new();
+    for (i, event) in events.iter().enumerate() {
+        match event.get("ph").and_then(Value::as_str) {
+            Some("X") => {
+                let well_formed = event.get("name").and_then(Value::as_str).is_some()
+                    && event.get("tid").and_then(Value::as_u64).is_some()
+                    && event.get("ts").and_then(Value::as_f64).is_some()
+                    && event
+                        .get("dur")
+                        .and_then(Value::as_f64)
+                        .is_some_and(|d| d >= 0.0);
+                if !well_formed {
+                    eprintln!("benchdiff: TRACE: event {i} is not a well-formed complete span");
+                    ok = false;
+                }
+                complete += 1;
+            }
+            Some("M") => {
+                if event.get("name").and_then(Value::as_str) == Some("thread_name") {
+                    if let Some(track) = event.get("args.name").and_then(Value::as_str) {
+                        tracks.push(track.to_owned());
+                    }
+                }
+            }
+            _ => {
+                eprintln!("benchdiff: TRACE: event {i} has an unexpected phase");
+                ok = false;
+            }
+        }
+    }
+    if complete == 0 {
+        eprintln!("benchdiff: TRACE: no complete (\"X\") spans");
+        ok = false;
+    }
+    if let Some(workers) = args.workers {
+        for w in 0..workers {
+            let want = format!("worker-{w}");
+            if !tracks.contains(&want) {
+                eprintln!("benchdiff: TRACE: no thread_name track for {want}");
+                ok = false;
+            }
+        }
+    }
+    eprintln!(
+        "benchdiff: trace carries {complete} span(s) across {} named track(s)",
+        tracks.len()
+    );
+    Ok(ok)
+}
+
+fn run_host(args: &Args) -> Result<bool, String> {
+    let fresh = load(&args.fresh)?;
+    let baseline = load(baseline_path(args))?;
+    let mut ok = fingerprints_match(&fresh, &baseline, &args.fresh, baseline_path(args), false);
+
+    // Host numbers are wall-clock and can't be diffed against the
+    // baseline; instead the fresh run must be internally consistent.
+    let threads = required_u64(&fresh, "threads", &args.fresh)?;
+    let read_count = required_u64(&fresh, "workload.read_count", &args.fresh)?;
+    let workers = fresh
+        .get("host.workers")
+        .and_then(Value::as_array)
+        .ok_or(format!("{}: missing host.workers", args.fresh))?;
+    if workers.len() as u64 != threads {
+        eprintln!(
+            "benchdiff: HOST: {} worker row(s) for {threads} thread(s)",
+            workers.len()
+        );
+        ok = false;
+    }
+    let worker_reads: u64 = workers
+        .iter()
+        .filter_map(|w| w.get("reads").and_then(Value::as_u64))
+        .sum();
+    if worker_reads != read_count {
+        eprintln!("benchdiff: HOST: workers claim {worker_reads} reads of {read_count}");
+        ok = false;
+    }
+    let samples = required_u64(&fresh, "host.per_read_latency.count", &args.fresh)?;
+    if samples != read_count {
+        eprintln!("benchdiff: HOST: {samples} per-read samples for {read_count} reads");
+        ok = false;
+    }
+    let wall_ns = required_u64(&fresh, "host.wall_ns", &args.fresh)?;
+    if wall_ns == 0 {
+        eprintln!("benchdiff: HOST: parallel-region wall clock is zero");
+        ok = false;
+    }
+    let balance = required_f64(&fresh, "load_balance_pct", &args.fresh)?;
+    if !(balance > 0.0 && balance <= 100.0) {
+        eprintln!("benchdiff: HOST: load balance {balance}% outside (0, 100]");
+        ok = false;
+    }
+    eprintln!(
+        "benchdiff: host run: {read_count} reads over {threads} worker(s), \
+         load balance {balance:.1}%"
+    );
+    Ok(ok)
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -281,6 +568,9 @@ fn main() -> ExitCode {
     let outcome = match args.kind {
         Kind::Parallel => run_parallel(&args),
         Kind::Kernel => run_kernel(&args),
+        Kind::Metrics => run_metrics(&args),
+        Kind::Trace => run_trace(&args),
+        Kind::Host => run_host(&args),
     };
     match outcome {
         Ok(true) => {
@@ -288,7 +578,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(false) => {
-            eprintln!("benchdiff: throughput regression beyond tolerance");
+            eprintln!("benchdiff: regression beyond tolerance");
             ExitCode::from(1)
         }
         Err(msg) => {

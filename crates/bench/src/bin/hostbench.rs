@@ -1,0 +1,143 @@
+//! `hostbench` — host-side runtime-telemetry benchmark.
+//!
+//! ```text
+//! hostbench [--quick] [--out PATH]
+//! ```
+//!
+//! Runs one traced parallel batch (4 workers) over a shared
+//! [`Platform`] and summarises what the host-side telemetry layer saw:
+//!
+//! * wall-clock per-read and per-chunk latency quantiles (the
+//!   [`HostHistogram`](pimsim::HostHistogram) log2 buckets);
+//! * per-worker utilisation — chunks claimed, steals, busy fraction —
+//!   and the mean-over-max load-balance efficiency
+//!   ([`accel::scaling::load_balance_efficiency`]);
+//! * trace-span counts, including drops.
+//!
+//! Results are written as JSON (default `BENCH_host.json`) and
+//! summarised on stderr. Everything in the report is host wall-clock
+//! time — nondeterministic across runs and machines — so the committed
+//! baseline is a *structural* reference: `benchdiff --kind host`
+//! compares schema fingerprints and re-derives sanity invariants from
+//! the fresh run, never raw nanoseconds. `--quick` shrinks the workload
+//! for CI smoke runs.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use accel::scaling::load_balance_efficiency;
+use bench::workload::Workload;
+use pim_aligner::{host_section_json, HostTraceConfig, PimAlignerConfig, Platform};
+use pimsim::HostEpoch;
+
+const THREADS: usize = 4;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_host.json".to_owned());
+
+    let (genome_len, read_count) = if quick {
+        (40_000, 256)
+    } else {
+        (200_000, 2048)
+    };
+    let workload = Workload::clean(genome_len, read_count, 80, 1207);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "hostbench: {} bp reference, {} x 80 bp reads, {} workers, {} host core(s){}",
+        genome_len,
+        read_count,
+        THREADS,
+        host_cores,
+        if quick { " (quick)" } else { "" }
+    );
+
+    // The epoch anchors every span; create it before the index build so
+    // the build would land at t ≈ 0 on a trace of this run.
+    let epoch = HostEpoch::new();
+    let trace = HostTraceConfig::new(epoch);
+
+    let t0 = Instant::now();
+    let platform = Platform::new(&workload.reference, PimAlignerConfig::baseline());
+    let index_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let (outcomes, totals) = platform
+        .align_chunk_parallel_traced(&workload.reads, THREADS, 0, false, &trace)
+        .expect("batch aligns");
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(
+        outcomes.iter().all(|(o, _)| o.is_mapped()),
+        "clean workload must map"
+    );
+    let reads_per_s = read_count as f64 / wall;
+
+    let host = &totals.host;
+    assert_eq!(
+        host.per_read.count(),
+        read_count as u64,
+        "one latency sample per read"
+    );
+    let busy: Vec<u64> = host.workers.iter().map(|w| w.busy_ns).collect();
+    let balance = load_balance_efficiency(&busy);
+    let mean_busy = host.mean_busy_fraction();
+    eprintln!(
+        "hostbench: {read_count} reads in {:.1} ms ({reads_per_s:.0} reads/s), \
+         index build {index_build_ms:.1} ms",
+        wall * 1e3
+    );
+    eprintln!(
+        "hostbench: per-read p50/p90/p99 ≤ {}/{}/{} ns (max {})",
+        host.per_read.quantile_upper_ns(0.5),
+        host.per_read.quantile_upper_ns(0.9),
+        host.per_read.quantile_upper_ns(0.99),
+        host.per_read.max_ns()
+    );
+    for w in &host.workers {
+        eprintln!(
+            "hostbench: worker {}: {} chunk(s), {} steal(s), {} reads, {:.0}% busy",
+            w.worker,
+            w.chunks_claimed,
+            w.steals,
+            w.reads,
+            100.0 * w.busy_fraction(host.wall_ns)
+        );
+    }
+    eprintln!(
+        "hostbench: load balance {:.0}% (mean/max busy), mean utilisation {:.0}%, \
+         {} span(s) kept, {} dropped",
+        100.0 * balance,
+        100.0 * mean_busy,
+        host.spans.len(),
+        host.spans_dropped
+    );
+
+    // Hand-rolled JSON (the vendored serde_json is an offline stub); the
+    // `host` section is the exact object the metrics document embeds.
+    let json = format!(
+        "{{\n  \"workload\": {{ \"genome_len\": {genome_len}, \"read_count\": {read_count}, \
+         \"read_len\": 80, \"seed\": 1207, \"quick\": {quick} }},\n  \
+         \"host_cores\": {host_cores},\n  \
+         \"threads\": {THREADS},\n  \
+         \"index_build_ms\": {index_build_ms:.3},\n  \
+         \"align_wall_ms\": {:.3},\n  \
+         \"reads_per_s\": {reads_per_s:.1},\n  \
+         \"load_balance_pct\": {:.1},\n  \
+         \"mean_busy_pct\": {:.1},\n  \
+         \"host\": {}\n}}",
+        wall * 1e3,
+        100.0 * balance,
+        100.0 * mean_busy,
+        host_section_json(host),
+    );
+    let mut file = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    writeln!(file, "{json}").unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("hostbench: wrote {out_path}");
+}

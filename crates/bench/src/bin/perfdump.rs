@@ -9,7 +9,9 @@
 //! report + fault telemetry + per-primitive cycle breakdown + spans) to
 //! `BENCH_metrics.json`. The report is derived entirely from *simulated*
 //! cycles, so the output is deterministic — byte-identical across runs
-//! and machines — and is committed as the metrics baseline.
+//! and machines — and is committed as the metrics baseline. The `host`
+//! section (wall-clock telemetry) is redacted to its empty default for
+//! exactly that reason; `hostbench` owns the live host numbers.
 //!
 //! `--quick` shrinks the workload for CI smoke runs; `--pipelined`
 //! switches to PIM-Aligner-p (Pd = 2).
@@ -17,7 +19,7 @@
 use std::io::Write as _;
 
 use bench::workload::Workload;
-use pim_aligner::{PimAlignerConfig, Platform};
+use pim_aligner::{HostTotals, PimAlignerConfig, Platform};
 
 /// Span-ring capacity: large enough to keep the index build, every
 /// per-read phase span and the tail of the per-`LFM` spans.
@@ -57,7 +59,12 @@ fn main() {
     for read in &workload.reads {
         let _ = session.align_read(read);
     }
-    let report = session.report();
+    let mut report = session.report();
+    // The committed baseline must stay byte-identical across runs and
+    // machines, and the host section is wall-clock time. Redact it; the
+    // live host numbers belong to `hostbench`/`pimalign --metrics-out`.
+    report.host = HostTotals::default();
+    eprintln!("perfdump: host telemetry redacted (wall-clock; kept deterministic)");
 
     let b = &report.breakdown;
     assert!(

@@ -150,6 +150,14 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Reads `path` and parses it as one JSON document. Errors (I/O or
+/// parse) are rendered as strings that name the offending file — the
+/// shape every bench tool reports to stderr.
+pub fn parse_file(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
 /// Parses one complete JSON document (trailing whitespace allowed,
 /// trailing garbage is an error).
 pub fn parse(input: &str) -> Result<Value, ParseError> {

@@ -1,9 +1,14 @@
 //! The end-to-end PIM-Aligner: two-stage alignment plus performance
 //! reporting.
 
+use std::time::Instant;
+
 use bioseq::DnaSeq;
 use fmindex::EditBudget;
-use pimsim::{CycleLedger, Dpu, FaultInjector, Span, SpanTracer};
+use pimsim::{
+    CycleLedger, Dpu, FaultInjector, HostEpoch, HostHistogram, HostSpan, HostSpanLog, Span,
+    SpanTracer,
+};
 
 use crate::config::PimAlignerConfig;
 use crate::error::AlignError;
@@ -132,6 +137,12 @@ pub struct AlignSession {
     /// `LFM` calls attributed per alignment phase; always sums to
     /// `lfm_calls`.
     phase_lfm: PhaseLfm,
+    /// Wall-clock latency of every entry-point align call (always on:
+    /// one `Instant` read pair per read is noise next to an alignment).
+    host_per_read: HostHistogram,
+    /// Wall-clock span recorder mirroring the simulated-cycle tracer
+    /// sites; `None` (the default) costs one branch per site.
+    host_log: Option<HostSpanLog>,
 }
 
 /// The pre-split name for [`AlignSession`]: one platform, one session.
@@ -161,6 +172,8 @@ impl AlignSession {
             exact_hits: 0,
             telemetry: FaultTelemetry::default(),
             phase_lfm: PhaseLfm::default(),
+            host_per_read: HostHistogram::new(),
+            host_log: None,
         }
     }
 
@@ -187,6 +200,46 @@ impl AlignSession {
     /// [`enable_tracing`](AlignSession::enable_tracing) was called).
     pub fn spans(&self) -> Vec<Span> {
         self.dpu.tracer().spans()
+    }
+
+    /// Enables wall-clock span recording on track `tid`, mirroring the
+    /// simulated-cycle tracer sites (exact/inexact passes, locate,
+    /// recovery rungs) with host timestamps measured from `epoch` — the
+    /// raw material for Chrome-trace export. Off by default; the per-read
+    /// latency histogram is always on regardless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn enable_host_tracing(&mut self, epoch: HostEpoch, tid: u32, capacity: usize) {
+        self.host_log = Some(HostSpanLog::new(epoch, tid, capacity));
+    }
+
+    /// Wall-clock per-read latency recorded so far.
+    pub fn host_histogram(&self) -> &HostHistogram {
+        &self.host_per_read
+    }
+
+    /// Drains the host span log: `(spans, dropped)`; empty/zero when
+    /// host tracing was never enabled. Draining disables tracing —
+    /// callers drain once, when the session retires.
+    pub fn take_host_spans(&mut self) -> (Vec<HostSpan>, u64) {
+        match self.host_log.take() {
+            Some(log) => log.into_parts(),
+            None => (Vec::new(), 0),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn host_start(&self) -> u64 {
+        self.host_log.as_ref().map_or(0, |log| log.start())
+    }
+
+    #[inline]
+    pub(crate) fn host_record(&mut self, name: &'static str, start_ns: u64) {
+        if let Some(log) = self.host_log.as_mut() {
+            log.record(name, start_ns);
+        }
     }
 
     /// `LFM` calls attributed per alignment phase.
@@ -239,6 +292,16 @@ impl AlignSession {
     /// ladder (DESIGN.md §8); otherwise this is the raw platform path
     /// with zero verification overhead.
     pub fn align_read(&mut self, read: &DnaSeq) -> AlignmentOutcome {
+        let t0 = Instant::now();
+        let outcome = self.align_read_inner(read);
+        self.host_per_read.record_ns(t0.elapsed().as_nanos() as u64);
+        outcome
+    }
+
+    /// [`align_read`](AlignSession::align_read) minus the wall-clock
+    /// sample, so each entry point — single- or both-strands — records
+    /// exactly one per-read latency.
+    fn align_read_inner(&mut self, read: &DnaSeq) -> AlignmentOutcome {
         self.queries += 1;
         let outcome = if self.config().recovery().is_enabled() {
             self.align_read_recovered(read)
@@ -266,6 +329,7 @@ impl AlignSession {
     fn raw_align(&mut self, read: &DnaSeq, max_diffs: u8, attr: LfmAttr) -> AlignmentOutcome {
         let exhaustive = self.config().exhaustive_inexact();
         let t_exact = self.dpu.tracer().start(&self.ledger);
+        let h_exact = self.host_start();
         let (interval, stats) = {
             let (mapped, injector, dpu, ledger) = self.platform_parts();
             exact_search(mapped, injector, dpu, read, ledger)
@@ -273,14 +337,17 @@ impl AlignSession {
         self.dpu
             .tracer_mut()
             .record("exact_pass", t_exact, &self.ledger);
+        self.host_record("exact_pass", h_exact);
         self.lfm_calls += stats.lfm_calls;
         self.note_lfm(attr, true, stats.lfm_calls);
         if !interval.is_empty() {
             let t_locate = self.dpu.tracer().start(&self.ledger);
+            let h_locate = self.host_start();
             let positions = self.platform.mapped().locate(interval, &mut self.ledger);
             self.dpu
                 .tracer_mut()
                 .record("locate", t_locate, &self.ledger);
+            self.host_record("locate", h_locate);
             return AlignmentOutcome::Exact { positions };
         }
         if max_diffs == 0 {
@@ -288,6 +355,7 @@ impl AlignSession {
         }
         let budget = self.edit_budget_for(max_diffs);
         let t_inexact = self.dpu.tracer().start(&self.ledger);
+        let h_inexact = self.host_start();
         let hits = {
             let (mapped, injector, dpu, ledger) = self.platform_parts();
             if exhaustive {
@@ -303,6 +371,7 @@ impl AlignSession {
         self.dpu
             .tracer_mut()
             .record("inexact_pass", t_inexact, &self.ledger);
+        self.host_record("inexact_pass", h_inexact);
         let (hits, istats) = hits;
         self.lfm_calls += istats.lfm_calls;
         self.note_lfm(attr, false, istats.lfm_calls);
@@ -352,11 +421,13 @@ impl AlignSession {
                 LfmAttr::Primary
             };
             let t_rung = self.dpu.tracer().start(&self.ledger);
+            let h_rung = self.host_start();
             let outcome = self.raw_align(read, base_z, attr);
             if attempt > 0 {
                 self.dpu
                     .tracer_mut()
                     .record("recovery.retry", t_rung, &self.ledger);
+                self.host_record("recovery.retry", h_rung);
             }
             if let Some(verified) = self.verified(read, outcome, faults_possible) {
                 return verified;
@@ -371,10 +442,12 @@ impl AlignSession {
         for z in (base_z + 1)..=ceiling {
             self.telemetry.escalations += 1;
             let t_rung = self.dpu.tracer().start(&self.ledger);
+            let h_rung = self.host_start();
             let outcome = self.raw_align(read, z, LfmAttr::Escalate);
             self.dpu
                 .tracer_mut()
                 .record("recovery.escalate", t_rung, &self.ledger);
+            self.host_record("recovery.escalate", h_rung);
             if let Some(verified) = self.verified(read, outcome, faults_possible) {
                 return verified;
             }
@@ -384,10 +457,12 @@ impl AlignSession {
             // Host work is uncharged; the zero-length span still marks
             // that the ladder bottomed out here.
             let t_host = self.dpu.tracer().start(&self.ledger);
+            let h_host = self.host_start();
             let outcome = self.host_fallback_align(read, ceiling);
             self.dpu
                 .tracer_mut()
                 .record("recovery.host_fallback", t_host, &self.ledger);
+            self.host_record("recovery.host_fallback", h_host);
             return outcome;
         }
         self.telemetry.unrecoverable += 1;
@@ -497,8 +572,12 @@ impl AlignSession {
     /// (the index covers the forward strand; real samples sequence both,
     /// paper §I: "two twistings, paired strands").
     pub fn align_read_both_strands(&mut self, read: &DnaSeq) -> (AlignmentOutcome, MappedStrand) {
-        match self.align_read(read) {
-            AlignmentOutcome::Unmapped => match self.align_read(&read.reverse_complement()) {
+        // One wall-clock sample per *read*, covering both orientations —
+        // timing the inner calls separately would double-count the read
+        // in the per-read latency histogram.
+        let t0 = Instant::now();
+        let result = match self.align_read_inner(read) {
+            AlignmentOutcome::Unmapped => match self.align_read_inner(&read.reverse_complement()) {
                 // Neither orientation mapped: the read is unmapped as
                 // given, so report the forward strand (SAM leaves 0x10
                 // clear on unmapped records).
@@ -506,7 +585,9 @@ impl AlignSession {
                 hit => (hit, MappedStrand::Reverse),
             },
             hit => (hit, MappedStrand::Forward),
-        }
+        };
+        self.host_per_read.record_ns(t0.elapsed().as_nanos() as u64);
+        result
     }
 
     /// Aligns a batch of reads and produces the performance report, or
@@ -552,6 +633,7 @@ impl AlignSession {
         report.breakdown.lfm_by_phase = self.phase_lfm;
         report.breakdown.index_build_cycles = self.mapped().mapping_ledger().total_busy_cycles();
         report.breakdown.attach_spans(self.dpu.tracer());
+        report.host.per_read = self.host_per_read.clone();
         report
     }
 

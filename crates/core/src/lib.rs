@@ -44,6 +44,7 @@ mod aligner;
 mod config;
 mod error;
 mod exact;
+mod host;
 mod hybrid;
 mod inexact;
 mod mapping;
@@ -60,12 +61,13 @@ pub use aligner::{AlignSession, AlignmentOutcome, BatchResult, MappedStrand, Pim
 pub use config::{AddMethod, PimAlignerConfig, RecoveryPolicy};
 pub use error::AlignError;
 pub use exact::{exact_search, ExactStats};
+pub use host::{HostTotals, HostTraceConfig, MAX_TRACE_SPANS};
 pub use hybrid::{seed_and_extend, HybridHit, SeedExtendConfig};
 pub use inexact::{inexact_search, inexact_search_first, InexactStats};
 pub use mapping::MappedIndex;
 pub use metrics::{
-    MetricsBreakdown, PhaseLfm, PrimitiveMetrics, ResourceMetrics, StageOccupancy,
-    METRICS_SCHEMA_VERSION,
+    host_section_json, MetricsBreakdown, PhaseLfm, PrimitiveMetrics, ResourceMetrics,
+    StageOccupancy, METRICS_SCHEMA_VERSION,
 };
 pub use paired::{align_pair, Mate, PairConstraints, PairOutcome};
 pub use parallel::{align_batch_parallel, align_batch_parallel_both_strands, BatchTotals};

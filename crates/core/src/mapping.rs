@@ -254,6 +254,9 @@ impl MappedIndex {
             // fills sub-arrays exactly; fall back to the software marker
             // (a local MEM read in hardware).
             LogicalOp::MarkerRead.charge(self.subarrays[0].model(), ledger);
+            // Heatmap: the checkpoint read activates the final primary
+            // sub-array (where the last marker column lives).
+            ledger.note_zone_many(self.subarrays.len() - 1, 1);
             (0, self.index.marker_table().marker(nt, bucket))
         } else {
             let sub = &self.subarrays[s];
@@ -270,6 +273,10 @@ impl MappedIndex {
             }
             LogicalOp::Popcount.charge(sub.model(), ledger);
             let marker = sub.read_marker(lb, nt, ledger);
+            // Heatmap: the XNOR match and the marker read each activate
+            // sub-array `s` (the popcount runs in the DPU, not the
+            // array).
+            ledger.note_zone_many(s, 2);
             // Fault injection (DESIGN.md §8): a whole-row transient
             // burst may corrupt this read, and each match bit may
             // additionally misread with the campaign's XNOR probability.
@@ -287,6 +294,8 @@ impl MappedIndex {
             AddMethod::InPlace => {
                 let idx = s.min(self.subarrays.len() - 1);
                 let sub = &self.subarrays[idx];
+                // Heatmap: the in-place add activates the same zone.
+                ledger.note_zone_many(idx, 1);
                 match carry_fault {
                     Some(k) => sub.im_add32_shared_faulty(marker, count, k, ledger),
                     None => sub.im_add32_shared(marker, count, ledger),
@@ -297,6 +306,9 @@ impl MappedIndex {
                 let idx = s.min(self.mirrors.len() - 1);
                 let mirror = &self.mirrors[idx];
                 LogicalOp::RowWrite.charge_many(mirror.model(), ledger, 7);
+                // Heatmap: mirror zones are indexed after the primaries
+                // (7 operand-transfer writes + the add = 8 activations).
+                ledger.note_zone_many(self.subarrays.len() + idx, 8);
                 match carry_fault {
                     Some(k) => mirror.im_add32_shared_faulty(marker, count, k, ledger),
                     None => mirror.im_add32_shared(marker, count, ledger),

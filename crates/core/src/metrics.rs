@@ -15,13 +15,19 @@
 //! together with that golden file and `benchdiff` consumers.
 
 use pimsim::costs::LogicalOp;
-use pimsim::{CycleLedger, Resource, Span, SpanTracer};
+use pimsim::{CycleLedger, HostHistogram, Resource, Span, SpanTracer};
 
 use crate::config::PimAlignerConfig;
+use crate::host::HostTotals;
 use crate::report::{FaultTelemetry, PerfReport};
 
 /// Version tag embedded in every metrics JSON document.
-pub const METRICS_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the per-zone activation `heatmap` to the breakdown and the
+/// top-level `host` section (wall-clock latency histograms, worker
+/// utilisation, trace-span counts). Everything v1 carried is unchanged,
+/// so v1 consumers that address fields by name still parse v2 documents.
+pub const METRICS_SCHEMA_VERSION: u32 = 2;
 
 /// `LFM` invocations attributed to the alignment phase that issued them.
 ///
@@ -131,6 +137,12 @@ pub struct MetricsBreakdown {
     pub spans: Vec<Span>,
     /// Spans lost to ring overwrite.
     pub spans_dropped: u64,
+    /// Per-zone activation heatmap (primary sub-arrays first, then
+    /// method-II mirrors), accumulated by the charge sites that know
+    /// their target. Sums to at most
+    /// [`subarray_activations`](MetricsBreakdown::subarray_activations):
+    /// SA locate reads activate an array but are not zone-attributed.
+    pub zone_activations: Vec<u64>,
 }
 
 impl MetricsBreakdown {
@@ -192,6 +204,7 @@ impl MetricsBreakdown {
             index_build_cycles: 0,
             spans: Vec::new(),
             spans_dropped: 0,
+            zone_activations: ledger.zone_activations().to_vec(),
         }
     }
 
@@ -249,6 +262,12 @@ impl MetricsBreakdown {
         } else {
             format!("[\n{span_rows}\n    ]")
         };
+        let zone_rows = self
+            .zone_activations
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
         let p = &self.pipeline;
         format!(
             "{{\n    \
@@ -267,7 +286,8 @@ impl MetricsBreakdown {
              \"transfer_cycles\": {}, \"stage_b_cycles\": {}, \"compare_occupancy_pct\": {}, \
              \"adder_occupancy_pct\": {} }},\n    \
              \"spans\": {},\n    \
-             \"spans_dropped\": {}\n  }}",
+             \"spans_dropped\": {},\n    \
+             \"heatmap\": {{ \"zones\": {}, \"activations\": [{}] }}\n  }}",
             self.total_busy_cycles,
             self.primitive_cycles_total,
             json_f64(self.energy_pj),
@@ -290,6 +310,8 @@ impl MetricsBreakdown {
             json_f64(p.adder_occupancy_pct),
             spans_json,
             self.spans_dropped,
+            self.zone_activations.len(),
+            zone_rows,
         )
     }
 }
@@ -301,13 +323,83 @@ impl PerfReport {
     pub fn to_metrics_json(&self) -> String {
         format!(
             "{{\n  \"schema_version\": {},\n  \"report\": {},\n  \"faults\": {},\n  \
-             \"breakdown\": {}\n}}\n",
+             \"breakdown\": {},\n  \"host\": {}\n}}\n",
             METRICS_SCHEMA_VERSION,
             report_json(self),
             faults_json(&self.faults),
             self.breakdown.to_json(),
+            host_section_json(&self.host),
         )
     }
+}
+
+/// The `host` section of the metrics document: wall-clock latency
+/// histograms, worker utilisation and trace-span counts. Everything here
+/// is host time — nondeterministic across runs and machines — which is
+/// why it lives in its own top-level section, never mixed into the
+/// simulated `report`/`breakdown` quantities (DESIGN.md §12). Shared by
+/// [`PerfReport::to_metrics_json`] and the `hostbench` bin.
+pub fn host_section_json(host: &HostTotals) -> String {
+    let worker_rows = host
+        .workers
+        .iter()
+        .map(|w| {
+            format!(
+                "      {{ \"worker\": {}, \"chunks_claimed\": {}, \"steals\": {}, \
+                 \"reads\": {}, \"busy_ns\": {}, \"busy_pct\": {} }}",
+                w.worker,
+                w.chunks_claimed,
+                w.steals,
+                w.reads,
+                w.busy_ns,
+                json_f64(100.0 * w.busy_fraction(host.wall_ns)),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let workers_json = if host.workers.is_empty() {
+        "[]".to_owned()
+    } else {
+        format!("[\n{worker_rows}\n    ]")
+    };
+    format!(
+        "{{\n    \
+         \"wall_ns\": {},\n    \
+         \"per_read_latency\": {},\n    \
+         \"per_chunk_latency\": {},\n    \
+         \"workers\": {},\n    \
+         \"trace_spans\": {},\n    \
+         \"trace_spans_dropped\": {}\n  }}",
+        host.wall_ns,
+        histogram_json(&host.per_read),
+        histogram_json(&host.per_chunk),
+        workers_json,
+        host.spans.len(),
+        host.spans_dropped,
+    )
+}
+
+/// One latency histogram as JSON: summary stats, log2-bucket quantile
+/// upper bounds, and the sparse list of non-empty buckets.
+fn histogram_json(h: &HostHistogram) -> String {
+    let buckets = h
+        .nonzero_buckets()
+        .iter()
+        .map(|&(le_ns, count)| format!("{{ \"le_ns\": {le_ns}, \"count\": {count} }}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{ \"count\": {}, \"sum_ns\": {}, \"max_ns\": {}, \"mean_ns\": {}, \
+         \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"buckets\": [{}] }}",
+        h.count(),
+        h.sum_ns(),
+        h.max_ns(),
+        json_f64(h.mean_ns()),
+        h.quantile_upper_ns(0.5),
+        h.quantile_upper_ns(0.9),
+        h.quantile_upper_ns(0.99),
+        buckets,
+    )
 }
 
 fn report_json(r: &PerfReport) -> String {
@@ -458,10 +550,47 @@ mod tests {
             "\"pipeline\"",
             "\"spans\"",
             "\"spans_dropped\"",
+            "\"heatmap\"",
             "\"xnor_match\"",
             "\"compare_occupancy_pct\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn host_section_carries_histograms_and_workers() {
+        use pimsim::WorkerStats;
+        let mut host = HostTotals::new();
+        host.wall_ns = 2_000;
+        host.per_read.record_ns(150);
+        host.per_read.record_ns(900);
+        host.per_chunk.record_ns(1_800);
+        host.absorb_worker(WorkerStats {
+            worker: 0,
+            chunks_claimed: 2,
+            steals: 1,
+            reads: 2,
+            busy_ns: 1_900,
+        });
+        let json = host_section_json(&host);
+        for key in [
+            "\"wall_ns\": 2000",
+            "\"per_read_latency\"",
+            "\"per_chunk_latency\"",
+            "\"p99_ns\"",
+            "\"le_ns\"",
+            "\"workers\"",
+            "\"steals\": 1",
+            "\"busy_pct\"",
+            "\"trace_spans\": 0",
+            "\"trace_spans_dropped\": 0",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Empty totals still emit every section (stable schema).
+        let empty = host_section_json(&HostTotals::new());
+        assert!(empty.contains("\"workers\": []"));
+        assert!(empty.contains("\"buckets\": []"));
     }
 }

@@ -17,14 +17,16 @@
 //! instead of idling behind a worker stuck on expensive backtracking.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use bioseq::DnaSeq;
 use parking_lot::Mutex;
-use pimsim::CycleLedger;
+use pimsim::{CycleLedger, HostHistogram, WorkerStats};
 
 use crate::aligner::{AlignmentOutcome, BatchResult, MappedStrand};
 use crate::config::PimAlignerConfig;
 use crate::error::AlignError;
+use crate::host::{HostTotals, HostTraceConfig};
 use crate::metrics::PhaseLfm;
 use crate::platform::Platform;
 use crate::report::{FaultTelemetry, PerfReport};
@@ -65,6 +67,11 @@ pub struct BatchTotals {
     pub telemetry: FaultTelemetry,
     /// Merged per-phase `LFM` attribution; always sums to `lfm_calls`.
     pub phase_lfm: PhaseLfm,
+    /// Merged host-side (wall-clock) telemetry: per-read/per-chunk
+    /// latency histograms, worker utilisation and — when tracing was
+    /// enabled — wall-clock spans. Nondeterministic; never feeds the
+    /// simulated quantities above.
+    pub host: HostTotals,
 }
 
 impl BatchTotals {
@@ -78,6 +85,7 @@ impl BatchTotals {
             ledger: CycleLedger::new(),
             telemetry: FaultTelemetry::default(),
             phase_lfm: PhaseLfm::default(),
+            host: HostTotals::new(),
         }
     }
 
@@ -90,6 +98,7 @@ impl BatchTotals {
         self.ledger.merge(&other.ledger);
         self.telemetry.merge(&other.telemetry);
         self.phase_lfm.merge(&other.phase_lfm);
+        self.host.merge(&other.host);
     }
 
     /// Fraction of *reads* resolved by the exact stage (paper §III).
@@ -122,6 +131,7 @@ fn run_workers(
     threads: usize,
     both_strands: bool,
     epoch: u64,
+    host_trace: Option<&HostTraceConfig>,
 ) -> Result<(Vec<(AlignmentOutcome, MappedStrand)>, BatchTotals), AlignError> {
     if reads.is_empty() {
         return Err(AlignError::EmptyBatch);
@@ -137,9 +147,13 @@ fn run_workers(
     } else {
         reads.len().div_ceil(threads * 4).max(1)
     };
+    // A worker's "fair share" of chunks under static round-robin; any
+    // chunk claimed beyond it was stolen from a slower worker.
+    let fair_share = reads.len().div_ceil(grain).div_ceil(threads) as u64;
 
     let cursor = AtomicUsize::new(0);
     let collected: Mutex<Vec<WorkerOut>> = Mutex::new(Vec::with_capacity(threads));
+    let region_t0 = Instant::now();
     let scope_result = crossbeam::scope(|scope| {
         for w in 0..threads {
             let cursor = &cursor;
@@ -147,14 +161,24 @@ fn run_workers(
             scope.spawn(move |_| {
                 let token = epoch * EPOCH_STRIDE + w as u64;
                 let mut session = platform.worker_session(token);
+                if let Some(cfg) = host_trace {
+                    session.enable_host_tracing(cfg.epoch, w as u32, cfg.capacity_per_worker);
+                }
                 let mut chunks = Vec::new();
                 let mut reads_done = 0u64;
+                let mut per_chunk = HostHistogram::new();
+                let mut stats = WorkerStats {
+                    worker: w as u32,
+                    ..WorkerStats::default()
+                };
                 loop {
                     let start = cursor.fetch_add(grain, Ordering::Relaxed);
                     if start >= reads.len() {
                         break;
                     }
                     let end = (start + grain).min(reads.len());
+                    let chunk_t0 = Instant::now();
+                    let h_chunk = session.host_start();
                     let outcomes: Vec<(AlignmentOutcome, MappedStrand)> = reads[start..end]
                         .iter()
                         .map(|r| {
@@ -165,9 +189,22 @@ fn run_workers(
                             }
                         })
                         .collect();
+                    session.host_record("chunk", h_chunk);
+                    let chunk_ns = chunk_t0.elapsed().as_nanos() as u64;
+                    per_chunk.record_ns(chunk_ns);
+                    stats.busy_ns += chunk_ns;
+                    stats.chunks_claimed += 1;
                     reads_done += outcomes.len() as u64;
                     chunks.push((start, outcomes));
                 }
+                stats.steals = stats.chunks_claimed.saturating_sub(fair_share);
+                stats.reads = reads_done;
+                let mut host = HostTotals::new();
+                host.per_read = session.host_histogram().clone();
+                host.per_chunk = per_chunk;
+                host.absorb_worker(stats);
+                let (spans, dropped) = session.take_host_spans();
+                host.absorb_spans(spans, dropped);
                 collected.lock().push(WorkerOut {
                     chunks,
                     totals: BatchTotals {
@@ -178,6 +215,7 @@ fn run_workers(
                         ledger: session.ledger().clone(),
                         telemetry: session.session_telemetry(),
                         phase_lfm: session.phase_lfm(),
+                        host,
                     },
                 });
             });
@@ -188,6 +226,7 @@ fn run_workers(
         // result (the payload keeps the original message).
         std::panic::resume_unwind(payload);
     }
+    let region_ns = region_t0.elapsed().as_nanos() as u64;
 
     let workers = collected.into_inner();
     let mut totals = BatchTotals::new();
@@ -196,6 +235,9 @@ fn run_workers(
         totals.merge(&w.totals);
         chunks.extend(w.chunks);
     }
+    // Workers report busy time only; the parallel region's wall time is
+    // measured once, around the whole scope.
+    totals.host.wall_ns = region_ns;
     chunks.sort_by_key(|&(start, _)| start);
     let mut outcomes = Vec::with_capacity(reads.len());
     for (_, chunk) in chunks {
@@ -238,7 +280,29 @@ impl Platform {
         epoch: u64,
         both_strands: bool,
     ) -> Result<(Vec<(AlignmentOutcome, MappedStrand)>, BatchTotals), AlignError> {
-        run_workers(self, reads, threads, both_strands, epoch)
+        run_workers(self, reads, threads, both_strands, epoch, None)
+    }
+
+    /// [`Platform::align_chunk_parallel`] with wall-clock span tracing:
+    /// each worker records host spans (chunks, alignment phases,
+    /// recovery rungs) against `trace.epoch` on its own track, collected
+    /// into the returned totals' [`BatchTotals::host`] for Chrome-trace
+    /// export. The simulated-cycle accounting is unaffected — tracing
+    /// only reads the host clock.
+    ///
+    /// # Errors
+    ///
+    /// [`AlignError::EmptyBatch`] when `reads` is empty,
+    /// [`AlignError::NoThreads`] when `threads == 0`.
+    pub fn align_chunk_parallel_traced(
+        &self,
+        reads: &[DnaSeq],
+        threads: usize,
+        epoch: u64,
+        both_strands: bool,
+        trace: &HostTraceConfig,
+    ) -> Result<(Vec<(AlignmentOutcome, MappedStrand)>, BatchTotals), AlignError> {
+        run_workers(self, reads, threads, both_strands, epoch, Some(trace))
     }
 
     /// Aligns `reads` (forward strand only) using `threads` worker
@@ -253,7 +317,7 @@ impl Platform {
         reads: &[DnaSeq],
         threads: usize,
     ) -> Result<BatchResult, AlignError> {
-        let (pairs, totals) = run_workers(self, reads, threads, false, 0)?;
+        let (pairs, totals) = run_workers(self, reads, threads, false, 0, None)?;
         Ok(self.batch_result(pairs, &totals).0)
     }
 
@@ -270,7 +334,7 @@ impl Platform {
         reads: &[DnaSeq],
         threads: usize,
     ) -> Result<(BatchResult, Vec<MappedStrand>), AlignError> {
-        let (pairs, totals) = run_workers(self, reads, threads, true, 0)?;
+        let (pairs, totals) = run_workers(self, reads, threads, true, 0, None)?;
         Ok(self.batch_result(pairs, &totals))
     }
 
@@ -294,6 +358,7 @@ impl Platform {
         report.faults = faults;
         report.breakdown.lfm_by_phase = totals.phase_lfm;
         report.breakdown.index_build_cycles = self.mapped().mapping_ledger().total_busy_cycles();
+        report.host = totals.host.clone();
         report
     }
 

@@ -4,6 +4,7 @@ use pimsim::{CycleLedger, Resource};
 use serde::{Deserialize, Serialize};
 
 use crate::config::PimAlignerConfig;
+use crate::host::HostTotals;
 use crate::metrics::MetricsBreakdown;
 
 /// Background (leakage + clocking) power per active sub-array, watts.
@@ -118,6 +119,12 @@ pub struct PerfReport {
     /// occupancy and traced spans (the metrics layer behind
     /// `pimalign --metrics` and `perfdump`).
     pub breakdown: MetricsBreakdown,
+    /// Host-side wall-clock telemetry (latency histograms, worker
+    /// utilisation, trace spans). Nondeterministic by nature; kept
+    /// strictly apart from the simulated quantities above and emitted
+    /// under its own `host` section in the metrics JSON. Default-empty
+    /// for callers that never measured wall time.
+    pub host: HostTotals,
 }
 
 impl PerfReport {
@@ -191,6 +198,7 @@ impl PerfReport {
             throughput_per_watt_mm2: throughput_per_watt / area_mm2,
             faults: FaultTelemetry::default(),
             breakdown: MetricsBreakdown::from_ledger(config, ledger, lfm_calls),
+            host: HostTotals::default(),
         }
     }
 

@@ -75,6 +75,11 @@ pub struct CycleLedger {
     energy_pj: f64,
     op_counts: [u64; 4],
     prims: PrimCounters,
+    /// Sub-array activation heatmap: `zones[z]` counts activating
+    /// operations attributed to zone `z` by the charge sites that know
+    /// their target (primary sub-arrays first, then method-II mirrors).
+    /// Empty until the first zone note; grows on demand.
+    zones: Vec<u64>,
 }
 
 impl CycleLedger {
@@ -115,6 +120,25 @@ impl CycleLedger {
         self.prims.note_many(op, n);
     }
 
+    /// Attributes `n` sub-array activations to `zone` in the activation
+    /// heatmap. Called by the charge sites that know which physical
+    /// sub-array (or mirror) an operation lands on; the heatmap therefore
+    /// covers the zone-attributable subset of
+    /// [`PrimCounters::subarray_activations`], never more.
+    #[inline]
+    pub fn note_zone_many(&mut self, zone: usize, n: u64) {
+        if self.zones.len() <= zone {
+            self.zones.resize(zone + 1, 0);
+        }
+        self.zones[zone] += n;
+    }
+
+    /// The per-zone activation heatmap (empty when no charge site noted a
+    /// zone).
+    pub fn zone_activations(&self) -> &[u64] {
+        &self.zones
+    }
+
     /// The hierarchical per-primitive counters (counts and busy cycles
     /// per [`LogicalOp`]). For any ledger charged exclusively through
     /// logical operations — the entire production path — the counters'
@@ -152,6 +176,12 @@ impl CycleLedger {
         }
         self.energy_pj += other.energy_pj;
         self.prims.merge(&other.prims);
+        if self.zones.len() < other.zones.len() {
+            self.zones.resize(other.zones.len(), 0);
+        }
+        for (z, n) in other.zones.iter().enumerate() {
+            self.zones[z] += n;
+        }
     }
 
     /// Per-primitive energy breakdown under `model`, in pJ, in
@@ -238,6 +268,22 @@ mod tests {
             .unwrap()
             .1;
         assert!((write - 3.0 * model.energy_pj(ArrayOp::WriteRow)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zone_notes_grow_and_merge() {
+        let mut a = CycleLedger::new();
+        assert!(a.zone_activations().is_empty());
+        a.note_zone_many(2, 3);
+        a.note_zone_many(0, 1);
+        assert_eq!(a.zone_activations(), &[1, 0, 3]);
+        let mut b = CycleLedger::new();
+        b.note_zone_many(4, 7);
+        a.merge(&b);
+        assert_eq!(a.zone_activations(), &[1, 0, 3, 0, 7]);
+        let mut c = CycleLedger::new();
+        c.merge(&a);
+        assert_eq!(c.zone_activations(), a.zone_activations());
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //! * [`metrics`] — hierarchical per-primitive counters recorded by every
 //!   logical-op charge, plus the ring-buffered [`SpanTracer`]
 //!   (zero-cost when disabled) behind `PerfReport::breakdown`;
+//! * [`host`] — wall-clock telemetry ([`HostHistogram`], [`HostSpanLog`],
+//!   [`WorkerStats`], Chrome-trace export): host-side time, kept strictly
+//!   apart from the simulated-cycle accounting above;
 //! * [`pipeline`] — the Fig. 7 pipeline model with parallelism degree
 //!   `Pd`;
 //! * [`costs`] — the logical-operation cost table (cycles per
@@ -36,6 +39,7 @@
 //! oracle (every `LFM` executed on the platform returns the same bound).
 
 pub mod costs;
+pub mod host;
 pub mod metrics;
 pub mod pipeline;
 pub mod reference;
@@ -47,6 +51,7 @@ mod subarray;
 
 pub use dpu::{BacktrackState, Dpu};
 pub use faults::{FaultCounters, FaultInjector};
+pub use host::{chrome_trace_json, HostEpoch, HostHistogram, HostSpan, HostSpanLog, WorkerStats};
 pub use ledger::{CycleLedger, Resource};
 pub use metrics::{PrimCounters, Span, SpanTracer};
 pub use subarray::{validate_functions_against_circuit, MatchMask, SubArray, SubArrayLayout};

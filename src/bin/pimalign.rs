@@ -19,26 +19,81 @@
 //!   --fault-carry <P>     IM_ADD carry-chain fault probability per add
 //!   --no-recover          disable verify-and-recover under fault injection
 //!   --metrics <PATH>      write the per-primitive cycle breakdown as JSON
+//!   --metrics-out <PATH>  same document, alias kept distinct from --metrics
+//!   --trace-out <PATH>    write a Chrome trace-event JSON (wall-clock spans,
+//!                         one track per worker; open in Perfetto)
+//!   --progress            stream reads/s + ETA to stderr while aligning
 //! ```
 //!
 //! SAM goes to stdout; the platform performance report goes to stderr.
-//! Any `--fault-*` rate makes the campaign active; recovery (verify each
-//! locus, retry, escalate the budget, fall back to the host) is then on
-//! unless `--no-recover` is given.
+//! Metrics and trace documents always go to their own files, so machine
+//! output never interleaves with the SAM stream. Any `--fault-*` rate
+//! makes the campaign active; recovery (verify each locus, retry,
+//! escalate the budget, fall back to the host) is then on unless
+//! `--no-recover` is given.
 //!
 //! The index is built exactly once per run; reads stream through in
 //! `--batch-size` chunks (bounded memory — SAM records are written as
 //! each chunk completes), and every chunk is aligned by the same shared
-//! platform across `--threads` worker sessions.
+//! platform across `--threads` worker sessions. The metrics document
+//! keeps simulated cycles and host wall-clock in separate sections; the
+//! simulated sections are bit-identical whether or not any telemetry
+//! flag is given.
 
-use std::io::{BufWriter, Write as _};
+use std::io::{BufWriter, Read, Write as _};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 use pim_aligner_suite::bioseq::{fasta, fastq};
 use pim_aligner_suite::mram::faults::{FaultCampaign, FaultModel};
 use pim_aligner_suite::pim_aligner::{
-    sam, BatchTotals, PimAlignerConfig, Platform, RecoveryPolicy,
+    sam, BatchTotals, HostTraceConfig, PimAlignerConfig, Platform, RecoveryPolicy,
 };
+use pim_aligner_suite::pimsim::{chrome_trace_json, HostEpoch, HostSpan};
+
+/// Wraps the raw reads file and counts bytes consumed, so `--progress`
+/// can estimate completion from file position without a pre-pass over
+/// the FASTQ (the read count is unknown while streaming).
+struct CountingReader<R> {
+    inner: R,
+    bytes: Arc<AtomicU64>,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.bytes.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n)
+    }
+}
+
+/// Minimum interval between `--progress` lines.
+const PROGRESS_INTERVAL_MS: u128 = 500;
+
+/// One `--progress` line on stderr: reads aligned, rate, and an ETA
+/// extrapolated from the fraction of the FASTQ consumed so far.
+fn report_progress(reads_done: u64, elapsed_s: f64, bytes_done: u64, bytes_total: u64) {
+    let rate = if elapsed_s > 0.0 {
+        reads_done as f64 / elapsed_s
+    } else {
+        0.0
+    };
+    // The streaming reader may buffer ahead of the last-aligned read;
+    // clamp so the fraction never exceeds 1.
+    let frac = if bytes_total > 0 {
+        (bytes_done as f64 / bytes_total as f64).min(1.0)
+    } else {
+        1.0
+    };
+    if frac > 0.0 && frac < 1.0 {
+        let eta_s = elapsed_s * (1.0 - frac) / frac;
+        eprintln!("pimalign: progress: {reads_done} reads, {rate:.0} reads/s, ETA {eta_s:.0}s");
+    } else {
+        eprintln!("pimalign: progress: {reads_done} reads, {rate:.0} reads/s");
+    }
+}
 
 fn main() -> ExitCode {
     match run() {
@@ -65,6 +120,9 @@ struct Cli {
     fault_carry: f64,
     recover: bool,
     metrics: Option<String>,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+    progress: bool,
 }
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) -> Result<T, String>
@@ -104,6 +162,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         fault_carry: 0.0,
         recover: true,
         metrics: None,
+        metrics_out: None,
+        trace_out: None,
+        progress: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -142,6 +203,9 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--fault-carry" => cli.fault_carry = parse_prob(args, &mut i, "--fault-carry")?,
             "--no-recover" => cli.recover = false,
             "--metrics" => cli.metrics = Some(parse_flag(args, &mut i, "--metrics")?),
+            "--metrics-out" => cli.metrics_out = Some(parse_flag(args, &mut i, "--metrics-out")?),
+            "--trace-out" => cli.trace_out = Some(parse_flag(args, &mut i, "--trace-out")?),
+            "--progress" => cli.progress = true,
             flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
             _ => cli.positional.push(args[i].clone()),
         }
@@ -168,7 +232,15 @@ fn run() -> Result<(), String> {
     };
     let reads_file =
         std::fs::File::open(reads_path).map_err(|e| format!("cannot read {reads_path}: {e}"))?;
-    let mut reads = fastq::Reader::new(std::io::BufReader::new(reads_file));
+    let reads_total_bytes = reads_file
+        .metadata()
+        .map_err(|e| format!("cannot stat {reads_path}: {e}"))?
+        .len();
+    let bytes_consumed = Arc::new(AtomicU64::new(0));
+    let mut reads = fastq::Reader::new(std::io::BufReader::new(CountingReader {
+        inner: reads_file,
+        bytes: Arc::clone(&bytes_consumed),
+    }));
 
     let campaign = FaultCampaign::seeded(cli.fault_seed)
         .with_model(FaultModel::with_probabilities(
@@ -189,9 +261,26 @@ fn run() -> Result<(), String> {
         config = config.with_recovery(RecoveryPolicy::standard());
     }
 
+    // The run's wall-clock epoch: created before the index build so the
+    // build lands at t ≈ 0 on the trace timeline.
+    let host_epoch = HostEpoch::new();
+    let trace_config = cli
+        .trace_out
+        .as_ref()
+        .map(|_| HostTraceConfig::new(host_epoch));
+
     // One platform for the whole run: the index is built exactly once
     // here and shared by every chunk and worker thread below.
+    let build_start_ns = host_epoch.now_ns();
     let platform = Platform::new(reference.seq(), config);
+    // The index build runs on the main thread; its trace track sits
+    // after the worker tracks (tid = --threads).
+    let build_span = HostSpan {
+        name: "index_build",
+        tid: cli.threads as u32,
+        start_ns: build_start_ns,
+        dur_ns: host_epoch.now_ns().saturating_sub(build_start_ns),
+    };
 
     // Stream chunks: bounded memory in and incremental SAM out, one code
     // path for any thread count (1 thread is a single worker session).
@@ -206,6 +295,8 @@ fn run() -> Result<(), String> {
     let mut totals = BatchTotals::new();
     let mut mapped = 0usize;
     let mut epoch = 0u64;
+    let align_start = Instant::now();
+    let mut last_progress = Instant::now();
     loop {
         let chunk = reads
             .next_chunk(cli.batch_size)
@@ -214,10 +305,27 @@ fn run() -> Result<(), String> {
             break;
         }
         let seqs: Vec<_> = chunk.iter().map(|r| r.seq().clone()).collect();
-        let (pairs, chunk_totals) = platform
-            .align_chunk_parallel(&seqs, cli.threads, epoch, cli.both_strands)
-            .map_err(|e| e.to_string())?;
+        let (pairs, chunk_totals) = match &trace_config {
+            Some(trace) => platform.align_chunk_parallel_traced(
+                &seqs,
+                cli.threads,
+                epoch,
+                cli.both_strands,
+                trace,
+            ),
+            None => platform.align_chunk_parallel(&seqs, cli.threads, epoch, cli.both_strands),
+        }
+        .map_err(|e| e.to_string())?;
         totals.merge(&chunk_totals);
+        if cli.progress && last_progress.elapsed().as_millis() >= PROGRESS_INTERVAL_MS {
+            last_progress = Instant::now();
+            report_progress(
+                totals.reads,
+                align_start.elapsed().as_secs_f64(),
+                bytes_consumed.load(Ordering::Relaxed),
+                reads_total_bytes,
+            );
+        }
         for (record, (outcome, strand)) in chunk.iter().zip(&pairs) {
             if outcome.is_mapped() {
                 mapped += 1;
@@ -240,9 +348,34 @@ fn run() -> Result<(), String> {
         return Err(format!("{reads_path}: no reads"));
     }
     let report = platform.batch_report(&totals);
-    if let Some(path) = &cli.metrics {
+    let mut metrics_paths: Vec<&String> = Vec::new();
+    metrics_paths.extend(&cli.metrics);
+    if cli.metrics_out.as_ref() != cli.metrics.as_ref() {
+        metrics_paths.extend(&cli.metrics_out);
+    }
+    for path in metrics_paths {
         std::fs::write(path, report.to_metrics_json())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(path) = &cli.trace_out {
+        // Every worker gets a labelled track, spans or not: a starved
+        // worker showing an empty track is itself a finding. The main
+        // track carries the one-time index build.
+        let mut tracks: Vec<(u32, String)> = (0..cli.threads as u32)
+            .map(|w| (w, format!("worker-{w}")))
+            .collect();
+        tracks.push((cli.threads as u32, "main".to_owned()));
+        let mut spans = totals.host.spans.clone();
+        spans.push(build_span);
+        std::fs::write(path, chrome_trace_json(&spans, &tracks))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    let spans_dropped = totals.host.spans_dropped + report.breakdown.spans_dropped;
+    if spans_dropped > 0 {
+        eprintln!(
+            "pimalign: warning: {spans_dropped} trace span(s) dropped (capacity); \
+             the trace is truncated, not complete"
+        );
     }
 
     eprintln!(

@@ -3,6 +3,8 @@
 
 use std::process::Command;
 
+use bench::json::{self, Value};
+
 fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
     let path = std::env::temp_dir().join(format!("pimalign_test_{name}_{}", std::process::id()));
     std::fs::write(&path, contents).expect("write temp file");
@@ -142,6 +144,94 @@ fn streamed_chunks_match_single_batch() {
 
     std::fs::remove_file(reference).ok();
     std::fs::remove_file(reads).ok();
+}
+
+#[test]
+fn telemetry_flags_never_touch_the_sam_stream() {
+    // --metrics-out and --trace-out write their JSON to files, so stdout
+    // stays pure SAM; and collecting host telemetry must not move a
+    // single simulated cycle — the metrics `report`/`breakdown` sections
+    // are value-identical with and without the trace flags.
+    let ref_seq = "TGCTAGCATGAACCTTGGAACGTACGTTAGCATCGATCGGATTACAGATTACAGGG";
+    let reference = write_temp("telem_ref.fa", &format!(">chrT\n{ref_seq}\n"));
+    let reads = write_temp(
+        "telem_reads.fq",
+        "@exact\nGATTACAGATTACA\n+\nIIIIIIIIIIIIII\n@revcomp\nCGTTCCAAGGTTCA\n+\nIIIIIIIIIIIIII\n",
+    );
+    let metrics_old = write_temp("telem_m_old.json", "");
+    let metrics_new = write_temp("telem_m_new.json", "");
+    let trace = write_temp("telem_trace.json", "");
+    let base = [reference.to_str().unwrap(), reads.to_str().unwrap()];
+
+    let (sam_plain, stderr, ok) = run_cli(&base);
+    assert!(ok, "plain run failed: {stderr}");
+
+    // Back-compat flag: --metrics still writes the document.
+    let mut old_args: Vec<&str> = base.to_vec();
+    old_args.extend_from_slice(&["--metrics", metrics_old.to_str().unwrap()]);
+    let (sam_old, stderr, ok) = run_cli(&old_args);
+    assert!(ok, "--metrics run failed: {stderr}");
+    assert_eq!(sam_old, sam_plain, "--metrics changed the SAM stream");
+
+    // New flags: --metrics-out + --trace-out, with tracing live.
+    let mut new_args: Vec<&str> = base.to_vec();
+    new_args.extend_from_slice(&[
+        "--metrics-out",
+        metrics_new.to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--threads",
+        "2",
+    ]);
+    let (sam_new, stderr, ok) = run_cli(&new_args);
+    assert!(ok, "--metrics-out/--trace-out run failed: {stderr}");
+    assert_eq!(sam_new, sam_plain, "telemetry flags changed the SAM stream");
+
+    let doc_old = json::parse(&std::fs::read_to_string(&metrics_old).unwrap())
+        .expect("--metrics JSON parses");
+    let doc_new = json::parse(&std::fs::read_to_string(&metrics_new).unwrap())
+        .expect("--metrics-out JSON parses");
+    // The simulated sections are value-identical across flag shapes —
+    // only the wall-clock `host` section may differ.
+    for section in ["schema_version", "report", "faults", "breakdown"] {
+        assert_eq!(
+            doc_old.get(section),
+            doc_new.get(section),
+            "simulated section {section} diverged under tracing"
+        );
+    }
+
+    // The trace file is a loadable Chrome trace with spans.
+    let trace_doc =
+        json::parse(&std::fs::read_to_string(&trace).unwrap()).expect("trace JSON parses");
+    assert_eq!(
+        trace_doc.get("displayTimeUnit").and_then(Value::as_str),
+        Some("ms")
+    );
+    let events = trace_doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("ph").and_then(Value::as_str) == Some("X")),
+        "trace has no complete spans"
+    );
+    // One named track per worker plus the main thread's.
+    for want in ["worker-0", "worker-1", "main"] {
+        assert!(
+            events.iter().any(|e| {
+                e.get("ph").and_then(Value::as_str) == Some("M")
+                    && e.get("args.name").and_then(Value::as_str) == Some(want)
+            }),
+            "missing {want} track"
+        );
+    }
+
+    for f in [reference, reads, metrics_old, metrics_new, trace] {
+        std::fs::remove_file(f).ok();
+    }
 }
 
 #[test]

@@ -63,7 +63,7 @@ fn as_u64(doc: &Value, path: &str) -> u64 {
 fn metrics_json_is_valid_and_reconciles() {
     let doc = run_with_metrics(&["--pipelined"]);
 
-    assert_eq!(as_u64(&doc, "schema_version"), 1);
+    assert_eq!(as_u64(&doc, "schema_version"), 2);
 
     // The emitted counters reconcile: per-primitive cycles sum to the
     // ledger aggregate, and the report's LFM count matches the
@@ -142,6 +142,79 @@ fn metrics_json_is_valid_and_reconciles() {
 
     assert!(as_u64(&doc, "breakdown.index_build_cycles") > 0);
     assert!(as_u64(&doc, "breakdown.subarray_activations") > 0);
+
+    // v2: the zone heatmap is a *view* of existing sub-array charges —
+    // its total can never exceed the activation counter it attributes.
+    let zones = as_u64(&doc, "breakdown.heatmap.zones");
+    let activations = doc
+        .get("breakdown.heatmap.activations")
+        .and_then(Value::as_array)
+        .expect("heatmap activations array");
+    assert_eq!(activations.len() as u64, zones);
+    let heat_total: u64 = activations.iter().filter_map(Value::as_u64).sum();
+    assert!(heat_total > 0, "an aligning run must touch zones");
+    assert!(heat_total <= as_u64(&doc, "breakdown.subarray_activations"));
+
+    // v2: the host section exists, is structurally complete, and its
+    // always-on per-read histogram counted both reads.
+    assert_eq!(as_u64(&doc, "host.per_read_latency.count"), 2);
+    assert!(as_u64(&doc, "host.wall_ns") > 0);
+    let workers = doc
+        .get("host.workers")
+        .and_then(Value::as_array)
+        .expect("host workers array");
+    let worker_reads: u64 = workers
+        .iter()
+        .filter_map(|w| w.get("reads").and_then(Value::as_u64))
+        .sum();
+    assert_eq!(worker_reads, 2, "worker rows must account for every read");
+    // No tracing flags were passed, so no host spans were collected —
+    // and none were silently dropped.
+    assert_eq!(as_u64(&doc, "host.trace_spans"), 0);
+    assert_eq!(as_u64(&doc, "host.trace_spans_dropped"), 0);
+}
+
+#[test]
+fn v1_fixture_still_parses_and_is_a_schema_subset() {
+    // Back-compat: a consumer that reads v1 fields by name keeps working
+    // on v2 documents. The committed v1 fixture (a pre-v2 CLI run over
+    // this exact workload) must parse, and every v1 leaf path must still
+    // exist in a fresh v2 document — v2 only *adds* paths.
+    let fixture_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics_v1.json");
+    let text = std::fs::read_to_string(fixture_path).expect("v1 fixture readable");
+    let v1 = json::parse(&text).expect("v1 fixture parses");
+    assert_eq!(as_u64(&v1, "schema_version"), 1);
+    assert_eq!(as_u64(&v1, "report.queries"), 2);
+    assert!(as_u64(&v1, "breakdown.total_busy_cycles") > 0);
+
+    let v2 = run_with_metrics(&[]);
+    let v2_paths = v2.schema_paths();
+    for path in v1.schema_paths() {
+        if path == "schema_version" {
+            continue;
+        }
+        assert!(
+            v2_paths.contains(&path),
+            "v1 path {path} vanished from the v2 document — v2 must be a strict superset"
+        );
+    }
+
+    // And on the shared workload the simulated quantities are unchanged:
+    // adding host telemetry moved no simulated cycle.
+    for path in [
+        "report.queries",
+        "report.lfm_calls",
+        "breakdown.total_busy_cycles",
+        "breakdown.primitive_cycles_total",
+        "breakdown.subarray_activations",
+        "breakdown.lfm_calls",
+    ] {
+        assert_eq!(
+            v2.get(path).and_then(Value::as_u64),
+            v1.get(path).and_then(Value::as_u64),
+            "simulated quantity {path} drifted from the v1 fixture"
+        );
+    }
 }
 
 #[test]

@@ -98,6 +98,14 @@ fn eight_threads_emit_byte_identical_sam_to_one_thread() {
         "8-thread SAM diverged from the 1-thread run"
     );
 
+    // --progress streams to stderr only: with it on (any thread count)
+    // the SAM bytes are still identical.
+    let mut progress: Vec<&str> = base.to_vec();
+    progress.extend_from_slice(&["--threads", "8", "--progress"]);
+    let (sam_progress, stderr, ok) = run_cli(&progress);
+    assert!(ok, "--progress run failed: {stderr}");
+    assert_eq!(sam_progress, sam_1t, "--progress changed the SAM stream");
+
     std::fs::remove_file(reference).ok();
     std::fs::remove_file(reads).ok();
 }
