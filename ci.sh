@@ -5,7 +5,8 @@
 #   ./ci.sh            full gate (debug + release stages)
 #   ./ci.sh debug      fmt check, debug tests, clippy
 #   ./ci.sh release    release build, bench smokes, benchdiff gates
-#                      (parallel, kernel, metrics schema, trace, host)
+#                      (parallel, kernel, metrics schema, trace, host,
+#                      serve: pimserve + loadgen over loopback)
 #   ./ci.sh quick      back-compat alias for `debug`
 #
 # The two stages mirror the GitHub workflow's jobs
@@ -100,6 +101,37 @@ if [ "$MODE" = "all" ] || [ "$MODE" = "release" ]; then
         --quick --out target/ci/BENCH_host_smoke.json
     cargo run -q --release -p bench --bin benchdiff -- \
         target/ci/BENCH_host_smoke.json BENCH_host.json --kind host
+
+    # Serve gate: a real pimserve process over loopback must come up,
+    # survive a quick loadgen saturation sweep (open-loop arrivals,
+    # retry-with-backoff clients, an overload phase past the knee), and
+    # exit 0 after a protocol-initiated graceful drain with every
+    # accepted request answered. benchdiff then checks the structural
+    # invariants against the committed BENCH_serve.json.
+    echo "==> pimserve smoke + benchdiff gate (serve)"
+    cargo run -q --release -p bench --bin loadgen -- \
+        --make-ref target/ci/serve_ref.fa --quick
+    rm -f target/ci/serve_port.txt
+    cargo run -q --release --bin pimserve -- target/ci/serve_ref.fa \
+        --port-file target/ci/serve_port.txt --queue-depth 64 \
+        --metrics-out target/ci/serve_metrics.json 2> target/ci/serve.log &
+    SERVE_PID=$!
+    for _ in $(seq 1 100); do
+        [ -f target/ci/serve_port.txt ] && break
+        sleep 0.1
+    done
+    if [ ! -f target/ci/serve_port.txt ]; then
+        echo "ci: pimserve never wrote its port file" >&2
+        cat target/ci/serve.log >&2
+        exit 1
+    fi
+    cargo run -q --release -p bench --bin loadgen -- \
+        --addr "$(cat target/ci/serve_port.txt)" --quick --drain \
+        --out target/ci/BENCH_serve_smoke.json
+    # The drain must end the process with exit 0 (set -e trips otherwise).
+    wait "$SERVE_PID"
+    cargo run -q --release -p bench --bin benchdiff -- \
+        target/ci/BENCH_serve_smoke.json BENCH_serve.json --kind serve
 
     echo "ci: bench smoke reports kept under target/ci/"
 fi

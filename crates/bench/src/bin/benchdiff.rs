@@ -1,7 +1,7 @@
 //! `benchdiff` — the bench-regression gate.
 //!
 //! ```text
-//! benchdiff <fresh.json> <baseline.json> [--kind parallel|kernel|metrics|host]
+//! benchdiff <fresh.json> <baseline.json> [--kind parallel|kernel|metrics|host|serve]
 //!           [--min-ratio R] [--min-speedup S] [--min-scaling C]
 //! benchdiff <trace.json> --kind trace [--workers N]
 //! ```
@@ -66,6 +66,15 @@
 //! workload, a positive parallel-region wall clock, and a load-balance
 //! percentage within (0, 100]).
 //!
+//! `--kind serve` diffs a fresh `loadgen` report against the committed
+//! `BENCH_serve.json`. Rates and latencies are machine-dependent, so
+//! the check is structural-plus-invariants: schema fingerprints must
+//! match (sweep row counts may differ — rows dedupe by shape), and the
+//! fresh run must show a working overload story — every request in
+//! every phase accounted for (`answered == sent`), a positive
+//! saturation knee, an overload phase at ≥ 2x the knee that actually
+//! shed, and an accepted-request p99 within the report's own SLO.
+//!
 //! Exit status: 0 within tolerance, 1 regression detected, 2 usage or
 //! parse error.
 
@@ -80,6 +89,7 @@ enum Kind {
     Metrics,
     Trace,
     Host,
+    Serve,
 }
 
 struct Args {
@@ -95,7 +105,7 @@ struct Args {
 }
 
 const USAGE: &str = "usage: benchdiff <fresh.json> <baseline.json> \
-     [--kind parallel|kernel|metrics|host] [--min-ratio R] [--min-speedup S] \
+     [--kind parallel|kernel|metrics|host|serve] [--min-ratio R] [--min-speedup S] \
      [--min-scaling C] | benchdiff <trace.json> --kind trace [--workers N]";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -116,6 +126,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     Some("metrics") => Kind::Metrics,
                     Some("trace") => Kind::Trace,
                     Some("host") => Kind::Host,
+                    Some("serve") => Kind::Serve,
                     Some(other) => return Err(format!("unknown --kind {other}")),
                     None => return Err("--kind needs a value".to_owned()),
                 };
@@ -556,6 +567,91 @@ fn run_host(args: &Args) -> Result<bool, String> {
     Ok(ok)
 }
 
+/// One phase row of a `loadgen` report: every request offered in the
+/// phase must have reached a terminal outcome.
+fn check_serve_row(row: &Value, label: &str, path: &str) -> Result<bool, String> {
+    let field = |name: &str| -> Result<u64, String> {
+        row.get(name)
+            .and_then(Value::as_u64)
+            .ok_or(format!("{path}: {label} row missing {name}"))
+    };
+    let sent = field("sent")?;
+    let answered = field("answered")?;
+    if sent == 0 {
+        eprintln!("benchdiff: SERVE: {label} phase sent nothing");
+        return Ok(false);
+    }
+    if answered != sent {
+        eprintln!("benchdiff: SERVE: {label} phase lost requests ({answered} answered of {sent})");
+        return Ok(false);
+    }
+    Ok(true)
+}
+
+fn run_serve(args: &Args) -> Result<bool, String> {
+    let fresh = load(&args.fresh)?;
+    let baseline = load(baseline_path(args))?;
+    let mut ok = fingerprints_match(&fresh, &baseline, &args.fresh, baseline_path(args), false);
+
+    let schema = required_u64(&fresh, "schema_version", &args.fresh)?;
+    let base_schema = required_u64(&baseline, "schema_version", baseline_path(args))?;
+    if schema != base_schema {
+        eprintln!("benchdiff: SCHEMA: version {schema} vs baseline {base_schema}");
+        ok = false;
+    }
+
+    // Rates and latencies are wall-clock; the invariants below are
+    // re-derived from the fresh run and hold on any machine.
+    let sweep = fresh
+        .get("sweep")
+        .and_then(Value::as_array)
+        .ok_or(format!("{}: missing sweep array", args.fresh))?;
+    if sweep.is_empty() {
+        eprintln!("benchdiff: SERVE: empty sweep");
+        ok = false;
+    }
+    for (i, row) in sweep.iter().enumerate() {
+        ok &= check_serve_row(row, &format!("sweep[{i}]"), &args.fresh)?;
+    }
+    let overload = fresh
+        .get("overload")
+        .ok_or(format!("{}: missing overload row", args.fresh))?;
+    ok &= check_serve_row(overload, "overload", &args.fresh)?;
+
+    let knee = required_u64(&fresh, "knee_rps", &args.fresh)?;
+    if knee == 0 {
+        eprintln!("benchdiff: SERVE: no saturation knee found");
+        ok = false;
+    }
+    let overload_rps = required_u64(&fresh, "overload.target_rps", &args.fresh)?;
+    if overload_rps < 2 * knee {
+        eprintln!(
+            "benchdiff: SERVE: overload phase at {overload_rps} rps is under 2x the \
+             knee ({knee} rps)"
+        );
+        ok = false;
+    }
+    let shed = required_u64(&fresh, "overload.shed_responses", &args.fresh)?;
+    if shed == 0 {
+        eprintln!("benchdiff: SERVE: overload phase never shed — admission control inert");
+        ok = false;
+    }
+    let p99 = required_f64(&fresh, "overload.p99_ms", &args.fresh)?;
+    let slo = required_f64(&fresh, "slo_ms", &args.fresh)?;
+    if p99 > slo {
+        eprintln!(
+            "benchdiff: SERVE: accepted-request p99 {p99:.1} ms breaches the \
+             {slo:.1} ms SLO under overload"
+        );
+        ok = false;
+    }
+    eprintln!(
+        "benchdiff: serve run: knee {knee} rps, overload {overload_rps} rps shed \
+         {shed} request(s), accepted p99 {p99:.1} ms (SLO {slo:.1} ms)"
+    );
+    Ok(ok)
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -571,6 +667,7 @@ fn main() -> ExitCode {
         Kind::Metrics => run_metrics(&args),
         Kind::Trace => run_trace(&args),
         Kind::Host => run_host(&args),
+        Kind::Serve => run_serve(&args),
     };
     match outcome {
         Ok(true) => {

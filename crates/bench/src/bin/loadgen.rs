@@ -1,0 +1,419 @@
+//! `loadgen` — open-loop load generator and saturation-knee sweep for
+//! the `pimserve` daemon.
+//!
+//! ```text
+//! loadgen --make-ref PATH [--quick]        write the reference FASTA
+//! loadgen --addr HOST:PORT [options]       drive a running pimserve
+//!
+//! options:
+//!   --quick          CI-sized workload and shorter phases
+//!   --out PATH       result JSON (default BENCH_serve.json)
+//!   --slo-ms N       accepted-request p99 SLO for the overload row (default 500)
+//!   --drain          send the Drain opcode after the sweep (shuts the server down)
+//! ```
+//!
+//! Arrivals are **open-loop**: the sender thread follows a fixed
+//! schedule derived from the target rate and never waits for responses,
+//! so queueing delay cannot throttle the offered load — exactly the
+//! regime where an unbounded server falls over. A receiver thread on the
+//! same connection correlates responses by `req_id`; an `Overloaded`
+//! response is retried after the server's retry-after hint plus jittered
+//! exponential backoff, up to [`MAX_RETRIES`] attempts.
+//!
+//! The sweep doubles the target rate until the server sheds (> 1 % of
+//! attempts), calls the last clean rate the **saturation knee**, then
+//! runs one overload phase at twice the knee. The committed
+//! `BENCH_serve.json` is a structural baseline: `benchdiff --kind serve`
+//! compares schema fingerprints and re-derives the invariants (every
+//! request accounted, the knee exists, overload sheds, accepted p99
+//! within SLO) from the fresh run, never raw milliseconds.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bench::workload::Workload;
+use pim_aligner::service::protocol::{AlignRequest, Client, Request, Response};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload seed shared with `--make-ref`, so the reads the generator
+/// sends are drawn from the same genome the server indexed.
+const SEED: u64 = 4207;
+
+/// Attempts per request before giving up on a persistently-shedding
+/// server (1 fresh + 2 retries).
+const MAX_RETRIES: u32 = 2;
+
+/// Sweep start rate and doubling cap (2^12 doublings ≈ 1.6 M rps —
+/// far past what one sender thread can offer, so the achieved-rate
+/// guard below always breaks first on a server the client cannot
+/// saturate).
+const START_RPS: u64 = 100;
+const MAX_DOUBLINGS: u32 = 12;
+
+fn workload(quick: bool) -> (usize, usize, usize, Workload) {
+    let (genome_len, read_count, read_len) = if quick {
+        (40_000, 512, 48)
+    } else {
+        (200_000, 4096, 80)
+    };
+    (
+        genome_len,
+        read_count,
+        read_len,
+        Workload::clean(genome_len, read_count, read_len, SEED),
+    )
+}
+
+/// What one request is waiting on.
+struct PendingReq {
+    read_idx: usize,
+    first_sent: Instant,
+    attempts: u32,
+}
+
+/// One measured phase at a fixed offered rate.
+#[derive(Debug, Clone, Copy)]
+struct PhaseStats {
+    target_rps: u64,
+    achieved_rps: f64,
+    sent: u64,
+    attempts: u64,
+    answered: u64,
+    aligned: u64,
+    shed_responses: u64,
+    shed_gave_up: u64,
+    deadline_exceeded: u64,
+    other: u64,
+    p50_ms: f64,
+    p90_ms: f64,
+    p99_ms: f64,
+}
+
+impl PhaseStats {
+    fn shed_frac(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.shed_responses as f64 / self.attempts as f64
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{ \"target_rps\": {}, \"achieved_rps\": {:.1}, \"sent\": {}, \
+             \"attempts\": {}, \"answered\": {}, \"aligned\": {}, \
+             \"shed_responses\": {}, \"shed_gave_up\": {}, \
+             \"deadline_exceeded\": {}, \"other\": {}, \
+             \"p50_ms\": {:.3}, \"p90_ms\": {:.3}, \"p99_ms\": {:.3} }}",
+            self.target_rps,
+            self.achieved_rps,
+            self.sent,
+            self.attempts,
+            self.answered,
+            self.aligned,
+            self.shed_responses,
+            self.shed_gave_up,
+            self.deadline_exceeded,
+            self.other,
+            self.p50_ms,
+            self.p90_ms,
+            self.p99_ms,
+        )
+    }
+}
+
+fn percentile_ms(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() as f64 * q).ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted_ns.len() - 1);
+    sorted_ns[idx] as f64 / 1e6
+}
+
+/// Drives one open-loop phase: `total` fresh requests at `target_rps`,
+/// each retried on `Overloaded` with jittered exponential backoff, and
+/// waits until every request has a terminal outcome.
+fn run_phase(addr: &str, reads: &[String], target_rps: u64, total: u64) -> PhaseStats {
+    let client = Client::connect(addr).expect("connect to pimserve");
+    let mut sender = client.try_clone().expect("clone connection");
+    let mut receiver = client;
+
+    let pending: Arc<Mutex<HashMap<u64, PendingReq>>> = Arc::new(Mutex::new(HashMap::new()));
+    // Retries scheduled by the receiver: (due, req_id). The sender
+    // services whichever is due between fresh sends.
+    let retries: Arc<Mutex<Vec<(Instant, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let outstanding = Arc::new(AtomicU64::new(total));
+    let attempts = Arc::new(AtomicU64::new(0));
+
+    let recv_pending = Arc::clone(&pending);
+    let recv_retries = Arc::clone(&retries);
+    let recv_outstanding = Arc::clone(&outstanding);
+    let receiver_thread = std::thread::spawn(move || {
+        let mut rng = StdRng::seed_from_u64(SEED ^ 0xfeed);
+        let mut latencies_ns: Vec<u64> = Vec::new();
+        let mut aligned = 0u64;
+        let mut shed_responses = 0u64;
+        let mut shed_gave_up = 0u64;
+        let mut deadline_exceeded = 0u64;
+        let mut other = 0u64;
+        let mut answered = 0u64;
+        while recv_outstanding.load(Ordering::Relaxed) > 0 {
+            let resp = receiver
+                .recv()
+                .expect("receive response")
+                .expect("server closed mid-phase");
+            let req_id = resp.req_id();
+            let mut terminal = true;
+            match resp {
+                Response::Aligned { .. } => {
+                    let p = recv_pending.lock().unwrap();
+                    let info = p.get(&req_id).expect("aligned response correlates");
+                    latencies_ns.push(info.first_sent.elapsed().as_nanos() as u64);
+                    aligned += 1;
+                }
+                Response::Overloaded { retry_after_ms, .. } => {
+                    shed_responses += 1;
+                    let mut p = recv_pending.lock().unwrap();
+                    let info = p.get_mut(&req_id).expect("shed response correlates");
+                    if info.attempts <= MAX_RETRIES {
+                        // Jittered exponential backoff seeded on the
+                        // server's hint: hint * 2^(attempt-1) * U(1, 2).
+                        let base = u64::from(retry_after_ms.max(1)) << (info.attempts - 1);
+                        let backoff = Duration::from_micros(rng.gen_range(base..=2 * base) * 1000);
+                        recv_retries
+                            .lock()
+                            .unwrap()
+                            .push((Instant::now() + backoff, req_id));
+                        terminal = false;
+                    } else {
+                        shed_gave_up += 1;
+                    }
+                }
+                Response::DeadlineExceeded { .. } => deadline_exceeded += 1,
+                _ => other += 1,
+            }
+            if terminal {
+                recv_pending.lock().unwrap().remove(&req_id);
+                answered += 1;
+                recv_outstanding.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        latencies_ns.sort_unstable();
+        (
+            latencies_ns,
+            aligned,
+            shed_responses,
+            shed_gave_up,
+            deadline_exceeded,
+            other,
+            answered,
+        )
+    });
+
+    // Open-loop sender: fresh request i departs at start + i/rate,
+    // regardless of how the server is doing; due retries interleave.
+    let interval = Duration::from_nanos(1_000_000_000 / target_rps.max(1));
+    let start = Instant::now();
+    let mut fresh_sent = 0u64;
+    while outstanding.load(Ordering::Relaxed) > 0 {
+        let now = Instant::now();
+        let due_retry = {
+            let mut r = retries.lock().unwrap();
+            r.iter()
+                .position(|&(due, _)| due <= now)
+                .map(|i| r.swap_remove(i).1)
+        };
+        if let Some(req_id) = due_retry {
+            let read_idx = {
+                let mut p = pending.lock().unwrap();
+                let info = p.get_mut(&req_id).expect("retry correlates");
+                info.attempts += 1;
+                info.read_idx
+            };
+            attempts.fetch_add(1, Ordering::Relaxed);
+            send_read(&mut sender, req_id, &reads[read_idx]);
+            continue;
+        }
+        if fresh_sent < total {
+            let due = start + interval * (fresh_sent as u32);
+            if now >= due {
+                let req_id = fresh_sent;
+                let read_idx = (fresh_sent as usize) % reads.len();
+                pending.lock().unwrap().insert(
+                    req_id,
+                    PendingReq {
+                        read_idx,
+                        first_sent: Instant::now(),
+                        attempts: 1,
+                    },
+                );
+                attempts.fetch_add(1, Ordering::Relaxed);
+                send_read(&mut sender, req_id, &reads[read_idx]);
+                fresh_sent += 1;
+                continue;
+            }
+            // Not due yet: sleep out most of the gap.
+            std::thread::sleep(due.saturating_duration_since(now).min(interval));
+            continue;
+        }
+        // Fresh schedule exhausted; wait for stragglers and retries.
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let send_window = start.elapsed().as_secs_f64();
+
+    let (latencies_ns, aligned, shed_responses, shed_gave_up, deadline_exceeded, other, answered) =
+        receiver_thread.join().expect("receiver thread");
+    PhaseStats {
+        target_rps,
+        achieved_rps: fresh_sent as f64 / send_window.max(1e-9),
+        sent: fresh_sent,
+        attempts: attempts.load(Ordering::Relaxed),
+        answered,
+        aligned,
+        shed_responses,
+        shed_gave_up,
+        deadline_exceeded,
+        other,
+        p50_ms: percentile_ms(&latencies_ns, 0.50),
+        p90_ms: percentile_ms(&latencies_ns, 0.90),
+        p99_ms: percentile_ms(&latencies_ns, 0.99),
+    }
+}
+
+fn send_read(sender: &mut Client, req_id: u64, seq: &str) {
+    sender
+        .send(&Request::Align(AlignRequest {
+            req_id,
+            deadline_ms: 0,
+            id: format!("lg{req_id}"),
+            seq: seq.to_owned(),
+        }))
+        .expect("send request");
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+
+    if let Some(path) = flag_value(&args, "--make-ref") {
+        let (genome_len, _, _, w) = workload(quick);
+        let fasta = format!(
+            ">loadgen synthetic uniform genome seed={SEED}\n{}\n",
+            w.reference
+        );
+        std::fs::write(&path, fasta).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("loadgen: wrote {genome_len} bp reference to {path}");
+        return;
+    }
+
+    let Some(addr) = flag_value(&args, "--addr") else {
+        eprintln!("usage: loadgen --make-ref PATH [--quick]");
+        eprintln!("       loadgen --addr HOST:PORT [--quick] [--out PATH] [--slo-ms N] [--drain]");
+        std::process::exit(2);
+    };
+    let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_owned());
+    let slo_ms: f64 = flag_value(&args, "--slo-ms")
+        .map(|v| v.parse().expect("--slo-ms must be a number"))
+        .unwrap_or(500.0);
+    let drain = args.iter().any(|a| a == "--drain");
+
+    let (genome_len, read_count, read_len, w) = workload(quick);
+    let reads: Vec<String> = w.reads.iter().map(|r| r.to_string()).collect();
+    let phase_secs = if quick { 0.4 } else { 1.0 };
+    eprintln!(
+        "loadgen: {} reads x {} bp against pimserve at {addr}{}",
+        read_count,
+        read_len,
+        if quick { " (quick)" } else { "" }
+    );
+
+    // Saturation sweep: double the offered rate until the server sheds
+    // or the sender itself saturates (achieved < 80 % of target).
+    let mut sweep: Vec<PhaseStats> = Vec::new();
+    let mut knee_rps = 0u64;
+    let mut shed_rate = 0u64;
+    let mut rate = START_RPS;
+    for _ in 0..=MAX_DOUBLINGS {
+        let total = ((rate as f64 * phase_secs) as u64).max(40);
+        let stats = run_phase(&addr, &reads, rate, total);
+        eprintln!(
+            "loadgen: sweep {} rps (achieved {:.0}): {} sent, {} aligned, {} shed, p99 {:.1} ms",
+            stats.target_rps,
+            stats.achieved_rps,
+            stats.sent,
+            stats.aligned,
+            stats.shed_responses,
+            stats.p99_ms
+        );
+        let shed = stats.shed_frac() > 0.01;
+        let sender_bound = stats.achieved_rps < 0.8 * rate as f64;
+        sweep.push(stats);
+        if shed {
+            shed_rate = rate;
+            break;
+        }
+        knee_rps = rate;
+        if sender_bound {
+            eprintln!(
+                "loadgen: sender saturated at {:.0} rps without shedding",
+                stats.achieved_rps
+            );
+            break;
+        }
+        rate *= 2;
+    }
+
+    // Overload phase: at least twice the knee, and at least the rate
+    // that actually shed — the server must hold its accepted-p99 SLO by
+    // shedding, not by slowing the clients down.
+    let overload_rate = (2 * knee_rps.max(START_RPS)).max(shed_rate);
+    let total = ((overload_rate as f64 * phase_secs) as u64).max(80);
+    let overload = run_phase(&addr, &reads, overload_rate, total);
+    eprintln!(
+        "loadgen: overload {} rps: {} sent, {} aligned, {} shed responses, \
+         {} gave up, accepted p99 {:.1} ms (SLO {slo_ms} ms)",
+        overload.target_rps,
+        overload.sent,
+        overload.aligned,
+        overload.shed_responses,
+        overload.shed_gave_up,
+        overload.p99_ms
+    );
+
+    if drain {
+        let mut c = Client::connect(&addr).expect("connect for drain");
+        let ack = c.drain(u64::MAX).expect("drain");
+        eprintln!("loadgen: drain acknowledged: {ack:?}");
+    }
+
+    let rows: Vec<String> = sweep.iter().map(|s| format!("    {}", s.json())).collect();
+    let json = format!(
+        "{{\n  \"schema_version\": 1,\n  \"workload\": {{ \"genome_len\": {genome_len}, \
+         \"read_count\": {read_count}, \"read_len\": {read_len}, \"seed\": {SEED}, \
+         \"quick\": {quick} }},\n  \
+         \"slo_ms\": {slo_ms:.1},\n  \
+         \"max_retries\": {MAX_RETRIES},\n  \
+         \"sweep\": [\n{}\n  ],\n  \
+         \"knee_rps\": {knee_rps},\n  \
+         \"overload\": {}\n}}",
+        rows.join(",\n"),
+        overload.json(),
+    );
+    let mut file = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    writeln!(file, "{json}").unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("loadgen: wrote {out_path}");
+}

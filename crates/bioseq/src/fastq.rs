@@ -18,11 +18,76 @@
 //! # }
 //! ```
 
+use std::error::Error;
+use std::fmt;
 use std::fmt::Write as _;
 use std::io::BufRead;
 
 use crate::quality::QualityString;
 use crate::{DnaSeq, ParseSeqError};
+
+/// A [`ParseSeqError`] located in a FASTQ stream: which record broke and
+/// where its header line started.
+///
+/// Streaming consumers (`pimalign`, `pimserve`) surface this as a
+/// diagnostic precise enough to open the file at the offending byte, so
+/// a truncated or corrupted record mid-stream is a clean error instead
+/// of a panic or a silently short batch.
+///
+/// # Examples
+///
+/// ```
+/// use bioseq::fastq::Reader;
+///
+/// // Second record is truncated after its sequence line.
+/// let text = "@a\nAC\n+\nII\n@b\nGT\n";
+/// let err = Reader::new(text.as_bytes())
+///     .collect::<Result<Vec<_>, _>>()
+///     .unwrap_err();
+/// assert_eq!(err.record_number(), 2);
+/// assert_eq!(err.byte_offset(), 11); // the '@b' header line
+/// assert!(err.to_string().contains("record 2"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamError {
+    record_number: u64,
+    byte_offset: u64,
+    source: ParseSeqError,
+}
+
+impl StreamError {
+    /// 1-based ordinal of the record that failed to parse.
+    pub fn record_number(&self) -> u64 {
+        self.record_number
+    }
+
+    /// Byte offset (from the start of the stream) of the failing
+    /// record's header line.
+    pub fn byte_offset(&self) -> u64 {
+        self.byte_offset
+    }
+
+    /// The underlying parse error, discarding the stream position.
+    pub fn into_parse_error(self) -> ParseSeqError {
+        self.source
+    }
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FASTQ record {} (byte offset {}): {}",
+            self.record_number, self.byte_offset, self.source
+        )
+    }
+}
+
+impl Error for StreamError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
 /// One FASTQ record: identifier, sequence, and per-base qualities.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,6 +161,12 @@ pub struct Reader<R: BufRead> {
     input: R,
     line: String,
     failed: bool,
+    /// Bytes consumed from the stream so far (terminators included).
+    bytes_consumed: u64,
+    /// Records successfully emitted so far.
+    records_emitted: u64,
+    /// Offset of the header line of the record currently being parsed.
+    record_start: u64,
 }
 
 impl<R: BufRead> Reader<R> {
@@ -105,6 +176,18 @@ impl<R: BufRead> Reader<R> {
             input,
             line: String::new(),
             failed: false,
+            bytes_consumed: 0,
+            records_emitted: 0,
+            record_start: 0,
+        }
+    }
+
+    /// Locates a parse error at the record currently being read.
+    fn locate(&self, source: ParseSeqError) -> StreamError {
+        StreamError {
+            record_number: self.records_emitted + 1,
+            byte_offset: self.record_start,
+            source,
         }
     }
 
@@ -115,6 +198,7 @@ impl<R: BufRead> Reader<R> {
             .input
             .read_line(&mut self.line)
             .map_err(|e| ParseSeqError::format(format!("I/O error: {e}")))?;
+        self.bytes_consumed += n as u64;
         if n == 0 {
             return Ok(None);
         }
@@ -125,11 +209,25 @@ impl<R: BufRead> Reader<R> {
     ///
     /// # Errors
     ///
-    /// Returns [`ParseSeqError`] on I/O failure, structural problems
-    /// (truncated record, missing `@`/`+`, length mismatch) or invalid
-    /// sequence/quality characters.
-    pub fn next_record(&mut self) -> Result<Option<Record>, ParseSeqError> {
+    /// Returns [`StreamError`] — the record ordinal and byte offset plus
+    /// the underlying [`ParseSeqError`] — on I/O failure, structural
+    /// problems (truncated record, missing `@`/`+`, length mismatch) or
+    /// invalid sequence/quality characters.
+    pub fn next_record(&mut self) -> Result<Option<Record>, StreamError> {
+        match self.next_record_inner() {
+            Ok(r) => {
+                if r.is_some() {
+                    self.records_emitted += 1;
+                }
+                Ok(r)
+            }
+            Err(e) => Err(self.locate(e)),
+        }
+    }
+
+    fn next_record_inner(&mut self) -> Result<Option<Record>, ParseSeqError> {
         let header = loop {
+            self.record_start = self.bytes_consumed;
             match self.next_line()? {
                 None => return Ok(None),
                 Some(l) if l.trim().is_empty() => continue,
@@ -171,8 +269,8 @@ impl<R: BufRead> Reader<R> {
     ///
     /// # Errors
     ///
-    /// Returns the first [`ParseSeqError`] encountered.
-    pub fn next_chunk(&mut self, n: usize) -> Result<Vec<Record>, ParseSeqError> {
+    /// Returns the first [`StreamError`] encountered.
+    pub fn next_chunk(&mut self, n: usize) -> Result<Vec<Record>, StreamError> {
         let mut chunk = Vec::with_capacity(n.min(1_024));
         while chunk.len() < n {
             match self.next_record()? {
@@ -185,7 +283,7 @@ impl<R: BufRead> Reader<R> {
 }
 
 impl<R: BufRead> Iterator for Reader<R> {
-    type Item = Result<Record, ParseSeqError>;
+    type Item = Result<Record, StreamError>;
 
     fn next(&mut self) -> Option<Self::Item> {
         if self.failed {
@@ -209,7 +307,9 @@ impl<R: BufRead> Iterator for Reader<R> {
 /// Returns [`ParseSeqError`] on structural problems (truncated record,
 /// missing `@`/`+`, length mismatch) or invalid sequence/quality characters.
 pub fn parse(text: &str) -> Result<Vec<Record>, ParseSeqError> {
-    Reader::new(text.as_bytes()).collect()
+    Reader::new(text.as_bytes())
+        .collect::<Result<_, _>>()
+        .map_err(StreamError::into_parse_error)
 }
 
 /// Serialises records to FASTQ text.
@@ -323,6 +423,51 @@ mod tests {
         assert!(reader.next().unwrap().is_ok());
         assert!(reader.next().unwrap().is_err());
         assert!(reader.next().is_none(), "iteration fuses after an error");
+    }
+
+    #[test]
+    fn stream_error_reports_record_and_offset() {
+        // 3 good records (12 bytes each), then one truncated mid-record.
+        let text = "@r1\nACGT\n+\nIIII\n@r2\nACGT\n+\nIIII\n@r3\nACGT\n+\nIIII\n@r4\nAC\n+\n";
+        let mut reader = Reader::new(text.as_bytes());
+        for _ in 0..3 {
+            assert!(reader.next_record().unwrap().is_some());
+        }
+        let err = reader.next_record().unwrap_err();
+        assert_eq!(err.record_number(), 4);
+        assert_eq!(err.byte_offset(), 48, "offset of the '@r4' header");
+        let msg = err.to_string();
+        assert!(msg.contains("record 4"), "{msg}");
+        assert!(msg.contains("byte offset 48"), "{msg}");
+        assert!(msg.contains("missing quality"), "{msg}");
+    }
+
+    #[test]
+    fn stream_error_offset_skips_blank_lines() {
+        // Blank separator lines must not be attributed to the record.
+        let text = "@a\nAC\n+\nII\n\n\nbroken\nAC\n+\nII\n";
+        let err = Reader::new(text.as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert_eq!(err.record_number(), 2);
+        assert_eq!(err.byte_offset(), 13, "offset of the 'broken' header");
+    }
+
+    #[test]
+    fn stream_error_on_bad_character_keeps_source() {
+        let text = "@a\nACGN\n+\nIIII\n";
+        let err = Reader::new(text.as_bytes()).next_record().unwrap_err();
+        assert_eq!(err.record_number(), 1);
+        assert_eq!(err.byte_offset(), 0);
+        assert_eq!(err.clone().into_parse_error().bad_character(), Some('N'));
+        use std::error::Error as _;
+        assert!(err.source().is_some(), "source chain preserved");
+    }
+
+    #[test]
+    fn stream_error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StreamError>();
     }
 
     #[test]

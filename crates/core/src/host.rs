@@ -51,6 +51,11 @@ pub struct HostTotals {
     pub per_read: HostHistogram,
     /// Wall-clock latency of every claimed work chunk.
     pub per_chunk: HostHistogram,
+    /// End-to-end request latency (admission to response write) for
+    /// service runs (`pimserve`); empty for one-shot CLI runs. Unlike
+    /// `per_read`, this includes queueing delay — the quantity SLOs are
+    /// written against.
+    pub per_request: HostHistogram,
     /// Per-worker utilisation, indexed by worker id (merged across
     /// chunks; a worker keeps its id for the whole run).
     pub workers: Vec<WorkerStats>,
@@ -96,6 +101,7 @@ impl HostTotals {
     pub fn merge(&mut self, other: &HostTotals) {
         self.per_read.merge(&other.per_read);
         self.per_chunk.merge(&other.per_chunk);
+        self.per_request.merge(&other.per_request);
         for w in &other.workers {
             self.absorb_worker(*w);
         }

@@ -56,6 +56,7 @@ mod verify;
 
 pub mod metrics;
 pub mod sam;
+pub mod service;
 
 pub use aligner::{AlignSession, AlignmentOutcome, BatchResult, MappedStrand, PimAligner};
 pub use config::{AddMethod, PimAlignerConfig, RecoveryPolicy};
@@ -66,10 +67,11 @@ pub use hybrid::{seed_and_extend, HybridHit, SeedExtendConfig};
 pub use inexact::{inexact_search, inexact_search_first, InexactStats};
 pub use mapping::MappedIndex;
 pub use metrics::{
-    host_section_json, MetricsBreakdown, PhaseLfm, PrimitiveMetrics, ResourceMetrics,
-    StageOccupancy, METRICS_SCHEMA_VERSION,
+    host_section_json, service_section_json, MetricsBreakdown, PhaseLfm, PrimitiveMetrics,
+    ResourceMetrics, StageOccupancy, METRICS_SCHEMA_VERSION,
 };
 pub use paired::{align_pair, Mate, PairConstraints, PairOutcome};
 pub use parallel::{align_batch_parallel, align_batch_parallel_both_strands, BatchTotals};
 pub use platform::Platform;
-pub use report::{FaultTelemetry, PerfReport, BACKGROUND_W_PER_SUBARRAY};
+pub use report::{FaultTelemetry, PerfReport, ServiceTelemetry, BACKGROUND_W_PER_SUBARRAY};
+pub use service::{ServiceConfig, ServiceError};

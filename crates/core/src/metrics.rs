@@ -19,15 +19,19 @@ use pimsim::{CycleLedger, HostHistogram, Resource, Span, SpanTracer};
 
 use crate::config::PimAlignerConfig;
 use crate::host::HostTotals;
-use crate::report::{FaultTelemetry, PerfReport};
+use crate::report::{FaultTelemetry, PerfReport, ServiceTelemetry};
 
 /// Version tag embedded in every metrics JSON document.
 ///
 /// v2 added the per-zone activation `heatmap` to the breakdown and the
 /// top-level `host` section (wall-clock latency histograms, worker
-/// utilisation, trace-span counts). Everything v1 carried is unchanged,
-/// so v1 consumers that address fields by name still parse v2 documents.
-pub const METRICS_SCHEMA_VERSION: u32 = 2;
+/// utilisation, trace-span counts). v3 added the top-level `service`
+/// section (admission/deadline/panic/drain counters from the `pimserve`
+/// service layer, all-zero for one-shot CLI runs) and the
+/// `per_request_latency` histogram to the `host` section. Each version
+/// only *adds* paths, so consumers that address fields by name keep
+/// working across versions.
+pub const METRICS_SCHEMA_VERSION: u32 = 3;
 
 /// `LFM` invocations attributed to the alignment phase that issued them.
 ///
@@ -323,14 +327,55 @@ impl PerfReport {
     pub fn to_metrics_json(&self) -> String {
         format!(
             "{{\n  \"schema_version\": {},\n  \"report\": {},\n  \"faults\": {},\n  \
-             \"breakdown\": {},\n  \"host\": {}\n}}\n",
+             \"breakdown\": {},\n  \"host\": {},\n  \"service\": {}\n}}\n",
             METRICS_SCHEMA_VERSION,
             report_json(self),
             faults_json(&self.faults),
             self.breakdown.to_json(),
             host_section_json(&self.host),
+            service_section_json(&self.service),
         )
     }
+}
+
+/// The `service` section of the metrics document: the admission-control,
+/// deadline, panic-quarantine and drain counters a `pimserve` run
+/// produced (all-zero for one-shot CLI runs, which never touch the
+/// service layer). Shared by [`PerfReport::to_metrics_json`] and the
+/// service drain path, which must emit counters even when zero reads
+/// aligned.
+pub fn service_section_json(s: &ServiceTelemetry) -> String {
+    format!(
+        "{{\n    \
+         \"received\": {},\n    \
+         \"accepted\": {},\n    \
+         \"shed_queue_full\": {},\n    \
+         \"shed_inflight_bytes\": {},\n    \
+         \"rejected_draining\": {},\n    \
+         \"rejected_invalid\": {},\n    \
+         \"expired_in_queue\": {},\n    \
+         \"late_responses\": {},\n    \
+         \"deadline_misses\": {},\n    \
+         \"panics_quarantined\": {},\n    \
+         \"batches\": {},\n    \
+         \"responses\": {},\n    \
+         \"peak_queue_depth\": {},\n    \
+         \"peak_inflight_bytes\": {}\n  }}",
+        s.received,
+        s.accepted,
+        s.shed_queue_full,
+        s.shed_inflight_bytes,
+        s.rejected_draining,
+        s.rejected_invalid,
+        s.expired_in_queue,
+        s.late_responses,
+        s.deadline_misses(),
+        s.panics_quarantined,
+        s.batches,
+        s.responses,
+        s.peak_queue_depth,
+        s.peak_inflight_bytes,
+    )
 }
 
 /// The `host` section of the metrics document: wall-clock latency
@@ -367,12 +412,14 @@ pub fn host_section_json(host: &HostTotals) -> String {
          \"wall_ns\": {},\n    \
          \"per_read_latency\": {},\n    \
          \"per_chunk_latency\": {},\n    \
+         \"per_request_latency\": {},\n    \
          \"workers\": {},\n    \
          \"trace_spans\": {},\n    \
          \"trace_spans_dropped\": {}\n  }}",
         host.wall_ns,
         histogram_json(&host.per_read),
         histogram_json(&host.per_chunk),
+        histogram_json(&host.per_request),
         workers_json,
         host.spans.len(),
         host.spans_dropped,
@@ -556,6 +603,40 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn service_section_reports_every_counter() {
+        let s = ServiceTelemetry {
+            received: 12,
+            accepted: 9,
+            shed_queue_full: 2,
+            shed_inflight_bytes: 1,
+            expired_in_queue: 1,
+            late_responses: 1,
+            panics_quarantined: 1,
+            batches: 3,
+            responses: 9,
+            peak_queue_depth: 6,
+            peak_inflight_bytes: 4_096,
+            ..ServiceTelemetry::default()
+        };
+        let json = service_section_json(&s);
+        for key in [
+            "\"received\": 12",
+            "\"shed_queue_full\": 2",
+            "\"shed_inflight_bytes\": 1",
+            "\"deadline_misses\": 2",
+            "\"panics_quarantined\": 1",
+            "\"peak_queue_depth\": 6",
+            "\"peak_inflight_bytes\": 4096",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // The quiet default still emits every field (stable schema).
+        let quiet = service_section_json(&ServiceTelemetry::default());
+        assert!(quiet.contains("\"received\": 0"));
+        assert!(quiet.contains("\"deadline_misses\": 0"));
     }
 
     #[test]

@@ -68,6 +68,83 @@ impl FaultTelemetry {
     }
 }
 
+/// Service-layer robustness telemetry (DESIGN.md §13): what the
+/// `pimserve` admission queue, deadline enforcement, panic quarantine
+/// and drain machinery did over a serving run.
+///
+/// All-zero for one-shot CLI runs — the counters only move when requests
+/// flow through the service layer. Kept separate from [`FaultTelemetry`]
+/// (simulated device faults) and [`HostTotals`] (wall-clock latencies):
+/// these are *control-plane decisions*, deterministic given an arrival
+/// sequence, and the metrics JSON emits them under their own `service`
+/// section so SLO enforcement is measurable rather than aspirational.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceTelemetry {
+    /// Align requests that reached admission control.
+    pub received: u64,
+    /// Requests admitted into the bounded queue.
+    pub accepted: u64,
+    /// Requests shed because the queue was at its depth limit.
+    pub shed_queue_full: u64,
+    /// Requests shed because in-flight payload bytes hit their limit.
+    pub shed_inflight_bytes: u64,
+    /// Requests rejected because the server was draining.
+    pub rejected_draining: u64,
+    /// Requests rejected as malformed before admission.
+    pub rejected_invalid: u64,
+    /// Accepted requests whose deadline expired while queued — dropped
+    /// before batching and answered with a typed deadline error.
+    pub expired_in_queue: u64,
+    /// Requests aligned to completion but answered after their deadline
+    /// (the work was already in flight when the deadline passed).
+    pub late_responses: u64,
+    /// Reads quarantined by `catch_unwind` into typed error responses.
+    pub panics_quarantined: u64,
+    /// `align_chunk_parallel` calls issued by the batcher.
+    pub batches: u64,
+    /// Responses written (every accepted request gets exactly one).
+    pub responses: u64,
+    /// High-water mark of the admission queue depth.
+    pub peak_queue_depth: u64,
+    /// High-water mark of in-flight payload bytes.
+    pub peak_inflight_bytes: u64,
+}
+
+impl ServiceTelemetry {
+    /// Adds `other`'s counts into `self`; peaks take the maximum.
+    pub fn merge(&mut self, other: &ServiceTelemetry) {
+        self.received += other.received;
+        self.accepted += other.accepted;
+        self.shed_queue_full += other.shed_queue_full;
+        self.shed_inflight_bytes += other.shed_inflight_bytes;
+        self.rejected_draining += other.rejected_draining;
+        self.rejected_invalid += other.rejected_invalid;
+        self.expired_in_queue += other.expired_in_queue;
+        self.late_responses += other.late_responses;
+        self.panics_quarantined += other.panics_quarantined;
+        self.batches += other.batches;
+        self.responses += other.responses;
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+        self.peak_inflight_bytes = self.peak_inflight_bytes.max(other.peak_inflight_bytes);
+    }
+
+    /// Requests rejected by load shedding (either limit).
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full + self.shed_inflight_bytes
+    }
+
+    /// Requests that missed their deadline, whether dropped in the
+    /// queue or answered late.
+    pub fn deadline_misses(&self) -> u64 {
+        self.expired_in_queue + self.late_responses
+    }
+
+    /// `true` when no request ever touched the service layer.
+    pub fn is_quiet(&self) -> bool {
+        *self == ServiceTelemetry::default()
+    }
+}
+
 /// The performance report of one alignment batch — throughput, power and
 /// the utilisation ratios of Fig. 10.
 ///
@@ -125,6 +202,9 @@ pub struct PerfReport {
     /// under its own `host` section in the metrics JSON. Default-empty
     /// for callers that never measured wall time.
     pub host: HostTotals,
+    /// Service-layer admission/deadline/panic/drain counters
+    /// (all-zero outside `pimserve` runs).
+    pub service: ServiceTelemetry,
 }
 
 impl PerfReport {
@@ -199,6 +279,7 @@ impl PerfReport {
             faults: FaultTelemetry::default(),
             breakdown: MetricsBreakdown::from_ledger(config, ledger, lfm_calls),
             host: HostTotals::default(),
+            service: ServiceTelemetry::default(),
         }
     }
 
@@ -341,6 +422,38 @@ mod tests {
         let g1 = t[1] / t[0];
         let g3 = t[3] / t[2];
         assert!(g3 < g1, "gains must diminish: {t:?}");
+    }
+
+    #[test]
+    fn service_telemetry_merges_counters_and_peaks() {
+        let mut a = ServiceTelemetry {
+            received: 10,
+            accepted: 8,
+            shed_queue_full: 1,
+            shed_inflight_bytes: 1,
+            expired_in_queue: 2,
+            late_responses: 1,
+            responses: 8,
+            peak_queue_depth: 4,
+            peak_inflight_bytes: 1_000,
+            ..ServiceTelemetry::default()
+        };
+        let b = ServiceTelemetry {
+            received: 5,
+            accepted: 5,
+            responses: 5,
+            peak_queue_depth: 7,
+            peak_inflight_bytes: 500,
+            ..ServiceTelemetry::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.received, 15);
+        assert_eq!(a.shed_total(), 2);
+        assert_eq!(a.deadline_misses(), 3);
+        assert_eq!(a.peak_queue_depth, 7, "peaks take the max");
+        assert_eq!(a.peak_inflight_bytes, 1_000);
+        assert!(!a.is_quiet());
+        assert!(ServiceTelemetry::default().is_quiet());
     }
 
     #[test]

@@ -1,0 +1,722 @@
+//! The `pimserve` wire protocol: length-prefixed frames with typed
+//! request/response payloads (DESIGN.md §13.1).
+//!
+//! The vendor tree is offline — no HTTP stack — so the daemon speaks a
+//! hand-rolled binary protocol over plain TCP. Every message is one
+//! *frame*: a big-endian `u32` payload length followed by that many
+//! payload bytes, capped at [`MAX_FRAME_BYTES`] so a corrupt or hostile
+//! length prefix cannot make the server allocate unbounded memory.
+//!
+//! Request payloads start with a one-byte opcode (`Align`/`Drain`/
+//! `Stats`); response payloads start with the echoed `req_id` followed
+//! by a one-byte status. Responses may arrive out of order relative to
+//! pipelined requests — the `req_id` is the correlation key — which is
+//! what lets the batcher answer whole coalesced batches without
+//! per-connection ordering barriers.
+//!
+//! Both sides of the conversation (server, `loadgen`, tests) share the
+//! encoders/decoders here, so a framing change cannot silently desync
+//! them.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on one frame's payload size. Large enough for any plausible
+/// read (reference chunks never travel over this protocol), small enough
+/// that a garbage length prefix fails fast instead of OOMing the server.
+pub const MAX_FRAME_BYTES: usize = 4 << 20;
+
+/// Opcode bytes (first payload byte of every request).
+const OP_ALIGN: u8 = 1;
+const OP_DRAIN: u8 = 2;
+const OP_STATS: u8 = 3;
+
+/// Status bytes (ninth payload byte of every response, after `req_id`).
+const ST_ALIGNED: u8 = 0;
+const ST_OVERLOADED: u8 = 1;
+const ST_DEADLINE: u8 = 2;
+const ST_INVALID: u8 = 3;
+const ST_PANIC: u8 = 4;
+const ST_DRAINING: u8 = 5;
+const ST_DRAIN_STARTED: u8 = 6;
+const ST_STATS: u8 = 7;
+
+/// A malformed frame payload (unknown opcode/status, truncated fields,
+/// bad UTF-8). The connection that produced it is answered with a typed
+/// `Invalid` response or closed; the server never panics on wire input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    message: String,
+}
+
+impl ProtocolError {
+    fn new(message: impl Into<String>) -> ProtocolError {
+        ProtocolError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.message)
+    }
+}
+
+impl Error for ProtocolError {}
+
+/// One alignment request: the client-chosen correlation id, a relative
+/// deadline (0 = none; the server may impose its own default), the read
+/// id (diagnostics and test-fault hooks) and the read sequence as text
+/// (the server parses and rejects invalid bases with a typed response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignRequest {
+    /// Client-chosen correlation id, echoed on the response.
+    pub req_id: u64,
+    /// Relative deadline in milliseconds from admission; 0 = none.
+    pub deadline_ms: u32,
+    /// Read identifier (shown in diagnostics; not interpreted, except by
+    /// the opt-in test-fault hooks).
+    pub id: String,
+    /// The read sequence, A/C/G/T text.
+    pub seq: String,
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Align one read.
+    Align(AlignRequest),
+    /// Begin graceful drain: stop admissions, flush in-flight requests,
+    /// then shut the server down.
+    Drain {
+        /// Correlation id for the `DrainStarted` acknowledgement.
+        req_id: u64,
+    },
+    /// Snapshot the service counters as JSON.
+    Stats {
+        /// Correlation id for the `Stats` response.
+        req_id: u64,
+    },
+}
+
+/// Why admission control shed a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded queue was at its depth limit.
+    QueueDepth,
+    /// In-flight payload bytes were at their limit.
+    InflightBytes,
+}
+
+/// The alignment outcome carried by an `Aligned` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlignStatus {
+    /// The read mapped at the given 0-based reference positions.
+    Mapped {
+        /// `true` when the reverse complement mapped.
+        reverse: bool,
+        /// Differences tolerated by the stage that found it (0 = exact).
+        diffs: u8,
+        /// Matching 0-based reference positions.
+        positions: Vec<u64>,
+    },
+    /// No placement within the configured difference budget.
+    Unmapped,
+}
+
+/// A server response, correlated to its request by `req_id`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The read was aligned (possibly to "unmapped" — that is still a
+    /// successful service outcome).
+    Aligned {
+        /// Echoed correlation id.
+        req_id: u64,
+        /// The alignment outcome.
+        status: AlignStatus,
+    },
+    /// Load-shed at admission; retry after the hinted backoff.
+    Overloaded {
+        /// Echoed correlation id.
+        req_id: u64,
+        /// Suggested client backoff before retrying.
+        retry_after_ms: u32,
+        /// Which limit shed the request.
+        reason: ShedReason,
+    },
+    /// The deadline expired while the request waited in the queue.
+    DeadlineExceeded {
+        /// Echoed correlation id.
+        req_id: u64,
+    },
+    /// The request was malformed (bad sequence, bad frame).
+    Invalid {
+        /// Echoed correlation id (0 when the frame was too corrupt to
+        /// carry one).
+        req_id: u64,
+        /// Human-readable diagnostic.
+        message: String,
+    },
+    /// The read's alignment panicked; the read is quarantined and the
+    /// worker pool is still alive.
+    WorkerPanic {
+        /// Echoed correlation id.
+        req_id: u64,
+        /// Human-readable diagnostic.
+        message: String,
+    },
+    /// Rejected because the server is draining.
+    Draining {
+        /// Echoed correlation id.
+        req_id: u64,
+    },
+    /// Acknowledges a `Drain` request: admissions are stopped.
+    DrainStarted {
+        /// Echoed correlation id.
+        req_id: u64,
+    },
+    /// Service counter snapshot.
+    Stats {
+        /// Echoed correlation id.
+        req_id: u64,
+        /// The `service` metrics section as JSON.
+        json: String,
+    },
+}
+
+impl Response {
+    /// The correlation id this response answers.
+    pub fn req_id(&self) -> u64 {
+        match *self {
+            Response::Aligned { req_id, .. }
+            | Response::Overloaded { req_id, .. }
+            | Response::DeadlineExceeded { req_id }
+            | Response::Invalid { req_id, .. }
+            | Response::WorkerPanic { req_id, .. }
+            | Response::Draining { req_id }
+            | Response::DrainStarted { req_id }
+            | Response::Stats { req_id, .. } => req_id,
+        }
+    }
+}
+
+/// Writes one frame (length prefix + payload).
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads over [`MAX_FRAME_BYTES`] as
+/// [`io::ErrorKind::InvalidInput`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame payload {} exceeds cap {MAX_FRAME_BYTES}",
+                payload.len()
+            ),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame payload; `Ok(None)` on clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// Propagates I/O errors; an EOF mid-frame is
+/// [`io::ErrorKind::UnexpectedEof`]; a length prefix over
+/// [`MAX_FRAME_BYTES`] is [`io::ErrorKind::InvalidData`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf)? {
+        0 => return Ok(None),
+        n => r.read_exact(&mut len_buf[n..])?,
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_FRAME_BYTES}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Little cursor over a payload slice for the decoders.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| ProtocolError::new("truncated payload"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtocolError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self, len: usize) -> Result<String, ProtocolError> {
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| ProtocolError::new("non-UTF-8 string field"))
+    }
+
+    fn finish(&self) -> Result<(), ProtocolError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtocolError::new("trailing bytes after payload"))
+        }
+    }
+}
+
+/// Encodes a request payload (frame it with [`write_frame`]).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Align(a) => {
+            out.push(OP_ALIGN);
+            out.extend_from_slice(&a.req_id.to_be_bytes());
+            out.extend_from_slice(&a.deadline_ms.to_be_bytes());
+            out.extend_from_slice(&(a.id.len() as u16).to_be_bytes());
+            out.extend_from_slice(a.id.as_bytes());
+            out.extend_from_slice(&(a.seq.len() as u32).to_be_bytes());
+            out.extend_from_slice(a.seq.as_bytes());
+        }
+        Request::Drain { req_id } => {
+            out.push(OP_DRAIN);
+            out.extend_from_slice(&req_id.to_be_bytes());
+        }
+        Request::Stats { req_id } => {
+            out.push(OP_STATS);
+            out.extend_from_slice(&req_id.to_be_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a request payload.
+///
+/// # Errors
+///
+/// [`ProtocolError`] on unknown opcodes, truncated fields, oversized
+/// declared lengths, bad UTF-8 or trailing garbage.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
+    let mut c = Cursor::new(payload);
+    let req = match c.u8()? {
+        OP_ALIGN => {
+            let req_id = c.u64()?;
+            let deadline_ms = c.u32()?;
+            let id_len = c.u16()? as usize;
+            let id = c.string(id_len)?;
+            let seq_len = c.u32()? as usize;
+            let seq = c.string(seq_len)?;
+            Request::Align(AlignRequest {
+                req_id,
+                deadline_ms,
+                id,
+                seq,
+            })
+        }
+        OP_DRAIN => Request::Drain { req_id: c.u64()? },
+        OP_STATS => Request::Stats { req_id: c.u64()? },
+        op => return Err(ProtocolError::new(format!("unknown opcode {op}"))),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+fn shed_reason_byte(reason: ShedReason) -> u8 {
+    match reason {
+        ShedReason::QueueDepth => 0,
+        ShedReason::InflightBytes => 1,
+    }
+}
+
+/// Encodes a response payload (frame it with [`write_frame`]).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&resp.req_id().to_be_bytes());
+    match resp {
+        Response::Aligned { status, .. } => {
+            out.push(ST_ALIGNED);
+            match status {
+                AlignStatus::Mapped {
+                    reverse,
+                    diffs,
+                    positions,
+                } => {
+                    out.push(1);
+                    out.push(u8::from(*reverse));
+                    out.push(*diffs);
+                    out.extend_from_slice(&(positions.len() as u32).to_be_bytes());
+                    for p in positions {
+                        out.extend_from_slice(&p.to_be_bytes());
+                    }
+                }
+                AlignStatus::Unmapped => out.push(0),
+            }
+        }
+        Response::Overloaded {
+            retry_after_ms,
+            reason,
+            ..
+        } => {
+            out.push(ST_OVERLOADED);
+            out.extend_from_slice(&retry_after_ms.to_be_bytes());
+            out.push(shed_reason_byte(*reason));
+        }
+        Response::DeadlineExceeded { .. } => out.push(ST_DEADLINE),
+        Response::Invalid { message, .. } => {
+            out.push(ST_INVALID);
+            out.extend_from_slice(&(message.len() as u16).to_be_bytes());
+            out.extend_from_slice(message.as_bytes());
+        }
+        Response::WorkerPanic { message, .. } => {
+            out.push(ST_PANIC);
+            out.extend_from_slice(&(message.len() as u16).to_be_bytes());
+            out.extend_from_slice(message.as_bytes());
+        }
+        Response::Draining { .. } => out.push(ST_DRAINING),
+        Response::DrainStarted { .. } => out.push(ST_DRAIN_STARTED),
+        Response::Stats { json, .. } => {
+            out.push(ST_STATS);
+            out.extend_from_slice(&(json.len() as u32).to_be_bytes());
+            out.extend_from_slice(json.as_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a response payload.
+///
+/// # Errors
+///
+/// [`ProtocolError`] on unknown status bytes, truncated fields, bad
+/// UTF-8 or trailing garbage.
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
+    let mut c = Cursor::new(payload);
+    let req_id = c.u64()?;
+    let resp = match c.u8()? {
+        ST_ALIGNED => {
+            let status = match c.u8()? {
+                0 => AlignStatus::Unmapped,
+                1 => {
+                    let reverse = c.u8()? != 0;
+                    let diffs = c.u8()?;
+                    let n = c.u32()? as usize;
+                    let mut positions = Vec::with_capacity(n.min(4_096));
+                    for _ in 0..n {
+                        positions.push(c.u64()?);
+                    }
+                    AlignStatus::Mapped {
+                        reverse,
+                        diffs,
+                        positions,
+                    }
+                }
+                k => return Err(ProtocolError::new(format!("unknown mapped flag {k}"))),
+            };
+            Response::Aligned { req_id, status }
+        }
+        ST_OVERLOADED => {
+            let retry_after_ms = c.u32()?;
+            let reason = match c.u8()? {
+                0 => ShedReason::QueueDepth,
+                1 => ShedReason::InflightBytes,
+                r => return Err(ProtocolError::new(format!("unknown shed reason {r}"))),
+            };
+            Response::Overloaded {
+                req_id,
+                retry_after_ms,
+                reason,
+            }
+        }
+        ST_DEADLINE => Response::DeadlineExceeded { req_id },
+        ST_INVALID => {
+            let len = c.u16()? as usize;
+            Response::Invalid {
+                req_id,
+                message: c.string(len)?,
+            }
+        }
+        ST_PANIC => {
+            let len = c.u16()? as usize;
+            Response::WorkerPanic {
+                req_id,
+                message: c.string(len)?,
+            }
+        }
+        ST_DRAINING => Response::Draining { req_id },
+        ST_DRAIN_STARTED => Response::DrainStarted { req_id },
+        ST_STATS => {
+            let len = c.u32()? as usize;
+            Response::Stats {
+                req_id,
+                json: c.string(len)?,
+            }
+        }
+        st => return Err(ProtocolError::new(format!("unknown status {st}"))),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+/// A blocking client for the `pimserve` protocol, shared by `loadgen`,
+/// the CI smoke and the integration tests. One client owns one TCP
+/// connection; requests may be pipelined (send several, then receive)
+/// and responses are correlated by `req_id`.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Sends one request (non-blocking on the response).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        write_frame(&mut self.stream, &encode_request(req))
+    }
+
+    /// Receives one response; `Ok(None)` when the server closed the
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a malformed response payload surfaces as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn recv(&mut self) -> io::Result<Option<Response>> {
+        match read_frame(&mut self.stream)? {
+            None => Ok(None),
+            Some(payload) => decode_response(&payload)
+                .map(Some)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+        }
+    }
+
+    /// One blocking align round trip. Assumes no other request is in
+    /// flight on this connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; an unexpected server close is
+    /// [`io::ErrorKind::UnexpectedEof`].
+    pub fn align(
+        &mut self,
+        req_id: u64,
+        id: &str,
+        seq: &str,
+        deadline_ms: u32,
+    ) -> io::Result<Response> {
+        self.send(&Request::Align(AlignRequest {
+            req_id,
+            deadline_ms,
+            id: id.to_owned(),
+            seq: seq.to_owned(),
+        }))?;
+        self.recv()?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-request")
+        })
+    }
+
+    /// Requests a graceful drain and waits for the acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn drain(&mut self, req_id: u64) -> io::Result<Option<Response>> {
+        self.send(&Request::Drain { req_id })?;
+        self.recv()
+    }
+
+    /// A second handle on the same connection (e.g. a dedicated receiver
+    /// thread while this one keeps sending).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn try_clone(&self) -> io::Result<Client> {
+        Ok(Client {
+            stream: self.stream.try_clone()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let decoded = decode_request(&encode_request(&req)).expect("decodes");
+        assert_eq!(decoded, req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let decoded = decode_response(&encode_response(&resp)).expect("decodes");
+        assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Align(AlignRequest {
+            req_id: 42,
+            deadline_ms: 250,
+            id: "read-1".to_owned(),
+            seq: "ACGTACGT".to_owned(),
+        }));
+        round_trip_request(Request::Align(AlignRequest {
+            req_id: u64::MAX,
+            deadline_ms: 0,
+            id: String::new(),
+            seq: "A".to_owned(),
+        }));
+        round_trip_request(Request::Drain { req_id: 7 });
+        round_trip_request(Request::Stats { req_id: 8 });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Aligned {
+            req_id: 1,
+            status: AlignStatus::Mapped {
+                reverse: true,
+                diffs: 2,
+                positions: vec![0, 17, u64::MAX],
+            },
+        });
+        round_trip_response(Response::Aligned {
+            req_id: 2,
+            status: AlignStatus::Unmapped,
+        });
+        round_trip_response(Response::Overloaded {
+            req_id: 3,
+            retry_after_ms: 40,
+            reason: ShedReason::QueueDepth,
+        });
+        round_trip_response(Response::Overloaded {
+            req_id: 4,
+            retry_after_ms: 1,
+            reason: ShedReason::InflightBytes,
+        });
+        round_trip_response(Response::DeadlineExceeded { req_id: 5 });
+        round_trip_response(Response::Invalid {
+            req_id: 6,
+            message: "bad base 'N'".to_owned(),
+        });
+        round_trip_response(Response::WorkerPanic {
+            req_id: 7,
+            message: "poisoned read".to_owned(),
+        });
+        round_trip_response(Response::Draining { req_id: 8 });
+        round_trip_response(Response::DrainStarted { req_id: 9 });
+        round_trip_response(Response::Stats {
+            req_id: 10,
+            json: "{\"received\": 3}".to_owned(),
+        });
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_request(&[]).is_err(), "empty payload");
+        assert!(decode_request(&[99]).is_err(), "unknown opcode");
+        assert!(decode_response(&[0; 8]).is_err(), "missing status byte");
+        assert!(
+            decode_response(&[0, 0, 0, 0, 0, 0, 0, 0, 200]).is_err(),
+            "unknown status"
+        );
+        // Truncated declared length.
+        let mut p = encode_request(&Request::Align(AlignRequest {
+            req_id: 1,
+            deadline_ms: 0,
+            id: "r".to_owned(),
+            seq: "ACGT".to_owned(),
+        }));
+        p.truncate(p.len() - 2);
+        assert!(decode_request(&p).is_err(), "truncated sequence");
+        // Trailing garbage.
+        let mut p = encode_request(&Request::Drain { req_id: 1 });
+        p.push(0);
+        assert!(decode_request(&p).is_err(), "trailing byte");
+    }
+
+    #[test]
+    fn frames_round_trip_and_eof_is_clean_only_at_boundary() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = wire.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+
+        // EOF mid-frame is an error, not a silent truncation.
+        let mut torn = Vec::new();
+        write_frame(&mut torn, b"abcdef").unwrap();
+        torn.truncate(torn.len() - 3);
+        let mut r = torn.as_slice();
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_both_ways() {
+        let big = vec![0u8; MAX_FRAME_BYTES + 1];
+        let mut sink = Vec::new();
+        assert_eq!(
+            write_frame(&mut sink, &big).unwrap_err().kind(),
+            io::ErrorKind::InvalidInput
+        );
+        // A hostile length prefix is rejected before any allocation.
+        let wire = u32::MAX.to_be_bytes();
+        let mut r = &wire[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+}

@@ -1,0 +1,349 @@
+//! The bounded admission queue behind `pimserve` (DESIGN.md §13.2).
+//!
+//! Admission control is the robustness core of the service: every
+//! accepted request charges its payload bytes against an in-flight
+//! budget and occupies one slot of a bounded queue. When either limit
+//! is hit the request is *shed* — a fast typed rejection with a
+//! retry-after hint — instead of growing server memory without bound.
+//! The two limits fail differently on purpose: queue depth bounds
+//! *latency* (a deep queue is a deadline-miss factory), in-flight bytes
+//! bound *memory* (a few giant reads can be worth a thousand small
+//! ones).
+//!
+//! The queue is also the batcher's arrival-rate sensor: an EWMA of
+//! accepted inter-arrival times lets [`AdmissionQueue::take_batch`]
+//! linger briefly for more arrivals when traffic is dense (bigger
+//! coalesced batches amortise the parallel-region overhead) and hand
+//! out singletons immediately when traffic is sparse (no idle latency
+//! tax).
+//!
+//! The queue is generic over the queued item so it unit-tests without a
+//! socket in sight; the server queues its pending-request records.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long `take_batch` is willing to linger for more arrivals when
+/// the arrival rate suggests a fuller batch is imminent.
+const LINGER_WINDOW: Duration = Duration::from_millis(2);
+
+/// Condvar re-check slice while lingering or idle.
+const WAIT_SLICE: Duration = Duration::from_millis(1);
+
+/// EWMA smoothing factor for accepted inter-arrival times.
+const EWMA_ALPHA: f64 = 0.2;
+
+/// The admission limits and shed hint for a queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueLimits {
+    /// Maximum queued (admitted, not yet batched) requests.
+    pub depth: usize,
+    /// Maximum payload bytes admitted but not yet answered.
+    pub max_inflight_bytes: usize,
+    /// Base of the retry-after hint returned with shed rejections.
+    pub retry_after_base_ms: u32,
+}
+
+/// Admission verdict for one offered item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// Accepted: the item is queued and its bytes are charged until
+    /// [`AdmissionQueue::release`].
+    Accepted,
+    /// Shed: the queue is at its depth limit.
+    ShedDepth {
+        /// Suggested client backoff.
+        retry_after_ms: u32,
+    },
+    /// Shed: the in-flight byte budget is exhausted.
+    ShedBytes {
+        /// Suggested client backoff.
+        retry_after_ms: u32,
+    },
+    /// Rejected: the server is draining and admits nothing new.
+    Draining,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    queue: VecDeque<(T, usize)>,
+    inflight_bytes: usize,
+    draining: bool,
+    peak_depth: usize,
+    peak_inflight_bytes: usize,
+    ewma_interarrival_ns: f64,
+    last_arrival: Option<Instant>,
+}
+
+/// A bounded, drain-aware MPSC admission queue with byte accounting and
+/// an arrival-rate-adaptive batch take.
+#[derive(Debug)]
+pub struct AdmissionQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    limits: QueueLimits,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// An empty queue with the given limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` or `max_inflight_bytes` is zero — a zero-size
+    /// queue admits nothing and is a configuration error the CLI layer
+    /// must reject first.
+    pub fn new(limits: QueueLimits) -> AdmissionQueue<T> {
+        assert!(limits.depth > 0, "queue depth must be positive");
+        assert!(
+            limits.max_inflight_bytes > 0,
+            "in-flight byte budget must be positive"
+        );
+        AdmissionQueue {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                inflight_bytes: 0,
+                draining: false,
+                peak_depth: 0,
+                peak_inflight_bytes: 0,
+                ewma_interarrival_ns: 0.0,
+                last_arrival: None,
+            }),
+            ready: Condvar::new(),
+            limits,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        // The mutex only guards plain data updates; a poisoned lock
+        // means a panic mid-update, which the service treats as fatal.
+        self.state.lock().expect("admission queue lock poisoned")
+    }
+
+    /// Backoff hint scaled by how saturated admission currently is.
+    fn retry_after_ms(&self, s: &State<T>) -> u32 {
+        let base = self.limits.retry_after_base_ms.max(1);
+        let depth_pressure = (s.queue.len() / self.limits.depth.max(1)) as u32;
+        let byte_pressure = (s.inflight_bytes / self.limits.max_inflight_bytes.max(1)) as u32;
+        base * (1 + depth_pressure + byte_pressure)
+    }
+
+    /// Offers one item costing `cost_bytes` of the in-flight budget.
+    /// Anything but [`Admit::Accepted`] means the item was NOT queued
+    /// and nothing was charged.
+    pub fn offer(&self, item: T, cost_bytes: usize) -> Admit {
+        let mut s = self.lock();
+        if s.draining {
+            return Admit::Draining;
+        }
+        if s.queue.len() >= self.limits.depth {
+            return Admit::ShedDepth {
+                retry_after_ms: self.retry_after_ms(&s),
+            };
+        }
+        if s.inflight_bytes.saturating_add(cost_bytes) > self.limits.max_inflight_bytes {
+            return Admit::ShedBytes {
+                retry_after_ms: self.retry_after_ms(&s),
+            };
+        }
+        let now = Instant::now();
+        if let Some(last) = s.last_arrival {
+            let gap = now.duration_since(last).as_nanos() as f64;
+            s.ewma_interarrival_ns = if s.ewma_interarrival_ns == 0.0 {
+                gap
+            } else {
+                EWMA_ALPHA * gap + (1.0 - EWMA_ALPHA) * s.ewma_interarrival_ns
+            };
+        }
+        s.last_arrival = Some(now);
+        s.queue.push_back((item, cost_bytes));
+        s.inflight_bytes += cost_bytes;
+        s.peak_depth = s.peak_depth.max(s.queue.len());
+        s.peak_inflight_bytes = s.peak_inflight_bytes.max(s.inflight_bytes);
+        drop(s);
+        self.ready.notify_one();
+        Admit::Accepted
+    }
+
+    /// Expected arrivals within the linger window at the current EWMA
+    /// rate, clamped to `[1, batch_max]`.
+    fn adaptive_target(&self, s: &State<T>, batch_max: usize) -> usize {
+        if s.ewma_interarrival_ns <= 0.0 {
+            return 1;
+        }
+        let expected = LINGER_WINDOW.as_nanos() as f64 / s.ewma_interarrival_ns;
+        (expected as usize).clamp(1, batch_max)
+    }
+
+    /// Takes the next batch (up to `batch_max` items), blocking until at
+    /// least one item is available. Under dense arrivals it lingers up
+    /// to [`LINGER_WINDOW`] waiting for the adaptive target to fill;
+    /// under sparse arrivals it returns singletons immediately. Returns
+    /// `None` exactly once the queue is draining *and* empty — the
+    /// batcher's signal to flush and exit.
+    pub fn take_batch(&self, batch_max: usize) -> Option<Vec<T>> {
+        let batch_max = batch_max.max(1);
+        let mut s = self.lock();
+        loop {
+            if s.queue.is_empty() {
+                if s.draining {
+                    return None;
+                }
+                let (next, _) = self
+                    .ready
+                    .wait_timeout(s, WAIT_SLICE)
+                    .expect("admission queue lock poisoned");
+                s = next;
+                continue;
+            }
+            let target = self.adaptive_target(&s, batch_max);
+            let linger_deadline = Instant::now() + LINGER_WINDOW;
+            while s.queue.len() < target && !s.draining && Instant::now() < linger_deadline {
+                let (next, _) = self
+                    .ready
+                    .wait_timeout(s, WAIT_SLICE)
+                    .expect("admission queue lock poisoned");
+                s = next;
+            }
+            let n = s.queue.len().min(batch_max);
+            let batch = s.queue.drain(..n).map(|(item, _)| item).collect();
+            return Some(batch);
+        }
+    }
+
+    /// Returns `cost_bytes` to the in-flight budget once the item's
+    /// response has been written.
+    pub fn release(&self, cost_bytes: usize) {
+        let mut s = self.lock();
+        s.inflight_bytes = s.inflight_bytes.saturating_sub(cost_bytes);
+    }
+
+    /// Stops admissions; queued items still drain through `take_batch`.
+    pub fn begin_drain(&self) {
+        self.lock().draining = true;
+        self.ready.notify_all();
+    }
+
+    /// `true` once [`AdmissionQueue::begin_drain`] has run.
+    pub fn is_draining(&self) -> bool {
+        self.lock().draining
+    }
+
+    /// Currently queued items.
+    pub fn depth(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Currently charged in-flight bytes.
+    pub fn inflight_bytes(&self) -> usize {
+        self.lock().inflight_bytes
+    }
+
+    /// High-water marks `(queue depth, in-flight bytes)` over the
+    /// queue's lifetime.
+    pub fn peaks(&self) -> (usize, usize) {
+        let s = self.lock();
+        (s.peak_depth, s.peak_inflight_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn limits(depth: usize, bytes: usize) -> QueueLimits {
+        QueueLimits {
+            depth,
+            max_inflight_bytes: bytes,
+            retry_after_base_ms: 10,
+        }
+    }
+
+    #[test]
+    fn sheds_at_depth_limit_with_retry_hint() {
+        let q = AdmissionQueue::new(limits(2, 1_000));
+        assert_eq!(q.offer("a", 1), Admit::Accepted);
+        assert_eq!(q.offer("b", 1), Admit::Accepted);
+        match q.offer("c", 1) {
+            Admit::ShedDepth { retry_after_ms } => {
+                assert!(retry_after_ms >= 10, "hint {retry_after_ms}")
+            }
+            other => panic!("expected depth shed, got {other:?}"),
+        }
+        assert_eq!(q.depth(), 2, "shed items are never queued");
+    }
+
+    #[test]
+    fn sheds_at_byte_limit_and_release_restores_budget() {
+        let q = AdmissionQueue::new(limits(10, 100));
+        assert_eq!(q.offer("big", 80), Admit::Accepted);
+        assert!(matches!(q.offer("too-much", 30), Admit::ShedBytes { .. }));
+        // A smaller item still fits under the remaining budget.
+        assert_eq!(q.offer("small", 20), Admit::Accepted);
+        assert_eq!(q.inflight_bytes(), 100);
+        // Taking a batch does NOT release bytes — responses do.
+        let batch = q.take_batch(10).unwrap();
+        assert_eq!(batch, vec!["big", "small"]);
+        assert_eq!(q.inflight_bytes(), 100);
+        q.release(80);
+        q.release(20);
+        assert_eq!(q.inflight_bytes(), 0);
+        assert_eq!(q.offer("next", 100), Admit::Accepted);
+        assert_eq!(q.peaks(), (2, 100));
+    }
+
+    #[test]
+    fn drain_rejects_new_but_flushes_queued() {
+        let q = AdmissionQueue::new(limits(10, 1_000));
+        assert_eq!(q.offer(1, 1), Admit::Accepted);
+        assert_eq!(q.offer(2, 1), Admit::Accepted);
+        q.begin_drain();
+        assert!(q.is_draining());
+        assert_eq!(q.offer(3, 1), Admit::Draining);
+        assert_eq!(q.take_batch(1).unwrap(), vec![1]);
+        assert_eq!(q.take_batch(8).unwrap(), vec![2]);
+        assert_eq!(q.take_batch(8), None, "drained and empty");
+        assert_eq!(q.take_batch(8), None, "None is sticky");
+    }
+
+    #[test]
+    fn take_batch_blocks_until_an_item_arrives() {
+        let q = Arc::new(AdmissionQueue::new(limits(4, 100)));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                assert_eq!(q.offer(99, 1), Admit::Accepted);
+            })
+        };
+        let start = Instant::now();
+        let batch = q.take_batch(4).unwrap();
+        assert_eq!(batch, vec![99]);
+        assert!(
+            start.elapsed() >= Duration::from_millis(10),
+            "take_batch returned before the producer ran"
+        );
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn dense_arrivals_coalesce_into_one_batch() {
+        // A burst queued before the take must come out as one batch,
+        // bounded by batch_max.
+        let q = AdmissionQueue::new(limits(64, 10_000));
+        for i in 0..10 {
+            assert_eq!(q.offer(i, 1), Admit::Accepted);
+        }
+        let batch = q.take_batch(8).unwrap();
+        assert_eq!(batch, (0..8).collect::<Vec<_>>());
+        let rest = q.take_batch(8).unwrap();
+        assert_eq!(rest, vec![8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_is_a_constructor_error() {
+        let _ = AdmissionQueue::<u8>::new(limits(0, 1));
+    }
+}

@@ -1,0 +1,601 @@
+//! The `pimserve` server core: acceptor, connection readers, adaptive
+//! batcher, panic quarantine and graceful drain (DESIGN.md §13.3–13.5).
+//!
+//! Thread topology (all blocking `std::net`; the vendor tree has no
+//! async runtime):
+//!
+//! * one **acceptor** polls the non-blocking listener and spawns a
+//!   reader thread per connection;
+//! * each **connection reader** decodes frames, runs admission control
+//!   and writes shed/invalid/drain responses inline — rejection never
+//!   waits behind alignment work;
+//! * one **batcher** owns all [`AlignSession`](crate::AlignSession)
+//!   state: it takes adaptive batches from the queue, drops queue-expired
+//!   deadlines, aligns the rest via
+//!   [`Platform::align_chunk_parallel`] inside `catch_unwind`, and
+//!   writes responses back through each request's connection.
+//!
+//! A batch that panics is retried read-by-read, each read in its own
+//! `catch_unwind` — only the poisoned read is answered with a typed
+//! `WorkerPanic`; every other in-flight read still gets its real
+//! outcome and the pool keeps serving. Drain (`Drain` opcode or
+//! [`ServerHandle::begin_drain`]) stops admissions, flushes everything
+//! already accepted, then stops the threads; [`ServerHandle::join`]
+//! returns a [`ServeSummary`] whose invariant — every accepted request
+//! answered exactly once — is pinned by the integration tests.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bioseq::DnaSeq;
+
+use crate::metrics::{service_section_json, METRICS_SCHEMA_VERSION};
+use crate::parallel::BatchTotals;
+use crate::platform::Platform;
+use crate::report::{PerfReport, ServiceTelemetry};
+use crate::{AlignmentOutcome, MappedStrand};
+
+use super::protocol::{
+    decode_request, encode_response, write_frame, AlignRequest, Request, Response, ShedReason,
+};
+use super::queue::{AdmissionQueue, Admit, QueueLimits};
+use super::{ServiceConfig, ServiceError};
+
+/// Read-timeout slice for connection readers; bounds how long a blocked
+/// reader takes to notice the stop flag.
+const READ_POLL: Duration = Duration::from_millis(25);
+
+/// Acceptor poll interval on the non-blocking listener.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Test-fault hook ids (active only with `ServiceConfig::test_faults`):
+/// a read with this id panics inside the batcher's unwind boundary.
+const FAULT_PANIC_ID: &str = "__panic__";
+/// Prefix for the stall hook: `__stall_ms_50__` sleeps the batcher 50 ms
+/// before aligning, letting tests saturate the queue deterministically.
+const FAULT_STALL_PREFIX: &str = "__stall_ms_";
+
+/// One admitted request waiting for the batcher.
+struct Pending {
+    req_id: u64,
+    read_id: String,
+    seq: DnaSeq,
+    cost_bytes: usize,
+    conn: Arc<ConnWriter>,
+    admitted: Instant,
+    deadline: Option<Instant>,
+}
+
+/// Serialised response writer for one connection. Cloned into every
+/// pending request so the batcher can answer out of order; writes are
+/// best-effort (a client that hung up still counts as answered — the
+/// server's obligation is to produce the response, not to force the
+/// client to read it).
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    fn send(&self, resp: &Response) {
+        let payload = encode_response(resp);
+        let mut stream = self.stream.lock().expect("connection writer poisoned");
+        let _ = write_frame(&mut *stream, &payload);
+    }
+}
+
+struct Shared {
+    platform: Platform,
+    config: ServiceConfig,
+    queue: AdmissionQueue<Pending>,
+    /// Set once the batcher has flushed everything after drain; tells
+    /// the acceptor and connection readers to exit.
+    stop: AtomicBool,
+    telemetry: Mutex<ServiceTelemetry>,
+}
+
+impl Shared {
+    fn tally(&self, f: impl FnOnce(&mut ServiceTelemetry)) {
+        f(&mut self.telemetry.lock().expect("telemetry lock poisoned"));
+    }
+
+    /// Current counters with live queue peaks folded in.
+    fn telemetry_snapshot(&self) -> ServiceTelemetry {
+        let mut t = *self.telemetry.lock().expect("telemetry lock poisoned");
+        let (depth, bytes) = self.queue.peaks();
+        t.peak_queue_depth = t.peak_queue_depth.max(depth as u64);
+        t.peak_inflight_bytes = t.peak_inflight_bytes.max(bytes as u64);
+        t
+    }
+}
+
+/// What a completed serving run did, returned by [`ServerHandle::join`].
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// Admission/deadline/panic/drain counters for the whole run.
+    pub telemetry: ServiceTelemetry,
+    /// The batch performance report over every read actually aligned;
+    /// `None` when the run aligned nothing (the simulated report is
+    /// undefined at zero queries).
+    pub report: Option<PerfReport>,
+}
+
+impl ServeSummary {
+    /// The final metrics document. With aligned work this is the full
+    /// [`PerfReport::to_metrics_json`] (service counters included);
+    /// with none, a reduced document that still carries the service
+    /// section — a drain must always account for what it admitted.
+    pub fn metrics_json(&self) -> String {
+        match &self.report {
+            Some(r) => r.to_metrics_json(),
+            None => format!(
+                "{{\n  \"schema_version\": {},\n  \"service\": {}\n}}\n",
+                METRICS_SCHEMA_VERSION,
+                service_section_json(&self.telemetry),
+            ),
+        }
+    }
+}
+
+/// A running `pimserve` instance: the listener address plus the handles
+/// needed to drain and join it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    batcher: Option<JoinHandle<ServeSummary>>,
+    acceptor: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound listener address (useful with port-0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Programmatic graceful drain — the in-process equivalent of the
+    /// protocol's `Drain` opcode (and of SIGTERM, which a dependency-free
+    /// binary cannot hook; see DESIGN.md §13.5). Idempotent.
+    pub fn begin_drain(&self) {
+        self.shared.queue.begin_drain();
+    }
+
+    /// Waits for the drain to complete and returns the run summary.
+    /// Blocks until someone initiates a drain ([`Self::begin_drain`] or
+    /// a client `Drain` request).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a service thread itself panicked — the batcher's
+    /// quarantine should make that impossible, so it is a bug worth
+    /// crashing on.
+    pub fn join(mut self) -> ServeSummary {
+        let summary = self
+            .batcher
+            .take()
+            .expect("join called once")
+            .join()
+            .expect("batcher thread panicked");
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor.join().expect("acceptor thread panicked");
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().expect("conn registry poisoned"));
+        for c in conns {
+            c.join().expect("connection thread panicked");
+        }
+        summary
+    }
+}
+
+/// Binds the service and starts its threads.
+///
+/// # Errors
+///
+/// [`ServiceError::InvalidConfig`] when the configuration fails
+/// validation; [`ServiceError::Bind`] when the listener cannot bind.
+pub fn serve(
+    platform: Platform,
+    config: ServiceConfig,
+    addr: &str,
+) -> Result<ServerHandle, ServiceError> {
+    config.validate()?;
+    let listener = TcpListener::bind(addr).map_err(|e| ServiceError::Bind {
+        addr: addr.to_owned(),
+        message: e.to_string(),
+    })?;
+    let local = listener.local_addr().map_err(|e| ServiceError::Bind {
+        addr: addr.to_owned(),
+        message: e.to_string(),
+    })?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| ServiceError::Bind {
+            addr: addr.to_owned(),
+            message: e.to_string(),
+        })?;
+
+    let shared = Arc::new(Shared {
+        platform,
+        queue: AdmissionQueue::new(QueueLimits {
+            depth: config.queue_depth,
+            max_inflight_bytes: config.max_inflight_bytes,
+            retry_after_base_ms: config.retry_after_base_ms,
+        }),
+        config,
+        stop: AtomicBool::new(false),
+        telemetry: Mutex::new(ServiceTelemetry::default()),
+    });
+
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let batcher = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("pimserve-batcher".into())
+            .spawn(move || batcher_loop(&shared))
+            .expect("spawn batcher thread")
+    };
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let conns = Arc::clone(&conns);
+        std::thread::Builder::new()
+            .name("pimserve-acceptor".into())
+            .spawn(move || acceptor_loop(&listener, &shared, &conns))
+            .expect("spawn acceptor thread")
+    };
+
+    Ok(ServerHandle {
+        addr: local,
+        shared,
+        batcher: Some(batcher),
+        acceptor: Some(acceptor),
+        conns,
+    })
+}
+
+fn acceptor_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("pimserve-conn".into())
+                    .spawn(move || connection_loop(&shared, stream))
+                    .expect("spawn connection thread");
+                conns.lock().expect("conn registry poisoned").push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// [`super::protocol::read_frame`] against a read-timeout socket:
+/// retries timeout slices until a frame arrives, the peer hangs up, or
+/// the stop flag is raised. `Ok(None)` covers the latter two — the
+/// caller exits either way.
+fn read_frame_interruptible(
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < len_buf.len() {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(None);
+        }
+        match stream.read(&mut len_buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None) // clean EOF at a frame boundary
+                } else {
+                    Err(io::ErrorKind::UnexpectedEof.into())
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > super::protocol::MAX_FRAME_BYTES {
+        return Err(io::ErrorKind::InvalidData.into());
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(None);
+        }
+        match stream.read(&mut payload[filled..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(payload))
+}
+
+fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(READ_POLL)).ok();
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(ConnWriter {
+            stream: Mutex::new(w),
+        }),
+        Err(_) => return,
+    };
+    let mut reader = stream;
+    loop {
+        match read_frame_interruptible(&mut reader, &shared.stop) {
+            Ok(Some(payload)) => handle_request(shared, &writer, &payload),
+            Ok(None) | Err(_) => return,
+        }
+    }
+}
+
+fn handle_request(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, payload: &[u8]) {
+    match decode_request(payload) {
+        Err(e) => {
+            shared.tally(|t| t.rejected_invalid += 1);
+            writer.send(&Response::Invalid {
+                req_id: 0,
+                message: e.to_string(),
+            });
+        }
+        Ok(Request::Stats { req_id }) => {
+            let json = service_section_json(&shared.telemetry_snapshot());
+            writer.send(&Response::Stats { req_id, json });
+        }
+        Ok(Request::Drain { req_id }) => {
+            shared.queue.begin_drain();
+            writer.send(&Response::DrainStarted { req_id });
+        }
+        Ok(Request::Align(req)) => admit_align(shared, writer, req),
+    }
+}
+
+fn admit_align(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, req: AlignRequest) {
+    shared.tally(|t| t.received += 1);
+    let seq: DnaSeq = match req.seq.parse() {
+        Ok(s) => s,
+        Err(e) => {
+            shared.tally(|t| t.rejected_invalid += 1);
+            writer.send(&Response::Invalid {
+                req_id: req.req_id,
+                message: format!("read {:?}: {e}", req.id),
+            });
+            return;
+        }
+    };
+    if seq.is_empty() {
+        shared.tally(|t| t.rejected_invalid += 1);
+        writer.send(&Response::Invalid {
+            req_id: req.req_id,
+            message: format!("read {:?}: empty sequence", req.id),
+        });
+        return;
+    }
+    let deadline_ms = if req.deadline_ms > 0 {
+        req.deadline_ms
+    } else {
+        shared.config.default_deadline_ms
+    };
+    let deadline =
+        (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(u64::from(deadline_ms)));
+    let cost_bytes = req.seq.len().max(1);
+    let pending = Pending {
+        req_id: req.req_id,
+        read_id: req.id,
+        seq,
+        cost_bytes,
+        conn: Arc::clone(writer),
+        admitted: Instant::now(),
+        deadline,
+    };
+    let req_id = pending.req_id;
+    match shared.queue.offer(pending, cost_bytes) {
+        Admit::Accepted => shared.tally(|t| t.accepted += 1),
+        Admit::ShedDepth { retry_after_ms } => {
+            shared.tally(|t| t.shed_queue_full += 1);
+            writer.send(&Response::Overloaded {
+                req_id,
+                retry_after_ms,
+                reason: ShedReason::QueueDepth,
+            });
+        }
+        Admit::ShedBytes { retry_after_ms } => {
+            shared.tally(|t| t.shed_inflight_bytes += 1);
+            writer.send(&Response::Overloaded {
+                req_id,
+                retry_after_ms,
+                reason: ShedReason::InflightBytes,
+            });
+        }
+        Admit::Draining => {
+            shared.tally(|t| t.rejected_draining += 1);
+            writer.send(&Response::Draining { req_id });
+        }
+    }
+}
+
+/// Writes one response to an *accepted* request: latency lands in the
+/// per-request histogram, the request's bytes return to the budget, and
+/// the answered-exactly-once counter moves.
+fn respond(shared: &Shared, totals: &mut BatchTotals, p: Pending, resp: &Response) {
+    let late =
+        matches!(resp, Response::Aligned { .. }) && p.deadline.is_some_and(|d| Instant::now() > d);
+    p.conn.send(resp);
+    totals
+        .host
+        .per_request
+        .record_ns(p.admitted.elapsed().as_nanos() as u64);
+    shared.queue.release(p.cost_bytes);
+    shared.tally(|t| {
+        t.responses += 1;
+        if late {
+            t.late_responses += 1;
+        }
+    });
+}
+
+fn aligned_response(req_id: u64, outcome: &AlignmentOutcome, strand: MappedStrand) -> Response {
+    use super::protocol::AlignStatus;
+    let status = match outcome {
+        AlignmentOutcome::Exact { positions } => AlignStatus::Mapped {
+            reverse: strand == MappedStrand::Reverse,
+            diffs: 0,
+            positions: positions.iter().map(|&p| p as u64).collect(),
+        },
+        AlignmentOutcome::Inexact { positions, diffs } => AlignStatus::Mapped {
+            reverse: strand == MappedStrand::Reverse,
+            diffs: *diffs,
+            positions: positions.iter().map(|&p| p as u64).collect(),
+        },
+        AlignmentOutcome::Unmapped => AlignStatus::Unmapped,
+    };
+    Response::Aligned { req_id, status }
+}
+
+fn batcher_loop(shared: &Arc<Shared>) -> ServeSummary {
+    let mut totals = BatchTotals::new();
+    let mut epoch: u64 = 0;
+    while let Some(batch) = shared.queue.take_batch(shared.config.batch_max) {
+        // Opt-in stall hook: lets tests hold the batcher busy while the
+        // queue saturates, deterministically.
+        if shared.config.test_faults {
+            for p in &batch {
+                if let Some(ms) = p
+                    .read_id
+                    .strip_prefix(FAULT_STALL_PREFIX)
+                    .and_then(|s| s.trim_end_matches('_').parse::<u64>().ok())
+                {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+            }
+        }
+        // Deadline gate: a request that expired while queued never
+        // reaches alignment.
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(batch.len());
+        for p in batch {
+            if p.deadline.is_some_and(|d| d <= now) {
+                shared.tally(|t| t.expired_in_queue += 1);
+                let resp = Response::DeadlineExceeded { req_id: p.req_id };
+                respond(shared, &mut totals, p, &resp);
+            } else {
+                live.push(p);
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+        epoch += 1;
+        align_batch(shared, &mut totals, live, epoch);
+    }
+    // Drained and flushed: release the acceptor and connection readers,
+    // then summarise.
+    shared.stop.store(true, Ordering::Relaxed);
+    let telemetry = shared.telemetry_snapshot();
+    let report = (totals.queries > 0).then(|| {
+        let mut report = shared.platform.batch_report(&totals);
+        report.service = telemetry;
+        report
+    });
+    ServeSummary { telemetry, report }
+}
+
+fn align_batch(shared: &Arc<Shared>, totals: &mut BatchTotals, live: Vec<Pending>, epoch: u64) {
+    shared.tally(|t| t.batches += 1);
+    let inject_panic =
+        shared.config.test_faults && live.iter().any(|p| p.read_id == FAULT_PANIC_ID);
+    let seqs: Vec<DnaSeq> = live.iter().map(|p| p.seq.clone()).collect();
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        if inject_panic {
+            panic!("injected worker fault");
+        }
+        shared.platform.align_chunk_parallel(
+            &seqs,
+            shared.config.threads,
+            epoch,
+            shared.config.both_strands,
+        )
+    }));
+    match attempt {
+        Ok(Ok((outcomes, batch_totals))) => {
+            totals.merge(&batch_totals);
+            for (p, (outcome, strand)) in live.into_iter().zip(outcomes) {
+                let resp = aligned_response(p.req_id, &outcome, strand);
+                respond(shared, totals, p, &resp);
+            }
+        }
+        // An AlignError cannot happen here (the batch is non-empty and
+        // threads were validated positive), but a typed response beats
+        // an unreachable!: treat it like a quarantined batch.
+        Ok(Err(_)) | Err(_) => {
+            for p in live {
+                align_one_quarantined(shared, totals, p, epoch);
+            }
+        }
+    }
+}
+
+/// Retries one read from a panicked batch inside its own unwind
+/// boundary. Only the read that actually panics is answered with a
+/// typed `WorkerPanic`; its neighbours still get real outcomes.
+fn align_one_quarantined(shared: &Arc<Shared>, totals: &mut BatchTotals, p: Pending, epoch: u64) {
+    let inject = shared.config.test_faults && p.read_id == FAULT_PANIC_ID;
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        if inject {
+            panic!("injected worker fault");
+        }
+        shared.platform.align_chunk_parallel(
+            std::slice::from_ref(&p.seq),
+            1,
+            epoch,
+            shared.config.both_strands,
+        )
+    }));
+    let resp = match attempt {
+        Ok(Ok((outcomes, batch_totals))) => {
+            totals.merge(&batch_totals);
+            let (outcome, strand) = &outcomes[0];
+            aligned_response(p.req_id, outcome, *strand)
+        }
+        Ok(Err(e)) => Response::WorkerPanic {
+            req_id: p.req_id,
+            message: format!("alignment error for read {:?}: {e}", p.read_id),
+        },
+        Err(_) => {
+            shared.tally(|t| t.panics_quarantined += 1);
+            Response::WorkerPanic {
+                req_id: p.req_id,
+                message: format!(
+                    "alignment panicked for read {:?}; read quarantined",
+                    p.read_id
+                ),
+            }
+        }
+    };
+    respond(shared, totals, p, &resp);
+}

@@ -95,13 +95,54 @@ fn report_progress(reads_done: u64, elapsed_s: f64, bytes_done: u64, bytes_total
     }
 }
 
+/// A CLI failure, classified so scripts can tell a typo (fix the
+/// command) from a bad input file (fix the data) from a runtime fault
+/// (look at the environment). Exit codes: usage = 2, input = 3,
+/// runtime = 4.
+enum CliError {
+    /// Bad flags or arguments.
+    Usage(String),
+    /// Unreadable or malformed input files.
+    Input(String),
+    /// A failure while the run was underway (write errors, alignment
+    /// errors).
+    Runtime(String),
+}
+
+impl CliError {
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Input(m) | CliError::Runtime(m) => m,
+        }
+    }
+
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Input(_) => 3,
+            CliError::Runtime(_) => 4,
+        }
+    }
+}
+
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("pimalign: {msg}");
-            ExitCode::from(2)
+        Err(e) => {
+            eprintln!("pimalign: {}", e.message());
+            ExitCode::from(e.exit_code())
         }
+    }
+}
+
+/// Maps one SAM write result: `Ok(true)` = written, `Ok(false)` =
+/// stdout's reader went away (`pimalign ... | head`), which is a clean
+/// early exit (code 0), not an error.
+fn sam_write_ok(result: std::io::Result<()>) -> Result<bool, CliError> {
+    match result {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(false),
+        Err(e) => Err(CliError::Runtime(format!("cannot write SAM: {e}"))),
     }
 }
 
@@ -170,7 +211,12 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     while i < args.len() {
         match args[i].as_str() {
             "--pipelined" => cli.pd = cli.pd.max(2),
-            "--pd" => cli.pd = parse_flag(args, &mut i, "--pd")?,
+            "--pd" => {
+                cli.pd = parse_flag(args, &mut i, "--pd")?;
+                if cli.pd == 0 {
+                    return Err("invalid --pd: parallelism degree must be at least 1".into());
+                }
+            }
             "--max-diffs" => {
                 cli.max_diffs = parse_flag(args, &mut i, "--max-diffs")?;
                 if cli.max_diffs > 8 {
@@ -214,27 +260,30 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     Ok(cli)
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cli = parse_cli(&args)?;
+    let cli = parse_cli(&args).map_err(CliError::Usage)?;
     let [ref_path, reads_path] = cli.positional.as_slice() else {
-        return Err("usage: pimalign <reference.fasta> <reads.fastq> [options]".to_owned());
-    };
-
-    let ref_text =
-        std::fs::read_to_string(ref_path).map_err(|e| format!("cannot read {ref_path}: {e}"))?;
-    let references = fasta::parse(&ref_text).map_err(|e| format!("{ref_path}: {e}"))?;
-    let [reference] = references.as_slice() else {
-        return Err(format!(
-            "{ref_path}: expected exactly one reference record, found {}",
-            references.len()
+        return Err(CliError::Usage(
+            "usage: pimalign <reference.fasta> <reads.fastq> [options]".to_owned(),
         ));
     };
-    let reads_file =
-        std::fs::File::open(reads_path).map_err(|e| format!("cannot read {reads_path}: {e}"))?;
+
+    let ref_text = std::fs::read_to_string(ref_path)
+        .map_err(|e| CliError::Input(format!("cannot read {ref_path}: {e}")))?;
+    let references =
+        fasta::parse(&ref_text).map_err(|e| CliError::Input(format!("{ref_path}: {e}")))?;
+    let [reference] = references.as_slice() else {
+        return Err(CliError::Input(format!(
+            "{ref_path}: expected exactly one reference record, found {}",
+            references.len()
+        )));
+    };
+    let reads_file = std::fs::File::open(reads_path)
+        .map_err(|e| CliError::Input(format!("cannot read {reads_path}: {e}")))?;
     let reads_total_bytes = reads_file
         .metadata()
-        .map_err(|e| format!("cannot stat {reads_path}: {e}"))?
+        .map_err(|e| CliError::Input(format!("cannot stat {reads_path}: {e}")))?
         .len();
     let bytes_consumed = Arc::new(AtomicU64::new(0));
     let mut reads = fastq::Reader::new(std::io::BufReader::new(CountingReader {
@@ -286,12 +335,13 @@ fn run() -> Result<(), String> {
     // path for any thread count (1 thread is a single worker session).
     let stdout = std::io::stdout();
     let mut out = BufWriter::new(stdout.lock());
-    write!(
+    if !sam_write_ok(write!(
         out,
         "{}",
         sam::header(reference.id(), reference.seq().len())
-    )
-    .map_err(|e| format!("cannot write SAM: {e}"))?;
+    ))? {
+        return Ok(());
+    }
     let mut totals = BatchTotals::new();
     let mut mapped = 0usize;
     let mut epoch = 0u64;
@@ -300,7 +350,7 @@ fn run() -> Result<(), String> {
     loop {
         let chunk = reads
             .next_chunk(cli.batch_size)
-            .map_err(|e| format!("{reads_path}: {e}"))?;
+            .map_err(|e| CliError::Input(format!("{reads_path}: {e}")))?;
         if chunk.is_empty() {
             break;
         }
@@ -315,7 +365,7 @@ fn run() -> Result<(), String> {
             ),
             None => platform.align_chunk_parallel(&seqs, cli.threads, epoch, cli.both_strands),
         }
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
         totals.merge(&chunk_totals);
         if cli.progress && last_progress.elapsed().as_millis() >= PROGRESS_INTERVAL_MS {
             last_progress = Instant::now();
@@ -338,14 +388,17 @@ fn run() -> Result<(), String> {
                 outcome,
                 *strand,
             );
-            writeln!(out, "{}", sam_record.to_line())
-                .map_err(|e| format!("cannot write SAM: {e}"))?;
+            if !sam_write_ok(writeln!(out, "{}", sam_record.to_line()))? {
+                return Ok(());
+            }
         }
         epoch += 1;
     }
-    out.flush().map_err(|e| format!("cannot write SAM: {e}"))?;
+    if !sam_write_ok(out.flush())? {
+        return Ok(());
+    }
     if totals.reads == 0 {
-        return Err(format!("{reads_path}: no reads"));
+        return Err(CliError::Input(format!("{reads_path}: no reads")));
     }
     let report = platform.batch_report(&totals);
     let mut metrics_paths: Vec<&String> = Vec::new();
@@ -355,7 +408,7 @@ fn run() -> Result<(), String> {
     }
     for path in metrics_paths {
         std::fs::write(path, report.to_metrics_json())
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+            .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
     }
     if let Some(path) = &cli.trace_out {
         // Every worker gets a labelled track, spans or not: a starved
@@ -368,7 +421,7 @@ fn run() -> Result<(), String> {
         let mut spans = totals.host.spans.clone();
         spans.push(build_span);
         std::fs::write(path, chrome_trace_json(&spans, &tracks))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+            .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
     }
     let spans_dropped = totals.host.spans_dropped + report.breakdown.spans_dropped;
     if spans_dropped > 0 {

@@ -234,6 +234,19 @@ fn telemetry_flags_never_touch_the_sam_stream() {
     }
 }
 
+/// Like [`run_cli`] but returns the exact exit code — the CLI's error
+/// classes are part of its interface (usage = 2, input = 3, runtime = 4).
+fn run_cli_code(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pimalign"))
+        .args(args)
+        .output()
+        .expect("run pimalign");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+    )
+}
+
 #[test]
 fn rejects_bad_usage() {
     let (_, stderr, ok) = run_cli(&["only-one-arg"]);
@@ -246,8 +259,91 @@ fn rejects_bad_usage() {
 }
 
 #[test]
+fn usage_errors_exit_2_with_named_flags() {
+    for (args, needle) in [
+        (&["only-one-arg"][..], "usage"),
+        (&["a", "b", "--bogus"][..], "unknown option"),
+        (&["a", "b", "--threads", "0"][..], "--threads"),
+        (&["a", "b", "--batch-size", "0"][..], "--batch-size"),
+        (&["a", "b", "--pd", "0"][..], "--pd"),
+        (&["a", "b", "--max-diffs", "99"][..], "--max-diffs"),
+    ] {
+        let (code, stderr) = run_cli_code(args);
+        assert_eq!(code, 2, "{args:?} must exit 2 (usage), stderr: {stderr}");
+        assert!(stderr.contains(needle), "{args:?} stderr: {stderr}");
+    }
+}
+
+#[test]
 fn rejects_missing_files() {
     let (_, stderr, ok) = run_cli(&["/nonexistent/ref.fa", "/nonexistent/reads.fq"]);
     assert!(!ok);
     assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn input_errors_exit_3() {
+    let (code, stderr) = run_cli_code(&["/nonexistent/ref.fa", "/nonexistent/reads.fq"]);
+    assert_eq!(
+        code, 3,
+        "missing files must exit 3 (input), stderr: {stderr}"
+    );
+    assert!(stderr.contains("cannot read"));
+}
+
+#[test]
+fn truncated_fastq_exit_3_names_record_and_offset() {
+    // The second record is cut off mid-way: the error must carry the
+    // 1-based record number and the byte offset of its header so the
+    // user can seek straight to the corruption in a multi-gigabyte file.
+    let reference = write_temp(
+        "trunc_ref.fa",
+        ">chrT\nTGCTAGCATGAACCTTGGAACGTACGTTAGCATCGATCGGATTACAGATTACAGGG\n",
+    );
+    let reads = write_temp(
+        "trunc_reads.fq",
+        "@ok\nGATTACAGATTACA\n+\nIIIIIIIIIIIIII\n@cut\nGATTACA\n",
+    );
+    let (code, stderr) = run_cli_code(&[reference.to_str().unwrap(), reads.to_str().unwrap()]);
+    assert_eq!(code, 3, "truncated FASTQ must exit 3, stderr: {stderr}");
+    assert!(stderr.contains("record 2"), "stderr: {stderr}");
+    assert!(stderr.contains("byte offset 36"), "stderr: {stderr}");
+
+    std::fs::remove_file(reference).ok();
+    std::fs::remove_file(reads).ok();
+}
+
+#[test]
+fn closed_stdout_is_a_clean_early_exit() {
+    // `pimalign ... | head` closes our stdout after the first lines; the
+    // resulting EPIPE must be a silent exit 0, not a runtime error.
+    // Enough reads that the BufWriter flushes to the dead pipe mid-run.
+    let reference = write_temp(
+        "epipe_ref.fa",
+        ">chrT\nTGCTAGCATGAACCTTGGAACGTACGTTAGCATCGATCGGATTACAGATTACAGGG\n",
+    );
+    let mut fastq = String::new();
+    for i in 0..400 {
+        fastq.push_str(&format!("@r{i}\nGATTACAGATTACA\n+\nIIIIIIIIIIIIII\n"));
+    }
+    let reads = write_temp("epipe_reads.fq", &fastq);
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pimalign"))
+        .args([reference.to_str().unwrap(), reads.to_str().unwrap()])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn pimalign");
+    // Close the read end immediately: every SAM flush past the pipe
+    // buffer now raises EPIPE/BrokenPipe inside the CLI.
+    drop(child.stdout.take());
+    let status = child.wait().expect("wait for pimalign");
+    assert_eq!(
+        status.code(),
+        Some(0),
+        "a closed SAM pipe must be a clean exit, not an error"
+    );
+
+    std::fs::remove_file(reference).ok();
+    std::fs::remove_file(reads).ok();
 }

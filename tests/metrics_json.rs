@@ -63,7 +63,13 @@ fn as_u64(doc: &Value, path: &str) -> u64 {
 fn metrics_json_is_valid_and_reconciles() {
     let doc = run_with_metrics(&["--pipelined"]);
 
-    assert_eq!(as_u64(&doc, "schema_version"), 2);
+    assert_eq!(as_u64(&doc, "schema_version"), 3);
+
+    // A CLI run never touches the service plane; the always-on service
+    // section must exist and be all-zero so dashboards get one schema
+    // for daemon and CLI runs alike.
+    assert_eq!(as_u64(&doc, "service.received"), 0);
+    assert_eq!(as_u64(&doc, "service.deadline_misses"), 0);
 
     // The emitted counters reconcile: per-primitive cycles sum to the
     // ledger aggregate, and the report's LFM count matches the
