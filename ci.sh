@@ -6,7 +6,8 @@
 #   ./ci.sh debug      fmt check, debug tests, clippy
 #   ./ci.sh release    release build, bench smokes, benchdiff gates
 #                      (parallel, kernel, metrics schema, trace, host,
-#                      serve: pimserve + loadgen over loopback)
+#                      serve: pimserve + loadgen over loopback, and the
+#                      index artifact: build/--index rerun + indexbench)
 #   ./ci.sh quick      back-compat alias for `debug`
 #
 # The two stages mirror the GitHub workflow's jobs
@@ -96,6 +97,20 @@ if [ "$MODE" = "all" ] || [ "$MODE" = "release" ]; then
     cargo run -q --release -p bench --bin benchdiff -- \
         target/ci/smoke_trace.json --kind trace --workers 2
 
+    # Index-artifact gate, part 1: serialise the smoke reference and
+    # rerun the same reads through `--index` — the warm boot must
+    # reproduce the FASTA run's SAM byte-for-byte, and `index inspect`
+    # must accept the artifact (checksum + geometry).
+    echo "==> pimalign index build + --index rerun (artifact round-trip)"
+    cargo run -q --release --bin pimalign -- \
+        index build target/ci/smoke_ref.fa target/ci/smoke.pimx
+    cargo run -q --release --bin pimalign -- index inspect target/ci/smoke.pimx \
+        > target/ci/smoke_inspect.txt
+    cargo run -q --release --bin pimalign -- \
+        --index target/ci/smoke.pimx target/ci/smoke_reads.fq --threads 2 \
+        > target/ci/smoke_index.sam
+    cmp target/ci/smoke.sam target/ci/smoke_index.sam
+
     echo "==> hostbench smoke + benchdiff gate (host telemetry)"
     cargo run -q --release -p bench --bin hostbench -- \
         --quick --out target/ci/BENCH_host_smoke.json
@@ -132,6 +147,41 @@ if [ "$MODE" = "all" ] || [ "$MODE" = "release" ]; then
     wait "$SERVE_PID"
     cargo run -q --release -p bench --bin benchdiff -- \
         target/ci/BENCH_serve_smoke.json BENCH_serve.json --kind serve
+
+    # Index-artifact gate, part 2: pimserve must boot warm from a
+    # serialised artifact and survive the same loadgen drain cycle.
+    echo "==> pimserve --index boot + loadgen drain (artifact warm start)"
+    cargo run -q --release --bin pimalign -- \
+        index build target/ci/serve_ref.fa target/ci/serve.pimx
+    rm -f target/ci/serve_port.txt
+    cargo run -q --release --bin pimserve -- --index target/ci/serve.pimx \
+        --port-file target/ci/serve_port.txt --queue-depth 64 \
+        2> target/ci/serve_index.log &
+    SERVE_PID=$!
+    for _ in $(seq 1 100); do
+        [ -f target/ci/serve_port.txt ] && break
+        sleep 0.1
+    done
+    if [ ! -f target/ci/serve_port.txt ]; then
+        echo "ci: pimserve --index never wrote its port file" >&2
+        cat target/ci/serve_index.log >&2
+        exit 1
+    fi
+    cargo run -q --release -p bench --bin loadgen -- \
+        --addr "$(cat target/ci/serve_port.txt)" --quick --drain \
+        --out target/ci/BENCH_serve_index_smoke.json
+    wait "$SERVE_PID"
+
+    # Index-artifact gate, part 3: the indexbench smoke must hold the
+    # load-vs-rebuild speedup (>= 5x at the largest swept genome, a
+    # same-machine ratio), sharded-vs-unsharded SAM byte-identity, the
+    # size-model reconciliation, and the bytes/bp tripwire against the
+    # committed full-sweep baseline.
+    echo "==> indexbench smoke + benchdiff gate (index artifact)"
+    cargo run -q --release -p bench --bin indexbench -- \
+        --quick --out target/ci/BENCH_index_smoke.json
+    cargo run -q --release -p bench --bin benchdiff -- \
+        target/ci/BENCH_index_smoke.json BENCH_index.json --kind index
 
     echo "ci: bench smoke reports kept under target/ci/"
 fi

@@ -1,7 +1,7 @@
 //! `benchdiff` — the bench-regression gate.
 //!
 //! ```text
-//! benchdiff <fresh.json> <baseline.json> [--kind parallel|kernel|metrics|host|serve]
+//! benchdiff <fresh.json> <baseline.json> [--kind parallel|kernel|metrics|host|serve|index]
 //!           [--min-ratio R] [--min-speedup S] [--min-scaling C]
 //! benchdiff <trace.json> --kind trace [--workers N]
 //! ```
@@ -75,6 +75,23 @@
 //! saturation knee, an overload phase at ≥ 2x the knee that actually
 //! shed, and an accepted-request p99 within the report's own SLO.
 //!
+//! `--kind index` diffs a fresh `indexbench` report against the
+//! committed `BENCH_index.json`. Timings are wall-clock, so only ratios
+//! and exact byte counts are gated:
+//!
+//! * schema fingerprints must match (sweep rows dedupe by shape);
+//! * `largest.load_speedup ≥ S` (default `S` 5.0) — loading the
+//!   serialised artifact must beat rebuilding the index at the largest
+//!   swept genome, a same-machine ratio and therefore strict;
+//! * `sam_identical` must be `true` — sharded alignment is only
+//!   admissible while its merged SAM is byte-identical to the
+//!   unsharded platform's;
+//! * `footprint_max_rel_err ≤ 0.1 %` — the serialised footprint must
+//!   reconcile with the `size_model` prediction (the two share exact
+//!   byte accounting; slack covers only future fixed-overhead fields);
+//! * per-genome `bytes_per_bp` within ±5 % of the baseline row with the
+//!   same geometry — a size-accounting tripwire.
+//!
 //! Exit status: 0 within tolerance, 1 regression detected, 2 usage or
 //! parse error.
 
@@ -90,6 +107,7 @@ enum Kind {
     Trace,
     Host,
     Serve,
+    Index,
 }
 
 struct Args {
@@ -105,7 +123,7 @@ struct Args {
 }
 
 const USAGE: &str = "usage: benchdiff <fresh.json> <baseline.json> \
-     [--kind parallel|kernel|metrics|host|serve] [--min-ratio R] [--min-speedup S] \
+     [--kind parallel|kernel|metrics|host|serve|index] [--min-ratio R] [--min-speedup S] \
      [--min-scaling C] | benchdiff <trace.json> --kind trace [--workers N]";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -127,6 +145,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     Some("trace") => Kind::Trace,
                     Some("host") => Kind::Host,
                     Some("serve") => Kind::Serve,
+                    Some("index") => Kind::Index,
                     Some(other) => return Err(format!("unknown --kind {other}")),
                     None => return Err("--kind needs a value".to_owned()),
                 };
@@ -652,6 +671,107 @@ fn run_serve(args: &Args) -> Result<bool, String> {
     Ok(ok)
 }
 
+fn run_index(args: &Args) -> Result<bool, String> {
+    let fresh = load(&args.fresh)?;
+    let baseline = load(baseline_path(args))?;
+    let mut ok = fingerprints_match(&fresh, &baseline, &args.fresh, baseline_path(args), false);
+
+    // Build and load are both wall-clock, but their ratio comes from one
+    // machine and one run — the whole point of the artifact is that the
+    // load path skips SA-IS, so the ratio is gated strictly.
+    let speedup = required_f64(&fresh, "largest.load_speedup", &args.fresh)?;
+    let genome = required_u64(&fresh, "largest.genome_len", &args.fresh)?;
+    let min_speedup = args.min_speedup.unwrap_or(5.0);
+    let verdict = if speedup >= min_speedup {
+        "ok"
+    } else {
+        "REGRESSION"
+    };
+    eprintln!(
+        "benchdiff: artifact load {speedup:.1}x faster than rebuild at {genome} bp \
+         (floor {min_speedup:.1}x) {verdict}"
+    );
+    if speedup < min_speedup {
+        ok = false;
+    }
+
+    let sam_identical = fresh
+        .get("sam_identical")
+        .and_then(Value::as_bool)
+        .ok_or(format!("{}: missing sam_identical", args.fresh))?;
+    if !sam_identical {
+        eprintln!("benchdiff: INDEX: sharded SAM diverged from the unsharded platform");
+        ok = false;
+    }
+
+    let rel_err = required_f64(&fresh, "footprint_max_rel_err", &args.fresh)?;
+    if rel_err > 1e-3 {
+        eprintln!(
+            "benchdiff: INDEX: serialised footprint off the size model by {:.3} % \
+             (tolerance 0.1 %)",
+            rel_err * 100.0
+        );
+        ok = false;
+    }
+
+    // Bytes-per-base is deterministic for a given geometry, so a drift
+    // beyond 5 % against the committed baseline means the serialised
+    // layout (or the accounting) changed without a baseline regen.
+    let sweep_rows = |doc: &Value, path: &str| -> Result<Vec<(u64, u64, f64)>, String> {
+        let rows = doc
+            .get("sweep")
+            .and_then(Value::as_array)
+            .ok_or(format!("{path}: missing sweep array"))?;
+        rows.iter()
+            .map(|row| {
+                let field = |name: &str| {
+                    row.get(name)
+                        .and_then(Value::as_u64)
+                        .ok_or(format!("{path}: sweep row missing {name}"))
+                };
+                let bpb = row
+                    .get("bytes_per_bp")
+                    .and_then(Value::as_f64)
+                    .ok_or(format!("{path}: sweep row missing bytes_per_bp"))?;
+                Ok((field("genome_len")?, field("sa_rate")?, bpb))
+            })
+            .collect()
+    };
+    let fresh_rows = sweep_rows(&fresh, &args.fresh)?;
+    let base_rows = sweep_rows(&baseline, baseline_path(args))?;
+    let mut compared = 0;
+    for &(genome_len, sa_rate, fresh_bpb) in &fresh_rows {
+        let Some(&(_, _, base_bpb)) = base_rows
+            .iter()
+            .find(|&&(g, r, _)| g == genome_len && r == sa_rate)
+        else {
+            continue;
+        };
+        compared += 1;
+        let drift = (fresh_bpb / base_bpb - 1.0).abs();
+        if drift > 0.05 {
+            eprintln!(
+                "benchdiff: INDEX: {genome_len} bp @ SA rate {sa_rate}: {fresh_bpb:.4} vs \
+                 baseline {base_bpb:.4} bytes/bp ({:.1} % drift, tolerance 5 %)",
+                drift * 100.0
+            );
+            ok = false;
+        }
+    }
+    eprintln!(
+        "benchdiff: index run: {} sweep row(s) ({compared} vs baseline), sharded SAM {}, \
+         footprint err {:.2e}",
+        fresh_rows.len(),
+        if sam_identical {
+            "identical"
+        } else {
+            "DIVERGED"
+        },
+        rel_err
+    );
+    Ok(ok)
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -668,6 +788,7 @@ fn main() -> ExitCode {
         Kind::Trace => run_trace(&args),
         Kind::Host => run_host(&args),
         Kind::Serve => run_serve(&args),
+        Kind::Index => run_index(&args),
     };
     match outcome {
         Ok(true) => {

@@ -1,0 +1,237 @@
+//! `indexbench` — index-artifact build/load benchmark and equivalence
+//! check.
+//!
+//! ```text
+//! indexbench [--quick] [--out PATH]
+//! ```
+//!
+//! Measures, for a sweep of genome sizes, the build-once/load-many
+//! asymmetry the artifact exists for:
+//!
+//! * `build_ms`: `IndexArtifact::build` (SA-IS + BWT + tables per
+//!   shard) — what a cold start pays every run;
+//! * `load_ms`: `IndexArtifact::load_from_path` (deserialise +
+//!   checksum + Occ rebuild) — what the warm path pays instead;
+//! * `boot_ms`: the sub-array mapping, which both paths pay identically
+//!   and which therefore stays out of `load_speedup = build / load`;
+//! * the serialised footprint against the `size_model` prediction
+//!   (`model_rel_err` — the save format and the model share the exact
+//!   byte accounting, so any drift is a bug, not noise);
+//! * on the smallest genome, byte-identity of sharded vs unsharded SAM
+//!   output over a reads-with-errors workload (`sam_identical`).
+//!
+//! Results are written as JSON (default `BENCH_index.json`) and
+//! summarised on stderr; `benchdiff --kind index` gates the load
+//! speedup, the SAM identity, the footprint reconciliation and a
+//! bytes-per-base tripwire against the committed baseline. `--quick`
+//! shrinks the sweep for CI; the full sweep reaches 64 Mbp, which is
+//! only practical because the build cost is paid once per artifact.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bench::workload::Workload;
+use pim_aligner::{sam, IndexArtifact, PimAlignerConfig, Platform, ShardedPlatform};
+use readsim::genome;
+
+struct SweepRow {
+    genome_len: usize,
+    sa_rate: u32,
+    build_ms: f64,
+    save_ms: f64,
+    load_ms: f64,
+    boot_ms: f64,
+    load_speedup: f64,
+    index_bytes: usize,
+    bytes_per_bp: f64,
+    model_bytes: usize,
+    model_rel_err: f64,
+}
+
+fn ms(t0: Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// One sweep point: build, save, load, boot; report timings and the
+/// footprint reconciliation.
+fn sweep_point(genome_len: usize, sa_rate: u32, scratch: &PathBuf) -> SweepRow {
+    let reference = genome::uniform(genome_len, 0x1de0 ^ genome_len as u64);
+    let config = PimAlignerConfig::baseline();
+
+    let t0 = Instant::now();
+    let artifact = IndexArtifact::build("bench-ref", &reference, sa_rate, 0, 0);
+    let build_ms = ms(t0);
+
+    let t0 = Instant::now();
+    artifact.save_to_path(scratch).expect("save artifact");
+    let save_ms = ms(t0);
+
+    let t0 = Instant::now();
+    let loaded = IndexArtifact::load_from_path(scratch).expect("load artifact");
+    let load_ms = ms(t0);
+    // The sub-array mapping runs identically on cold and warm boots, so
+    // it is timed once and excluded from the speedup ratio.
+    let t0 = Instant::now();
+    let _warm = ShardedPlatform::from_artifact(&loaded, config, true);
+    let boot_ms = ms(t0);
+    let _ = std::fs::remove_file(scratch);
+
+    let index_bytes = artifact.index_bytes();
+    let model_bytes = artifact.model_bytes();
+    let model_rel_err = index_bytes.abs_diff(model_bytes) as f64 / model_bytes as f64;
+    SweepRow {
+        genome_len,
+        sa_rate,
+        build_ms,
+        save_ms,
+        load_ms,
+        boot_ms,
+        load_speedup: build_ms / load_ms,
+        index_bytes,
+        bytes_per_bp: index_bytes as f64 / genome_len as f64,
+        model_bytes,
+        model_rel_err,
+    }
+}
+
+/// Renders a chunk's outcomes exactly as `pimalign` would, so the
+/// sharded-vs-unsharded comparison is a true SAM byte diff.
+fn sam_for(
+    ref_id: &str,
+    ref_len: usize,
+    reads: &[bioseq::DnaSeq],
+    pairs: &[(pim_aligner::AlignmentOutcome, pim_aligner::MappedStrand)],
+) -> String {
+    let mut out = sam::header(ref_id, ref_len);
+    for (i, (read, (outcome, strand))) in reads.iter().zip(pairs).enumerate() {
+        let record = sam::record_for(&format!("read{i}"), ref_id, read, None, outcome, *strand);
+        out.push_str(&record.to_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Byte-identity of sharded vs unsharded SAM over an erroring workload:
+/// exact, inexact and unmapped arms all occur.
+fn check_sam_identity(threads: usize) -> bool {
+    let workload = Workload::paper_scaled(200_000, 200, 100, 0xa11);
+    let config = PimAlignerConfig::baseline();
+    let flat = Platform::new(&workload.reference, config.clone());
+    let (flat_pairs, _) = flat
+        .align_chunk_parallel(&workload.reads, threads, 0, true)
+        .expect("unsharded chunk");
+
+    let artifact = IndexArtifact::build("bench-ref", &workload.reference, 1, 50_000, 512);
+    let sharded = ShardedPlatform::from_artifact(&artifact, config, false);
+    let (sharded_pairs, _) = sharded
+        .align_chunk(&workload.reads, threads, 0, true)
+        .expect("sharded chunk");
+
+    let ref_len = workload.reference.len();
+    let flat_sam = sam_for("bench-ref", ref_len, &workload.reads, &flat_pairs);
+    let sharded_sam = sam_for("bench-ref", ref_len, &workload.reads, &sharded_pairs);
+    flat_sam == sharded_sam
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_index.json".to_owned());
+
+    // Full sweep reaches the >= 64 Mbp point the artifact is for; the
+    // larger genomes sample the SA so the artifact stays disk-friendly.
+    // The speedup grows with genome size (SA-IS has a larger linear
+    // constant than deserialise + Occ rebuild), so the gate is judged at
+    // the largest point of whichever sweep ran.
+    let sweep_spec: &[(usize, u32)] = if quick {
+        &[(200_000, 1), (4_000_000, 4)]
+    } else {
+        &[(1_000_000, 1), (8_000_000, 8), (64_000_000, 32)]
+    };
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    eprintln!(
+        "indexbench: sweeping {} genome size(s) up to {} bp on {host_cores} core(s){}",
+        sweep_spec.len(),
+        sweep_spec.last().expect("nonempty sweep").0,
+        if quick { " (quick)" } else { "" }
+    );
+
+    let mut rows = Vec::new();
+    for &(genome_len, sa_rate) in sweep_spec {
+        let scratch = std::env::temp_dir().join(format!("indexbench-{genome_len}.pimx"));
+        let row = sweep_point(genome_len, sa_rate, &scratch);
+        eprintln!(
+            "indexbench: {genome_len} bp @ SA rate {sa_rate}: build {:.1} ms, save {:.1} ms, \
+             load {:.1} ms ({:.1}x faster), boot {:.1} ms, {:.2} bytes/bp, model err {:.2e}",
+            row.build_ms,
+            row.save_ms,
+            row.load_ms,
+            row.load_speedup,
+            row.boot_ms,
+            row.bytes_per_bp,
+            row.model_rel_err
+        );
+        rows.push(row);
+    }
+    let largest = rows.last().expect("nonempty sweep");
+    let footprint_max_rel_err = rows.iter().map(|r| r.model_rel_err).fold(0.0f64, f64::max);
+
+    let sam_identical = check_sam_identity(4);
+    eprintln!(
+        "indexbench: sharded vs unsharded SAM: {}",
+        if sam_identical {
+            "byte-identical"
+        } else {
+            "MISMATCH"
+        }
+    );
+
+    // Hand-rolled JSON: the workspace's vendored serde_json is an
+    // offline stub, so the report is assembled textually.
+    let sweep_rows = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"genome_len\": {}, \"sa_rate\": {}, \"build_ms\": {:.3}, \
+                 \"save_ms\": {:.3}, \"load_ms\": {:.3}, \"boot_ms\": {:.3}, \
+                 \"load_speedup\": {:.3}, \
+                 \"index_bytes\": {}, \"bytes_per_bp\": {:.4}, \"model_bytes\": {}, \
+                 \"model_rel_err\": {:.6} }}",
+                r.genome_len,
+                r.sa_rate,
+                r.build_ms,
+                r.save_ms,
+                r.load_ms,
+                r.boot_ms,
+                r.load_speedup,
+                r.index_bytes,
+                r.bytes_per_bp,
+                r.model_bytes,
+                r.model_rel_err,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"quick\": {quick},\n  \"host_cores\": {host_cores},\n  \
+         \"sweep\": [\n{sweep_rows}\n  ],\n  \
+         \"largest\": {{ \"genome_len\": {}, \"load_speedup\": {:.3} }},\n  \
+         \"sam_identical\": {sam_identical},\n  \
+         \"footprint_max_rel_err\": {footprint_max_rel_err:.6}\n}}",
+        largest.genome_len, largest.load_speedup,
+    );
+    let mut file = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    writeln!(file, "{json}").unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("indexbench: wrote {out_path}");
+
+    if !sam_identical {
+        std::process::exit(1);
+    }
+}

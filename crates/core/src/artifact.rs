@@ -1,0 +1,975 @@
+//! The on-disk index artifact: build once, load many.
+//!
+//! The paper's platform maps the FM-index into the MRAM sub-arrays once
+//! and then serves queries in place; rebuilding the index (SA-IS + BWT +
+//! tables) for every run throws that asymmetry away. This module makes
+//! the serialised index a first-class artifact: [`IndexArtifact`] packs
+//! the reference, the suffix-array sampling policy and one or more
+//! fixed-window [`FmIndex`] shards into a single checksummed file, and
+//! [`ShardedPlatform`] boots warm [`Platform`]s from it — only the
+//! sub-array mapping runs at load time.
+//!
+//! # Container format (`PIMAIX1`)
+//!
+//! All integers little-endian. The FNV-1a-64 checksum covers every byte
+//! after the magic and before the trailer.
+//!
+//! ```text
+//! magic            8 bytes   "PIMAIX1\n"
+//! name length      u64       reference name (UTF-8) byte count
+//! name             bytes
+//! reference length u64       bases
+//! reference        ceil(len/4) bytes, 2-bit packed (T=00 G=01 A=10 C=11)
+//! sa_rate          u32       1 = full suffix array, s > 1 = sampled
+//! shard window     u64       owned bases per shard
+//! shard overlap    u64       extra slice bases past the owned window
+//! shard count      u64
+//! per shard:
+//!   start          u64       first owned reference position
+//!   byte length    u64       length of the embedded index stream
+//!   index          bytes     a complete `PIMFMI2` stream (fmindex::io)
+//! checksum         u64       FNV-1a-64 over the body
+//! ```
+//!
+//! Each shard's index stream is length-prefixed because the inner loader
+//! probes for end-of-stream; the prefix gives it a bounded slice so the
+//! probe cannot consume the next shard's first byte.
+//!
+//! # Shard model
+//!
+//! Shard `i` *owns* reference positions `[i·window, (i+1)·window)` (the
+//! last shard owns through the end) but is *built* over the slice
+//! extended by `overlap` bases, so every alignment starting in the owned
+//! window fits entirely inside the slice as long as
+//! `read_len + max_diffs <= overlap`. [`ShardedPlatform::align_chunk`]
+//! enforces that bound with
+//! [`AlignError::ReadExceedsShardOverlap`], aligns the chunk against
+//! every shard, translates hits to global coordinates, keeps only the
+//! positions each shard owns and merges per read — exact hits beat
+//! inexact, inexact hits keep the fewest-difference positions. Under an
+//! ideal fault model the merged outcomes are identical to a single
+//! unsharded platform over the whole reference.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use bioseq::{Base, DnaSeq};
+use fmindex::io as fm_io;
+use fmindex::{size_model, FmIndex, SaStorage};
+use pimsim::SubArrayLayout;
+
+use crate::aligner::{AlignmentOutcome, MappedStrand};
+use crate::config::PimAlignerConfig;
+use crate::error::AlignError;
+use crate::parallel::BatchTotals;
+use crate::platform::Platform;
+use crate::report::{IndexTelemetry, PerfReport};
+
+/// Magic prefix of the artifact container.
+pub const ARTIFACT_MAGIC: &[u8; 8] = b"PIMAIX1\n";
+
+/// Suffix-array sampling rates [`sa_rate_for_budget`] considers, best
+/// (densest) first.
+pub const BUDGET_RATES: [u32; 11] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(digest: u64, bytes: &[u8]) -> u64 {
+    let mut d = digest;
+    for &b in bytes {
+        d ^= b as u64;
+        d = d.wrapping_mul(FNV_PRIME);
+    }
+    d
+}
+
+/// Why an artifact stream could not be loaded.
+#[derive(Debug)]
+pub enum LoadArtifactError {
+    /// The underlying reader failed for a reason other than truncation.
+    Io(io::Error),
+    /// The stream does not start with [`ARTIFACT_MAGIC`].
+    BadMagic,
+    /// The container is structurally damaged: truncated section,
+    /// checksum mismatch, inconsistent shard geometry or trailing bytes.
+    Corrupt(String),
+    /// An embedded per-shard index stream failed to parse.
+    Shard(fm_io::LoadIndexError),
+}
+
+impl fmt::Display for LoadArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadArtifactError::Io(e) => write!(f, "I/O error reading index artifact: {e}"),
+            LoadArtifactError::BadMagic => {
+                write!(f, "not a PIM-Aligner index artifact (bad magic)")
+            }
+            LoadArtifactError::Corrupt(what) => write!(f, "corrupt index artifact: {what}"),
+            LoadArtifactError::Shard(e) => write!(f, "corrupt index artifact shard: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadArtifactError::Io(e) => Some(e),
+            LoadArtifactError::Shard(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadArtifactError {
+    fn from(e: io::Error) -> LoadArtifactError {
+        LoadArtifactError::Io(e)
+    }
+}
+
+impl From<fm_io::LoadIndexError> for LoadArtifactError {
+    fn from(e: fm_io::LoadIndexError) -> LoadArtifactError {
+        LoadArtifactError::Shard(e)
+    }
+}
+
+/// One shard of the artifact: a complete FM-index over a reference slice.
+#[derive(Debug)]
+pub struct ArtifactShard {
+    /// First reference position this shard owns (== start of its slice).
+    start: usize,
+    /// The index over `reference[start .. start + slice_len]`.
+    index: FmIndex,
+}
+
+impl ArtifactShard {
+    /// First owned (and sliced) reference position.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// The shard's FM-index.
+    pub fn index(&self) -> &FmIndex {
+        &self.index
+    }
+}
+
+/// A buildable, serialisable, loadable index artifact: reference +
+/// sampling policy + fixed-window FM-index shards.
+#[derive(Debug)]
+pub struct IndexArtifact {
+    reference_name: String,
+    reference: DnaSeq,
+    sa_rate: u32,
+    shard_window: usize,
+    shard_overlap: usize,
+    shards: Vec<ArtifactShard>,
+}
+
+impl IndexArtifact {
+    /// Builds the artifact in memory: one FM-index per shard window.
+    ///
+    /// `shard_window == 0` means "do not shard" — a single shard covering
+    /// the whole reference (overlap is then irrelevant and stored as 0).
+    /// `sa_rate == 1` keeps the full suffix array; larger rates sample it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the reference is empty, `sa_rate == 0`, or a non-zero
+    /// `shard_window` is paired with a zero `shard_overlap` (such a
+    /// geometry could never align any read near a shard boundary).
+    pub fn build(
+        reference_name: &str,
+        reference: &DnaSeq,
+        sa_rate: u32,
+        shard_window: usize,
+        shard_overlap: usize,
+    ) -> IndexArtifact {
+        assert!(!reference.is_empty(), "cannot index an empty reference");
+        assert!(sa_rate > 0, "SA sampling rate must be positive");
+        let (window, overlap) = if shard_window == 0 || shard_window >= reference.len() {
+            (reference.len(), 0)
+        } else {
+            assert!(
+                shard_overlap > 0,
+                "sharded artifacts need a positive overlap (>= read length + diff budget)"
+            );
+            (shard_window, shard_overlap)
+        };
+        let storage = if sa_rate == 1 {
+            SaStorage::Full
+        } else {
+            SaStorage::Sampled(sa_rate)
+        };
+        let count = reference.len().div_ceil(window);
+        let mut shards = Vec::with_capacity(count);
+        for i in 0..count {
+            let start = i * window;
+            let slice_end = (start + window + overlap).min(reference.len());
+            let slice = reference.subseq(start..slice_end);
+            let index = FmIndex::builder()
+                .bucket_width(SubArrayLayout::BASES_PER_ROW)
+                .sa_storage(storage)
+                .build(&slice);
+            shards.push(ArtifactShard { start, index });
+        }
+        IndexArtifact {
+            reference_name: reference_name.to_string(),
+            reference: reference.clone(),
+            sa_rate,
+            shard_window: window,
+            shard_overlap: overlap,
+            shards,
+        }
+    }
+
+    /// The reference name recorded in the artifact.
+    pub fn reference_name(&self) -> &str {
+        &self.reference_name
+    }
+
+    /// The embedded reference genome.
+    pub fn reference(&self) -> &DnaSeq {
+        &self.reference
+    }
+
+    /// Suffix-array sampling rate (1 = full).
+    pub fn sa_rate(&self) -> u32 {
+        self.sa_rate
+    }
+
+    /// Owned bases per shard.
+    pub fn shard_window(&self) -> usize {
+        self.shard_window
+    }
+
+    /// Slice extension past the owned window.
+    pub fn shard_overlap(&self) -> usize {
+        self.shard_overlap
+    }
+
+    /// The shards, in reference order.
+    pub fn shards(&self) -> &[ArtifactShard] {
+        &self.shards
+    }
+
+    /// Total serialisable index bytes across all shards
+    /// ([`FmIndex::size_bytes`]; container framing excluded).
+    pub fn index_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.index.size_bytes()).sum()
+    }
+
+    /// What [`size_model::footprint`] predicts for this artifact's
+    /// geometry: the per-shard-slice footprints summed.
+    pub fn model_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let slice_end =
+                    (s.start + self.shard_window + self.shard_overlap).min(self.reference.len());
+                size_model::footprint(
+                    slice_end - s.start,
+                    SubArrayLayout::BASES_PER_ROW,
+                    self.sa_rate as usize,
+                )
+                .total_bytes()
+            })
+            .sum()
+    }
+
+    /// Serialises the artifact: magic, body, trailing FNV-1a-64 checksum.
+    pub fn save<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        writer.write_all(ARTIFACT_MAGIC)?;
+        let mut body = Vec::new();
+        self.save_body(&mut body)?;
+        writer.write_all(&body)?;
+        writer.write_all(&fnv1a(FNV_OFFSET, &body).to_le_bytes())?;
+        writer.flush()
+    }
+
+    fn save_body(&self, body: &mut Vec<u8>) -> io::Result<()> {
+        let name = self.reference_name.as_bytes();
+        body.extend_from_slice(&(name.len() as u64).to_le_bytes());
+        body.extend_from_slice(name);
+        body.extend_from_slice(&(self.reference.len() as u64).to_le_bytes());
+        body.extend_from_slice(self.reference.to_packed().as_bytes());
+        body.extend_from_slice(&self.sa_rate.to_le_bytes());
+        body.extend_from_slice(&(self.shard_window as u64).to_le_bytes());
+        body.extend_from_slice(&(self.shard_overlap as u64).to_le_bytes());
+        body.extend_from_slice(&(self.shards.len() as u64).to_le_bytes());
+        for shard in &self.shards {
+            body.extend_from_slice(&(shard.start as u64).to_le_bytes());
+            let mut stream = Vec::new();
+            fm_io::save(&shard.index, &mut stream)?;
+            body.extend_from_slice(&(stream.len() as u64).to_le_bytes());
+            body.extend_from_slice(&stream);
+        }
+        Ok(())
+    }
+
+    /// Writes the artifact to `path`.
+    pub fn save_to_path(&self, path: &Path) -> io::Result<()> {
+        let mut file = io::BufWriter::new(File::create(path)?);
+        self.save(&mut file)
+    }
+
+    /// Loads an artifact: verifies the magic and the trailing checksum,
+    /// then parses the body, including every embedded shard stream.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadArtifactError::BadMagic`] for foreign streams,
+    /// [`LoadArtifactError::Corrupt`] for truncation / checksum / geometry
+    /// damage (with the failing section named),
+    /// [`LoadArtifactError::Shard`] when an embedded index stream is
+    /// itself damaged, and [`LoadArtifactError::Io`] for genuine reader
+    /// failures.
+    pub fn load<R: Read>(mut reader: R) -> Result<IndexArtifact, LoadArtifactError> {
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                LoadArtifactError::Corrupt("truncated in magic".to_string())
+            } else {
+                LoadArtifactError::Io(e)
+            }
+        })?;
+        if &magic != ARTIFACT_MAGIC {
+            return Err(LoadArtifactError::BadMagic);
+        }
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest)?;
+        if rest.len() < 8 {
+            return Err(LoadArtifactError::Corrupt(
+                "truncated in checksum trailer".to_string(),
+            ));
+        }
+        let (body, trailer) = rest.split_at(rest.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+        if fnv1a(FNV_OFFSET, body) != stored {
+            return Err(LoadArtifactError::Corrupt("checksum mismatch".to_string()));
+        }
+        Self::parse_body(body)
+    }
+
+    /// Reads an artifact from `path`.
+    pub fn load_from_path(path: &Path) -> Result<IndexArtifact, LoadArtifactError> {
+        IndexArtifact::load(io::BufReader::new(File::open(path)?))
+    }
+
+    fn parse_body(body: &[u8]) -> Result<IndexArtifact, LoadArtifactError> {
+        let mut cursor = Cursor { body, pos: 0 };
+        let name_len = cursor.u64("name length")? as usize;
+        let name_bytes = cursor.bytes(name_len, "name")?;
+        let reference_name = String::from_utf8(name_bytes.to_vec())
+            .map_err(|_| LoadArtifactError::Corrupt("name is not UTF-8".to_string()))?;
+        let ref_len = cursor.u64("reference length")? as usize;
+        if ref_len == 0 {
+            return Err(LoadArtifactError::Corrupt("empty reference".to_string()));
+        }
+        let packed = cursor.bytes(ref_len.div_ceil(4), "reference")?;
+        let mut bases = Vec::with_capacity(ref_len);
+        for i in 0..ref_len {
+            bases.push(Base::from_code((packed[i / 4] >> ((i % 4) * 2)) & 0b11));
+        }
+        let reference = DnaSeq::from_bases(bases);
+        let sa_rate = cursor.u32("SA rate")?;
+        if sa_rate == 0 {
+            return Err(LoadArtifactError::Corrupt("zero SA rate".to_string()));
+        }
+        let shard_window = cursor.u64("shard window")? as usize;
+        let shard_overlap = cursor.u64("shard overlap")? as usize;
+        let shard_count = cursor.u64("shard count")? as usize;
+        if shard_window == 0 || shard_count != ref_len.div_ceil(shard_window) {
+            return Err(LoadArtifactError::Corrupt(format!(
+                "shard geometry mismatch: {shard_count} shards of window {shard_window} \
+                 over {ref_len} bases"
+            )));
+        }
+        let mut shards = Vec::with_capacity(shard_count);
+        for i in 0..shard_count {
+            let start = cursor.u64("shard start")? as usize;
+            if start != i * shard_window {
+                return Err(LoadArtifactError::Corrupt(format!(
+                    "shard {i} starts at {start}, expected {}",
+                    i * shard_window
+                )));
+            }
+            let stream_len = cursor.u64("shard byte length")? as usize;
+            let stream = cursor.bytes(stream_len, "shard index stream")?;
+            let index = fm_io::load(stream)?;
+            let slice_len = (start + shard_window + shard_overlap).min(ref_len) - start;
+            if index.reference_len() != slice_len {
+                return Err(LoadArtifactError::Corrupt(format!(
+                    "shard {i} indexes {} bases, expected {slice_len}",
+                    index.reference_len()
+                )));
+            }
+            shards.push(ArtifactShard { start, index });
+        }
+        if cursor.pos != body.len() {
+            return Err(LoadArtifactError::Corrupt(
+                "trailing bytes after the last shard".to_string(),
+            ));
+        }
+        Ok(IndexArtifact {
+            reference_name,
+            reference,
+            sa_rate,
+            shard_window,
+            shard_overlap,
+            shards,
+        })
+    }
+}
+
+struct Cursor<'a> {
+    body: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn bytes(&mut self, n: usize, section: &str) -> Result<&'a [u8], LoadArtifactError> {
+        if self.body.len() - self.pos < n {
+            return Err(LoadArtifactError::Corrupt(format!(
+                "truncated in {section}"
+            )));
+        }
+        let out = &self.body[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u64(&mut self, section: &str) -> Result<u64, LoadArtifactError> {
+        Ok(u64::from_le_bytes(
+            self.bytes(8, section)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn u32(&mut self, section: &str) -> Result<u32, LoadArtifactError> {
+        Ok(u32::from_le_bytes(
+            self.bytes(4, section)?.try_into().expect("4 bytes"),
+        ))
+    }
+}
+
+/// The best (densest) suffix-array sampling rate whose modelled
+/// footprint fits `budget_bytes`, or `None` when even the sparsest rate
+/// in [`BUDGET_RATES`] does not fit.
+///
+/// "Best" means the smallest rate: rate 1 keeps the full suffix array
+/// and locates in O(1) per hit; each doubling halves the SA bytes but
+/// lengthens the LF walk. The footprint is
+/// [`size_model::footprint`] at the platform's bucket width of
+/// [`SubArrayLayout::BASES_PER_ROW`].
+pub fn sa_rate_for_budget(genome_len: usize, budget_bytes: usize) -> Option<u32> {
+    BUDGET_RATES.into_iter().find(|&rate| {
+        size_model::footprint(genome_len, SubArrayLayout::BASES_PER_ROW, rate as usize)
+            .total_bytes()
+            <= budget_bytes
+    })
+}
+
+struct ShardRuntime {
+    start: usize,
+    /// One past the last owned position (`start + window`, clamped).
+    owned_end: usize,
+    platform: Platform,
+}
+
+/// One or more warm [`Platform`]s booted from an [`IndexArtifact`],
+/// aligned against together with merged outcomes and totals.
+pub struct ShardedPlatform {
+    shards: Vec<ShardRuntime>,
+    config: PimAlignerConfig,
+    sa_rate: u32,
+    shard_window: usize,
+    shard_overlap: usize,
+    actual_bytes: u64,
+    model_bytes: u64,
+    loaded: bool,
+}
+
+impl ShardedPlatform {
+    /// Boots warm platforms from the artifact: only the sub-array
+    /// mapping runs per shard; the FM-indexes are taken as-is.
+    ///
+    /// `loaded` records provenance for telemetry — pass `true` when the
+    /// artifact came off disk, `false` when it was just built in-process.
+    pub fn from_artifact(
+        artifact: &IndexArtifact,
+        config: PimAlignerConfig,
+        loaded: bool,
+    ) -> ShardedPlatform {
+        let reference = artifact.reference();
+        let actual_bytes = artifact.index_bytes() as u64;
+        let model_bytes = artifact.model_bytes() as u64;
+        let mut shards = Vec::with_capacity(artifact.shards().len());
+        for shard in artifact.shards() {
+            let start = shard.start();
+            let owned_end = (start + artifact.shard_window()).min(reference.len());
+            let slice_end =
+                (start + artifact.shard_window() + artifact.shard_overlap()).min(reference.len());
+            let slice = reference.subseq(start..slice_end);
+            let platform = Platform::from_index(slice, shard.index().clone(), config.clone());
+            shards.push(ShardRuntime {
+                start,
+                owned_end,
+                platform,
+            });
+        }
+        ShardedPlatform {
+            shards,
+            config,
+            sa_rate: artifact.sa_rate(),
+            shard_window: artifact.shard_window(),
+            shard_overlap: artifact.shard_overlap(),
+            actual_bytes,
+            model_bytes,
+            loaded,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The single underlying platform, when the artifact is unsharded.
+    pub fn single_platform(&self) -> Option<&Platform> {
+        match &self.shards[..] {
+            [only] => Some(&only.platform),
+            _ => None,
+        }
+    }
+
+    /// The index telemetry this platform stamps into its reports.
+    pub fn index_telemetry(&self) -> IndexTelemetry {
+        IndexTelemetry {
+            loaded: self.loaded,
+            shards: self.shards.len() as u64,
+            sa_rate: self.sa_rate,
+            shard_window: self.shard_window as u64,
+            shard_overlap: self.shard_overlap as u64,
+            actual_bytes: self.actual_bytes,
+            model_bytes: self.model_bytes,
+        }
+    }
+
+    /// The largest read length the shard overlap can cover
+    /// (`overlap - max_diffs`); `usize::MAX` when unsharded.
+    pub fn read_len_budget(&self) -> usize {
+        if self.shards.len() == 1 {
+            usize::MAX
+        } else {
+            self.shard_overlap
+                .saturating_sub(self.config.max_diffs() as usize)
+        }
+    }
+
+    /// Aligns one chunk of reads against every shard concurrently (each
+    /// shard runs the work-stealing parallel engine) and merges per read:
+    /// positions translate to global coordinates, each shard keeps only
+    /// the positions it owns, exact hits beat inexact, and inexact hits
+    /// keep the fewest-difference positions. With `both_strands`, reads
+    /// left unmapped by the merged forward pass retry as their reverse
+    /// complement — mirroring the unsharded two-phase strand policy.
+    ///
+    /// The merged [`BatchTotals`] counts each input read once
+    /// (`reads`/`exact_hits` describe the merged outcomes) while
+    /// `queries`, `lfm_calls` and the cycle ledger accumulate the work
+    /// every shard actually performed.
+    ///
+    /// # Errors
+    ///
+    /// [`AlignError::EmptyBatch`], [`AlignError::NoThreads`], or
+    /// [`AlignError::ReadExceedsShardOverlap`] when a read (plus the
+    /// configured difference budget) does not fit the shard overlap.
+    pub fn align_chunk(
+        &self,
+        reads: &[DnaSeq],
+        threads: usize,
+        epoch: u64,
+        both_strands: bool,
+    ) -> Result<(Vec<(AlignmentOutcome, MappedStrand)>, BatchTotals), AlignError> {
+        if reads.is_empty() {
+            return Err(AlignError::EmptyBatch);
+        }
+        if threads == 0 {
+            return Err(AlignError::NoThreads);
+        }
+        let budget = self.read_len_budget();
+        if let Some(read) = reads.iter().find(|r| r.len() > budget) {
+            return Err(AlignError::ReadExceedsShardOverlap {
+                read_len: read.len(),
+                budget,
+            });
+        }
+        if let Some(platform) = self.single_platform() {
+            return platform.align_chunk_parallel(reads, threads, epoch, both_strands);
+        }
+
+        let mut totals = BatchTotals::new();
+        let forward = self.merged_forward_pass(reads, threads, epoch, &mut totals)?;
+
+        let mut merged: Vec<(AlignmentOutcome, MappedStrand)> = forward
+            .into_iter()
+            .map(|o| (o, MappedStrand::Forward))
+            .collect();
+        if both_strands {
+            let retry: Vec<usize> = merged
+                .iter()
+                .enumerate()
+                .filter(|(_, (o, _))| !o.is_mapped())
+                .map(|(i, _)| i)
+                .collect();
+            if !retry.is_empty() {
+                let rev: Vec<DnaSeq> = retry
+                    .iter()
+                    .map(|&i| reads[i].reverse_complement())
+                    .collect();
+                let outcomes = self.merged_forward_pass(&rev, threads, epoch, &mut totals)?;
+                for (&i, outcome) in retry.iter().zip(outcomes) {
+                    if outcome.is_mapped() {
+                        merged[i] = (outcome, MappedStrand::Reverse);
+                    }
+                }
+            }
+        }
+
+        // The shard passes each counted the whole chunk; the merged
+        // totals describe it once, with exact hits recomputed from the
+        // merged outcomes.
+        totals.reads = reads.len() as u64;
+        totals.exact_hits = merged
+            .iter()
+            .filter(|(o, _)| matches!(o, AlignmentOutcome::Exact { .. }))
+            .count() as u64;
+        Ok((merged, totals))
+    }
+
+    /// Runs the forward strand over every shard and merges per read.
+    fn merged_forward_pass(
+        &self,
+        reads: &[DnaSeq],
+        threads: usize,
+        epoch: u64,
+        totals: &mut BatchTotals,
+    ) -> Result<Vec<AlignmentOutcome>, AlignError> {
+        let mut merged: Vec<AlignmentOutcome> = vec![AlignmentOutcome::Unmapped; reads.len()];
+        for shard in &self.shards {
+            let (pairs, shard_totals) = shard
+                .platform
+                .align_chunk_parallel(reads, threads, epoch, false)?;
+            totals.merge(&shard_totals);
+            for (read_idx, (outcome, _)) in pairs.into_iter().enumerate() {
+                let owned = shard.translate_owned(outcome);
+                merge_into(&mut merged[read_idx], owned);
+            }
+        }
+        Ok(merged)
+    }
+
+    /// The performance report for accumulated totals: like
+    /// [`Platform::batch_report`] but with every shard's one-time build
+    /// fault counters and mapping cycles added, and the index telemetry
+    /// stamped in.
+    pub fn batch_report(&self, totals: &BatchTotals) -> PerfReport {
+        let mut report = PerfReport::from_batch(
+            &self.config,
+            &totals.ledger,
+            totals.queries,
+            totals.lfm_calls,
+        );
+        let mut faults = totals.telemetry;
+        let mut build_cycles = 0;
+        for shard in &self.shards {
+            let build = shard.platform.mapped().build_fault_counters();
+            faults.stuck_cells += build.stuck_cells;
+            faults.xnor_bit_flips += build.xnor_bit_flips;
+            faults.transient_row_faults += build.transient_row_faults;
+            faults.carry_faults += build.carry_faults;
+            build_cycles += shard.platform.mapped().mapping_ledger().total_busy_cycles();
+        }
+        report.faults = faults;
+        report.breakdown.lfm_by_phase = totals.phase_lfm;
+        report.breakdown.index_build_cycles = build_cycles;
+        report.host = totals.host.clone();
+        report.index = self.index_telemetry();
+        report
+    }
+}
+
+impl ShardRuntime {
+    /// Translates a shard-local outcome to global coordinates and drops
+    /// the positions this shard does not own. An outcome left with no
+    /// positions degrades to `Unmapped`.
+    fn translate_owned(&self, outcome: AlignmentOutcome) -> AlignmentOutcome {
+        match outcome {
+            AlignmentOutcome::Exact { positions } => {
+                let kept = self.owned_global(positions);
+                if kept.is_empty() {
+                    AlignmentOutcome::Unmapped
+                } else {
+                    AlignmentOutcome::Exact { positions: kept }
+                }
+            }
+            AlignmentOutcome::Inexact { positions, diffs } => {
+                let kept = self.owned_global(positions);
+                if kept.is_empty() {
+                    AlignmentOutcome::Unmapped
+                } else {
+                    AlignmentOutcome::Inexact {
+                        positions: kept,
+                        diffs,
+                    }
+                }
+            }
+            AlignmentOutcome::Unmapped => AlignmentOutcome::Unmapped,
+        }
+    }
+
+    fn owned_global(&self, local: Vec<usize>) -> Vec<usize> {
+        local
+            .into_iter()
+            .map(|p| p + self.start)
+            .filter(|&g| g < self.owned_end)
+            .collect()
+    }
+}
+
+/// Merges one shard's (owned, global-coordinate) outcome into the
+/// accumulator for a read: exact beats inexact beats unmapped; equal
+/// tiers union their positions (inexact keeps the fewer-difference
+/// side on a diff tie-break).
+fn merge_into(acc: &mut AlignmentOutcome, next: AlignmentOutcome) {
+    use AlignmentOutcome::{Exact, Inexact, Unmapped};
+    let merged = match (std::mem::replace(acc, Unmapped), next) {
+        (Exact { positions: a }, Exact { positions: b }) => Exact {
+            positions: union_sorted(a, b),
+        },
+        (e @ Exact { .. }, _) => e,
+        (_, e @ Exact { .. }) => e,
+        (
+            Inexact {
+                positions: a,
+                diffs: da,
+            },
+            Inexact {
+                positions: b,
+                diffs: db,
+            },
+        ) => {
+            if da < db {
+                Inexact {
+                    positions: a,
+                    diffs: da,
+                }
+            } else if db < da {
+                Inexact {
+                    positions: b,
+                    diffs: db,
+                }
+            } else {
+                Inexact {
+                    positions: union_sorted(a, b),
+                    diffs: da,
+                }
+            }
+        }
+        (i @ Inexact { .. }, Unmapped) => i,
+        (Unmapped, i @ Inexact { .. }) => i,
+        (Unmapped, Unmapped) => Unmapped,
+    };
+    *acc = merged;
+}
+
+/// Union of two position lists, sorted and deduplicated. Ownership
+/// filtering makes cross-shard duplicates impossible, but dedup anyway —
+/// the SAM writer expects strictly sorted positions.
+fn union_sorted(mut a: Vec<usize>, b: Vec<usize>) -> Vec<usize> {
+    a.extend(b);
+    a.sort_unstable();
+    a.dedup();
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use readsim::genome;
+
+    fn test_artifact(len: usize, window: usize) -> IndexArtifact {
+        let reference = genome::uniform(len, 97);
+        IndexArtifact::build("test-ref", &reference, 4, window, 96)
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let artifact = test_artifact(2_000, 512);
+        assert_eq!(artifact.shards().len(), 4);
+        let mut buffer = Vec::new();
+        artifact.save(&mut buffer).expect("save");
+        let loaded = IndexArtifact::load(&buffer[..]).expect("load");
+        assert_eq!(loaded.reference_name(), "test-ref");
+        assert_eq!(loaded.reference(), artifact.reference());
+        assert_eq!(loaded.sa_rate(), 4);
+        assert_eq!(loaded.shard_window(), 512);
+        assert_eq!(loaded.shard_overlap(), 96);
+        assert_eq!(loaded.shards().len(), 4);
+        for (a, b) in artifact.shards().iter().zip(loaded.shards()) {
+            assert_eq!(a.start(), b.start());
+            assert_eq!(a.index().size_bytes(), b.index().size_bytes());
+            assert_eq!(a.index().bwt().to_string(), b.index().bwt().to_string());
+        }
+    }
+
+    #[test]
+    fn unsharded_build_normalises_geometry() {
+        let reference = genome::uniform(500, 3);
+        let artifact = IndexArtifact::build("r", &reference, 1, 0, 0);
+        assert_eq!(artifact.shards().len(), 1);
+        assert_eq!(artifact.shard_window(), 500);
+        assert_eq!(artifact.shard_overlap(), 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = IndexArtifact::load(&b"NOTANIDX........"[..]).unwrap_err();
+        assert!(matches!(err, LoadArtifactError::BadMagic), "{err}");
+    }
+
+    #[test]
+    fn truncation_and_corruption_detected() {
+        let artifact = test_artifact(600, 300);
+        let mut buffer = Vec::new();
+        artifact.save(&mut buffer).expect("save");
+
+        // Truncation anywhere inside the trailer window.
+        let cut = &buffer[..buffer.len() - 3];
+        match IndexArtifact::load(cut).unwrap_err() {
+            LoadArtifactError::Corrupt(msg) => assert!(msg.contains("checksum mismatch"), "{msg}"),
+            other => panic!("expected Corrupt, got {other}"),
+        }
+
+        // A flipped body byte fails the checksum.
+        let mut flipped = buffer.clone();
+        flipped[20] ^= 0xff;
+        match IndexArtifact::load(&flipped[..]).unwrap_err() {
+            LoadArtifactError::Corrupt(msg) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("expected Corrupt, got {other}"),
+        }
+
+        // Trailing garbage shifts the trailer and fails the checksum.
+        let mut extended = buffer.clone();
+        extended.extend_from_slice(b"EXTRA");
+        assert!(IndexArtifact::load(&extended[..]).is_err());
+    }
+
+    #[test]
+    fn budget_picks_the_densest_fitting_rate() {
+        let len = 1 << 20;
+        let full = size_model::footprint(len, SubArrayLayout::BASES_PER_ROW, 1).total_bytes();
+        assert_eq!(sa_rate_for_budget(len, full), Some(1));
+        // Rate 2 stores ceil(n/2) (row, value) pairs at 8 bytes — no
+        // smaller than the full SA's n u32s — so the first rate that
+        // actually shrinks below a full-SA budget is 4.
+        assert_eq!(sa_rate_for_budget(len, full - 1), Some(4));
+        let sparse = size_model::footprint(len, SubArrayLayout::BASES_PER_ROW, 1024).total_bytes();
+        assert_eq!(sa_rate_for_budget(len, sparse), Some(1024));
+        assert_eq!(sa_rate_for_budget(len, sparse - 1), None);
+    }
+
+    #[test]
+    fn model_matches_actual_bytes() {
+        let artifact = test_artifact(4_000, 1_024);
+        let actual = artifact.index_bytes();
+        let model = artifact.model_bytes();
+        let diff = actual.abs_diff(model);
+        assert!(
+            diff * 1000 <= model,
+            "model {model} vs actual {actual} off by more than 0.1%"
+        );
+    }
+
+    #[test]
+    fn sharded_outcomes_match_unsharded() {
+        let reference = genome::uniform(3_000, 11);
+        let config = PimAlignerConfig::baseline();
+        let mut reads: Vec<DnaSeq> = (0..40)
+            .map(|i| reference.subseq(i * 70..i * 70 + 48))
+            .collect();
+        // A read straddling a shard boundary, a mutated read and a
+        // foreign read exercise all three outcome arms.
+        reads.push(reference.subseq(1_000 - 20..1_000 + 28));
+        let mut mutated = reference.subseq(200..248).into_bases();
+        mutated[10] = match mutated[10] {
+            Base::A => Base::C,
+            _ => Base::A,
+        };
+        reads.push(DnaSeq::from_bases(mutated));
+        reads.push(genome::uniform(48, 999));
+
+        let flat = Platform::new(&reference, config.clone());
+        let (expected, _) = flat
+            .align_chunk_parallel(&reads, 2, 0, true)
+            .expect("unsharded");
+
+        let artifact = IndexArtifact::build("r", &reference, 1, 1_000, 96);
+        assert_eq!(artifact.shards().len(), 3);
+        let sharded = ShardedPlatform::from_artifact(&artifact, config, false);
+        let (merged, totals) = sharded.align_chunk(&reads, 2, 0, true).expect("sharded");
+
+        assert_eq!(merged.len(), expected.len());
+        for (i, ((got, gs), (want, ws))) in merged.iter().zip(&expected).enumerate() {
+            assert_eq!(got, want, "outcome mismatch at read {i}");
+            assert_eq!(gs, ws, "strand mismatch at read {i}");
+        }
+        assert_eq!(totals.reads, reads.len() as u64);
+        let expected_exact = expected
+            .iter()
+            .filter(|(o, _)| matches!(o, AlignmentOutcome::Exact { .. }))
+            .count() as u64;
+        assert_eq!(totals.exact_hits, expected_exact);
+        // Every shard aligned the whole chunk, so the simulated work is
+        // strictly larger than one read per query.
+        assert!(totals.queries >= totals.reads);
+    }
+
+    #[test]
+    fn overlong_read_is_a_typed_error() {
+        let reference = genome::uniform(2_000, 5);
+        let artifact = IndexArtifact::build("r", &reference, 1, 500, 64);
+        let sharded =
+            ShardedPlatform::from_artifact(&artifact, PimAlignerConfig::baseline(), false);
+        let long_read = reference.subseq(0..200);
+        let err = sharded.align_chunk(&[long_read], 1, 0, false).unwrap_err();
+        match err {
+            AlignError::ReadExceedsShardOverlap { read_len, budget } => {
+                assert_eq!(read_len, 200);
+                assert!(budget < 200);
+            }
+            other => panic!("expected ReadExceedsShardOverlap, got {other}"),
+        }
+    }
+
+    #[test]
+    fn warm_boot_report_carries_index_telemetry() {
+        let reference = genome::uniform(1_500, 21);
+        let artifact = IndexArtifact::build("r", &reference, 2, 600, 80);
+        let sharded = ShardedPlatform::from_artifact(&artifact, PimAlignerConfig::baseline(), true);
+        let reads: Vec<DnaSeq> = (0..8)
+            .map(|i| reference.subseq(i * 100..i * 100 + 40))
+            .collect();
+        let (_, totals) = sharded.align_chunk(&reads, 1, 0, false).expect("align");
+        let report = sharded.batch_report(&totals);
+        assert!(report.index.loaded);
+        assert_eq!(report.index.shards, 3);
+        assert_eq!(report.index.sa_rate, 2);
+        assert_eq!(report.index.shard_window, 600);
+        assert_eq!(report.index.shard_overlap, 80);
+        assert!(report.index.actual_bytes > 0);
+        assert!(report.index.model_bytes > 0);
+    }
+}

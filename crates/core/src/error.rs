@@ -9,6 +9,17 @@ pub enum AlignError {
     EmptyBatch,
     /// Zero worker threads were requested.
     NoThreads,
+    /// A read is longer than the shard overlap can guarantee to cover:
+    /// a hit starting near the end of a shard's owned window would run
+    /// past the shard's slice and be silently missed. The overlap must
+    /// be at least `read_len + max_diffs`.
+    ReadExceedsShardOverlap {
+        /// Length of the offending read (bases).
+        read_len: usize,
+        /// The largest read length the shard overlap covers
+        /// (`overlap - max_diffs`).
+        budget: usize,
+    },
 }
 
 impl fmt::Display for AlignError {
@@ -16,6 +27,12 @@ impl fmt::Display for AlignError {
         match self {
             AlignError::EmptyBatch => write!(f, "batch must contain at least one read"),
             AlignError::NoThreads => write!(f, "at least one worker thread required"),
+            AlignError::ReadExceedsShardOverlap { read_len, budget } => write!(
+                f,
+                "read of {read_len} bases exceeds the shard overlap budget \
+                 ({budget} bases max); rebuild the artifact with a larger \
+                 --shard-overlap"
+            ),
         }
     }
 }
@@ -36,5 +53,11 @@ mod tests {
             AlignError::NoThreads.to_string(),
             "at least one worker thread required"
         );
+        let e = AlignError::ReadExceedsShardOverlap {
+            read_len: 200,
+            budget: 125,
+        };
+        assert!(e.to_string().contains("200 bases"));
+        assert!(e.to_string().contains("125 bases max"));
     }
 }

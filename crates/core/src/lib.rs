@@ -41,6 +41,7 @@
 //! ```
 
 mod aligner;
+mod artifact;
 mod config;
 mod error;
 mod exact;
@@ -59,6 +60,10 @@ pub mod sam;
 pub mod service;
 
 pub use aligner::{AlignSession, AlignmentOutcome, BatchResult, MappedStrand, PimAligner};
+pub use artifact::{
+    sa_rate_for_budget, ArtifactShard, IndexArtifact, LoadArtifactError, ShardedPlatform,
+    ARTIFACT_MAGIC, BUDGET_RATES,
+};
 pub use config::{AddMethod, PimAlignerConfig, RecoveryPolicy};
 pub use error::AlignError;
 pub use exact::{exact_search, ExactStats};
@@ -67,11 +72,13 @@ pub use hybrid::{seed_and_extend, HybridHit, SeedExtendConfig};
 pub use inexact::{inexact_search, inexact_search_first, InexactStats};
 pub use mapping::MappedIndex;
 pub use metrics::{
-    host_section_json, service_section_json, MetricsBreakdown, PhaseLfm, PrimitiveMetrics,
-    ResourceMetrics, StageOccupancy, METRICS_SCHEMA_VERSION,
+    host_section_json, index_section_json, service_section_json, MetricsBreakdown, PhaseLfm,
+    PrimitiveMetrics, ResourceMetrics, StageOccupancy, METRICS_SCHEMA_VERSION,
 };
 pub use paired::{align_pair, Mate, PairConstraints, PairOutcome};
 pub use parallel::{align_batch_parallel, align_batch_parallel_both_strands, BatchTotals};
 pub use platform::Platform;
-pub use report::{FaultTelemetry, PerfReport, ServiceTelemetry, BACKGROUND_W_PER_SUBARRAY};
+pub use report::{
+    FaultTelemetry, IndexTelemetry, PerfReport, ServiceTelemetry, BACKGROUND_W_PER_SUBARRAY,
+};
 pub use service::{ServiceConfig, ServiceError};

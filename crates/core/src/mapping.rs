@@ -75,10 +75,30 @@ impl MappedIndex {
     /// maps BWT + MT into sub-arrays (Fig. 6a partitioning). The bucket
     /// width is fixed at 128, one word line.
     pub fn build(reference: &DnaSeq, config: &PimAlignerConfig) -> MappedIndex {
-        BUILD_COUNT.fetch_add(1, Ordering::SeqCst);
         let index = FmIndex::builder()
             .bucket_width(SubArrayLayout::BASES_PER_ROW)
             .build(reference);
+        MappedIndex::from_index(index, config)
+    }
+
+    /// Maps an already-built FM-index — e.g. one deserialised from a
+    /// [`fmindex::io`] artifact — into sub-arrays, skipping the index
+    /// construction itself. The mapping (table loads, mirrors, stuck-cell
+    /// injection) is identical to [`MappedIndex::build`], so a loaded
+    /// index produces the same sub-array state and mapping ledger as an
+    /// in-process build of the same index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index's bucket width is not 128 (one sub-array word
+    /// line) — the mapping's bucket-per-row correspondence requires it.
+    pub fn from_index(index: FmIndex, config: &PimAlignerConfig) -> MappedIndex {
+        BUILD_COUNT.fetch_add(1, Ordering::SeqCst);
+        assert_eq!(
+            index.bucket_width(),
+            SubArrayLayout::BASES_PER_ROW,
+            "sub-array mapping requires one Occ bucket per word line"
+        );
         let mut ledger = CycleLedger::new();
         let model = *config.model();
         let n = index.text_len();

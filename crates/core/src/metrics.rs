@@ -19,7 +19,7 @@ use pimsim::{CycleLedger, HostHistogram, Resource, Span, SpanTracer};
 
 use crate::config::PimAlignerConfig;
 use crate::host::HostTotals;
-use crate::report::{FaultTelemetry, PerfReport, ServiceTelemetry};
+use crate::report::{FaultTelemetry, IndexTelemetry, PerfReport, ServiceTelemetry};
 
 /// Version tag embedded in every metrics JSON document.
 ///
@@ -28,10 +28,13 @@ use crate::report::{FaultTelemetry, PerfReport, ServiceTelemetry};
 /// utilisation, trace-span counts). v3 added the top-level `service`
 /// section (admission/deadline/panic/drain counters from the `pimserve`
 /// service layer, all-zero for one-shot CLI runs) and the
-/// `per_request_latency` histogram to the `host` section. Each version
+/// `per_request_latency` histogram to the `host` section. v4 added the
+/// top-level `index` section (artifact-vs-rebuild provenance, shard
+/// geometry, SA sampling rate and the size-model reconciliation,
+/// all-zero when the run never described its index). Each version
 /// only *adds* paths, so consumers that address fields by name keep
 /// working across versions.
-pub const METRICS_SCHEMA_VERSION: u32 = 3;
+pub const METRICS_SCHEMA_VERSION: u32 = 4;
 
 /// `LFM` invocations attributed to the alignment phase that issued them.
 ///
@@ -327,15 +330,40 @@ impl PerfReport {
     pub fn to_metrics_json(&self) -> String {
         format!(
             "{{\n  \"schema_version\": {},\n  \"report\": {},\n  \"faults\": {},\n  \
-             \"breakdown\": {},\n  \"host\": {},\n  \"service\": {}\n}}\n",
+             \"breakdown\": {},\n  \"host\": {},\n  \"service\": {},\n  \"index\": {}\n}}\n",
             METRICS_SCHEMA_VERSION,
             report_json(self),
             faults_json(&self.faults),
             self.breakdown.to_json(),
             host_section_json(&self.host),
             service_section_json(&self.service),
+            index_section_json(&self.index),
         )
     }
+}
+
+/// The `index` section of the metrics document (schema v4): where the
+/// index came from (artifact vs in-process build), the shard geometry,
+/// the SA sampling rate, and the actual-vs-modelled storage bytes.
+/// All-zero for callers that never described their index.
+pub fn index_section_json(ix: &IndexTelemetry) -> String {
+    format!(
+        "{{\n    \
+         \"loaded\": {},\n    \
+         \"shards\": {},\n    \
+         \"sa_rate\": {},\n    \
+         \"shard_window\": {},\n    \
+         \"shard_overlap\": {},\n    \
+         \"actual_bytes\": {},\n    \
+         \"model_bytes\": {}\n  }}",
+        ix.loaded,
+        ix.shards,
+        ix.sa_rate,
+        ix.shard_window,
+        ix.shard_overlap,
+        ix.actual_bytes,
+        ix.model_bytes,
+    )
 }
 
 /// The `service` section of the metrics document: the admission-control,
@@ -637,6 +665,35 @@ mod tests {
         let quiet = service_section_json(&ServiceTelemetry::default());
         assert!(quiet.contains("\"received\": 0"));
         assert!(quiet.contains("\"deadline_misses\": 0"));
+    }
+
+    #[test]
+    fn index_section_reports_every_field() {
+        let ix = IndexTelemetry {
+            loaded: true,
+            shards: 3,
+            sa_rate: 8,
+            shard_window: 65_536,
+            shard_overlap: 256,
+            actual_bytes: 123_456,
+            model_bytes: 123_400,
+        };
+        let json = index_section_json(&ix);
+        for key in [
+            "\"loaded\": true",
+            "\"shards\": 3",
+            "\"sa_rate\": 8",
+            "\"shard_window\": 65536",
+            "\"shard_overlap\": 256",
+            "\"actual_bytes\": 123456",
+            "\"model_bytes\": 123400",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // The quiet default still emits every field (stable schema).
+        let quiet = index_section_json(&IndexTelemetry::default());
+        assert!(quiet.contains("\"loaded\": false"));
+        assert!(quiet.contains("\"shards\": 0"));
     }
 
     #[test]

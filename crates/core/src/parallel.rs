@@ -359,6 +359,7 @@ impl Platform {
         report.breakdown.lfm_by_phase = totals.phase_lfm;
         report.breakdown.index_build_cycles = self.mapped().mapping_ledger().total_busy_cycles();
         report.host = totals.host.clone();
+        report.index = self.index_telemetry();
         report
     }
 

@@ -46,6 +46,10 @@ pub struct Platform {
     reference: Arc<DnaSeq>,
     mapped: Arc<MappedIndex>,
     config: PimAlignerConfig,
+    /// `true` when the FM-index came from a serialised artifact
+    /// ([`Platform::from_index`]) rather than being built in-process;
+    /// recorded in the report's index telemetry.
+    warm_booted: bool,
 }
 
 impl Platform {
@@ -58,6 +62,61 @@ impl Platform {
             reference: Arc::new(reference.clone()),
             mapped,
             config,
+            warm_booted: false,
+        }
+    }
+
+    /// Builds the platform around an already-constructed FM-index — the
+    /// warm-boot path used when loading a serialised artifact. Only the
+    /// sub-array mapping runs; the index construction (SA-IS, BWT,
+    /// tables) is skipped entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` was not built over `reference` (text length
+    /// mismatch) or its bucket width is not 128.
+    pub fn from_index(
+        reference: DnaSeq,
+        index: fmindex::FmIndex,
+        config: PimAlignerConfig,
+    ) -> Platform {
+        assert_eq!(
+            index.reference_len(),
+            reference.len(),
+            "index does not cover the supplied reference"
+        );
+        let mapped = Arc::new(MappedIndex::from_index(index, &config));
+        Platform {
+            reference: Arc::new(reference),
+            mapped,
+            config,
+            warm_booted: true,
+        }
+    }
+
+    /// How this platform's index came to be, for the report's `index`
+    /// telemetry: one shard spanning the whole reference, the index's
+    /// actual suffix-array sampling rate, its serialisable byte count
+    /// and what the size model predicts for that geometry.
+    pub fn index_telemetry(&self) -> crate::report::IndexTelemetry {
+        let index = self.mapped.index();
+        let sa_rate = match index.sa_samples() {
+            fmindex::SuffixArraySamples::Full(_) => 1,
+            fmindex::SuffixArraySamples::Sampled { rate, .. } => *rate,
+        };
+        crate::report::IndexTelemetry {
+            loaded: self.warm_booted,
+            shards: 1,
+            sa_rate,
+            shard_window: self.reference.len() as u64,
+            shard_overlap: 0,
+            actual_bytes: index.size_bytes() as u64,
+            model_bytes: fmindex::size_model::footprint(
+                self.reference.len(),
+                index.bucket_width(),
+                sa_rate as usize,
+            )
+            .total_bytes() as u64,
         }
     }
 

@@ -145,6 +145,41 @@ impl ServiceTelemetry {
     }
 }
 
+/// Provenance and footprint of the index a run aligned against
+/// (DESIGN.md §14): whether it was loaded from a serialised artifact or
+/// built in-process, how the reference was sharded, and how the actual
+/// storage compares to the analytic
+/// [`size_model`](fmindex::size_model) prediction.
+///
+/// Default-zero for callers that never describe their index; the
+/// `pimalign`/`pimserve` paths always fill it in, and the metrics JSON
+/// emits it under its own `index` section (schema v4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexTelemetry {
+    /// `true` when the index came from a serialised artifact rather
+    /// than an in-process build.
+    pub loaded: bool,
+    /// Reference shards aligned against (1 = unsharded).
+    pub shards: u64,
+    /// Suffix-array sampling rate (1 = full SA, the paper's setup).
+    pub sa_rate: u32,
+    /// Shard window, bases (0 when unsharded).
+    pub shard_window: u64,
+    /// Shard overlap, bases (0 when unsharded).
+    pub shard_overlap: u64,
+    /// Bytes of index storage actually held, summed over shards.
+    pub actual_bytes: u64,
+    /// Bytes the analytic size model predicts for the same geometry.
+    pub model_bytes: u64,
+}
+
+impl IndexTelemetry {
+    /// `true` when no index was ever described.
+    pub fn is_quiet(&self) -> bool {
+        *self == IndexTelemetry::default()
+    }
+}
+
 /// The performance report of one alignment batch — throughput, power and
 /// the utilisation ratios of Fig. 10.
 ///
@@ -205,6 +240,10 @@ pub struct PerfReport {
     /// Service-layer admission/deadline/panic/drain counters
     /// (all-zero outside `pimserve` runs).
     pub service: ServiceTelemetry,
+    /// Index provenance and footprint (artifact vs in-process build,
+    /// shard geometry, size-model reconciliation). Default-zero unless
+    /// the caller described its index.
+    pub index: IndexTelemetry,
 }
 
 impl PerfReport {
@@ -280,6 +319,7 @@ impl PerfReport {
             breakdown: MetricsBreakdown::from_ledger(config, ledger, lfm_calls),
             host: HostTotals::default(),
             service: ServiceTelemetry::default(),
+            index: IndexTelemetry::default(),
         }
     }
 

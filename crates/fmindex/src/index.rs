@@ -1,5 +1,7 @@
 //! The assembled FM-index.
 
+use std::fmt;
+
 use bioseq::DnaSeq;
 
 use crate::bwt::Bwt;
@@ -21,6 +23,34 @@ pub enum SaStorage {
     /// are recovered by LF-stepping.
     Sampled(u32),
 }
+
+/// Why an index could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexBuildError {
+    /// The reference exceeds [`FmIndex::MAX_REFERENCE_LEN`]. Text
+    /// positions are stored as `u32` with `u32::MAX` reserved as the
+    /// unsampled-SA sentinel, so the text (reference + sentinel) must
+    /// fit in `u32::MAX` rows.
+    ReferenceTooLong {
+        /// The offending reference length, bases.
+        len: usize,
+    },
+}
+
+impl fmt::Display for IndexBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexBuildError::ReferenceTooLong { len } => write!(
+                f,
+                "reference of {len} bases exceeds the u32 position bound \
+                 ({} bases max)",
+                FmIndex::MAX_REFERENCE_LEN
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IndexBuildError {}
 
 /// Builder for [`FmIndex`] (see [`FmIndex::builder`]).
 ///
@@ -83,7 +113,30 @@ impl FmIndexBuilder {
 
     /// Builds the index over `reference` (Fig. 2's one-time
     /// pre-computation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference exceeds [`FmIndex::MAX_REFERENCE_LEN`];
+    /// use [`FmIndexBuilder::try_build`] for a typed error instead.
     pub fn build(self, reference: &DnaSeq) -> FmIndex {
+        self.try_build(reference)
+            .unwrap_or_else(|e| panic!("cannot build index: {e}"))
+    }
+
+    /// Builds the index over `reference`, rejecting references too long
+    /// for the `u32` text-position representation.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexBuildError::ReferenceTooLong`] when the reference exceeds
+    /// [`FmIndex::MAX_REFERENCE_LEN`] (text positions are `u32` with
+    /// `u32::MAX` reserved as the unsampled-SA sentinel).
+    pub fn try_build(self, reference: &DnaSeq) -> Result<FmIndex, IndexBuildError> {
+        if reference.len() > FmIndex::MAX_REFERENCE_LEN {
+            return Err(IndexBuildError::ReferenceTooLong {
+                len: reference.len(),
+            });
+        }
         let text = Text::from_reference(reference);
         let sa = suffix_array(&text);
         let bwt = Bwt::from_sa(&text, &sa);
@@ -95,14 +148,14 @@ impl FmIndexBuilder {
             SaStorage::Full => SuffixArraySamples::full(&sa),
             SaStorage::Sampled(rate) => SuffixArraySamples::sampled(&sa, rate),
         };
-        FmIndex {
+        Ok(FmIndex {
             text_len: text.len(),
             bwt,
             count,
             occ,
             marker,
             samples,
-        }
+        })
     }
 }
 
@@ -141,6 +194,14 @@ impl FmIndex {
     /// Default Occ bucket width: 128 bases, one 256-bit sub-array word
     /// line (paper Fig. 6a).
     pub const DEFAULT_BUCKET_WIDTH: usize = 128;
+
+    /// Longest supported reference, bases. Text positions (reference +
+    /// one sentinel) are stored as `u32` and `u32::MAX` is reserved as
+    /// the unsampled-SA sentinel, so the text may hold at most
+    /// `u32::MAX` rows — a reference of `u32::MAX − 1` bases. Covers any
+    /// single chromosome (Hg19's largest is ~249 Mbp; the whole 3.2 Gbp
+    /// genome is indexed per-chromosome or sharded).
+    pub const MAX_REFERENCE_LEN: usize = u32::MAX as usize - 1;
 
     /// Starts building an index.
     pub fn builder() -> FmIndexBuilder {
@@ -358,6 +419,31 @@ mod tests {
             EditBudget::substitutions_only(1),
         );
         assert_eq!(hits.iter().find(|(p, _)| *p == 0).map(|(_, d)| *d), Some(0));
+    }
+
+    #[test]
+    fn try_build_matches_build_within_bound() {
+        let reference: DnaSeq = "GATTACA".parse().unwrap();
+        let index = FmIndex::builder()
+            .bucket_width(3)
+            .try_build(&reference)
+            .expect("small reference builds");
+        assert_eq!(index.find(&"TTA".parse().unwrap()), vec![2]);
+    }
+
+    #[test]
+    fn reference_too_long_error_names_the_bound() {
+        // A u32::MAX-base reference cannot be materialised in a test;
+        // the typed error itself is the contract.
+        let e = IndexBuildError::ReferenceTooLong { len: 1 << 33 };
+        let msg = e.to_string();
+        assert!(msg.contains("u32 position bound"), "{msg}");
+        assert!(
+            msg.contains(&FmIndex::MAX_REFERENCE_LEN.to_string()),
+            "{msg}"
+        );
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<IndexBuildError>();
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! them at boot. This module defines a compact little-endian format:
 //!
 //! ```text
-//! magic  "PIMFMI1\n"
-//! u64    text length (incl. sentinel)
+//! magic  "PIMFMI2\n"
+//! u64    text length (incl. sentinel); must fit in u32 (position bound)
 //! u64    sentinel position in the BWT
 //! [u8]   BWT nucleotides, 2-bit packed (sentinel cell holds a placeholder)
 //! u32×4  Count table
@@ -15,7 +15,15 @@
 //! u8     SA tag (0 = full, 1 = sampled) [+ u32 rate when sampled]
 //! u64    stored SA entry count, then u32 per entry (sampled: row index
 //!        u32 + value u32 pairs)
+//! u64    FNV-1a-64 checksum of every byte after the magic
 //! ```
+//!
+//! [`load`] verifies the trailing checksum and rejects streams with
+//! trailing garbage; a short read anywhere surfaces as
+//! [`LoadIndexError::Corrupt`] naming the table that was cut off. The
+//! previous `PIMFMI1` format (same body, no checksum) remains loadable
+//! through a compat path so existing artifacts keep working; [`save`]
+//! always writes `PIMFMI2`.
 //!
 //! The full Occ table is *not* stored; it is rebuilt from the BWT on
 //! load (linear time, and 16 bytes/base on disk would dwarf everything
@@ -30,17 +38,33 @@ use std::io::{self, Read, Write};
 
 use crate::index::FmIndex;
 
-/// Magic bytes heading every serialised index.
-pub const MAGIC: &[u8; 8] = b"PIMFMI1\n";
+/// Magic bytes heading every serialised index (current version).
+pub const MAGIC: &[u8; 8] = b"PIMFMI2\n";
+
+/// Magic of the legacy checksum-free format, still accepted by [`load`].
+pub const MAGIC_V1: &[u8; 8] = b"PIMFMI1\n";
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// Error returned by [`load`].
 #[derive(Debug)]
 pub enum LoadIndexError {
-    /// Underlying I/O failure.
+    /// Underlying I/O failure (not a short read — those are [`Corrupt`]).
+    ///
+    /// [`Corrupt`]: LoadIndexError::Corrupt
     Io(io::Error),
-    /// The stream does not start with [`MAGIC`].
+    /// The stream starts with neither [`MAGIC`] nor [`MAGIC_V1`].
     BadMagic,
-    /// Structurally invalid contents.
+    /// The declared text length exceeds the `u32` position bound
+    /// ([`FmIndex::MAX_REFERENCE_LEN`]); such an index can never have
+    /// been written by a correct builder.
+    TooLarge {
+        /// The declared text length (reference + sentinel).
+        len: usize,
+    },
+    /// Structurally invalid contents: truncation, checksum mismatch,
+    /// trailing garbage, or inconsistent tables.
     Corrupt(String),
 }
 
@@ -49,6 +73,11 @@ impl fmt::Display for LoadIndexError {
         match self {
             LoadIndexError::Io(e) => write!(f, "index read failed: {e}"),
             LoadIndexError::BadMagic => f.write_str("not a PIM-Aligner FM-index stream"),
+            LoadIndexError::TooLarge { len } => write!(
+                f,
+                "index text of {len} rows exceeds the u32 position bound ({} rows max)",
+                u32::MAX
+            ),
             LoadIndexError::Corrupt(msg) => write!(f, "corrupt index: {msg}"),
         }
     }
@@ -69,7 +98,62 @@ impl From<io::Error> for LoadIndexError {
     }
 }
 
-/// Serialises an index.
+/// FNV-1a-64 over a running stream — cheap, dependency-free, and plenty
+/// for catching torn writes and bit rot (this is an integrity check, not
+/// an authenticity one).
+struct HashingWriter<W: Write> {
+    inner: W,
+    hash: u64,
+}
+
+impl<W: Write> HashingWriter<W> {
+    fn new(inner: W) -> Self {
+        HashingWriter {
+            inner,
+            hash: FNV_OFFSET,
+        }
+    }
+}
+
+impl<W: Write> Write for HashingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        for &b in &buf[..n] {
+            self.hash = (self.hash ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+struct HashingReader<R: Read> {
+    inner: R,
+    hash: u64,
+}
+
+impl<R: Read> HashingReader<R> {
+    fn new(inner: R) -> Self {
+        HashingReader {
+            inner,
+            hash: FNV_OFFSET,
+        }
+    }
+}
+
+impl<R: Read> Read for HashingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        for &b in &buf[..n] {
+            self.hash = (self.hash ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        Ok(n)
+    }
+}
+
+/// Serialises an index in the current (`PIMFMI2`) format.
 ///
 /// # Errors
 ///
@@ -92,6 +176,14 @@ impl From<io::Error> for LoadIndexError {
 /// ```
 pub fn save<W: Write>(index: &FmIndex, mut writer: W) -> io::Result<()> {
     writer.write_all(MAGIC)?;
+    let mut hashed = HashingWriter::new(&mut writer);
+    save_body(index, &mut hashed)?;
+    let digest = hashed.hash;
+    writer.write_all(&digest.to_le_bytes())?;
+    writer.flush()
+}
+
+fn save_body<W: Write>(index: &FmIndex, writer: &mut W) -> io::Result<()> {
     let n = index.text_len() as u64;
     writer.write_all(&n.to_le_bytes())?;
     let bwt = index.bwt();
@@ -134,76 +226,102 @@ pub fn save<W: Write>(index: &FmIndex, mut writer: W) -> io::Result<()> {
             }
         }
     }
-    writer.flush()
+    Ok(())
 }
 
 /// Deserialises an index previously written by [`save`], rebuilding the
 /// derived Occ table.
 ///
+/// Accepts the current `PIMFMI2` format (checksum verified) and the
+/// legacy `PIMFMI1` format (no checksum to verify). Both must end
+/// exactly where the format says they do — trailing bytes are rejected.
+///
 /// # Errors
 ///
-/// Returns [`LoadIndexError`] on I/O failure, a wrong magic, or
-/// structurally invalid contents.
+/// Returns [`LoadIndexError`] on I/O failure, a wrong magic, an
+/// over-long text, or structurally invalid contents (including
+/// truncation and checksum mismatch).
 pub fn load<R: Read>(mut reader: R) -> Result<FmIndex, LoadIndexError> {
     let mut magic = [0u8; 8];
-    reader.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(LoadIndexError::BadMagic);
+    read_exact_in(&mut reader, &mut magic, "magic")?;
+    if &magic == MAGIC {
+        let mut hashed = HashingReader::new(&mut reader);
+        let index = load_body(&mut hashed)?;
+        let digest = hashed.hash;
+        let mut trailer = [0u8; 8];
+        read_exact_in(&mut reader, &mut trailer, "checksum")?;
+        if u64::from_le_bytes(trailer) != digest {
+            return Err(LoadIndexError::Corrupt("checksum mismatch".into()));
+        }
+        ensure_end_of_stream(&mut reader)?;
+        Ok(index)
+    } else if &magic == MAGIC_V1 {
+        let index = load_body(&mut reader)?;
+        ensure_end_of_stream(&mut reader)?;
+        Ok(index)
+    } else {
+        Err(LoadIndexError::BadMagic)
     }
-    let n = read_u64(&mut reader)? as usize;
+}
+
+fn load_body<R: Read>(reader: &mut R) -> Result<FmIndex, LoadIndexError> {
+    let n = read_u64(reader, "text length")? as usize;
     if n == 0 {
         return Err(LoadIndexError::Corrupt("empty text".into()));
     }
-    let sentinel = read_u64(&mut reader)? as usize;
+    if n > u32::MAX as usize {
+        return Err(LoadIndexError::TooLarge { len: n });
+    }
+    let sentinel = read_u64(reader, "sentinel")? as usize;
     if sentinel >= n {
         return Err(LoadIndexError::Corrupt("sentinel out of range".into()));
     }
     let mut packed = vec![0u8; n.div_ceil(4)];
-    reader.read_exact(&mut packed)?;
+    read_exact_in(reader, &mut packed, "BWT")?;
     let mut count = [0u32; 4];
     for c in &mut count {
-        *c = read_u32(&mut reader)?;
+        *c = read_u32(reader, "count table")?;
     }
-    let bucket_width = read_u64(&mut reader)? as usize;
+    let bucket_width = read_u64(reader, "marker table")? as usize;
     if bucket_width == 0 {
         return Err(LoadIndexError::Corrupt("zero bucket width".into()));
     }
-    let buckets = read_u64(&mut reader)? as usize;
+    let buckets = read_u64(reader, "marker table")? as usize;
     if buckets != n / bucket_width + 1 {
         return Err(LoadIndexError::Corrupt("bucket count mismatch".into()));
     }
     let mut markers = Vec::with_capacity(buckets * 4);
     for _ in 0..buckets * 4 {
-        markers.push(read_u32(&mut reader)?);
+        markers.push(read_u32(reader, "marker table")?);
     }
     let mut tag = [0u8; 1];
-    reader.read_exact(&mut tag)?;
+    read_exact_in(reader, &mut tag, "SA tag")?;
     let samples = match tag[0] {
         0 => {
-            let len = read_u64(&mut reader)? as usize;
+            let len = read_u64(reader, "suffix array")? as usize;
             if len != n {
                 return Err(LoadIndexError::Corrupt("SA length mismatch".into()));
             }
             let mut values = Vec::with_capacity(len);
             for _ in 0..len {
-                values.push(read_u32(&mut reader)?);
+                values.push(read_u32(reader, "suffix array")?);
             }
             crate::locate::SuffixArraySamples::Full(values)
         }
         1 => {
-            let rate = read_u32(&mut reader)?;
+            let rate = read_u32(reader, "suffix array")?;
             if rate == 0 {
                 return Err(LoadIndexError::Corrupt("zero SA rate".into()));
             }
-            let len = read_u64(&mut reader)? as usize;
+            let len = read_u64(reader, "suffix array")? as usize;
             if len != n {
                 return Err(LoadIndexError::Corrupt("SA length mismatch".into()));
             }
-            let stored = read_u64(&mut reader)? as usize;
+            let stored = read_u64(reader, "suffix array")? as usize;
             let mut values = vec![u32::MAX; len];
             for _ in 0..stored {
-                let row = read_u32(&mut reader)? as usize;
-                let v = read_u32(&mut reader)?;
+                let row = read_u32(reader, "suffix array")? as usize;
+                let v = read_u32(reader, "suffix array")?;
                 if row >= len {
                     return Err(LoadIndexError::Corrupt("SA row out of range".into()));
                 }
@@ -219,16 +337,43 @@ pub fn load<R: Read>(mut reader: R) -> Result<FmIndex, LoadIndexError> {
         .map_err(LoadIndexError::Corrupt)
 }
 
-fn read_u64<R: Read>(reader: &mut R) -> io::Result<u64> {
+/// Reads exactly `buf.len()` bytes, converting a short read into
+/// [`LoadIndexError::Corrupt`] naming the table it happened in.
+fn read_exact_in<R: Read>(
+    reader: &mut R,
+    buf: &mut [u8],
+    section: &str,
+) -> Result<(), LoadIndexError> {
+    reader.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            LoadIndexError::Corrupt(format!("truncated in {section}"))
+        } else {
+            LoadIndexError::Io(e)
+        }
+    })
+}
+
+fn read_u64<R: Read>(reader: &mut R, section: &str) -> Result<u64, LoadIndexError> {
     let mut b = [0u8; 8];
-    reader.read_exact(&mut b)?;
+    read_exact_in(reader, &mut b, section)?;
     Ok(u64::from_le_bytes(b))
 }
 
-fn read_u32<R: Read>(reader: &mut R) -> io::Result<u32> {
+fn read_u32<R: Read>(reader: &mut R, section: &str) -> Result<u32, LoadIndexError> {
     let mut b = [0u8; 4];
-    reader.read_exact(&mut b)?;
+    read_exact_in(reader, &mut b, section)?;
     Ok(u32::from_le_bytes(b))
+}
+
+fn ensure_end_of_stream<R: Read>(reader: &mut R) -> Result<(), LoadIndexError> {
+    let mut probe = [0u8; 1];
+    match reader.read(&mut probe) {
+        Ok(0) => Ok(()),
+        Ok(_) => Err(LoadIndexError::Corrupt(
+            "trailing bytes after the index".into(),
+        )),
+        Err(e) => Err(LoadIndexError::Io(e)),
+    }
 }
 
 #[cfg(test)]
@@ -287,6 +432,25 @@ mod tests {
         );
     }
 
+    /// `size_bytes()` must equal the bytes `save` actually writes, modulo
+    /// the fixed per-stream overhead: magic(8) + n(8) + sentinel(8) +
+    /// count(16) + bucket width(8) + bucket count(8) + SA tag(1) + SA
+    /// header (full: len(8); sampled: rate(4) + len(8) + stored(8)) +
+    /// checksum(8).
+    #[test]
+    fn size_bytes_matches_serialized_bytes() {
+        for (storage, overhead) in [(SaStorage::Full, 73usize), (SaStorage::Sampled(4), 85)] {
+            let index = sample_index(storage);
+            let mut buffer = Vec::new();
+            save(&index, &mut buffer).unwrap();
+            assert_eq!(
+                index.size_bytes(),
+                buffer.len() - overhead,
+                "accounting drifted from the serializer for {storage:?}"
+            );
+        }
+    }
+
     #[test]
     fn bad_magic_rejected() {
         let err = load(&b"NOTANIDX________"[..]).unwrap_err();
@@ -295,13 +459,93 @@ mod tests {
     }
 
     #[test]
-    fn truncation_is_an_io_error() {
+    fn truncation_is_reported_as_corrupt_with_section() {
         let index = sample_index(SaStorage::Full);
         let mut buffer = Vec::new();
         save(&index, &mut buffer).unwrap();
-        buffer.truncate(buffer.len() / 2);
+        // Cut the stream at every byte boundary: each must produce a
+        // Corrupt("truncated in …") error, never a bare Io error.
+        for cut in 8..buffer.len() {
+            let err = load(&buffer[..cut]).unwrap_err();
+            match err {
+                LoadIndexError::Corrupt(msg) => {
+                    assert!(msg.contains("truncated in"), "cut {cut}: {msg}")
+                }
+                other => panic!("cut {cut}: expected Corrupt, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_mismatch_detected() {
+        let index = sample_index(SaStorage::Full);
+        let mut buffer = Vec::new();
+        save(&index, &mut buffer).unwrap();
+        let last = buffer.len() - 1;
+        buffer[last] ^= 0xFF; // flip a bit of the trailing checksum
         let err = load(buffer.as_slice()).unwrap_err();
-        assert!(matches!(err, LoadIndexError::Io(_)), "{err}");
+        match err {
+            LoadIndexError::Corrupt(msg) => assert!(msg.contains("checksum"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let index = sample_index(SaStorage::Sampled(4));
+        let mut buffer = Vec::new();
+        save(&index, &mut buffer).unwrap();
+        buffer.extend_from_slice(b"EXTRA");
+        let err = load(buffer.as_slice()).unwrap_err();
+        match err {
+            LoadIndexError::Corrupt(msg) => assert!(msg.contains("trailing"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_v1_stream_still_loads() {
+        let index = sample_index(SaStorage::Sampled(4));
+        let mut buffer = Vec::new();
+        save(&index, &mut buffer).unwrap();
+        // A V1 stream is the same body with the old magic and no
+        // trailing checksum.
+        buffer[..8].copy_from_slice(MAGIC_V1);
+        buffer.truncate(buffer.len() - 8);
+        let restored = load(buffer.as_slice()).expect("v1 compat load");
+        let read: DnaSeq = "GATTACA".parse().unwrap();
+        assert_eq!(restored.find(&read), index.find(&read));
+        assert_eq!(restored.size_bytes(), index.size_bytes());
+    }
+
+    #[test]
+    fn oversized_text_length_is_too_large() {
+        let mut buffer = Vec::new();
+        buffer.extend_from_slice(MAGIC);
+        buffer.extend_from_slice(&(u32::MAX as u64 + 1).to_le_bytes());
+        let err = load(buffer.as_slice()).unwrap_err();
+        match err {
+            LoadIndexError::TooLarge { len } => {
+                assert_eq!(len, u32::MAX as usize + 1);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        assert!(err.to_string().contains("u32 position bound"));
+    }
+
+    #[test]
+    fn genuine_io_errors_stay_io() {
+        struct FailingReader;
+        impl Read for FailingReader {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk on fire"))
+            }
+        }
+        let err = load(FailingReader).unwrap_err();
+        match err {
+            LoadIndexError::Io(e) => assert_eq!(e.to_string(), "disk on fire"),
+            other => panic!("expected Io, got {other:?}"),
+        }
     }
 
     #[test]

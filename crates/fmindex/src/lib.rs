@@ -57,7 +57,7 @@ mod tables;
 mod text;
 
 pub use bwt::Bwt;
-pub use index::{FmIndex, FmIndexBuilder, SaStorage};
+pub use index::{FmIndex, FmIndexBuilder, IndexBuildError, SaStorage};
 pub use inexact::{EditBudget, InexactHit};
 pub use locate::SuffixArraySamples;
 pub use sa::{suffix_array, suffix_array_naive};

@@ -27,21 +27,46 @@ pub enum SuffixArraySamples {
 
 impl SuffixArraySamples {
     /// Keeps the full SA.
+    ///
+    /// Entries are stored as `u32`, and `u32::MAX` is reserved as the
+    /// unsampled-row sentinel of the `Sampled` variant, so every text
+    /// position must be strictly below `u32::MAX`. The index builder
+    /// enforces this bound with a typed error
+    /// ([`IndexBuildError`](crate::IndexBuildError)); the assert here is
+    /// defence in depth against callers constructing samples directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any SA entry is `>= u32::MAX`.
     pub fn full(sa: &[usize]) -> SuffixArraySamples {
+        assert!(
+            sa.len() <= u32::MAX as usize,
+            "SA has {} rows; text positions must fit below u32::MAX",
+            sa.len()
+        );
         SuffixArraySamples::Full(sa.iter().map(|&v| v as u32).collect())
     }
 
     /// Samples the SA at text positions divisible by `rate`.
     ///
+    /// The same `u32::MAX` position bound as [`SuffixArraySamples::full`]
+    /// applies — a position equal to `u32::MAX` would be
+    /// indistinguishable from the unsampled sentinel.
+    ///
     /// # Panics
     ///
-    /// Panics if `rate == 0`.
+    /// Panics if `rate == 0` or any SA entry is `>= u32::MAX`.
     pub fn sampled(sa: &[usize], rate: u32) -> SuffixArraySamples {
         assert!(rate > 0, "SA sampling rate must be positive");
+        assert!(
+            sa.len() <= u32::MAX as usize,
+            "SA has {} rows; text positions must fit below u32::MAX",
+            sa.len()
+        );
         let values = sa
             .iter()
             .map(|&v| {
-                if (v as u32).is_multiple_of(rate) {
+                if v % rate as usize == 0 {
                     v as u32
                 } else {
                     u32::MAX
@@ -65,11 +90,16 @@ impl SuffixArraySamples {
     }
 
     /// Bytes of storage used (Fig. 10a memory accounting).
+    ///
+    /// This mirrors the bytes [`io::save`](crate::io::save) actually
+    /// writes for the SA table: 4 bytes per row for the full array, and
+    /// 8 bytes — a `(row, value)` pair of `u32`s — per stored entry for
+    /// the sampled form. The agreement is pinned by a serializer test.
     pub fn size_bytes(&self) -> usize {
         match self {
             SuffixArraySamples::Full(v) => v.len() * 4,
             SuffixArraySamples::Sampled { values, .. } => {
-                values.iter().filter(|&&v| v != u32::MAX).count() * 4 + values.len() / 8
+                values.iter().filter(|&&v| v != u32::MAX).count() * 8
             }
         }
     }

@@ -42,7 +42,20 @@ impl SaInterval {
     /// The full interval `[0, n)` covering every suffix of a text of length
     /// `n` — the initialisation of Algorithm 1 ("index-low and index-high
     /// boundaries are initialized to … 0 and N").
+    ///
+    /// Interval bounds are `u32`, so `text_len` must not exceed
+    /// `u32::MAX` rows. The index builder guarantees this
+    /// ([`FmIndex::MAX_REFERENCE_LEN`](crate::FmIndex::MAX_REFERENCE_LEN));
+    /// the assert catches direct callers with an over-long text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `text_len > u32::MAX`.
     pub fn full(text_len: usize) -> SaInterval {
+        assert!(
+            text_len <= u32::MAX as usize,
+            "text of {text_len} rows exceeds the u32 interval bound"
+        );
         SaInterval {
             low: 0,
             high: text_len as u32,

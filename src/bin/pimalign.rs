@@ -3,8 +3,19 @@
 //!
 //! ```text
 //! pimalign <reference.fasta> <reads.fastq> [options] > out.sam
+//! pimalign --index <artifact> <reads.fastq> [options] > out.sam
+//! pimalign index build <reference.fasta> <artifact> [index options]
+//! pimalign index inspect <artifact>
 //!
 //! options:
+//!   --index <PATH>        boot the platform from a serialised index
+//!                         artifact instead of rebuilding from FASTA
+//!                         (the reference comes from the artifact, so no
+//!                         reference.fasta positional is given)
+//!   --index-memory-budget <BYTES>
+//!                         build the in-process index with the densest
+//!                         suffix-array sampling rate whose modelled
+//!                         footprint fits (suffixes K/M/G = KiB/MiB/GiB)
 //!   --pipelined           use PIM-Aligner-p (Pd = 2) instead of the baseline
 //!   --pd <N>              parallelism degree (implies method-II for N >= 2)
 //!   --max-diffs <Z>       inexact-stage difference budget (default 2, max 8)
@@ -23,6 +34,14 @@
 //!   --trace-out <PATH>    write a Chrome trace-event JSON (wall-clock spans,
 //!                         one track per worker; open in Perfetto)
 //!   --progress            stream reads/s + ETA to stderr while aligning
+//!
+//! index options (for `pimalign index build`):
+//!   --sa-rate <N>         keep every N-th suffix-array entry (default 1 = full)
+//!   --index-memory-budget <BYTES>
+//!                         pick the densest rate fitting BYTES instead
+//!   --shard-window <N>    owned bases per shard (default 0 = one shard)
+//!   --shard-overlap <N>   slice overlap past the owned window; must cover
+//!                         read length + difference budget (default 512)
 //! ```
 //!
 //! SAM goes to stdout; the platform performance report goes to stderr.
@@ -46,10 +65,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use pim_aligner_suite::bioseq::{fasta, fastq};
+use pim_aligner_suite::bioseq::{fasta, fastq, DnaSeq};
 use pim_aligner_suite::mram::faults::{FaultCampaign, FaultModel};
 use pim_aligner_suite::pim_aligner::{
-    sam, BatchTotals, HostTraceConfig, PimAlignerConfig, Platform, RecoveryPolicy,
+    sa_rate_for_budget, sam, AlignError, AlignmentOutcome, BatchTotals, HostTraceConfig,
+    IndexArtifact, MappedStrand, PimAlignerConfig, Platform, RecoveryPolicy, ShardedPlatform,
 };
 use pim_aligner_suite::pimsim::{chrome_trace_json, HostEpoch, HostSpan};
 
@@ -148,6 +168,8 @@ fn sam_write_ok(result: std::io::Result<()>) -> Result<bool, CliError> {
 
 struct Cli {
     positional: Vec<String>,
+    index: Option<String>,
+    index_memory_budget: Option<usize>,
     pd: usize,
     max_diffs: u8,
     indels: bool,
@@ -177,6 +199,20 @@ where
         .map_err(|e| format!("invalid {flag}: {e}"))
 }
 
+/// Parses a byte count with optional binary suffix: `64M` = 64 MiB.
+fn parse_bytes(raw: &str, flag: &str) -> Result<usize, String> {
+    let (digits, shift) = match raw.as_bytes().last() {
+        Some(b'K' | b'k') => (&raw[..raw.len() - 1], 10),
+        Some(b'M' | b'm') => (&raw[..raw.len() - 1], 20),
+        Some(b'G' | b'g') => (&raw[..raw.len() - 1], 30),
+        _ => (raw, 0),
+    };
+    let n: usize = digits.parse().map_err(|e| format!("invalid {flag}: {e}"))?;
+    n.checked_shl(shift)
+        .filter(|&b| b >> shift == n)
+        .ok_or_else(|| format!("invalid {flag}: {raw} overflows"))
+}
+
 fn parse_prob(args: &[String], i: &mut usize, flag: &str) -> Result<f64, String> {
     let p: f64 = parse_flag(args, i, flag)?;
     if !(0.0..=1.0).contains(&p) {
@@ -190,6 +226,8 @@ fn parse_prob(args: &[String], i: &mut usize, flag: &str) -> Result<f64, String>
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         positional: Vec::new(),
+        index: None,
+        index_memory_budget: None,
         pd: 1,
         max_diffs: 2,
         indels: true,
@@ -210,6 +248,11 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--index" => cli.index = Some(parse_flag(args, &mut i, "--index")?),
+            "--index-memory-budget" => {
+                let raw: String = parse_flag(args, &mut i, "--index-memory-budget")?;
+                cli.index_memory_budget = Some(parse_bytes(&raw, "--index-memory-budget")?);
+            }
             "--pipelined" => cli.pd = cli.pd.max(2),
             "--pd" => {
                 cli.pd = parse_flag(args, &mut i, "--pd")?;
@@ -260,15 +303,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     Ok(cli)
 }
 
-fn run() -> Result<(), CliError> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cli = parse_cli(&args).map_err(CliError::Usage)?;
-    let [ref_path, reads_path] = cli.positional.as_slice() else {
-        return Err(CliError::Usage(
-            "usage: pimalign <reference.fasta> <reads.fastq> [options]".to_owned(),
-        ));
-    };
-
+/// Reads a FASTA file expected to hold exactly one reference record.
+fn load_reference(ref_path: &str) -> Result<(String, DnaSeq), CliError> {
     let ref_text = std::fs::read_to_string(ref_path)
         .map_err(|e| CliError::Input(format!("cannot read {ref_path}: {e}")))?;
     let references =
@@ -278,6 +314,73 @@ fn run() -> Result<(), CliError> {
             "{ref_path}: expected exactly one reference record, found {}",
             references.len()
         )));
+    };
+    Ok((reference.id().to_owned(), reference.seq().clone()))
+}
+
+/// The alignment engine behind the streaming loop: one flat platform
+/// (built in-process) or a sharded platform booted from an artifact.
+enum Engine {
+    Flat(Platform),
+    Sharded(ShardedPlatform),
+}
+
+impl Engine {
+    fn align_chunk(
+        &self,
+        seqs: &[DnaSeq],
+        threads: usize,
+        epoch: u64,
+        both_strands: bool,
+        trace: Option<&HostTraceConfig>,
+    ) -> Result<(Vec<(AlignmentOutcome, MappedStrand)>, BatchTotals), AlignError> {
+        match (self, trace) {
+            (Engine::Flat(p), Some(t)) => {
+                p.align_chunk_parallel_traced(seqs, threads, epoch, both_strands, t)
+            }
+            (Engine::Flat(p), None) => p.align_chunk_parallel(seqs, threads, epoch, both_strands),
+            (Engine::Sharded(s), Some(t)) => s
+                .single_platform()
+                .expect("multi-shard tracing is rejected at startup")
+                .align_chunk_parallel_traced(seqs, threads, epoch, both_strands, t),
+            (Engine::Sharded(s), None) => s.align_chunk(seqs, threads, epoch, both_strands),
+        }
+    }
+
+    fn batch_report(&self, totals: &BatchTotals) -> pim_aligner_suite::pim_aligner::PerfReport {
+        match self {
+            Engine::Flat(p) => p.batch_report(totals),
+            Engine::Sharded(s) => s.batch_report(totals),
+        }
+    }
+}
+
+fn run() -> Result<(), CliError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("index") {
+        return run_index(&args[1..]);
+    }
+    let cli = parse_cli(&args).map_err(CliError::Usage)?;
+    if cli.index.is_some() && cli.index_memory_budget.is_some() {
+        return Err(CliError::Usage(
+            "--index-memory-budget applies when building an index; a loaded artifact's \
+             sampling rate is already fixed"
+                .to_owned(),
+        ));
+    }
+    let (ref_source, reads_path) = match (&cli.index, cli.positional.as_slice()) {
+        (Some(_), [reads]) => (None, reads),
+        (None, [reference, reads]) => (Some(reference), reads),
+        (Some(_), _) => {
+            return Err(CliError::Usage(
+                "usage: pimalign --index <artifact> <reads.fastq> [options]".to_owned(),
+            ));
+        }
+        (None, _) => {
+            return Err(CliError::Usage(
+                "usage: pimalign <reference.fasta> <reads.fastq> [options]".to_owned(),
+            ));
+        }
     };
     let reads_file = std::fs::File::open(reads_path)
         .map_err(|e| CliError::Input(format!("cannot read {reads_path}: {e}")))?;
@@ -318,10 +421,43 @@ fn run() -> Result<(), CliError> {
         .as_ref()
         .map(|_| HostTraceConfig::new(host_epoch));
 
-    // One platform for the whole run: the index is built exactly once
-    // here and shared by every chunk and worker thread below.
+    // One engine for the whole run: the index is built (or loaded)
+    // exactly once here and shared by every chunk and worker thread
+    // below.
     let build_start_ns = host_epoch.now_ns();
-    let platform = Platform::new(reference.seq(), config);
+    let (engine, ref_id, ref_len) = match (&cli.index, ref_source) {
+        (Some(artifact_path), None) => {
+            let artifact = IndexArtifact::load_from_path(std::path::Path::new(artifact_path))
+                .map_err(|e| CliError::Input(format!("{artifact_path}: {e}")))?;
+            let ref_id = artifact.reference_name().to_owned();
+            let ref_len = artifact.reference().len();
+            let sharded = ShardedPlatform::from_artifact(&artifact, config, true);
+            if trace_config.is_some() && sharded.shard_count() > 1 {
+                return Err(CliError::Usage(
+                    "--trace-out is not supported with sharded index artifacts".to_owned(),
+                ));
+            }
+            (Engine::Sharded(sharded), ref_id, ref_len)
+        }
+        (None, Some(ref_path)) => {
+            let (ref_id, reference) = load_reference(ref_path)?;
+            let ref_len = reference.len();
+            let engine = if let Some(budget) = cli.index_memory_budget {
+                let rate = sa_rate_for_budget(ref_len, budget).ok_or_else(|| {
+                    CliError::Input(format!(
+                        "--index-memory-budget {budget} bytes cannot hold the index for \
+                         {ref_len} bases at any supported sampling rate"
+                    ))
+                })?;
+                let artifact = IndexArtifact::build(&ref_id, &reference, rate, 0, 0);
+                Engine::Sharded(ShardedPlatform::from_artifact(&artifact, config, false))
+            } else {
+                Engine::Flat(Platform::new(&reference, config))
+            };
+            (engine, ref_id, ref_len)
+        }
+        _ => unreachable!("positional parsing pinned the index/reference combinations"),
+    };
     // The index build runs on the main thread; its trace track sits
     // after the worker tracks (tid = --threads).
     let build_span = HostSpan {
@@ -335,11 +471,7 @@ fn run() -> Result<(), CliError> {
     // path for any thread count (1 thread is a single worker session).
     let stdout = std::io::stdout();
     let mut out = BufWriter::new(stdout.lock());
-    if !sam_write_ok(write!(
-        out,
-        "{}",
-        sam::header(reference.id(), reference.seq().len())
-    ))? {
+    if !sam_write_ok(write!(out, "{}", sam::header(&ref_id, ref_len)))? {
         return Ok(());
     }
     let mut totals = BatchTotals::new();
@@ -355,17 +487,20 @@ fn run() -> Result<(), CliError> {
             break;
         }
         let seqs: Vec<_> = chunk.iter().map(|r| r.seq().clone()).collect();
-        let (pairs, chunk_totals) = match &trace_config {
-            Some(trace) => platform.align_chunk_parallel_traced(
+        let (pairs, chunk_totals) = engine
+            .align_chunk(
                 &seqs,
                 cli.threads,
                 epoch,
                 cli.both_strands,
-                trace,
-            ),
-            None => platform.align_chunk_parallel(&seqs, cli.threads, epoch, cli.both_strands),
-        }
-        .map_err(|e| CliError::Runtime(e.to_string()))?;
+                trace_config.as_ref(),
+            )
+            .map_err(|e| match e {
+                // A read too long for the artifact's shard overlap is a
+                // data problem (pick a different artifact), not a crash.
+                AlignError::ReadExceedsShardOverlap { .. } => CliError::Input(e.to_string()),
+                other => CliError::Runtime(other.to_string()),
+            })?;
         totals.merge(&chunk_totals);
         if cli.progress && last_progress.elapsed().as_millis() >= PROGRESS_INTERVAL_MS {
             last_progress = Instant::now();
@@ -382,7 +517,7 @@ fn run() -> Result<(), CliError> {
             }
             let sam_record = sam::record_for(
                 record.id(),
-                reference.id(),
+                &ref_id,
                 record.seq(),
                 Some(record.quality()),
                 outcome,
@@ -400,7 +535,7 @@ fn run() -> Result<(), CliError> {
     if totals.reads == 0 {
         return Err(CliError::Input(format!("{reads_path}: no reads")));
     }
-    let report = platform.batch_report(&totals);
+    let report = engine.batch_report(&totals);
     let mut metrics_paths: Vec<&String> = Vec::new();
     metrics_paths.extend(&cli.metrics);
     if cli.metrics_out.as_ref() != cli.metrics.as_ref() {
@@ -441,6 +576,16 @@ fn run() -> Result<(), CliError> {
         "pimalign: platform Pd={}: {:.3e} queries/s, {:.1} W, MBR {:.1}%, RUR {:.1}%",
         cli.pd, report.throughput_qps, report.total_power_w, report.mbr_pct, report.rur_pct
     );
+    let ix = report.index;
+    eprintln!(
+        "pimalign: index: {} ({} shard{}), SA rate {}, {} bytes ({:.2} bytes/bp)",
+        if ix.loaded { "loaded" } else { "built" },
+        ix.shards,
+        if ix.shards == 1 { "" } else { "s" },
+        ix.sa_rate,
+        ix.actual_bytes,
+        ix.actual_bytes as f64 / ref_len as f64,
+    );
     let t = report.faults;
     if campaign.is_active() || !t.is_quiet() {
         eprintln!(
@@ -459,5 +604,142 @@ fn run() -> Result<(), CliError> {
             t.unrecoverable
         );
     }
+    Ok(())
+}
+
+/// Dispatches the `pimalign index <verb>` subcommands.
+fn run_index(args: &[String]) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("build") => run_index_build(&args[1..]),
+        Some("inspect") => run_index_inspect(&args[1..]),
+        _ => Err(CliError::Usage(
+            "usage: pimalign index build <reference.fasta> <artifact> [options]\n\
+             \x20      pimalign index inspect <artifact>"
+                .to_owned(),
+        )),
+    }
+}
+
+struct IndexBuildCli {
+    positional: Vec<String>,
+    sa_rate: u32,
+    budget: Option<usize>,
+    shard_window: usize,
+    shard_overlap: usize,
+}
+
+fn parse_index_build_cli(args: &[String]) -> Result<IndexBuildCli, String> {
+    let mut cli = IndexBuildCli {
+        positional: Vec::new(),
+        sa_rate: 1,
+        budget: None,
+        shard_window: 0,
+        shard_overlap: 512,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sa-rate" => {
+                cli.sa_rate = parse_flag(args, &mut i, "--sa-rate")?;
+                if cli.sa_rate == 0 {
+                    return Err("invalid --sa-rate: must be at least 1".into());
+                }
+            }
+            "--index-memory-budget" => {
+                let raw: String = parse_flag(args, &mut i, "--index-memory-budget")?;
+                cli.budget = Some(parse_bytes(&raw, "--index-memory-budget")?);
+            }
+            "--shard-window" => cli.shard_window = parse_flag(args, &mut i, "--shard-window")?,
+            "--shard-overlap" => {
+                cli.shard_overlap = parse_flag(args, &mut i, "--shard-overlap")?;
+                if cli.shard_overlap == 0 {
+                    return Err(
+                        "invalid --shard-overlap: must cover at least one read length".into(),
+                    );
+                }
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
+            _ => cli.positional.push(args[i].clone()),
+        }
+        i += 1;
+    }
+    Ok(cli)
+}
+
+/// `pimalign index build`: FASTA in, checksummed `PIMAIX1` artifact out.
+fn run_index_build(args: &[String]) -> Result<(), CliError> {
+    let cli = parse_index_build_cli(args).map_err(CliError::Usage)?;
+    let [ref_path, out_path] = cli.positional.as_slice() else {
+        return Err(CliError::Usage(
+            "usage: pimalign index build <reference.fasta> <artifact> [options]".to_owned(),
+        ));
+    };
+    let (ref_id, reference) = load_reference(ref_path)?;
+    let max_len = pim_aligner_suite::fmindex::FmIndex::MAX_REFERENCE_LEN;
+    if reference.len() > max_len {
+        return Err(CliError::Input(format!(
+            "{ref_path}: {} bases exceeds the u32 position bound ({max_len} bases max); \
+             shard the reference across separate artifacts",
+            reference.len()
+        )));
+    }
+    let sa_rate = match cli.budget {
+        Some(budget) => sa_rate_for_budget(reference.len(), budget).ok_or_else(|| {
+            CliError::Input(format!(
+                "--index-memory-budget {budget} bytes cannot hold the index for {} bases \
+                 at any supported sampling rate",
+                reference.len()
+            ))
+        })?,
+        None => cli.sa_rate,
+    };
+    let build_start = Instant::now();
+    let artifact = IndexArtifact::build(
+        &ref_id,
+        &reference,
+        sa_rate,
+        cli.shard_window,
+        cli.shard_overlap,
+    );
+    let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+    artifact
+        .save_to_path(std::path::Path::new(out_path))
+        .map_err(|e| CliError::Runtime(format!("cannot write {out_path}: {e}")))?;
+    eprintln!(
+        "pimalign: index build: {} bases -> {} shard(s), SA rate {}, {} index bytes \
+         ({:.2} bytes/bp), {:.0} ms",
+        reference.len(),
+        artifact.shards().len(),
+        artifact.sa_rate(),
+        artifact.index_bytes(),
+        artifact.index_bytes() as f64 / reference.len() as f64,
+        build_ms,
+    );
+    Ok(())
+}
+
+/// `pimalign index inspect`: loads (and thereby checksum-verifies) an
+/// artifact and prints its geometry, one `key: value` per line.
+fn run_index_inspect(args: &[String]) -> Result<(), CliError> {
+    let [path] = args else {
+        return Err(CliError::Usage(
+            "usage: pimalign index inspect <artifact>".to_owned(),
+        ));
+    };
+    let artifact = IndexArtifact::load_from_path(std::path::Path::new(path))
+        .map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+    println!("reference: {}", artifact.reference_name());
+    println!("bases: {}", artifact.reference().len());
+    println!("sa_rate: {}", artifact.sa_rate());
+    println!("shards: {}", artifact.shards().len());
+    println!("shard_window: {}", artifact.shard_window());
+    println!("shard_overlap: {}", artifact.shard_overlap());
+    println!("index_bytes: {}", artifact.index_bytes());
+    println!("model_bytes: {}", artifact.model_bytes());
+    println!(
+        "bytes_per_bp: {:.4}",
+        artifact.index_bytes() as f64 / artifact.reference().len() as f64
+    );
+    println!("checksum: ok");
     Ok(())
 }

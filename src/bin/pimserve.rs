@@ -2,8 +2,13 @@
 //!
 //! ```text
 //! pimserve <reference.fasta> [options]
+//! pimserve --index <artifact> [options]
 //!
 //! options:
+//!   --index <PATH>            boot the warm platform from a serialised
+//!                             index artifact (built by `pimalign index
+//!                             build`) instead of indexing the FASTA;
+//!                             single-shard artifacts only
 //!   --addr <HOST:PORT>        listen address (default 127.0.0.1:0)
 //!   --port-file <PATH>        write the bound address to PATH once listening
 //!   --threads <N>             worker threads per alignment batch (default 2)
@@ -34,7 +39,7 @@ use std::process::ExitCode;
 
 use pim_aligner_suite::bioseq::fasta;
 use pim_aligner_suite::pim_aligner::service::{serve, ServiceConfig, ServiceError};
-use pim_aligner_suite::pim_aligner::{PimAlignerConfig, Platform};
+use pim_aligner_suite::pim_aligner::{IndexArtifact, PimAlignerConfig, Platform};
 
 /// A CLI failure, classified exactly as in `pimalign`: usage = 2,
 /// input = 3, runtime = 4.
@@ -72,6 +77,7 @@ fn main() -> ExitCode {
 
 struct Cli {
     positional: Vec<String>,
+    index: Option<String>,
     addr: String,
     port_file: Option<String>,
     service: ServiceConfig,
@@ -95,6 +101,7 @@ where
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         positional: Vec::new(),
+        index: None,
         addr: "127.0.0.1:0".to_owned(),
         port_file: None,
         service: ServiceConfig::default(),
@@ -106,6 +113,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--index" => cli.index = Some(parse_flag(args, &mut i, "--index")?),
             "--addr" => cli.addr = parse_flag(args, &mut i, "--addr")?,
             "--port-file" => cli.port_file = Some(parse_flag(args, &mut i, "--port-file")?),
             "--threads" => cli.service.threads = parse_flag(args, &mut i, "--threads")?,
@@ -151,10 +159,16 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
 fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = parse_cli(&args).map_err(CliError::Usage)?;
-    let [ref_path] = cli.positional.as_slice() else {
-        return Err(CliError::Usage(
-            "usage: pimserve <reference.fasta> [options]".to_owned(),
-        ));
+    let ref_path = match (&cli.index, cli.positional.as_slice()) {
+        (Some(_), []) => None,
+        (None, [ref_path]) => Some(ref_path),
+        _ => {
+            return Err(CliError::Usage(
+                "usage: pimserve <reference.fasta> [options]\n\
+                 \x20      pimserve --index <artifact> [options]"
+                    .to_owned(),
+            ));
+        }
     };
     // Reject bad knobs before the (expensive) index build: a zero queue
     // depth is a typo to fix, not a reason to spend seconds indexing.
@@ -163,26 +177,43 @@ fn run() -> Result<(), CliError> {
         ServiceError::Bind { .. } => CliError::Runtime(e.to_string()),
     })?;
 
-    let ref_text = std::fs::read_to_string(ref_path)
-        .map_err(|e| CliError::Input(format!("cannot read {ref_path}: {e}")))?;
-    let references =
-        fasta::parse(&ref_text).map_err(|e| CliError::Input(format!("{ref_path}: {e}")))?;
-    let [reference] = references.as_slice() else {
-        return Err(CliError::Input(format!(
-            "{ref_path}: expected exactly one reference record, found {}",
-            references.len()
-        )));
-    };
-
     let mut config = PimAlignerConfig::baseline()
         .with_max_diffs(cli.max_diffs)
         .with_indels(cli.indels);
     if cli.pd >= 2 {
         config = config.with_pd(cli.pd);
     }
-    // The warm platform: the index is built exactly once here and shared
-    // by every request for the lifetime of the process.
-    let platform = Platform::new(reference.seq(), config);
+    // The warm platform, shared by every request for the lifetime of the
+    // process: indexed from FASTA exactly once, or — with --index —
+    // booted from the artifact with only the sub-array mapping run here.
+    let platform = match (&cli.index, ref_path) {
+        (Some(artifact_path), None) => {
+            let artifact = IndexArtifact::load_from_path(std::path::Path::new(artifact_path))
+                .map_err(|e| CliError::Input(format!("{artifact_path}: {e}")))?;
+            let [shard] = artifact.shards() else {
+                return Err(CliError::Input(format!(
+                    "{artifact_path}: pimserve needs a single-shard artifact, found {} shards; \
+                     rebuild with --shard-window 0",
+                    artifact.shards().len()
+                )));
+            };
+            Platform::from_index(artifact.reference().clone(), shard.index().clone(), config)
+        }
+        (None, Some(ref_path)) => {
+            let ref_text = std::fs::read_to_string(ref_path)
+                .map_err(|e| CliError::Input(format!("cannot read {ref_path}: {e}")))?;
+            let references =
+                fasta::parse(&ref_text).map_err(|e| CliError::Input(format!("{ref_path}: {e}")))?;
+            let [reference] = references.as_slice() else {
+                return Err(CliError::Input(format!(
+                    "{ref_path}: expected exactly one reference record, found {}",
+                    references.len()
+                )));
+            };
+            Platform::new(reference.seq(), config)
+        }
+        _ => unreachable!("positional parsing pinned the index/reference combinations"),
+    };
 
     let handle = serve(platform, cli.service, &cli.addr).map_err(|e| match e {
         ServiceError::InvalidConfig(_) => CliError::Usage(e.to_string()),

@@ -1,0 +1,334 @@
+//! Integration: the serialised index artifact end to end through the
+//! `pimalign` CLI.
+//!
+//! `pimalign index build` must produce an artifact that `pimalign
+//! --index` boots into the *same* platform the FASTA path builds
+//! in-process: byte-identical SAM and identical simulated-cycle and
+//! fault counters — across 8 worker threads with faults off, and under
+//! seeded fault injection on the deterministic sequential stream. A
+//! sharded artifact must align to the same SAM as the unsharded
+//! platform, and `index inspect` must report the artifact's geometry.
+
+use std::fmt::Write as _;
+use std::process::Command;
+
+use bench::json::{self, Value};
+use pim_aligner_suite::bioseq::{Base, DnaSeq};
+use pim_aligner_suite::readsim::genome;
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("pimalign_artifact_{name}_{}", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp file");
+    path
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("pimalign_artifact_{name}_{}", std::process::id()))
+}
+
+fn run_cli(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pimalign"))
+        .args(args)
+        .output()
+        .expect("run pimalign");
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+        out.status.success(),
+    )
+}
+
+/// A deterministic 4 kbp reference and a read set covering every
+/// alignment arm: exact, mismatched (inexact), reverse-complement and
+/// unmappable reads, so shard merging and fault recovery both fire.
+fn fixture() -> (DnaSeq, String) {
+    let reference = genome::uniform(4_000, 0xf1e1d);
+    let mut fastq = String::new();
+    for i in 0..40 {
+        let start = (i * 97) % (reference.len() - 64);
+        let mut read = reference.subseq(start..start + 64);
+        match i % 4 {
+            1 => {
+                // One substitution mid-read: the inexact stage must place it.
+                let mut mutated = read.as_slice().to_vec();
+                mutated[32] = match mutated[32] {
+                    Base::A => Base::C,
+                    Base::C => Base::G,
+                    Base::G => Base::T,
+                    Base::T => Base::A,
+                };
+                read = DnaSeq::from_bases(mutated);
+            }
+            2 => read = read.reverse_complement(),
+            3 if i % 8 == 7 => {
+                // Unmappable: alternating dinucleotide absent from the
+                // uniform genome at this length is unlikely; force junk.
+                read = "GC".repeat(32).parse().expect("junk read");
+            }
+            _ => {}
+        }
+        writeln!(fastq, "@read{i}\n{read}\n+\n{}", "I".repeat(64)).expect("format fastq");
+    }
+    (reference, fastq)
+}
+
+fn counter(doc: &Value, path: &str) -> u64 {
+    doc.get(path)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing or non-integer {path}"))
+}
+
+/// The simulated (machine-independent) counters that must not move
+/// between a cold in-process build and a warm artifact boot.
+const SIMULATED_COUNTERS: &[&str] = &[
+    "report.queries",
+    "report.lfm_calls",
+    "breakdown.total_busy_cycles",
+    "breakdown.primitive_cycles_total",
+    "breakdown.subarray_activations",
+    "breakdown.index_build_cycles",
+    "breakdown.lfm_by_phase.exact",
+    "breakdown.lfm_by_phase.inexact",
+    "breakdown.lfm_by_phase.recovery_retry",
+    "breakdown.lfm_by_phase.recovery_escalate",
+    "faults.xnor_bit_flips",
+    "faults.transient_row_faults",
+    "faults.retries",
+    "faults.escalations",
+    "faults.host_fallbacks",
+    "faults.unrecoverable",
+    "faults.verifications",
+    "faults.verify_failures",
+];
+
+/// Runs the cold (FASTA) and warm (`--index`) paths with identical
+/// engine flags and asserts byte-identical SAM plus identical simulated
+/// counters; returns the two metrics documents for extra checks.
+fn assert_cold_warm_identical(
+    ref_fa: &std::path::Path,
+    reads_fq: &std::path::Path,
+    artifact: &std::path::Path,
+    engine_flags: &[&str],
+    label: &str,
+) -> (Value, Value) {
+    let cold_metrics = temp_path(&format!("{label}_cold.json"));
+    let warm_metrics = temp_path(&format!("{label}_warm.json"));
+
+    let mut cold_args = vec![ref_fa.to_str().unwrap(), reads_fq.to_str().unwrap()];
+    cold_args.extend_from_slice(engine_flags);
+    cold_args.extend_from_slice(&["--metrics", cold_metrics.to_str().unwrap()]);
+    let (cold_sam, stderr, ok) = run_cli(&cold_args);
+    assert!(ok, "{label}: cold run failed: {stderr}");
+
+    let mut warm_args = vec![
+        "--index",
+        artifact.to_str().unwrap(),
+        reads_fq.to_str().unwrap(),
+    ];
+    warm_args.extend_from_slice(engine_flags);
+    warm_args.extend_from_slice(&["--metrics", warm_metrics.to_str().unwrap()]);
+    let (warm_sam, stderr, ok) = run_cli(&warm_args);
+    assert!(ok, "{label}: warm run failed: {stderr}");
+    assert!(
+        stderr.contains("index: loaded"),
+        "{label}: warm run must announce the loaded artifact: {stderr}"
+    );
+
+    assert_eq!(
+        cold_sam, warm_sam,
+        "{label}: warm-boot SAM diverged from the in-process build"
+    );
+
+    let cold = json::parse(&std::fs::read_to_string(&cold_metrics).expect("cold metrics"))
+        .expect("cold metrics JSON");
+    let warm = json::parse(&std::fs::read_to_string(&warm_metrics).expect("warm metrics"))
+        .expect("warm metrics JSON");
+    for path in SIMULATED_COUNTERS {
+        assert_eq!(
+            counter(&cold, path),
+            counter(&warm, path),
+            "{label}: simulated counter {path} moved across the serialisation boundary"
+        );
+    }
+    std::fs::remove_file(cold_metrics).ok();
+    std::fs::remove_file(warm_metrics).ok();
+    (cold, warm)
+}
+
+#[test]
+fn warm_boot_replays_the_cold_build_bit_identically() {
+    let (reference, fastq) = fixture();
+    let ref_fa = write_temp("warm_ref.fa", &format!(">chrA\n{reference}\n"));
+    let reads_fq = write_temp("warm_reads.fq", &fastq);
+    let artifact = temp_path("warm.pimx");
+
+    let (_, stderr, ok) = run_cli(&[
+        "index",
+        "build",
+        ref_fa.to_str().unwrap(),
+        artifact.to_str().unwrap(),
+    ]);
+    assert!(ok, "index build failed: {stderr}");
+
+    // Faults off, 8 threads: dynamic partitioning must not cost a byte
+    // (the engine's thread-invariance guarantee, here asserted across
+    // the serialisation boundary).
+    let (cold, warm) =
+        assert_cold_warm_identical(&ref_fa, &reads_fq, &artifact, &["--threads", "8"], "clean8");
+
+    // Provenance: only the warm run reports a loaded index; geometry and
+    // footprint agree with the cold build.
+    assert_eq!(
+        cold.get("index.loaded").and_then(Value::as_bool),
+        Some(false)
+    );
+    assert_eq!(
+        warm.get("index.loaded").and_then(Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(counter(&warm, "index.shards"), 1);
+    assert_eq!(
+        counter(&cold, "index.actual_bytes"),
+        counter(&warm, "index.actual_bytes")
+    );
+
+    // Seeded faults, single worker: worker 0 replays the sequential
+    // fault stream, so the faulted run must also replay bit-identically
+    // from the artifact. (Faulted multi-thread runs are run-to-run
+    // nondeterministic by design — dynamic partitioning changes which
+    // decorrelated worker stream each read sees — so the faulted leg of
+    // this guarantee is exactly the sequential one.)
+    let (cold, _) = assert_cold_warm_identical(
+        &ref_fa,
+        &reads_fq,
+        &artifact,
+        &[
+            "--threads",
+            "1",
+            "--fault-seed",
+            "42",
+            "--fault-xnor",
+            "0.002",
+            "--fault-transient",
+            "0.001",
+        ],
+        "faulted1",
+    );
+    assert!(
+        counter(&cold, "faults.xnor_bit_flips") > 0,
+        "faults must fire"
+    );
+
+    for p in [ref_fa, reads_fq, artifact] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn sharded_artifact_aligns_to_the_unsharded_sam() {
+    let (reference, fastq) = fixture();
+    let ref_fa = write_temp("shard_ref.fa", &format!(">chrA\n{reference}\n"));
+    let reads_fq = write_temp("shard_reads.fq", &fastq);
+    let artifact = temp_path("shard.pimx");
+    let metrics = temp_path("shard.json");
+
+    let (flat_sam, stderr, ok) = run_cli(&[
+        ref_fa.to_str().unwrap(),
+        reads_fq.to_str().unwrap(),
+        "--threads",
+        "4",
+    ]);
+    assert!(ok, "unsharded run failed: {stderr}");
+
+    let (_, stderr, ok) = run_cli(&[
+        "index",
+        "build",
+        ref_fa.to_str().unwrap(),
+        artifact.to_str().unwrap(),
+        "--shard-window",
+        "1000",
+        "--shard-overlap",
+        "128",
+    ]);
+    assert!(ok, "sharded index build failed: {stderr}");
+
+    let (sharded_sam, stderr, ok) = run_cli(&[
+        "--index",
+        artifact.to_str().unwrap(),
+        reads_fq.to_str().unwrap(),
+        "--threads",
+        "4",
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(ok, "sharded run failed: {stderr}");
+
+    assert_eq!(
+        flat_sam, sharded_sam,
+        "sharded SAM diverged from the unsharded platform"
+    );
+    let doc =
+        json::parse(&std::fs::read_to_string(&metrics).expect("metrics")).expect("metrics JSON");
+    assert_eq!(counter(&doc, "index.shards"), 4);
+    assert_eq!(counter(&doc, "index.shard_window"), 1000);
+    assert_eq!(counter(&doc, "index.shard_overlap"), 128);
+
+    for p in [ref_fa, reads_fq, artifact, metrics] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn inspect_reports_geometry_and_budget_picks_a_sampled_rate() {
+    let (reference, _) = fixture();
+    let ref_fa = write_temp("inspect_ref.fa", &format!(">chrA\n{reference}\n"));
+    let artifact = temp_path("inspect.pimx");
+
+    // A budget below the full-SA footprint must force a sampled rate.
+    let (_, stderr, ok) = run_cli(&[
+        "index",
+        "build",
+        ref_fa.to_str().unwrap(),
+        artifact.to_str().unwrap(),
+        "--index-memory-budget",
+        "12K",
+    ]);
+    assert!(ok, "budgeted index build failed: {stderr}");
+
+    let (stdout, stderr, ok) = run_cli(&["index", "inspect", artifact.to_str().unwrap()]);
+    assert!(ok, "inspect failed: {stderr}");
+    let field = |name: &str| -> String {
+        stdout
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{name}: ")))
+            .unwrap_or_else(|| panic!("inspect output missing {name}:\n{stdout}"))
+            .to_owned()
+    };
+    assert_eq!(field("bases"), "4000");
+    assert_eq!(field("shards"), "1");
+    let rate: u32 = field("sa_rate").parse().expect("numeric sa_rate");
+    assert!(
+        rate > 1,
+        "12K budget must force SA sampling, got rate {rate}"
+    );
+    let bytes: u64 = field("index_bytes").parse().expect("numeric index_bytes");
+    assert!(bytes <= 12 * 1024, "budgeted artifact overshot: {bytes}");
+    assert_eq!(field("checksum"), "ok");
+
+    // Corruption must be caught by the trailing checksum on load.
+    let mut raw = std::fs::read(&artifact).expect("read artifact");
+    let mid = raw.len() / 2;
+    raw[mid] ^= 0x40;
+    std::fs::write(&artifact, &raw).expect("corrupt artifact");
+    let (_, stderr, ok) = run_cli(&["index", "inspect", artifact.to_str().unwrap()]);
+    assert!(!ok, "inspect must reject a corrupted artifact");
+    assert!(
+        stderr.contains("checksum") || stderr.contains("corrupt"),
+        "corruption error must name the cause: {stderr}"
+    );
+
+    for p in [ref_fa, artifact] {
+        std::fs::remove_file(p).ok();
+    }
+}

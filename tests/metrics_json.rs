@@ -63,7 +63,21 @@ fn as_u64(doc: &Value, path: &str) -> u64 {
 fn metrics_json_is_valid_and_reconciles() {
     let doc = run_with_metrics(&["--pipelined"]);
 
-    assert_eq!(as_u64(&doc, "schema_version"), 3);
+    assert_eq!(as_u64(&doc, "schema_version"), 4);
+
+    // v4: the index section records how the platform's FM-index came to
+    // be. A plain CLI run builds in-process: one shard, full SA, not
+    // loaded, and the serialisable footprint agrees with the size model.
+    assert_eq!(
+        doc.get("index.loaded").and_then(Value::as_bool),
+        Some(false),
+        "a CLI FASTA run builds its index in-process"
+    );
+    assert_eq!(as_u64(&doc, "index.shards"), 1);
+    assert_eq!(as_u64(&doc, "index.sa_rate"), 1);
+    let actual_bytes = as_u64(&doc, "index.actual_bytes");
+    assert!(actual_bytes > 0);
+    assert_eq!(actual_bytes, as_u64(&doc, "index.model_bytes"));
 
     // A CLI run never touches the service plane; the always-on service
     // section must exist and be all-zero so dashboards get one schema
