@@ -94,10 +94,176 @@
 //!
 //! Exit status: 0 within tolerance, 1 regression detected, 2 usage or
 //! parse error.
+//!
+//! Every run also writes a machine-readable gate record to
+//! `target/ci/gate_<kind>.json` — one entry per check with the measured
+//! value, the threshold and the verdict — so CI can upload the gate
+//! outcomes as artifacts even when the log stream is lost. A parse
+//! error records an `"error"` field instead of checks.
 
+use std::io::Write as _;
 use std::process::ExitCode;
 
 use bench::json::{self, Value};
+
+/// One recorded check: `measured` and `threshold` are pre-rendered JSON
+/// fragments (numbers, booleans or strings) so heterogeneous checks
+/// share one record shape.
+struct Check {
+    name: String,
+    measured: String,
+    threshold: String,
+    op: &'static str,
+    pass: bool,
+}
+
+/// Collects per-check outcomes for one benchdiff invocation and writes
+/// the `target/ci/gate_<kind>.json` record.
+struct Gate {
+    kind: &'static str,
+    checks: Vec<Check>,
+    error: Option<String>,
+}
+
+/// A finite float as a JSON number (6 decimals keeps ratios readable).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+impl Gate {
+    fn new(kind: &'static str) -> Gate {
+        Gate {
+            kind,
+            checks: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Records one check and returns its verdict (so call sites can
+    /// fold it into their running `ok`).
+    fn record(
+        &mut self,
+        name: &str,
+        measured: String,
+        threshold: String,
+        op: &'static str,
+        pass: bool,
+    ) -> bool {
+        self.checks.push(Check {
+            name: name.to_owned(),
+            measured,
+            threshold,
+            op,
+            pass,
+        });
+        pass
+    }
+
+    /// `measured >= floor` on floats.
+    fn ge(&mut self, name: &str, measured: f64, floor: f64) -> bool {
+        self.record(
+            name,
+            json_f64(measured),
+            json_f64(floor),
+            ">=",
+            measured >= floor,
+        )
+    }
+
+    /// `measured <= ceiling` on floats.
+    fn le(&mut self, name: &str, measured: f64, ceiling: f64) -> bool {
+        self.record(
+            name,
+            json_f64(measured),
+            json_f64(ceiling),
+            "<=",
+            measured <= ceiling,
+        )
+    }
+
+    /// Exact equality on counts.
+    fn eq_u64(&mut self, name: &str, measured: u64, expected: u64) -> bool {
+        self.record(
+            name,
+            measured.to_string(),
+            expected.to_string(),
+            "==",
+            measured == expected,
+        )
+    }
+
+    /// A boolean property that must hold.
+    fn holds(&mut self, name: &str, pass: bool) -> bool {
+        self.record(
+            name,
+            if pass { "true" } else { "false" }.to_owned(),
+            "true".to_owned(),
+            "==",
+            pass,
+        )
+    }
+
+    /// Writes `target/ci/gate_<kind>.json`; best-effort (CI treats a
+    /// missing record as the exit status alone).
+    fn write(&self, overall_pass: bool) {
+        let dir = std::path::Path::new("target/ci");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("benchdiff: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("gate_{}.json", self.kind));
+        let checks = self
+            .checks
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{ \"name\": \"{}\", \"measured\": {}, \"op\": \"{}\", \
+                     \"threshold\": {}, \"pass\": {} }}",
+                    json_escape(&c.name),
+                    c.measured,
+                    c.op,
+                    c.threshold,
+                    c.pass
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let error = match &self.error {
+            Some(msg) => format!(",\n  \"error\": \"{}\"", json_escape(msg)),
+            None => String::new(),
+        };
+        let doc = format!(
+            "{{\n  \"kind\": \"{}\",\n  \"pass\": {overall_pass},\n  \"checks\": [\n{checks}\n  ]{error}\n}}\n",
+            self.kind
+        );
+        match std::fs::File::create(&path) {
+            Ok(mut file) => {
+                if let Err(e) = file.write_all(doc.as_bytes()) {
+                    eprintln!("benchdiff: cannot write {}: {e}", path.display());
+                } else {
+                    eprintln!("benchdiff: gate record written to {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("benchdiff: cannot create {}: {e}", path.display()),
+        }
+    }
+}
 
 #[derive(Clone, Copy, PartialEq)]
 enum Kind {
@@ -248,7 +414,7 @@ fn effective_scaling_floor(configured: f64, host_cores: u64) -> f64 {
     configured.min(0.75 * host_cores.min(8) as f64)
 }
 
-fn run_parallel(args: &Args) -> Result<bool, String> {
+fn run_parallel(args: &Args, gate: &mut Gate) -> Result<bool, String> {
     let fresh = load(&args.fresh)?;
     let baseline = load(baseline_path(args))?;
     let fresh_rows = throughput_rows(&fresh, &args.fresh)?;
@@ -272,9 +438,11 @@ fn run_parallel(args: &Args) -> Result<bool, String> {
              (ratio {ratio:.2}, floor {:.2}) {verdict}",
             args.min_ratio
         );
-        if ratio < args.min_ratio {
-            ok = false;
-        }
+        ok &= gate.ge(
+            &format!("throughput_ratio_t{threads}"),
+            ratio,
+            args.min_ratio,
+        );
     }
     if compared == 0 {
         return Err("no common thread counts between fresh and baseline".to_owned());
@@ -290,9 +458,7 @@ fn run_parallel(args: &Args) -> Result<bool, String> {
     eprintln!(
         "benchdiff: shared-platform speedup {speedup:.1}x (floor {min_speedup:.1}x) {verdict}"
     );
-    if speedup < min_speedup {
-        ok = false;
-    }
+    ok &= gate.ge("speedup_8_threads_vs_seed_style", speedup, min_speedup);
 
     let scaling = required_f64(&fresh, "scaling_8_vs_1", &args.fresh)?;
     let host_cores = fresh
@@ -306,13 +472,11 @@ fn run_parallel(args: &Args) -> Result<bool, String> {
          (effective floor {floor:.2}x, configured {:.2}x) {verdict}",
         args.min_scaling
     );
-    if scaling < floor {
-        ok = false;
-    }
+    ok &= gate.ge("scaling_8_vs_1", scaling, floor);
     Ok(ok)
 }
 
-fn run_kernel(args: &Args) -> Result<bool, String> {
+fn run_kernel(args: &Args, gate: &mut Gate) -> Result<bool, String> {
     let fresh = load(&args.fresh)?;
     let baseline = load(baseline_path(args))?;
     let mut ok = true;
@@ -328,9 +492,7 @@ fn run_kernel(args: &Args) -> Result<bool, String> {
         "benchdiff: packed-kernel speedup {speedup:.1}x vs reference \
          (floor {min_speedup:.1}x) {verdict}"
     );
-    if speedup < min_speedup {
-        ok = false;
-    }
+    ok &= gate.ge("speedup_vs_reference", speedup, min_speedup);
 
     let packed_mlfm = |doc: &Value, path: &str| -> Result<f64, String> {
         doc.get("packed")
@@ -351,9 +513,38 @@ fn run_kernel(args: &Args) -> Result<bool, String> {
          (ratio {ratio:.2}, floor {:.2}) {verdict}",
         args.min_ratio
     );
-    if ratio < args.min_ratio {
-        ok = false;
-    }
+    ok &= gate.ge("packed_mlfm_ratio", ratio, args.min_ratio);
+
+    // Interleaved-batch kernel: the width-8 batch must clear its own
+    // speedup floor over the single-read path, measured on this host by
+    // the same kernelbench run (fresh side only — the floor is absolute,
+    // not relative to the baseline file).
+    let batch_speedup = required_f64(&fresh, "batch.speedup_at_8", &args.fresh)?;
+    const MIN_BATCH_SPEEDUP: f64 = 2.0;
+    let verdict = if batch_speedup >= MIN_BATCH_SPEEDUP {
+        "ok"
+    } else {
+        "REGRESSION"
+    };
+    eprintln!(
+        "benchdiff: batched kernel {batch_speedup:.2}x at width 8 \
+         (floor {MIN_BATCH_SPEEDUP:.1}x) {verdict}"
+    );
+    ok &= gate.ge("batch.speedup_at_8", batch_speedup, MIN_BATCH_SPEEDUP);
+
+    // Pd pipeline overlap: the Pd = 2 scheduler must finish the same
+    // issue schedule in strictly fewer simulated cycles than Pd = 1.
+    let pd1 = required_u64(&fresh, "pipeline.pd1_makespan_cycles", &args.fresh)?;
+    let pd2 = required_u64(&fresh, "pipeline.pd2_makespan_cycles", &args.fresh)?;
+    let verdict = if pd2 < pd1 { "ok" } else { "REGRESSION" };
+    eprintln!("benchdiff: pipeline makespan Pd=2 {pd2} vs Pd=1 {pd1} simulated cycles {verdict}");
+    ok &= gate.record(
+        "pipeline.pd2_makespan_lt_pd1",
+        pd2.to_string(),
+        pd1.to_string(),
+        "<",
+        pd2 < pd1,
+    );
     Ok(ok)
 }
 
@@ -406,17 +597,18 @@ fn required_u64(doc: &Value, field: &str, path: &str) -> Result<u64, String> {
         .ok_or(format!("{path}: missing {field}"))
 }
 
-fn run_metrics(args: &Args) -> Result<bool, String> {
+fn run_metrics(args: &Args, gate: &mut Gate) -> Result<bool, String> {
     let fresh = load(&args.fresh)?;
     let baseline = load(baseline_path(args))?;
-    let mut ok = fingerprints_match(&fresh, &baseline, &args.fresh, baseline_path(args), true);
+    let fp = fingerprints_match(&fresh, &baseline, &args.fresh, baseline_path(args), true);
+    let mut ok = gate.holds("schema_fingerprint", fp);
 
     let schema = required_u64(&fresh, "schema_version", &args.fresh)?;
     let base_schema = required_u64(&baseline, "schema_version", baseline_path(args))?;
     if schema != base_schema {
         eprintln!("benchdiff: SCHEMA: version {schema} vs baseline {base_schema}");
-        ok = false;
     }
+    ok &= gate.eq_u64("schema_version", schema, base_schema);
 
     // Simulated-cycle invariants, re-derived from the fresh run; these
     // hold for any workload size, so a `--quick` run checks them too.
@@ -424,8 +616,8 @@ fn run_metrics(args: &Args) -> Result<bool, String> {
     let busy = required_u64(&fresh, "breakdown.total_busy_cycles", &args.fresh)?;
     if prim != busy {
         eprintln!("benchdiff: INVARIANT: primitive cycles {prim} != ledger total {busy}");
-        ok = false;
     }
+    ok &= gate.eq_u64("primitive_cycles_reconcile", prim, busy);
     let phase_sum: u64 = ["exact", "inexact", "recovery_retry", "recovery_escalate"]
         .iter()
         .map(|leg| {
@@ -439,8 +631,8 @@ fn run_metrics(args: &Args) -> Result<bool, String> {
     let lfm_calls = required_u64(&fresh, "report.lfm_calls", &args.fresh)?;
     if phase_sum != lfm_calls {
         eprintln!("benchdiff: INVARIANT: phase LFMs {phase_sum} != total LFM calls {lfm_calls}");
-        ok = false;
     }
+    ok &= gate.eq_u64("lfm_phase_attribution", phase_sum, lfm_calls);
     let zones = required_u64(&fresh, "breakdown.heatmap.zones", &args.fresh)?;
     let activations = fresh
         .get("breakdown.heatmap.activations")
@@ -454,8 +646,8 @@ fn run_metrics(args: &Args) -> Result<bool, String> {
             "benchdiff: INVARIANT: heatmap declares {zones} zones but lists {}",
             activations.len()
         );
-        ok = false;
     }
+    ok &= gate.eq_u64("heatmap_zone_count", activations.len() as u64, zones);
     let heat_total: u64 = activations.iter().filter_map(Value::as_u64).sum();
     let subarray = required_u64(&fresh, "breakdown.subarray_activations", &args.fresh)?;
     if heat_total > subarray {
@@ -463,8 +655,14 @@ fn run_metrics(args: &Args) -> Result<bool, String> {
             "benchdiff: INVARIANT: heatmap total {heat_total} exceeds \
              sub-array activations {subarray}"
         );
-        ok = false;
     }
+    ok &= gate.record(
+        "heatmap_within_activations",
+        heat_total.to_string(),
+        subarray.to_string(),
+        "<=",
+        heat_total <= subarray,
+    );
     eprintln!(
         "benchdiff: metrics v{schema}: {busy} busy cycles reconcile, \
          {lfm_calls} LFMs attributed, heatmap {heat_total}/{subarray} activations"
@@ -472,20 +670,21 @@ fn run_metrics(args: &Args) -> Result<bool, String> {
     Ok(ok)
 }
 
-fn run_trace(args: &Args) -> Result<bool, String> {
+fn run_trace(args: &Args, gate: &mut Gate) -> Result<bool, String> {
     let doc = load(&args.fresh)?;
-    let mut ok = true;
-
-    if doc.get("displayTimeUnit").and_then(Value::as_str) != Some("ms") {
+    let unit_ok = doc.get("displayTimeUnit").and_then(Value::as_str) == Some("ms");
+    if !unit_ok {
         eprintln!("benchdiff: TRACE: missing displayTimeUnit \"ms\"");
-        ok = false;
     }
+    let mut ok = gate.holds("display_time_unit_ms", unit_ok);
     let events = doc
         .get("traceEvents")
         .and_then(Value::as_array)
         .ok_or(format!("{}: missing traceEvents array", args.fresh))?;
 
     let mut complete = 0usize;
+    let mut malformed = 0usize;
+    let mut unexpected = 0usize;
     let mut tracks = Vec::new();
     for (i, event) in events.iter().enumerate() {
         match event.get("ph").and_then(Value::as_str) {
@@ -499,7 +698,7 @@ fn run_trace(args: &Args) -> Result<bool, String> {
                         .is_some_and(|d| d >= 0.0);
                 if !well_formed {
                     eprintln!("benchdiff: TRACE: event {i} is not a well-formed complete span");
-                    ok = false;
+                    malformed += 1;
                 }
                 complete += 1;
             }
@@ -512,22 +711,32 @@ fn run_trace(args: &Args) -> Result<bool, String> {
             }
             _ => {
                 eprintln!("benchdiff: TRACE: event {i} has an unexpected phase");
-                ok = false;
+                unexpected += 1;
             }
         }
     }
+    ok &= gate.eq_u64("malformed_spans", malformed as u64, 0);
+    ok &= gate.eq_u64("unexpected_phases", unexpected as u64, 0);
     if complete == 0 {
         eprintln!("benchdiff: TRACE: no complete (\"X\") spans");
-        ok = false;
     }
+    ok &= gate.record(
+        "complete_spans",
+        complete.to_string(),
+        "0".to_owned(),
+        ">",
+        complete > 0,
+    );
     if let Some(workers) = args.workers {
+        let mut missing = 0usize;
         for w in 0..workers {
             let want = format!("worker-{w}");
             if !tracks.contains(&want) {
                 eprintln!("benchdiff: TRACE: no thread_name track for {want}");
-                ok = false;
+                missing += 1;
             }
         }
+        ok &= gate.eq_u64("missing_worker_tracks", missing as u64, 0);
     }
     eprintln!(
         "benchdiff: trace carries {complete} span(s) across {} named track(s)",
@@ -536,10 +745,11 @@ fn run_trace(args: &Args) -> Result<bool, String> {
     Ok(ok)
 }
 
-fn run_host(args: &Args) -> Result<bool, String> {
+fn run_host(args: &Args, gate: &mut Gate) -> Result<bool, String> {
     let fresh = load(&args.fresh)?;
     let baseline = load(baseline_path(args))?;
-    let mut ok = fingerprints_match(&fresh, &baseline, &args.fresh, baseline_path(args), false);
+    let fp = fingerprints_match(&fresh, &baseline, &args.fresh, baseline_path(args), false);
+    let mut ok = gate.holds("schema_fingerprint", fp);
 
     // Host numbers are wall-clock and can't be diffed against the
     // baseline; instead the fresh run must be internally consistent.
@@ -554,31 +764,44 @@ fn run_host(args: &Args) -> Result<bool, String> {
             "benchdiff: HOST: {} worker row(s) for {threads} thread(s)",
             workers.len()
         );
-        ok = false;
     }
+    ok &= gate.eq_u64("worker_rows", workers.len() as u64, threads);
     let worker_reads: u64 = workers
         .iter()
         .filter_map(|w| w.get("reads").and_then(Value::as_u64))
         .sum();
     if worker_reads != read_count {
         eprintln!("benchdiff: HOST: workers claim {worker_reads} reads of {read_count}");
-        ok = false;
     }
+    ok &= gate.eq_u64("worker_read_sum", worker_reads, read_count);
     let samples = required_u64(&fresh, "host.per_read_latency.count", &args.fresh)?;
     if samples != read_count {
         eprintln!("benchdiff: HOST: {samples} per-read samples for {read_count} reads");
-        ok = false;
     }
+    ok &= gate.eq_u64("per_read_samples", samples, read_count);
     let wall_ns = required_u64(&fresh, "host.wall_ns", &args.fresh)?;
     if wall_ns == 0 {
         eprintln!("benchdiff: HOST: parallel-region wall clock is zero");
-        ok = false;
     }
+    ok &= gate.record(
+        "wall_clock_positive",
+        wall_ns.to_string(),
+        "0".to_owned(),
+        ">",
+        wall_ns > 0,
+    );
     let balance = required_f64(&fresh, "load_balance_pct", &args.fresh)?;
-    if !(balance > 0.0 && balance <= 100.0) {
+    let balance_ok = balance > 0.0 && balance <= 100.0;
+    if !balance_ok {
         eprintln!("benchdiff: HOST: load balance {balance}% outside (0, 100]");
-        ok = false;
     }
+    ok &= gate.record(
+        "load_balance_pct",
+        json_f64(balance),
+        "\"(0, 100]\"".to_owned(),
+        "in",
+        balance_ok,
+    );
     eprintln!(
         "benchdiff: host run: {read_count} reads over {threads} worker(s), \
          load balance {balance:.1}%"
@@ -607,17 +830,18 @@ fn check_serve_row(row: &Value, label: &str, path: &str) -> Result<bool, String>
     Ok(true)
 }
 
-fn run_serve(args: &Args) -> Result<bool, String> {
+fn run_serve(args: &Args, gate: &mut Gate) -> Result<bool, String> {
     let fresh = load(&args.fresh)?;
     let baseline = load(baseline_path(args))?;
-    let mut ok = fingerprints_match(&fresh, &baseline, &args.fresh, baseline_path(args), false);
+    let fp = fingerprints_match(&fresh, &baseline, &args.fresh, baseline_path(args), false);
+    let mut ok = gate.holds("schema_fingerprint", fp);
 
     let schema = required_u64(&fresh, "schema_version", &args.fresh)?;
     let base_schema = required_u64(&baseline, "schema_version", baseline_path(args))?;
     if schema != base_schema {
         eprintln!("benchdiff: SCHEMA: version {schema} vs baseline {base_schema}");
-        ok = false;
     }
+    ok &= gate.eq_u64("schema_version", schema, base_schema);
 
     // Rates and latencies are wall-clock; the invariants below are
     // re-derived from the fresh run and hold on any machine.
@@ -627,34 +851,55 @@ fn run_serve(args: &Args) -> Result<bool, String> {
         .ok_or(format!("{}: missing sweep array", args.fresh))?;
     if sweep.is_empty() {
         eprintln!("benchdiff: SERVE: empty sweep");
-        ok = false;
     }
+    ok &= gate.record(
+        "sweep_rows",
+        sweep.len().to_string(),
+        "0".to_owned(),
+        ">",
+        !sweep.is_empty(),
+    );
+    let mut rows_ok = true;
     for (i, row) in sweep.iter().enumerate() {
-        ok &= check_serve_row(row, &format!("sweep[{i}]"), &args.fresh)?;
+        rows_ok &= check_serve_row(row, &format!("sweep[{i}]"), &args.fresh)?;
     }
+    ok &= gate.holds("sweep_rows_accounted", rows_ok);
     let overload = fresh
         .get("overload")
         .ok_or(format!("{}: missing overload row", args.fresh))?;
-    ok &= check_serve_row(overload, "overload", &args.fresh)?;
+    let overload_ok = check_serve_row(overload, "overload", &args.fresh)?;
+    ok &= gate.holds("overload_accounted", overload_ok);
 
     let knee = required_u64(&fresh, "knee_rps", &args.fresh)?;
     if knee == 0 {
         eprintln!("benchdiff: SERVE: no saturation knee found");
-        ok = false;
     }
+    ok &= gate.record("knee_rps", knee.to_string(), "0".to_owned(), ">", knee > 0);
     let overload_rps = required_u64(&fresh, "overload.target_rps", &args.fresh)?;
     if overload_rps < 2 * knee {
         eprintln!(
             "benchdiff: SERVE: overload phase at {overload_rps} rps is under 2x the \
              knee ({knee} rps)"
         );
-        ok = false;
     }
+    ok &= gate.record(
+        "overload_target_rps",
+        overload_rps.to_string(),
+        (2 * knee).to_string(),
+        ">=",
+        overload_rps >= 2 * knee,
+    );
     let shed = required_u64(&fresh, "overload.shed_responses", &args.fresh)?;
     if shed == 0 {
         eprintln!("benchdiff: SERVE: overload phase never shed — admission control inert");
-        ok = false;
     }
+    ok &= gate.record(
+        "overload_shed_responses",
+        shed.to_string(),
+        "0".to_owned(),
+        ">",
+        shed > 0,
+    );
     let p99 = required_f64(&fresh, "overload.p99_ms", &args.fresh)?;
     let slo = required_f64(&fresh, "slo_ms", &args.fresh)?;
     if p99 > slo {
@@ -662,8 +907,8 @@ fn run_serve(args: &Args) -> Result<bool, String> {
             "benchdiff: SERVE: accepted-request p99 {p99:.1} ms breaches the \
              {slo:.1} ms SLO under overload"
         );
-        ok = false;
     }
+    ok &= gate.le("overload_p99_ms", p99, slo);
     eprintln!(
         "benchdiff: serve run: knee {knee} rps, overload {overload_rps} rps shed \
          {shed} request(s), accepted p99 {p99:.1} ms (SLO {slo:.1} ms)"
@@ -671,10 +916,11 @@ fn run_serve(args: &Args) -> Result<bool, String> {
     Ok(ok)
 }
 
-fn run_index(args: &Args) -> Result<bool, String> {
+fn run_index(args: &Args, gate: &mut Gate) -> Result<bool, String> {
     let fresh = load(&args.fresh)?;
     let baseline = load(baseline_path(args))?;
-    let mut ok = fingerprints_match(&fresh, &baseline, &args.fresh, baseline_path(args), false);
+    let fp = fingerprints_match(&fresh, &baseline, &args.fresh, baseline_path(args), false);
+    let mut ok = gate.holds("schema_fingerprint", fp);
 
     // Build and load are both wall-clock, but their ratio comes from one
     // machine and one run — the whole point of the artifact is that the
@@ -691,9 +937,7 @@ fn run_index(args: &Args) -> Result<bool, String> {
         "benchdiff: artifact load {speedup:.1}x faster than rebuild at {genome} bp \
          (floor {min_speedup:.1}x) {verdict}"
     );
-    if speedup < min_speedup {
-        ok = false;
-    }
+    ok &= gate.ge("load_speedup", speedup, min_speedup);
 
     let sam_identical = fresh
         .get("sam_identical")
@@ -701,8 +945,8 @@ fn run_index(args: &Args) -> Result<bool, String> {
         .ok_or(format!("{}: missing sam_identical", args.fresh))?;
     if !sam_identical {
         eprintln!("benchdiff: INDEX: sharded SAM diverged from the unsharded platform");
-        ok = false;
     }
+    ok &= gate.holds("sam_identical", sam_identical);
 
     let rel_err = required_f64(&fresh, "footprint_max_rel_err", &args.fresh)?;
     if rel_err > 1e-3 {
@@ -711,8 +955,8 @@ fn run_index(args: &Args) -> Result<bool, String> {
              (tolerance 0.1 %)",
             rel_err * 100.0
         );
-        ok = false;
     }
+    ok &= gate.le("footprint_max_rel_err", rel_err, 1e-3);
 
     // Bytes-per-base is deterministic for a given geometry, so a drift
     // beyond 5 % against the committed baseline means the serialised
@@ -740,6 +984,7 @@ fn run_index(args: &Args) -> Result<bool, String> {
     let fresh_rows = sweep_rows(&fresh, &args.fresh)?;
     let base_rows = sweep_rows(&baseline, baseline_path(args))?;
     let mut compared = 0;
+    let mut max_drift = 0.0f64;
     for &(genome_len, sa_rate, fresh_bpb) in &fresh_rows {
         let Some(&(_, _, base_bpb)) = base_rows
             .iter()
@@ -749,15 +994,16 @@ fn run_index(args: &Args) -> Result<bool, String> {
         };
         compared += 1;
         let drift = (fresh_bpb / base_bpb - 1.0).abs();
+        max_drift = max_drift.max(drift);
         if drift > 0.05 {
             eprintln!(
                 "benchdiff: INDEX: {genome_len} bp @ SA rate {sa_rate}: {fresh_bpb:.4} vs \
                  baseline {base_bpb:.4} bytes/bp ({:.1} % drift, tolerance 5 %)",
                 drift * 100.0
             );
-            ok = false;
         }
     }
+    ok &= gate.le("bytes_per_bp_max_drift", max_drift, 0.05);
     eprintln!(
         "benchdiff: index run: {} sweep row(s) ({compared} vs baseline), sharded SAM {}, \
          footprint err {:.2e}",
@@ -781,15 +1027,29 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let outcome = match args.kind {
-        Kind::Parallel => run_parallel(&args),
-        Kind::Kernel => run_kernel(&args),
-        Kind::Metrics => run_metrics(&args),
-        Kind::Trace => run_trace(&args),
-        Kind::Host => run_host(&args),
-        Kind::Serve => run_serve(&args),
-        Kind::Index => run_index(&args),
+    let kind_name = match args.kind {
+        Kind::Parallel => "parallel",
+        Kind::Kernel => "kernel",
+        Kind::Metrics => "metrics",
+        Kind::Trace => "trace",
+        Kind::Host => "host",
+        Kind::Serve => "serve",
+        Kind::Index => "index",
     };
+    let mut gate = Gate::new(kind_name);
+    let outcome = match args.kind {
+        Kind::Parallel => run_parallel(&args, &mut gate),
+        Kind::Kernel => run_kernel(&args, &mut gate),
+        Kind::Metrics => run_metrics(&args, &mut gate),
+        Kind::Trace => run_trace(&args, &mut gate),
+        Kind::Host => run_host(&args, &mut gate),
+        Kind::Serve => run_serve(&args, &mut gate),
+        Kind::Index => run_index(&args, &mut gate),
+    };
+    if let Err(msg) = &outcome {
+        gate.error = Some(msg.clone());
+    }
+    gate.write(matches!(outcome, Ok(true)));
     match outcome {
         Ok(true) => {
             eprintln!("benchdiff: within tolerance");

@@ -23,7 +23,7 @@ use std::time::Instant;
 
 use bioseq::Base;
 use mram::array::ArrayModel;
-use pim_aligner::{MappedIndex, PimAlignerConfig};
+use pim_aligner::{LfmBatchScratch, LfmRequest, MappedIndex, PimAlignerConfig};
 use pimsim::reference::{packed_compare_stage, reference_compare_stage, BoolSubArray};
 use pimsim::{CycleLedger, SubArray, SubArrayLayout};
 use readsim::genome;
@@ -161,20 +161,169 @@ fn main() {
         e2e_t.wall_ms, e2e_t.mlfm_per_s
     );
 
+    // Batched kernel sweep: the same collision-rich request sequence
+    // replayed at kernel-batch widths 1/2/4/8. Requests come in groups
+    // of eight that share a (bucket, base), so a width-8 batch collapses
+    // each call to one plane load; width 1 is the single-read
+    // `MappedIndex::lfm` path the batch replaces. Every width must
+    // produce identical per-request sums (the oracle), and the width-8
+    // wall clock sets `speedup_at_8` for the CI gate.
+    let sweep_total = (iterations / 10).max(8_000) / 8 * 8;
+    let sweep_req = |k: usize| -> (Base, usize) {
+        let bucket = (k / 8) % 128;
+        let offset = (k % 8) * 31 % SubArrayLayout::BASES_PER_ROW;
+        (
+            Base::from_rank((k / 8) % 4),
+            bucket * SubArrayLayout::BASES_PER_ROW + offset,
+        )
+    };
+    let mut width_results: Vec<(usize, KernelTiming)> = Vec::new();
+    let mut oracle_sums: Option<Vec<u32>> = None;
+    let mut single_popcounts = 0u64;
+    for &width in &[1usize, 2, 4, 8] {
+        let mut ledger = CycleLedger::new();
+        let mut sums = Vec::with_capacity(sweep_total);
+        let wall_s = if width == 1 {
+            let mut injector = mapped.session_injector();
+            let t0 = Instant::now();
+            for k in 0..sweep_total {
+                let (nt, id) = sweep_req(k);
+                sums.push(mapped.lfm(nt, id, &mut injector, &mut ledger));
+            }
+            let wall = t0.elapsed().as_secs_f64();
+            single_popcounts = ledger
+                .primitives()
+                .count(pimsim::costs::LogicalOp::Popcount);
+            wall
+        } else {
+            let mut requests = Vec::with_capacity(width);
+            let mut scratch = LfmBatchScratch::new();
+            let mut step_sums = Vec::new();
+            let t0 = Instant::now();
+            for chunk in 0..sweep_total / width {
+                requests.clear();
+                for s in 0..width {
+                    let (nt, id) = sweep_req(chunk * width + s);
+                    requests.push(LfmRequest { stream: s, nt, id });
+                }
+                mapped.lfm_batch_into(
+                    &requests,
+                    &mut [],
+                    &mut ledger,
+                    &mut scratch,
+                    &mut step_sums,
+                );
+                sums.extend_from_slice(&step_sums);
+            }
+            t0.elapsed().as_secs_f64()
+        };
+        match &oracle_sums {
+            None => oracle_sums = Some(sums),
+            Some(expected) => assert_eq!(
+                &sums, expected,
+                "batch width {width} disagrees with the single-read kernel"
+            ),
+        }
+        if width > 1 {
+            assert_eq!(
+                ledger
+                    .primitives()
+                    .count(pimsim::costs::LogicalOp::Popcount),
+                single_popcounts,
+                "batch width {width} must charge one Popcount per request"
+            );
+        }
+        let t = timing(sweep_total, wall_s);
+        eprintln!(
+            "kernelbench: batch={width}  {:.1} ms ({:.2} Mlfm/s over {sweep_total} requests)",
+            t.wall_ms, t.mlfm_per_s
+        );
+        width_results.push((width, t));
+    }
+    let speedup_at_8 = width_results
+        .last()
+        .map(|(_, t8)| t8.mlfm_per_s / width_results[0].1.mlfm_per_s)
+        .unwrap_or(0.0);
+    eprintln!("kernelbench: batch=8 is {speedup_at_8:.2}x the single-read kernel");
+
+    // Pd pipeline scheduler on a mostly-unshared schedule (distinct
+    // buckets per stream, so compares cannot collapse into shared
+    // groups): with Pd = 2 the next read's compare overlaps the current
+    // read's transfer + add, so the scheduled makespan must come in
+    // under the serial Pd = 1 issue order for the identical request
+    // stream.
+    let pipe_calls = 2_048;
+    let mapped_pd2 =
+        MappedIndex::build(&reference_genome, &PimAlignerConfig::baseline().with_pd(2));
+    let mut pipe_makespans = Vec::new();
+    for mapped_pd in [&mapped, &mapped_pd2] {
+        let mut ledger = CycleLedger::new();
+        let mut requests = Vec::with_capacity(8);
+        let mut pipe_sink = 0u64;
+        for call in 0..pipe_calls {
+            requests.clear();
+            for s in 0..8usize {
+                let bucket = (call * 8 + s) % 128;
+                let id = bucket * SubArrayLayout::BASES_PER_ROW + (s * 29 + call) % 256;
+                requests.push(LfmRequest {
+                    stream: s,
+                    nt: Base::from_rank((call + s) % 4),
+                    id,
+                });
+            }
+            pipe_sink += mapped_pd
+                .lfm_batch(&requests, &mut [], &mut ledger)
+                .iter()
+                .map(|&c| c as u64)
+                .sum::<u64>();
+        }
+        black_box(pipe_sink);
+        pipe_makespans.push(ledger.pipeline_counters());
+    }
+    let (pd1_pipe, pd2_pipe) = (pipe_makespans[0], pipe_makespans[1]);
+    assert_eq!(
+        pd1_pipe.issued, pd2_pipe.issued,
+        "pd sweep issued different request counts"
+    );
+    eprintln!(
+        "kernelbench: pipeline  pd1 makespan {} cy, pd2 makespan {} cy (saves {})",
+        pd1_pipe.makespan_cycles,
+        pd2_pipe.makespan_cycles,
+        pd2_pipe.overlap_saved_cycles()
+    );
+
     // Hand-rolled JSON: the workspace's vendored serde_json is an
     // offline stub.
+    let widths_json = width_results
+        .iter()
+        .map(|(w, t)| {
+            format!(
+                "{{ \"batch\": {w}, \"wall_ms\": {:.3}, \"mlfm_per_s\": {:.3} }}",
+                t.wall_ms, t.mlfm_per_s
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
         "{{\n  \"iterations\": {iterations},\n  \"quick\": {quick},\n  \
          \"packed\": {{ \"wall_ms\": {:.3}, \"mlfm_per_s\": {:.3} }},\n  \
          \"reference\": {{ \"wall_ms\": {:.3}, \"mlfm_per_s\": {:.3} }},\n  \
          \"speedup_vs_reference\": {speedup:.3},\n  \
-         \"e2e_lfm\": {{ \"iterations\": {e2e_iters}, \"wall_ms\": {:.3}, \"mlfm_per_s\": {:.3} }}\n}}",
+         \"e2e_lfm\": {{ \"iterations\": {e2e_iters}, \"wall_ms\": {:.3}, \"mlfm_per_s\": {:.3} }},\n  \
+         \"batch\": {{ \"requests\": {sweep_total}, \"widths\": [{widths_json}], \
+         \"speedup_at_8\": {speedup_at_8:.3} }},\n  \
+         \"pipeline\": {{ \"issued\": {}, \"pd1_makespan_cycles\": {}, \
+         \"pd2_makespan_cycles\": {}, \"pd2_overlap_saved_cycles\": {} }}\n}}",
         packed_t.wall_ms,
         packed_t.mlfm_per_s,
         reference_t.wall_ms,
         reference_t.mlfm_per_s,
         e2e_t.wall_ms,
         e2e_t.mlfm_per_s,
+        pd1_pipe.issued,
+        pd1_pipe.makespan_cycles,
+        pd2_pipe.makespan_cycles,
+        pd2_pipe.overlap_saved_cycles(),
     );
     let mut file = std::fs::File::create(&out_path)
         .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));

@@ -4,7 +4,7 @@
 use std::time::Instant;
 
 use bioseq::DnaSeq;
-use fmindex::EditBudget;
+use fmindex::{EditBudget, SaInterval};
 use pimsim::{
     CycleLedger, Dpu, FaultInjector, HostEpoch, HostHistogram, HostSpan, HostSpanLog, Span,
     SpanTracer,
@@ -12,7 +12,7 @@ use pimsim::{
 
 use crate::config::PimAlignerConfig;
 use crate::error::AlignError;
-use crate::exact::exact_search;
+use crate::exact::{exact_search, exact_search_batch, ExactStats};
 use crate::inexact::inexact_search;
 use crate::mapping::MappedIndex;
 use crate::metrics::PhaseLfm;
@@ -302,11 +302,26 @@ impl AlignSession {
     /// sample, so each entry point — single- or both-strands — records
     /// exactly one per-read latency.
     fn align_read_inner(&mut self, read: &DnaSeq) -> AlignmentOutcome {
+        self.align_read_seeded(read, None)
+    }
+
+    /// [`align_read_inner`](AlignSession::align_read_inner) with an
+    /// optional pre-computed exact-stage result. The batched kernel
+    /// path runs the exact phase of a whole read group as one
+    /// [`exact_search_batch`] and hands each read its `(interval,
+    /// stats)` here; the seed replaces attempt 0's exact pass only —
+    /// recovery retries and escalations always recompute on the
+    /// platform.
+    fn align_read_seeded(
+        &mut self,
+        read: &DnaSeq,
+        seed: Option<(SaInterval, ExactStats)>,
+    ) -> AlignmentOutcome {
         self.queries += 1;
         let outcome = if self.config().recovery().is_enabled() {
-            self.align_read_recovered(read)
+            self.align_read_recovered(read, seed)
         } else {
-            self.raw_align(read, self.config().max_diffs(), LfmAttr::Primary)
+            self.raw_align(read, self.config().max_diffs(), LfmAttr::Primary, seed)
         };
         if matches!(outcome, AlignmentOutcome::Exact { .. }) {
             self.exact_hits += 1;
@@ -326,18 +341,33 @@ impl AlignSession {
     }
 
     /// One unverified platform pass at difference budget `max_diffs`.
-    fn raw_align(&mut self, read: &DnaSeq, max_diffs: u8, attr: LfmAttr) -> AlignmentOutcome {
+    /// When `seed` is set the exact stage was already executed (by the
+    /// batched kernel) and its cycles charged; only the bookkeeping —
+    /// `LFM` attribution, locate, the inexact stage — runs here.
+    fn raw_align(
+        &mut self,
+        read: &DnaSeq,
+        max_diffs: u8,
+        attr: LfmAttr,
+        seed: Option<(SaInterval, ExactStats)>,
+    ) -> AlignmentOutcome {
         let exhaustive = self.config().exhaustive_inexact();
-        let t_exact = self.dpu.tracer().start(&self.ledger);
-        let h_exact = self.host_start();
-        let (interval, stats) = {
-            let (mapped, injector, dpu, ledger) = self.platform_parts();
-            exact_search(mapped, injector, dpu, read, ledger)
+        let (interval, stats) = match seed {
+            Some(seeded) => seeded,
+            None => {
+                let t_exact = self.dpu.tracer().start(&self.ledger);
+                let h_exact = self.host_start();
+                let result = {
+                    let (mapped, injector, dpu, ledger) = self.platform_parts();
+                    exact_search(mapped, injector, dpu, read, ledger)
+                };
+                self.dpu
+                    .tracer_mut()
+                    .record("exact_pass", t_exact, &self.ledger);
+                self.host_record("exact_pass", h_exact);
+                result
+            }
         };
-        self.dpu
-            .tracer_mut()
-            .record("exact_pass", t_exact, &self.ledger);
-        self.host_record("exact_pass", h_exact);
         self.lfm_calls += stats.lfm_calls;
         self.note_lfm(attr, true, stats.lfm_calls);
         if !interval.is_empty() {
@@ -407,8 +437,13 @@ impl AlignSession {
     /// pass, verifies the candidate loci against the reference, and only
     /// a verified outcome escapes. Rungs, in order: same-budget retries
     /// (faults re-draw), difference-budget escalation, host software
-    /// fallback (fault-free by construction).
-    fn align_read_recovered(&mut self, read: &DnaSeq) -> AlignmentOutcome {
+    /// fallback (fault-free by construction). A `seed` (pre-computed
+    /// exact-stage result from the batched kernel) feeds attempt 0 only.
+    fn align_read_recovered(
+        &mut self,
+        read: &DnaSeq,
+        mut seed: Option<(SaInterval, ExactStats)>,
+    ) -> AlignmentOutcome {
         let policy = self.config().recovery();
         let base_z = self.config().max_diffs();
         let faults_possible = self.mapped().faults_active();
@@ -422,7 +457,7 @@ impl AlignSession {
             };
             let t_rung = self.dpu.tracer().start(&self.ledger);
             let h_rung = self.host_start();
-            let outcome = self.raw_align(read, base_z, attr);
+            let outcome = self.raw_align(read, base_z, attr, seed.take());
             if attempt > 0 {
                 self.dpu
                     .tracer_mut()
@@ -443,7 +478,7 @@ impl AlignSession {
             self.telemetry.escalations += 1;
             let t_rung = self.dpu.tracer().start(&self.ledger);
             let h_rung = self.host_start();
-            let outcome = self.raw_align(read, z, LfmAttr::Escalate);
+            let outcome = self.raw_align(read, z, LfmAttr::Escalate, None);
             self.dpu
                 .tracer_mut()
                 .record("recovery.escalate", t_rung, &self.ledger);
@@ -576,7 +611,16 @@ impl AlignSession {
         // timing the inner calls separately would double-count the read
         // in the per-read latency histogram.
         let t0 = Instant::now();
-        let result = match self.align_read_inner(read) {
+        let result = self.align_both_inner(read);
+        self.host_per_read.record_ns(t0.elapsed().as_nanos() as u64);
+        result
+    }
+
+    /// [`align_read_both_strands`](AlignSession::align_read_both_strands)
+    /// minus the wall-clock sample (group paths time their reads
+    /// themselves).
+    fn align_both_inner(&mut self, read: &DnaSeq) -> (AlignmentOutcome, MappedStrand) {
+        match self.align_read_inner(read) {
             AlignmentOutcome::Unmapped => match self.align_read_inner(&read.reverse_complement()) {
                 // Neither orientation mapped: the read is unmapped as
                 // given, so report the forward strand (SAM leaves 0x10
@@ -585,9 +629,187 @@ impl AlignSession {
                 hit => (hit, MappedStrand::Reverse),
             },
             hit => (hit, MappedStrand::Forward),
+        }
+    }
+
+    /// Aligns a contiguous group of reads through the batched kernel
+    /// path (DESIGN.md §15). Reads are processed in groups of
+    /// `kernel_batch`: each group's initial exact phase runs as one
+    /// interleaved [`exact_search_batch`] (shared plane loads, the Pd
+    /// stage-queue scheduler), and each read then completes — locate,
+    /// inexact stage, recovery ladder, reverse-complement round —
+    /// through the single-read machinery, seeded with its batched
+    /// exact-stage result.
+    ///
+    /// `first_token` is the global fault-stream token of `reads[0]`:
+    /// read `r` draws from [`MappedIndex::read_injector`] with token
+    /// `first_token + r`, so faulted output is a function of the read's
+    /// global index alone — invariant to batch width and worker count.
+    /// The per-read streams' injection counters are absorbed into the
+    /// session's telemetry before returning. With `kernel_batch == 1`
+    /// the kernel path is exactly today's single-read call sequence
+    /// (the per-read fault streams remain).
+    ///
+    /// One wall-clock sample per read lands in the per-read histogram:
+    /// its own completion time plus an equal share of each batched
+    /// phase it took part in.
+    pub fn align_group(
+        &mut self,
+        reads: &[DnaSeq],
+        first_token: u64,
+        both_strands: bool,
+    ) -> Vec<(AlignmentOutcome, MappedStrand)> {
+        if reads.is_empty() {
+            return Vec::new();
+        }
+        let faults = self.mapped().faults_active();
+        let mut streams: Vec<FaultInjector> = if faults {
+            (0..reads.len())
+                .map(|r| self.mapped().read_injector(first_token + r as u64))
+                .collect()
+        } else {
+            Vec::new()
         };
-        self.host_per_read.record_ns(t0.elapsed().as_nanos() as u64);
-        result
+        let batch = self.config().kernel_batch();
+        let mut results = Vec::with_capacity(reads.len());
+        if batch < 2 {
+            // The single-read kernel, with per-read fault streams.
+            for (r, read) in reads.iter().enumerate() {
+                let t0 = Instant::now();
+                if faults {
+                    std::mem::swap(&mut self.injector, &mut streams[r]);
+                }
+                let result = if both_strands {
+                    self.align_both_inner(read)
+                } else {
+                    (self.align_read_inner(read), MappedStrand::Forward)
+                };
+                if faults {
+                    std::mem::swap(&mut self.injector, &mut streams[r]);
+                }
+                self.host_per_read.record_ns(t0.elapsed().as_nanos() as u64);
+                results.push(result);
+            }
+        } else {
+            for (g, chunk) in reads.chunks(batch).enumerate() {
+                let base = g * batch;
+                let chunk_streams = if faults {
+                    &mut streams[base..base + chunk.len()]
+                } else {
+                    &mut []
+                };
+                results.extend(self.align_chunk_batched(chunk, chunk_streams, both_strands));
+            }
+        }
+        for stream in &streams {
+            self.injector.absorb_counters(&stream.counters());
+        }
+        results
+    }
+
+    /// One kernel-batch group: batched forward exact phase, per-read
+    /// completion, then a batched reverse-complement round over the
+    /// forward misses. `streams` is the group's per-read injector slice
+    /// (empty when the campaign is inactive).
+    fn align_chunk_batched(
+        &mut self,
+        chunk: &[DnaSeq],
+        streams: &mut [FaultInjector],
+        both_strands: bool,
+    ) -> Vec<(AlignmentOutcome, MappedStrand)> {
+        let n = chunk.len();
+        let t_phase = Instant::now();
+        let refs: Vec<&DnaSeq> = chunk.iter().collect();
+        let seeds = self.exact_batch_phase(&refs, streams);
+        // Each read's histogram sample gets an equal share of the
+        // batched phase it rode in.
+        let mut host_extra = vec![t_phase.elapsed().as_nanos() as u64 / n as u64; n];
+        let mut out: Vec<Option<(AlignmentOutcome, MappedStrand)>> = (0..n).map(|_| None).collect();
+        let mut completion_ns = vec![0u64; n];
+        let mut misses: Vec<usize> = Vec::new();
+        for (r, read) in chunk.iter().enumerate() {
+            let t0 = Instant::now();
+            if !streams.is_empty() {
+                std::mem::swap(&mut self.injector, &mut streams[r]);
+            }
+            let outcome = self.align_read_seeded(read, Some(seeds[r]));
+            if !streams.is_empty() {
+                std::mem::swap(&mut self.injector, &mut streams[r]);
+            }
+            completion_ns[r] = t0.elapsed().as_nanos() as u64;
+            match outcome {
+                AlignmentOutcome::Unmapped if both_strands => misses.push(r),
+                AlignmentOutcome::Unmapped => {
+                    out[r] = Some((AlignmentOutcome::Unmapped, MappedStrand::Forward))
+                }
+                hit => out[r] = Some((hit, MappedStrand::Forward)),
+            }
+        }
+        if !misses.is_empty() {
+            let t_phase = Instant::now();
+            let revs: Vec<DnaSeq> = misses
+                .iter()
+                .map(|&r| chunk[r].reverse_complement())
+                .collect();
+            let refs: Vec<&DnaSeq> = revs.iter().collect();
+            // Re-index the miss streams 0..m for the batched call; draw
+            // order within each stream is unchanged.
+            let mut miss_streams: Vec<FaultInjector> = Vec::new();
+            if !streams.is_empty() {
+                for (k, &r) in misses.iter().enumerate() {
+                    miss_streams.push(self.mapped().session_injector());
+                    std::mem::swap(&mut miss_streams[k], &mut streams[r]);
+                }
+            }
+            let seeds = self.exact_batch_phase(&refs, &mut miss_streams);
+            let share = t_phase.elapsed().as_nanos() as u64 / misses.len() as u64;
+            for (k, &r) in misses.iter().enumerate() {
+                let t0 = Instant::now();
+                if !miss_streams.is_empty() {
+                    std::mem::swap(&mut self.injector, &mut miss_streams[k]);
+                }
+                let outcome = self.align_read_seeded(&revs[k], Some(seeds[k]));
+                if !miss_streams.is_empty() {
+                    std::mem::swap(&mut self.injector, &mut miss_streams[k]);
+                }
+                completion_ns[r] += t0.elapsed().as_nanos() as u64;
+                host_extra[r] += share;
+                out[r] = Some(match outcome {
+                    AlignmentOutcome::Unmapped => {
+                        (AlignmentOutcome::Unmapped, MappedStrand::Forward)
+                    }
+                    hit => (hit, MappedStrand::Reverse),
+                });
+            }
+            if !streams.is_empty() {
+                for (k, &r) in misses.iter().enumerate() {
+                    std::mem::swap(&mut miss_streams[k], &mut streams[r]);
+                }
+            }
+        }
+        for r in 0..n {
+            self.host_per_read
+                .record_ns(completion_ns[r] + host_extra[r]);
+        }
+        out.into_iter()
+            .map(|o| o.expect("every read resolves"))
+            .collect()
+    }
+
+    /// Runs one batched exact phase and records its span.
+    fn exact_batch_phase(
+        &mut self,
+        reads: &[&DnaSeq],
+        streams: &mut [FaultInjector],
+    ) -> Vec<(SaInterval, ExactStats)> {
+        let t_exact = self.dpu.tracer().start(&self.ledger);
+        let h_exact = self.host_start();
+        let seeds = exact_search_batch(self.platform.mapped(), streams, reads, &mut self.ledger);
+        self.dpu
+            .tracer_mut()
+            .record("exact_batch", t_exact, &self.ledger);
+        self.host_record("exact_batch", h_exact);
+        seeds
     }
 
     /// Aligns a batch of reads and produces the performance report, or

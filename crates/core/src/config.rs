@@ -4,6 +4,13 @@ use mram::array::{ArrayModel, ChipOrg};
 use mram::faults::{FaultCampaign, FaultModel};
 use pimsim::pipeline::PipelineParams;
 
+/// Default kernel batch width: how many reads the parallel engine
+/// interleaves into one `LfmBatch` step
+/// ([`PimAlignerConfig::with_kernel_batch`]). Eight keeps the shared
+/// plane-load amortisation high while the per-batch mask state still
+/// fits comfortably in cache.
+pub const DEFAULT_KERNEL_BATCH: usize = 8;
+
 /// The verify-and-recover policy (DESIGN.md §8): what the aligner does
 /// when a candidate locus fails online verification against the
 /// reference.
@@ -129,6 +136,7 @@ pub struct PimAlignerConfig {
     model: ArrayModel,
     chip: ChipOrg,
     pipeline: PipelineParams,
+    kernel_batch: usize,
     max_diffs: u8,
     allow_indels: bool,
     exhaustive_inexact: bool,
@@ -146,6 +154,7 @@ impl PimAlignerConfig {
             model: ArrayModel::default(),
             chip: ChipOrg::default(),
             pipeline: PipelineParams::default(),
+            kernel_batch: DEFAULT_KERNEL_BATCH,
             max_diffs: 2,
             allow_indels: true,
             exhaustive_inexact: false,
@@ -177,6 +186,24 @@ impl PimAlignerConfig {
         if pd >= 2 {
             self.method = AddMethod::Mirrored;
         }
+        self
+    }
+
+    /// Sets the kernel batch width: how many reads the parallel engine
+    /// interleaves into one [`LfmBatch`](pimsim::LfmBatch) step so
+    /// plane loads shared across reads are charged once per bucket. `1`
+    /// selects the single-read path (bit-identical to the pre-batching
+    /// engine); the default is [`DEFAULT_KERNEL_BATCH`]. Alignment
+    /// results and seeded-fault SAM output are identical at every
+    /// width — only the charged compare-stage work and the wall clock
+    /// change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn with_kernel_batch(mut self, batch: usize) -> PimAlignerConfig {
+        assert!(batch >= 1, "kernel batch must be at least 1");
+        self.kernel_batch = batch;
         self
     }
 
@@ -307,6 +334,11 @@ impl PimAlignerConfig {
     /// The pipeline stage timing.
     pub fn pipeline(&self) -> PipelineParams {
         self.pipeline
+    }
+
+    /// The kernel batch width.
+    pub fn kernel_batch(&self) -> usize {
+        self.kernel_batch
     }
 
     /// The inexact-stage difference budget.

@@ -4,7 +4,7 @@ use bioseq::DnaSeq;
 use fmindex::SaInterval;
 use pimsim::{CycleLedger, Dpu, FaultInjector};
 
-use crate::mapping::MappedIndex;
+use crate::mapping::{LfmBatchScratch, LfmRequest, MappedIndex};
 
 /// Statistics of one exact search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +50,98 @@ pub fn exact_search(
         }
     }
     (SaInterval::new(dpu.low(), dpu.high()), stats)
+}
+
+/// Runs Algorithm 1 for `reads.len()` reads in lock-step through the
+/// batched kernel: at each step every still-active read contributes its
+/// `low` then its `high` LFM request (read order), and the whole step
+/// executes as one [`MappedIndex::lfm_batch`] so plane loads shared
+/// across reads are charged once. Results and statistics are
+/// bit-identical to running [`exact_search`] per read — including under
+/// seeded faults when `injectors` holds one per-read injector (indexed
+/// by read; pass an empty slice for a clean run), because the per-read
+/// draw order (low before high, steps ascending) is preserved.
+///
+/// Each read gets its own transient DPU (interval registers), charged
+/// exactly like the single-read path: one `IndexUpdate` at
+/// initialisation, one per consumed step. Reads drop out of the batch
+/// on early failure (`low ≥ high`) or exhaustion, exactly like the
+/// single-read early exit.
+pub fn exact_search_batch(
+    mapped: &MappedIndex,
+    injectors: &mut [FaultInjector],
+    reads: &[&DnaSeq],
+    ledger: &mut CycleLedger,
+) -> Vec<(SaInterval, ExactStats)> {
+    let n = mapped.index().text_len() as u32;
+    let mut dpus: Vec<Dpu> = (0..reads.len()).map(|_| Dpu::new(mapped.model())).collect();
+    let mut stats = vec![
+        ExactStats {
+            lfm_calls: 0,
+            bases_consumed: 0,
+        };
+        reads.len()
+    ];
+    let mut results: Vec<Option<SaInterval>> = vec![None; reads.len()];
+    // Right-to-left base order per read, indexable by step.
+    let suffixes: Vec<Vec<bioseq::Base>> = reads
+        .iter()
+        .map(|r| r.iter().rev().copied().collect())
+        .collect();
+    for (r, dpu) in dpus.iter_mut().enumerate() {
+        dpu.init_interval(n, ledger);
+        if suffixes[r].is_empty() {
+            results[r] = Some(SaInterval::new(dpu.low(), dpu.high()));
+        }
+    }
+    let max_len = suffixes.iter().map(Vec::len).max().unwrap_or(0);
+    let mut requests = Vec::new();
+    let mut active = Vec::new();
+    let mut scratch = LfmBatchScratch::new();
+    let mut sums = Vec::new();
+    for step in 0..max_len {
+        requests.clear();
+        active.clear();
+        for (r, suffix) in suffixes.iter().enumerate() {
+            if results[r].is_some() {
+                continue;
+            }
+            let nt = suffix[step];
+            requests.push(LfmRequest {
+                stream: r,
+                nt,
+                id: dpus[r].low() as usize,
+            });
+            requests.push(LfmRequest {
+                stream: r,
+                nt,
+                id: dpus[r].high() as usize,
+            });
+            active.push(r);
+        }
+        if requests.is_empty() {
+            break;
+        }
+        mapped.lfm_batch_into(&requests, injectors, ledger, &mut scratch, &mut sums);
+        for (k, &r) in active.iter().enumerate() {
+            let (low, high) = (sums[2 * k], sums[2 * k + 1]);
+            dpus[r].set_interval(low, high, ledger);
+            stats[r].lfm_calls += 2;
+            stats[r].bases_consumed += 1;
+            if dpus[r].interval_empty() {
+                // Algorithm 1: "if low ≥ high, it has failed to find a
+                // match".
+                results[r] = Some(SaInterval::new(low, low));
+            } else if step + 1 == suffixes[r].len() {
+                results[r] = Some(SaInterval::new(low, high));
+            }
+        }
+    }
+    results
+        .into_iter()
+        .zip(stats)
+        .map(|(interval, st)| (interval.expect("every read resolves"), st))
+        .collect()
 }
 
 #[cfg(test)]
@@ -104,6 +196,74 @@ mod tests {
         assert!(interval.is_empty());
         assert_eq!(stats.bases_consumed, 1);
         assert_eq!(stats.lfm_calls, 2);
+    }
+
+    #[test]
+    fn batched_search_matches_single_reads_exactly() {
+        let reference = genome::uniform(60_000, 21);
+        let (mapped, mut injector, mut dpu, mut _ledger) = setup(&reference);
+        // Mixed lengths + one guaranteed miss + one empty read.
+        let mut reads: Vec<DnaSeq> = (0..6)
+            .map(|k| reference.subseq(k * 7_919..k * 7_919 + 40 + 10 * k))
+            .collect();
+        reads.push("".parse().unwrap());
+        let refs: Vec<&DnaSeq> = reads.iter().collect();
+        let mut batch_ledger = CycleLedger::new();
+        let batched = exact_search_batch(&mapped, &mut [], &refs, &mut batch_ledger);
+        assert_eq!(batched.len(), reads.len());
+        let mut single_ledger = CycleLedger::new();
+        for (read, (interval, stats)) in reads.iter().zip(&batched) {
+            let (expected, expected_stats) =
+                exact_search(&mapped, &mut injector, &mut dpu, read, &mut single_ledger);
+            assert_eq!(*interval, expected);
+            assert_eq!(*stats, expected_stats);
+        }
+        // The lock-step batch shares early-step plane loads (every read
+        // starts from [0, N), so step 0 groups collapse hard).
+        assert!(batch_ledger.total_busy_cycles() < single_ledger.total_busy_cycles());
+        // ...but issues exactly the same per-request LFM work.
+        use pimsim::costs::LogicalOp;
+        for op in [
+            LogicalOp::Popcount,
+            LogicalOp::ImAdd32,
+            LogicalOp::IndexUpdate,
+        ] {
+            assert_eq!(
+                batch_ledger.primitives().count(op),
+                single_ledger.primitives().count(op),
+                "{op:?} must reconcile exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_search_replays_per_read_fault_streams() {
+        use mram::faults::{FaultCampaign, FaultModel};
+        let config = PimAlignerConfig::baseline().with_fault_campaign(
+            FaultCampaign::seeded(41)
+                .with_model(FaultModel::with_probabilities(0.02, 0.0))
+                .with_transient_row_rate(0.05)
+                .with_carry_fault_prob(0.02),
+        );
+        let reference = genome::uniform(30_000, 23);
+        let mapped = MappedIndex::build(&reference, &config);
+        let reads: Vec<DnaSeq> = (0..4)
+            .map(|k| reference.subseq(k * 5_003..k * 5_003 + 50))
+            .collect();
+        let refs: Vec<&DnaSeq> = reads.iter().collect();
+        let mut injectors: Vec<FaultInjector> = (0..reads.len())
+            .map(|r| mapped.read_injector(r as u64))
+            .collect();
+        let mut ledger = CycleLedger::new();
+        let batched = exact_search_batch(&mapped, &mut injectors, &refs, &mut ledger);
+        for (r, read) in reads.iter().enumerate() {
+            let mut oracle = mapped.read_injector(r as u64);
+            let mut dpu = Dpu::new(mapped.model());
+            let (expected, expected_stats) =
+                exact_search(&mapped, &mut oracle, &mut dpu, read, &mut ledger);
+            assert_eq!(batched[r], (expected, expected_stats), "read {r}");
+            assert_eq!(injectors[r].counters(), oracle.counters(), "read {r}");
+        }
     }
 
     #[test]

@@ -64,13 +64,13 @@ pub use artifact::{
     sa_rate_for_budget, ArtifactShard, IndexArtifact, LoadArtifactError, ShardedPlatform,
     ARTIFACT_MAGIC, BUDGET_RATES,
 };
-pub use config::{AddMethod, PimAlignerConfig, RecoveryPolicy};
+pub use config::{AddMethod, PimAlignerConfig, RecoveryPolicy, DEFAULT_KERNEL_BATCH};
 pub use error::AlignError;
-pub use exact::{exact_search, ExactStats};
+pub use exact::{exact_search, exact_search_batch, ExactStats};
 pub use host::{HostTotals, HostTraceConfig, MAX_TRACE_SPANS};
 pub use hybrid::{seed_and_extend, HybridHit, SeedExtendConfig};
 pub use inexact::{inexact_search, inexact_search_first, InexactStats};
-pub use mapping::MappedIndex;
+pub use mapping::{LfmBatchScratch, LfmRequest, MappedIndex};
 pub use metrics::{
     host_section_json, index_section_json, service_section_json, MetricsBreakdown, PhaseLfm,
     PrimitiveMetrics, ResourceMetrics, StageOccupancy, METRICS_SCHEMA_VERSION,

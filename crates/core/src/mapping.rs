@@ -15,7 +15,8 @@ use fmindex::{FmIndex, SaInterval};
 use mram::array::ArrayModel;
 use mram::faults::FaultCampaign;
 use pimsim::costs::LogicalOp;
-use pimsim::{CycleLedger, FaultCounters, FaultInjector, SubArray, SubArrayLayout};
+use pimsim::pipeline::{PipelineParams, PipelineSim};
+use pimsim::{CycleLedger, FaultCounters, FaultInjector, LfmBatch, SubArray, SubArrayLayout};
 
 use crate::config::{AddMethod, PimAlignerConfig};
 
@@ -27,6 +28,85 @@ static BUILD_COUNT: AtomicU64 = AtomicU64::new(0);
 
 /// BWT bases (= Occ buckets × 128) one sub-array covers.
 const BASES_PER_SUBARRAY: usize = 256 * SubArrayLayout::BASES_PER_ROW;
+
+/// One request of a batched LFM step: read stream `stream` asks for
+/// `LFM(nt, id)` (Algorithm 1 line 9). See [`MappedIndex::lfm_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LfmRequest {
+    /// Read stream the request belongs to — indexes the caller's
+    /// per-read injector table and names the pipeline stream.
+    pub stream: usize,
+    /// Query base.
+    pub nt: Base,
+    /// FM-index position (`0 ..= text_len`).
+    pub id: usize,
+}
+
+/// Caller-owned scratch for [`MappedIndex::lfm_batch_into`]: the
+/// per-sub-array [`LfmBatch`] pool, the request locator table and the
+/// stage-queue scheduler, all recycled across calls so the hot batched
+/// path allocates nothing per step once warm.
+#[derive(Debug)]
+pub struct LfmBatchScratch {
+    /// Sub-array key of each pool entry; only the first `active` are
+    /// live this call.
+    keys: Vec<usize>,
+    /// One reusable batch per touched sub-array, parallel to `keys`.
+    pool: Vec<LfmBatch>,
+    /// Live entry count this call.
+    active: usize,
+    /// Per request: `(pool slot, request index)`, or `(u32::MAX, 0)`
+    /// for a boundary checkpoint request.
+    locator: Vec<(u32, u32)>,
+    /// The Pd stage-queue scheduler, reset each call.
+    sim: PipelineSim,
+}
+
+impl LfmBatchScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> LfmBatchScratch {
+        LfmBatchScratch {
+            keys: Vec::new(),
+            pool: Vec::new(),
+            active: 0,
+            locator: Vec::new(),
+            sim: PipelineSim::new(1, PipelineParams::default()),
+        }
+    }
+
+    /// Rewinds for a new call at degree `pd`.
+    fn begin(&mut self, pd: usize, params: PipelineParams) {
+        self.active = 0;
+        self.locator.clear();
+        self.sim.reset(pd, params);
+    }
+
+    /// The pool slot batching sub-array `s`, reusing a retired entry's
+    /// capacity when possible. Linear scan: a call touches at most a
+    /// handful of sub-arrays.
+    fn slot_for(&mut self, s: usize) -> usize {
+        match self.keys[..self.active].iter().position(|&k| k == s) {
+            Some(t) => t,
+            None => {
+                if self.active == self.pool.len() {
+                    self.pool.push(LfmBatch::new());
+                    self.keys.push(s);
+                } else {
+                    self.pool[self.active].clear();
+                    self.keys[self.active] = s;
+                }
+                self.active += 1;
+                self.active - 1
+            }
+        }
+    }
+}
+
+impl Default for LfmBatchScratch {
+    fn default() -> LfmBatchScratch {
+        LfmBatchScratch::new()
+    }
+}
 
 /// The FM-index tables distributed across computational sub-arrays.
 ///
@@ -61,6 +141,10 @@ pub struct MappedIndex {
     /// Mirror sub-arrays for method-II (empty for method-I).
     mirrors: Vec<SubArray>,
     method: AddMethod,
+    /// Parallelism degree for the batched path's stage-queue scheduler.
+    pd: usize,
+    /// Stage timing for the batched path's stage-queue scheduler.
+    pipeline: PipelineParams,
     mapping_ledger: CycleLedger,
     /// The fault campaign the index was built under; sessions derive
     /// their alignment-time injectors from it.
@@ -169,6 +253,8 @@ impl MappedIndex {
             subarrays,
             mirrors,
             method: config.method(),
+            pd: config.pd(),
+            pipeline: config.pipeline(),
             mapping_ledger: ledger,
             campaign: config.fault_campaign(),
             build_counters: injector.counters(),
@@ -228,6 +314,14 @@ impl MappedIndex {
     /// ([`FaultCampaign::for_worker`]).
     pub fn worker_injector(&self, worker: u64) -> FaultInjector {
         FaultInjector::new(self.campaign.for_worker(worker))
+    }
+
+    /// A fresh alignment-time injector for globally indexed read
+    /// `token`: the batched kernel gives every read its own
+    /// decorrelated fault stream so faulted output is invariant to
+    /// batch width and worker count ([`FaultCampaign::for_read`]).
+    pub fn read_injector(&self, token: u64) -> FaultInjector {
+        FaultInjector::new(self.campaign.for_read(token))
     }
 
     /// `true` when the fault campaign can inject faults.
@@ -340,6 +434,201 @@ impl MappedIndex {
         // clamps rather than address outside the mapped region. A no-op
         // under ideal sensing.
         sum.min(self.index.text_len() as u32)
+    }
+
+    /// Executes one interleaved batch of `LFM` requests — the batched
+    /// kernel path (DESIGN.md §15). Requests are partitioned per
+    /// sub-array into [`LfmBatch`]es whose shared compare stage
+    /// (`XNOR_Match` plane load, sentinel masking, marker read) is
+    /// charged once per distinct `(bucket, nt)` group instead of once
+    /// per request; the per-request stages (popcount, fault sensing,
+    /// `IM_ADD`) then run in request order, bit-identical to the same
+    /// sequence of single [`MappedIndex::lfm`] calls. Issue timing
+    /// flows through a [`PipelineSim`] stage-queue scheduler (`Pd` from
+    /// the config) whose counters are recorded on `ledger`.
+    ///
+    /// `injectors` is indexed by request `stream`; pass an empty slice
+    /// when the fault campaign is inactive. Per-stream draw order is
+    /// request order, so push a read's low request before its high
+    /// request to replay the single-read injector stream exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `id` exceeds the indexed text length.
+    pub fn lfm_batch(
+        &self,
+        requests: &[LfmRequest],
+        injectors: &mut [FaultInjector],
+        ledger: &mut CycleLedger,
+    ) -> Vec<u32> {
+        let mut scratch = LfmBatchScratch::new();
+        let mut sums = Vec::new();
+        self.lfm_batch_into(requests, injectors, ledger, &mut scratch, &mut sums);
+        sums
+    }
+
+    /// [`MappedIndex::lfm_batch`] with caller-owned scratch: `scratch`
+    /// keeps the partition tables, group masks and scheduler between
+    /// calls (no per-call allocation on the hot path) and `sums` is
+    /// cleared then filled with one result per request. Lock-step
+    /// drivers ([`crate::exact::exact_search_batch`]) reuse one scratch
+    /// across every step of a batch.
+    pub fn lfm_batch_into(
+        &self,
+        requests: &[LfmRequest],
+        injectors: &mut [FaultInjector],
+        ledger: &mut CycleLedger,
+        scratch: &mut LfmBatchScratch,
+        sums: &mut Vec<u32>,
+    ) {
+        sums.clear();
+        if requests.is_empty() {
+            return;
+        }
+        let text_len = self.index.text_len();
+        let model = self.subarrays[0].model();
+        scratch.begin(self.pd, self.pipeline);
+        // Partition into one batch per touched sub-array; boundary
+        // requests (the final checkpoint bucket past the mapped rows)
+        // stay unbatched. BASES_PER_ROW and the 256-bucket column count
+        // are powers of two, so the bucket math is shift-and-mask.
+        let mut boundary = 0u64;
+        for req in requests {
+            assert!(req.id <= text_len, "LFM index {} out of range", req.id);
+            let bucket = req.id / SubArrayLayout::BASES_PER_ROW;
+            let s = bucket / 256;
+            if s >= self.subarrays.len() {
+                boundary += 1;
+                scratch.locator.push((u32::MAX, 0));
+                continue;
+            }
+            let slot = scratch.slot_for(s);
+            let idx = scratch.pool[slot].push(
+                req.stream,
+                bucket % 256,
+                req.nt,
+                req.id % SubArrayLayout::BASES_PER_ROW,
+            );
+            scratch.locator.push((slot as u32, idx as u32));
+        }
+        // Boundary checkpoint reads land in the final primary sub-array:
+        // one marker read each, plus that request's add activation.
+        if boundary > 0 {
+            LogicalOp::MarkerRead.charge_many(model, ledger, boundary);
+            ledger.note_zone_many(self.subarrays.len() - 1, boundary);
+            match self.method {
+                AddMethod::InPlace => {
+                    ledger.note_zone_many(self.subarrays.len() - 1, boundary);
+                }
+                AddMethod::Mirrored => {
+                    let idx = self.mirrors.len() - 1;
+                    LogicalOp::RowWrite.charge_many(model, ledger, 7 * boundary);
+                    ledger.note_zone_many(self.subarrays.len() + idx, 8 * boundary);
+                }
+            }
+        }
+        // Shared compare stage, once per group per touched sub-array —
+        // plus the per-request charges that are a pure function of the
+        // partition (one popcount per request, the add-stage activations
+        // and method-II operand transfers), folded in with `charge_many`
+        // (integer-exact to the per-request charges of the single-read
+        // path).
+        let sentinel = self.index.bwt().sentinel_pos();
+        let sentinel_bucket = sentinel / SubArrayLayout::BASES_PER_ROW;
+        for t in 0..scratch.active {
+            let s = scratch.keys[t];
+            let batch = &mut scratch.pool[t];
+            let local_sentinel = (sentinel_bucket / 256 == s).then_some((
+                sentinel_bucket % 256,
+                sentinel % SubArrayLayout::BASES_PER_ROW,
+            ));
+            let groups = batch.run_compare(&self.subarrays[s], local_sentinel, ledger);
+            let n = batch.len() as u64;
+            // Heatmap: one XNOR match + one marker read per group.
+            ledger.note_zone_many(s, 2 * groups as u64);
+            LogicalOp::Popcount.charge_many(model, ledger, n);
+            match self.method {
+                AddMethod::InPlace => {
+                    ledger.note_zone_many(s.min(self.subarrays.len() - 1), n);
+                }
+                AddMethod::Mirrored => {
+                    let idx = s.min(self.mirrors.len() - 1);
+                    LogicalOp::RowWrite.charge_many(model, ledger, 7 * n);
+                    ledger.note_zone_many(self.subarrays.len() + idx, 8 * n);
+                }
+            }
+        }
+        // Per-request stages in request order: popcount + fault sensing,
+        // then the add — with the pipeline scheduler timing each issue
+        // (a follower's compare result is already resident, so it skips
+        // straight to the addition queue). Disjoint field borrows: the
+        // loop reads the partition while driving the scheduler.
+        let LfmBatchScratch {
+            pool, locator, sim, ..
+        } = scratch;
+        if injectors.is_empty() {
+            // Clean fast path: no per-request fault draws, and a clean
+            // ripple add is value-exact to a wrapping add — charge all
+            // the adds in one step and skip the bit loops.
+            LogicalOp::ImAdd32.charge_many(model, ledger, requests.len() as u64);
+            for (req, &(slot, idx)) in requests.iter().zip(locator.iter()) {
+                let (count, marker, shares_compare) = if slot == u32::MAX {
+                    let bucket = req.id / SubArrayLayout::BASES_PER_ROW;
+                    (0, self.index.marker_table().marker(req.nt, bucket), false)
+                } else {
+                    let batch = &pool[slot as usize];
+                    let i = idx as usize;
+                    (
+                        batch.mask(i).count_prefix(batch.within(i)),
+                        batch.marker(i),
+                        !batch.is_leader(i),
+                    )
+                };
+                sim.issue(req.stream, shares_compare);
+                sums.push(marker.wrapping_add(count).min(text_len as u32));
+            }
+        } else {
+            for (req, &(slot, idx)) in requests.iter().zip(locator.iter()) {
+                let (count, marker, shares_compare) = if slot == u32::MAX {
+                    let bucket = req.id / SubArrayLayout::BASES_PER_ROW;
+                    (0, self.index.marker_table().marker(req.nt, bucket), false)
+                } else {
+                    let batch = &pool[slot as usize];
+                    let i = idx as usize;
+                    let within = batch.within(i);
+                    let count = match injectors.get_mut(req.stream) {
+                        Some(injector) if injector.is_active() => {
+                            let mut mask = *batch.mask(i);
+                            injector.transient_row_mask(&mut mask);
+                            injector.corrupt_match_mask(&mut mask, within);
+                            mask.count_prefix(within)
+                        }
+                        _ => batch.mask(i).count_prefix(within),
+                    };
+                    (count, batch.marker(i), !batch.is_leader(i))
+                };
+                // Same draw as the single-read path; returns `None`
+                // without consuming the stream when the carry rate is
+                // zero, so a present-but-inactive injector stays
+                // equivalent to the clean path.
+                let carry_fault = match injectors.get_mut(req.stream) {
+                    Some(injector) => injector.carry_fault_bit(),
+                    None => None,
+                };
+                sim.issue(req.stream, shares_compare);
+                // Every sub-array and mirror shares one ArrayModel, so
+                // the shared add's charge is position-independent.
+                let sum = match carry_fault {
+                    Some(k) => self.subarrays[0].im_add32_shared_faulty(marker, count, k, ledger),
+                    None => {
+                        LogicalOp::ImAdd32.charge(model, ledger);
+                        marker.wrapping_add(count)
+                    }
+                };
+                sums.push(sum.min(text_len as u32));
+            }
+        }
+        ledger.record_pipeline(&sim.counters());
     }
 
     /// Reads suffix-array entries for an interval (`MEM` on the SA
@@ -459,6 +748,114 @@ mod tests {
         let before = MappedIndex::build_count();
         let _ = mapped(&genome::uniform(2_000, 6), AddMethod::InPlace);
         assert!(MappedIndex::build_count() > before);
+    }
+
+    #[test]
+    fn batched_lfm_matches_single_calls_and_saves_plane_loads() {
+        // text_len (raw + sentinel) fills exactly two sub-arrays, so
+        // `id = n` lands on the final checkpoint bucket (the unbatched
+        // boundary path).
+        let reference = genome::uniform(65_535, 3);
+        let m = mapped(&reference, AddMethod::InPlace);
+        let n = m.index().text_len();
+        // Three streams: a shared (bucket, base) pair, a second
+        // sub-array, and the boundary checkpoint.
+        let requests = vec![
+            LfmRequest {
+                stream: 0,
+                nt: Base::A,
+                id: 130,
+            },
+            LfmRequest {
+                stream: 1,
+                nt: Base::A,
+                id: 180,
+            },
+            LfmRequest {
+                stream: 1,
+                nt: Base::C,
+                id: 33_000,
+            },
+            LfmRequest {
+                stream: 2,
+                nt: Base::C,
+                id: 33_100,
+            },
+            LfmRequest {
+                stream: 2,
+                nt: Base::T,
+                id: n,
+            },
+        ];
+        let mut batch_ledger = CycleLedger::new();
+        let sums = m.lfm_batch(&requests, &mut [], &mut batch_ledger);
+        let mut single_ledger = CycleLedger::new();
+        let mut injector = m.session_injector();
+        let singles: Vec<u32> = requests
+            .iter()
+            .map(|r| m.lfm(r.nt, r.id, &mut injector, &mut single_ledger))
+            .collect();
+        assert_eq!(sums, singles);
+        // requests 0 and 1 share one plane load: 3 XNORs, not 4.
+        assert_eq!(
+            batch_ledger.primitives().count(LogicalOp::XnorMatch),
+            3,
+            "shared bucket must be loaded once"
+        );
+        assert_eq!(single_ledger.primitives().count(LogicalOp::XnorMatch), 4);
+        assert!(batch_ledger.total_busy_cycles() < single_ledger.total_busy_cycles());
+        let pipe = batch_ledger.pipeline_counters();
+        assert_eq!(pipe.issued, 5);
+        assert!(pipe.makespan_cycles > 0);
+        assert_eq!(single_ledger.pipeline_counters().issued, 0);
+    }
+
+    #[test]
+    fn batched_lfm_replays_per_read_fault_streams() {
+        use mram::faults::FaultModel;
+        let config = PimAlignerConfig::baseline().with_fault_campaign(
+            FaultCampaign::seeded(29)
+                .with_model(FaultModel::with_probabilities(0.04, 0.0))
+                .with_transient_row_rate(0.15)
+                .with_carry_fault_prob(0.1),
+        );
+        let m = MappedIndex::build(&genome::uniform(40_000, 9), &config);
+        // Streams interleaved low/high, sharing bucket 1 across streams.
+        let requests = vec![
+            LfmRequest {
+                stream: 0,
+                nt: Base::A,
+                id: 140,
+            },
+            LfmRequest {
+                stream: 1,
+                nt: Base::A,
+                id: 170,
+            },
+            LfmRequest {
+                stream: 0,
+                nt: Base::A,
+                id: 5_000,
+            },
+            LfmRequest {
+                stream: 1,
+                nt: Base::G,
+                id: 9_000,
+            },
+        ];
+        let mut injectors = vec![m.read_injector(0), m.read_injector(1)];
+        let mut ledger = CycleLedger::new();
+        let batched = m.lfm_batch(&requests, &mut injectors, &mut ledger);
+        // Oracle: single-read replay per stream in per-stream order.
+        let mut oracle = [m.read_injector(0), m.read_injector(1)];
+        let expected: Vec<u32> = requests
+            .iter()
+            .map(|r| m.lfm(r.nt, r.id, &mut oracle[r.stream], &mut ledger))
+            .collect();
+        assert_eq!(batched, expected);
+        for s in 0..2 {
+            assert_eq!(injectors[s].counters(), oracle[s].counters(), "stream {s}");
+        }
     }
 
     #[test]

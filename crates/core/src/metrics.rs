@@ -31,10 +31,13 @@ use crate::report::{FaultTelemetry, IndexTelemetry, PerfReport, ServiceTelemetry
 /// `per_request_latency` histogram to the `host` section. v4 added the
 /// top-level `index` section (artifact-vs-rebuild provenance, shard
 /// geometry, SA sampling rate and the size-model reconciliation,
-/// all-zero when the run never described its index). Each version
+/// all-zero when the run never described its index). v5 added the
+/// batched-kernel scheduler counters to `breakdown.pipeline` (`issued`,
+/// `makespan_cycles`, `sequential_cycles`, `overlap_saved_cycles`,
+/// all-zero on the single-read kernel path). Each version
 /// only *adds* paths, so consumers that address fields by name keep
 /// working across versions.
-pub const METRICS_SCHEMA_VERSION: u32 = 4;
+pub const METRICS_SCHEMA_VERSION: u32 = 5;
 
 /// `LFM` invocations attributed to the alignment phase that issued them.
 ///
@@ -109,6 +112,15 @@ pub struct StageOccupancy {
     pub compare_occupancy_pct: f64,
     /// Adder-copy occupancy (transfer + add per copy), percent.
     pub adder_occupancy_pct: f64,
+    /// LFM issues the batched kernel routed through the stage-queue
+    /// scheduler (0 on the single-read path, which has no overlap).
+    pub issued: u64,
+    /// Scheduled makespan of those issues (simulated cycles).
+    pub makespan_cycles: u64,
+    /// What the same issues would cost fully serialised.
+    pub sequential_cycles: u64,
+    /// Cycles the `Pd` overlap hid (`sequential - makespan`).
+    pub overlap_saved_cycles: u64,
 }
 
 /// The hierarchical cycle/energy breakdown of one simulated batch.
@@ -187,6 +199,7 @@ impl MetricsBreakdown {
         } else {
             pipeline.transfer_cycles as f64 + pipeline.stage_b_cycles as f64 / (pd as f64 - 1.0)
         };
+        let scheduled = ledger.pipeline_counters();
         let occupancy = StageOccupancy {
             pd,
             cycles_per_lfm: rate,
@@ -195,6 +208,10 @@ impl MetricsBreakdown {
             stage_b_cycles: pipeline.stage_b_cycles,
             compare_occupancy_pct: 100.0 * (pipeline.stage_a_cycles as f64 / rate).min(1.0),
             adder_occupancy_pct: 100.0 * (adder_busy / rate).min(1.0),
+            issued: scheduled.issued,
+            makespan_cycles: scheduled.makespan_cycles,
+            sequential_cycles: scheduled.sequential_cycles,
+            overlap_saved_cycles: scheduled.overlap_saved_cycles(),
         };
 
         MetricsBreakdown {
@@ -291,7 +308,8 @@ impl MetricsBreakdown {
              \"recovery_escalate\": {} }},\n    \
              \"pipeline\": {{ \"pd\": {}, \"cycles_per_lfm\": {}, \"stage_a_cycles\": {}, \
              \"transfer_cycles\": {}, \"stage_b_cycles\": {}, \"compare_occupancy_pct\": {}, \
-             \"adder_occupancy_pct\": {} }},\n    \
+             \"adder_occupancy_pct\": {}, \"issued\": {}, \"makespan_cycles\": {}, \
+             \"sequential_cycles\": {}, \"overlap_saved_cycles\": {} }},\n    \
              \"spans\": {},\n    \
              \"spans_dropped\": {},\n    \
              \"heatmap\": {{ \"zones\": {}, \"activations\": [{}] }}\n  }}",
@@ -315,6 +333,10 @@ impl MetricsBreakdown {
             p.stage_b_cycles,
             json_f64(p.compare_occupancy_pct),
             json_f64(p.adder_occupancy_pct),
+            p.issued,
+            p.makespan_cycles,
+            p.sequential_cycles,
+            p.overlap_saved_cycles,
             spans_json,
             self.spans_dropped,
             self.zone_activations.len(),

@@ -147,6 +147,16 @@ fn run_workers(
     } else {
         reads.len().div_ceil(threads * 4).max(1)
     };
+    // Kernel-batch groups are carved from global read indices
+    // `[m·B, (m+1)·B)`; rounding the grain up to a multiple of B keeps
+    // every chunk boundary on a group boundary, so the groups — and the
+    // charged cycles and zone heatmap — are invariant to thread count.
+    let batch = platform.config().kernel_batch();
+    let grain = if batch > 1 {
+        grain.div_ceil(batch) * batch
+    } else {
+        grain
+    };
     // A worker's "fair share" of chunks under static round-robin; any
     // chunk claimed beyond it was stolen from a slower worker.
     let fair_share = reads.len().div_ceil(grain).div_ceil(threads) as u64;
@@ -179,16 +189,12 @@ fn run_workers(
                     let end = (start + grain).min(reads.len());
                     let chunk_t0 = Instant::now();
                     let h_chunk = session.host_start();
-                    let outcomes: Vec<(AlignmentOutcome, MappedStrand)> = reads[start..end]
-                        .iter()
-                        .map(|r| {
-                            if both_strands {
-                                session.align_read_both_strands(r)
-                            } else {
-                                (session.align_read(r), MappedStrand::Forward)
-                            }
-                        })
-                        .collect();
+                    // Batched kernel path: the group's fault-stream
+                    // tokens are the global read indices, so faulted
+                    // output is invariant to batch width and threads.
+                    let first_token = epoch * EPOCH_STRIDE + start as u64;
+                    let outcomes =
+                        session.align_group(&reads[start..end], first_token, both_strands);
                     session.host_record("chunk", h_chunk);
                     let chunk_ns = chunk_t0.elapsed().as_nanos() as u64;
                     per_chunk.record_ns(chunk_ns);
@@ -458,7 +464,10 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let (reference, reads) = workload();
-        let config = PimAlignerConfig::baseline();
+        // The sequential session API is the single-read kernel, so pin
+        // the parallel side to kernel_batch = 1 for an exact ledger
+        // match (batched runs charge fewer plane loads by design).
+        let config = PimAlignerConfig::baseline().with_kernel_batch(1);
         let mut sequential = PimAligner::new(&reference, config.clone());
         let seq_result = sequential.align_batch(&reads);
         let par_result = align_batch_parallel(&reference, &config, &reads, 4).unwrap();
@@ -559,6 +568,63 @@ mod tests {
         assert_eq!(totals.reads, reads.len() as u64);
         let report = platform.batch_report(&totals);
         assert_eq!(report.lfm_calls, whole.report.lfm_calls);
+    }
+
+    #[test]
+    fn kernel_batch_widths_agree_on_outcomes_and_differ_in_cycles() {
+        let (reference, reads) = workload();
+        let narrow = align_batch_parallel(
+            &reference,
+            &PimAlignerConfig::baseline().with_kernel_batch(1),
+            &reads,
+            4,
+        )
+        .unwrap();
+        let wide = align_batch_parallel(
+            &reference,
+            &PimAlignerConfig::baseline().with_kernel_batch(8),
+            &reads,
+            4,
+        )
+        .unwrap();
+        // Same bits out...
+        assert_eq!(narrow.outcomes, wide.outcomes);
+        assert_eq!(narrow.report.lfm_calls, wide.report.lfm_calls);
+        // ...for strictly fewer charged cycles (shared plane loads),
+        // with the stage-queue scheduler active only on the wide path.
+        assert!(
+            wide.report.breakdown.total_busy_cycles < narrow.report.breakdown.total_busy_cycles
+        );
+        assert!(wide.report.breakdown.pipeline.issued > 0);
+        assert_eq!(narrow.report.breakdown.pipeline.issued, 0);
+    }
+
+    #[test]
+    fn faulted_output_is_invariant_to_batch_and_threads() {
+        use mram::faults::{FaultCampaign, FaultModel};
+        let (reference, reads) = workload();
+        let campaign = FaultCampaign::seeded(52)
+            .with_model(FaultModel::with_probabilities(3e-3, 0.0))
+            .with_transient_row_rate(1e-3)
+            .with_carry_fault_prob(1e-3);
+        let run = |batch: usize, threads: usize| {
+            let config = PimAlignerConfig::baseline()
+                .with_fault_campaign(campaign)
+                .with_kernel_batch(batch);
+            align_batch_parallel(&reference, &config, &reads, threads).unwrap()
+        };
+        let base = run(1, 1);
+        assert!(
+            base.report.faults.injected_total() > 0,
+            "campaign must inject"
+        );
+        for (batch, threads) in [(1, 8), (8, 1), (8, 8), (3, 5)] {
+            let other = run(batch, threads);
+            assert_eq!(
+                base.outcomes, other.outcomes,
+                "batch {batch} × threads {threads} diverged under faults"
+            );
+        }
     }
 
     #[test]

@@ -265,6 +265,32 @@ impl FaultCampaign {
         self.with_seed(z)
     }
 
+    /// Derives the deterministic sub-campaign for one *read*.
+    ///
+    /// The batched kernel path gives every read its own decision stream
+    /// keyed by the read's global index (plus the chunk epoch), so the
+    /// faults a read sees depend only on the campaign seed and on *which
+    /// read it is* — never on how reads were grouped into kernel batches,
+    /// scheduled across worker threads, or interleaved by work stealing.
+    /// That is what makes seeded-fault SAM output byte-identical across
+    /// `--kernel-batch` and `--threads` settings.
+    ///
+    /// Unlike [`FaultCampaign::for_worker`] there is no identity token:
+    /// every token re-seeds, and the mix constant differs from the
+    /// worker derivation so read streams never collide with worker
+    /// streams (token 0 ≠ worker 0, token k ≠ worker k).
+    pub fn for_read(self, token: u64) -> FaultCampaign {
+        // Distinct odd salt keeps this family disjoint from for_worker's.
+        let mut z = self
+            .seed
+            .wrapping_add(0xd1b5_4a32_d192_ed03)
+            .wrapping_add(token.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        self.with_seed(z)
+    }
+
     /// `true` when any fault class can fire (simulators skip every
     /// sampling path for inactive campaigns).
     pub fn is_active(&self) -> bool {
@@ -390,5 +416,39 @@ mod tests {
             FaultCampaign::seeded(37).for_worker(1).seed(),
             FaultCampaign::seeded(38).for_worker(0).seed()
         );
+    }
+
+    #[test]
+    fn read_tokens_get_distinct_decorrelated_seeds() {
+        let base = FaultCampaign::seeded(37)
+            .with_model(FaultModel::with_probabilities(1e-3, 0.0))
+            .with_carry_fault_prob(1e-4);
+        let mut seeds: Vec<u64> = (0..64).map(|t| base.for_read(t).seed()).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 64, "read seeds must all differ");
+        // Unlike for_worker, token 0 re-seeds too: the per-read stream
+        // is never the base campaign's own stream.
+        assert_ne!(base.for_read(0).seed(), base.seed());
+        // Rates and model are inherited unchanged; derivation is
+        // deterministic.
+        let r5 = base.for_read(5);
+        assert_eq!(r5.model(), base.model());
+        assert_eq!(r5.carry_fault_prob(), base.carry_fault_prob());
+        assert_eq!(base.for_read(5), base.for_read(5));
+    }
+
+    #[test]
+    fn read_streams_are_disjoint_from_worker_streams() {
+        let base = FaultCampaign::seeded(37);
+        for token in 0..32 {
+            for worker in 0..32 {
+                assert_ne!(
+                    base.for_read(token).seed(),
+                    base.for_worker(worker).seed(),
+                    "read token {token} collided with worker {worker}"
+                );
+            }
+        }
     }
 }

@@ -97,6 +97,15 @@ impl FaultInjector {
         self.counters
     }
 
+    /// Folds another injector's counts into this one's. The batched
+    /// kernel path runs each read against its own per-read injector
+    /// ([`FaultCampaign::for_read`]) and absorbs the counts back into
+    /// the session injector, so session telemetry stays a single total
+    /// regardless of how reads were batched.
+    pub fn absorb_counters(&mut self, other: &FaultCounters) {
+        self.counters.merge(other);
+    }
+
     /// `true` when any fault class can fire.
     pub fn is_active(&self) -> bool {
         self.campaign.is_active()

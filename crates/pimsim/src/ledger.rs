@@ -4,6 +4,7 @@ use mram::array::{ArrayModel, ArrayOp};
 
 use crate::costs::LogicalOp;
 use crate::metrics::PrimCounters;
+use crate::pipeline::PipelineCounters;
 
 /// A hardware resource class, used to attribute busy cycles for the
 /// utilisation figures (Fig. 10b/10c).
@@ -80,6 +81,9 @@ pub struct CycleLedger {
     /// their target (primary sub-arrays first, then method-II mirrors).
     /// Empty until the first zone note; grows on demand.
     zones: Vec<u64>,
+    /// Stage-queue scheduling totals recorded by the batched kernel
+    /// path ([`crate::PipelineSim`]); all-zero on the single-read path.
+    pipeline: PipelineCounters,
 }
 
 impl CycleLedger {
@@ -139,6 +143,20 @@ impl CycleLedger {
         &self.zones
     }
 
+    /// Folds one batch's stage-queue scheduling totals in (called once
+    /// per `lfm_batch` invocation with the batch's
+    /// [`crate::PipelineSim`] counters).
+    #[inline]
+    pub fn record_pipeline(&mut self, counters: &PipelineCounters) {
+        self.pipeline.merge(counters);
+    }
+
+    /// Accumulated stage-queue scheduling totals (all-zero unless the
+    /// batched kernel path ran).
+    pub fn pipeline_counters(&self) -> PipelineCounters {
+        self.pipeline
+    }
+
     /// The hierarchical per-primitive counters (counts and busy cycles
     /// per [`LogicalOp`]). For any ledger charged exclusively through
     /// logical operations — the entire production path — the counters'
@@ -176,6 +194,7 @@ impl CycleLedger {
         }
         self.energy_pj += other.energy_pj;
         self.prims.merge(&other.prims);
+        self.pipeline.merge(&other.pipeline);
         if self.zones.len() < other.zones.len() {
             self.zones.resize(other.zones.len(), 0);
         }
@@ -284,6 +303,29 @@ mod tests {
         let mut c = CycleLedger::new();
         c.merge(&a);
         assert_eq!(c.zone_activations(), a.zone_activations());
+    }
+
+    #[test]
+    fn pipeline_counters_record_and_merge() {
+        let mut a = CycleLedger::new();
+        assert_eq!(a.pipeline_counters(), PipelineCounters::default());
+        a.record_pipeline(&PipelineCounters {
+            issued: 4,
+            makespan_cycles: 245,
+            sequential_cycles: 304,
+        });
+        let mut b = CycleLedger::new();
+        b.record_pipeline(&PipelineCounters {
+            issued: 2,
+            makespan_cycles: 137,
+            sequential_cycles: 152,
+        });
+        a.merge(&b);
+        let total = a.pipeline_counters();
+        assert_eq!(total.issued, 6);
+        assert_eq!(total.makespan_cycles, 245 + 137);
+        assert_eq!(total.sequential_cycles, 304 + 152);
+        assert_eq!(total.overlap_saved_cycles(), 456 - 382);
     }
 
     #[test]

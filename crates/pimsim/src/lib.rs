@@ -38,6 +38,7 @@
 //! analog circuit would produce) and against the `fmindex` software
 //! oracle (every `LFM` executed on the platform returns the same bound).
 
+pub mod batch;
 pub mod costs;
 pub mod host;
 pub mod metrics;
@@ -49,9 +50,11 @@ mod faults;
 mod ledger;
 mod subarray;
 
+pub use batch::LfmBatch;
 pub use dpu::{BacktrackState, Dpu};
 pub use faults::{FaultCounters, FaultInjector};
 pub use host::{chrome_trace_json, HostEpoch, HostHistogram, HostSpan, HostSpanLog, WorkerStats};
 pub use ledger::{CycleLedger, Resource};
 pub use metrics::{PrimCounters, Span, SpanTracer};
+pub use pipeline::{PipelineCounters, PipelineParams, PipelineSim};
 pub use subarray::{validate_functions_against_circuit, MatchMask, SubArray, SubArrayLayout};

@@ -103,6 +103,150 @@ impl PipelineParams {
     }
 }
 
+/// Scheduling counters accumulated by [`PipelineSim`] and folded into
+/// the session ledger.
+///
+/// `sequential_cycles` is what the same issues would have cost with no
+/// overlap at all (every non-shared compare plus every add, back to
+/// back); `makespan_cycles` is when the last issue actually finished
+/// under the stage-queue schedule. Their difference is the overlap the
+/// pipeline bought. Counters from separate batch invocations merge by
+/// summation — batches on one sub-array run back to back, so makespans
+/// add.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineCounters {
+    /// LFM issues scheduled.
+    pub issued: u64,
+    /// Cycle the last issue retired under the pipelined schedule.
+    pub makespan_cycles: u64,
+    /// What the same issues cost unpipelined, back to back.
+    pub sequential_cycles: u64,
+}
+
+impl PipelineCounters {
+    /// Cycles the stage overlap saved versus the serial schedule. Zero
+    /// when the pipeline could not help (e.g. `Pd = 1`, or a batch of
+    /// one where the transfer overhead eats the overlap).
+    pub fn overlap_saved_cycles(&self) -> u64 {
+        self.sequential_cycles.saturating_sub(self.makespan_cycles)
+    }
+
+    /// Folds another counter set in (summation; see the type docs).
+    pub fn merge(&mut self, other: &PipelineCounters) {
+        self.issued += other.issued;
+        self.makespan_cycles += other.makespan_cycles;
+        self.sequential_cycles += other.sequential_cycles;
+    }
+}
+
+/// The Pd stage-queue scheduler: actual issue ordering for one batch of
+/// interleaved LFM steps against one sub-array.
+///
+/// Each [`PipelineSim::issue`] places one read-step into the two-slot
+/// stage queue: the compare stage (shared original sub-array) and the
+/// add stage (the `Pd − 1` adder copies, modelled as one server with a
+/// `transfer + stage_b / (Pd − 1)` service time). Issues from different
+/// read streams overlap — read `i + 1`'s compare runs while read `i`'s
+/// add occupies the copy — but two issues of the *same* stream are
+/// dependent (an `LFM`'s operands are the previous step's interval), so
+/// a stream's next issue cannot start before its previous one retired.
+///
+/// With `Pd = 1` there is one sub-array and no overlap: every issue
+/// serialises. The simulator is transient scratch state — only its
+/// [`PipelineCounters`] survive, folded into the [`CycleLedger`]
+/// (`crate::CycleLedger`) by the caller.
+#[derive(Debug, Clone)]
+pub struct PipelineSim {
+    pd: usize,
+    params: PipelineParams,
+    /// When the compare stage frees (Pd ≥ 2) / when the single
+    /// sub-array frees (Pd = 1).
+    compare_free: u64,
+    /// When the adder-copy server frees (Pd ≥ 2 only).
+    add_free: u64,
+    /// Per-stream retire times: stream `s`'s next issue starts no
+    /// earlier than `stream_done[s]`.
+    stream_done: Vec<u64>,
+    counters: PipelineCounters,
+}
+
+impl PipelineSim {
+    /// A fresh scheduler at parallelism degree `pd`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pd == 0`.
+    pub fn new(pd: usize, params: PipelineParams) -> PipelineSim {
+        assert!(pd >= 1, "parallelism degree must be at least 1");
+        PipelineSim {
+            pd,
+            params,
+            compare_free: 0,
+            add_free: 0,
+            stream_done: Vec::new(),
+            counters: PipelineCounters::default(),
+        }
+    }
+
+    /// Rewinds the scheduler to an empty schedule at degree `pd`,
+    /// keeping the per-stream table's capacity (the batched kernel
+    /// recycles one simulator across calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pd == 0`.
+    pub fn reset(&mut self, pd: usize, params: PipelineParams) {
+        assert!(pd >= 1, "parallelism degree must be at least 1");
+        self.pd = pd;
+        self.params = params;
+        self.compare_free = 0;
+        self.add_free = 0;
+        self.stream_done.clear();
+        self.counters = PipelineCounters::default();
+    }
+
+    /// Schedules one LFM step of read stream `stream`. A
+    /// `shared_compare` issue rides a compare the batch already paid for
+    /// (another stream loaded the same bucket row this step), so only
+    /// its add occupies a stage.
+    pub fn issue(&mut self, stream: usize, shared_compare: bool) {
+        let compare_cost = if shared_compare {
+            0
+        } else {
+            self.params.stage_a_cycles
+        };
+        let ready = self.stream_done.get(stream).copied().unwrap_or(0);
+        let done = if self.pd == 1 {
+            // One sub-array does both stages; issues fully serialise.
+            let start = self.compare_free.max(ready);
+            let done = start + compare_cost + self.params.stage_b_cycles;
+            self.compare_free = done;
+            done
+        } else {
+            let compare_done = self.compare_free.max(ready) + compare_cost;
+            let add_service = self.params.transfer_cycles
+                + self.params.stage_b_cycles.div_ceil(self.pd as u64 - 1);
+            let done = compare_done.max(self.add_free) + add_service;
+            self.compare_free = compare_done;
+            self.add_free = done;
+            done
+        };
+        if stream >= self.stream_done.len() {
+            self.stream_done.resize(stream + 1, 0);
+        }
+        self.stream_done[stream] = done;
+        self.counters.issued += 1;
+        self.counters.sequential_cycles += compare_cost + self.params.stage_b_cycles;
+        self.counters.makespan_cycles = self.counters.makespan_cycles.max(done);
+    }
+
+    /// The counters accumulated so far (fold into a ledger via
+    /// `CycleLedger::record_pipeline`).
+    pub fn counters(&self) -> PipelineCounters {
+        self.counters
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +295,83 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_pd_panics() {
         let _ = PipelineParams::default().cycles_per_lfm(0);
+    }
+
+    /// Issues `n` independent streams' steps at degree `pd` and returns
+    /// the counters.
+    fn run_streams(pd: usize, n: usize) -> PipelineCounters {
+        let mut sim = PipelineSim::new(pd, PipelineParams::default());
+        for s in 0..n {
+            sim.issue(s, false);
+        }
+        sim.counters()
+    }
+
+    #[test]
+    fn pd1_serialises_every_issue() {
+        let c = run_streams(1, 8);
+        assert_eq!(c.issued, 8);
+        assert_eq!(c.makespan_cycles, 8 * 76);
+        assert_eq!(c.sequential_cycles, 8 * 76);
+        assert_eq!(c.overlap_saved_cycles(), 0);
+    }
+
+    #[test]
+    fn pd2_overlaps_independent_streams() {
+        // Steady state: the adder copy binds at transfer + stage_b = 54
+        // cycles per issue, after a 29-cycle compare fill.
+        let c = run_streams(2, 8);
+        assert_eq!(c.makespan_cycles, 29 + 8 * 54);
+        assert_eq!(c.sequential_cycles, 8 * 76);
+        assert!(c.makespan_cycles < c.sequential_cycles);
+        assert_eq!(
+            c.overlap_saved_cycles(),
+            c.sequential_cycles - c.makespan_cycles
+        );
+    }
+
+    #[test]
+    fn pd2_single_issue_saves_nothing() {
+        // A batch of one pays the transfer on top of both stages; the
+        // saved-cycles counter saturates at zero rather than going
+        // negative.
+        let c = run_streams(2, 1);
+        assert_eq!(c.makespan_cycles, 29 + 7 + 47);
+        assert_eq!(c.sequential_cycles, 76);
+        assert_eq!(c.overlap_saved_cycles(), 0);
+    }
+
+    #[test]
+    fn same_stream_issues_are_dependent() {
+        // Two steps of one read cannot overlap: the second waits for the
+        // first to retire, so Pd=2 is strictly slower than two
+        // independent streams.
+        let mut sim = PipelineSim::new(2, PipelineParams::default());
+        sim.issue(0, false);
+        sim.issue(0, false);
+        let dependent = sim.counters().makespan_cycles;
+        let independent = run_streams(2, 2).makespan_cycles;
+        assert!(dependent > independent, "{dependent} vs {independent}");
+        assert_eq!(dependent, 2 * (29 + 54));
+    }
+
+    #[test]
+    fn shared_compare_issues_skip_stage_a() {
+        let mut sim = PipelineSim::new(1, PipelineParams::default());
+        sim.issue(0, false);
+        sim.issue(1, true);
+        let c = sim.counters();
+        assert_eq!(c.makespan_cycles, 76 + 47);
+        assert_eq!(c.sequential_cycles, 76 + 47);
+    }
+
+    #[test]
+    fn counters_merge_by_summation() {
+        let mut a = run_streams(2, 4);
+        let b = run_streams(2, 4);
+        a.merge(&b);
+        assert_eq!(a.issued, 8);
+        assert_eq!(a.makespan_cycles, 2 * (29 + 4 * 54));
+        assert_eq!(a.sequential_cycles, 8 * 76);
     }
 }

@@ -19,6 +19,8 @@
 //!   --retry-after-ms <N>      base of the shed retry-after hint (default 20)
 //!   --pipelined               use PIM-Aligner-p (Pd = 2) instead of the baseline
 //!   --pd <N>                  parallelism degree (implies method-II for N >= 2)
+//!   --kernel-batch <N>        reads interleaved per LFM kernel batch
+//!                             (default 8; 1 = single-read kernel path)
 //!   --max-diffs <Z>           inexact-stage difference budget (default 2, max 8)
 //!   --no-indels               substitutions only in the inexact stage
 //!   --single-strand           skip the reverse-complement retry
@@ -39,7 +41,9 @@ use std::process::ExitCode;
 
 use pim_aligner_suite::bioseq::fasta;
 use pim_aligner_suite::pim_aligner::service::{serve, ServiceConfig, ServiceError};
-use pim_aligner_suite::pim_aligner::{IndexArtifact, PimAlignerConfig, Platform};
+use pim_aligner_suite::pim_aligner::{
+    IndexArtifact, PimAlignerConfig, Platform, DEFAULT_KERNEL_BATCH,
+};
 
 /// A CLI failure, classified exactly as in `pimalign`: usage = 2,
 /// input = 3, runtime = 4.
@@ -82,6 +86,7 @@ struct Cli {
     port_file: Option<String>,
     service: ServiceConfig,
     pd: usize,
+    kernel_batch: usize,
     max_diffs: u8,
     indels: bool,
     metrics_out: Option<String>,
@@ -106,6 +111,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         port_file: None,
         service: ServiceConfig::default(),
         pd: 1,
+        kernel_batch: DEFAULT_KERNEL_BATCH,
         max_diffs: 2,
         indels: true,
         metrics_out: None,
@@ -133,6 +139,15 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 cli.pd = parse_flag(args, &mut i, "--pd")?;
                 if cli.pd == 0 {
                     return Err("invalid --pd: parallelism degree must be at least 1".into());
+                }
+            }
+            "--kernel-batch" => {
+                cli.kernel_batch = parse_flag(args, &mut i, "--kernel-batch")?;
+                if cli.kernel_batch == 0 {
+                    return Err(
+                        "invalid --kernel-batch: must be at least 1 (1 = single-read kernel)"
+                            .into(),
+                    );
                 }
             }
             "--max-diffs" => {
@@ -179,7 +194,8 @@ fn run() -> Result<(), CliError> {
 
     let mut config = PimAlignerConfig::baseline()
         .with_max_diffs(cli.max_diffs)
-        .with_indels(cli.indels);
+        .with_indels(cli.indels)
+        .with_kernel_batch(cli.kernel_batch);
     if cli.pd >= 2 {
         config = config.with_pd(cli.pd);
     }

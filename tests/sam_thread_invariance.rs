@@ -106,6 +106,81 @@ fn eight_threads_emit_byte_identical_sam_to_one_thread() {
     assert!(ok, "--progress run failed: {stderr}");
     assert_eq!(sam_progress, sam_1t, "--progress changed the SAM stream");
 
+    // The interleaved batch kernel is a pure scheduling change: every
+    // --kernel-batch × --threads combination must reproduce the same
+    // bytes (batch 1 is the single-read path, so this also ties the
+    // batched kernel to it end-to-end).
+    for (batch, threads) in [("1", "8"), ("8", "1"), ("8", "8")] {
+        let mut combo: Vec<&str> = base.to_vec();
+        combo.extend_from_slice(&["--threads", threads, "--kernel-batch", batch]);
+        let (sam_combo, stderr, ok) = run_cli(&combo);
+        assert!(
+            ok,
+            "--kernel-batch {batch} --threads {threads} failed: {stderr}"
+        );
+        assert_eq!(
+            sam_combo, sam_1t,
+            "--kernel-batch {batch} --threads {threads} diverged"
+        );
+    }
+
+    std::fs::remove_file(reference).ok();
+    std::fs::remove_file(reads).ok();
+}
+
+#[test]
+fn kernel_batch_and_threads_invariant_under_seeded_faults() {
+    // Under a seeded fault campaign the per-read fault streams are keyed
+    // by global read index, so neither the kernel batch width nor the
+    // worker count may change a byte of the SAM stream.
+    let mut rng = Rng(0xfa17_5eed);
+    let genome: String = (0..3_000)
+        .map(|_| ['A', 'C', 'G', 'T'][(rng.next() % 4) as usize])
+        .collect();
+    let reference = write_temp("fault_ref.fa", &format!(">chrF\n{genome}\n"));
+    let mut fastq = String::new();
+    for i in 0..32u64 {
+        let read = if i % 5 == 4 {
+            "A".repeat(20)
+        } else {
+            let start = (rng.next() as usize) % (genome.len() - 28);
+            genome[start..start + 24].to_owned()
+        };
+        writeln!(fastq, "@f{i}\n{read}\n+\n{}", "I".repeat(read.len())).unwrap();
+    }
+    let reads = write_temp("fault_reads.fq", &fastq);
+
+    let fault_args = [
+        "--fault-seed",
+        "77",
+        "--fault-xnor",
+        "0.003",
+        "--fault-transient",
+        "0.001",
+        "--fault-carry",
+        "0.001",
+    ];
+    let run = |batch: &str, threads: &str| {
+        let mut args = vec![reference.to_str().unwrap(), reads.to_str().unwrap()];
+        args.extend_from_slice(&fault_args);
+        args.extend_from_slice(&["--kernel-batch", batch, "--threads", threads]);
+        let (sam, stderr, ok) = run_cli(&args);
+        assert!(
+            ok,
+            "--kernel-batch {batch} --threads {threads} failed: {stderr}"
+        );
+        sam
+    };
+    let expected = run("1", "1");
+    assert!(expected.lines().count() > 32, "SAM looks truncated");
+    for (batch, threads) in [("1", "8"), ("8", "1"), ("8", "8")] {
+        assert_eq!(
+            run(batch, threads),
+            expected,
+            "--kernel-batch {batch} --threads {threads} diverged under seeded faults"
+        );
+    }
+
     std::fs::remove_file(reference).ok();
     std::fs::remove_file(reads).ok();
 }
