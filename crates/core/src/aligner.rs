@@ -6,13 +6,13 @@ use std::time::Instant;
 use bioseq::DnaSeq;
 use fmindex::{EditBudget, SaInterval};
 use pimsim::{
-    CycleLedger, Dpu, FaultInjector, HostEpoch, HostHistogram, HostSpan, HostSpanLog, Span,
-    SpanTracer,
+    CycleLedger, Dpu, FaultInjector, HostEpoch, HostHistogram, HostSpan, HostSpanLog, KernelCache,
+    SimdPolicy, Span, SpanTracer,
 };
 
 use crate::config::PimAlignerConfig;
 use crate::error::AlignError;
-use crate::exact::{exact_search, exact_search_batch, ExactStats};
+use crate::exact::{exact_search_batch_with, exact_search_with, ExactStats};
 use crate::inexact::inexact_search;
 use crate::mapping::MappedIndex;
 use crate::metrics::PhaseLfm;
@@ -143,6 +143,13 @@ pub struct AlignSession {
     /// Wall-clock span recorder mirroring the simulated-cycle tracer
     /// sites; `None` (the default) costs one branch per site.
     host_log: Option<HostSpanLog>,
+    /// Kernel SIMD policy from the config, threaded into every exact
+    /// phase's `LFM`s.
+    simd_policy: SimdPolicy,
+    /// The session's rank-checkpoint cache; `Some` exactly when the
+    /// policy enables it. Per-session mutable state — the shared
+    /// `MappedIndex` stays immutable.
+    kernel_cache: Option<KernelCache>,
 }
 
 /// The pre-split name for [`AlignSession`]: one platform, one session.
@@ -162,6 +169,7 @@ impl AlignSession {
     pub(crate) fn for_platform(platform: Platform, worker: u64) -> AlignSession {
         let injector = platform.mapped().worker_injector(worker);
         let dpu = Dpu::new(*platform.config().model());
+        let simd_policy = platform.config().kernel_simd();
         AlignSession {
             platform,
             injector,
@@ -174,6 +182,8 @@ impl AlignSession {
             phase_lfm: PhaseLfm::default(),
             host_per_read: HostHistogram::new(),
             host_log: None,
+            simd_policy,
+            kernel_cache: simd_policy.cache_enabled().then(KernelCache::new),
         }
     }
 
@@ -357,10 +367,15 @@ impl AlignSession {
             None => {
                 let t_exact = self.dpu.tracer().start(&self.ledger);
                 let h_exact = self.host_start();
-                let result = {
-                    let (mapped, injector, dpu, ledger) = self.platform_parts();
-                    exact_search(mapped, injector, dpu, read, ledger)
-                };
+                let result = exact_search_with(
+                    self.platform.mapped(),
+                    &mut self.injector,
+                    &mut self.dpu,
+                    read,
+                    self.simd_policy,
+                    self.kernel_cache.as_mut(),
+                    &mut self.ledger,
+                );
                 self.dpu
                     .tracer_mut()
                     .record("exact_pass", t_exact, &self.ledger);
@@ -804,7 +819,14 @@ impl AlignSession {
     ) -> Vec<(SaInterval, ExactStats)> {
         let t_exact = self.dpu.tracer().start(&self.ledger);
         let h_exact = self.host_start();
-        let seeds = exact_search_batch(self.platform.mapped(), streams, reads, &mut self.ledger);
+        let seeds = exact_search_batch_with(
+            self.platform.mapped(),
+            streams,
+            reads,
+            self.simd_policy,
+            self.kernel_cache.as_mut(),
+            &mut self.ledger,
+        );
         self.dpu
             .tracer_mut()
             .record("exact_batch", t_exact, &self.ledger);

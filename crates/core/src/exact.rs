@@ -2,7 +2,7 @@
 
 use bioseq::DnaSeq;
 use fmindex::SaInterval;
-use pimsim::{CycleLedger, Dpu, FaultInjector};
+use pimsim::{CycleLedger, Dpu, FaultInjector, KernelCache, SimdPolicy};
 
 use crate::mapping::{LfmBatchScratch, LfmRequest, MappedIndex};
 
@@ -31,6 +31,30 @@ pub fn exact_search(
     read: &DnaSeq,
     ledger: &mut CycleLedger,
 ) -> (SaInterval, ExactStats) {
+    exact_search_with(
+        mapped,
+        injector,
+        dpu,
+        read,
+        SimdPolicy::Scalar,
+        None,
+        ledger,
+    )
+}
+
+/// [`exact_search`] under a SIMD policy and an optional rank-checkpoint
+/// cache, both threaded into every `LFM` (see
+/// [`MappedIndex::lfm_with`]). Intervals, statistics and all simulated
+/// charges are byte-identical across policies.
+pub fn exact_search_with(
+    mapped: &MappedIndex,
+    injector: &mut FaultInjector,
+    dpu: &mut Dpu,
+    read: &DnaSeq,
+    policy: SimdPolicy,
+    mut cache: Option<&mut KernelCache>,
+    ledger: &mut CycleLedger,
+) -> (SaInterval, ExactStats) {
     dpu.init_interval(mapped.index().text_len() as u32, ledger);
     let mut stats = ExactStats {
         lfm_calls: 0,
@@ -38,8 +62,22 @@ pub fn exact_search(
     };
     for &nt in read.iter().rev() {
         let t_lfm = dpu.tracer().start(ledger);
-        let low = mapped.lfm(nt, dpu.low() as usize, injector, ledger);
-        let high = mapped.lfm(nt, dpu.high() as usize, injector, ledger);
+        let low = mapped.lfm_with(
+            nt,
+            dpu.low() as usize,
+            injector,
+            policy,
+            cache.as_deref_mut(),
+            ledger,
+        );
+        let high = mapped.lfm_with(
+            nt,
+            dpu.high() as usize,
+            injector,
+            policy,
+            cache.as_deref_mut(),
+            ledger,
+        );
         dpu.set_interval(low, high, ledger);
         dpu.tracer_mut().record("lfm", t_lfm, ledger);
         stats.lfm_calls += 2;
@@ -71,6 +109,21 @@ pub fn exact_search_batch(
     mapped: &MappedIndex,
     injectors: &mut [FaultInjector],
     reads: &[&DnaSeq],
+    ledger: &mut CycleLedger,
+) -> Vec<(SaInterval, ExactStats)> {
+    exact_search_batch_with(mapped, injectors, reads, SimdPolicy::Scalar, None, ledger)
+}
+
+/// [`exact_search_batch`] under a SIMD policy and an optional
+/// rank-checkpoint cache (see [`MappedIndex::lfm_batch_into_with`]).
+/// Results, statistics and all simulated charges are byte-identical
+/// across policies.
+pub fn exact_search_batch_with(
+    mapped: &MappedIndex,
+    injectors: &mut [FaultInjector],
+    reads: &[&DnaSeq],
+    policy: SimdPolicy,
+    mut cache: Option<&mut KernelCache>,
     ledger: &mut CycleLedger,
 ) -> Vec<(SaInterval, ExactStats)> {
     let n = mapped.index().text_len() as u32;
@@ -122,7 +175,15 @@ pub fn exact_search_batch(
         if requests.is_empty() {
             break;
         }
-        mapped.lfm_batch_into(&requests, injectors, ledger, &mut scratch, &mut sums);
+        mapped.lfm_batch_into_with(
+            &requests,
+            injectors,
+            policy,
+            cache.as_deref_mut(),
+            ledger,
+            &mut scratch,
+            &mut sums,
+        );
         for (k, &r) in active.iter().enumerate() {
             let (low, high) = (sums[2 * k], sums[2 * k + 1]);
             dpus[r].set_interval(low, high, ledger);

@@ -16,7 +16,10 @@ use mram::array::ArrayModel;
 use mram::faults::FaultCampaign;
 use pimsim::costs::LogicalOp;
 use pimsim::pipeline::{PipelineParams, PipelineSim};
-use pimsim::{CycleLedger, FaultCounters, FaultInjector, LfmBatch, SubArray, SubArrayLayout};
+use pimsim::{
+    CycleLedger, FaultCounters, FaultInjector, KernelCache, LfmBatch, MatchMask, SimdPolicy,
+    SubArray, SubArrayLayout,
+};
 
 use crate::config::{AddMethod, PimAlignerConfig};
 
@@ -352,6 +355,31 @@ impl MappedIndex {
         injector: &mut FaultInjector,
         ledger: &mut CycleLedger,
     ) -> u32 {
+        self.lfm_with(nt, id, injector, SimdPolicy::Scalar, None, ledger)
+    }
+
+    /// [`MappedIndex::lfm`] under a SIMD policy and an optional
+    /// rank-checkpoint cache. The cache memoizes the compare stage —
+    /// `(sub-array, bucket, nt) → (post-sentinel match mask, marker)`,
+    /// both pure functions of the immutable index — so a hit skips the
+    /// plane load and the 32-row marker gather on the host while
+    /// charging the platform the exact op sequence a recompute pays
+    /// (`XNOR_Match`, popcount, marker `MEM`, in that order). Results,
+    /// every simulated counter and the seeded fault stream are
+    /// byte-identical across policies, pinned by test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` exceeds the indexed text length.
+    pub fn lfm_with(
+        &self,
+        nt: Base,
+        id: usize,
+        injector: &mut FaultInjector,
+        policy: SimdPolicy,
+        cache: Option<&mut KernelCache>,
+        ledger: &mut CycleLedger,
+    ) -> u32 {
         assert!(id <= self.index.text_len(), "LFM index {id} out of range");
         let bucket = id / SubArrayLayout::BASES_PER_ROW;
         let within = id % SubArrayLayout::BASES_PER_ROW;
@@ -374,19 +402,44 @@ impl MappedIndex {
             (0, self.index.marker_table().marker(nt, bucket))
         } else {
             let sub = &self.subarrays[s];
-            // Stack-allocated packed match mask: the whole compare stage
-            // runs on [u64; 2] words, no heap traffic per LFM.
-            let mut matches = sub.xnor_match(lb, nt, ledger);
-            // The 2-bit code space cannot represent `$`, so the sentinel
-            // cell is stored with a placeholder code (T). The DPU knows
-            // the sentinel's position and masks it out of the match
-            // vector before counting.
-            let sentinel = self.index.bwt().sentinel_pos();
-            if sentinel / SubArrayLayout::BASES_PER_ROW == bucket {
-                matches.set(sentinel % SubArrayLayout::BASES_PER_ROW, false);
-            }
-            LogicalOp::Popcount.charge(sub.model(), ledger);
-            let marker = sub.read_marker(lb, nt, ledger);
+            let cached = cache
+                .as_deref()
+                .and_then(|c| c.lookup(s as u32, lb, nt.rank()));
+            let (mut matches, marker) = match cached {
+                Some((words, marker)) => {
+                    // Host work skipped; the platform is billed the
+                    // identical charge sequence the recompute pays below
+                    // (`XNOR_Match` → popcount → marker `MEM`).
+                    ledger.note_kernel_cache_hit();
+                    LogicalOp::XnorMatch.charge(sub.model(), ledger);
+                    LogicalOp::Popcount.charge(sub.model(), ledger);
+                    LogicalOp::MarkerRead.charge(sub.model(), ledger);
+                    (MatchMask(words), marker)
+                }
+                None => {
+                    // Stack-allocated packed match mask: the whole
+                    // compare stage runs on [u64; 2] words, no heap
+                    // traffic per LFM.
+                    let mut matches = sub.xnor_match_with(lb, nt, policy, ledger);
+                    // The 2-bit code space cannot represent `$`, so the
+                    // sentinel cell is stored with a placeholder code
+                    // (T). The DPU knows the sentinel's position and
+                    // masks it out of the match vector before counting.
+                    let sentinel = self.index.bwt().sentinel_pos();
+                    if sentinel / SubArrayLayout::BASES_PER_ROW == bucket {
+                        matches.set(sentinel % SubArrayLayout::BASES_PER_ROW, false);
+                    }
+                    LogicalOp::Popcount.charge(sub.model(), ledger);
+                    let marker = sub.read_marker(lb, nt, ledger);
+                    if let Some(c) = cache {
+                        ledger.note_kernel_cache_miss();
+                        if c.insert(s as u32, lb, nt.rank(), matches.0, marker) {
+                            ledger.note_kernel_cache_eviction();
+                        }
+                    }
+                    (matches, marker)
+                }
+            };
             // Heatmap: the XNOR match and the marker read each activate
             // sub-array `s` (the popcount runs in the DPU, not the
             // array).
@@ -395,12 +448,14 @@ impl MappedIndex {
             // burst may corrupt this read, and each match bit may
             // additionally misread with the campaign's XNOR probability.
             // The mask APIs draw the identical RNG stream as the boolean
-            // ones, so seeded replays are unchanged by the packing.
+            // ones, so seeded replays are unchanged by the packing —
+            // and always corrupt this request's private copy, never the
+            // cached entry.
             if injector.is_active() {
                 injector.transient_row_mask(&mut matches);
                 injector.corrupt_match_mask(&mut matches, within);
             }
-            let count = matches.count_prefix(within);
+            let count = matches.count_prefix_with(within, policy);
             (count, marker)
         };
         let carry_fault = injector.carry_fault_bit();
@@ -481,6 +536,34 @@ impl MappedIndex {
         scratch: &mut LfmBatchScratch,
         sums: &mut Vec<u32>,
     ) {
+        self.lfm_batch_into_with(
+            requests,
+            injectors,
+            SimdPolicy::Scalar,
+            None,
+            ledger,
+            scratch,
+            sums,
+        )
+    }
+
+    /// [`MappedIndex::lfm_batch_into`] under a SIMD policy and an
+    /// optional rank-checkpoint cache (see [`MappedIndex::lfm_with`]):
+    /// the shared compare stage consults/feeds the cache per
+    /// `(sub-array, bucket, nt)` group and the per-request popcounts
+    /// dispatch to the policy's lane. Sums, charges and fault draws are
+    /// byte-identical across policies and cache states.
+    #[allow(clippy::too_many_arguments)]
+    pub fn lfm_batch_into_with(
+        &self,
+        requests: &[LfmRequest],
+        injectors: &mut [FaultInjector],
+        policy: SimdPolicy,
+        mut cache: Option<&mut KernelCache>,
+        ledger: &mut CycleLedger,
+        scratch: &mut LfmBatchScratch,
+        sums: &mut Vec<u32>,
+    ) {
         sums.clear();
         if requests.is_empty() {
             return;
@@ -542,7 +625,14 @@ impl MappedIndex {
                 sentinel_bucket % 256,
                 sentinel % SubArrayLayout::BASES_PER_ROW,
             ));
-            let groups = batch.run_compare(&self.subarrays[s], local_sentinel, ledger);
+            let groups = batch.run_compare_with(
+                &self.subarrays[s],
+                local_sentinel,
+                policy,
+                cache.as_deref_mut(),
+                s as u32,
+                ledger,
+            );
             let n = batch.len() as u64;
             // Heatmap: one XNOR match + one marker read per group.
             ledger.note_zone_many(s, 2 * groups as u64);
@@ -579,7 +669,7 @@ impl MappedIndex {
                     let batch = &pool[slot as usize];
                     let i = idx as usize;
                     (
-                        batch.mask(i).count_prefix(batch.within(i)),
+                        batch.mask(i).count_prefix_with(batch.within(i), policy),
                         batch.marker(i),
                         !batch.is_leader(i),
                     )
@@ -601,9 +691,9 @@ impl MappedIndex {
                             let mut mask = *batch.mask(i);
                             injector.transient_row_mask(&mut mask);
                             injector.corrupt_match_mask(&mut mask, within);
-                            mask.count_prefix(within)
+                            mask.count_prefix_with(within, policy)
                         }
-                        _ => batch.mask(i).count_prefix(within),
+                        _ => batch.mask(i).count_prefix_with(within, policy),
                     };
                     (count, batch.marker(i), !batch.is_leader(i))
                 };

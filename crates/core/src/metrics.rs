@@ -15,7 +15,7 @@
 //! together with that golden file and `benchdiff` consumers.
 
 use pimsim::costs::LogicalOp;
-use pimsim::{CycleLedger, HostHistogram, Resource, Span, SpanTracer};
+use pimsim::{CycleLedger, HostHistogram, KernelCacheCounters, Resource, Span, SpanTracer};
 
 use crate::config::PimAlignerConfig;
 use crate::host::HostTotals;
@@ -34,10 +34,13 @@ use crate::report::{FaultTelemetry, IndexTelemetry, PerfReport, ServiceTelemetry
 /// all-zero when the run never described its index). v5 added the
 /// batched-kernel scheduler counters to `breakdown.pipeline` (`issued`,
 /// `makespan_cycles`, `sequential_cycles`, `overlap_saved_cycles`,
-/// all-zero on the single-read kernel path). Each version
+/// all-zero on the single-read kernel path). v6 added
+/// `breakdown.kernel_cache` (rank-checkpoint cache `hits`/`misses`/
+/// `evictions`/`hit_rate` — host-side counters, all-zero under
+/// `--kernel-simd=scalar`). Each version
 /// only *adds* paths, so consumers that address fields by name keep
 /// working across versions.
-pub const METRICS_SCHEMA_VERSION: u32 = 5;
+pub const METRICS_SCHEMA_VERSION: u32 = 6;
 
 /// `LFM` invocations attributed to the alignment phase that issued them.
 ///
@@ -149,6 +152,9 @@ pub struct MetricsBreakdown {
     pub lfm_by_phase: PhaseLfm,
     /// Pipeline stage occupancy at the configured `Pd`.
     pub pipeline: StageOccupancy,
+    /// Rank-checkpoint cache totals (host-side hit/miss/eviction
+    /// counts; all-zero when the cache is disabled).
+    pub kernel_cache: KernelCacheCounters,
     /// One-time index mapping cost (busy cycles); 0 when not attached.
     pub index_build_cycles: u64,
     /// Spans captured by the session tracer (empty when disabled or for
@@ -225,6 +231,7 @@ impl MetricsBreakdown {
             lfm_calls,
             lfm_by_phase: PhaseLfm::default(),
             pipeline: occupancy,
+            kernel_cache: ledger.kernel_cache_counters(),
             index_build_cycles: 0,
             spans: Vec::new(),
             spans_dropped: 0,
@@ -310,6 +317,8 @@ impl MetricsBreakdown {
              \"transfer_cycles\": {}, \"stage_b_cycles\": {}, \"compare_occupancy_pct\": {}, \
              \"adder_occupancy_pct\": {}, \"issued\": {}, \"makespan_cycles\": {}, \
              \"sequential_cycles\": {}, \"overlap_saved_cycles\": {} }},\n    \
+             \"kernel_cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+             \"hit_rate\": {} }},\n    \
              \"spans\": {},\n    \
              \"spans_dropped\": {},\n    \
              \"heatmap\": {{ \"zones\": {}, \"activations\": [{}] }}\n  }}",
@@ -337,6 +346,10 @@ impl MetricsBreakdown {
             p.makespan_cycles,
             p.sequential_cycles,
             p.overlap_saved_cycles,
+            self.kernel_cache.hits,
+            self.kernel_cache.misses,
+            self.kernel_cache.evictions,
+            json_f64(self.kernel_cache.hit_rate()),
             spans_json,
             self.spans_dropped,
             self.zone_activations.len(),
@@ -645,6 +658,8 @@ mod tests {
             "\"resources\"",
             "\"lfm_by_phase\"",
             "\"pipeline\"",
+            "\"kernel_cache\"",
+            "\"hit_rate\"",
             "\"spans\"",
             "\"spans_dropped\"",
             "\"heatmap\"",

@@ -26,6 +26,7 @@ use bioseq::Base;
 use crate::costs::LogicalOp;
 use crate::faults::FaultInjector;
 use crate::ledger::CycleLedger;
+use crate::simd::{KernelCache, SimdPolicy};
 use crate::subarray::{MatchMask, SubArray};
 
 /// A batch of interleaved LFM compare-stage requests against one
@@ -151,6 +152,29 @@ impl LfmBatch {
         sentinel: Option<(usize, usize)>,
         ledger: &mut CycleLedger,
     ) -> usize {
+        self.run_compare_with(sub, sentinel, SimdPolicy::Scalar, None, 0, ledger)
+    }
+
+    /// [`LfmBatch::run_compare`] under a SIMD policy and an optional
+    /// rank-checkpoint cache (tagged with this sub-array's global
+    /// index). A cache hit skips the plane load and the 32-row marker
+    /// gather on the *host* but charges the platform the exact
+    /// `XNOR_Match` + marker-read sequence the recompute pays — masks,
+    /// markers, every ledger field and the fault draw order are
+    /// byte-identical with and without the cache, pinned by test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn run_compare_with(
+        &mut self,
+        sub: &SubArray,
+        sentinel: Option<(usize, usize)>,
+        policy: SimdPolicy,
+        mut cache: Option<&mut KernelCache>,
+        subarray_tag: u32,
+        ledger: &mut CycleLedger,
+    ) -> usize {
         assert!(
             self.masks.is_empty() && self.group_of.is_empty(),
             "batch already executed"
@@ -163,13 +187,37 @@ impl LfmBatch {
             let group = match existing {
                 Some(g) => g,
                 None => {
-                    let mut mask = sub.xnor_match(key.0, key.1, ledger);
-                    if let Some((bucket, col)) = sentinel {
-                        if bucket == key.0 {
-                            mask.set(col, false);
+                    let cached = cache
+                        .as_deref()
+                        .and_then(|c| c.lookup(subarray_tag, key.0, key.1.rank()));
+                    let (mask, marker) = match cached {
+                        Some((words, marker)) => {
+                            // Same charges, same order, as the miss path
+                            // below (XNOR_Match inside xnor_match, then
+                            // the marker MEM read) — only host work is
+                            // skipped.
+                            ledger.note_kernel_cache_hit();
+                            LogicalOp::XnorMatch.charge(sub.model(), ledger);
+                            LogicalOp::MarkerRead.charge(sub.model(), ledger);
+                            (MatchMask(words), marker)
                         }
-                    }
-                    let marker = sub.read_marker(key.0, key.1, ledger);
+                        None => {
+                            let mut mask = sub.xnor_match_with(key.0, key.1, policy, ledger);
+                            if let Some((bucket, col)) = sentinel {
+                                if bucket == key.0 {
+                                    mask.set(col, false);
+                                }
+                            }
+                            let marker = sub.read_marker(key.0, key.1, ledger);
+                            if let Some(c) = cache.as_deref_mut() {
+                                ledger.note_kernel_cache_miss();
+                                if c.insert(subarray_tag, key.0, key.1.rank(), mask.0, marker) {
+                                    ledger.note_kernel_cache_eviction();
+                                }
+                            }
+                            (mask, marker)
+                        }
+                    };
                     self.group_keys.push(key);
                     self.masks.push(mask);
                     self.markers.push(marker);
@@ -199,6 +247,25 @@ impl LfmBatch {
         injectors: &mut [FaultInjector],
         ledger: &mut CycleLedger,
     ) -> Vec<u32> {
+        self.counts_with(sub, injectors, SimdPolicy::Scalar, ledger)
+    }
+
+    /// [`LfmBatch::counts`] under a SIMD policy: `Auto` dispatches the
+    /// masked prefix popcount to the hardware `popcnt` instruction when
+    /// available. Counts, charges and fault draws are identical across
+    /// policies; faults always corrupt a private copy of the shared
+    /// group mask, so cached masks replay seeded faults bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the compare stage has not run.
+    pub fn counts_with(
+        &self,
+        sub: &SubArray,
+        injectors: &mut [FaultInjector],
+        policy: SimdPolicy,
+        ledger: &mut CycleLedger,
+    ) -> Vec<u32> {
         assert_eq!(
             self.group_of.len(),
             self.streams.len(),
@@ -213,9 +280,9 @@ impl LfmBatch {
                         let mut mask = *shared;
                         injector.transient_row_mask(&mut mask);
                         injector.corrupt_match_mask(&mut mask, self.withins[i]);
-                        mask.count_prefix(self.withins[i])
+                        mask.count_prefix_with(self.withins[i], policy)
                     }
-                    _ => shared.count_prefix(self.withins[i]),
+                    _ => shared.count_prefix_with(self.withins[i], policy),
                 }
             })
             .collect()
@@ -348,6 +415,65 @@ mod tests {
         assert_eq!(batched, expected);
         for s in 0..2 {
             assert_eq!(injectors[s].counters(), oracle[s].counters());
+        }
+    }
+
+    #[test]
+    fn cached_compare_is_cycle_and_bit_identical_to_uncached() {
+        let (sub, _) = loaded_subarray();
+        let schedule = [
+            (0, 1, Base::A, 17),
+            (1, 2, Base::C, 90),
+            (2, 1, Base::A, 128),
+            (3, 3, Base::T, 64),
+        ];
+        let sentinel = Some((1, 40));
+        let mut cache = KernelCache::new();
+        // Two passes through the same keys: the first misses and
+        // installs, the second hits every group.
+        for pass in 0..2 {
+            let mut scalar_ledger = CycleLedger::new();
+            let mut scalar_batch = LfmBatch::new();
+            let mut cached_ledger = CycleLedger::new();
+            let mut cached_batch = LfmBatch::new();
+            for &(s, bucket, base, within) in &schedule {
+                scalar_batch.push(s, bucket, base, within);
+                cached_batch.push(s, bucket, base, within);
+            }
+            scalar_batch.run_compare(&sub, sentinel, &mut scalar_ledger);
+            cached_batch.run_compare_with(
+                &sub,
+                sentinel,
+                SimdPolicy::Auto,
+                Some(&mut cache),
+                0,
+                &mut cached_ledger,
+            );
+            let scalar_counts = scalar_batch.counts(&sub, &mut [], &mut scalar_ledger);
+            let cached_counts =
+                cached_batch.counts_with(&sub, &mut [], SimdPolicy::Auto, &mut cached_ledger);
+            for i in 0..schedule.len() {
+                assert_eq!(scalar_batch.mask(i), cached_batch.mask(i), "pass {pass}");
+                assert_eq!(scalar_batch.marker(i), cached_batch.marker(i));
+            }
+            assert_eq!(scalar_counts, cached_counts, "pass {pass}");
+            // Every simulated charge — cycles, energy, primitives —
+            // is byte-identical; only the host-side cache counters
+            // differ between the ledgers.
+            assert_eq!(
+                scalar_ledger.total_busy_cycles(),
+                cached_ledger.total_busy_cycles()
+            );
+            assert_eq!(scalar_ledger.energy_pj(), cached_ledger.energy_pj());
+            assert_eq!(scalar_ledger.primitives(), cached_ledger.primitives());
+            let cc = cached_ledger.kernel_cache_counters();
+            if pass == 0 {
+                assert_eq!((cc.hits, cc.misses), (0, 3), "3 distinct groups install");
+            } else {
+                assert_eq!((cc.hits, cc.misses), (3, 0), "second pass all hits");
+            }
+            assert_eq!(cc.evictions, 0);
+            assert_eq!(scalar_ledger.kernel_cache_counters().lookups(), 0);
         }
     }
 

@@ -51,6 +51,46 @@ impl Resource {
     }
 }
 
+/// Host-side hit/miss/eviction totals for the rank-checkpoint cache
+/// ([`crate::KernelCache`]). These count *host work avoided*, never
+/// simulated cycles: a cache hit still charges the platform exactly the
+/// ops a recompute would, so these counters live beside — not inside —
+/// the cycle/energy accounting (DESIGN.md §16).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelCacheCounters {
+    /// Lookups answered from a live entry (compare + marker gather
+    /// skipped on the host).
+    pub hits: u64,
+    /// Lookups that recomputed and installed an entry.
+    pub misses: u64,
+    /// Installs that displaced a live entry of a different sub-array.
+    pub evictions: u64,
+}
+
+impl KernelCacheCounters {
+    /// Total lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache; `0.0` when the cache
+    /// never ran.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Adds another set of totals into this one.
+    pub fn merge(&mut self, other: &KernelCacheCounters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
+}
+
 /// Accumulates the cycles and dynamic energy of every primitive issued to
 /// the platform, attributed to resource classes.
 ///
@@ -70,7 +110,7 @@ impl Resource {
 /// assert_eq!(ledger.busy_cycles(Resource::Compare), 2);
 /// assert!(ledger.energy_pj() > 0.0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct CycleLedger {
     busy: [u64; 4],
     energy_pj: f64,
@@ -84,6 +124,28 @@ pub struct CycleLedger {
     /// Stage-queue scheduling totals recorded by the batched kernel
     /// path ([`crate::PipelineSim`]); all-zero on the single-read path.
     pipeline: PipelineCounters,
+    /// Rank-checkpoint cache totals noted by the kernel call sites;
+    /// all-zero when the cache is disabled (`--kernel-simd=scalar`).
+    kernel_cache: KernelCacheCounters,
+}
+
+/// Ledger equality is *simulated-state* equality: cycles, energy,
+/// primitive counts, zone heatmap, pipeline totals. The kernel-cache
+/// counters are deliberately excluded — they are host-side telemetry
+/// (a hit charges the identical ops as the recompute it replaces), and
+/// the hit/miss split depends on how the parallel engine partitions
+/// reads across per-worker caches, so it is not thread-invariant.
+/// Compare [`CycleLedger::kernel_cache_counters`] explicitly where
+/// cache traffic itself is under test.
+impl PartialEq for CycleLedger {
+    fn eq(&self, other: &CycleLedger) -> bool {
+        self.busy == other.busy
+            && self.energy_pj == other.energy_pj
+            && self.op_counts == other.op_counts
+            && self.prims == other.prims
+            && self.zones == other.zones
+            && self.pipeline == other.pipeline
+    }
 }
 
 impl CycleLedger {
@@ -157,6 +219,34 @@ impl CycleLedger {
         self.pipeline
     }
 
+    /// Notes one rank-checkpoint cache hit. Called by the kernel call
+    /// site *alongside* the usual logical-op charges — a hit changes
+    /// host work only, never what the platform is billed.
+    #[inline]
+    pub fn note_kernel_cache_hit(&mut self) {
+        self.kernel_cache.hits += 1;
+    }
+
+    /// Notes one rank-checkpoint cache miss (entry recomputed and
+    /// installed).
+    #[inline]
+    pub fn note_kernel_cache_miss(&mut self) {
+        self.kernel_cache.misses += 1;
+    }
+
+    /// Notes one eviction (a miss whose install displaced a live entry
+    /// of a different sub-array).
+    #[inline]
+    pub fn note_kernel_cache_eviction(&mut self) {
+        self.kernel_cache.evictions += 1;
+    }
+
+    /// Accumulated rank-checkpoint cache totals (all-zero when the
+    /// cache is disabled).
+    pub fn kernel_cache_counters(&self) -> KernelCacheCounters {
+        self.kernel_cache
+    }
+
     /// The hierarchical per-primitive counters (counts and busy cycles
     /// per [`LogicalOp`]). For any ledger charged exclusively through
     /// logical operations — the entire production path — the counters'
@@ -195,6 +285,7 @@ impl CycleLedger {
         self.energy_pj += other.energy_pj;
         self.prims.merge(&other.prims);
         self.pipeline.merge(&other.pipeline);
+        self.kernel_cache.merge(&other.kernel_cache);
         if self.zones.len() < other.zones.len() {
             self.zones.resize(other.zones.len(), 0);
         }
@@ -326,6 +417,27 @@ mod tests {
         assert_eq!(total.makespan_cycles, 245 + 137);
         assert_eq!(total.sequential_cycles, 304 + 152);
         assert_eq!(total.overlap_saved_cycles(), 456 - 382);
+    }
+
+    #[test]
+    fn kernel_cache_counters_record_and_merge() {
+        let mut a = CycleLedger::new();
+        assert_eq!(a.kernel_cache_counters(), KernelCacheCounters::default());
+        assert_eq!(a.kernel_cache_counters().hit_rate(), 0.0);
+        a.note_kernel_cache_miss();
+        a.note_kernel_cache_hit();
+        a.note_kernel_cache_hit();
+        a.note_kernel_cache_eviction();
+        let mut b = CycleLedger::new();
+        b.note_kernel_cache_hit();
+        b.note_kernel_cache_miss();
+        a.merge(&b);
+        let total = a.kernel_cache_counters();
+        assert_eq!(total.hits, 3);
+        assert_eq!(total.misses, 2);
+        assert_eq!(total.evictions, 1);
+        assert_eq!(total.lookups(), 5);
+        assert!((total.hit_rate() - 0.6).abs() < 1e-12);
     }
 
     #[test]

@@ -31,7 +31,11 @@
 //!   `Pd`;
 //! * [`costs`] — the logical-operation cost table (cycles per
 //!   `XNOR_Match`, marker read, 32-bit `IM_ADD`, …) documented in
-//!   DESIGN.md §6.
+//!   DESIGN.md §6;
+//! * [`simd`] — runtime-dispatched SIMD lanes (AVX2/SSE2/portable) for
+//!   the packed plane ops plus the rank-checkpoint [`KernelCache`]:
+//!   host-wall-clock accelerations that leave every simulated charge
+//!   byte-identical (DESIGN.md §16).
 //!
 //! Functional results are validated in two directions: against the
 //! `mram` sense-amplifier model (every bulk op agrees with what the
@@ -44,6 +48,7 @@ pub mod host;
 pub mod metrics;
 pub mod pipeline;
 pub mod reference;
+pub mod simd;
 
 mod dpu;
 mod faults;
@@ -54,7 +59,8 @@ pub use batch::LfmBatch;
 pub use dpu::{BacktrackState, Dpu};
 pub use faults::{FaultCounters, FaultInjector};
 pub use host::{chrome_trace_json, HostEpoch, HostHistogram, HostSpan, HostSpanLog, WorkerStats};
-pub use ledger::{CycleLedger, Resource};
+pub use ledger::{CycleLedger, KernelCacheCounters, Resource};
 pub use metrics::{PrimCounters, Span, SpanTracer};
 pub use pipeline::{PipelineCounters, PipelineParams, PipelineSim};
+pub use simd::{dispatched_path, KernelCache, SimdPolicy};
 pub use subarray::{validate_functions_against_circuit, MatchMask, SubArray, SubArrayLayout};

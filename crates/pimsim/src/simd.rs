@@ -1,0 +1,419 @@
+//! SIMD-wide evaluation of the packed bit-plane kernel, plus the
+//! rank-checkpoint cache (DESIGN.md §16).
+//!
+//! Everything in this module is **host wall-clock only**. The simulated
+//! platform executes the same logical operations no matter which lane
+//! evaluates them, so the cycle ledger, the per-primitive counters and
+//! every functional result are byte-identical across
+//! [`SimdPolicy::Auto`] and [`SimdPolicy::Scalar`] — only the host time
+//! spent producing them changes. The lane is picked once per process via
+//! runtime CPU-feature detection (`std::arch`, stable Rust, no new
+//! dependencies): AVX2 evaluates all four plane words of a packed row in
+//! one 256-bit op, SSE2 two at a time, and the portable fallback is the
+//! `[u64; 4]`-at-a-time word loop the scalar kernel always uses.
+//!
+//! The [`KernelCache`] memoizes `(sub-array, bucket, base) →
+//! (post-sentinel match mask, marker word)` — both pure functions of the
+//! immutable mapped index — so repeated `LFM` steps over hot buckets of
+//! a repeat-dense reference skip the compare recount and the 32-row
+//! marker gather on the host. Hits still charge the exact `XNOR_Match` +
+//! marker-read cycles a recompute would (the caller's responsibility;
+//! see `LfmBatch::run_compare_with`), keeping the simulated platform
+//! oblivious to the cache.
+
+use std::str::FromStr;
+use std::sync::OnceLock;
+
+/// How the packed kernel evaluates its plane ops, selected by
+/// `--kernel-simd` on both CLIs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum SimdPolicy {
+    /// Dispatch to the widest lane the CPU supports (AVX2 → SSE2 →
+    /// portable) and enable the rank-checkpoint cache. The default.
+    #[default]
+    Auto,
+    /// Force the portable word loop and disable the cache — exactly the
+    /// pre-SIMD kernel, kept as the honest benchmark baseline and the
+    /// escape hatch.
+    Scalar,
+}
+
+impl SimdPolicy {
+    /// Whether this policy runs the rank-checkpoint cache. `Scalar`
+    /// means *the whole baseline path*: no SIMD and no memoization.
+    #[inline]
+    pub fn cache_enabled(self) -> bool {
+        matches!(self, SimdPolicy::Auto)
+    }
+
+    /// Stable label for logs and metrics (`auto` / `scalar`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdPolicy::Auto => "auto",
+            SimdPolicy::Scalar => "scalar",
+        }
+    }
+}
+
+impl FromStr for SimdPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<SimdPolicy, String> {
+        match s {
+            "auto" => Ok(SimdPolicy::Auto),
+            "scalar" => Ok(SimdPolicy::Scalar),
+            other => Err(format!("expected auto or scalar, got {other:?}")),
+        }
+    }
+}
+
+/// The lane runtime dispatch resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lane {
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    #[cfg(target_arch = "x86_64")]
+    Sse2,
+    Portable,
+}
+
+/// One-time CPU-feature probe; every call after the first is a load.
+fn lane() -> Lane {
+    static LANE: OnceLock<Lane> = OnceLock::new();
+    *LANE.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::is_x86_feature_detected!("avx2") {
+                return Lane::Avx2;
+            }
+            if std::is_x86_feature_detected!("sse2") {
+                return Lane::Sse2;
+            }
+        }
+        Lane::Portable
+    })
+}
+
+/// Whether the hardware `popcnt` instruction is available (the masked
+/// prefix count dispatches on it separately from the plane-op lane:
+/// `popcnt` predates AVX2 and is absent from the x86-64 baseline Rust
+/// targets, so the software fallback is otherwise emitted).
+#[cfg(target_arch = "x86_64")]
+fn popcnt_available() -> bool {
+    static POPCNT: OnceLock<bool> = OnceLock::new();
+    *POPCNT.get_or_init(|| std::is_x86_feature_detected!("popcnt"))
+}
+
+/// The path `Auto` dispatch resolved to on this host: `"avx2"`,
+/// `"sse2"` or `"portable"`; a `Scalar` policy always reports
+/// `"scalar"`. Logged once at CLI startup and recorded in
+/// `BENCH_kernel.json` so benchmark floors can be gated honestly per
+/// host class.
+pub fn dispatched_path(policy: SimdPolicy) -> &'static str {
+    match policy {
+        SimdPolicy::Scalar => "scalar",
+        SimdPolicy::Auto => match lane() {
+            #[cfg(target_arch = "x86_64")]
+            Lane::Avx2 => "avx2",
+            #[cfg(target_arch = "x86_64")]
+            Lane::Sse2 => "sse2",
+            Lane::Portable => "portable",
+        },
+    }
+}
+
+/// Combines the two bit-planes of one packed `XNOR_Match`: word `w` of
+/// the result has bit `j` set when both plane lanes of base `j` match
+/// and position `j` is inside the loaded length. Pure bit math — every
+/// lane returns identical words for identical inputs, pinned by test.
+#[inline]
+pub fn plane_match(
+    bwt: &[u64; 4],
+    cref: &[u64; 4],
+    loaded: [u64; 2],
+    policy: SimdPolicy,
+) -> [u64; 2] {
+    match policy {
+        SimdPolicy::Scalar => plane_match_portable(bwt, cref, loaded),
+        SimdPolicy::Auto => match lane() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: lane() returned Avx2 only after runtime detection.
+            Lane::Avx2 => unsafe { plane_match_avx2(bwt, cref, loaded) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: lane() returned Sse2 only after runtime detection.
+            Lane::Sse2 => unsafe { plane_match_sse2(bwt, cref, loaded) },
+            Lane::Portable => plane_match_portable(bwt, cref, loaded),
+        },
+    }
+}
+
+/// The portable `[u64; 4]`-at-a-time evaluation — also the scalar
+/// baseline (words 0..2 are plane 0, words 2..4 plane 1).
+#[inline]
+fn plane_match_portable(bwt: &[u64; 4], cref: &[u64; 4], loaded: [u64; 2]) -> [u64; 2] {
+    [
+        !(bwt[0] ^ cref[0]) & !(bwt[2] ^ cref[2]) & loaded[0],
+        !(bwt[1] ^ cref[1]) & !(bwt[3] ^ cref[3]) & loaded[1],
+    ]
+}
+
+/// AVX2: XNOR all four plane words in one 256-bit op, then AND the two
+/// 128-bit plane halves together and against the loaded-length mask.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn plane_match_avx2(bwt: &[u64; 4], cref: &[u64; 4], loaded: [u64; 2]) -> [u64; 2] {
+    use std::arch::x86_64::*;
+    let b = _mm256_loadu_si256(bwt.as_ptr().cast());
+    let c = _mm256_loadu_si256(cref.as_ptr().cast());
+    // andnot(x, ones) = !x, so this is !(b ^ c) across both planes.
+    let ones = _mm256_set1_epi64x(-1);
+    let m = _mm256_andnot_si256(_mm256_xor_si256(b, c), ones);
+    let plane0 = _mm256_castsi256_si128(m);
+    let plane1 = _mm256_extracti128_si256::<1>(m);
+    let limit = _mm_loadu_si128(loaded.as_ptr().cast());
+    let r = _mm_and_si128(_mm_and_si128(plane0, plane1), limit);
+    let mut out = [0u64; 2];
+    _mm_storeu_si128(out.as_mut_ptr().cast(), r);
+    out
+}
+
+/// SSE2: the same combine two words at a time (reached only on x86-64
+/// hosts without AVX2 — SSE2 is baseline there).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn plane_match_sse2(bwt: &[u64; 4], cref: &[u64; 4], loaded: [u64; 2]) -> [u64; 2] {
+    use std::arch::x86_64::*;
+    let ones = _mm_set1_epi64x(-1);
+    let p0 = _mm_andnot_si128(
+        _mm_xor_si128(
+            _mm_loadu_si128(bwt.as_ptr().cast()),
+            _mm_loadu_si128(cref.as_ptr().cast()),
+        ),
+        ones,
+    );
+    let p1 = _mm_andnot_si128(
+        _mm_xor_si128(
+            _mm_loadu_si128(bwt.as_ptr().add(2).cast()),
+            _mm_loadu_si128(cref.as_ptr().add(2).cast()),
+        ),
+        ones,
+    );
+    let limit = _mm_loadu_si128(loaded.as_ptr().cast());
+    let r = _mm_and_si128(_mm_and_si128(p0, p1), limit);
+    let mut out = [0u64; 2];
+    _mm_storeu_si128(out.as_mut_ptr().cast(), r);
+    out
+}
+
+/// Masked popcount of a 128-bit match vector: the number of set bits of
+/// `mask & limit`. `Auto` uses the hardware `popcnt` instruction when
+/// the CPU has one; `Scalar` (and CPUs without it) use the compiler's
+/// software expansion.
+#[inline]
+pub fn masked_count(mask: [u64; 2], limit: [u64; 2], policy: SimdPolicy) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if policy == SimdPolicy::Auto && popcnt_available() {
+        // SAFETY: popcnt_available() runtime-detected the instruction.
+        return unsafe { masked_count_popcnt(mask, limit) };
+    }
+    let _ = policy;
+    masked_count_portable(mask, limit)
+}
+
+#[inline]
+fn masked_count_portable(mask: [u64; 2], limit: [u64; 2]) -> u32 {
+    (mask[0] & limit[0]).count_ones() + (mask[1] & limit[1]).count_ones()
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "popcnt")]
+unsafe fn masked_count_popcnt(mask: [u64; 2], limit: [u64; 2]) -> u32 {
+    use std::arch::x86_64::_popcnt64;
+    (_popcnt64((mask[0] & limit[0]) as i64) + _popcnt64((mask[1] & limit[1]) as i64)) as u32
+}
+
+/// Slots in the rank-checkpoint cache: one full sub-array's
+/// `(bucket, base)` space (256 buckets × 4 bases), direct-mapped.
+const CACHE_SLOTS: usize = 1024;
+
+/// Tag value marking an unoccupied slot (no real platform maps
+/// `u32::MAX` sub-arrays).
+const EMPTY_TAG: u32 = u32::MAX;
+
+/// Direct-mapped memoization of the `LFM` compare stage:
+/// `(sub-array, bucket, base) → (post-sentinel match words, marker)`.
+///
+/// Both cached values are pure functions of the immutable mapped index
+/// — the BWT/CRef/MT zones are written once at mapping time and the
+/// sentinel column is fixed per reference — so an entry can never go
+/// stale. The cache is **per-session** state (the shared `MappedIndex`
+/// stays `&self`-only), deterministic (slot = `bucket * 4 + base`,
+/// tag = sub-array index, an insert over a live foreign tag is an
+/// eviction), and invisible to the simulated platform: callers charge
+/// the same logical ops on a hit that the recompute would have charged,
+/// and seeded fault draws keep operating on private per-request mask
+/// copies downstream.
+#[derive(Debug, Clone)]
+pub struct KernelCache {
+    tags: Vec<u32>,
+    masks: Vec<[u64; 2]>,
+    markers: Vec<u32>,
+}
+
+impl KernelCache {
+    /// An empty cache (every slot unoccupied).
+    pub fn new() -> KernelCache {
+        KernelCache {
+            tags: vec![EMPTY_TAG; CACHE_SLOTS],
+            masks: vec![[0u64; 2]; CACHE_SLOTS],
+            markers: vec![0u32; CACHE_SLOTS],
+        }
+    }
+
+    #[inline]
+    fn slot(bucket: usize, rank: usize) -> usize {
+        (bucket * 4 + rank) & (CACHE_SLOTS - 1)
+    }
+
+    /// The cached `(mask words, marker)` for `(subarray, bucket, rank)`,
+    /// if the slot holds exactly that key. The caller notes the
+    /// hit/miss on its ledger.
+    #[inline]
+    pub fn lookup(&self, subarray: u32, bucket: usize, rank: usize) -> Option<([u64; 2], u32)> {
+        let s = Self::slot(bucket, rank);
+        (self.tags[s] == subarray).then(|| (self.masks[s], self.markers[s]))
+    }
+
+    /// Installs an entry; returns `true` when a live entry of a
+    /// *different* sub-array was displaced (an eviction — same-tag
+    /// overwrites are refreshes of identical data and slots start
+    /// empty).
+    #[inline]
+    pub fn insert(
+        &mut self,
+        subarray: u32,
+        bucket: usize,
+        rank: usize,
+        mask: [u64; 2],
+        marker: u32,
+    ) -> bool {
+        let s = Self::slot(bucket, rank);
+        let evicted = self.tags[s] != EMPTY_TAG && self.tags[s] != subarray;
+        self.tags[s] = subarray;
+        self.masks[s] = mask;
+        self.markers[s] = marker;
+        evicted
+    }
+}
+
+impl Default for KernelCache {
+    fn default() -> Self {
+        KernelCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_parses_and_names_round_trip() {
+        assert_eq!("auto".parse::<SimdPolicy>(), Ok(SimdPolicy::Auto));
+        assert_eq!("scalar".parse::<SimdPolicy>(), Ok(SimdPolicy::Scalar));
+        assert!("AVX2".parse::<SimdPolicy>().is_err());
+        assert!("".parse::<SimdPolicy>().is_err());
+        for p in [SimdPolicy::Auto, SimdPolicy::Scalar] {
+            assert_eq!(p.name().parse::<SimdPolicy>(), Ok(p));
+        }
+        assert_eq!(SimdPolicy::default(), SimdPolicy::Auto);
+        assert!(SimdPolicy::Auto.cache_enabled());
+        assert!(!SimdPolicy::Scalar.cache_enabled());
+    }
+
+    #[test]
+    fn dispatched_path_is_stable_and_known() {
+        let auto = dispatched_path(SimdPolicy::Auto);
+        assert!(["avx2", "sse2", "portable"].contains(&auto), "{auto}");
+        // Dispatch resolves once: repeated queries agree.
+        assert_eq!(dispatched_path(SimdPolicy::Auto), auto);
+        assert_eq!(dispatched_path(SimdPolicy::Scalar), "scalar");
+    }
+
+    /// Deterministic word-pattern generator for lane-equality sweeps.
+    fn words(seed: u64) -> [u64; 4] {
+        let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut out = [0u64; 4];
+        for w in &mut out {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *w = x;
+        }
+        out
+    }
+
+    #[test]
+    fn every_lane_agrees_with_the_portable_combine() {
+        for seed in 0..256u64 {
+            let bwt = words(seed);
+            let cref = words(seed.wrapping_add(1_000));
+            for loaded in [[!0u64, !0u64], [!0, 0], [0xFFFF, 0], [0, 0], [!0, 1]] {
+                let want = plane_match_portable(&bwt, &cref, loaded);
+                assert_eq!(plane_match(&bwt, &cref, loaded, SimdPolicy::Scalar), want);
+                assert_eq!(
+                    plane_match(&bwt, &cref, loaded, SimdPolicy::Auto),
+                    want,
+                    "dispatched lane {} diverged at seed {seed}",
+                    dispatched_path(SimdPolicy::Auto)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masked_count_agrees_across_policies() {
+        for seed in 0..256u64 {
+            let w = words(seed);
+            let mask = [w[0], w[1]];
+            let limit = [w[2], w[3]];
+            let want = masked_count_portable(mask, limit);
+            assert_eq!(masked_count(mask, limit, SimdPolicy::Scalar), want);
+            assert_eq!(masked_count(mask, limit, SimdPolicy::Auto), want);
+        }
+        assert_eq!(masked_count([!0, !0], [!0, !0], SimdPolicy::Auto), 128);
+        assert_eq!(masked_count([!0, !0], [0, 0], SimdPolicy::Auto), 0);
+    }
+
+    #[test]
+    fn cache_is_direct_mapped_with_tag_evictions() {
+        let mut cache = KernelCache::new();
+        assert_eq!(cache.lookup(0, 5, 2), None);
+        // First insert occupies an empty slot: not an eviction.
+        assert!(!cache.insert(0, 5, 2, [0xAB, 0xCD], 42));
+        assert_eq!(cache.lookup(0, 5, 2), Some(([0xAB, 0xCD], 42)));
+        // Same key refresh: still not an eviction.
+        assert!(!cache.insert(0, 5, 2, [0xAB, 0xCD], 42));
+        // A different sub-array misses the slot, and installing it
+        // displaces the live entry: one eviction.
+        assert_eq!(cache.lookup(7, 5, 2), None);
+        assert!(cache.insert(7, 5, 2, [0x11, 0x22], 9));
+        assert_eq!(cache.lookup(0, 5, 2), None);
+        assert_eq!(cache.lookup(7, 5, 2), Some(([0x11, 0x22], 9)));
+        // Distinct (bucket, rank) keys within one sub-array never
+        // collide: the slot space covers all 256 × 4 of them.
+        let mut cache = KernelCache::new();
+        for bucket in 0..256 {
+            for rank in 0..4 {
+                assert!(!cache.insert(3, bucket, rank, [bucket as u64, rank as u64], 1));
+            }
+        }
+        for bucket in 0..256 {
+            for rank in 0..4 {
+                assert_eq!(
+                    cache.lookup(3, bucket, rank),
+                    Some(([bucket as u64, rank as u64], 1))
+                );
+            }
+        }
+    }
+}

@@ -12,7 +12,7 @@ use mram::array::ArrayModel;
 use mram::faults::{FaultCampaign, FaultModel};
 use pimsim::costs::LogicalOp;
 use pimsim::reference::{packed_compare_stage, reference_compare_stage, BoolSubArray};
-use pimsim::{CycleLedger, FaultInjector, LfmBatch, SubArray};
+use pimsim::{CycleLedger, FaultInjector, KernelCache, LfmBatch, SimdPolicy, SubArray};
 use proptest::prelude::*;
 
 /// Builds the packed and the reference sub-array with identical BWT
@@ -192,6 +192,108 @@ proptest! {
         }
         for s in 0..4 {
             prop_assert_eq!(inj_b[s].counters(), inj_r[s].counters(), "stream {}", s);
+        }
+    }
+
+    /// PR 9: the SIMD-dispatched kernel is a third implementation of the
+    /// same compare stage. Over random rows, all three — boolean
+    /// reference, packed scalar, packed SIMD — agree bit-for-bit and
+    /// cycle-for-cycle on every base and prefix limit.
+    #[test]
+    fn simd_kernel_is_bit_and_cycle_identical_to_scalar_and_reference(
+        codes in proptest::collection::vec(0u8..4, 0..=128),
+        stuck_enc in proptest::collection::vec(0usize..512, 0..6),
+        within in 0usize..=128,
+    ) {
+        let (packed, reference) = twin_arrays(&codes, &stuck_enc);
+        let mut ledger_v = CycleLedger::new();
+        let mut ledger_s = CycleLedger::new();
+        let mut ledger_r = CycleLedger::new();
+        for base in Base::ALL {
+            let simd = packed.xnor_match_with(0, base, SimdPolicy::Auto, &mut ledger_v);
+            let scalar = packed.xnor_match_with(0, base, SimdPolicy::Scalar, &mut ledger_s);
+            let bools = reference.xnor_match(0, base, &mut ledger_r);
+            prop_assert_eq!(simd.0, scalar.0, "mask words, base {}", base);
+            prop_assert_eq!(simd.to_bools(), bools, "base {}", base);
+            prop_assert_eq!(
+                simd.count_prefix_with(within, SimdPolicy::Auto),
+                scalar.count_prefix_with(within, SimdPolicy::Scalar),
+                "prefix count at {}, base {}", within, base
+            );
+        }
+        // The lane choice is invisible to the platform: identical charges.
+        prop_assert_eq!(ledger_v.total_busy_cycles(), ledger_s.total_busy_cycles());
+        prop_assert_eq!(ledger_v.primitives(), ledger_s.primitives());
+        prop_assert_eq!(ledger_s.total_busy_cycles(), ledger_r.total_busy_cycles());
+    }
+
+    /// PR 9: the cached SIMD batch path replays the scalar fault streams
+    /// in lock-step. A rank-checkpoint cache hit must charge the exact
+    /// op sequence the recompute pays and corrupt a private mask copy,
+    /// so counts, injector counters, cycles, and primitives all match
+    /// the uncached scalar batch — across rounds, where later rounds hit
+    /// the cache.
+    #[test]
+    fn cached_simd_batch_replays_scalar_fault_streams_lock_step(
+        codes in proptest::collection::vec(0u8..4, 1..=128),
+        stuck_enc in proptest::collection::vec(0usize..512, 0..4),
+        seed in any::<u64>(),
+        sentinel_enc in 0usize..256,
+        sched_enc in proptest::collection::vec(0usize..(16 * 129), 1..16),
+        rounds in 1usize..4,
+    ) {
+        let sentinel = (sentinel_enc < 128).then_some(sentinel_enc);
+        let (packed, _) = twin_arrays(&codes, &stuck_enc);
+        let campaign = FaultCampaign::seeded(seed)
+            .with_model(FaultModel::with_probabilities(0.05, 0.0))
+            .with_transient_row_rate(0.2);
+        let mut inj_v: Vec<FaultInjector> =
+            (0..4).map(|s| FaultInjector::new(campaign.for_read(s))).collect();
+        let mut inj_s: Vec<FaultInjector> =
+            (0..4).map(|s| FaultInjector::new(campaign.for_read(s))).collect();
+        let mut cache = KernelCache::new();
+        let mut ledger_v = CycleLedger::new();
+        let mut ledger_s = CycleLedger::new();
+        for round in 0..rounds {
+            let mut batch_v = LfmBatch::new();
+            let mut batch_s = LfmBatch::new();
+            for &enc in &sched_enc {
+                let (stream, rank, within) = (enc % 4, (enc / 4) % 4, enc / 16);
+                batch_v.push(stream, 0, Base::from_rank(rank), within);
+                batch_s.push(stream, 0, Base::from_rank(rank), within);
+            }
+            batch_v.run_compare_with(
+                &packed,
+                sentinel.map(|col| (0, col)),
+                SimdPolicy::Auto,
+                Some(&mut cache),
+                0,
+                &mut ledger_v,
+            );
+            let counts_v = batch_v.counts_with(&packed, &mut inj_v, SimdPolicy::Auto, &mut ledger_v);
+            batch_s.run_compare(&packed, sentinel.map(|col| (0, col)), &mut ledger_s);
+            let counts_s = batch_s.counts(&packed, &mut inj_s, &mut ledger_s);
+            prop_assert_eq!(&counts_v, &counts_s, "round {}", round);
+            for i in 0..batch_v.len() {
+                prop_assert_eq!(batch_v.mask(i).0, batch_s.mask(i).0, "round {} req {}", round, i);
+                prop_assert_eq!(batch_v.marker(i), batch_s.marker(i), "round {} req {}", round, i);
+            }
+        }
+        for s in 0..4 {
+            prop_assert_eq!(inj_v[s].counters(), inj_s[s].counters(), "stream {}", s);
+        }
+        // Cache hits charged the identical op sequence: the simulated
+        // ledgers agree on every platform-visible quantity; only the
+        // host-side cache counters differ.
+        prop_assert_eq!(ledger_v.total_busy_cycles(), ledger_s.total_busy_cycles());
+        prop_assert_eq!(ledger_v.energy_pj(), ledger_s.energy_pj());
+        prop_assert_eq!(ledger_v.primitives(), ledger_s.primitives());
+        prop_assert_eq!(ledger_s.kernel_cache_counters().lookups(), 0);
+        if rounds > 1 {
+            prop_assert!(
+                ledger_v.kernel_cache_counters().hits > 0,
+                "repeat rounds over the same groups must hit the cache"
+            );
         }
     }
 }

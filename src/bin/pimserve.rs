@@ -21,6 +21,9 @@
 //!   --pd <N>                  parallelism degree (implies method-II for N >= 2)
 //!   --kernel-batch <N>        reads interleaved per LFM kernel batch
 //!                             (default 8; 1 = single-read kernel path)
+//!   --kernel-simd <P>         host kernel policy: auto (SIMD dispatch +
+//!                             rank-checkpoint cache, default) or scalar;
+//!                             simulated cycles and responses identical
 //!   --max-diffs <Z>           inexact-stage difference budget (default 2, max 8)
 //!   --no-indels               substitutions only in the inexact stage
 //!   --single-strand           skip the reverse-complement retry
@@ -44,6 +47,7 @@ use pim_aligner_suite::pim_aligner::service::{serve, ServiceConfig, ServiceError
 use pim_aligner_suite::pim_aligner::{
     IndexArtifact, PimAlignerConfig, Platform, DEFAULT_KERNEL_BATCH,
 };
+use pim_aligner_suite::pimsim::{dispatched_path, SimdPolicy};
 
 /// A CLI failure, classified exactly as in `pimalign`: usage = 2,
 /// input = 3, runtime = 4.
@@ -87,6 +91,7 @@ struct Cli {
     service: ServiceConfig,
     pd: usize,
     kernel_batch: usize,
+    kernel_simd: SimdPolicy,
     max_diffs: u8,
     indels: bool,
     metrics_out: Option<String>,
@@ -112,6 +117,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         service: ServiceConfig::default(),
         pd: 1,
         kernel_batch: DEFAULT_KERNEL_BATCH,
+        kernel_simd: SimdPolicy::Auto,
         max_diffs: 2,
         indels: true,
         metrics_out: None,
@@ -150,6 +156,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                     );
                 }
             }
+            "--kernel-simd" => cli.kernel_simd = parse_flag(args, &mut i, "--kernel-simd")?,
             "--max-diffs" => {
                 cli.max_diffs = parse_flag(args, &mut i, "--max-diffs")?;
                 if cli.max_diffs > 8 {
@@ -195,7 +202,13 @@ fn run() -> Result<(), CliError> {
     let mut config = PimAlignerConfig::baseline()
         .with_max_diffs(cli.max_diffs)
         .with_indels(cli.indels)
-        .with_kernel_batch(cli.kernel_batch);
+        .with_kernel_batch(cli.kernel_batch)
+        .with_kernel_simd(cli.kernel_simd);
+    eprintln!(
+        "pimserve: kernel dispatch {} (--kernel-simd {})",
+        dispatched_path(cli.kernel_simd),
+        cli.kernel_simd.name()
+    );
     if cli.pd >= 2 {
         config = config.with_pd(cli.pd);
     }

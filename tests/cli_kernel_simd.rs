@@ -1,0 +1,147 @@
+//! Integration: `--kernel-simd` flag validation in both binaries.
+//!
+//! The flag picks the *host* kernel implementation only, so the rules
+//! are the same for `pimalign` and `pimserve`: `auto` and `scalar`
+//! parse, anything else is a usage error (exit 2), and a missing value
+//! is a usage error too. Both binaries log the dispatched path exactly
+//! once at startup so a run can be audited after the fact.
+
+use std::process::Command;
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("cli_kernel_simd_{name}_{}", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp file");
+    path
+}
+
+/// One row of the validation table: the flag value given (None = flag
+/// with its value missing), the expected exit code, and a substring the
+/// stderr must contain.
+struct Case {
+    value: Option<&'static str>,
+    expect_exit: i32,
+    stderr_contains: &'static str,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        value: Some("auto"),
+        expect_exit: 0,
+        stderr_contains: "kernel dispatch",
+    },
+    Case {
+        value: Some("scalar"),
+        expect_exit: 0,
+        stderr_contains: "(--kernel-simd scalar)",
+    },
+    Case {
+        value: Some("avx512"),
+        expect_exit: 2,
+        stderr_contains: "invalid --kernel-simd",
+    },
+    Case {
+        value: Some(""),
+        expect_exit: 2,
+        stderr_contains: "invalid --kernel-simd",
+    },
+    Case {
+        value: None,
+        expect_exit: 2,
+        stderr_contains: "--kernel-simd needs a value",
+    },
+];
+
+#[test]
+fn pimalign_validates_kernel_simd_and_logs_the_dispatched_path() {
+    let reference = write_temp("ref.fa", ">chrT\nGATTACAGATTACAGGGACGTACGT\n");
+    let reads = write_temp("reads.fq", "@r0\nGATTACAGATTACA\n+\nIIIIIIIIIIIIII\n");
+    for case in CASES {
+        let mut args = vec![
+            reference.to_str().unwrap().to_owned(),
+            reads.to_str().unwrap().to_owned(),
+            "--kernel-simd".to_owned(),
+        ];
+        if let Some(v) = case.value {
+            args.push(v.to_owned());
+        }
+        let out = Command::new(env!("CARGO_BIN_EXE_pimalign"))
+            .args(&args)
+            .output()
+            .expect("run pimalign");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            out.status.code(),
+            Some(case.expect_exit),
+            "pimalign --kernel-simd {:?}: exit {:?}, stderr:\n{stderr}",
+            case.value,
+            out.status.code()
+        );
+        assert!(
+            stderr.contains(case.stderr_contains),
+            "pimalign --kernel-simd {:?}: stderr missing {:?}:\n{stderr}",
+            case.value,
+            case.stderr_contains
+        );
+        // The dispatch line is a startup banner, not a per-read log:
+        // exactly one occurrence on a successful run.
+        if case.expect_exit == 0 {
+            assert_eq!(
+                stderr.matches("kernel dispatch").count(),
+                1,
+                "dispatch must be logged exactly once:\n{stderr}"
+            );
+        }
+    }
+    std::fs::remove_file(reference).ok();
+    std::fs::remove_file(reads).ok();
+}
+
+#[test]
+fn pimserve_validates_kernel_simd_with_the_same_exit_codes() {
+    // A missing reference makes valid invocations fail *after* flag
+    // parsing (input error, exit 3) without ever binding a socket — so
+    // the test proves the flag parsed, sees the startup dispatch line,
+    // and never has to drain a live server.
+    for case in CASES {
+        let mut args = vec!["/nonexistent/ref.fa".to_owned(), "--kernel-simd".to_owned()];
+        if let Some(v) = case.value {
+            args.push(v.to_owned());
+        }
+        let out = Command::new(env!("CARGO_BIN_EXE_pimserve"))
+            .args(&args)
+            .output()
+            .expect("run pimserve");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        let expect_exit = if case.expect_exit == 0 { 3 } else { 2 };
+        assert_eq!(
+            out.status.code(),
+            Some(expect_exit),
+            "pimserve --kernel-simd {:?}: exit {:?}, stderr:\n{stderr}",
+            case.value,
+            out.status.code()
+        );
+        if case.expect_exit == 0 {
+            // Valid flag: the dispatch banner appears (before the input
+            // failure), exactly once.
+            assert_eq!(
+                stderr.matches("kernel dispatch").count(),
+                1,
+                "pimserve --kernel-simd {:?}: dispatch logged once:\n{stderr}",
+                case.value
+            );
+            assert!(
+                stderr.contains(case.stderr_contains),
+                "pimserve --kernel-simd {:?}: stderr missing {:?}:\n{stderr}",
+                case.value,
+                case.stderr_contains
+            );
+        } else {
+            assert!(
+                stderr.contains(case.stderr_contains),
+                "pimserve --kernel-simd {:?}: stderr missing {:?}:\n{stderr}",
+                case.value,
+                case.stderr_contains
+            );
+        }
+    }
+}

@@ -59,6 +59,18 @@ fn simulated_totals_and_heatmap_are_thread_invariant() {
     // The merged simulated ledger — heatmap included — is bit-identical
     // across worker counts; only the host section may differ.
     assert_eq!(totals_8.ledger, totals_1.ledger);
+
+    // Kernel-cache counters are host-side (excluded from ledger
+    // equality): the hit/miss split depends on how reads partition
+    // across per-worker caches, but every lfm lookup still happens
+    // exactly once, so the total is thread-invariant.
+    let cache_1 = totals_1.ledger.kernel_cache_counters();
+    let cache_8 = totals_8.ledger.kernel_cache_counters();
+    assert_eq!(
+        cache_8.hits + cache_8.misses,
+        cache_1.hits + cache_1.misses,
+        "cache lookup total must be per-read work"
+    );
     assert_eq!(
         totals_8.ledger.zone_activations(),
         totals_1.ledger.zone_activations()

@@ -63,7 +63,25 @@ fn as_u64(doc: &Value, path: &str) -> u64 {
 fn metrics_json_is_valid_and_reconciles() {
     let doc = run_with_metrics(&["--pipelined"]);
 
-    assert_eq!(as_u64(&doc, "schema_version"), 5);
+    assert_eq!(as_u64(&doc, "schema_version"), 6);
+
+    // v6: the rank-checkpoint cache section is present and internally
+    // consistent. The default policy (auto) runs the cache, so an
+    // aligning run records lookups; the hit counters are host-side
+    // observability and never perturb the simulated totals checked
+    // below.
+    let hits = as_u64(&doc, "breakdown.kernel_cache.hits");
+    let misses = as_u64(&doc, "breakdown.kernel_cache.misses");
+    assert!(hits + misses > 0, "auto policy must record cache lookups");
+    let hit_rate = doc
+        .get("breakdown.kernel_cache.hit_rate")
+        .and_then(Value::as_f64)
+        .expect("hit_rate");
+    let expected_rate = hits as f64 / (hits + misses) as f64;
+    assert!(
+        (hit_rate - expected_rate).abs() < 1e-5,
+        "hit_rate {hit_rate} vs {expected_rate}"
+    );
 
     // v4: the index section records how the platform's FM-index came to
     // be. A plain CLI run builds in-process: one shard, full SA, not
