@@ -6,8 +6,10 @@
 #   ./ci.sh debug      fmt check, debug tests, clippy
 #   ./ci.sh release    release build, bench smokes, benchdiff gates
 #                      (parallel, kernel, metrics schema, trace, host,
-#                      serve: pimserve + loadgen over loopback, and the
-#                      index artifact: build/--index rerun + indexbench)
+#                      serve: pimserve + loadgen over loopback, obs:
+#                      mid-load Stats scrapes + Prometheus exposition,
+#                      and the index artifact: build/--index rerun +
+#                      indexbench)
 #   ./ci.sh gates      re-run only the benchdiff gates against the
 #                      artifacts a prior `./ci.sh release` left under
 #                      target/ci/ (seconds, not minutes; every gate
@@ -104,9 +106,13 @@ run_serve_cycle() {
         cat "$_log" >&2
         exit 1
     fi
+    # --prom-out captures the Prometheus exposition scraped over the
+    # wire just before drain; loadgen also polls the Stats verb mid-
+    # overload, so the report's obs block proves the exposition answers
+    # under load.
     cargo run -q --release -p bench --bin loadgen -- \
         --addr "$(cat target/ci/serve_port.txt)" --quick --drain \
-        --out "$_out"
+        --out "$_out" --prom-out "${_out%.json}_prom.txt"
     # The drain must end the process with exit 0 (set -e trips otherwise).
     wait "$SERVE_PID"
     SERVE_PID=""
@@ -153,6 +159,12 @@ gate_serve() {
 gate_index() {
     cargo run -q --release -p bench --bin benchdiff -- \
         target/ci/BENCH_index_smoke.json BENCH_index.json --kind index
+}
+
+gate_obs() {
+    cargo run -q --release -p bench --bin benchdiff -- \
+        target/ci/BENCH_serve_smoke.json target/ci/BENCH_serve_smoke_prom.txt \
+        --kind obs
 }
 
 if [ "$MODE" = "all" ] || [ "$MODE" = "debug" ]; then
@@ -260,6 +272,14 @@ if [ "$MODE" = "all" ] || [ "$MODE" = "release" ]; then
         target/ci/serve_ref.fa --metrics-out target/ci/serve_metrics.json
     gate_serve
 
+    # Obs gate: the same serve cycle's live observability plane. The
+    # mid-overload Stats scrapes must have landed, every counter must
+    # reconcile exactly between the lifetime telemetry and the rolling
+    # ring, the 10 s window must show throughput, the watchdog must stay
+    # quiet, and the captured Prometheus exposition must be well-formed.
+    step "benchdiff regression gate (obs)"
+    gate_obs
+
     # Index-artifact gate, part 2: pimserve must boot warm from a
     # serialised artifact and survive the same loadgen drain cycle.
     step "pimserve --index boot + loadgen drain (artifact warm start)"
@@ -284,7 +304,8 @@ fi
 if [ "$MODE" = "gates" ]; then
     for f in BENCH_parallel_smoke.json BENCH_kernel_smoke.json \
         BENCH_metrics_smoke.json smoke_trace.json BENCH_host_smoke.json \
-        BENCH_serve_smoke.json BENCH_index_smoke.json; do
+        BENCH_serve_smoke.json BENCH_serve_smoke_prom.txt \
+        BENCH_index_smoke.json; do
         if [ ! -f "target/ci/$f" ]; then
             echo "ci: missing target/ci/$f — run ./ci.sh release first" >&2
             exit 1
@@ -302,6 +323,8 @@ if [ "$MODE" = "gates" ]; then
     gate_host
     step "benchdiff gate (serve)"
     gate_serve
+    step "benchdiff gate (obs)"
+    gate_obs
     step "benchdiff gate (index)"
     gate_index
 fi

@@ -4,6 +4,7 @@
 //! benchdiff <fresh.json> <baseline.json> [--kind parallel|kernel|metrics|host|serve|index]
 //!           [--min-ratio R] [--min-speedup S] [--min-scaling C]
 //! benchdiff <trace.json> --kind trace [--workers N]
+//! benchdiff <fresh_serve.json> <exposition.txt> --kind obs
 //! ```
 //!
 //! Compares a freshly measured bench JSON report against the checked-in
@@ -74,6 +75,25 @@
 //! every phase accounted for (`answered == sent`), a positive
 //! saturation knee, an overload phase at ≥ 2x the knee that actually
 //! shed, and an accepted-request p99 within the report's own SLO.
+//!
+//! `--kind obs` validates the live observability plane from one serve
+//! cycle. The first positional is a fresh `loadgen` report (schema v2,
+//! with the `obs` block scraped mid-run over the wire); the second is
+//! the Prometheus text exposition `loadgen --prom-out` captured before
+//! drain — read as plain text, not JSON. Checks:
+//!
+//! * at least one mid-overload Stats scrape succeeded (the exposition
+//!   is answered inline even while the queue saturates);
+//! * every shared counter in the final snapshot reconciles **exactly**
+//!   between the lifetime `service` section and the ring-derived
+//!   `cumulative` aggregate — the rolling window loses nothing;
+//! * the peak 10-second windowed throughput is non-zero (the ring saw
+//!   the load);
+//! * the watchdog stayed quiet (a healthy serve cycle must not trip the
+//!   batcher-stall detector);
+//! * the exposition is well-formed text format 0.0.4: only `# HELP` /
+//!   `# TYPE` comments, metric names in the legal charset, every sample
+//!   a finite float, and at least one sample present.
 //!
 //! `--kind index` diffs a fresh `indexbench` report against the
 //! committed `BENCH_index.json`. Timings are wall-clock, so only ratios
@@ -274,6 +294,7 @@ enum Kind {
     Host,
     Serve,
     Index,
+    Obs,
 }
 
 struct Args {
@@ -290,7 +311,8 @@ struct Args {
 
 const USAGE: &str = "usage: benchdiff <fresh.json> <baseline.json> \
      [--kind parallel|kernel|metrics|host|serve|index] [--min-ratio R] [--min-speedup S] \
-     [--min-scaling C] | benchdiff <trace.json> --kind trace [--workers N]";
+     [--min-scaling C] | benchdiff <trace.json> --kind trace [--workers N] | \
+     benchdiff <fresh_serve.json> <exposition.txt> --kind obs";
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut positional = Vec::new();
@@ -312,6 +334,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     Some("host") => Kind::Host,
                     Some("serve") => Kind::Serve,
                     Some("index") => Kind::Index,
+                    Some("obs") => Kind::Obs,
                     Some(other) => return Err(format!("unknown --kind {other}")),
                     None => return Err("--kind needs a value".to_owned()),
                 };
@@ -969,6 +992,152 @@ fn run_serve(args: &Args, gate: &mut Gate) -> Result<bool, String> {
     Ok(ok)
 }
 
+/// The shared counters the obs gate reconciles between the lifetime
+/// `service` section and the ring-derived `cumulative` aggregate of a
+/// loadgen report's `obs` block.
+const OBS_COUNTERS: [&str; 11] = [
+    "received",
+    "accepted",
+    "shed_queue_full",
+    "shed_inflight_bytes",
+    "rejected_draining",
+    "rejected_invalid",
+    "expired_in_queue",
+    "late_responses",
+    "panics_quarantined",
+    "batches",
+    "responses",
+];
+
+/// Is `name` a legal Prometheus metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`)?
+fn prom_name_ok(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// One non-comment exposition line: `name value` or `name{labels} value`
+/// with a finite float value. Returns `false` on any malformation.
+fn prom_sample_ok(line: &str) -> bool {
+    let Some((metric, value)) = line.rsplit_once(' ') else {
+        return false;
+    };
+    if !value.parse::<f64>().is_ok_and(f64::is_finite) {
+        return false;
+    }
+    match metric.split_once('{') {
+        Some((name, labels)) => prom_name_ok(name) && labels.ends_with('}'),
+        None => prom_name_ok(metric),
+    }
+}
+
+fn run_obs(args: &Args, gate: &mut Gate) -> Result<bool, String> {
+    let fresh = load(&args.fresh)?;
+    let prom_path = baseline_path(args);
+    let prom_text = std::fs::read_to_string(prom_path).map_err(|e| format!("{prom_path}: {e}"))?;
+    let mut ok = true;
+
+    // The exposition answered mid-overload: loadgen's scraper polled the
+    // Stats verb while the queue saturated, so a zero count means the
+    // inline never-shed path regressed.
+    let scrapes = required_u64(&fresh, "obs.scrapes", &args.fresh)?;
+    if scrapes == 0 {
+        eprintln!("benchdiff: OBS: no Stats scrapes landed mid-run");
+    }
+    ok &= gate.record(
+        "stats_scrapes",
+        scrapes.to_string(),
+        "0".to_owned(),
+        ">",
+        scrapes > 0,
+    );
+
+    // Exact reconciliation: the rolling ring's retired ⊕ live aggregate
+    // must equal the lifetime counters field-for-field. Any drift means
+    // an event bypassed the single critical section.
+    for name in OBS_COUNTERS {
+        let lifetime = required_u64(&fresh, &format!("obs.lifetime.{name}"), &args.fresh)?;
+        let cumulative = required_u64(&fresh, &format!("obs.cumulative.{name}"), &args.fresh)?;
+        if cumulative != lifetime {
+            eprintln!(
+                "benchdiff: OBS: {name} drifted — ring cumulative {cumulative} vs \
+                 lifetime {lifetime}"
+            );
+        }
+        ok &= gate.eq_u64(&format!("reconcile_{name}"), cumulative, lifetime);
+    }
+
+    let max_rps = required_f64(&fresh, "obs.max_rps_10s", &args.fresh)?;
+    if max_rps <= 0.0 {
+        eprintln!("benchdiff: OBS: the 10s window never saw throughput");
+    }
+    ok &= gate.record(
+        "max_rps_10s",
+        json_f64(max_rps),
+        json_f64(0.0),
+        ">",
+        max_rps > 0.0,
+    );
+
+    let stalls = required_u64(&fresh, "obs.watchdog.stalls", &args.fresh)?;
+    if stalls != 0 {
+        eprintln!("benchdiff: OBS: watchdog tripped {stalls} stall episode(s) on a healthy run");
+    }
+    ok &= gate.eq_u64("watchdog_quiet", stalls, 0);
+
+    // Exposition well-formedness (text format 0.0.4).
+    let mut samples = 0u64;
+    let mut help = 0u64;
+    let mut types = 0u64;
+    let mut bad_lines = 0u64;
+    for (i, line) in prom_text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            if comment.starts_with("HELP ") {
+                help += 1;
+            } else if let Some(rest) = comment.strip_prefix("TYPE ") {
+                types += 1;
+                let declared = rest.split_whitespace().nth(1);
+                if !declared
+                    .is_some_and(|k| matches!(k, "counter" | "gauge" | "histogram" | "summary"))
+                {
+                    eprintln!("benchdiff: OBS: exposition line {i}: unknown TYPE {declared:?}");
+                    bad_lines += 1;
+                }
+            } else {
+                eprintln!("benchdiff: OBS: exposition line {i}: comment is neither HELP nor TYPE");
+                bad_lines += 1;
+            }
+            continue;
+        }
+        if prom_sample_ok(line) {
+            samples += 1;
+        } else {
+            eprintln!("benchdiff: OBS: exposition line {i} malformed: {line:?}");
+            bad_lines += 1;
+        }
+    }
+    ok &= gate.eq_u64("prom_malformed_lines", bad_lines, 0);
+    ok &= gate.record(
+        "prom_samples",
+        samples.to_string(),
+        "0".to_owned(),
+        ">",
+        samples > 0,
+    );
+    ok &= gate.holds("prom_help_and_type_present", help > 0 && types > 0);
+    eprintln!(
+        "benchdiff: obs run: {scrapes} scrape(s), peak 10s window {max_rps:.0} rps, \
+         {} counters reconcile, exposition {samples} sample(s) ({help} HELP, {types} TYPE)",
+        OBS_COUNTERS.len()
+    );
+    Ok(ok)
+}
+
 fn run_index(args: &Args, gate: &mut Gate) -> Result<bool, String> {
     let fresh = load(&args.fresh)?;
     let baseline = load(baseline_path(args))?;
@@ -1088,6 +1257,7 @@ fn main() -> ExitCode {
         Kind::Host => "host",
         Kind::Serve => "serve",
         Kind::Index => "index",
+        Kind::Obs => "obs",
     };
     let mut gate = Gate::new(kind_name);
     let outcome = match args.kind {
@@ -1098,6 +1268,7 @@ fn main() -> ExitCode {
         Kind::Host => run_host(&args, &mut gate),
         Kind::Serve => run_serve(&args, &mut gate),
         Kind::Index => run_index(&args, &mut gate),
+        Kind::Obs => run_obs(&args, &mut gate),
     };
     if let Err(msg) = &outcome {
         gate.error = Some(msg.clone());

@@ -9,6 +9,7 @@
 //!   --quick          CI-sized workload and shorter phases
 //!   --out PATH       result JSON (default BENCH_serve.json)
 //!   --slo-ms N       accepted-request p99 SLO for the overload row (default 500)
+//!   --prom-out PATH  capture the server's Prometheus exposition before drain
 //!   --drain          send the Drain opcode after the sweep (shuts the server down)
 //! ```
 //!
@@ -33,10 +34,11 @@
 
 use std::collections::HashMap;
 use std::io::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use bench::json::{self, Value};
 use bench::workload::Workload;
 use pim_aligner::service::protocol::{AlignRequest, Client, Request, Response};
 use rand::rngs::StdRng;
@@ -315,6 +317,84 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
+/// Scrape cadence for the live Stats series during the overload phase.
+const SCRAPE_INTERVAL_MS: u64 = 50;
+
+/// Request-id base for scrape traffic, far outside the align id space so
+/// logs never confuse a Stats poll with a load request.
+const SCRAPE_REQ_BASE: u64 = 1 << 60;
+
+/// One point of the mid-overload Stats series: the windowed throughput
+/// and live gauges the dashboards would plot.
+struct ObsPoint {
+    t_ms: u64,
+    rps_1s: f64,
+    rps_10s: f64,
+    queue_depth: u64,
+    inflight_bytes: u64,
+    responses: u64,
+}
+
+impl ObsPoint {
+    fn from_snapshot(doc: &Value, t_ms: u64) -> ObsPoint {
+        let f = |p: &str| doc.get(p).and_then(Value::as_f64).unwrap_or(0.0);
+        let u = |p: &str| doc.get(p).and_then(Value::as_u64).unwrap_or(0);
+        ObsPoint {
+            t_ms,
+            rps_1s: f("windows.w1.rps"),
+            rps_10s: f("windows.w10.rps"),
+            queue_depth: u("gauges.queue_depth"),
+            inflight_bytes: u("gauges.inflight_bytes"),
+            responses: u("cumulative.responses"),
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{ \"t_ms\": {}, \"rps_1s\": {:.3}, \"rps_10s\": {:.3}, \"queue_depth\": {}, \
+             \"inflight_bytes\": {}, \"responses\": {} }}",
+            self.t_ms,
+            self.rps_1s,
+            self.rps_10s,
+            self.queue_depth,
+            self.inflight_bytes,
+            self.responses
+        )
+    }
+}
+
+/// The shared counter set re-emitted from a Stats snapshot section
+/// (`service.*` or `cumulative.*`). Scalars only — never the raw
+/// histogram arrays — so the result JSON's schema fingerprint is stable
+/// across runs.
+const OBS_COUNTERS: [&str; 11] = [
+    "received",
+    "accepted",
+    "shed_queue_full",
+    "shed_inflight_bytes",
+    "rejected_draining",
+    "rejected_invalid",
+    "expired_in_queue",
+    "late_responses",
+    "panics_quarantined",
+    "batches",
+    "responses",
+];
+
+fn counters_json(doc: &Value, prefix: &str) -> String {
+    let fields: Vec<String> = OBS_COUNTERS
+        .iter()
+        .map(|name| {
+            let v = doc
+                .get(&format!("{prefix}.{name}"))
+                .and_then(Value::as_u64)
+                .unwrap_or(0);
+            format!("\"{name}\": {v}")
+        })
+        .collect();
+    format!("{{ {} }}", fields.join(", "))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -332,13 +412,17 @@ fn main() {
 
     let Some(addr) = flag_value(&args, "--addr") else {
         eprintln!("usage: loadgen --make-ref PATH [--quick]");
-        eprintln!("       loadgen --addr HOST:PORT [--quick] [--out PATH] [--slo-ms N] [--drain]");
+        eprintln!(
+            "       loadgen --addr HOST:PORT [--quick] [--out PATH] [--slo-ms N] \
+             [--prom-out PATH] [--drain]"
+        );
         std::process::exit(2);
     };
     let out_path = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_owned());
     let slo_ms: f64 = flag_value(&args, "--slo-ms")
         .map(|v| v.parse().expect("--slo-ms must be a number"))
         .unwrap_or(500.0);
+    let prom_out = flag_value(&args, "--prom-out");
     let drain = args.iter().any(|a| a == "--drain");
 
     let (genome_len, read_count, read_len, w) = workload(quick);
@@ -395,7 +479,40 @@ fn main() {
     // shedding, not by slowing the clients down.
     let overload_rate = (2 * knee_rps.max(START_RPS)).max(shed_rate);
     let total = ((overload_rate as f64 * phase_secs) as u64).max(80);
+
+    // Mid-run observability scrape: a dedicated connection polls the
+    // live Stats snapshot while the overload phase saturates the queue —
+    // proving the exposition is answered inline, never shed. The first
+    // scrape happens before the stop check, so the series is never
+    // empty.
+    let scrape_stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let addr = addr.clone();
+        let stop = Arc::clone(&scrape_stop);
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).expect("connect for stats scrape");
+            let t0 = Instant::now();
+            let mut points: Vec<ObsPoint> = Vec::new();
+            let mut req_id = SCRAPE_REQ_BASE;
+            loop {
+                let text = c.stats(req_id).expect("stats answered mid-overload");
+                let doc = json::parse(&text).expect("stats snapshot parses");
+                points.push(ObsPoint::from_snapshot(
+                    &doc,
+                    t0.elapsed().as_millis() as u64,
+                ));
+                req_id += 1;
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(SCRAPE_INTERVAL_MS));
+            }
+            points
+        })
+    };
     let overload = run_phase(&addr, &reads, overload_rate, total);
+    scrape_stop.store(true, Ordering::Relaxed);
+    let series = scraper.join().expect("scraper thread");
     eprintln!(
         "loadgen: overload {} rps: {} sent, {} aligned, {} shed responses, \
          {} gave up, accepted p99 {:.1} ms (SLO {slo_ms} ms)",
@@ -407,24 +524,80 @@ fn main() {
         overload.p99_ms
     );
 
+    // Final pre-drain scrape: the settled lifetime counters (everything
+    // answered, gauges back to zero) and the Prometheus exposition.
+    let (final_snap, prom_text) = {
+        let mut c = Client::connect(&addr).expect("connect for final scrape");
+        let text = c.stats(SCRAPE_REQ_BASE - 2).expect("final stats");
+        let prom = c.prom(SCRAPE_REQ_BASE - 1).expect("prom exposition");
+        (
+            json::parse(&text).expect("final stats snapshot parses"),
+            prom,
+        )
+    };
+    if let Some(path) = &prom_out {
+        std::fs::write(path, &prom_text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("loadgen: wrote {path}");
+    }
+    let snap_u64 = |p: &str| final_snap.get(p).and_then(Value::as_u64).unwrap_or(0);
+    let max_rps_10s = series
+        .iter()
+        .map(|p| p.rps_10s)
+        .chain(final_snap.get("windows.w10.rps").and_then(Value::as_f64))
+        .fold(0.0f64, f64::max);
+    let max_queue_depth = series
+        .iter()
+        .map(|p| p.queue_depth)
+        .chain([snap_u64("cumulative.max_queue_depth")])
+        .max()
+        .unwrap_or(0);
+    eprintln!(
+        "loadgen: obs: {} stats scrapes, peak 10s window {:.0} rps, peak queue depth {}, \
+         {} watchdog stalls",
+        series.len(),
+        max_rps_10s,
+        max_queue_depth,
+        snap_u64("watchdog.stalls"),
+    );
+
     if drain {
         let mut c = Client::connect(&addr).expect("connect for drain");
         let ack = c.drain(u64::MAX).expect("drain");
         eprintln!("loadgen: drain acknowledged: {ack:?}");
     }
 
+    let series_rows: Vec<String> = series
+        .iter()
+        .map(|p| format!("      {}", p.json()))
+        .collect();
+    let obs_json = format!(
+        "{{\n    \"scrapes\": {},\n    \"max_rps_10s\": {max_rps_10s:.3},\n    \
+         \"max_queue_depth\": {max_queue_depth},\n    \
+         \"watchdog\": {{ \"stalls\": {}, \"max_head_age_ms\": {} }},\n    \
+         \"lifetime\": {},\n    \"cumulative\": {},\n    \
+         \"series\": [\n{}\n    ]\n  }}",
+        series.len(),
+        snap_u64("watchdog.stalls"),
+        snap_u64("watchdog.max_head_age_ms"),
+        counters_json(&final_snap, "service"),
+        counters_json(&final_snap, "cumulative"),
+        series_rows.join(",\n"),
+    );
+
     let rows: Vec<String> = sweep.iter().map(|s| format!("    {}", s.json())).collect();
     let json = format!(
-        "{{\n  \"schema_version\": 1,\n  \"workload\": {{ \"genome_len\": {genome_len}, \
+        "{{\n  \"schema_version\": 2,\n  \"workload\": {{ \"genome_len\": {genome_len}, \
          \"read_count\": {read_count}, \"read_len\": {read_len}, \"seed\": {SEED}, \
          \"quick\": {quick} }},\n  \
          \"slo_ms\": {slo_ms:.1},\n  \
          \"max_retries\": {MAX_RETRIES},\n  \
          \"sweep\": [\n{}\n  ],\n  \
          \"knee_rps\": {knee_rps},\n  \
-         \"overload\": {}\n}}",
+         \"overload\": {},\n  \
+         \"obs\": {}\n}}",
         rows.join(",\n"),
         overload.json(),
+        obs_json,
     );
     let mut file = std::fs::File::create(&out_path)
         .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));

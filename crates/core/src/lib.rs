@@ -72,13 +72,15 @@ pub use hybrid::{seed_and_extend, HybridHit, SeedExtendConfig};
 pub use inexact::{inexact_search, inexact_search_first, InexactStats};
 pub use mapping::{LfmBatchScratch, LfmRequest, MappedIndex};
 pub use metrics::{
-    host_section_json, index_section_json, service_section_json, MetricsBreakdown, PhaseLfm,
-    PrimitiveMetrics, ResourceMetrics, StageOccupancy, METRICS_SCHEMA_VERSION,
+    host_section_json, index_section_json, obs_section_json, service_section_json,
+    MetricsBreakdown, PhaseLfm, PrimitiveMetrics, ResourceMetrics, StageOccupancy,
+    METRICS_SCHEMA_VERSION,
 };
 pub use paired::{align_pair, Mate, PairConstraints, PairOutcome};
 pub use parallel::{align_batch_parallel, align_batch_parallel_both_strands, BatchTotals};
 pub use platform::Platform;
 pub use report::{
-    FaultTelemetry, IndexTelemetry, PerfReport, ServiceTelemetry, BACKGROUND_W_PER_SUBARRAY,
+    FaultTelemetry, IndexTelemetry, ObsTelemetry, PerfReport, ServiceTelemetry, SlowRequest,
+    BACKGROUND_W_PER_SUBARRAY,
 };
 pub use service::{ServiceConfig, ServiceError};

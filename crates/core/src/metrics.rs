@@ -19,7 +19,7 @@ use pimsim::{CycleLedger, HostHistogram, KernelCacheCounters, Resource, Span, Sp
 
 use crate::config::PimAlignerConfig;
 use crate::host::HostTotals;
-use crate::report::{FaultTelemetry, IndexTelemetry, PerfReport, ServiceTelemetry};
+use crate::report::{FaultTelemetry, IndexTelemetry, ObsTelemetry, PerfReport, ServiceTelemetry};
 
 /// Version tag embedded in every metrics JSON document.
 ///
@@ -37,10 +37,14 @@ use crate::report::{FaultTelemetry, IndexTelemetry, PerfReport, ServiceTelemetry
 /// all-zero on the single-read kernel path). v6 added
 /// `breakdown.kernel_cache` (rank-checkpoint cache `hits`/`misses`/
 /// `evictions`/`hit_rate` — host-side counters, all-zero under
-/// `--kernel-simd=scalar`). Each version
+/// `--kernel-simd=scalar`). v7 added the top-level `obs` section
+/// (observability-plane summary: rolling-window ring geometry, watchdog
+/// stall verdicts and the bounded slow-request log — all-zero/empty for
+/// one-shot CLI runs; the *live* windowed views travel over the wire
+/// via `Request::Stats`, not through this document). Each version
 /// only *adds* paths, so consumers that address fields by name keep
 /// working across versions.
-pub const METRICS_SCHEMA_VERSION: u32 = 6;
+pub const METRICS_SCHEMA_VERSION: u32 = 7;
 
 /// `LFM` invocations attributed to the alignment phase that issued them.
 ///
@@ -365,7 +369,8 @@ impl PerfReport {
     pub fn to_metrics_json(&self) -> String {
         format!(
             "{{\n  \"schema_version\": {},\n  \"report\": {},\n  \"faults\": {},\n  \
-             \"breakdown\": {},\n  \"host\": {},\n  \"service\": {},\n  \"index\": {}\n}}\n",
+             \"breakdown\": {},\n  \"host\": {},\n  \"service\": {},\n  \"index\": {},\n  \
+             \"obs\": {}\n}}\n",
             METRICS_SCHEMA_VERSION,
             report_json(self),
             faults_json(&self.faults),
@@ -373,8 +378,31 @@ impl PerfReport {
             host_section_json(&self.host),
             service_section_json(&self.service),
             index_section_json(&self.index),
+            obs_section_json(&self.obs),
         )
     }
+}
+
+/// The `obs` section of the metrics document (schema v7): the drain-time
+/// summary of the live observability plane — rolling-window ring
+/// geometry, watchdog verdicts and the bounded slow-request log.
+/// All-zero/empty for one-shot CLI runs, which never start the plane.
+pub fn obs_section_json(o: &ObsTelemetry) -> String {
+    format!(
+        "{{\n    \
+         \"window_secs\": {},\n    \
+         \"buckets_retired\": {},\n    \
+         \"watchdog_stalls\": {},\n    \
+         \"watchdog_max_head_age_ms\": {},\n    \
+         \"watchdog_threshold_ms\": {},\n    \
+         \"slow\": {}\n  }}",
+        o.window_secs,
+        o.buckets_retired,
+        o.watchdog_stalls,
+        o.watchdog_max_head_age_ms,
+        o.watchdog_threshold_ms,
+        crate::service::obs::slow_json(&o.slow, "    "),
+    )
 }
 
 /// The `index` section of the metrics document (schema v4): where the
@@ -556,7 +584,7 @@ fn faults_json(t: &FaultTelemetry) -> String {
 /// Deterministic JSON float formatting: scientific notation with six
 /// significant decimals (finite values only; the simulator never
 /// produces NaN/inf).
-fn json_f64(x: f64) -> String {
+pub(crate) fn json_f64(x: f64) -> String {
     debug_assert!(x.is_finite(), "metrics JSON requires finite floats");
     if x == 0.0 {
         "0.0".to_owned()

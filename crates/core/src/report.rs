@@ -180,6 +180,60 @@ impl IndexTelemetry {
     }
 }
 
+/// One entry of the bounded slow-request log (DESIGN.md §17): the
+/// per-stage wall-clock breakdown of a single served request, keyed by
+/// the `trace_id` minted at admission so the entry is joinable with the
+/// request's span track in the Chrome trace export.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlowRequest {
+    /// Trace id minted at admission (also the span track id).
+    pub trace_id: u64,
+    /// Client-chosen request id (for joining with client-side logs).
+    pub req_id: u64,
+    /// End-to-end latency, frame receipt to response write, ns.
+    pub total_ns: u64,
+    /// Frame decode + admission decision, ns.
+    pub admit_ns: u64,
+    /// Time spent waiting in the admission queue, ns.
+    pub queued_ns: u64,
+    /// Batch assembly + deadline gate ahead of alignment, ns.
+    pub batched_ns: u64,
+    /// Time inside `align_chunk_parallel` (or the quarantine retry), ns.
+    pub aligned_ns: u64,
+    /// Response encode + socket write, ns.
+    pub respond_ns: u64,
+}
+
+/// Drain-time summary of the live observability plane (DESIGN.md §17):
+/// ring geometry, watchdog verdicts and the top-K slow-request log.
+/// All-zero/empty for one-shot CLI runs, like [`ServiceTelemetry`]. The
+/// *live* windowed views are exposed over the wire by `Request::Stats`;
+/// this struct is what survives into the drain-time metrics JSON under
+/// the `obs` section (schema v7).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsTelemetry {
+    /// Rolling-window ring capacity, seconds.
+    pub window_secs: u32,
+    /// Per-second buckets evicted from the ring into the retired
+    /// aggregate over the run (0 until the run outlives the window).
+    pub buckets_retired: u64,
+    /// Distinct batcher-stall episodes the watchdog recorded.
+    pub watchdog_stalls: u64,
+    /// Worst head-of-queue age the watchdog ever observed, ms.
+    pub watchdog_max_head_age_ms: u64,
+    /// Stall threshold the watchdog enforced, ms (0 = disabled).
+    pub watchdog_threshold_ms: u32,
+    /// Top-K slowest requests by end-to-end latency, sorted descending.
+    pub slow: Vec<SlowRequest>,
+}
+
+impl ObsTelemetry {
+    /// `true` when the observability plane never saw a request.
+    pub fn is_quiet(&self) -> bool {
+        self.buckets_retired == 0 && self.watchdog_stalls == 0 && self.slow.is_empty()
+    }
+}
+
 /// The performance report of one alignment batch — throughput, power and
 /// the utilisation ratios of Fig. 10.
 ///
@@ -244,6 +298,10 @@ pub struct PerfReport {
     /// shard geometry, size-model reconciliation). Default-zero unless
     /// the caller described its index.
     pub index: IndexTelemetry,
+    /// Observability-plane summary (rolling-window ring geometry,
+    /// watchdog verdicts, slow-request log). Default-empty outside
+    /// `pimserve` runs.
+    pub obs: ObsTelemetry,
 }
 
 impl PerfReport {
@@ -320,6 +378,7 @@ impl PerfReport {
             host: HostTotals::default(),
             service: ServiceTelemetry::default(),
             index: IndexTelemetry::default(),
+            obs: ObsTelemetry::default(),
         }
     }
 

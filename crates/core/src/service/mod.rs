@@ -10,15 +10,20 @@
 //! * [`queue`] — the bounded, byte-accounted admission queue with
 //!   load-shedding and an arrival-rate-adaptive batch take;
 //! * [`server`] — acceptor/readers/batcher threads, per-request
-//!   deadlines, `catch_unwind` panic quarantine and graceful drain.
+//!   deadlines, `catch_unwind` panic quarantine and graceful drain;
+//! * [`obs`] — the live observability plane: rolling-window per-second
+//!   telemetry buckets, request-scoped trace ids + slow-request log,
+//!   the `Stats`/`Prom` live exposition and the batcher-stall watchdog.
 //!
 //! Everything the control plane decides is counted in
 //! [`ServiceTelemetry`](crate::ServiceTelemetry) and lands in the
-//! metrics JSON's `service` section, so the SLO story is measurable.
+//! metrics JSON's `service` section, so the SLO story is measurable —
+//! and, since PR 10, observable live over the wire mid-run.
 
 use std::error::Error;
 use std::fmt;
 
+pub mod obs;
 pub mod protocol;
 pub mod queue;
 pub mod server;
@@ -50,6 +55,12 @@ pub struct ServiceConfig {
     /// Enable the deterministic test-fault hooks (`__panic__`,
     /// `__stall_ms_N__` read ids). Never enable in production.
     pub test_faults: bool,
+    /// Rolling-window ring capacity for the observability plane,
+    /// seconds (`--obs-window`).
+    pub obs_window_secs: u32,
+    /// Watchdog head-of-queue stall threshold, milliseconds
+    /// (`--watchdog-ms`; 0 disables the watchdog thread).
+    pub watchdog_threshold_ms: u32,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +74,8 @@ impl Default for ServiceConfig {
             retry_after_base_ms: 20,
             both_strands: true,
             test_faults: false,
+            obs_window_secs: obs::DEFAULT_OBS_WINDOW_SECS,
+            watchdog_threshold_ms: obs::DEFAULT_WATCHDOG_THRESHOLD_MS,
         }
     }
 }
@@ -92,6 +105,11 @@ impl ServiceConfig {
         if self.max_inflight_bytes == 0 {
             return Err(ServiceError::InvalidConfig(
                 "--max-inflight-bytes must be positive".to_owned(),
+            ));
+        }
+        if self.obs_window_secs == 0 || self.obs_window_secs > 3600 {
+            return Err(ServiceError::InvalidConfig(
+                "--obs-window must be between 1 and 3600 seconds".to_owned(),
             ));
         }
         Ok(())
@@ -146,6 +164,9 @@ mod tests {
             ("--queue-depth", &|c: &mut ServiceConfig| c.queue_depth = 0),
             ("--max-inflight-bytes", &|c: &mut ServiceConfig| {
                 c.max_inflight_bytes = 0
+            }),
+            ("--obs-window", &|c: &mut ServiceConfig| {
+                c.obs_window_secs = 0
             }),
         ] {
             let mut config = ServiceConfig::default();

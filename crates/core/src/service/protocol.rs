@@ -8,7 +8,7 @@
 //! length prefix cannot make the server allocate unbounded memory.
 //!
 //! Request payloads start with a one-byte opcode (`Align`/`Drain`/
-//! `Stats`); response payloads start with the echoed `req_id` followed
+//! `Stats`/`Prom`); response payloads start with the echoed `req_id` followed
 //! by a one-byte status. Responses may arrive out of order relative to
 //! pipelined requests — the `req_id` is the correlation key — which is
 //! what lets the batcher answer whole coalesced batches without
@@ -32,6 +32,7 @@ pub const MAX_FRAME_BYTES: usize = 4 << 20;
 const OP_ALIGN: u8 = 1;
 const OP_DRAIN: u8 = 2;
 const OP_STATS: u8 = 3;
+const OP_PROM: u8 = 4;
 
 /// Status bytes (ninth payload byte of every response, after `req_id`).
 const ST_ALIGNED: u8 = 0;
@@ -42,6 +43,7 @@ const ST_PANIC: u8 = 4;
 const ST_DRAINING: u8 = 5;
 const ST_DRAIN_STARTED: u8 = 6;
 const ST_STATS: u8 = 7;
+const ST_PROM: u8 = 8;
 
 /// A malformed frame payload (unknown opcode/status, truncated fields,
 /// bad UTF-8). The connection that produced it is answered with a typed
@@ -95,9 +97,17 @@ pub enum Request {
         /// Correlation id for the `DrainStarted` acknowledgement.
         req_id: u64,
     },
-    /// Snapshot the service counters as JSON.
+    /// Snapshot the live observability plane as JSON (lifetime service
+    /// counters, windowed views, watchdog, slow log). Answered inline
+    /// by connection readers — never queued, never shed.
     Stats {
         /// Correlation id for the `Stats` response.
+        req_id: u64,
+    },
+    /// The same live snapshot as a Prometheus text-format exposition.
+    /// Answered inline like `Stats`.
+    Prom {
+        /// Correlation id for the `Prom` response.
         req_id: u64,
     },
 }
@@ -178,12 +188,20 @@ pub enum Response {
         /// Echoed correlation id.
         req_id: u64,
     },
-    /// Service counter snapshot.
+    /// Live observability snapshot.
     Stats {
         /// Echoed correlation id.
         req_id: u64,
-        /// The `service` metrics section as JSON.
+        /// The live obs snapshot as JSON (`service`, `cumulative`,
+        /// `windows`, `gauges`, `watchdog`, `slow` sections).
         json: String,
+    },
+    /// Live observability snapshot, Prometheus text format.
+    Prom {
+        /// Echoed correlation id.
+        req_id: u64,
+        /// Prometheus text-format exposition (version 0.0.4).
+        text: String,
     },
 }
 
@@ -198,7 +216,8 @@ impl Response {
             | Response::WorkerPanic { req_id, .. }
             | Response::Draining { req_id }
             | Response::DrainStarted { req_id }
-            | Response::Stats { req_id, .. } => req_id,
+            | Response::Stats { req_id, .. }
+            | Response::Prom { req_id, .. } => req_id,
         }
     }
 }
@@ -322,6 +341,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.push(OP_STATS);
             out.extend_from_slice(&req_id.to_be_bytes());
         }
+        Request::Prom { req_id } => {
+            out.push(OP_PROM);
+            out.extend_from_slice(&req_id.to_be_bytes());
+        }
     }
     out
 }
@@ -351,6 +374,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtocolError> {
         }
         OP_DRAIN => Request::Drain { req_id: c.u64()? },
         OP_STATS => Request::Stats { req_id: c.u64()? },
+        OP_PROM => Request::Prom { req_id: c.u64()? },
         op => return Err(ProtocolError::new(format!("unknown opcode {op}"))),
     };
     c.finish()?;
@@ -414,6 +438,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out.push(ST_STATS);
             out.extend_from_slice(&(json.len() as u32).to_be_bytes());
             out.extend_from_slice(json.as_bytes());
+        }
+        Response::Prom { text, .. } => {
+            out.push(ST_PROM);
+            out.extend_from_slice(&(text.len() as u32).to_be_bytes());
+            out.extend_from_slice(text.as_bytes());
         }
     }
     out
@@ -485,6 +514,13 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtocolError> {
             Response::Stats {
                 req_id,
                 json: c.string(len)?,
+            }
+        }
+        ST_PROM => {
+            let len = c.u32()? as usize;
+            Response::Prom {
+                req_id,
+                text: c.string(len)?,
             }
         }
         st => return Err(ProtocolError::new(format!("unknown status {st}"))),
@@ -574,6 +610,54 @@ impl Client {
         self.recv()
     }
 
+    /// Fetches a live `Stats` snapshot and returns its JSON document.
+    ///
+    /// Answered inline by the server's connection reader — never queued
+    /// — so this works mid-overload and mid-drain. Use a dedicated
+    /// connection when another thread is receiving on this one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; an unexpected server close or a non-Stats
+    /// reply is [`io::ErrorKind::InvalidData`] / `UnexpectedEof`.
+    pub fn stats(&mut self, req_id: u64) -> io::Result<String> {
+        self.send(&Request::Stats { req_id })?;
+        match self.recv()? {
+            Some(Response::Stats { json, .. }) => Ok(json),
+            Some(other) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected Stats reply, got {other:?}"),
+            )),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed mid-request",
+            )),
+        }
+    }
+
+    /// Fetches the Prometheus text exposition (the `Prom` verb).
+    ///
+    /// Like [`Client::stats`], answered inline and never shed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; an unexpected server close or a non-Prom
+    /// reply is [`io::ErrorKind::InvalidData`] / `UnexpectedEof`.
+    pub fn prom(&mut self, req_id: u64) -> io::Result<String> {
+        self.send(&Request::Prom { req_id })?;
+        match self.recv()? {
+            Some(Response::Prom { text, .. }) => Ok(text),
+            Some(other) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected Prom reply, got {other:?}"),
+            )),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed mid-request",
+            )),
+        }
+    }
+
     /// A second handle on the same connection (e.g. a dedicated receiver
     /// thread while this one keeps sending).
     ///
@@ -617,6 +701,7 @@ mod tests {
         }));
         round_trip_request(Request::Drain { req_id: 7 });
         round_trip_request(Request::Stats { req_id: 8 });
+        round_trip_request(Request::Prom { req_id: 9 });
     }
 
     #[test]
@@ -657,6 +742,10 @@ mod tests {
         round_trip_response(Response::Stats {
             req_id: 10,
             json: "{\"received\": 3}".to_owned(),
+        });
+        round_trip_response(Response::Prom {
+            req_id: 11,
+            text: "# TYPE pimserve_queue_depth gauge\npimserve_queue_depth 0\n".to_owned(),
         });
     }
 

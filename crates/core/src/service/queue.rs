@@ -67,7 +67,9 @@ pub enum Admit {
 
 #[derive(Debug)]
 struct State<T> {
-    queue: VecDeque<(T, usize)>,
+    /// `(item, cost_bytes, arrival)` — the arrival instant feeds the
+    /// watchdog's head-of-queue age probe.
+    queue: VecDeque<(T, usize, Instant)>,
     inflight_bytes: usize,
     draining: bool,
     peak_depth: usize,
@@ -156,7 +158,7 @@ impl<T> AdmissionQueue<T> {
             };
         }
         s.last_arrival = Some(now);
-        s.queue.push_back((item, cost_bytes));
+        s.queue.push_back((item, cost_bytes, now));
         s.inflight_bytes += cost_bytes;
         s.peak_depth = s.peak_depth.max(s.queue.len());
         s.peak_inflight_bytes = s.peak_inflight_bytes.max(s.inflight_bytes);
@@ -206,7 +208,7 @@ impl<T> AdmissionQueue<T> {
                 s = next;
             }
             let n = s.queue.len().min(batch_max);
-            let batch = s.queue.drain(..n).map(|(item, _)| item).collect();
+            let batch = s.queue.drain(..n).map(|(item, _, _)| item).collect();
             return Some(batch);
         }
     }
@@ -244,6 +246,14 @@ impl<T> AdmissionQueue<T> {
     pub fn peaks(&self) -> (usize, usize) {
         let s = self.lock();
         (s.peak_depth, s.peak_inflight_bytes)
+    }
+
+    /// How long the oldest queued item has been waiting (`None` when
+    /// empty). The watchdog's stall probe: a head that only ages means
+    /// the batcher stopped taking.
+    pub fn head_age(&self) -> Option<Duration> {
+        let s = self.lock();
+        s.queue.front().map(|&(_, _, arrived)| arrived.elapsed())
     }
 }
 
@@ -345,5 +355,23 @@ mod tests {
     #[should_panic(expected = "depth must be positive")]
     fn zero_depth_is_a_constructor_error() {
         let _ = AdmissionQueue::<u8>::new(limits(0, 1));
+    }
+
+    #[test]
+    fn head_age_tracks_the_oldest_item() {
+        let q = AdmissionQueue::new(limits(4, 100));
+        assert_eq!(q.head_age(), None, "empty queue has no head");
+        assert_eq!(q.offer("old", 1), Admit::Accepted);
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(q.offer("young", 1), Admit::Accepted);
+        let age = q.head_age().expect("head exists");
+        assert!(
+            age >= Duration::from_millis(10),
+            "head age {age:?} must reflect the oldest arrival"
+        );
+        // Taking the old head resets the age to the younger item.
+        assert_eq!(q.take_batch(1).unwrap(), vec!["old"]);
+        let younger = q.head_age().expect("one item left");
+        assert!(younger < age, "age must drop once the old head is taken");
     }
 }

@@ -23,6 +23,16 @@
 //! already accepted, then stops the threads; [`ServerHandle::join`]
 //! returns a [`ServeSummary`] whose invariant — every accepted request
 //! answered exactly once — is pinned by the integration tests.
+//!
+//! The observability plane ([`super::obs`], DESIGN.md §17) threads
+//! through all of it: admission mints a `trace_id` per request, every
+//! control-plane decision lands in the rolling-window bucket ring in
+//! the same critical section as the lifetime counters, the response
+//! path emits per-stage spans (admit/queued/batched/aligned/respond)
+//! onto one Chrome-trace track per request, and a **watchdog** thread
+//! probes the queue's head-of-queue age to catch a stalled batcher.
+//! Everything is wall-clock only — simulated cycle counters and SAM
+//! bytes are untouched by the plane.
 
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -33,13 +43,15 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bioseq::DnaSeq;
+use pimsim::HostSpan;
 
-use crate::metrics::{service_section_json, METRICS_SCHEMA_VERSION};
+use crate::metrics::{obs_section_json, service_section_json, METRICS_SCHEMA_VERSION};
 use crate::parallel::BatchTotals;
 use crate::platform::Platform;
-use crate::report::{PerfReport, ServiceTelemetry};
+use crate::report::{ObsTelemetry, PerfReport, ServiceTelemetry, SlowRequest};
 use crate::{AlignmentOutcome, MappedStrand};
 
+use super::obs::{log_kv, ObsState, ShedReason as ObsShed};
 use super::protocol::{
     decode_request, encode_response, write_frame, AlignRequest, Request, Response, ShedReason,
 };
@@ -60,15 +72,30 @@ const FAULT_PANIC_ID: &str = "__panic__";
 /// before aligning, letting tests saturate the queue deterministically.
 const FAULT_STALL_PREFIX: &str = "__stall_ms_";
 
-/// One admitted request waiting for the batcher.
+/// One admitted request waiting for the batcher. The `t_*_ns` fields
+/// are stage timestamps on the obs epoch clock; the batcher fills the
+/// later ones as the request moves through its pipeline, and the
+/// response path turns them into stage spans + the slow-log entry.
 struct Pending {
     req_id: u64,
+    /// Observability trace id (monotonic, minted at admission); also
+    /// the request's span-track id in the Chrome trace export.
+    trace_id: u64,
     read_id: String,
     seq: DnaSeq,
     cost_bytes: usize,
     conn: Arc<ConnWriter>,
-    admitted: Instant,
     deadline: Option<Instant>,
+    /// Frame decoded, admission started.
+    t_recv_ns: u64,
+    /// Admission decided (queued from here on).
+    t_admit_ns: u64,
+    /// Taken out of the queue by the batcher.
+    t_taken_ns: u64,
+    /// Alignment call started (== `t_taken_ns` for queue-expired reads).
+    t_align_start_ns: u64,
+    /// Alignment call returned.
+    t_align_end_ns: u64,
 }
 
 /// Serialised response writer for one connection. Cloned into every
@@ -93,19 +120,18 @@ struct Shared {
     config: ServiceConfig,
     queue: AdmissionQueue<Pending>,
     /// Set once the batcher has flushed everything after drain; tells
-    /// the acceptor and connection readers to exit.
+    /// the acceptor, connection readers and watchdog to exit.
     stop: AtomicBool,
-    telemetry: Mutex<ServiceTelemetry>,
+    /// The observability plane — owns the lifetime [`ServiceTelemetry`]
+    /// and the rolling bucket ring under one lock, so snapshots always
+    /// reconcile exactly.
+    obs: ObsState,
 }
 
 impl Shared {
-    fn tally(&self, f: impl FnOnce(&mut ServiceTelemetry)) {
-        f(&mut self.telemetry.lock().expect("telemetry lock poisoned"));
-    }
-
-    /// Current counters with live queue peaks folded in.
+    /// Current lifetime counters with live queue peaks folded in.
     fn telemetry_snapshot(&self) -> ServiceTelemetry {
-        let mut t = *self.telemetry.lock().expect("telemetry lock poisoned");
+        let mut t = self.obs.lifetime();
         let (depth, bytes) = self.queue.peaks();
         t.peak_queue_depth = t.peak_queue_depth.max(depth as u64);
         t.peak_inflight_bytes = t.peak_inflight_bytes.max(bytes as u64);
@@ -118,6 +144,9 @@ impl Shared {
 pub struct ServeSummary {
     /// Admission/deadline/panic/drain counters for the whole run.
     pub telemetry: ServiceTelemetry,
+    /// Drain-time observability summary (ring geometry, watchdog
+    /// verdicts, slow-request log).
+    pub obs: ObsTelemetry,
     /// The batch performance report over every read actually aligned;
     /// `None` when the run aligned nothing (the simulated report is
     /// undefined at zero queries).
@@ -128,14 +157,16 @@ impl ServeSummary {
     /// The final metrics document. With aligned work this is the full
     /// [`PerfReport::to_metrics_json`] (service counters included);
     /// with none, a reduced document that still carries the service
-    /// section — a drain must always account for what it admitted.
+    /// and obs sections — a drain must always account for what it
+    /// admitted and observed.
     pub fn metrics_json(&self) -> String {
         match &self.report {
             Some(r) => r.to_metrics_json(),
             None => format!(
-                "{{\n  \"schema_version\": {},\n  \"service\": {}\n}}\n",
+                "{{\n  \"schema_version\": {},\n  \"service\": {},\n  \"obs\": {}\n}}\n",
                 METRICS_SCHEMA_VERSION,
                 service_section_json(&self.telemetry),
+                obs_section_json(&self.obs),
             ),
         }
     }
@@ -148,6 +179,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     batcher: Option<JoinHandle<ServeSummary>>,
     acceptor: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -182,6 +214,9 @@ impl ServerHandle {
             .expect("batcher thread panicked");
         if let Some(acceptor) = self.acceptor.take() {
             acceptor.join().expect("acceptor thread panicked");
+        }
+        if let Some(watchdog) = self.watchdog.take() {
+            watchdog.join().expect("watchdog thread panicked");
         }
         let conns = std::mem::take(&mut *self.conns.lock().expect("conn registry poisoned"));
         for c in conns {
@@ -227,7 +262,7 @@ pub fn serve(
         }),
         config,
         stop: AtomicBool::new(false),
-        telemetry: Mutex::new(ServiceTelemetry::default()),
+        obs: ObsState::new(config.obs_window_secs, config.watchdog_threshold_ms),
     });
 
     let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -246,14 +281,58 @@ pub fn serve(
             .spawn(move || acceptor_loop(&listener, &shared, &conns))
             .expect("spawn acceptor thread")
     };
+    let watchdog = (config.watchdog_threshold_ms > 0).then(|| {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("pimserve-watchdog".into())
+            .spawn(move || watchdog_loop(&shared))
+            .expect("spawn watchdog thread")
+    });
 
     Ok(ServerHandle {
         addr: local,
         shared,
         batcher: Some(batcher),
         acceptor: Some(acceptor),
+        watchdog,
         conns,
     })
+}
+
+/// Probes the queue's head-of-queue age: a head that only ages past the
+/// configured threshold means the batcher stopped taking (stalled,
+/// wedged on one batch, or starved). Each crossing opens one stall
+/// *episode* — counted once, logged once — and the episode closes when
+/// the head drains below the threshold. Exits with the stop flag.
+fn watchdog_loop(shared: &Arc<Shared>) {
+    let threshold_ms = u64::from(shared.config.watchdog_threshold_ms);
+    let poll = Duration::from_millis((threshold_ms / 4).clamp(10, 250));
+    let mut in_stall = false;
+    while !shared.stop.load(Ordering::Relaxed) {
+        std::thread::sleep(poll);
+        let age_ms = shared
+            .queue
+            .head_age()
+            .map_or(0, |age| age.as_millis() as u64);
+        shared.obs.watchdog_observe(age_ms);
+        if age_ms > threshold_ms {
+            if !in_stall {
+                in_stall = true;
+                let stalls = shared.obs.watchdog_stall(age_ms);
+                log_kv(
+                    "watchdog_stall",
+                    &[
+                        ("head_age_ms", age_ms.to_string()),
+                        ("threshold_ms", threshold_ms.to_string()),
+                        ("queue_depth", shared.queue.depth().to_string()),
+                        ("stalls", stalls.to_string()),
+                    ],
+                );
+            }
+        } else {
+            in_stall = false;
+        }
+    }
 }
 
 fn acceptor_loop(
@@ -357,18 +436,34 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
 fn handle_request(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, payload: &[u8]) {
     match decode_request(payload) {
         Err(e) => {
-            shared.tally(|t| t.rejected_invalid += 1);
+            shared.obs.not_admitted(ObsShed::Invalid);
             writer.send(&Response::Invalid {
                 req_id: 0,
                 message: e.to_string(),
             });
         }
+        // Stats/Prom are answered inline by the connection reader: they
+        // never enter the admission queue, so they are never shed and
+        // stay answerable while the queue is saturated or draining.
         Ok(Request::Stats { req_id }) => {
-            let json = service_section_json(&shared.telemetry_snapshot());
+            let json = shared.obs.stats_json(
+                &shared.telemetry_snapshot(),
+                shared.queue.depth() as u64,
+                shared.queue.inflight_bytes() as u64,
+            );
             writer.send(&Response::Stats { req_id, json });
+        }
+        Ok(Request::Prom { req_id }) => {
+            let text = shared.obs.prometheus_text(
+                &shared.telemetry_snapshot(),
+                shared.queue.depth() as u64,
+                shared.queue.inflight_bytes() as u64,
+            );
+            writer.send(&Response::Prom { req_id, text });
         }
         Ok(Request::Drain { req_id }) => {
             shared.queue.begin_drain();
+            log_kv("drain_started", &[("req_id", req_id.to_string())]);
             writer.send(&Response::DrainStarted { req_id });
         }
         Ok(Request::Align(req)) => admit_align(shared, writer, req),
@@ -376,11 +471,12 @@ fn handle_request(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, payload: &[u8]
 }
 
 fn admit_align(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, req: AlignRequest) {
-    shared.tally(|t| t.received += 1);
+    let t_recv_ns = shared.obs.now_ns();
+    shared.obs.received();
     let seq: DnaSeq = match req.seq.parse() {
         Ok(s) => s,
         Err(e) => {
-            shared.tally(|t| t.rejected_invalid += 1);
+            shared.obs.not_admitted(ObsShed::Invalid);
             writer.send(&Response::Invalid {
                 req_id: req.req_id,
                 message: format!("read {:?}: {e}", req.id),
@@ -389,7 +485,7 @@ fn admit_align(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, req: AlignRequest
         }
     };
     if seq.is_empty() {
-        shared.tally(|t| t.rejected_invalid += 1);
+        shared.obs.not_admitted(ObsShed::Invalid);
         writer.send(&Response::Invalid {
             req_id: req.req_id,
             message: format!("read {:?}: empty sequence", req.id),
@@ -404,20 +500,29 @@ fn admit_align(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, req: AlignRequest
     let deadline =
         (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(u64::from(deadline_ms)));
     let cost_bytes = req.seq.len().max(1);
+    let t_admit_ns = shared.obs.now_ns();
     let pending = Pending {
         req_id: req.req_id,
+        trace_id: shared.obs.mint_trace_id(),
         read_id: req.id,
         seq,
         cost_bytes,
         conn: Arc::clone(writer),
-        admitted: Instant::now(),
         deadline,
+        t_recv_ns,
+        t_admit_ns,
+        t_taken_ns: t_admit_ns,
+        t_align_start_ns: t_admit_ns,
+        t_align_end_ns: t_admit_ns,
     };
     let req_id = pending.req_id;
     match shared.queue.offer(pending, cost_bytes) {
-        Admit::Accepted => shared.tally(|t| t.accepted += 1),
+        Admit::Accepted => shared.obs.accepted(
+            shared.queue.depth() as u64,
+            shared.queue.inflight_bytes() as u64,
+        ),
         Admit::ShedDepth { retry_after_ms } => {
-            shared.tally(|t| t.shed_queue_full += 1);
+            shared.obs.not_admitted(ObsShed::QueueFull);
             writer.send(&Response::Overloaded {
                 req_id,
                 retry_after_ms,
@@ -425,7 +530,7 @@ fn admit_align(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, req: AlignRequest
             });
         }
         Admit::ShedBytes { retry_after_ms } => {
-            shared.tally(|t| t.shed_inflight_bytes += 1);
+            shared.obs.not_admitted(ObsShed::InflightBytes);
             writer.send(&Response::Overloaded {
                 req_id,
                 retry_after_ms,
@@ -433,30 +538,72 @@ fn admit_align(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, req: AlignRequest
             });
         }
         Admit::Draining => {
-            shared.tally(|t| t.rejected_draining += 1);
+            shared.obs.not_admitted(ObsShed::Draining);
             writer.send(&Response::Draining { req_id });
         }
     }
 }
 
 /// Writes one response to an *accepted* request: latency lands in the
-/// per-request histogram, the request's bytes return to the budget, and
-/// the answered-exactly-once counter moves.
+/// per-request histogram and the obs bucket ring, the request's bytes
+/// return to the budget, the answered-exactly-once counter moves, and
+/// the request's five stage spans (admit/queued/batched/aligned/
+/// respond) land on its own trace track (`tid == trace_id`).
 fn respond(shared: &Shared, totals: &mut BatchTotals, p: Pending, resp: &Response) {
     let late =
         matches!(resp, Response::Aligned { .. }) && p.deadline.is_some_and(|d| Instant::now() > d);
     p.conn.send(resp);
-    totals
-        .host
-        .per_request
-        .record_ns(p.admitted.elapsed().as_nanos() as u64);
+    let t_done_ns = shared.obs.now_ns();
+    let total_ns = t_done_ns.saturating_sub(p.t_recv_ns);
+    totals.host.per_request.record_ns(total_ns);
     shared.queue.release(p.cost_bytes);
-    shared.tally(|t| {
-        t.responses += 1;
-        if late {
-            t.late_responses += 1;
-        }
-    });
+    let entry = SlowRequest {
+        trace_id: p.trace_id,
+        req_id: p.req_id,
+        total_ns,
+        admit_ns: p.t_admit_ns.saturating_sub(p.t_recv_ns),
+        queued_ns: p.t_taken_ns.saturating_sub(p.t_admit_ns),
+        batched_ns: p.t_align_start_ns.saturating_sub(p.t_taken_ns),
+        aligned_ns: p.t_align_end_ns.saturating_sub(p.t_align_start_ns),
+        respond_ns: t_done_ns.saturating_sub(p.t_align_end_ns),
+    };
+    shared.obs.response(late, entry);
+    let tid = p.trace_id as u32;
+    totals.host.absorb_spans(
+        vec![
+            HostSpan {
+                name: "admit",
+                tid,
+                start_ns: p.t_recv_ns,
+                dur_ns: entry.admit_ns,
+            },
+            HostSpan {
+                name: "queued",
+                tid,
+                start_ns: p.t_admit_ns,
+                dur_ns: entry.queued_ns,
+            },
+            HostSpan {
+                name: "batched",
+                tid,
+                start_ns: p.t_taken_ns,
+                dur_ns: entry.batched_ns,
+            },
+            HostSpan {
+                name: "aligned",
+                tid,
+                start_ns: p.t_align_start_ns,
+                dur_ns: entry.aligned_ns,
+            },
+            HostSpan {
+                name: "respond",
+                tid,
+                start_ns: p.t_align_end_ns,
+                dur_ns: entry.respond_ns,
+            },
+        ],
+        0,
+    );
 }
 
 fn aligned_response(req_id: u64, outcome: &AlignmentOutcome, strand: MappedStrand) -> Response {
@@ -480,7 +627,11 @@ fn aligned_response(req_id: u64, outcome: &AlignmentOutcome, strand: MappedStran
 fn batcher_loop(shared: &Arc<Shared>) -> ServeSummary {
     let mut totals = BatchTotals::new();
     let mut epoch: u64 = 0;
-    while let Some(batch) = shared.queue.take_batch(shared.config.batch_max) {
+    while let Some(mut batch) = shared.queue.take_batch(shared.config.batch_max) {
+        let t_taken_ns = shared.obs.now_ns();
+        for p in &mut batch {
+            p.t_taken_ns = t_taken_ns;
+        }
         // Opt-in stall hook: lets tests hold the batcher busy while the
         // queue saturates, deterministically.
         if shared.config.test_faults {
@@ -498,9 +649,12 @@ fn batcher_loop(shared: &Arc<Shared>) -> ServeSummary {
         // reaches alignment.
         let now = Instant::now();
         let mut live = Vec::with_capacity(batch.len());
-        for p in batch {
+        for mut p in batch {
             if p.deadline.is_some_and(|d| d <= now) {
-                shared.tally(|t| t.expired_in_queue += 1);
+                shared.obs.expired_in_queue();
+                let t = shared.obs.now_ns();
+                p.t_align_start_ns = t;
+                p.t_align_end_ns = t;
                 let resp = Response::DeadlineExceeded { req_id: p.req_id };
                 respond(shared, &mut totals, p, &resp);
             } else {
@@ -517,16 +671,27 @@ fn batcher_loop(shared: &Arc<Shared>) -> ServeSummary {
     // then summarise.
     shared.stop.store(true, Ordering::Relaxed);
     let telemetry = shared.telemetry_snapshot();
+    let obs = shared.obs.telemetry();
     let report = (totals.queries > 0).then(|| {
         let mut report = shared.platform.batch_report(&totals);
         report.service = telemetry;
+        report.obs = obs.clone();
         report
     });
-    ServeSummary { telemetry, report }
+    ServeSummary {
+        telemetry,
+        obs,
+        report,
+    }
 }
 
 fn align_batch(shared: &Arc<Shared>, totals: &mut BatchTotals, live: Vec<Pending>, epoch: u64) {
-    shared.tally(|t| t.batches += 1);
+    let mut live = live;
+    shared.obs.batch(live.len() as u64);
+    let t_start = shared.obs.now_ns();
+    for p in &mut live {
+        p.t_align_start_ns = t_start;
+    }
     let inject_panic =
         shared.config.test_faults && live.iter().any(|p| p.read_id == FAULT_PANIC_ID);
     let seqs: Vec<DnaSeq> = live.iter().map(|p| p.seq.clone()).collect();
@@ -541,6 +706,10 @@ fn align_batch(shared: &Arc<Shared>, totals: &mut BatchTotals, live: Vec<Pending
             shared.config.both_strands,
         )
     }));
+    let t_end = shared.obs.now_ns();
+    for p in &mut live {
+        p.t_align_end_ns = t_end;
+    }
     match attempt {
         Ok(Ok((outcomes, batch_totals))) => {
             totals.merge(&batch_totals);
@@ -564,7 +733,9 @@ fn align_batch(shared: &Arc<Shared>, totals: &mut BatchTotals, live: Vec<Pending
 /// boundary. Only the read that actually panics is answered with a
 /// typed `WorkerPanic`; its neighbours still get real outcomes.
 fn align_one_quarantined(shared: &Arc<Shared>, totals: &mut BatchTotals, p: Pending, epoch: u64) {
+    let mut p = p;
     let inject = shared.config.test_faults && p.read_id == FAULT_PANIC_ID;
+    p.t_align_start_ns = shared.obs.now_ns();
     let attempt = catch_unwind(AssertUnwindSafe(|| {
         if inject {
             panic!("injected worker fault");
@@ -576,6 +747,7 @@ fn align_one_quarantined(shared: &Arc<Shared>, totals: &mut BatchTotals, p: Pend
             shared.config.both_strands,
         )
     }));
+    p.t_align_end_ns = shared.obs.now_ns();
     let resp = match attempt {
         Ok(Ok((outcomes, batch_totals))) => {
             totals.merge(&batch_totals);
@@ -587,7 +759,15 @@ fn align_one_quarantined(shared: &Arc<Shared>, totals: &mut BatchTotals, p: Pend
             message: format!("alignment error for read {:?}: {e}", p.read_id),
         },
         Err(_) => {
-            shared.tally(|t| t.panics_quarantined += 1);
+            shared.obs.panic_quarantined();
+            log_kv(
+                "panic_quarantined",
+                &[
+                    ("trace_id", p.trace_id.to_string()),
+                    ("req_id", p.req_id.to_string()),
+                    ("read_id", format!("{:?}", p.read_id)),
+                ],
+            );
             Response::WorkerPanic {
                 req_id: p.req_id,
                 message: format!(

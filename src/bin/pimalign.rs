@@ -101,10 +101,22 @@ impl<R: Read> Read for CountingReader<R> {
 /// Minimum interval between `--progress` lines.
 const PROGRESS_INTERVAL_MS: u128 = 500;
 
-/// One `--progress` line on stderr: reads aligned, rate, and an ETA
+/// Fraction of the file below which the ETA extrapolation is noise:
+/// with almost nothing consumed, `elapsed * (1 - frac) / frac` divides
+/// by a near-zero denominator and swings by orders of magnitude between
+/// consecutive progress lines.
+const ETA_MIN_FRACTION: f64 = 0.005;
+
+/// Formats one `--progress` line: reads aligned, rate, and an ETA
 /// extrapolated from the fraction of the FASTQ consumed so far.
-fn report_progress(reads_done: u64, elapsed_s: f64, bytes_done: u64, bytes_total: u64) {
-    let rate = if elapsed_s > 0.0 {
+///
+/// Pure (no clock, no stderr) so the ETA clamping is unit-testable. An
+/// estimate that would be unstable — too little of the file consumed,
+/// effectively no throughput yet, or a non-finite division artifact —
+/// is printed as the sentinel `eta=?` rather than a multi-hour number
+/// that vanishes on the next line.
+fn format_progress(reads_done: u64, elapsed_s: f64, bytes_done: u64, bytes_total: u64) -> String {
+    let rate = if elapsed_s > 0.0 && elapsed_s.is_finite() {
         reads_done as f64 / elapsed_s
     } else {
         0.0
@@ -116,12 +128,27 @@ fn report_progress(reads_done: u64, elapsed_s: f64, bytes_done: u64, bytes_total
     } else {
         1.0
     };
-    if frac > 0.0 && frac < 1.0 {
+    let eta = if frac >= 1.0 {
+        "eta=0s".to_owned()
+    } else if frac >= ETA_MIN_FRACTION && rate >= 0.5 {
         let eta_s = elapsed_s * (1.0 - frac) / frac;
-        eprintln!("pimalign: progress: {reads_done} reads, {rate:.0} reads/s, ETA {eta_s:.0}s");
+        if eta_s.is_finite() {
+            format!("eta={eta_s:.0}s")
+        } else {
+            "eta=?".to_owned()
+        }
     } else {
-        eprintln!("pimalign: progress: {reads_done} reads, {rate:.0} reads/s");
-    }
+        "eta=?".to_owned()
+    };
+    format!("pimalign: progress: {reads_done} reads, {rate:.0} reads/s, {eta}")
+}
+
+/// One `--progress` line on stderr.
+fn report_progress(reads_done: u64, elapsed_s: f64, bytes_done: u64, bytes_total: u64) {
+    eprintln!(
+        "{}",
+        format_progress(reads_done, elapsed_s, bytes_done, bytes_total)
+    );
 }
 
 /// A CLI failure, classified so scripts can tell a typo (fix the
@@ -772,4 +799,51 @@ fn run_index_inspect(args: &[String]) -> Result<(), CliError> {
     );
     println!("checksum: ok");
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::format_progress;
+
+    #[test]
+    fn progress_eta_is_stable_midway() {
+        // Half the file in 10 s: another ~10 s to go.
+        let line = format_progress(5_000, 10.0, 500, 1_000);
+        assert_eq!(line, "pimalign: progress: 5000 reads, 500 reads/s, eta=10s");
+    }
+
+    #[test]
+    fn progress_eta_clamps_to_sentinel_early_in_the_run() {
+        // Regression: with one byte of a huge file consumed, the old
+        // extrapolation printed a multi-hour artifact (here ~28 h).
+        let line = format_progress(3, 0.1, 1, 1_000_000);
+        assert!(line.ends_with("eta=?"), "unstable estimate leaked: {line}");
+    }
+
+    #[test]
+    fn progress_eta_clamps_when_rate_is_effectively_zero() {
+        // A long stall before the first read: frac is healthy but no
+        // throughput means no basis for extrapolation.
+        let line = format_progress(0, 30.0, 100, 1_000);
+        assert!(line.ends_with("eta=?"), "zero-rate estimate leaked: {line}");
+        assert!(line.contains("0 reads/s"));
+    }
+
+    #[test]
+    fn progress_eta_survives_zero_and_nonfinite_elapsed() {
+        // Division artifacts must never reach stderr.
+        for elapsed in [0.0, f64::NAN, f64::INFINITY] {
+            let line = format_progress(10, elapsed, 500, 1_000);
+            assert!(!line.contains("inf") && !line.contains("NaN"), "{line}");
+            assert!(line.ends_with("eta=?"), "{line}");
+        }
+    }
+
+    #[test]
+    fn progress_eta_is_zero_at_completion_and_with_unknown_total() {
+        assert!(format_progress(9, 2.0, 1_000, 1_000).ends_with("eta=0s"));
+        // bytes_total == 0 (unseekable input): fraction defaults to
+        // done, not to a divide-by-zero.
+        assert!(format_progress(9, 2.0, 123, 0).ends_with("eta=0s"));
+    }
 }

@@ -28,6 +28,12 @@
 //!   --no-indels               substitutions only in the inexact stage
 //!   --single-strand           skip the reverse-complement retry
 //!   --metrics-out <PATH>      write the final metrics JSON after drain
+//!   --obs-window <SECS>       rolling telemetry window, seconds (default 60)
+//!   --watchdog-ms <N>         batcher-stall watchdog threshold, ms;
+//!                             0 disables the watchdog (default 1000)
+//!   --trace-out <PATH>        write a Chrome-trace JSON of per-request
+//!                             stage spans after drain (one Perfetto
+//!                             track per request)
 //!   --test-faults             enable the deterministic test-fault hooks
 //! ```
 //!
@@ -38,16 +44,21 @@
 //! answers everything already accepted, writes its final metrics, and
 //! exits 0. Exit codes mirror `pimalign`: usage = 2, input = 3,
 //! runtime = 4.
+//!
+//! All diagnostics are single-line structured `key=value` records on
+//! stderr (`pimserve: event=<name> k=v ...`) so a log scraper never has
+//! to guess at prose; stdout stays silent.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
 use pim_aligner_suite::bioseq::fasta;
+use pim_aligner_suite::pim_aligner::service::obs::log_kv;
 use pim_aligner_suite::pim_aligner::service::{serve, ServiceConfig, ServiceError};
 use pim_aligner_suite::pim_aligner::{
     IndexArtifact, PimAlignerConfig, Platform, DEFAULT_KERNEL_BATCH,
 };
-use pim_aligner_suite::pimsim::{dispatched_path, SimdPolicy};
+use pim_aligner_suite::pimsim::{chrome_trace_json, dispatched_path, SimdPolicy};
 
 /// A CLI failure, classified exactly as in `pimalign`: usage = 2,
 /// input = 3, runtime = 4.
@@ -77,7 +88,13 @@ fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("pimserve: {}", e.message());
+            log_kv(
+                "fatal",
+                &[
+                    ("exit_code", e.exit_code().to_string()),
+                    ("message", e.message().to_owned()),
+                ],
+            );
             ExitCode::from(e.exit_code())
         }
     }
@@ -95,6 +112,7 @@ struct Cli {
     max_diffs: u8,
     indels: bool,
     metrics_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) -> Result<T, String>
@@ -121,6 +139,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         max_diffs: 2,
         indels: true,
         metrics_out: None,
+        trace_out: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -169,6 +188,13 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--no-indels" => cli.indels = false,
             "--single-strand" => cli.service.both_strands = false,
             "--metrics-out" => cli.metrics_out = Some(parse_flag(args, &mut i, "--metrics-out")?),
+            "--obs-window" => {
+                cli.service.obs_window_secs = parse_flag(args, &mut i, "--obs-window")?;
+            }
+            "--watchdog-ms" => {
+                cli.service.watchdog_threshold_ms = parse_flag(args, &mut i, "--watchdog-ms")?;
+            }
+            "--trace-out" => cli.trace_out = Some(parse_flag(args, &mut i, "--trace-out")?),
             "--test-faults" => cli.service.test_faults = true,
             flag if flag.starts_with("--") => return Err(format!("unknown option {flag}")),
             _ => cli.positional.push(args[i].clone()),
@@ -204,10 +230,12 @@ fn run() -> Result<(), CliError> {
         .with_indels(cli.indels)
         .with_kernel_batch(cli.kernel_batch)
         .with_kernel_simd(cli.kernel_simd);
-    eprintln!(
-        "pimserve: kernel dispatch {} (--kernel-simd {})",
-        dispatched_path(cli.kernel_simd),
-        cli.kernel_simd.name()
+    log_kv(
+        "kernel_dispatch",
+        &[
+            ("path", dispatched_path(cli.kernel_simd).to_owned()),
+            ("policy", cli.kernel_simd.name().to_owned()),
+        ],
     );
     if cli.pd >= 2 {
         config = config.with_pd(cli.pd);
@@ -249,7 +277,14 @@ fn run() -> Result<(), CliError> {
         ServiceError::Bind { .. } => CliError::Runtime(e.to_string()),
     })?;
     let addr = handle.local_addr();
-    eprintln!("pimserve: listening on {addr}");
+    log_kv(
+        "listening",
+        &[
+            ("addr", addr.to_string()),
+            ("obs_window_secs", cli.service.obs_window_secs.to_string()),
+            ("watchdog_ms", cli.service.watchdog_threshold_ms.to_string()),
+        ],
+    );
     if let Some(path) = &cli.port_file {
         // Write-then-rename so a polling launcher never reads a partial
         // address.
@@ -267,21 +302,53 @@ fn run() -> Result<(), CliError> {
         std::fs::write(path, summary.metrics_json())
             .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
     }
+    if let Some(path) = &cli.trace_out {
+        // One Perfetto track per request: every stage span carries the
+        // request's trace id as its tid, so naming the tracks after the
+        // trace ids groups admit/queued/batched/aligned/respond rows.
+        let spans = summary
+            .report
+            .as_ref()
+            .map(|r| r.host.spans.as_slice())
+            .unwrap_or(&[]);
+        let mut tids: Vec<u32> = spans.iter().map(|s| s.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        let tracks: Vec<(u32, String)> =
+            tids.into_iter().map(|t| (t, format!("req-{t}"))).collect();
+        std::fs::write(path, chrome_trace_json(spans, &tracks))
+            .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+        log_kv(
+            "trace_written",
+            &[
+                ("path", path.clone()),
+                ("spans", spans.len().to_string()),
+                ("tracks", tracks.len().to_string()),
+            ],
+        );
+    }
     let t = summary.telemetry;
-    eprintln!(
-        "pimserve: drained: {} received, {} accepted, {} answered, {} shed, \
-         {} deadline misses, {} panics quarantined",
-        t.received,
-        t.accepted,
-        t.responses,
-        t.shed_total(),
-        t.deadline_misses(),
-        t.panics_quarantined
+    log_kv(
+        "drained",
+        &[
+            ("received", t.received.to_string()),
+            ("accepted", t.accepted.to_string()),
+            ("answered", t.responses.to_string()),
+            ("shed", t.shed_total().to_string()),
+            ("deadline_misses", t.deadline_misses().to_string()),
+            ("panics_quarantined", t.panics_quarantined.to_string()),
+            ("watchdog_stalls", summary.obs.watchdog_stalls.to_string()),
+        ],
     );
     if let Some(report) = &summary.report {
-        eprintln!(
-            "pimserve: platform: {:.3e} queries/s, {:.1} W, MBR {:.1}%, RUR {:.1}%",
-            report.throughput_qps, report.total_power_w, report.mbr_pct, report.rur_pct
+        log_kv(
+            "platform_report",
+            &[
+                ("throughput_qps", format!("{:.3e}", report.throughput_qps)),
+                ("total_power_w", format!("{:.1}", report.total_power_w)),
+                ("mbr_pct", format!("{:.1}", report.mbr_pct)),
+                ("rur_pct", format!("{:.1}", report.rur_pct)),
+            ],
         );
     }
     Ok(())

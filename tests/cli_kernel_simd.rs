@@ -121,19 +121,20 @@ fn pimserve_validates_kernel_simd_with_the_same_exit_codes() {
             out.status.code()
         );
         if case.expect_exit == 0 {
-            // Valid flag: the dispatch banner appears (before the input
-            // failure), exactly once.
+            // Valid flag: the structured dispatch record appears (before
+            // the input failure), exactly once. pimserve logs key=value
+            // records, so the banner is `event=kernel_dispatch` rather
+            // than pimalign's prose line.
             assert_eq!(
-                stderr.matches("kernel dispatch").count(),
+                stderr.matches("event=kernel_dispatch").count(),
                 1,
                 "pimserve --kernel-simd {:?}: dispatch logged once:\n{stderr}",
                 case.value
             );
             assert!(
-                stderr.contains(case.stderr_contains),
-                "pimserve --kernel-simd {:?}: stderr missing {:?}:\n{stderr}",
-                case.value,
-                case.stderr_contains
+                stderr.contains(&format!("policy={}", case.value.unwrap())),
+                "pimserve --kernel-simd {:?}: stderr missing policy field:\n{stderr}",
+                case.value
             );
         } else {
             assert!(

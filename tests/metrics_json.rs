@@ -63,7 +63,15 @@ fn as_u64(doc: &Value, path: &str) -> u64 {
 fn metrics_json_is_valid_and_reconciles() {
     let doc = run_with_metrics(&["--pipelined"]);
 
-    assert_eq!(as_u64(&doc, "schema_version"), 6);
+    assert_eq!(as_u64(&doc, "schema_version"), 7);
+
+    // v7: the obs section mirrors drain-time observability scalars. A
+    // CLI run never starts the service plane, so everything is zero and
+    // the slow-request log is empty — but the section (and therefore
+    // the schema) is identical for daemon and CLI runs.
+    assert_eq!(as_u64(&doc, "obs.watchdog_stalls"), 0);
+    assert_eq!(as_u64(&doc, "obs.buckets_retired"), 0);
+    assert_eq!(as_u64(&doc, "obs.window_secs"), 0);
 
     // v6: the rank-checkpoint cache section is present and internally
     // consistent. The default policy (auto) runs the cache, so an
